@@ -1,0 +1,144 @@
+//! Experiments E4.6/E4.7, A-RED and SCALE (critical-tuple side).
+//!
+//! Prints the critical-tuple sets of the Section 4 examples, then benches:
+//! the fine-instance criticality decision, the brute-force reference, the
+//! full `crit(Q)` computation as the query grows (chain queries), and the
+//! criticality decision on Appendix A reduction instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qvsec::cnf::{ForallExists3Cnf, Literal};
+use qvsec::critical::{critical_tuples, is_critical};
+use qvsec::critical_bruteforce::is_critical_bruteforce;
+use qvsec::hardness::reduce;
+use qvsec_cq::parse_query;
+use qvsec_data::{Domain, Tuple, TupleSpace};
+use qvsec_workload::generators::boolean_chain_query;
+use qvsec_workload::schemas::{ab_domain, binary_schema};
+
+fn print_reproduction() {
+    let schema = binary_schema();
+    let mut domain = ab_domain();
+    println!("\n=== Critical tuples of the Section 4 examples ===");
+    for text in [
+        "V(x) :- R(x, y)",
+        "S(y) :- R(x, y)",
+        "V(x) :- R(x, 'b')",
+        "S(y) :- R(y, 'a')",
+        "Q() :- R('a', x), R(x, x)",
+    ] {
+        let q = parse_query(text, &schema, &mut domain).unwrap();
+        let crit = critical_tuples(&q, &domain).unwrap();
+        let rendered: Vec<String> = crit
+            .iter()
+            .map(|t| t.display(&schema, &domain).to_string())
+            .collect();
+        println!("  crit({text:<28}) = {{{}}}", rendered.join(", "));
+    }
+    println!();
+}
+
+fn bench_is_critical(c: &mut Criterion) {
+    let schema = binary_schema();
+    let mut domain = ab_domain();
+    let q = parse_query("Q() :- R('a', x), R(x, x)", &schema, &mut domain).unwrap();
+    let t_aa = Tuple::from_names(&schema, &domain, "R", &["a", "a"]).unwrap();
+    let space = TupleSpace::full(&schema, &domain).unwrap();
+
+    let mut group = c.benchmark_group("critical/is_critical");
+    group.bench_function("fine_instance", |b| {
+        b.iter(|| is_critical(&q, &t_aa, &domain));
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| is_critical_bruteforce(&q, &t_aa, &space).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_crit_set_scaling(c: &mut Criterion) {
+    let schema = binary_schema();
+    let mut group = c.benchmark_group("critical/crit_set_chain_length");
+    for length in [1usize, 2, 3, 4] {
+        let q = boolean_chain_query(&schema, length);
+        let domain = Domain::with_size(q.symbol_count().max(2));
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| critical_tuples(&q, &domain).unwrap().len());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("critical/crit_set_domain_size");
+    let q = boolean_chain_query(&schema, 2);
+    for size in [2usize, 3, 4, 6] {
+        let domain = Domain::with_size(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| critical_tuples(&q, &domain).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_hardness_instances(c: &mut Criterion) {
+    // Appendix A reduction instances: satisfiable and unsatisfiable formulas
+    // of growing size.
+    let formulas = vec![
+        (
+            "sat_2vars",
+            ForallExists3Cnf::existential(
+                2,
+                vec![vec![Literal::y(0), Literal::y(1)], vec![Literal::not_y(0), Literal::y(1)]],
+            ),
+        ),
+        (
+            "unsat_2vars",
+            ForallExists3Cnf::existential(
+                2,
+                vec![
+                    vec![Literal::y(0), Literal::y(1)],
+                    vec![Literal::not_y(0), Literal::y(1)],
+                    vec![Literal::y(0), Literal::not_y(1)],
+                    vec![Literal::not_y(0), Literal::not_y(1)],
+                ],
+            ),
+        ),
+        (
+            "sat_3vars",
+            ForallExists3Cnf::existential(
+                3,
+                vec![
+                    vec![Literal::y(0), Literal::y(1), Literal::y(2)],
+                    vec![Literal::not_y(0), Literal::y(1)],
+                    vec![Literal::not_y(1), Literal::y(2)],
+                ],
+            ),
+        ),
+    ];
+    println!("=== Appendix A reduction instances ===");
+    for (name, formula) in &formulas {
+        let inst = reduce(formula).unwrap();
+        println!(
+            "  {name}: satisfiable = {}, query has {} subgoals, tuple critical = {}",
+            formula.is_satisfiable(),
+            inst.query.atoms.len(),
+            is_critical(&inst.query, &inst.tuple, &inst.domain)
+        );
+    }
+    println!();
+    let mut group = c.benchmark_group("critical/hardness_reduction");
+    for (name, formula) in &formulas {
+        let inst = reduce(formula).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| is_critical(&inst.query, &inst.tuple, &inst.domain));
+        });
+    }
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    print_reproduction();
+    bench_is_critical(c);
+    bench_crit_set_scaling(c);
+    bench_hardness_instances(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

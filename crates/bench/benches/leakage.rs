@@ -1,0 +1,108 @@
+//! Experiments E6.2, E6.3 and INTRO — measuring disclosures.
+//!
+//! Prints the reproduced leakage values of the Section 6.1 examples
+//! (department view vs name-department view vs full collusion) and the
+//! Theorem 6.1 ε values, then benches the exact and Monte-Carlo leakage
+//! computations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qvsec::leakage::{epsilon_for, leakage_estimate, leakage_exact, theorem_6_1_bound};
+use qvsec_cq::{parse_query, ViewSet};
+use qvsec_data::{Dictionary, Domain, Schema, TupleSpace};
+
+fn setup() -> (Schema, Domain, Dictionary) {
+    let mut schema = Schema::new();
+    schema.add_relation("Emp", &["name", "department", "phone"]);
+    let domain = Domain::with_constants(["a", "b"]);
+    let dict = Dictionary::half(TupleSpace::full(&schema, &domain).unwrap());
+    (schema, domain, dict)
+}
+
+fn print_reproduction() {
+    let (schema, mut domain, dict) = setup();
+    let s = parse_query("S(n, p) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let v_d = parse_query("Vd(d) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let v_nd = parse_query("Vnd(n, d) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let v_dp = parse_query("Vdp(d, p) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+
+    println!("\n=== Section 6.1 leakage reproduction (secret: name-phone association) ===");
+    println!("{:<40} {:>12} {:>12}", "published views", "leak(S,V)", "ε (Thm 6.1)");
+    let a = domain.get("a").unwrap();
+    let b = domain.get("b").unwrap();
+    let rows: Vec<(&str, ViewSet, Vec<Vec<_>>)> = vec![
+        ("V(d)  — Example 6.2", ViewSet::single(v_d.clone()), vec![vec![a]]),
+        ("V(n,d) — Example 6.3", ViewSet::single(v_nd.clone()), vec![vec![a, a]]),
+        (
+            "V(n,d) + V'(d,p) — collusion",
+            ViewSet::from_views(vec![v_nd.clone(), v_dp.clone()]),
+            vec![vec![a, a], vec![a, b]],
+        ),
+    ];
+    for (label, views, view_answers) in &rows {
+        let leak = leakage_exact(&s, views, &dict).unwrap().max_leak_f64();
+        let eps = epsilon_for(&s, views, &dict, &domain, &[a, b], view_answers)
+            .unwrap()
+            .map(|e| e.to_f64())
+            .unwrap_or(f64::NAN);
+        println!("{label:<40} {leak:>12.4} {eps:>12.4}");
+        if let Some(eps_ratio) =
+            epsilon_for(&s, views, &dict, &domain, &[a, b], view_answers).unwrap()
+        {
+            if let Some(bound) = theorem_6_1_bound(eps_ratio) {
+                println!("{:<40} {:>12} {:>12.4}", "", "Thm 6.1 bound:", bound.to_f64());
+            }
+        }
+    }
+    println!("(the paper's qualitative claim: leakage grows from the department view to the\n name-department view and again under collusion — compare the first column)\n");
+}
+
+fn bench_leakage(c: &mut Criterion) {
+    let (schema, mut domain, dict) = setup();
+    let s = parse_query("S(n, p) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let v_d = parse_query("Vd(d) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let v_nd = parse_query("Vnd(n, d) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let v_dp = parse_query("Vdp(d, p) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let a = domain.get("a").unwrap();
+    let b = domain.get("b").unwrap();
+
+    let mut group = c.benchmark_group("leakage/exact");
+    group.sample_size(10);
+    group.bench_function("example_6_2_single_view", |bch| {
+        let views = ViewSet::single(v_d.clone());
+        bch.iter(|| leakage_exact(&s, &views, &dict).unwrap().max_leak);
+    });
+    group.bench_function("example_6_3_collusion", |bch| {
+        let views = ViewSet::from_views(vec![v_nd.clone(), v_dp.clone()]);
+        bch.iter(|| leakage_exact(&s, &views, &dict).unwrap().max_leak);
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("leakage/epsilon");
+    group.bench_function("theorem_6_1_epsilon", |bch| {
+        let views = ViewSet::single(v_d.clone());
+        bch.iter(|| {
+            epsilon_for(&s, &views, &dict, &domain, &[a, b], &[vec![a]])
+                .unwrap()
+                .unwrap()
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("leakage/monte_carlo");
+    group.sample_size(10);
+    group.bench_function("estimate_2000_samples", |bch| {
+        let views = ViewSet::single(v_nd.clone());
+        bch.iter(|| {
+            leakage_estimate(&s, &views, &dict, &[a, b], &[vec![a, a]], 2000, 7).unwrap_or(0.0)
+        });
+    });
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    print_reproduction();
+    bench_leakage(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Experiment S6.2 — practical security under the expected-size model.
+//!
+//! Prints the asymptotic exponents `d` of `μ_n[Q] ≈ c/n^d` for a family of
+//! boolean queries, the resulting perfect / practically-secure /
+//! practical-disclosure classification, and Monte-Carlo estimates of
+//! `μ_n[Q]` at growing domain sizes that validate the exponents. Then
+//! benches the exponent computation and the estimators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qvsec::practical::{
+    asymptotic_table, asymptotics, estimate_mu_n, practical_security, PracticalVerdict,
+};
+use qvsec_cq::parse_query;
+use qvsec_data::Domain;
+use qvsec_workload::schemas::binary_schema;
+
+const EXPECTED_SIZE: f64 = 4.0;
+
+fn queries() -> Vec<qvsec_cq::ConjunctiveQuery> {
+    let schema = binary_schema();
+    let mut domain = Domain::new();
+    [
+        "Edge() :- R(x, y)",
+        "Loop() :- R(x, x)",
+        "Path2() :- R(x, y), R(y, z)",
+        "Triangle() :- R(x, y), R(y, z), R(z, x)",
+        "Constant() :- R('a', 'b')",
+        "OutEdgeOfA() :- R('a', x)",
+    ]
+    .iter()
+    .map(|t| parse_query(t, &schema, &mut domain).unwrap())
+    .collect()
+}
+
+fn print_reproduction() {
+    let schema = binary_schema();
+    let qs = queries();
+    println!("\n=== Section 6.2: asymptotic exponents (μ_n[Q] ≈ c/n^d, expected size S = {EXPECTED_SIZE}) ===");
+    println!("{:<14} {:>4} {:>10}", "query", "d", "c (est.)");
+    for row in asymptotic_table(&qs, &schema, EXPECTED_SIZE).unwrap() {
+        println!("{:<14} {:>4} {:>10.2}", row.name, row.exponent, row.coefficient);
+    }
+
+    println!("\nMonte-Carlo validation of the decay (samples = 4000):");
+    println!("{:<14} {:>10} {:>10} {:>10}", "query", "n=8", "n=16", "n=32");
+    for q in qs.iter().take(4) {
+        let estimates: Vec<f64> = [8usize, 16, 32]
+            .iter()
+            .map(|&n| estimate_mu_n(q, &schema, n, EXPECTED_SIZE as u32, 4000, 11).unwrap())
+            .collect();
+        println!(
+            "{:<14} {:>10.4} {:>10.4} {:>10.4}",
+            q.name, estimates[0], estimates[1], estimates[2]
+        );
+    }
+
+    println!("\nPractical-security classification of view/secret pairs:");
+    let mut domain = Domain::new();
+    let pairs = [
+        ("Constant() :- R('a', 'b')", "Edge() :- R(x, y)"),
+        ("Constant() :- R('a', 'b')", "OutEdgeOfA() :- R('a', x)"),
+        ("Constant() :- R('a', 'b')", "Constant2() :- R('a', 'b')"),
+    ];
+    for (s_text, v_text) in pairs {
+        let s = parse_query(s_text, &schema, &mut domain).unwrap();
+        let v = parse_query(v_text, &schema, &mut domain).unwrap();
+        let verdict = practical_security(&s, &v, &schema, EXPECTED_SIZE).unwrap();
+        let rendered = match verdict {
+            PracticalVerdict::PracticallySecure => "practically secure (limit 0)".to_string(),
+            PracticalVerdict::PracticalDisclosure { estimated_limit } => {
+                format!("practical disclosure (limit ≈ {estimated_limit:.2})")
+            }
+        };
+        println!("  secret {:<28} view {:<28} -> {rendered}", s_text, v_text);
+    }
+    println!();
+}
+
+fn bench_practical(c: &mut Criterion) {
+    let schema = binary_schema();
+    let qs = queries();
+
+    let mut group = c.benchmark_group("practical/exponent");
+    for q in &qs {
+        group.bench_with_input(BenchmarkId::from_parameter(&q.name), q, |b, q| {
+            b.iter(|| asymptotics(q, &schema, EXPECTED_SIZE).unwrap().exponent)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("practical/mu_n_estimation");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let q = &qs[1]; // the self-loop query, exponent 1
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| estimate_mu_n(q, &schema, n, EXPECTED_SIZE as u32, 1000, 3).unwrap())
+        });
+    }
+    group.finish();
+
+    c.bench_function("practical/classification", |b| {
+        let mut domain = Domain::new();
+        let s = parse_query("S() :- R('a', 'b')", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R(x, y)", &schema, &mut domain).unwrap();
+        b.iter(|| practical_security(&s, &v, &schema, EXPECTED_SIZE).unwrap())
+    });
+}
+
+fn all(c: &mut Criterion) {
+    print_reproduction();
+    bench_practical(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Experiments A1–A5 — security under prior knowledge (Section 5.2).
+//!
+//! Prints the reproduced verdicts of the five applications and benches the
+//! corresponding decision procedures: the Eq. (8) polynomial identity, the
+//! Corollary 5.3 key-constraint check, protective-knowledge construction and
+//! relative security with respect to prior views.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qvsec::prior::{
+    protective_knowledge_absent, secure_given_knowledge_all_distributions_boolean,
+    secure_given_prior_view_boolean, secure_given_prior_views_dict, secure_under_keys,
+    CardinalityConstraint, Knowledge,
+};
+use qvsec::security::secure_for_all_distributions;
+use qvsec_cq::{parse_query, ViewSet};
+use qvsec_data::{Dictionary, Domain, Schema, TupleSpace};
+use qvsec_prob::lineage::support_space;
+
+fn print_reproduction() {
+    println!("\n=== Section 5.2 applications (paper claim vs measured) ===");
+
+    // Application 2: keys
+    let mut schema = Schema::new();
+    let r = schema.add_relation("R", &["key", "value"]);
+    schema.add_key(r, &[0]).unwrap();
+    let mut domain = Domain::with_constants(["a", "b", "c"]);
+    let s = parse_query("S() :- R('a', 'b')", &schema, &mut domain).unwrap();
+    let v = parse_query("V() :- R('a', 'c')", &schema, &mut domain).unwrap();
+    let space = support_space(&[&s, &v], &domain, 100).unwrap();
+    let plain = secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+        .unwrap()
+        .secure;
+    let keyed = secure_under_keys(&s, &ViewSet::single(v.clone()), &schema, &space)
+        .unwrap()
+        .secure;
+    println!("  A2 keys        : without K secure = {plain} (paper: yes), with key constraint secure = {keyed} (paper: no)");
+
+    // Application 3: cardinality
+    let mut schema2 = Schema::new();
+    schema2.add_relation("R", &["x", "y"]);
+    let mut domain2 = Domain::with_constants(["a", "b"]);
+    let s2 = parse_query("S() :- R('a', 'a')", &schema2, &mut domain2).unwrap();
+    let v2 = parse_query("V() :- R('b', 'b')", &schema2, &mut domain2).unwrap();
+    let space2 = TupleSpace::full(&schema2, &domain2).unwrap();
+    let with_card = secure_given_knowledge_all_distributions_boolean(
+        &s2,
+        &v2,
+        &Knowledge::Cardinality(CardinalityConstraint::AtMost(1)),
+        &space2,
+    )
+    .unwrap();
+    println!("  A3 cardinality : with |I| ≤ 1 known, secure = {with_card} (paper: no query is secure)");
+
+    // Application 4: protective disclosure
+    let s3 = parse_query("S() :- R('a', x)", &schema2, &mut domain2).unwrap();
+    let v3 = parse_query("V() :- R(x, 'b')", &schema2, &mut domain2).unwrap();
+    let k = protective_knowledge_absent(&s3, &ViewSet::single(v3.clone()), &domain2).unwrap();
+    let space3 = support_space(&[&s3, &v3], &domain2, 100).unwrap();
+    let protected =
+        secure_given_knowledge_all_distributions_boolean(&s3, &v3, &k, &space3).unwrap();
+    println!("  A4 protection  : after announcing the common critical tuple, secure = {protected} (paper: yes)");
+
+    // Application 5: prior views
+    let mut schema3 = Schema::new();
+    schema3.add_relation("R1", &["x", "y"]);
+    schema3.add_relation("R2", &["x", "y"]);
+    let mut domain3 = Domain::with_constants(["a", "b"]);
+    let u = parse_query("U() :- R1('a', x), R2('a', y)", &schema3, &mut domain3).unwrap();
+    let s5 = parse_query("S() :- R1(z1, z2), R2('a', 'b')", &schema3, &mut domain3).unwrap();
+    let v5 = parse_query("V() :- R1('a', 'b'), R2(w1, w2)", &schema3, &mut domain3).unwrap();
+    let space5 = support_space(&[&u, &s5, &v5], &domain3, 1 << 10).unwrap();
+    let relative = secure_given_prior_view_boolean(&u, &s5, &v5, &space5).unwrap();
+    println!("  A5 prior view  : U : S | V = {relative} (paper: yes, V adds no disclosure)\n");
+}
+
+fn bench_prior_knowledge(c: &mut Criterion) {
+    // polynomial identity (Eq. 8) on the protective-disclosure instance
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["x", "y"]);
+    let mut domain = Domain::with_constants(["a", "b"]);
+    let s = parse_query("S() :- R('a', x)", &schema, &mut domain).unwrap();
+    let v = parse_query("V() :- R(x, 'b')", &schema, &mut domain).unwrap();
+    let k = protective_knowledge_absent(&s, &ViewSet::single(v.clone()), &domain).unwrap();
+    let space = support_space(&[&s, &v], &domain, 100).unwrap();
+    c.bench_function("prior/eq8_polynomial_identity", |b| {
+        b.iter(|| {
+            secure_given_knowledge_all_distributions_boolean(&s, &v, &k, &space).unwrap()
+        })
+    });
+    c.bench_function("prior/protective_knowledge_construction", |b| {
+        b.iter(|| protective_knowledge_absent(&s, &ViewSet::single(v.clone()), &domain).unwrap())
+    });
+
+    // Corollary 5.3 over the keyed schema
+    let mut keyed = Schema::new();
+    let r = keyed.add_relation("R", &["key", "value"]);
+    keyed.add_key(r, &[0]).unwrap();
+    let mut kdomain = Domain::with_constants(["a", "b", "c"]);
+    let ks = parse_query("S() :- R('a', 'b')", &keyed, &mut kdomain).unwrap();
+    let kv = parse_query("V() :- R('a', 'c')", &keyed, &mut kdomain).unwrap();
+    let kspace = support_space(&[&ks, &kv], &kdomain, 100).unwrap();
+    c.bench_function("prior/corollary_5_3_keys", |b| {
+        b.iter(|| {
+            secure_under_keys(&ks, &ViewSet::single(kv.clone()), &keyed, &kspace)
+                .unwrap()
+                .secure
+        })
+    });
+
+    // relative security over a dictionary
+    let mut rschema = Schema::new();
+    rschema.add_relation("R", &["x", "y"]);
+    let mut rdomain = Domain::with_constants(["a", "b"]);
+    let prior = parse_query("U(x) :- R(x, y)", &rschema, &mut rdomain).unwrap();
+    let view = parse_query("V(x) :- R(x, y)", &rschema, &mut rdomain).unwrap();
+    let secret = parse_query("S(y) :- R(x, y)", &rschema, &mut rdomain).unwrap();
+    let dict = Dictionary::half(TupleSpace::full(&rschema, &rdomain).unwrap());
+    let mut group = c.benchmark_group("prior/relative_security_dict");
+    group.sample_size(20);
+    group.bench_function("prior_view_conditioning", |b| {
+        b.iter(|| {
+            secure_given_prior_views_dict(
+                &ViewSet::single(prior.clone()),
+                &secret,
+                &ViewSet::single(view.clone()),
+                &dict,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    print_reproduction();
+    bench_prior_knowledge(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

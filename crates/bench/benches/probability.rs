@@ -1,0 +1,132 @@
+//! Experiments E4.2, E4.3 and E4.12 — exact probabilities and event
+//! polynomials.
+//!
+//! Prints the probabilities of the worked examples (3/16 vs 1/3; 1/4 vs 1/4)
+//! and the Example 4.12 polynomial, then benches the exact probability
+//! engine: answer-distribution computation, conditional probabilities,
+//! polynomial construction, and how they scale with the tuple-space size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qvsec_cq::eval::AnswerSet;
+use qvsec_cq::{evaluate, parse_query, ViewSet};
+use qvsec_data::{Dictionary, Domain, Ratio, Schema, TupleSpace};
+use qvsec_prob::independence::check_independence;
+use qvsec_prob::poly::event_polynomial;
+use qvsec_prob::probability::{answer_distribution, conditional_probability};
+use qvsec_workload::paper::{example_4_12, example_4_2, example_4_3};
+use qvsec_workload::schemas::binary_schema;
+
+fn print_reproduction() {
+    let schema = binary_schema();
+    println!("\n=== Worked-example probabilities ===");
+    {
+        let (s, v, domain) = example_4_2();
+        let dict = Dictionary::half(TupleSpace::full(&schema, &domain).unwrap());
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let s_target: AnswerSet = [vec![a]].into_iter().collect();
+        let v_target: AnswerSet = [vec![b]].into_iter().collect();
+        let prior = answer_distribution(&s, &dict).unwrap()[&s_target];
+        let posterior = conditional_probability(
+            &dict,
+            |i| evaluate(&s, i) == s_target,
+            |i| evaluate(&v, i) == v_target,
+        )
+        .unwrap()
+        .unwrap();
+        println!("  Example 4.2: P[S={{(a)}}] = {prior} (paper: 3/16), P[S={{(a)}} | V={{(b)}}] = {posterior} (paper: 1/3)");
+    }
+    {
+        let (s, v, domain) = example_4_3();
+        let dict = Dictionary::half(TupleSpace::full(&schema, &domain).unwrap());
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let s_target: AnswerSet = [vec![a]].into_iter().collect();
+        let v_target: AnswerSet = [vec![b]].into_iter().collect();
+        let prior = answer_distribution(&s, &dict).unwrap()[&s_target];
+        let posterior = conditional_probability(
+            &dict,
+            |i| evaluate(&s, i) == s_target,
+            |i| evaluate(&v, i) == v_target,
+        )
+        .unwrap()
+        .unwrap();
+        println!("  Example 4.3: P[S={{(a)}}] = {prior} (paper: 1/4), P[S={{(a)}} | V={{(b)}}] = {posterior} (paper: 1/4)");
+    }
+    {
+        let (q, domain) = example_4_12();
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let f = event_polynomial(&q, &space).unwrap();
+        println!("  Example 4.12: f_Q = {f} (paper: x1 + x2·x4 − x1·x2·x4, 1-based)");
+    }
+    println!();
+}
+
+fn bench_exact_probabilities(c: &mut Criterion) {
+    let schema = binary_schema();
+    let (s, v, domain) = example_4_2();
+    let dict = Dictionary::half(TupleSpace::full(&schema, &domain).unwrap());
+
+    let mut group = c.benchmark_group("probability/example_4_2");
+    group.bench_function("answer_distribution", |b| {
+        b.iter(|| answer_distribution(&s, &dict).unwrap().len())
+    });
+    group.bench_function("independence_check", |b| {
+        b.iter(|| {
+            check_independence(&s, &ViewSet::single(v.clone()), &dict)
+                .unwrap()
+                .independent
+        })
+    });
+    group.finish();
+}
+
+fn bench_polynomial_construction(c: &mut Criterion) {
+    let (q, domain) = example_4_12();
+    let schema = binary_schema();
+    let space = TupleSpace::full(&schema, &domain).unwrap();
+    c.bench_function("probability/event_polynomial_example_4_12", |b| {
+        b.iter(|| event_polynomial(&q, &space).unwrap().num_terms())
+    });
+}
+
+fn bench_space_scaling(c: &mut Criterion) {
+    // cost of exact enumeration as the tuple space grows: P[Q] for the
+    // boolean triangle query over domains of 2..3 constants (4..9 tuples)
+    // plus a restricted 16-tuple support.
+    let schema: Schema = binary_schema();
+    let mut group = c.benchmark_group("probability/exact_vs_space_size");
+    group.sample_size(10);
+    for size in [2usize, 3, 4] {
+        let domain = Domain::with_size(size);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        if space.len() > qvsec_data::bitset::MAX_ENUMERABLE {
+            continue;
+        }
+        let mut d = domain.clone();
+        let q = parse_query("Q() :- R(x, y), R(y, z)", &schema, &mut d).unwrap();
+        let dict = Dictionary::uniform(space, Ratio::new(1, 2)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dict.len()),
+            &dict,
+            |b, dict| {
+                b.iter(|| {
+                    qvsec_prob::probability::boolean_probability(&q, dict)
+                        .unwrap()
+                        .to_f64()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    print_reproduction();
+    bench_exact_probabilities(c);
+    bench_polynomial_construction(c);
+    bench_space_scaling(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

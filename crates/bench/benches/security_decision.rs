@@ -1,0 +1,124 @@
+//! Experiment SCALE — runtime of the security decision procedures.
+//!
+//! The paper proves the decision problem Πᵖ₂-complete (Theorem 4.11); this
+//! bench measures how the implemented procedures actually scale with the
+//! number of subgoals and the domain size, and how the three decision paths
+//! compare: the Section 4.2 fast check, the Theorem 4.5 critical-tuple
+//! criterion, and the exhaustive Definition 4.1 statistical check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qvsec::fast_check::fast_check;
+use qvsec::security::{secure_boolean_via_polynomials, secure_for_all_distributions};
+use qvsec_cq::{parse_query, ViewSet};
+use qvsec_data::{Dictionary, Domain, TupleSpace};
+use qvsec_prob::independence::check_independence;
+use qvsec_prob::lineage::support_space;
+use qvsec_workload::generators::{boolean_chain_query, star_query};
+use qvsec_workload::schemas::{ab_domain, binary_schema, employee_schema};
+
+fn bench_decision_paths(c: &mut Criterion) {
+    // Example 4.2 (insecure) and Example 4.3 (secure) pairs.
+    let schema = binary_schema();
+    let mut domain = ab_domain();
+    let pairs = [
+        ("example_4_2", "S(y) :- R(x, y)", "V(x) :- R(x, y)"),
+        ("example_4_3", "S(y) :- R(y, 'a')", "V(x) :- R(x, 'b')"),
+    ];
+    println!("\n=== Decision-path comparison on the Section 4 examples ===");
+    for (name, s_text, v_text) in pairs {
+        let s = parse_query(s_text, &schema, &mut domain).unwrap();
+        let v = parse_query(v_text, &schema, &mut domain).unwrap();
+        let views = ViewSet::single(v.clone());
+        let dict = Dictionary::half(TupleSpace::full(&schema, &domain).unwrap());
+
+        let fast = fast_check(&s, &views).is_certainly_secure();
+        let exact = secure_for_all_distributions(&s, &views, &schema, &domain)
+            .unwrap()
+            .secure;
+        let stats = check_independence(&s, &views, &dict).unwrap().independent;
+        println!("  {name}: fast={fast} criterion={exact} statistics={stats}");
+
+        let mut group = c.benchmark_group(format!("security/{name}"));
+        group.bench_function("fast_check", |b| b.iter(|| fast_check(&s, &views)));
+        group.bench_function("criterion", |b| {
+            b.iter(|| secure_for_all_distributions(&s, &views, &schema, &domain).unwrap().secure)
+        });
+        group.bench_function("statistics", |b| {
+            b.iter(|| check_independence(&s, &views, &dict).unwrap().independent)
+        });
+        if s.is_boolean() && v.is_boolean() {
+            let space = support_space(&[&s, &v], &domain, 1 << 12).unwrap();
+            group.bench_function("polynomials", |b| {
+                b.iter(|| secure_boolean_via_polynomials(&s, &v, &space).unwrap())
+            });
+        }
+        group.finish();
+    }
+    println!();
+}
+
+fn bench_subgoal_scaling(c: &mut Criterion) {
+    // chain secret vs star view over R/2: subgoal count drives the cost of
+    // the exact criterion while the fast check stays flat.
+    let schema = binary_schema();
+    let mut group = c.benchmark_group("security/criterion_vs_chain_length");
+    for length in [1usize, 2, 3, 4] {
+        let secret = boolean_chain_query(&schema, length);
+        let view = star_query(&schema, length);
+        let views = ViewSet::single(view);
+        let domain = Domain::with_size(secret.symbol_count().max(2));
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| {
+                secure_for_all_distributions(&secret, &views, &schema, &domain)
+                    .unwrap()
+                    .secure
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("security/fast_check_vs_chain_length");
+    for length in [1usize, 2, 4, 8, 16] {
+        let secret = boolean_chain_query(&schema, length);
+        let view = star_query(&schema, length);
+        let views = ViewSet::single(view);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| fast_check(&secret, &views))
+        });
+    }
+    group.finish();
+}
+
+fn bench_collusion_audit(c: &mut Criterion) {
+    // Multi-view audits over the Employee schema: cost per additional view.
+    let schema = employee_schema();
+    let mut domain = Domain::new();
+    let secret = parse_query("S(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+    let all_views = vec![
+        parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+        parse_query("V2(d, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+        parse_query("V3(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap(),
+        parse_query("V4(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+    ];
+    let mut group = c.benchmark_group("security/views_per_audit");
+    for k in 1..=all_views.len() {
+        let views = ViewSet::from_views(all_views[..k].to_vec());
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                secure_for_all_distributions(&secret, &views, &schema, &domain)
+                    .unwrap()
+                    .secure
+            })
+        });
+    }
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_decision_paths(c);
+    bench_subgoal_scaling(c);
+    bench_collusion_audit(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Experiment T1 — Table 1: the disclosure spectrum.
+//!
+//! Prints the reproduced classification of the four query/view pairs and
+//! benches the decision procedures that produce it (the fast Section 4.2
+//! check, the exact Theorem 4.5 criterion, and the full dictionary-based
+//! analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qvsec::analysis::SecurityAnalyzer;
+use qvsec::fast_check::fast_check;
+use qvsec::security::secure_for_all_distributions;
+use qvsec_bench::support_dictionary;
+use qvsec_data::Ratio;
+use qvsec_workload::paper::table1;
+use qvsec_workload::schemas::employee_schema;
+
+fn print_reproduction() {
+    let schema = employee_schema();
+    println!("\n=== Table 1 reproduction (paper verdict vs measured) ===");
+    println!(
+        "{:<4} {:<14} {:<10} {:<14} {:<10} {:<12}",
+        "row", "paper class", "paper S|V", "measured", "secure", "leak(S,V)"
+    );
+    for row in table1() {
+        let mut queries: Vec<&qvsec_cq::ConjunctiveQuery> = vec![&row.secret];
+        queries.extend(row.views.iter());
+        let dict = support_dictionary(&queries, &row.domain);
+        let mut domain = row.domain.clone();
+        domain.pad_to(2);
+        let analysis = SecurityAnalyzer::new(&schema, &domain)
+            .with_minute_threshold(Ratio::new(1, 10))
+            .analyze_with_dictionary(&row.secret, &row.views, &dict)
+            .expect("analysis succeeds");
+        println!(
+            "{:<4} {:<14} {:<10} {:<14} {:<10} {:<12.4}",
+            row.id,
+            row.disclosure.to_string(),
+            if row.secure { "Yes" } else { "No" },
+            analysis.class.to_string(),
+            if analysis.security.secure { "Yes" } else { "No" },
+            analysis.leakage.as_ref().map(|l| l.max_leak_f64()).unwrap_or(f64::NAN),
+        );
+    }
+    println!();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    print_reproduction();
+    let schema = employee_schema();
+    let rows = table1();
+
+    let mut group = c.benchmark_group("table1/fast_check");
+    for row in &rows {
+        group.bench_with_input(BenchmarkId::from_parameter(row.id), row, |b, row| {
+            b.iter(|| fast_check(&row.secret, &row.views));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table1/theorem_4_5");
+    for row in &rows {
+        group.bench_with_input(BenchmarkId::from_parameter(row.id), row, |b, row| {
+            b.iter(|| {
+                secure_for_all_distributions(&row.secret, &row.views, &schema, &row.domain)
+                    .unwrap()
+                    .secure
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table1/full_analysis");
+    group.sample_size(10);
+    for row in &rows {
+        let mut queries: Vec<&qvsec_cq::ConjunctiveQuery> = vec![&row.secret];
+        queries.extend(row.views.iter());
+        let dict = support_dictionary(&queries, &row.domain);
+        let mut domain = row.domain.clone();
+        domain.pad_to(2);
+        group.bench_with_input(BenchmarkId::from_parameter(row.id), row, |b, row| {
+            let analyzer = SecurityAnalyzer::new(&schema, &domain);
+            b.iter(|| {
+                analyzer
+                    .analyze_with_dictionary(&row.secret, &row.views, &dict)
+                    .unwrap()
+                    .class
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

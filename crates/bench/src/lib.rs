@@ -1,0 +1,55 @@
+//! # qvsec-bench — benchmark harness
+//!
+//! Criterion benches regenerating every table and worked example of the
+//! paper (see `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md`
+//! for the recorded paper-vs-measured comparison). Each bench prints the
+//! values it reproduces (classifications, probabilities, leakage, exponents)
+//! once at start-up and then measures the runtime of the decision procedures
+//! that produce them.
+//!
+//! Run all benches with `cargo bench --workspace`; individual targets:
+//!
+//! ```text
+//! cargo bench -p qvsec-bench --bench table1
+//! cargo bench -p qvsec-bench --bench critical_tuples
+//! cargo bench -p qvsec-bench --bench security_decision
+//! cargo bench -p qvsec-bench --bench probability
+//! cargo bench -p qvsec-bench --bench leakage
+//! cargo bench -p qvsec-bench --bench prior_knowledge
+//! cargo bench -p qvsec-bench --bench practical_security
+//! ```
+
+/// The uniform per-tuple probability used by the dictionary-based benches.
+pub fn default_tuple_probability() -> qvsec_data::Ratio {
+    qvsec_data::Ratio::new(1, 2)
+}
+
+/// Builds the support-set dictionary used by the Table 1 and leakage benches:
+/// the queries' support over the row's domain padded to two constants, with
+/// uniform probability 1/2.
+pub fn support_dictionary(
+    queries: &[&qvsec_cq::ConjunctiveQuery],
+    domain: &qvsec_data::Domain,
+) -> qvsec_data::Dictionary {
+    let mut padded = domain.clone();
+    padded.pad_to(2);
+    let space =
+        qvsec_prob::lineage::support_space(queries, &padded, 1 << 12).expect("small support");
+    qvsec_data::Dictionary::uniform(space, default_tuple_probability()).expect("valid dictionary")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_workload::paper::table1;
+
+    #[test]
+    fn support_dictionary_is_enumerable_for_every_table1_row() {
+        for row in table1() {
+            let mut queries: Vec<&qvsec_cq::ConjunctiveQuery> = vec![&row.secret];
+            queries.extend(row.views.iter());
+            let dict = support_dictionary(&queries, &row.domain);
+            assert!(dict.len() <= qvsec_data::bitset::MAX_ENUMERABLE);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! High-level disclosure analysis: one call that runs the whole pipeline.
+//!
+//! [`SecurityAnalyzer`] packages the individual procedures into the audit
+//! workflow sketched in the paper's introduction (the manufacturing-company
+//! scenario): given a secret query and the views about to be published,
+//! report (a) the fast syntactic verdict, (b) the exact dictionary-
+//! independent verdict with its witnesses, and — when a dictionary over an
+//! enumerable tuple space is supplied — (c) the exact statistical
+//! independence check, (d) the leakage measure and (e) the Table 1 style
+//! classification.
+
+use crate::fast_check::{fast_check, FastVerdict};
+use crate::leakage::{ensure_enumerable, leakage_exact, LeakageReport};
+use crate::report::{classify, default_minute_threshold, is_totally_disclosed, DisclosureClass};
+use crate::security::{secure_for_all_distributions, SecurityVerdict};
+use crate::Result;
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_data::{Dictionary, Domain, Ratio, Schema};
+use qvsec_prob::independence::{check_independence, IndependenceReport};
+
+/// A reusable analyzer bound to a schema and a domain of constants.
+#[derive(Debug, Clone)]
+pub struct SecurityAnalyzer<'a> {
+    schema: &'a Schema,
+    domain: &'a Domain,
+    minute_threshold: Ratio,
+}
+
+/// The combined result of a disclosure analysis.
+#[derive(Debug, Clone)]
+pub struct DisclosureAnalysis {
+    /// The Section 4.2 practical (pairwise-unification) verdict.
+    pub fast_verdict: FastVerdict,
+    /// The exact Theorem 4.5 verdict with witnessing common critical tuples.
+    pub security: SecurityVerdict,
+    /// The literal Definition 4.1 check (present when a dictionary was
+    /// supplied).
+    pub independence: Option<IndependenceReport>,
+    /// The Section 6.1 leakage report (present when a dictionary was
+    /// supplied).
+    pub leakage: Option<LeakageReport>,
+    /// Whether the views determine the secret answer over the dictionary.
+    pub totally_disclosed: Option<bool>,
+    /// The Table 1 style classification.
+    pub class: DisclosureClass,
+}
+
+impl<'a> SecurityAnalyzer<'a> {
+    /// Creates an analyzer for the given schema and domain.
+    pub fn new(schema: &'a Schema, domain: &'a Domain) -> Self {
+        SecurityAnalyzer {
+            schema,
+            domain,
+            minute_threshold: default_minute_threshold(),
+        }
+    }
+
+    /// Overrides the threshold that separates minute from partial
+    /// disclosures.
+    pub fn with_minute_threshold(mut self, threshold: Ratio) -> Self {
+        self.minute_threshold = threshold;
+        self
+    }
+
+    /// Runs the dictionary-independent analyses only: the fast check and the
+    /// Theorem 4.5 criterion.
+    pub fn analyze(
+        &self,
+        secret: &ConjunctiveQuery,
+        views: &ViewSet,
+    ) -> Result<DisclosureAnalysis> {
+        let fast_verdict = fast_check(secret, views);
+        let security = secure_for_all_distributions(secret, views, self.schema, self.domain)?;
+        let class = classify(security.secure, false, None, self.minute_threshold);
+        Ok(DisclosureAnalysis {
+            fast_verdict,
+            security,
+            independence: None,
+            leakage: None,
+            totally_disclosed: None,
+            class,
+        })
+    }
+
+    /// Runs the full analysis, including the exact statistical checks and the
+    /// leakage measure over the supplied dictionary (whose tuple space must
+    /// be enumerable).
+    pub fn analyze_with_dictionary(
+        &self,
+        secret: &ConjunctiveQuery,
+        views: &ViewSet,
+        dict: &Dictionary,
+    ) -> Result<DisclosureAnalysis> {
+        ensure_enumerable(dict)?;
+        let fast_verdict = fast_check(secret, views);
+        let security = secure_for_all_distributions(secret, views, self.schema, self.domain)?;
+        let independence = check_independence(secret, views, dict)?;
+        let leakage = leakage_exact(secret, views, dict)?;
+        let totally_disclosed = is_totally_disclosed(secret, views, dict)?;
+        let class = classify(
+            security.secure,
+            totally_disclosed,
+            Some(leakage.max_leak),
+            self.minute_threshold,
+        );
+        Ok(DisclosureAnalysis {
+            fast_verdict,
+            security,
+            independence: Some(independence),
+            leakage: Some(leakage),
+            totally_disclosed: Some(totally_disclosed),
+            class,
+        })
+    }
+}
+
+impl DisclosureAnalysis {
+    /// A multi-line human-readable report, suitable for audit logs and the
+    /// example binaries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("classification        : {}\n", self.class));
+        out.push_str(&format!(
+            "fast check            : {}\n",
+            if self.fast_verdict.is_certainly_secure() {
+                "secure (no unifiable subgoal pair)"
+            } else {
+                "possibly insecure (some subgoals unify)"
+            }
+        ));
+        out.push_str(&format!("exact criterion       : {}\n", self.security.summary()));
+        if let Some(ind) = &self.independence {
+            out.push_str(&format!(
+                "statistical check     : {} ({} answer pairs checked)\n",
+                if ind.independent {
+                    "independent"
+                } else {
+                    "dependent"
+                },
+                ind.pairs_checked
+            ));
+            if let Some(v) = ind.worst_violation() {
+                out.push_str(&format!(
+                    "  worst shift         : prior {} -> posterior {}\n",
+                    v.prior, v.posterior
+                ));
+            }
+        }
+        if let Some(leak) = &self.leakage {
+            out.push_str(&format!(
+                "leakage (Section 6.1) : {} (~{:.4})\n",
+                leak.max_leak,
+                leak.max_leak_f64()
+            ));
+        }
+        if let Some(total) = self.totally_disclosed {
+            out.push_str(&format!("totally disclosed     : {total}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::parse_query;
+
+    fn employee_schema() -> Schema {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        schema.add_relation("R", &["x", "y"]);
+        schema
+    }
+
+    #[test]
+    fn analyze_without_dictionary_classifies_secure_and_insecure() {
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let v4 = parse_query("V4(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap();
+        let s4 = parse_query("S4(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        let analyzer = SecurityAnalyzer::new(&schema, &domain);
+        let a = analyzer.analyze(&s4, &ViewSet::single(v4)).unwrap();
+        assert_eq!(a.class, DisclosureClass::NoDisclosure);
+        assert!(a.fast_verdict.is_certainly_secure());
+        assert!(a.independence.is_none());
+        assert!(a.render().contains("none"));
+
+        let mut domain = Domain::new();
+        let v1 = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let s1 = parse_query("S1(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let analyzer = SecurityAnalyzer::new(&schema, &domain);
+        let a = analyzer.analyze(&s1, &ViewSet::single(v1)).unwrap();
+        assert_eq!(a.class, DisclosureClass::Partial, "without a dictionary, insecure defaults to partial");
+    }
+
+    #[test]
+    fn analyze_with_dictionary_produces_full_report() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let space = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 100).unwrap();
+        let dict = Dictionary::half(space);
+        let analyzer = SecurityAnalyzer::new(&schema, &domain);
+        let a = analyzer
+            .analyze_with_dictionary(&s, &ViewSet::single(v), &dict)
+            .unwrap();
+        assert!(!a.security.secure);
+        assert!(!a.independence.as_ref().unwrap().independent);
+        assert!(a.leakage.as_ref().unwrap().max_leak > Ratio::ZERO);
+        assert_eq!(a.totally_disclosed, Some(false));
+        assert_ne!(a.class, DisclosureClass::NoDisclosure);
+        let rendered = a.render();
+        assert!(rendered.contains("leakage"));
+        assert!(rendered.contains("statistical check"));
+    }
+
+    #[test]
+    fn identity_view_is_classified_total() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let space = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 100).unwrap();
+        let dict = Dictionary::half(space);
+        let analyzer = SecurityAnalyzer::new(&schema, &domain);
+        let a = analyzer
+            .analyze_with_dictionary(&s, &ViewSet::single(v), &dict)
+            .unwrap();
+        assert_eq!(a.class, DisclosureClass::Total);
+    }
+
+    #[test]
+    fn threshold_controls_minute_vs_partial() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let space = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 100).unwrap();
+        let dict = Dictionary::half(space);
+        // a huge threshold classifies everything non-total as minute
+        let generous = SecurityAnalyzer::new(&schema, &domain)
+            .with_minute_threshold(Ratio::from_integer(1000));
+        let a = generous
+            .analyze_with_dictionary(&s, &ViewSet::single(v.clone()), &dict)
+            .unwrap();
+        assert_eq!(a.class, DisclosureClass::Minute);
+        // a zero threshold classifies it as partial
+        let strict = SecurityAnalyzer::new(&schema, &domain).with_minute_threshold(Ratio::ZERO);
+        let a = strict
+            .analyze_with_dictionary(&s, &ViewSet::single(v), &dict)
+            .unwrap();
+        assert_eq!(a.class, DisclosureClass::Partial);
+    }
+}

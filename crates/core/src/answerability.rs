@@ -1,0 +1,227 @@
+//! Query answering and its interaction with security (Sections 2.1 and
+//! 4.1.1).
+//!
+//! Non-answerability is *not* a sound security criterion (Section 2.1), but
+//! answerability is still useful in two ways the paper points out:
+//!
+//! * if a view `V'` is answerable from the published views `V̄`, then any
+//!   query secure with respect to `V̄` is automatically secure with respect
+//!   to `V'` (the "Query answering" property of Section 4.1.1) — so an audit
+//!   only needs to consider a generating set of the published views;
+//! * a secret that *is* answerable from the views is a **total** disclosure
+//!   (Table 1, row 1).
+//!
+//! This module provides two executable notions:
+//!
+//! * [`answerable_as_projection`] — a syntactic, certificate-producing check
+//!   covering the most common case in practice (the target is a projection /
+//!   column permutation of one published view), decided through classical CQ
+//!   equivalence; and
+//! * [`determined_by`] — the information-theoretic notion over a dictionary
+//!   (the adversary can compute the target's answer as a function of the
+//!   views' answers), which is exactly what "total disclosure" means.
+
+use crate::report::is_totally_disclosed;
+use crate::Result;
+use qvsec_cq::containment::equivalent;
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_data::{Dictionary, Domain};
+
+/// A certificate that `target` is a projection of `view`: `positions[i]` is
+/// the index of the view head column that produces the `i`-th column of the
+/// target's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectionCertificate {
+    /// For each target head position, the view head position it projects.
+    pub positions: Vec<usize>,
+}
+
+/// Builds the query "project `view`'s head onto the given positions".
+fn project_view(view: &ConjunctiveQuery, positions: &[usize]) -> ConjunctiveQuery {
+    let mut q = view.clone();
+    q.name = format!("{}_proj", view.name);
+    q.head = positions.iter().map(|&i| view.head[i]).collect();
+    q
+}
+
+fn position_choices(target_arity: usize, view_arity: usize) -> Vec<Vec<usize>> {
+    // all functions from target positions to view positions (view_arity^target_arity,
+    // small in practice: view heads have a handful of columns)
+    let mut out = vec![Vec::new()];
+    for _ in 0..target_arity {
+        let mut next = Vec::new();
+        for prefix in &out {
+            for p in 0..view_arity {
+                let mut v = prefix.clone();
+                v.push(p);
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Checks whether `target` is answerable from a **single** published view as
+/// a projection / permutation / duplication of the view's head columns,
+/// returning the witnessing column mapping. This is the syntactic sufficient
+/// condition that classifies Table 1 row 1 ("S1 is answerable using V1").
+pub fn answerable_as_projection(
+    target: &ConjunctiveQuery,
+    view: &ConjunctiveQuery,
+    domain: &Domain,
+) -> Option<ProjectionCertificate> {
+    if view.is_boolean() && !target.is_boolean() {
+        return None;
+    }
+    if target.is_boolean() {
+        // a boolean target is answerable from a boolean view iff they are
+        // equivalent queries
+        return if view.is_boolean() && equivalent(target, view, domain) {
+            Some(ProjectionCertificate { positions: vec![] })
+        } else {
+            None
+        };
+    }
+    for positions in position_choices(target.arity(), view.arity()) {
+        let candidate = project_view(view, &positions);
+        if equivalent(target, &candidate, domain) {
+            return Some(ProjectionCertificate { positions });
+        }
+    }
+    None
+}
+
+/// Checks whether `target` is answerable (as a projection) from **some** view
+/// of the set.
+pub fn answerable_from_views(
+    target: &ConjunctiveQuery,
+    views: &ViewSet,
+    domain: &Domain,
+) -> Option<(usize, ProjectionCertificate)> {
+    views
+        .iter()
+        .enumerate()
+        .find_map(|(i, v)| answerable_as_projection(target, v, domain).map(|c| (i, c)))
+}
+
+/// The information-theoretic notion: over the dictionary's possible worlds,
+/// the target's answer is a function of the views' answers. This is the
+/// meaning of "total disclosure" used by the Table 1 classification, and the
+/// hypothesis of the Section 4.1.1 security-transfer property.
+pub fn determined_by(
+    target: &ConjunctiveQuery,
+    views: &ViewSet,
+    dict: &Dictionary,
+) -> Result<bool> {
+    is_totally_disclosed(target, views, dict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::secure_for_all_distributions;
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Schema, TupleSpace};
+
+    fn employee() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("Employee", &["name", "department", "phone"]);
+        s.add_relation("R", &["x", "y"]);
+        s
+    }
+
+    #[test]
+    fn table_1_row_1_is_answerable_as_a_projection() {
+        let schema = employee();
+        let mut domain = Domain::new();
+        let v1 = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let s1 = parse_query("S1(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let cert = answerable_as_projection(&s1, &v1, &domain).expect("S1 = π_d(V1)");
+        assert_eq!(cert.positions, vec![1]);
+        // and from the view set
+        assert!(answerable_from_views(&s1, &qvsec_cq::ViewSet::single(v1), &domain).is_some());
+    }
+
+    #[test]
+    fn column_permutations_and_duplications_are_detected() {
+        let schema = employee();
+        let mut domain = Domain::new();
+        let v = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let swapped = parse_query("S(d, n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        assert_eq!(
+            answerable_as_projection(&swapped, &v, &domain).unwrap().positions,
+            vec![1, 0]
+        );
+        let duplicated = parse_query("S(n, n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        assert_eq!(
+            answerable_as_projection(&duplicated, &v, &domain).unwrap().positions,
+            vec![0, 0]
+        );
+    }
+
+    #[test]
+    fn non_answerable_targets_are_rejected() {
+        let schema = employee();
+        let mut domain = Domain::new();
+        let v = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        // the phone column is not present in the view head
+        let s = parse_query("S(p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        assert!(answerable_as_projection(&s, &v, &domain).is_none());
+        // a selection the view does not apply
+        let sel = parse_query("S2(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        assert!(answerable_as_projection(&sel, &v, &domain).is_none());
+    }
+
+    #[test]
+    fn boolean_answerability_is_equivalence() {
+        let schema = employee();
+        let mut domain = Domain::new();
+        let v = parse_query("V() :- R(x, y)", &schema, &mut domain).unwrap();
+        let same = parse_query("S() :- R(u, w)", &schema, &mut domain).unwrap();
+        let different = parse_query("S2() :- R(x, x)", &schema, &mut domain).unwrap();
+        assert!(answerable_as_projection(&same, &v, &domain).is_some());
+        assert!(answerable_as_projection(&different, &v, &domain).is_none());
+        // non-boolean target is never a projection of a boolean view
+        let unary = parse_query("S3(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        assert!(answerable_as_projection(&unary, &v, &domain).is_none());
+    }
+
+    #[test]
+    fn security_transfers_to_answerable_views() {
+        // Section 4.1.1: if V' is answerable from V̄ and S | V̄, then S | V'.
+        // Instance: V = identity over R, V' = its first projection,
+        // S = a query over Employee (a different relation), secure w.r.t. both.
+        let schema = employee();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let v = parse_query("V(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v_prime = parse_query("Vp(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        assert!(answerable_as_projection(&v_prime, &v, &domain).is_some());
+        let secure_wrt_v =
+            secure_for_all_distributions(&s, &qvsec_cq::ViewSet::single(v), &schema, &domain)
+                .unwrap()
+                .secure;
+        let secure_wrt_vp =
+            secure_for_all_distributions(&s, &qvsec_cq::ViewSet::single(v_prime), &schema, &domain)
+                .unwrap()
+                .secure;
+        assert!(secure_wrt_v);
+        assert!(secure_wrt_vp, "security must transfer to the answerable view");
+    }
+
+    #[test]
+    fn determinacy_matches_answerability_on_the_projection_case() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let v = parse_query("V(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let dict = Dictionary::half(TupleSpace::full(&schema, &domain).unwrap());
+        assert!(answerable_as_projection(&s, &v, &domain).is_some());
+        assert!(determined_by(&s, &qvsec_cq::ViewSet::single(v.clone()), &dict).unwrap());
+        // the converse direction of the two notions differs: the projection
+        // view does not determine the full relation
+        assert!(!determined_by(&v, &qvsec_cq::ViewSet::single(s), &dict).unwrap());
+    }
+}

@@ -1,0 +1,282 @@
+//! ∀∃3-CNF formulas (the source problem of the Theorem 4.10 reduction).
+//!
+//! A formula `Φ = ∀X1..Xm ∃Y1..Yn . C1 ∧ ... ∧ Cp` with three-literal
+//! disjunctive clauses. Validity of such formulas is the canonical
+//! Πᵖ₂-complete problem; Appendix A reduces it to deciding that a tuple is
+//! *not* critical for a conjunctive query. This module provides the formula
+//! representation and a naive validity/satisfiability solver used to verify
+//! the reduction of [`crate::hardness`] on small instances.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A literal over a universal (`X`) or existential (`Y`) variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Literal {
+    /// A universally quantified variable `X_i` (0-based), possibly negated.
+    Universal {
+        /// Variable index.
+        index: usize,
+        /// Whether the literal is negated.
+        negated: bool,
+    },
+    /// An existentially quantified variable `Y_i` (0-based), possibly
+    /// negated.
+    Existential {
+        /// Variable index.
+        index: usize,
+        /// Whether the literal is negated.
+        negated: bool,
+    },
+}
+
+impl Literal {
+    /// Positive universal literal `X_i`.
+    pub fn x(index: usize) -> Self {
+        Literal::Universal {
+            index,
+            negated: false,
+        }
+    }
+
+    /// Negated universal literal `¬X_i`.
+    pub fn not_x(index: usize) -> Self {
+        Literal::Universal {
+            index,
+            negated: true,
+        }
+    }
+
+    /// Positive existential literal `Y_i`.
+    pub fn y(index: usize) -> Self {
+        Literal::Existential {
+            index,
+            negated: false,
+        }
+    }
+
+    /// Negated existential literal `¬Y_i`.
+    pub fn not_y(index: usize) -> Self {
+        Literal::Existential {
+            index,
+            negated: true,
+        }
+    }
+
+    /// Evaluates the literal under the two assignments (bit `i` of each
+    /// assignment is the truth value of the corresponding variable).
+    pub fn eval(&self, x_assignment: u64, y_assignment: u64) -> bool {
+        match self {
+            Literal::Universal { index, negated } => {
+                (x_assignment >> index) & 1 == 1 && !negated
+                    || (x_assignment >> index) & 1 == 0 && *negated
+            }
+            Literal::Existential { index, negated } => {
+                (y_assignment >> index) & 1 == 1 && !negated
+                    || (y_assignment >> index) & 1 == 0 && *negated
+            }
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Universal { index, negated } => {
+                write!(f, "{}X{index}", if *negated { "¬" } else { "" })
+            }
+            Literal::Existential { index, negated } => {
+                write!(f, "{}Y{index}", if *negated { "¬" } else { "" })
+            }
+        }
+    }
+}
+
+/// A `∀X̄ ∃Ȳ . C` formula in 3-CNF (clauses may have fewer than three
+/// literals; clauses with more are rejected at construction).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForallExists3Cnf {
+    /// Number of universal variables `X_0..X_{m-1}`.
+    pub num_universal: usize,
+    /// Number of existential variables `Y_0..Y_{n-1}`.
+    pub num_existential: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Literal>>,
+}
+
+impl ForallExists3Cnf {
+    /// Creates a formula, checking clause widths and variable indices.
+    ///
+    /// # Panics
+    /// Panics if a clause has more than three literals or references an
+    /// out-of-range variable.
+    pub fn new(num_universal: usize, num_existential: usize, clauses: Vec<Vec<Literal>>) -> Self {
+        assert!(num_universal <= 20 && num_existential <= 20, "solver is exponential");
+        for clause in &clauses {
+            assert!(clause.len() <= 3, "3-CNF clauses have at most three literals");
+            for lit in clause {
+                match lit {
+                    Literal::Universal { index, .. } => assert!(*index < num_universal),
+                    Literal::Existential { index, .. } => assert!(*index < num_existential),
+                }
+            }
+        }
+        ForallExists3Cnf {
+            num_universal,
+            num_existential,
+            clauses,
+        }
+    }
+
+    /// A purely existential formula (`m = 0`): plain 3-SAT.
+    pub fn existential(num_existential: usize, clauses: Vec<Vec<Literal>>) -> Self {
+        Self::new(0, num_existential, clauses)
+    }
+
+    /// Evaluates the matrix `C` under full assignments.
+    pub fn matrix_holds(&self, x_assignment: u64, y_assignment: u64) -> bool {
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|l| l.eval(x_assignment, y_assignment)))
+    }
+
+    /// Whether `∃Ȳ` makes the matrix true for the given `X̄` assignment.
+    pub fn satisfiable_for(&self, x_assignment: u64) -> bool {
+        (0..(1u64 << self.num_existential)).any(|y| self.matrix_holds(x_assignment, y))
+    }
+
+    /// Naive validity check: `∀X̄ ∃Ȳ . C`.
+    pub fn is_valid(&self) -> bool {
+        (0..(1u64 << self.num_universal)).all(|x| self.satisfiable_for(x))
+    }
+
+    /// For purely existential formulas, plain satisfiability.
+    pub fn is_satisfiable(&self) -> bool {
+        debug_assert_eq!(self.num_universal, 0);
+        self.satisfiable_for(0)
+    }
+
+    /// Every clause must contain at least one existential literal for the
+    /// Appendix A reduction to apply ("each clause must have at least one Y
+    /// variable: otherwise Φ is false").
+    pub fn every_clause_has_existential(&self) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| matches!(l, Literal::Existential { .. }))
+        })
+    }
+}
+
+impl fmt::Display for ForallExists3Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "∀X0..X{} ∃Y0..Y{} . ",
+            self.num_universal.saturating_sub(1),
+            self.num_existential.saturating_sub(1)
+        )?;
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, lit) in clause.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{lit}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfiable_and_unsatisfiable_3sat() {
+        // (Y0 ∨ Y1) ∧ (¬Y0 ∨ Y1) ∧ (¬Y1) is unsatisfiable;
+        // dropping the last clause makes it satisfiable.
+        let unsat = ForallExists3Cnf::existential(
+            2,
+            vec![
+                vec![Literal::y(0), Literal::y(1)],
+                vec![Literal::not_y(0), Literal::y(1)],
+                vec![Literal::not_y(1)],
+            ],
+        );
+        assert!(!unsat.is_satisfiable());
+        assert!(!unsat.is_valid());
+        let sat = ForallExists3Cnf::existential(
+            2,
+            vec![
+                vec![Literal::y(0), Literal::y(1)],
+                vec![Literal::not_y(0), Literal::y(1)],
+            ],
+        );
+        assert!(sat.is_satisfiable());
+        assert!(sat.is_valid());
+        assert!(sat.every_clause_has_existential());
+    }
+
+    #[test]
+    fn forall_exists_validity() {
+        // ∀X0 ∃Y0 . (X0 ∨ Y0) ∧ (¬X0 ∨ ¬Y0): pick Y0 = ¬X0 — valid.
+        let valid = ForallExists3Cnf::new(
+            1,
+            1,
+            vec![
+                vec![Literal::x(0), Literal::y(0)],
+                vec![Literal::not_x(0), Literal::not_y(0)],
+            ],
+        );
+        assert!(valid.is_valid());
+
+        // ∀X0 ∃Y0 . (X0 ∨ Y0) ∧ (X0 ∨ ¬Y0): for X0 = false no Y0 works — invalid.
+        let invalid = ForallExists3Cnf::new(
+            1,
+            1,
+            vec![
+                vec![Literal::x(0), Literal::y(0)],
+                vec![Literal::x(0), Literal::not_y(0)],
+            ],
+        );
+        assert!(!invalid.is_valid());
+    }
+
+    #[test]
+    fn literal_evaluation_and_display() {
+        assert!(Literal::x(0).eval(0b1, 0));
+        assert!(!Literal::x(0).eval(0b0, 0));
+        assert!(Literal::not_x(0).eval(0b0, 0));
+        assert!(Literal::y(2).eval(0, 0b100));
+        assert!(Literal::not_y(2).eval(0, 0b011));
+        assert_eq!(Literal::not_x(3).to_string(), "¬X3");
+        assert_eq!(Literal::y(1).to_string(), "Y1");
+        let f = ForallExists3Cnf::existential(1, vec![vec![Literal::y(0)]]);
+        assert!(f.to_string().contains("Y0"));
+    }
+
+    #[test]
+    fn clause_without_existential_is_detected() {
+        let f = ForallExists3Cnf::new(1, 1, vec![vec![Literal::x(0)]]);
+        assert!(!f.every_clause_has_existential());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most three")]
+    fn wide_clauses_are_rejected() {
+        let _ = ForallExists3Cnf::existential(
+            4,
+            vec![vec![
+                Literal::y(0),
+                Literal::y(1),
+                Literal::y(2),
+                Literal::y(3),
+            ]],
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! Critical tuples (Definition 4.4) — the criterion-based decision procedure.
+//!
+//! A tuple `t ∈ tup(D)` is *critical* for a query `Q` if there exists an
+//! instance `I` with `Q(I − {t}) ≠ Q(I)`. Critical tuples are the bridge
+//! between probability and logic: Theorem 4.5 shows that `S` is secure with
+//! respect to `V̄` for **every** tuple-independent distribution iff
+//! `crit_D(S) ∩ crit_D(V̄) = ∅`.
+//!
+//! Deciding criticality is Πᵖ₂-complete in the size of the query
+//! (Theorem 4.10), so any exact procedure is exponential in the worst case.
+//! The procedure implemented here follows the structure of the Appendix A
+//! proof rather than enumerating all instances:
+//!
+//! 1. Only *minimal* instances (images `h(Q)` of the query itself) and among
+//!    those only *fine* instances need to be considered (Proposition A.1).
+//!    A fine instance is determined by the set `G` of subgoals mapped onto
+//!    `t`: the variables of `G` are bound by unifying `G` with `t`, every
+//!    other variable is frozen to a distinct fresh constant.
+//! 2. `t` is critical iff for some non-empty, simultaneously unifiable `G`
+//!    there is **no** homomorphism from `Q` into `I_G − {t}` that reproduces
+//!    the head answer `h_G(head)`.
+//!
+//! The search is exponential only in the number of subgoals that unify with
+//! `t` (usually one or two), not in the domain or instance size.
+//!
+//! ### Comparison predicates
+//!
+//! Equality and disequality comparisons are handled exactly. Order
+//! predicates (`<`, `<=`) are honoured under the canonical placement of fresh
+//! constants (fresh constants are pairwise distinct and larger than all
+//! existing constants); this placement is sufficient for the query classes
+//! used in the paper, and the brute-force procedure in
+//! [`crate::critical_bruteforce`] remains the reference oracle for small
+//! domains (the two are cross-checked by property tests).
+
+use crate::{QvsError, Result};
+use qvsec_cq::homomorphism::answer_survives;
+use qvsec_cq::unification::unify_atoms_with_tuple;
+use qvsec_cq::{CanonicalDatabase, ConjunctiveQuery, VarId, ViewSet};
+use qvsec_data::{Domain, Tuple, Value};
+use qvsec_prob::lineage::atom_groundings;
+use std::collections::{BTreeSet, HashMap};
+
+/// Default cap on the number of candidate tuples enumerated by
+/// [`critical_tuples`] and the intersection helpers.
+pub const DEFAULT_CANDIDATE_CAP: usize = 250_000;
+
+/// Decides whether `tuple` is critical for `query` (Definition 4.4), using
+/// the fine-instance procedure described in the module documentation.
+///
+/// `domain` must contain every constant of the query and of the tuple; fresh
+/// constants needed for freezing are drawn from a private extension and never
+/// leak into `domain`.
+pub fn is_critical(query: &ConjunctiveQuery, tuple: &Tuple, domain: &Domain) -> bool {
+    // Subgoals that can individually be mapped onto the tuple.
+    let unifiable: Vec<usize> = query
+        .atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, atom)| qvsec_cq::unify_atom_with_tuple(atom, tuple).is_some())
+        .map(|(i, _)| i)
+        .collect();
+    if unifiable.is_empty() {
+        return false;
+    }
+    // Enumerate every non-empty subset G of the unifiable subgoals.
+    let k = unifiable.len();
+    for mask in 1u64..(1u64 << k) {
+        let atoms: Vec<&qvsec_cq::Atom> = (0..k)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| &query.atoms[unifiable[i]])
+            .collect();
+        let Some(subst) = unify_atoms_with_tuple(&atoms, tuple) else {
+            continue;
+        };
+        let pinned: HashMap<VarId, Value> = subst.iter().collect();
+        let canon = CanonicalDatabase::freeze_with(query, domain, &pinned);
+        // The frozen assignment must satisfy the query's comparisons for I_G
+        // to witness Q(I_G) ≠ ∅ through h_G.
+        let assignment: Vec<Option<Value>> = query
+            .variables()
+            .map(|v| Some(canon.value_of(v)))
+            .collect();
+        if !qvsec_cq::comparisons::check_all(&query.comparisons, &assignment) {
+            continue;
+        }
+        debug_assert!(canon.instance.contains(tuple), "I_G must contain t");
+        // t is critical iff the answer h_G(head) does not survive removing t.
+        if !answer_survives(query, &canon.instance, &canon.head_answer, Some(tuple)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// All candidate critical tuples of a query over a domain: the ground
+/// instantiations of its subgoals. Every critical tuple is among them
+/// (a critical tuple must be a homomorphic image of a subgoal, Section 4.2).
+pub fn critical_candidates(
+    query: &ConjunctiveQuery,
+    domain: &Domain,
+    cap: usize,
+) -> Result<BTreeSet<Tuple>> {
+    let mut required: u128 = 0;
+    for atom in &query.atoms {
+        required =
+            required.saturating_add((domain.len() as u128).saturating_pow(atom.variables().len() as u32));
+    }
+    if required > cap as u128 {
+        return Err(QvsError::CandidateSpaceTooLarge { required, cap });
+    }
+    let mut out = BTreeSet::new();
+    for atom in &query.atoms {
+        out.extend(atom_groundings(atom, domain));
+    }
+    Ok(out)
+}
+
+/// Computes `crit_D(Q)` exactly over the given domain (with the default
+/// candidate cap).
+pub fn critical_tuples(query: &ConjunctiveQuery, domain: &Domain) -> Result<BTreeSet<Tuple>> {
+    critical_tuples_with_cap(query, domain, DEFAULT_CANDIDATE_CAP)
+}
+
+/// Computes `crit_D(Q)` exactly over the given domain with an explicit cap on
+/// the candidate enumeration.
+pub fn critical_tuples_with_cap(
+    query: &ConjunctiveQuery,
+    domain: &Domain,
+    cap: usize,
+) -> Result<BTreeSet<Tuple>> {
+    let candidates = critical_candidates(query, domain, cap)?;
+    Ok(candidates
+        .into_iter()
+        .filter(|t| is_critical(query, t, domain))
+        .collect())
+}
+
+/// Computes `crit_D(S) ∩ crit_D(V̄)` — the common critical tuples whose
+/// emptiness characterises dictionary-independent security (Theorem 4.5).
+///
+/// Candidates are restricted to tuples that are subgoal instantiations of
+/// **both** sides, so the enumeration stays proportional to the overlap.
+pub fn common_critical_tuples(
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    domain: &Domain,
+    cap: usize,
+) -> Result<Vec<Tuple>> {
+    let secret_candidates = critical_candidates(secret, domain, cap)?;
+    let mut view_candidates: BTreeSet<Tuple> = BTreeSet::new();
+    for v in views.iter() {
+        view_candidates.extend(critical_candidates(v, domain, cap)?);
+    }
+    let mut common = Vec::new();
+    for t in secret_candidates.intersection(&view_candidates) {
+        if is_critical(secret, t, domain)
+            && views.iter().any(|v| is_critical(v, t, domain))
+        {
+            common.push(t.clone());
+        }
+    }
+    Ok(common)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::parse_query;
+    use qvsec_data::Schema;
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        schema.add_relation("T", &["a", "b", "c", "d", "e"]);
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        (schema, Domain::with_constants(["a", "b"]))
+    }
+
+    fn t(schema: &Schema, domain: &Domain, rel: &str, vals: &[&str]) -> Tuple {
+        Tuple::from_names(schema, domain, rel, vals).unwrap()
+    }
+
+    #[test]
+    fn every_tuple_is_critical_for_full_projection_views() {
+        // Example 4.6: for V(x) :- R(x, y) and S(y) :- R(x, y) every tuple of
+        // tup(D) is critical.
+        let (schema, mut domain) = setup();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        for rel_tuple in [("a", "a"), ("a", "b"), ("b", "a"), ("b", "b")] {
+            let tuple = t(&schema, &domain, "R", &[rel_tuple.0, rel_tuple.1]);
+            assert!(is_critical(&v, &tuple, &domain), "{tuple} critical for V");
+            assert!(is_critical(&s, &tuple, &domain), "{tuple} critical for S");
+        }
+        assert_eq!(critical_tuples(&v, &domain).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn example_4_7_critical_sets_are_disjoint() {
+        // V(x) :- R(x, 'b'): crit = {R(a,b), R(b,b)};
+        // S(y) :- R(y, 'a'): crit = {R(a,a), R(b,a)}.
+        let (schema, mut domain) = setup();
+        let v = parse_query("V(x) :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
+        let crit_v = critical_tuples(&v, &domain).unwrap();
+        let crit_s = critical_tuples(&s, &domain).unwrap();
+        let expected_v: BTreeSet<Tuple> = [t(&schema, &domain, "R", &["a", "b"]), t(&schema, &domain, "R", &["b", "b"])]
+            .into_iter()
+            .collect();
+        let expected_s: BTreeSet<Tuple> = [t(&schema, &domain, "R", &["a", "a"]), t(&schema, &domain, "R", &["b", "a"])]
+            .into_iter()
+            .collect();
+        assert_eq!(crit_v, expected_v);
+        assert_eq!(crit_s, expected_s);
+        assert!(crit_v.is_disjoint(&crit_s));
+        let common = common_critical_tuples(&s, &ViewSet::single(v), &domain, 1000).unwrap();
+        assert!(common.is_empty());
+    }
+
+    #[test]
+    fn section_4_2_example_tuple_is_not_critical() {
+        // Q() :- T(x,y,z,z,u), T(x,x,x,y,y) and t = T(a,a,b,b,c): the paper
+        // shows t is a homomorphic image of the first subgoal yet NOT
+        // critical, because any instance mapping the first subgoal to t
+        // forces T(a,a,a,a,a) to be present, which also satisfies the query.
+        let (schema, mut domain) = setup();
+        domain.add("c");
+        let q = parse_query(
+            "Q() :- T(x, y, z, z, u), T(x, x, x, y, y)",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
+        let tuple = t(&schema, &domain, "T", &["a", "a", "b", "b", "c"]);
+        assert!(!is_critical(&q, &tuple, &domain));
+        // whereas the collapsed tuple T(a,a,a,a,a) IS critical
+        let diag = t(&schema, &domain, "T", &["a", "a", "a", "a", "a"]);
+        assert!(is_critical(&q, &diag, &domain));
+    }
+
+    #[test]
+    fn simple_boolean_query_criticality() {
+        // Q() :- R('a', x): every tuple R(a, v) is critical, tuples R(b, v)
+        // are not (they are not even candidates).
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R('a', x)", &schema, &mut domain).unwrap();
+        assert!(is_critical(&q, &t(&schema, &domain, "R", &["a", "a"]), &domain));
+        assert!(is_critical(&q, &t(&schema, &domain, "R", &["a", "b"]), &domain));
+        assert!(!is_critical(&q, &t(&schema, &domain, "R", &["b", "a"]), &domain));
+        let crit = critical_tuples(&q, &domain).unwrap();
+        assert_eq!(crit.len(), 2);
+    }
+
+    #[test]
+    fn selection_views_have_disjoint_critical_sets_across_departments() {
+        // Table 1 row (4): V4(n) :- Employee(n,'Mgmt',p) vs
+        // S4(n) :- Employee(n,'HR',p).
+        let (schema, mut domain) = setup();
+        let v = parse_query("V4(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap();
+        let s = parse_query("S4(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        let common = common_critical_tuples(&s, &ViewSet::single(v), &domain, 10_000).unwrap();
+        assert!(common.is_empty());
+    }
+
+    #[test]
+    fn redundant_subgoal_does_not_create_phantom_criticality() {
+        // Q(x) :- R(x, y), R(x, w): the second subgoal is redundant; critical
+        // tuples are exactly those of Q(x) :- R(x, y).
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x) :- R(x, y), R(x, w)", &schema, &mut domain).unwrap();
+        let q_min = parse_query("Qm(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        assert_eq!(
+            critical_tuples(&q, &domain).unwrap(),
+            critical_tuples(&q_min, &domain).unwrap()
+        );
+    }
+
+    #[test]
+    fn comparisons_restrict_critical_tuples() {
+        // Q() :- R(x, y), x != y : the diagonal tuples R(a,a), R(b,b) are not
+        // critical, the off-diagonal ones are.
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, y), x != y", &schema, &mut domain).unwrap();
+        assert!(is_critical(&q, &t(&schema, &domain, "R", &["a", "b"]), &domain));
+        assert!(is_critical(&q, &t(&schema, &domain, "R", &["b", "a"]), &domain));
+        assert!(!is_critical(&q, &t(&schema, &domain, "R", &["a", "a"]), &domain));
+        assert!(!is_critical(&q, &t(&schema, &domain, "R", &["b", "b"]), &domain));
+    }
+
+    #[test]
+    fn ground_query_is_critical_only_for_its_own_tuple() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R('a', 'b')", &schema, &mut domain).unwrap();
+        let crit = critical_tuples(&q, &domain).unwrap();
+        assert_eq!(crit.len(), 1);
+        assert!(crit.contains(&t(&schema, &domain, "R", &["a", "b"])));
+    }
+
+    #[test]
+    fn candidate_cap_is_enforced() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- T(a, b, c, d, e)", &schema, &mut domain).unwrap();
+        let big_domain = Domain::with_size(20);
+        // 20^5 candidates is far above a cap of 1000
+        assert!(matches!(
+            critical_tuples_with_cap(&q, &big_domain, 1000),
+            Err(QvsError::CandidateSpaceTooLarge { .. })
+        ));
+        // but fine over the 2-constant domain
+        assert!(critical_tuples(&q, &domain).is_ok());
+    }
+
+    #[test]
+    fn tuples_of_other_relations_are_never_critical() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let other = t(&schema, &domain, "Employee", &["a", "a", "a"]);
+        assert!(!is_critical(&q, &other, &domain));
+    }
+}

@@ -1,0 +1,140 @@
+//! Literal, exhaustive implementation of Definition 4.4.
+//!
+//! `t ∈ crit_D(Q)` iff some instance `I ⊆ tup(D)` has `Q(I − {t}) ≠ Q(I)`.
+//! This module enumerates every instance of an explicit [`TupleSpace`] and
+//! checks the definition directly. It is exponential in the number of tuples
+//! of the space and is only usable on tiny spaces — which is precisely its
+//! role: it is the *oracle* against which the efficient fine-instance
+//! procedure of [`crate::critical`] is cross-validated (unit tests here,
+//! property tests in the integration suite).
+
+use crate::Result;
+use qvsec_cq::eval::evaluate;
+use qvsec_cq::ConjunctiveQuery;
+use qvsec_data::{Tuple, TupleSpace};
+use std::collections::BTreeSet;
+
+/// Decides criticality by enumerating every instance of `space` that
+/// contains `tuple` and comparing `Q(I)` with `Q(I − {t})`.
+///
+/// Tuples outside the space are reported non-critical (they cannot affect the
+/// query if the space contains the query's support).
+pub fn is_critical_bruteforce(
+    query: &ConjunctiveQuery,
+    tuple: &Tuple,
+    space: &TupleSpace,
+) -> Result<bool> {
+    let Some(tuple_index) = space.index_of(tuple) else {
+        return Ok(false);
+    };
+    for (mask, instance) in space.instances()? {
+        if mask & (1u64 << tuple_index) == 0 {
+            continue;
+        }
+        let with = evaluate(query, &instance);
+        let without = evaluate(query, &instance.without(tuple));
+        if with != without {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Computes `crit(Q)` restricted to the tuples of `space` by brute force.
+pub fn critical_tuples_bruteforce(
+    query: &ConjunctiveQuery,
+    space: &TupleSpace,
+) -> Result<BTreeSet<Tuple>> {
+    let mut out = BTreeSet::new();
+    for t in space.iter() {
+        if is_critical_bruteforce(query, t, space)? {
+            out.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical::{critical_tuples, is_critical};
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Domain, Schema};
+
+    fn setup() -> (Schema, Domain, TupleSpace) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let domain = Domain::with_constants(["a", "b"]);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        (schema, domain, space)
+    }
+
+    #[test]
+    fn brute_force_matches_example_4_6() {
+        let (schema, mut domain, space) = setup();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let crit = critical_tuples_bruteforce(&v, &space).unwrap();
+        assert_eq!(crit.len(), 4, "every tuple is critical for the projection");
+        let _ = schema;
+    }
+
+    #[test]
+    fn brute_force_matches_example_4_7() {
+        let (_, mut domain, space) = setup();
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let v = parse_query("V(x) :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
+        let crit_v = critical_tuples_bruteforce(&v, &space).unwrap();
+        let crit_s = critical_tuples_bruteforce(&s, &space).unwrap();
+        assert_eq!(crit_v.len(), 2);
+        assert_eq!(crit_s.len(), 2);
+        assert!(crit_v.is_disjoint(&crit_s));
+    }
+
+    #[test]
+    fn criterion_procedure_agrees_with_brute_force_on_a_query_family() {
+        // Cross-validate the fine-instance procedure against the literal
+        // definition on a family of queries over the 4-tuple space.
+        let (schema, mut domain, space) = setup();
+        let texts = [
+            "Q1(x) :- R(x, y)",
+            "Q2(y) :- R(x, y)",
+            "Q3(x) :- R(x, 'b')",
+            "Q4() :- R('a', x), R(x, x)",
+            "Q5() :- R(x, x)",
+            "Q6() :- R(x, y), R(y, x)",
+            "Q7() :- R(x, y), x != y",
+            "Q8(x, y) :- R(x, y), R(y, y)",
+            "Q9() :- R('a', 'b')",
+            "Q10(x) :- R(x, y), R(x, w)",
+        ];
+        for text in texts {
+            let q = parse_query(text, &schema, &mut domain).unwrap();
+            let brute = critical_tuples_bruteforce(&q, &space).unwrap();
+            let fast: BTreeSet<Tuple> = critical_tuples(&q, &domain)
+                .unwrap()
+                .into_iter()
+                .filter(|t| space.contains(t))
+                .collect();
+            assert_eq!(brute, fast, "criterion and brute force disagree on {text}");
+            for t in space.iter() {
+                assert_eq!(
+                    is_critical_bruteforce(&q, t, &space).unwrap(),
+                    is_critical(&q, t, &domain),
+                    "disagreement on tuple {t} for {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tuples_outside_the_space_are_not_critical() {
+        let (schema, mut domain, space) = setup();
+        let q = parse_query("Q(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let c = domain.add("c");
+        let r = schema.relation_by_name("R").unwrap();
+        let outside = Tuple::new(r, vec![c, c]);
+        assert!(!is_critical_bruteforce(&q, &outside, &space).unwrap());
+    }
+}

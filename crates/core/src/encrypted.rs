@@ -1,0 +1,214 @@
+//! Encrypted views (Section 5.4).
+//!
+//! In controlled-publishing and database-as-a-service architectures the
+//! published "view" is the relation itself with every attribute value
+//! replaced by its encryption. Assuming an ideal primitive (one-way,
+//! collision-free), the published object is an **isomorphic copy** of the
+//! relation: join structure and cardinality are visible, constants are not.
+//!
+//! Consequences reproduced here:
+//!
+//! * queries without constants (pure join/self-join patterns) are answerable
+//!   from the encrypted view ([`answerable_from_encrypted`]);
+//! * the encrypted view always reveals the cardinality of the relation, so
+//!   **no** query is perfectly secure with respect to it (the same
+//!   cardinality argument as Application 3) — [`perfectly_secure_wrt_encrypted`]
+//!   is constantly `false` for non-trivial queries;
+//! * the *magnitude* of the disclosure can still be assessed with the
+//!   Section 6.1 leakage machinery, by building the encrypted view as an
+//!   explicit instance transformation ([`encrypt_instance`]).
+
+use qvsec_cq::ConjunctiveQuery;
+use qvsec_data::{Domain, Instance, Schema, Tuple, Value};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The key material of a simulated attribute-level encryption: a single
+/// injective mapping applied to every attribute value (the paper's one
+/// one-way function `f` applied to each attribute).
+#[derive(Debug, Clone, Default)]
+pub struct EncryptionKey {
+    mapping: HashMap<Value, Value>,
+}
+
+impl EncryptionKey {
+    /// The token assigned to `value`, if it occurs in the encrypted data.
+    pub fn token(&self, value: Value) -> Option<Value> {
+        self.mapping.get(&value).copied()
+    }
+
+    /// Number of distinct values that were encrypted.
+    pub fn len(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Whether no value was encrypted.
+    pub fn is_empty(&self) -> bool {
+        self.mapping.is_empty()
+    }
+}
+
+/// Encrypts an instance attribute-wise: every value is replaced by the same
+/// opaque token wherever it occurs (one global injective mapping `f`), and
+/// the tokens are added to a cloned domain. Returns the encrypted instance,
+/// the extended domain and the key.
+///
+/// This is the simulation of the "perfect one-way function" of Section 5.4:
+/// given the token one cannot recover the value (the mapping is random and
+/// the token names carry no information), the mapping is collision-free
+/// (injective by construction), and because the *same* function is applied
+/// everywhere the encrypted view is an isomorphic copy of the original
+/// relation — equalities, and hence joins, are preserved.
+pub fn encrypt_instance<R: Rng + ?Sized>(
+    instance: &Instance,
+    schema: &Schema,
+    domain: &Domain,
+    rng: &mut R,
+) -> (Instance, Domain, EncryptionKey) {
+    let mut extended = domain.clone();
+    let mut key = EncryptionKey::default();
+    // Collect the distinct values, in shuffled order so that the token
+    // assignment leaks nothing about value identity or ordering.
+    let mut values: Vec<Value> = Vec::new();
+    for t in instance.iter() {
+        for &v in &t.values {
+            if !values.contains(&v) {
+                values.push(v);
+            }
+        }
+    }
+    values.shuffle(rng);
+    key.mapping = values
+        .into_iter()
+        .map(|v| (v, extended.fresh("enc")))
+        .collect();
+    let encrypted = Instance::from_tuples(instance.iter().map(|t| {
+        Tuple::new(
+            t.relation,
+            t.values
+                .iter()
+                .map(|&v| key.token(v).expect("value was mapped"))
+                .collect(),
+        )
+    }));
+    let _ = schema;
+    (encrypted, extended, key)
+}
+
+/// Whether a query is answerable from the attribute-wise encrypted view of
+/// its relations: true exactly when the query mentions no constants (its
+/// answer — up to the renaming of values — is determined by the isomorphic
+/// copy). This reproduces the Section 5.4 examples: `Q1():-R(x,y),R(y,z),x≠z`
+/// is answerable, `Q2():-R('a',x)` is not.
+pub fn answerable_from_encrypted(query: &ConjunctiveQuery) -> bool {
+    query.constants().is_empty()
+}
+
+/// Perfect security with respect to an encrypted view: never attainable for
+/// a non-trivial secret, because the encrypted view reveals the relation's
+/// cardinality (Section 5.4). A query is considered trivial here when it has
+/// no subgoals.
+pub fn perfectly_secure_wrt_encrypted(secret: &ConjunctiveQuery) -> bool {
+    secret.atoms.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::eval::evaluate;
+    use qvsec_cq::parse_query;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Schema, Domain, Instance) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let domain = Domain::with_constants(["a", "b", "c"]);
+        let r = schema.relation_by_name("R").unwrap();
+        let v = |n: &str| domain.get(n).unwrap();
+        let inst = Instance::from_tuples([
+            Tuple::new(r, vec![v("a"), v("b")]),
+            Tuple::new(r, vec![v("b"), v("c")]),
+            Tuple::new(r, vec![v("c"), v("a")]),
+        ]);
+        (schema, domain, inst)
+    }
+
+    #[test]
+    fn encryption_preserves_cardinality_and_join_structure() {
+        let (schema, domain, inst) = setup();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (enc, enc_domain, key) = encrypt_instance(&inst, &schema, &domain, &mut rng);
+        assert_eq!(enc.len(), inst.len(), "cardinality is disclosed");
+        assert_eq!(key.len(), 3);
+        assert!(!key.is_empty());
+        // join structure: the 2-cycle-free 3-cycle R(x,y),R(y,z),R(z,x) is
+        // preserved by the isomorphism
+        let mut d = enc_domain.clone();
+        let cycle = parse_query("C() :- R(x, y), R(y, z), R(z, x)", &schema, &mut d).unwrap();
+        assert!(!evaluate(&cycle, &enc).is_empty());
+        // constants are hidden: the original constant 'a' does not appear
+        let a = domain.get("a").unwrap();
+        assert!(enc.iter().all(|t| t.values.iter().all(|&v| v != a)));
+    }
+
+    #[test]
+    fn encryption_is_injective() {
+        let (schema, domain, inst) = setup();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (_, _, key) = encrypt_instance(&inst, &schema, &domain, &mut rng);
+        let tokens: Vec<_> = ["a", "b", "c"]
+            .iter()
+            .map(|n| key.token(domain.get(n).unwrap()).unwrap())
+            .collect();
+        assert_eq!(tokens.len(), 3);
+        assert!(tokens[0] != tokens[1] && tokens[1] != tokens[2] && tokens[0] != tokens[2]);
+        // unseen values have no token
+        let mut d2 = domain.clone();
+        let zz = d2.add("zz");
+        assert!(key.token(zz).is_none());
+    }
+
+    #[test]
+    fn answerability_follows_the_paper_examples() {
+        let (schema, _, _) = setup();
+        let mut d = Domain::new();
+        let q1 = parse_query("Q1() :- R(x, y), R(y, z), x != z", &schema, &mut d).unwrap();
+        let q2 = parse_query("Q2() :- R('a', x)", &schema, &mut d).unwrap();
+        assert!(answerable_from_encrypted(&q1));
+        assert!(!answerable_from_encrypted(&q2));
+    }
+
+    #[test]
+    fn no_nontrivial_query_is_perfectly_secure_wrt_an_encrypted_view() {
+        let (schema, _, _) = setup();
+        let mut d = Domain::new();
+        let s = parse_query("S(x) :- R(x, y)", &schema, &mut d).unwrap();
+        assert!(!perfectly_secure_wrt_encrypted(&s));
+        let trivial = ConjunctiveQuery::new("T");
+        assert!(perfectly_secure_wrt_encrypted(&trivial));
+    }
+
+    #[test]
+    fn different_keys_give_different_tokens_but_isomorphic_views() {
+        let (schema, domain, inst) = setup();
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let (enc1, _, _) = encrypt_instance(&inst, &schema, &domain, &mut rng1);
+        let (enc2, _, _) = encrypt_instance(&inst, &schema, &domain, &mut rng2);
+        assert_eq!(enc1.len(), enc2.len());
+        // both preserve the out-degree multiset of the original graph
+        let outdeg = |i: &Instance| {
+            let mut counts: HashMap<Value, usize> = HashMap::new();
+            for t in i.iter() {
+                *counts.entry(t.values[0]).or_insert(0) += 1;
+            }
+            let mut v: Vec<usize> = counts.values().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(outdeg(&enc1), outdeg(&enc2));
+        assert_eq!(outdeg(&enc1), outdeg(&inst));
+    }
+}

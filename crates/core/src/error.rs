@@ -1,0 +1,84 @@
+//! Error type for the security decision procedures.
+
+use qvsec_cq::CqError;
+use qvsec_data::DataError;
+use std::fmt;
+
+/// Errors produced by the query-view security analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QvsError {
+    /// An error from the data substrate.
+    Data(DataError),
+    /// An error from the conjunctive query engine.
+    Query(CqError),
+    /// The candidate critical-tuple space would be too large to enumerate.
+    CandidateSpaceTooLarge {
+        /// Number of candidate tuples required.
+        required: u128,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// A procedure requiring boolean queries was invoked with a non-boolean
+    /// query.
+    NotBoolean(String),
+    /// A procedure requiring comparison-free queries was invoked with a
+    /// query containing order predicates it cannot handle exactly.
+    UnsupportedComparisons(String),
+    /// Generic invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for QvsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QvsError::Data(e) => write!(f, "{e}"),
+            QvsError::Query(e) => write!(f, "{e}"),
+            QvsError::CandidateSpaceTooLarge { required, cap } => write!(
+                f,
+                "candidate tuple space of {required} tuples exceeds the cap of {cap}"
+            ),
+            QvsError::NotBoolean(name) => {
+                write!(f, "query `{name}` must be boolean for this procedure")
+            }
+            QvsError::UnsupportedComparisons(name) => write!(
+                f,
+                "query `{name}` uses comparisons not supported exactly by this procedure"
+            ),
+            QvsError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QvsError {}
+
+impl From<DataError> for QvsError {
+    fn from(e: DataError) -> Self {
+        QvsError::Data(e)
+    }
+}
+
+impl From<CqError> for QvsError {
+    fn from(e: CqError) -> Self {
+        QvsError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: QvsError = DataError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains('R'));
+        let e: QvsError = CqError::UnsafeHeadVariable("x".into()).into();
+        assert!(e.to_string().contains('x'));
+        let e = QvsError::CandidateSpaceTooLarge {
+            required: 1000,
+            cap: 10,
+        };
+        assert!(e.to_string().contains("1000"));
+        let e = QvsError::NotBoolean("S".into());
+        assert!(e.to_string().contains('S'));
+    }
+}

@@ -1,0 +1,203 @@
+//! The paper's "practical algorithm" (Section 4.2).
+//!
+//! > *"For practical purposes, one can check `crit(S) ∩ crit(V̄) = ∅` and
+//! > hence `S | V̄` quite efficiently. Simply compare all pairs of subgoals
+//! > from `S` and from `V̄`. If any pair of subgoals unify, then `¬ S | V̄`.
+//! > While false positives are possible, they are rare: this simple algorithm
+//! > would correctly classify all examples in this paper."*
+//!
+//! The check is **sound for security**: if no pair of subgoals unifies there
+//! is certainly no common critical tuple, so the secret is secure. When some
+//! pair unifies the answer is only "possibly insecure" — the exact procedure
+//! of [`crate::security`] must be consulted (the Section 4.2 example
+//! `Q():-R(x,y,z,z,u),R(x,x,x,y,y)` is precisely a case where a subgoal
+//! unifies with a tuple that is not actually critical).
+
+use qvsec_cq::unification::unify_atoms;
+use qvsec_cq::{Atom, ConjunctiveQuery, ViewSet};
+
+/// The verdict of the pairwise-unification check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastVerdict {
+    /// No subgoal of the secret unifies with any subgoal of the views: the
+    /// secret is certainly secure for every distribution.
+    Secure,
+    /// At least one pair of subgoals unifies: the secret may be insecure
+    /// (the exact criterion must be consulted). The witnessing pair of
+    /// subgoals is reported as (secret subgoal index, view index, view
+    /// subgoal index).
+    PossiblyInsecure {
+        /// Index of the secret's subgoal in `secret.atoms`.
+        secret_atom: usize,
+        /// Index of the view within the view set.
+        view: usize,
+        /// Index of the view's subgoal in `views[view].atoms`.
+        view_atom: usize,
+    },
+}
+
+impl FastVerdict {
+    /// Whether the fast check certifies security.
+    pub fn is_certainly_secure(&self) -> bool {
+        matches!(self, FastVerdict::Secure)
+    }
+}
+
+/// Runs the pairwise subgoal-unification check of Section 4.2.
+pub fn fast_check(secret: &ConjunctiveQuery, views: &ViewSet) -> FastVerdict {
+    for (si, s_atom) in secret.atoms.iter().enumerate() {
+        for (vi, view) in views.iter().enumerate() {
+            for (vai, v_atom) in view.atoms.iter().enumerate() {
+                if unify_atoms(s_atom, v_atom) {
+                    return FastVerdict::PossiblyInsecure {
+                        secret_atom: si,
+                        view: vi,
+                        view_atom: vai,
+                    };
+                }
+            }
+        }
+    }
+    FastVerdict::Secure
+}
+
+/// Lists every unifying pair of subgoals (rather than stopping at the first),
+/// useful for audit reports.
+pub fn unifying_pairs<'a>(
+    secret: &'a ConjunctiveQuery,
+    views: &'a ViewSet,
+) -> Vec<(&'a Atom, &'a Atom)> {
+    let mut out = Vec::new();
+    for s_atom in &secret.atoms {
+        for view in views.iter() {
+            for v_atom in &view.atoms {
+                if unify_atoms(s_atom, v_atom) {
+                    out.push((s_atom, v_atom));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::secure_for_all_distributions;
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Domain, Schema};
+
+    fn schema() -> Schema {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        schema.add_relation("R", &["x", "y"]);
+        schema.add_relation("T", &["a", "b", "c", "d", "e"]);
+        schema
+    }
+
+    #[test]
+    fn fast_check_classifies_all_table_1_rows_correctly() {
+        // The paper claims the practical algorithm classifies all its
+        // examples correctly; check Table 1.
+        let schema = schema();
+        let rows = [
+            ("S1(d) :- Employee(n, d, p)", vec!["V1(n, d) :- Employee(n, d, p)"], false),
+            (
+                "S2(n, p) :- Employee(n, d, p)",
+                vec![
+                    "V2(n, d) :- Employee(n, d, p)",
+                    "V2p(d, p) :- Employee(n, d, p)",
+                ],
+                false,
+            ),
+            ("S3(p) :- Employee(n, d, p)", vec!["V3(n) :- Employee(n, d, p)"], false),
+            (
+                "S4(n) :- Employee(n, 'HR', p)",
+                vec!["V4(n) :- Employee(n, 'Mgmt', p)"],
+                true,
+            ),
+        ];
+        for (s_text, v_texts, expected_secure) in rows {
+            let mut domain = Domain::new();
+            let s = parse_query(s_text, &schema, &mut domain).unwrap();
+            let views = ViewSet::from_views(
+                v_texts
+                    .iter()
+                    .map(|t| parse_query(t, &schema, &mut domain).unwrap())
+                    .collect(),
+            );
+            let verdict = fast_check(&s, &views);
+            assert_eq!(
+                verdict.is_certainly_secure(),
+                expected_secure,
+                "fast check misclassifies {s_text}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_check_is_sound_with_respect_to_the_exact_criterion() {
+        // Whenever the fast check says Secure, the exact criterion must agree.
+        let schema = schema();
+        let pairs = [
+            ("S(n) :- Employee(n, 'HR', p)", "V(n) :- Employee(n, 'Mgmt', p)"),
+            ("S(y) :- R(y, 'a')", "V(x) :- R(x, 'b')"),
+            ("S() :- R('a', 'a')", "V() :- R('b', 'b')"),
+            ("S(n, p) :- Employee(n, d, p)", "V(n, d) :- Employee(n, d, p)"),
+            ("S() :- R(x, x)", "V() :- R('a', 'b')"),
+        ];
+        for (s_text, v_text) in pairs {
+            let mut domain = Domain::new();
+            let s = parse_query(s_text, &schema, &mut domain).unwrap();
+            let v = parse_query(v_text, &schema, &mut domain).unwrap();
+            let views = ViewSet::single(v);
+            if fast_check(&s, &views).is_certainly_secure() {
+                let exact = secure_for_all_distributions(&s, &views, &schema, &domain).unwrap();
+                assert!(exact.secure, "fast check unsound on ({s_text}, {v_text})");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_check_has_false_positives_on_the_section_4_2_example() {
+        // S asserts the non-critical tuple of the Section 4.2 example; the
+        // fast check flags it (the subgoal unifies) but the exact criterion
+        // proves security.
+        let schema = schema();
+        let mut domain = Domain::new();
+        let v = parse_query("V() :- T(x, y, z, z, u), T(x, x, x, y, y)", &schema, &mut domain).unwrap();
+        let s = parse_query("S() :- T('a', 'a', 'b', 'b', 'c')", &schema, &mut domain).unwrap();
+        let views = ViewSet::single(v);
+        assert!(!fast_check(&s, &views).is_certainly_secure(), "fast check flags the pair");
+        let exact = secure_for_all_distributions(&s, &views, &schema, &domain).unwrap();
+        assert!(exact.secure, "but the exact criterion proves security");
+    }
+
+    #[test]
+    fn unifying_pairs_lists_all_witnesses() {
+        let schema = schema();
+        let mut domain = Domain::new();
+        let s = parse_query("S(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let v1 = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let v2 = parse_query("V2(d, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let views = ViewSet::from_views(vec![v1, v2]);
+        assert_eq!(unifying_pairs(&s, &views).len(), 2);
+        match fast_check(&s, &views) {
+            FastVerdict::PossiblyInsecure { secret_atom, view, view_atom } => {
+                assert_eq!(secret_atom, 0);
+                assert_eq!(view, 0);
+                assert_eq!(view_atom, 0);
+            }
+            FastVerdict::Secure => panic!("expected a possibly-insecure verdict"),
+        }
+    }
+
+    #[test]
+    fn different_relations_are_trivially_secure() {
+        let schema = schema();
+        let mut domain = Domain::new();
+        let s = parse_query("S(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        assert!(fast_check(&s, &ViewSet::single(v)).is_certainly_secure());
+    }
+}

@@ -1,0 +1,82 @@
+//! # qvsec — query-view security
+//!
+//! A from-scratch implementation of Miklau & Suciu, *A Formal Analysis of
+//! Information Disclosure in Data Exchange* (SIGMOD 2004; JCSS 2007).
+//!
+//! Alice wants to publish views `V1, ..., Vk` over her database while keeping
+//! the answer to a query `S` secret from an adversary who knows the view
+//! definitions, the published answers, the domain and the tuple-probability
+//! dictionary. The paper's standard — *query-view security* — asks that the
+//! views reveal **nothing** about `S`: `P[S(I) = s] = P[S(I) = s | V̄(I) = v̄]`
+//! for every possible pair of answers (Definition 4.1, a database analogue of
+//! Shannon's perfect secrecy).
+//!
+//! The crate provides, mirroring the paper's sections:
+//!
+//! | Module | Paper | Contents |
+//! |---|---|---|
+//! | [`critical`] | §4.2, Def. 4.4, App. A | critical tuples `crit_D(Q)`, the fine-instance decision procedure |
+//! | [`critical_bruteforce`] | Def. 4.4 | literal, exhaustive reference implementation |
+//! | [`security`] | Thm 4.5, Thm 4.8, Prop. 4.9 | the dictionary-independent security criterion `crit(S) ∩ crit(V̄) = ∅` |
+//! | [`fast_check`] | §4.2 | the "practical algorithm": pairwise subgoal unification |
+//! | [`analysis`], [`report`] | §1.1, Table 1 | end-to-end disclosure analysis and Total/Partial/Minute/None classification |
+//! | [`prior`] | §5.1–5.3 | security under prior knowledge: Theorem 5.2, keys (Cor. 5.3), cardinality, protective disclosure (Cor. 5.4), prior views (Cor. 5.5) |
+//! | [`encrypted`] | §5.4 | attribute-wise encrypted views |
+//! | [`leakage`] | §6.1 | the `leak(S, V̄)` measure and the Theorem 6.1 bound |
+//! | [`practical`] | §6.2 | asymptotic (expected-constant-size) model: exponents of `μ_n[Q]`, practical security |
+//! | [`cnf`], [`hardness`] | Thm 4.10, App. A | ∀∃3-CNF formulas and the reduction to tuple non-criticality |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use qvsec_data::{Domain, Schema};
+//! use qvsec_cq::{parse_query, ViewSet};
+//! use qvsec::security::secure_for_all_distributions;
+//!
+//! let mut schema = Schema::new();
+//! schema.add_relation("Employee", &["name", "department", "phone"]);
+//! let mut domain = Domain::new();
+//!
+//! // Table 1, row (4): management names disclose nothing about HR names.
+//! let v = parse_query("V4(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap();
+//! let s = parse_query("S4(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+//! let verdict = secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &domain).unwrap();
+//! assert!(verdict.secure);
+//!
+//! // Table 1, row (1): the department view totally discloses the department query.
+//! let mut domain = Domain::new();
+//! let v1 = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+//! let s1 = parse_query("S1(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+//! let verdict = secure_for_all_distributions(&s1, &ViewSet::single(v1), &schema, &domain).unwrap();
+//! assert!(!verdict.secure);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod answerability;
+pub mod cnf;
+pub mod critical;
+pub mod critical_bruteforce;
+pub mod encrypted;
+pub mod error;
+pub mod fast_check;
+pub mod hardness;
+pub mod leakage;
+pub mod practical;
+pub mod prior;
+pub mod report;
+pub mod security;
+
+pub use analysis::{DisclosureAnalysis, SecurityAnalyzer};
+pub use answerability::{answerable_as_projection, answerable_from_views, determined_by};
+pub use critical::{critical_tuples, is_critical};
+pub use error::QvsError;
+pub use fast_check::{fast_check, FastVerdict};
+pub use leakage::{leakage_exact, LeakageReport};
+pub use report::DisclosureClass;
+pub use security::{secure_for_all_distributions, SecurityVerdict};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QvsError>;

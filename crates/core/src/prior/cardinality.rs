@@ -1,0 +1,171 @@
+//! Cardinality constraints as prior knowledge (Section 5.2, Application 3).
+//!
+//! If the adversary knows anything non-trivial about the database size —
+//! "there are exactly n tuples", "at most n", "at least n" — then **no**
+//! query is perfectly secure with respect to any view (unless one of them is
+//! trivially true or false). The reason, via Theorem 5.2, is that a
+//! cardinality predicate cannot be split as `K₁ ∧ K₂` over two disjoint,
+//! non-empty sets of tuples (a counting argument), so COND-K can never be
+//! satisfied.
+//!
+//! This module provides the constraint type, the paper's impossibility
+//! statement as an executable predicate, and (in the tests) an exhaustive
+//! demonstration that even a pair that is secure without prior knowledge
+//! becomes insecure once a cardinality bound is known.
+
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_data::Instance;
+use serde::{Deserialize, Serialize};
+
+/// A constraint on the number of tuples in the instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CardinalityConstraint {
+    /// The instance has exactly this many tuples.
+    Exactly(usize),
+    /// The instance has at most this many tuples.
+    AtMost(usize),
+    /// The instance has at least this many tuples.
+    AtLeast(usize),
+}
+
+impl CardinalityConstraint {
+    /// Evaluates the constraint on an instance.
+    pub fn holds(&self, instance: &Instance) -> bool {
+        match self {
+            CardinalityConstraint::Exactly(n) => instance.len() == *n,
+            CardinalityConstraint::AtMost(n) => instance.len() <= *n,
+            CardinalityConstraint::AtLeast(n) => instance.len() >= *n,
+        }
+    }
+
+    /// Whether the constraint is trivial over a tuple space of the given
+    /// size (satisfied by every instance, hence conveying no information).
+    pub fn is_trivial_for_space(&self, space_size: usize) -> bool {
+        match self {
+            CardinalityConstraint::Exactly(_) => space_size == 0,
+            CardinalityConstraint::AtMost(n) => *n >= space_size,
+            CardinalityConstraint::AtLeast(n) => *n == 0,
+        }
+    }
+}
+
+/// Whether a query is *trivial* for the purposes of Application 3: a boolean
+/// query with no subgoals is identically true; queries whose comparisons are
+/// self-contradictory on syntactic grounds (`x != x`, `x < x`) are
+/// identically false. (These are the only exceptions the paper carves out:
+/// "no query is perfectly secret with respect to any view in this case,
+/// except if one of them is trivially true or false.")
+fn is_trivial(query: &ConjunctiveQuery) -> bool {
+    if query.atoms.is_empty() {
+        return true;
+    }
+    query.comparisons.iter().any(|c| {
+        c.lhs == c.rhs
+            && matches!(
+                c.op,
+                qvsec_cq::CmpOp::Ne | qvsec_cq::CmpOp::Lt
+            )
+    })
+}
+
+/// The paper's Application 3 statement as a predicate: with any non-trivial
+/// cardinality constraint as prior knowledge, security fails for every
+/// non-trivial secret/view pair. Returns `true` when security is destroyed
+/// (the common case), `false` when one of the queries is trivial and the
+/// statement does not apply.
+pub fn cardinality_destroys_security(secret: &ConjunctiveQuery, views: &ViewSet) -> bool {
+    !is_trivial(secret) && views.iter().any(|v| !is_trivial(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::knowledge::{
+        secure_given_knowledge, secure_given_knowledge_all_distributions_boolean, Knowledge,
+    };
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Dictionary, Domain, Schema, TupleSpace};
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        (schema, Domain::with_constants(["a", "b"]))
+    }
+
+    #[test]
+    fn constraint_semantics() {
+        let (schema, domain) = setup();
+        let r = schema.relation_by_name("R").unwrap();
+        let a = domain.get("a").unwrap();
+        let one = Instance::from_tuples([qvsec_data::Tuple::new(r, vec![a, a])]);
+        assert!(CardinalityConstraint::Exactly(1).holds(&one));
+        assert!(!CardinalityConstraint::Exactly(2).holds(&one));
+        assert!(CardinalityConstraint::AtMost(1).holds(&one));
+        assert!(!CardinalityConstraint::AtMost(0).holds(&one));
+        assert!(CardinalityConstraint::AtLeast(1).holds(&one));
+        assert!(!CardinalityConstraint::AtLeast(2).holds(&one));
+        assert!(CardinalityConstraint::AtMost(10).is_trivial_for_space(4));
+        assert!(!CardinalityConstraint::AtMost(2).is_trivial_for_space(4));
+        assert!(CardinalityConstraint::AtLeast(0).is_trivial_for_space(4));
+    }
+
+    #[test]
+    fn cardinality_knowledge_destroys_an_otherwise_secure_pair() {
+        // S() :- R('a','a') and V() :- R('b','b') have disjoint critical
+        // tuples, hence are secure with no prior knowledge. Knowing the exact
+        // database size couples them: learning that V is true (one of the at
+        // most one tuples is R(b,b)) lowers the probability that R(a,a) is
+        // also present.
+        let (schema, mut domain) = setup();
+        let s = parse_query("S() :- R('a', 'a')", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R('b', 'b')", &schema, &mut domain).unwrap();
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+
+        // secure without knowledge
+        assert!(secure_given_knowledge_all_distributions_boolean(
+            &s,
+            &v,
+            &Knowledge::True,
+            &space
+        )
+        .unwrap());
+
+        // insecure with a cardinality constraint (Application 3)
+        let card = Knowledge::Cardinality(CardinalityConstraint::AtMost(1));
+        assert!(!secure_given_knowledge_all_distributions_boolean(&s, &v, &card, &space).unwrap());
+
+        // the exhaustive Definition 5.1 check over the uniform dictionary agrees
+        let dict = Dictionary::half(space);
+        let report = secure_given_knowledge(
+            &s,
+            &ViewSet::single(v.clone()),
+            &Knowledge::Cardinality(CardinalityConstraint::AtMost(1)),
+            &dict,
+        )
+        .unwrap();
+        assert!(!report.independent);
+
+        // and the paper's blanket statement applies to this pair
+        assert!(cardinality_destroys_security(&s, &ViewSet::single(v)));
+    }
+
+    #[test]
+    fn exact_cardinality_also_destroys_security() {
+        let (schema, mut domain) = setup();
+        let s = parse_query("S() :- R('a', 'a')", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R('b', 'b')", &schema, &mut domain).unwrap();
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let card = Knowledge::Cardinality(CardinalityConstraint::Exactly(2));
+        assert!(!secure_given_knowledge_all_distributions_boolean(&s, &v, &card, &space).unwrap());
+    }
+
+    #[test]
+    fn trivial_queries_are_exempt() {
+        let (schema, mut domain) = setup();
+        let s = parse_query("S() :- R(x, y), x != x", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R('b', 'b')", &schema, &mut domain).unwrap();
+        assert!(!cardinality_destroys_security(&s, &ViewSet::single(v.clone())));
+        let nontrivial = parse_query("S2() :- R('a', 'a')", &schema, &mut domain).unwrap();
+        assert!(cardinality_destroys_security(&nontrivial, &ViewSet::single(v)));
+    }
+}

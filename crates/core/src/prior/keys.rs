@@ -1,0 +1,204 @@
+//! Key constraints as prior knowledge (Section 5.2, Application 2 and
+//! Corollary 5.3).
+//!
+//! Key constraints introduce strong negative correlations between tuples
+//! that share a key value, which the tuple-independent model cannot express
+//! directly; the paper handles them as prior knowledge `K`. Corollary 5.3
+//! characterises security: `K : S |_P V̄` for all `P` iff no critical tuple
+//! of `S` *under `K`* is `≡_K`-equivalent to a critical tuple of `V̄` under
+//! `K`, where `t ≡_K t'` means "same relation and same key value" and
+//! `crit_D(Q, K)` only ranges over instances satisfying the constraints.
+//!
+//! Criticality under key constraints is computed here by exhaustive search
+//! over an explicit tuple space restricted to key-satisfying instances (the
+//! problem remains Πᵖ₂-complete, and the instances violating `K` must be
+//! excluded, so the fine-instance shortcut does not directly apply).
+
+use crate::Result;
+use qvsec_cq::eval::evaluate;
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_data::{KeyConstraint, Schema, Tuple, TupleSpace};
+use std::collections::BTreeSet;
+
+/// Whether two tuples are `≡_K`-equivalent: same relation and equal key
+/// projections for every key constraint declared on that relation. Tuples of
+/// a relation with no declared key are equivalent only to themselves.
+pub fn equivalent_under_keys(t1: &Tuple, t2: &Tuple, keys: &[KeyConstraint]) -> bool {
+    if t1.relation != t2.relation {
+        return false;
+    }
+    let relevant: Vec<&KeyConstraint> = keys.iter().filter(|k| k.relation == t1.relation).collect();
+    if relevant.is_empty() {
+        return t1 == t2;
+    }
+    relevant
+        .iter()
+        .all(|k| t1.project(&k.positions) == t2.project(&k.positions))
+}
+
+/// `crit_D(Q, K)`: tuples `t` for which some instance `I` **satisfying the
+/// key constraints** has `Q(I) ≠ Q(I − {t})`. Computed by brute force over
+/// the instances of `space`.
+pub fn critical_tuples_under_keys(
+    query: &ConjunctiveQuery,
+    schema: &Schema,
+    space: &TupleSpace,
+) -> Result<BTreeSet<Tuple>> {
+    let mut out = BTreeSet::new();
+    for (mask, instance) in space.instances()? {
+        if !instance.satisfies_keys(schema) {
+            continue;
+        }
+        let with = evaluate(query, &instance);
+        for t in instance.iter() {
+            if out.contains(t) {
+                continue;
+            }
+            if evaluate(query, &instance.without(t)) != with {
+                out.insert(t.clone());
+            }
+        }
+        let _ = mask;
+    }
+    Ok(out)
+}
+
+/// The outcome of the Corollary 5.3 check.
+#[derive(Debug, Clone)]
+pub struct KeyVerdict {
+    /// Whether `K : S |_P V̄` holds for every distribution.
+    pub secure: bool,
+    /// Pairs `(t, t')` with `t ∈ crit(S, K)`, `t' ∈ crit(V̄, K)` and
+    /// `t ≡_K t'` — the witnesses of insecurity.
+    pub violating_pairs: Vec<(Tuple, Tuple)>,
+}
+
+/// Decides `K : S |_P V̄` for all `P` under the schema's key constraints,
+/// by Corollary 5.3, over an explicit tuple space.
+pub fn secure_under_keys(
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    schema: &Schema,
+    space: &TupleSpace,
+) -> Result<KeyVerdict> {
+    let crit_s = critical_tuples_under_keys(secret, schema, space)?;
+    let mut crit_v: BTreeSet<Tuple> = BTreeSet::new();
+    for v in views.iter() {
+        crit_v.extend(critical_tuples_under_keys(v, schema, space)?);
+    }
+    let mut violating = Vec::new();
+    for t in &crit_s {
+        for t2 in &crit_v {
+            if equivalent_under_keys(t, t2, schema.keys()) {
+                violating.push((t.clone(), t2.clone()));
+            }
+        }
+    }
+    Ok(KeyVerdict {
+        secure: violating.is_empty(),
+        violating_pairs: violating,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::secure_for_all_distributions;
+    use qvsec_cq::parse_query;
+    use qvsec_data::Domain;
+    use qvsec_prob::lineage::support_space;
+
+    /// Schema with R(key, value) where the first attribute is a key, and the
+    /// three-constant domain of the paper's example (a, b, c distinct).
+    fn keyed_setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        let r = schema.add_relation("R", &["k", "v"]);
+        schema.add_key(r, &[0]).unwrap();
+        (schema, Domain::with_constants(["a", "b", "c"]))
+    }
+
+    #[test]
+    fn equivalence_classes_follow_keys() {
+        let (schema, domain) = keyed_setup();
+        let r = schema.relation_by_name("R").unwrap();
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let c = domain.get("c").unwrap();
+        let t_ab = Tuple::new(r, vec![a, b]);
+        let t_ac = Tuple::new(r, vec![a, c]);
+        let t_bb = Tuple::new(r, vec![b, b]);
+        assert!(equivalent_under_keys(&t_ab, &t_ac, schema.keys()), "same key a");
+        assert!(!equivalent_under_keys(&t_ab, &t_bb, schema.keys()), "different keys");
+        assert!(equivalent_under_keys(&t_ab, &t_ab, schema.keys()));
+        // without any key constraint, equivalence is identity
+        assert!(!equivalent_under_keys(&t_ab, &t_ac, &[]));
+        assert!(equivalent_under_keys(&t_ab, &t_ab, &[]));
+    }
+
+    #[test]
+    fn paper_example_key_makes_the_pair_insecure() {
+        // S() :- R('a','b') and V() :- R('a','c'): secure without constraints
+        // (disjoint critical tuples), insecure once the first attribute is a
+        // key, because crit(S,K) = {R(a,b)} ≡_K {R(a,c)} = crit(V,K).
+        let (schema, mut domain) = keyed_setup();
+        let s = parse_query("S() :- R('a', 'b')", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R('a', 'c')", &schema, &mut domain).unwrap();
+
+        // plain security holds (Theorem 4.5, no knowledge)
+        assert!(
+            secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+                .unwrap()
+                .secure
+        );
+
+        // build a small space: the supports of S and V plus a disjoint tuple
+        let space = support_space(&[&s, &v], &domain, 100).unwrap();
+        let crit_s = critical_tuples_under_keys(&s, &schema, &space).unwrap();
+        let crit_v = critical_tuples_under_keys(&v, &schema, &space).unwrap();
+        assert_eq!(crit_s.len(), 1);
+        assert_eq!(crit_v.len(), 1);
+
+        let verdict = secure_under_keys(&s, &ViewSet::single(v), &schema, &space).unwrap();
+        assert!(!verdict.secure);
+        assert_eq!(verdict.violating_pairs.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_remain_secure_under_key_constraints() {
+        // S() :- R('a','b') vs V() :- R('c','b'): different key values, so the
+        // key constraint does not couple them.
+        let (schema, mut domain) = keyed_setup();
+        let s = parse_query("S() :- R('a', 'b')", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R('c', 'b')", &schema, &mut domain).unwrap();
+        let space = support_space(&[&s, &v], &domain, 100).unwrap();
+        let verdict = secure_under_keys(&s, &ViewSet::single(v), &schema, &space).unwrap();
+        assert!(verdict.secure);
+        assert!(verdict.violating_pairs.is_empty());
+    }
+
+    #[test]
+    fn criticality_under_keys_is_a_subset_of_plain_criticality() {
+        let (schema, mut domain) = keyed_setup();
+        let q = parse_query("Q(v) :- R(k, v)", &schema, &mut domain).unwrap();
+        // restrict to a 2-constant sub-space to keep enumeration tiny
+        let small_domain = Domain::with_constants(["a", "b"]);
+        let space = TupleSpace::full(&schema, &small_domain).unwrap();
+        let under_keys = critical_tuples_under_keys(&q, &schema, &space).unwrap();
+        let plain = crate::critical_bruteforce::critical_tuples_bruteforce(&q, &space).unwrap();
+        assert!(under_keys.is_subset(&plain));
+        assert!(!under_keys.is_empty());
+    }
+
+    #[test]
+    fn without_declared_keys_the_check_reduces_to_theorem_4_5() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S() :- R('a', x)", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let space = support_space(&[&s, &v], &domain, 100).unwrap();
+        let verdict = secure_under_keys(&s, &ViewSet::single(v.clone()), &schema, &space).unwrap();
+        let plain = secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &domain).unwrap();
+        assert_eq!(verdict.secure, plain.secure);
+    }
+}

@@ -1,0 +1,299 @@
+//! Representing prior knowledge and deciding security given it.
+//!
+//! The paper allows `K` to be *any* boolean statement about the instance
+//! (Section 5): a boolean query, key or foreign-key constraints, knowledge of
+//! individual tuples, cardinality information, or conjunctions of these.
+//! [`Knowledge`] is that union; its [`Knowledge::holds`] predicate evaluates
+//! `K(I)`.
+//!
+//! Two decision procedures are provided:
+//!
+//! * [`secure_given_knowledge`] — Definition 5.1 checked literally over a
+//!   dictionary (exact, exhaustive), and
+//! * [`secure_given_knowledge_all_distributions_boolean`] — the "for every
+//!   distribution" question for boolean `S`, `V`, decided through the
+//!   polynomial identity of Eq. (8), which the proof of Theorem 5.2 shows is
+//!   equivalent to COND-K.
+
+use crate::prior::cardinality::CardinalityConstraint;
+use crate::{QvsError, Result};
+use qvsec_cq::{evaluate_boolean, ConjunctiveQuery, ViewSet};
+use qvsec_data::{Dictionary, Instance, KeyConstraint, Tuple, TupleSpace};
+use qvsec_prob::independence::{check_independence_given, IndependenceReport};
+use qvsec_prob::poly::from_satisfying;
+
+/// A piece of prior knowledge `K`: a boolean predicate on instances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Knowledge {
+    /// No knowledge (`K ≡ true`).
+    True,
+    /// A boolean conjunctive query that is known to be true on the instance.
+    BooleanQuery(ConjunctiveQuery),
+    /// Key constraints that the instance is known to satisfy.
+    Keys(Vec<KeyConstraint>),
+    /// A cardinality constraint on the instance size (Application 3).
+    Cardinality(CardinalityConstraint),
+    /// Known membership status of individual tuples: `(t, true)` means `t`
+    /// is known to be in the instance, `(t, false)` that it is not
+    /// (Corollary 5.4 protective disclosures).
+    TupleStatus(Vec<(Tuple, bool)>),
+    /// A conjunction of knowledge items.
+    And(Vec<Knowledge>),
+}
+
+impl Knowledge {
+    /// Evaluates `K(I)`.
+    pub fn holds(&self, instance: &Instance) -> bool {
+        match self {
+            Knowledge::True => true,
+            Knowledge::BooleanQuery(q) => evaluate_boolean(q, instance),
+            Knowledge::Keys(keys) => keys.iter().all(|k| instance.satisfies_key(k)),
+            Knowledge::Cardinality(c) => c.holds(instance),
+            Knowledge::TupleStatus(statuses) => statuses
+                .iter()
+                .all(|(t, present)| instance.contains(t) == *present),
+            Knowledge::And(items) => items.iter().all(|k| k.holds(instance)),
+        }
+    }
+
+    /// Conjoins two pieces of knowledge.
+    pub fn and(self, other: Knowledge) -> Knowledge {
+        match (self, other) {
+            (Knowledge::True, k) | (k, Knowledge::True) => k,
+            (Knowledge::And(mut a), Knowledge::And(b)) => {
+                a.extend(b);
+                Knowledge::And(a)
+            }
+            (Knowledge::And(mut a), k) => {
+                a.push(k);
+                Knowledge::And(a)
+            }
+            (k, Knowledge::And(mut b)) => {
+                b.insert(0, k);
+                Knowledge::And(b)
+            }
+            (a, b) => Knowledge::And(vec![a, b]),
+        }
+    }
+}
+
+/// Definition 5.1 checked exactly over a dictionary: is `S` independent of
+/// `V̄` *given* `K`?
+pub fn secure_given_knowledge(
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    knowledge: &Knowledge,
+    dict: &Dictionary,
+) -> Result<IndependenceReport> {
+    Ok(check_independence_given(secret, views, dict, |i| {
+        knowledge.holds(i)
+    })?)
+}
+
+/// Decides `K : S |_P V` for **every** distribution `P`, for boolean `S` and
+/// `V`, through the polynomial identity of Eq. (8):
+///
+/// ```text
+/// f_{S∧V∧K}(x̄) · f_K(x̄)  =  f_{S∧K}(x̄) · f_{V∧K}(x̄)
+/// ```
+///
+/// The polynomials are built over `space`, which must contain the supports of
+/// `S`, `V` and `K` and be small enough to enumerate.
+pub fn secure_given_knowledge_all_distributions_boolean(
+    secret: &ConjunctiveQuery,
+    view: &ConjunctiveQuery,
+    knowledge: &Knowledge,
+    space: &TupleSpace,
+) -> Result<bool> {
+    if !secret.is_boolean() {
+        return Err(QvsError::NotBoolean(secret.name.clone()));
+    }
+    if !view.is_boolean() {
+        return Err(QvsError::NotBoolean(view.name.clone()));
+    }
+    let n = space.len();
+    let mut sat_k = vec![false; 1usize << n];
+    let mut sat_sk = vec![false; 1usize << n];
+    let mut sat_vk = vec![false; 1usize << n];
+    let mut sat_svk = vec![false; 1usize << n];
+    for (mask, instance) in space.instances()? {
+        let k = knowledge.holds(&instance);
+        if !k {
+            continue;
+        }
+        let s = evaluate_boolean(secret, &instance);
+        let v = evaluate_boolean(view, &instance);
+        let m = mask as usize;
+        sat_k[m] = true;
+        sat_sk[m] = s;
+        sat_vk[m] = v;
+        sat_svk[m] = s && v;
+    }
+    let f_k = from_satisfying(n, &sat_k);
+    let f_sk = from_satisfying(n, &sat_sk);
+    let f_vk = from_satisfying(n, &sat_vk);
+    let f_svk = from_satisfying(n, &sat_svk);
+    Ok(&f_svk * &f_k == &f_sk * &f_vk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Domain, Ratio, Schema};
+    use qvsec_prob::lineage::support_space;
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        (schema, Domain::with_constants(["a", "b"]))
+    }
+
+    fn full_dict(schema: &Schema, domain: &Domain) -> Dictionary {
+        let space = TupleSpace::full(schema, domain).unwrap();
+        Dictionary::half(space)
+    }
+
+    #[test]
+    fn knowledge_predicates_evaluate() {
+        let (mut schema, domain) = setup();
+        let r = schema.relation_by_name("R").unwrap();
+        schema.add_key(r, &[0]).unwrap();
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let t_ab = Tuple::new(r, vec![a, b]);
+        let t_aa = Tuple::new(r, vec![a, a]);
+        let inst = Instance::from_tuples([t_ab.clone()]);
+
+        assert!(Knowledge::True.holds(&inst));
+        assert!(Knowledge::Keys(schema.keys().to_vec()).holds(&inst));
+        assert!(!Knowledge::Keys(schema.keys().to_vec())
+            .holds(&Instance::from_tuples([t_ab.clone(), t_aa.clone()])));
+        assert!(Knowledge::TupleStatus(vec![(t_ab.clone(), true), (t_aa.clone(), false)]).holds(&inst));
+        assert!(!Knowledge::TupleStatus(vec![(t_aa.clone(), true)]).holds(&inst));
+        assert!(Knowledge::Cardinality(CardinalityConstraint::Exactly(1)).holds(&inst));
+        let conj = Knowledge::True
+            .and(Knowledge::Cardinality(CardinalityConstraint::AtMost(2)))
+            .and(Knowledge::TupleStatus(vec![(t_ab, true)]));
+        assert!(conj.holds(&inst));
+    }
+
+    #[test]
+    fn boolean_query_knowledge() {
+        let (schema, mut domain) = setup();
+        let k = parse_query("K() :- R('a', x)", &schema, &mut domain).unwrap();
+        let r = schema.relation_by_name("R").unwrap();
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let know = Knowledge::BooleanQuery(k);
+        assert!(know.holds(&Instance::from_tuples([Tuple::new(r, vec![a, b])])));
+        assert!(!know.holds(&Instance::from_tuples([Tuple::new(r, vec![b, b])])));
+    }
+
+    #[test]
+    fn application_1_no_knowledge_recovers_theorem_4_5() {
+        // With K = true the polynomial criterion coincides with plain
+        // query-view security.
+        let (schema, mut domain) = setup();
+        let pairs = [
+            ("S() :- R('a', x)", "V() :- R(x, 'b')", false),
+            ("S() :- R('a', 'a')", "V() :- R('b', 'b')", true),
+        ];
+        for (s_text, v_text, expected) in pairs {
+            let s = parse_query(s_text, &schema, &mut domain).unwrap();
+            let v = parse_query(v_text, &schema, &mut domain).unwrap();
+            let space = support_space(&[&s, &v], &domain, 1 << 12).unwrap();
+            let secure = secure_given_knowledge_all_distributions_boolean(
+                &s,
+                &v,
+                &Knowledge::True,
+                &space,
+            )
+            .unwrap();
+            assert_eq!(secure, expected, "({s_text}, {v_text})");
+        }
+    }
+
+    #[test]
+    fn application_2_keys_can_destroy_security() {
+        // S() :- R('a','b') and V() :- R('a','c') are secure without
+        // knowledge, but if the first attribute is a key then V true implies
+        // S false (total negative disclosure).
+        let (mut schema, mut domain) = setup();
+        domain.add("c");
+        let r = schema.relation_by_name("R").unwrap();
+        schema.add_key(r, &[0]).unwrap();
+        let s = parse_query("S() :- R('a', 'b')", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R('a', 'c')", &schema, &mut domain).unwrap();
+        let space = support_space(&[&s, &v], &domain, 1 << 12).unwrap();
+        // without knowledge: secure
+        assert!(secure_given_knowledge_all_distributions_boolean(
+            &s,
+            &v,
+            &Knowledge::True,
+            &space
+        )
+        .unwrap());
+        // with the key constraint: not secure
+        let keys = Knowledge::Keys(schema.keys().to_vec());
+        assert!(!secure_given_knowledge_all_distributions_boolean(&s, &v, &keys, &space).unwrap());
+        // the dictionary-based Definition 5.1 check agrees
+        let dict = full_dict(&schema, &domain);
+        let report =
+            secure_given_knowledge(&s, &ViewSet::single(v), &keys, &dict).unwrap();
+        assert!(!report.independent);
+    }
+
+    #[test]
+    fn corollary_5_4_shape_knowledge_of_the_common_tuple_protects() {
+        let (schema, mut domain) = setup();
+        let s = parse_query("S() :- R('a', x)", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let r = schema.relation_by_name("R").unwrap();
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let t_ab = Tuple::new(r, vec![a, b]);
+        let space = support_space(&[&s, &v], &domain, 1 << 12).unwrap();
+        // insecure without knowledge
+        assert!(!secure_given_knowledge_all_distributions_boolean(
+            &s,
+            &v,
+            &Knowledge::True,
+            &space
+        )
+        .unwrap());
+        // secure once the status of R(a,b) is known — either way
+        for status in [true, false] {
+            let k = Knowledge::TupleStatus(vec![(t_ab.clone(), status)]);
+            assert!(
+                secure_given_knowledge_all_distributions_boolean(&s, &v, &k, &space).unwrap(),
+                "status {status} must protect"
+            );
+        }
+    }
+
+    #[test]
+    fn non_boolean_queries_are_rejected_by_the_polynomial_criterion() {
+        let (schema, mut domain) = setup();
+        let s = parse_query("S(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R('a', 'b')", &schema, &mut domain).unwrap();
+        let space = support_space(&[&s, &v], &domain, 1 << 12).unwrap();
+        assert!(matches!(
+            secure_given_knowledge_all_distributions_boolean(&s, &v, &Knowledge::True, &space),
+            Err(QvsError::NotBoolean(_))
+        ));
+    }
+
+    #[test]
+    fn dictionary_check_honours_non_uniform_distributions() {
+        let (schema, mut domain) = setup();
+        let s = parse_query("S() :- R('a', 'a')", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R('b', 'b')", &schema, &mut domain).unwrap();
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let dict =
+            Dictionary::uniform(space, Ratio::new(1, 3)).unwrap();
+        let report =
+            secure_given_knowledge(&s, &ViewSet::single(v), &Knowledge::True, &dict).unwrap();
+        assert!(report.independent);
+    }
+}

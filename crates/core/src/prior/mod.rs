@@ -1,0 +1,32 @@
+//! Security in the presence of prior knowledge (Section 5).
+//!
+//! The adversary may know more than the dictionary: integrity constraints,
+//! facts about specific tuples, previously published views, or bounds on the
+//! database size. Definition 5.1 conditions both sides of the security
+//! equation on that knowledge `K`, and Theorem 5.2 characterises when
+//! security holds for every distribution (COND-K — equivalently, the
+//! polynomial identity `f_{S∧V∧K}·f_K = f_{S∧K}·f_{V∧K}` of Eq. (8)).
+//!
+//! Sub-modules map to the paper's applications:
+//!
+//! | Module | Application (§5.2) |
+//! |---|---|
+//! | [`knowledge`] | the `K` representation, Definition 5.1 checks, the Eq. (8) polynomial criterion |
+//! | [`keys`] | Application 2 — key constraints and Corollary 5.3 |
+//! | [`cardinality`] | Application 3 — cardinality constraints destroy security |
+//! | [`protect`] | Application 4 / Corollary 5.4 — protecting secrets by disclosing critical tuples |
+//! | [`views`] | Application 5 / Corollary 5.5 — relative security w.r.t. previously published views |
+
+pub mod cardinality;
+pub mod keys;
+pub mod knowledge;
+pub mod protect;
+pub mod views;
+
+pub use cardinality::{cardinality_destroys_security, CardinalityConstraint};
+pub use keys::{critical_tuples_under_keys, equivalent_under_keys, secure_under_keys, KeyVerdict};
+pub use knowledge::{
+    secure_given_knowledge, secure_given_knowledge_all_distributions_boolean, Knowledge,
+};
+pub use protect::{protective_knowledge, protective_knowledge_absent};
+pub use views::{secure_given_prior_view_boolean, secure_given_prior_views_dict};

@@ -1,0 +1,168 @@
+//! Protecting secrets by disclosing the status of common critical tuples
+//! (Section 5.2, Application 4 / Corollary 5.4).
+//!
+//! Counter-intuitively, prior knowledge can *create* security: if the data
+//! owner publicly announces, for every common critical tuple of `S` and
+//! `V̄`, whether it is in the database or not, then `S` becomes perfectly
+//! secure with respect to `V̄` given that announcement — the announced tuples
+//! are the only channel through which the views could say anything about the
+//! secret.
+
+use crate::critical::{common_critical_tuples, DEFAULT_CANDIDATE_CAP};
+use crate::prior::knowledge::Knowledge;
+use crate::Result;
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_data::{Domain, Instance, Tuple};
+
+/// Builds the Corollary 5.4 protective knowledge for `S` and `V̄`: the
+/// membership status of every common critical tuple, with the status of each
+/// tuple determined by `status_of` (typically the true contents of the
+/// database being protected).
+pub fn protective_knowledge<F>(
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    domain: &Domain,
+    mut status_of: F,
+) -> Result<Knowledge>
+where
+    F: FnMut(&Tuple) -> bool,
+{
+    let common = common_critical_tuples(secret, views, domain, DEFAULT_CANDIDATE_CAP)?;
+    if common.is_empty() {
+        return Ok(Knowledge::True);
+    }
+    Ok(Knowledge::TupleStatus(
+        common.into_iter().map(|t| (status_of(&t), t)).map(|(s, t)| (t, s)).collect(),
+    ))
+}
+
+/// Protective knowledge announcing that every common critical tuple is
+/// *absent* (the paper's first illustration: "suppose we disclose that the
+/// pair (a, b) is not in the database").
+pub fn protective_knowledge_absent(
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    domain: &Domain,
+) -> Result<Knowledge> {
+    protective_knowledge(secret, views, domain, |_| false)
+}
+
+/// Protective knowledge reflecting the actual contents of a database
+/// instance.
+pub fn protective_knowledge_for_instance(
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    domain: &Domain,
+    instance: &Instance,
+) -> Result<Knowledge> {
+    protective_knowledge(secret, views, domain, |t| instance.contains(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::knowledge::{
+        secure_given_knowledge, secure_given_knowledge_all_distributions_boolean,
+    };
+    use crate::security::secure_for_all_distributions;
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Dictionary, Schema, TupleSpace};
+    use qvsec_prob::lineage::support_space;
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        (schema, Domain::with_constants(["a", "b"]))
+    }
+
+    #[test]
+    fn paper_illustration_r_a_dash_vs_r_dash_b() {
+        // S() :- R('a', _) and V() :- R(_, 'b') share the critical tuple
+        // R(a,b); disclosing its status (either way) restores security.
+        let (schema, mut domain) = setup();
+        let s = parse_query("S() :- R('a', x)", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let views = ViewSet::single(v.clone());
+
+        assert!(!secure_for_all_distributions(&s, &views, &schema, &domain)
+            .unwrap()
+            .secure);
+
+        let k_absent = protective_knowledge_absent(&s, &views, &domain).unwrap();
+        match &k_absent {
+            Knowledge::TupleStatus(statuses) => {
+                assert_eq!(statuses.len(), 1);
+                assert!(!statuses[0].1);
+            }
+            other => panic!("expected tuple-status knowledge, got {other:?}"),
+        }
+
+        let space = support_space(&[&s, &v], &domain, 100).unwrap();
+        assert!(
+            secure_given_knowledge_all_distributions_boolean(&s, &v, &k_absent, &space).unwrap()
+        );
+
+        // disclosing that the tuple IS present also protects (Corollary 5.4
+        // covers both `K ⊨ t ∈ I` and `K ⊨ t ∉ I`)
+        let k_present = protective_knowledge(&s, &views, &domain, |_| true).unwrap();
+        assert!(
+            secure_given_knowledge_all_distributions_boolean(&s, &v, &k_present, &space).unwrap()
+        );
+
+        // and the exhaustive Definition 5.1 check agrees
+        let dict = Dictionary::half(TupleSpace::full(&schema, &domain).unwrap());
+        let report = secure_given_knowledge(&s, &views, &k_absent, &dict).unwrap();
+        assert!(report.independent);
+    }
+
+    #[test]
+    fn already_secure_pairs_need_no_protective_knowledge() {
+        let (schema, mut domain) = setup();
+        let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let k = protective_knowledge_absent(&s, &ViewSet::single(v), &domain).unwrap();
+        assert_eq!(k, Knowledge::True);
+    }
+
+    #[test]
+    fn instance_based_protective_knowledge_uses_actual_statuses() {
+        let (schema, mut domain) = setup();
+        let s = parse_query("S() :- R('a', x)", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let r = schema.relation_by_name("R").unwrap();
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let database = Instance::from_tuples([Tuple::new(r, vec![a, b])]);
+        let k = protective_knowledge_for_instance(&s, &ViewSet::single(v), &domain, &database)
+            .unwrap();
+        match k {
+            Knowledge::TupleStatus(statuses) => {
+                assert_eq!(statuses.len(), 1);
+                assert!(statuses[0].1, "the tuple is present in the database");
+                assert!(k_holds(&statuses, &database));
+            }
+            other => panic!("expected tuple-status knowledge, got {other:?}"),
+        }
+    }
+
+    fn k_holds(statuses: &[(Tuple, bool)], instance: &Instance) -> bool {
+        Knowledge::TupleStatus(statuses.to_vec()).holds(instance)
+    }
+
+    #[test]
+    fn multi_view_protection_covers_all_common_tuples() {
+        let (schema, mut domain) = setup();
+        let s = parse_query("S() :- R('a', x)", &schema, &mut domain).unwrap();
+        let v1 = parse_query("V1() :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let v2 = parse_query("V2() :- R(x, 'a')", &schema, &mut domain).unwrap();
+        let views = ViewSet::from_views(vec![v1, v2]);
+        let k = protective_knowledge_absent(&s, &views, &domain).unwrap();
+        match k {
+            Knowledge::TupleStatus(statuses) => {
+                // common critical tuples: R(a,b) with V1 and R(a,a) with V2
+                assert_eq!(statuses.len(), 2);
+            }
+            other => panic!("expected tuple-status knowledge, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Relative security: publishing a new view after an old one
+//! (Section 5.2, Application 5 / Corollary 5.5).
+//!
+//! Alice has already published a view `U` — possibly leaking something about
+//! the secret `S`, a risk she accepted. Before publishing an additional view
+//! `V` she asks: does `V` disclose anything *more* about `S` than `U` already
+//! did? Formally this is security with prior knowledge `K` = "the answer to
+//! `U` is what it is", i.e. `U : S | V` in the paper's notation.
+//!
+//! Two procedures are provided:
+//!
+//! * [`secure_given_prior_view_boolean`] — decides `U : S |_P V` for **all**
+//!   distributions for boolean `U`, `S`, `V` through the Eq. (8) polynomial
+//!   identity (the same criterion Corollary 5.5 characterises syntactically);
+//! * [`secure_given_prior_views_dict`] — the exhaustive Definition 5.1 check
+//!   for a concrete dictionary and arbitrary (possibly non-boolean) prior
+//!   views: for every possible answer of the prior views, `S` must remain
+//!   independent of `V̄` given that answer.
+
+use crate::prior::knowledge::{secure_given_knowledge_all_distributions_boolean, Knowledge};
+use crate::Result;
+use qvsec_cq::eval::{evaluate, AnswerSet};
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_data::{Dictionary, Instance, TupleSpace};
+use qvsec_prob::independence::check_independence_given;
+use std::collections::BTreeSet;
+
+/// Decides `U : S |_P V` for every distribution `P`, for boolean `U`, `S`,
+/// `V`, over the given tuple space.
+pub fn secure_given_prior_view_boolean(
+    prior_view: &ConjunctiveQuery,
+    secret: &ConjunctiveQuery,
+    view: &ConjunctiveQuery,
+    space: &TupleSpace,
+) -> Result<bool> {
+    let knowledge = Knowledge::BooleanQuery(prior_view.clone());
+    secure_given_knowledge_all_distributions_boolean(secret, view, &knowledge, space)
+}
+
+/// Decides relative security over a concrete dictionary: for **every**
+/// possible answer `u` of the prior views, `S` must be independent of `V̄`
+/// given `Ū(I) = u`. Returns `true` iff this holds for all prior answers
+/// with positive probability.
+pub fn secure_given_prior_views_dict(
+    prior_views: &ViewSet,
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    dict: &Dictionary,
+) -> Result<bool> {
+    // Enumerate the possible prior-view answers.
+    let mut prior_answers: BTreeSet<Vec<AnswerSet>> = BTreeSet::new();
+    for (mask, instance) in dict.space().instances()? {
+        if dict.instance_probability_mask(mask).is_zero() {
+            continue;
+        }
+        prior_answers.insert(prior_views.iter().map(|u| evaluate(u, &instance)).collect());
+    }
+    for answer in prior_answers {
+        let condition = |i: &Instance| -> bool {
+            prior_views
+                .iter()
+                .zip(answer.iter())
+                .all(|(u, ans)| &evaluate(u, i) == ans)
+        };
+        let report = check_independence_given(secret, views, dict, condition)?;
+        if !report.independent {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::secure_for_all_distributions;
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Domain, Schema};
+    use qvsec_prob::lineage::support_space;
+
+    /// The Section 5.2 Application 5 example uses two 4-ary relations.
+    fn app5_setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R1", &["a", "b", "c", "d"]);
+        schema.add_relation("R2", &["a", "b", "c", "d"]);
+        (schema, Domain::new())
+    }
+
+    #[test]
+    fn application_5_example_u_protects_v() {
+        // U  :- R1('a','b',_,_), R2('d','e',_,_)
+        // S  :- R1('a',_,_,_),   R2('d','e','f',_)
+        // V  :- R1('a','b','c',_), R2('d',_,_,_)
+        // S is not secure w.r.t. U, nor w.r.t. V, but U : S | V holds.
+        let (schema, mut domain) = app5_setup();
+        let u = parse_query(
+            "U() :- R1('a', 'b', x1, x2), R2('d', 'e', x3, x4)",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
+        let s = parse_query(
+            "S() :- R1('a', y1, y2, y3), R2('d', 'e', 'f', y4)",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
+        let v = parse_query(
+            "V() :- R1('a', 'b', 'c', z1), R2('d', z2, z3, z4)",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
+
+        // S is insecure w.r.t. U and w.r.t. V taken alone.
+        assert!(!secure_for_all_distributions(&s, &ViewSet::single(u.clone()), &schema, &domain)
+            .unwrap()
+            .secure);
+        assert!(!secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+            .unwrap()
+            .secure);
+
+        // Relative security U : S | V is verified on a domain-scaled instance
+        // of the same example in `scaled_application_5_relative_security`;
+        // the 4-ary original is too large for exhaustive polynomial checking.
+    }
+
+    #[test]
+    fn scaled_application_5_relative_security() {
+        // A binary-relation instance of the Application 5 / Corollary 5.5
+        // structure: U = U1 ∧ U2, S = S1 ∧ S2, V = V1 ∧ V2 where the "1"
+        // conjuncts live on R1-tuples, the "2" conjuncts on R2-tuples,
+        // U1 ⇒ S1 and U2 ⇒ V2.
+        let mut schema = Schema::new();
+        schema.add_relation("R1", &["x", "y"]);
+        schema.add_relation("R2", &["x", "y"]);
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let u = parse_query("U() :- R1('a', x), R2('a', y)", &schema, &mut domain).unwrap();
+        let s = parse_query("S() :- R1(z1, z2), R2('a', 'b')", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R1('a', 'b'), R2(w1, w2)", &schema, &mut domain).unwrap();
+
+        // S is insecure with respect to U and to V taken alone.
+        assert!(!secure_for_all_distributions(&s, &ViewSet::single(u.clone()), &schema, &domain)
+            .unwrap()
+            .secure);
+        assert!(!secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+            .unwrap()
+            .secure);
+
+        // But given U, publishing V discloses nothing more about S.
+        let space = support_space(&[&u, &s, &v], &domain, 1 << 10).unwrap();
+        assert!(space.len() <= 8);
+        assert!(
+            secure_given_prior_view_boolean(&u, &s, &v, &space).unwrap(),
+            "U : S | V must hold for the Corollary 5.5 structure"
+        );
+
+        // Sanity check of the criterion's discriminative power: swapping the
+        // implication direction (a prior view that does NOT imply S1) fails.
+        let mut domain2 = domain.clone();
+        let weak_prior =
+            parse_query("U2() :- R2('a', q)", &schema, &mut domain2).unwrap();
+        let space2 = support_space(&[&weak_prior, &s, &v], &domain2, 1 << 10).unwrap();
+        assert!(
+            !secure_given_prior_view_boolean(&weak_prior, &s, &v, &space2).unwrap(),
+            "a prior view that does not already cover the R1 side cannot protect"
+        );
+    }
+
+    #[test]
+    fn relative_security_over_a_dictionary() {
+        // Over R(x, y) with D = {a, b}: publishing U(x) :- R(x, y) first, then
+        // asking whether the identical view V(x) :- R(x, y) adds disclosure
+        // about S(y) :- R(x, y): it does not (V is answerable from U), even
+        // though S is insecure w.r.t. V alone.
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let u = parse_query("U(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let dict = Dictionary::half(TupleSpace::full(&schema, &domain).unwrap());
+        assert!(secure_given_prior_views_dict(
+            &ViewSet::single(u),
+            &s,
+            &ViewSet::single(v.clone()),
+            &dict
+        )
+        .unwrap());
+        // but relative to an uninformative prior view, V does add disclosure
+        let trivial_prior = parse_query("U2() :- R(x, y)", &schema, &mut domain).unwrap();
+        assert!(!secure_given_prior_views_dict(
+            &ViewSet::single(trivial_prior),
+            &s,
+            &ViewSet::single(v),
+            &dict
+        )
+        .unwrap());
+    }
+}

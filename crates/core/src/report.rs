@@ -1,0 +1,171 @@
+//! Disclosure classification in the style of Table 1.
+//!
+//! Table 1 of the paper arranges query/view pairs on a spectrum: *total*
+//! disclosure (the secret is answerable from the views), *partial* disclosure
+//! (a non-negligible probability shift), *minute* disclosure (a shift that is
+//! negligible for practical purposes, like the database-cardinality leak of
+//! row 3), and *no* disclosure (perfect query-view security). This module
+//! computes the ingredients of that classification:
+//!
+//! * perfect security comes from Theorem 4.5 ([`crate::security`]);
+//! * *total* disclosure is detected as **determinacy over the dictionary's
+//!   support**: every pair of possible worlds that agrees on the view answers
+//!   agrees on the secret answer (so the adversary can compute `S(I)` from
+//!   `V̄(I)` with certainty);
+//! * the partial/minute boundary is quantified by the leakage measure of
+//!   Section 6.1 and a caller-supplied threshold.
+
+use crate::Result;
+use qvsec_cq::eval::{evaluate, AnswerSet};
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_data::{Dictionary, Ratio};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The four disclosure classes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisclosureClass {
+    /// No disclosure: the query is perfectly secure with respect to the
+    /// views (Table 1, row 4).
+    NoDisclosure,
+    /// Total disclosure: the secret answer is determined by the view answers
+    /// (Table 1, row 1).
+    Total,
+    /// Partial disclosure: not secure, not determined, and the measured
+    /// leakage exceeds the minuteness threshold (Table 1, row 2).
+    Partial,
+    /// Minute disclosure: not secure, but the measured leakage is at or
+    /// below the threshold (Table 1, row 3).
+    Minute,
+}
+
+impl fmt::Display for DisclosureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DisclosureClass::NoDisclosure => "none",
+            DisclosureClass::Total => "total",
+            DisclosureClass::Partial => "partial",
+            DisclosureClass::Minute => "minute",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Whether the secret's answer is a function of the view answers over every
+/// instance of the dictionary's tuple space with positive probability —
+/// i.e. whether publishing the views *totally* discloses the secret.
+pub fn is_totally_disclosed(
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    dict: &Dictionary,
+) -> Result<bool> {
+    let mut by_view_answer: BTreeMap<Vec<AnswerSet>, AnswerSet> = BTreeMap::new();
+    for (mask, instance) in dict.space().instances()? {
+        if dict.instance_probability_mask(mask).is_zero() {
+            continue;
+        }
+        let v_ans: Vec<AnswerSet> = views.iter().map(|v| evaluate(v, &instance)).collect();
+        let s_ans = evaluate(secret, &instance);
+        match by_view_answer.get(&v_ans) {
+            Some(existing) if existing != &s_ans => return Ok(false),
+            Some(_) => {}
+            None => {
+                by_view_answer.insert(v_ans, s_ans);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Classifies a disclosure given the three measurements. `leak` may be
+/// `None` when no dictionary-based leakage measurement is available; in that
+/// case any insecure, non-total pair is classified as [`DisclosureClass::Partial`].
+pub fn classify(
+    secure: bool,
+    totally_disclosed: bool,
+    leak: Option<Ratio>,
+    minute_threshold: Ratio,
+) -> DisclosureClass {
+    if secure {
+        DisclosureClass::NoDisclosure
+    } else if totally_disclosed {
+        DisclosureClass::Total
+    } else {
+        match leak {
+            Some(l) if l <= minute_threshold => DisclosureClass::Minute,
+            _ => DisclosureClass::Partial,
+        }
+    }
+}
+
+/// The default threshold separating minute from partial disclosures used by
+/// the high-level analyzer (callers can always supply their own).
+pub fn default_minute_threshold() -> Ratio {
+    Ratio::new(1, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Domain, Schema, TupleSpace};
+
+    fn setup() -> (Schema, Domain, Dictionary) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let domain = Domain::with_constants(["a", "b"]);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        (schema, domain, Dictionary::half(space))
+    }
+
+    #[test]
+    fn identity_view_totally_discloses_every_query() {
+        let (schema, mut domain, dict) = setup();
+        let v = parse_query("V(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        assert!(is_totally_disclosed(&s, &ViewSet::single(v), &dict).unwrap());
+    }
+
+    #[test]
+    fn projections_do_not_totally_disclose_the_other_column() {
+        let (schema, mut domain, dict) = setup();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        assert!(!is_totally_disclosed(&s, &ViewSet::single(v), &dict).unwrap());
+    }
+
+    #[test]
+    fn query_answerable_from_its_own_view_is_totally_disclosed() {
+        // Table 1 row 1 shape: S is a projection of V.
+        let (schema, mut domain, dict) = setup();
+        let v = parse_query("V(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        assert!(is_totally_disclosed(&s, &ViewSet::single(v), &dict).unwrap());
+    }
+
+    #[test]
+    fn classification_matrix() {
+        let t = default_minute_threshold();
+        assert_eq!(classify(true, false, None, t), DisclosureClass::NoDisclosure);
+        assert_eq!(classify(false, true, None, t), DisclosureClass::Total);
+        assert_eq!(
+            classify(false, false, Some(Ratio::new(1, 10)), t),
+            DisclosureClass::Minute
+        );
+        assert_eq!(
+            classify(false, false, Some(Ratio::new(3, 1)), t),
+            DisclosureClass::Partial
+        );
+        assert_eq!(classify(false, false, None, t), DisclosureClass::Partial);
+        // secure takes precedence over everything
+        assert_eq!(classify(true, true, Some(Ratio::ONE), t), DisclosureClass::NoDisclosure);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DisclosureClass::NoDisclosure.to_string(), "none");
+        assert_eq!(DisclosureClass::Total.to_string(), "total");
+        assert_eq!(DisclosureClass::Partial.to_string(), "partial");
+        assert_eq!(DisclosureClass::Minute.to_string(), "minute");
+    }
+}

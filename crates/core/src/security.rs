@@ -1,0 +1,302 @@
+//! The query-view security criterion (Theorems 4.5 and 4.8, Proposition 4.9).
+//!
+//! Theorem 4.5: `S |_P V̄` for **every** probability distribution `P` iff
+//! `crit_D(S) ∩ crit_D(V̄) = ∅`. Theorem 4.8 adds that for monotone queries,
+//! security under a single non-degenerate distribution already implies
+//! security under all of them; Proposition 4.9 makes the criterion
+//! domain-independent as soon as the domain is large enough relative to the
+//! queries (|D| ≥ n for comparison-free conjunctive queries, |D| ≥ n(n+1)
+//! with order predicates, where n bounds the variables and constants of any
+//! query involved).
+//!
+//! [`secure_for_all_distributions`] packages all of this: it pads the domain
+//! to the Proposition 4.9 bound, enumerates the candidate common critical
+//! tuples, and reports the verdict together with the witnesses.
+
+use crate::critical::common_critical_tuples;
+use crate::critical::DEFAULT_CANDIDATE_CAP;
+use crate::Result;
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_data::{Domain, Schema, Tuple, TupleSpace};
+
+/// The outcome of the dictionary-independent security check.
+#[derive(Debug, Clone)]
+pub struct SecurityVerdict {
+    /// Whether `S |_P V̄` holds for every probability distribution `P`.
+    pub secure: bool,
+    /// The common critical tuples witnessing insecurity (empty iff secure).
+    pub common_critical_tuples: Vec<Tuple>,
+    /// The size of the active domain used for the decision (after padding to
+    /// the Proposition 4.9 bound).
+    pub active_domain_size: usize,
+}
+
+impl SecurityVerdict {
+    /// A human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        if self.secure {
+            format!(
+                "SECURE for every distribution (no common critical tuple over a domain of {} constants)",
+                self.active_domain_size
+            )
+        } else {
+            format!(
+                "NOT secure: {} common critical tuple(s), e.g. {}",
+                self.common_critical_tuples.len(),
+                self.common_critical_tuples
+                    .first()
+                    .map(|t| t.to_string())
+                    .unwrap_or_default()
+            )
+        }
+    }
+}
+
+/// The Proposition 4.9 active-domain size for a secret query and a set of
+/// views: `n` for comparison-free conjunctive queries, `n(n+1)` when order
+/// predicates occur, where `n` is the largest number of variables plus
+/// constants in any single query.
+pub fn active_domain_size(secret: &ConjunctiveQuery, views: &ViewSet) -> usize {
+    let mut n = secret.symbol_count();
+    let mut has_order = secret.has_order_comparisons();
+    for v in views.iter() {
+        n = n.max(v.symbol_count());
+        has_order |= v.has_order_comparisons();
+    }
+    let n = n.max(1);
+    if has_order {
+        n * (n + 1)
+    } else {
+        n
+    }
+}
+
+/// Builds the active domain: the constants already interned in `domain`
+/// padded with fresh constants up to the Proposition 4.9 bound.
+pub fn active_domain(secret: &ConjunctiveQuery, views: &ViewSet, domain: &Domain) -> Domain {
+    let mut active = domain.clone();
+    active.pad_to(active_domain_size(secret, views).max(domain.len()));
+    active
+}
+
+/// Decides whether `secret` is secure with respect to `views` for **every**
+/// tuple-independent probability distribution (Theorem 4.5 + Prop. 4.9).
+///
+/// The `domain` argument should be the domain against which the queries were
+/// parsed (it supplies the constant names); it is padded internally and never
+/// mutated.
+pub fn secure_for_all_distributions(
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    _schema: &Schema,
+    domain: &Domain,
+) -> Result<SecurityVerdict> {
+    secure_for_all_distributions_with_cap(secret, views, domain, DEFAULT_CANDIDATE_CAP)
+}
+
+/// [`secure_for_all_distributions`] with an explicit cap on the candidate
+/// tuple enumeration.
+pub fn secure_for_all_distributions_with_cap(
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    domain: &Domain,
+    cap: usize,
+) -> Result<SecurityVerdict> {
+    let active = active_domain(secret, views, domain);
+    let common = common_critical_tuples(secret, views, &active, cap)?;
+    Ok(SecurityVerdict {
+        secure: common.is_empty(),
+        common_critical_tuples: common,
+        active_domain_size: active.len(),
+    })
+}
+
+/// Decides security of two **boolean** queries through the polynomial
+/// criterion of Section 4.3: `S |_P V` for all `P` iff
+/// `f_{S∧V} = f_S · f_V` as polynomials (Eq. (6) / Theorem 4.5 boolean case).
+///
+/// The polynomials are built over the given tuple space, which must contain
+/// the support of both queries and be small enough to enumerate. This is an
+/// independent decision path used to cross-validate the critical-tuple
+/// criterion.
+pub fn secure_boolean_via_polynomials(
+    secret: &ConjunctiveQuery,
+    view: &ConjunctiveQuery,
+    space: &TupleSpace,
+) -> Result<bool> {
+    if !secret.is_boolean() {
+        return Err(crate::QvsError::NotBoolean(secret.name.clone()));
+    }
+    if !view.is_boolean() {
+        return Err(crate::QvsError::NotBoolean(view.name.clone()));
+    }
+    // conjunction S ∧ V: evaluate both on every instance
+    let mut sat_conj = vec![false; 1usize << space.len()];
+    let mut sat_s = vec![false; 1usize << space.len()];
+    let mut sat_v = vec![false; 1usize << space.len()];
+    for (mask, instance) in space.instances()? {
+        let s_true = qvsec_cq::evaluate_boolean(secret, &instance);
+        let v_true = qvsec_cq::evaluate_boolean(view, &instance);
+        sat_s[mask as usize] = s_true;
+        sat_v[mask as usize] = v_true;
+        sat_conj[mask as usize] = s_true && v_true;
+    }
+    let f_s = qvsec_prob::poly::from_satisfying(space.len(), &sat_s);
+    let f_v = qvsec_prob::poly::from_satisfying(space.len(), &sat_v);
+    let f_conj = qvsec_prob::poly::from_satisfying(space.len(), &sat_conj);
+    Ok(&f_s * &f_v == f_conj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::parse_query;
+    use qvsec_data::Schema;
+    use qvsec_prob::lineage::support_space;
+
+    fn employee_schema() -> Schema {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        schema.add_relation("R", &["x", "y"]);
+        schema
+    }
+
+    #[test]
+    fn table_1_classification_of_security() {
+        let schema = employee_schema();
+        // row 1: total disclosure — not secure
+        let mut d1 = Domain::new();
+        let v1 = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut d1).unwrap();
+        let s1 = parse_query("S1(d) :- Employee(n, d, p)", &schema, &mut d1).unwrap();
+        assert!(!secure_for_all_distributions(&s1, &ViewSet::single(v1), &schema, &d1)
+            .unwrap()
+            .secure);
+
+        // row 2: partial disclosure through collusion — not secure
+        let mut d2 = Domain::new();
+        let v2 = parse_query("V2(n, d) :- Employee(n, d, p)", &schema, &mut d2).unwrap();
+        let v2p = parse_query("V2p(d, p) :- Employee(n, d, p)", &schema, &mut d2).unwrap();
+        let s2 = parse_query("S2(n, p) :- Employee(n, d, p)", &schema, &mut d2).unwrap();
+        let verdict =
+            secure_for_all_distributions(&s2, &ViewSet::from_views(vec![v2, v2p]), &schema, &d2)
+                .unwrap();
+        assert!(!verdict.secure);
+        assert!(!verdict.common_critical_tuples.is_empty());
+
+        // row 3: minute disclosure — still not secure under perfect secrecy
+        let mut d3 = Domain::new();
+        let v3 = parse_query("V3(n) :- Employee(n, d, p)", &schema, &mut d3).unwrap();
+        let s3 = parse_query("S3(p) :- Employee(n, d, p)", &schema, &mut d3).unwrap();
+        assert!(!secure_for_all_distributions(&s3, &ViewSet::single(v3), &schema, &d3)
+            .unwrap()
+            .secure);
+
+        // row 4: no disclosure — secure
+        let mut d4 = Domain::new();
+        let v4 = parse_query("V4(n) :- Employee(n, 'Mgmt', p)", &schema, &mut d4).unwrap();
+        let s4 = parse_query("S4(n) :- Employee(n, 'HR', p)", &schema, &mut d4).unwrap();
+        let verdict =
+            secure_for_all_distributions(&s4, &ViewSet::single(v4), &schema, &d4).unwrap();
+        assert!(verdict.secure);
+        assert!(verdict.summary().contains("SECURE"));
+    }
+
+    #[test]
+    fn examples_4_6_and_4_7() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        assert!(!secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &domain)
+            .unwrap()
+            .secure);
+
+        let v = parse_query("V(x) :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
+        assert!(secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &domain)
+            .unwrap()
+            .secure);
+    }
+
+    #[test]
+    fn multi_view_security_reduces_to_each_view_separately() {
+        // Theorem 4.5 corollary (collusions, §4.1.1): secure w.r.t. each view
+        // separately ⇒ secure w.r.t. all of them jointly.
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let v_a = parse_query("Va(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap();
+        let v_b = parse_query("Vb(n) :- Employee(n, 'Sales', p)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        for v in [&v_a, &v_b] {
+            assert!(secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+                .unwrap()
+                .secure);
+        }
+        assert!(secure_for_all_distributions(
+            &s,
+            &ViewSet::from_views(vec![v_a, v_b]),
+            &schema,
+            &domain
+        )
+        .unwrap()
+        .secure);
+    }
+
+    #[test]
+    fn active_domain_respects_proposition_4_9() {
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let s = parse_query("S(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let views = ViewSet::single(v);
+        // 3 variables, no constants, no order predicates: n = 3
+        assert_eq!(active_domain_size(&s, &views), 3);
+        let with_order = parse_query(
+            "W(n) :- Employee(n, d, p), d < p",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
+        let views = ViewSet::single(with_order);
+        assert_eq!(active_domain_size(&s, &views), 12, "n(n+1) with order predicates");
+        let active = active_domain(&s, &views, &domain);
+        assert!(active.len() >= 12);
+    }
+
+    #[test]
+    fn polynomial_criterion_agrees_with_critical_tuple_criterion() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let pairs = [
+            ("S() :- R('a', x)", "V() :- R(x, 'b')", false),
+            ("S() :- R('a', 'a')", "V() :- R('b', 'b')", true),
+            ("S() :- R(x, x)", "V() :- R('a', y)", false),
+            ("S() :- R('a', 'b')", "V() :- R('a', 'c')", true),
+        ];
+        for (s_text, v_text, expected_secure) in pairs {
+            let mut d = domain.clone();
+            let s = parse_query(s_text, &schema, &mut d).unwrap();
+            let v = parse_query(v_text, &schema, &mut d).unwrap();
+            let space = support_space(&[&s, &v], &d, 1 << 12).unwrap();
+            let poly_secure = secure_boolean_via_polynomials(&s, &v, &space).unwrap();
+            let crit_secure =
+                secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &d)
+                    .unwrap()
+                    .secure;
+            assert_eq!(poly_secure, crit_secure, "criteria disagree on ({s_text}, {v_text})");
+            assert_eq!(poly_secure, expected_secure, "unexpected verdict for ({s_text}, {v_text})");
+        }
+        let _ = domain.add("c");
+    }
+
+    #[test]
+    fn polynomial_criterion_rejects_non_boolean_queries() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R('a', 'b')", &schema, &mut domain).unwrap();
+        let space = support_space(&[&s, &v], &domain, 1 << 12).unwrap();
+        assert!(secure_boolean_via_polynomials(&s, &v, &space).is_err());
+        assert!(secure_boolean_via_polynomials(&v, &s, &space).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based cross-validation of the paper's theorems.
+//!
+//! These tests are the empirical heart of the reproduction: on randomly
+//! generated conjunctive queries over a tiny domain they check that
+//!
+//! * the fine-instance critical-tuple procedure agrees with the literal
+//!   Definition 4.4 (brute force over all instances),
+//! * the Theorem 4.5 criterion (`crit(S) ∩ crit(V) = ∅`) coincides with the
+//!   literal Definition 4.1 statistical-independence check under the uniform
+//!   dictionary — which, by Theorem 4.8, represents *all* non-degenerate
+//!   dictionaries for monotone queries,
+//! * security is symmetric (Bayes), and
+//! * the Section 4.2 fast check is sound.
+
+use proptest::prelude::*;
+use qvsec::critical::{critical_tuples, is_critical};
+use qvsec::critical_bruteforce::{critical_tuples_bruteforce, is_critical_bruteforce};
+use qvsec::fast_check::fast_check;
+use qvsec::security::secure_for_all_distributions;
+use qvsec_cq::{parse_query, ConjunctiveQuery, ViewSet};
+use qvsec_data::{Dictionary, Domain, Ratio, Schema, TupleSpace};
+use qvsec_prob::independence::check_independence;
+use std::collections::BTreeSet;
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("R", &["x", "y"]);
+    s
+}
+
+fn domain() -> Domain {
+    Domain::with_constants(["a", "b"])
+}
+
+/// Random conjunctive query text over R/2 with variables x0..x2 and constants
+/// a, b. The head uses the first variable of the first atom (or is boolean).
+fn query_text() -> impl Strategy<Value = String> {
+    let term = prop_oneof![
+        3 => Just("x0".to_string()),
+        3 => Just("x1".to_string()),
+        2 => Just("x2".to_string()),
+        2 => Just("'a'".to_string()),
+        2 => Just("'b'".to_string()),
+    ];
+    let atom = (term.clone(), term).prop_map(|(a, b)| format!("R({a}, {b})"));
+    (proptest::collection::vec(atom, 1..3), proptest::bool::ANY).prop_map(|(atoms, boolean)| {
+        let body = atoms.join(", ");
+        if boolean {
+            return format!("Q() :- {body}");
+        }
+        let head_var = atoms[0]
+            .trim_start_matches("R(")
+            .trim_end_matches(')')
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .find(|t| t.starts_with('x'));
+        match head_var {
+            Some(v) => format!("Q({v}) :- {body}"),
+            None => format!("Q() :- {body}"),
+        }
+    })
+}
+
+fn parse(text: &str, schema: &Schema, domain: &mut Domain) -> ConjunctiveQuery {
+    parse_query(text, schema, domain).expect("generated query parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn criterion_criticality_matches_brute_force(text in query_text()) {
+        let schema = schema();
+        let mut domain = domain();
+        let q = parse(&text, &schema, &mut domain);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let brute = critical_tuples_bruteforce(&q, &space).unwrap();
+        let fine: BTreeSet<_> = critical_tuples(&q, &domain)
+            .unwrap()
+            .into_iter()
+            .filter(|t| space.contains(t))
+            .collect();
+        prop_assert_eq!(&brute, &fine, "criticality mismatch for {}", text);
+        for t in space.iter() {
+            prop_assert_eq!(
+                is_critical(&q, t, &domain),
+                is_critical_bruteforce(&q, t, &space).unwrap(),
+                "tuple {} disagreement for {}", t, text
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_4_5_criterion_matches_definition_4_1(s_text in query_text(), v_text in query_text()) {
+        let schema = schema();
+        let mut domain = domain();
+        let s = parse(&s_text, &schema, &mut domain);
+        let v = parse(&v_text, &schema, &mut domain);
+        let views = ViewSet::single(v);
+        let criterion = secure_for_all_distributions(&s, &views, &schema, &domain)
+            .unwrap()
+            .secure;
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let dict = Dictionary::half(space);
+        let statistical = check_independence(&s, &views, &dict).unwrap().independent;
+        prop_assert_eq!(
+            criterion, statistical,
+            "Theorem 4.5 disagrees with Definition 4.1 on S = {}, V = {}", s_text, v_text
+        );
+    }
+
+    #[test]
+    fn theorem_4_8_other_distributions_agree(s_text in query_text(), v_text in query_text(),
+                                             num in 1i128..5) {
+        // Security under the uniform p = 1/2 dictionary coincides with
+        // security under any other non-degenerate uniform dictionary
+        // (Theorem 4.8 for monotone queries).
+        let schema = schema();
+        let mut domain = domain();
+        let s = parse(&s_text, &schema, &mut domain);
+        let v = parse(&v_text, &schema, &mut domain);
+        let views = ViewSet::single(v);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let half = Dictionary::half(space.clone());
+        let other = Dictionary::uniform(space, Ratio::new(num, 5)).unwrap();
+        let a = check_independence(&s, &views, &half).unwrap().independent;
+        let b = check_independence(&s, &views, &other).unwrap().independent;
+        prop_assert_eq!(a, b, "distribution dependence for S = {}, V = {}", s_text, v_text);
+    }
+
+    #[test]
+    fn security_is_symmetric(s_text in query_text(), v_text in query_text()) {
+        let schema = schema();
+        let mut domain = domain();
+        let s = parse(&s_text, &schema, &mut domain);
+        let v = parse(&v_text, &schema, &mut domain);
+        let forward = secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+            .unwrap()
+            .secure;
+        let backward = secure_for_all_distributions(&v, &ViewSet::single(s), &schema, &domain)
+            .unwrap()
+            .secure;
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn fast_check_is_sound(s_text in query_text(), v_text in query_text()) {
+        let schema = schema();
+        let mut domain = domain();
+        let s = parse(&s_text, &schema, &mut domain);
+        let v = parse(&v_text, &schema, &mut domain);
+        let views = ViewSet::single(v);
+        if fast_check(&s, &views).is_certainly_secure() {
+            prop_assert!(
+                secure_for_all_distributions(&s, &views, &schema, &domain).unwrap().secure,
+                "fast check unsound on S = {}, V = {}", s_text, v_text
+            );
+        }
+    }
+
+    #[test]
+    fn multi_view_security_equals_conjunction_of_single_view_security(
+        s_text in query_text(), v1_text in query_text(), v2_text in query_text()
+    ) {
+        // Theorem 4.5 collusion corollary: S | (V1, V2) iff S | V1 and S | V2.
+        let schema = schema();
+        let mut domain = domain();
+        let s = parse(&s_text, &schema, &mut domain);
+        let v1 = parse(&v1_text, &schema, &mut domain);
+        let v2 = parse(&v2_text, &schema, &mut domain);
+        let joint = secure_for_all_distributions(
+            &s, &ViewSet::from_views(vec![v1.clone(), v2.clone()]), &schema, &domain
+        ).unwrap().secure;
+        let each = secure_for_all_distributions(&s, &ViewSet::single(v1), &schema, &domain).unwrap().secure
+            && secure_for_all_distributions(&s, &ViewSet::single(v2), &schema, &domain).unwrap().secure;
+        prop_assert_eq!(joint, each);
+    }
+}

@@ -1,0 +1,522 @@
+//! Abstract syntax of conjunctive queries with inequalities.
+
+use qvsec_data::{RelationId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use crate::{CqError, Result};
+
+/// A variable of a conjunctive query, scoped to that query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The raw index of this variable within its query.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term: either a variable or a constant of the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A query variable.
+    Var(VarId),
+    /// A domain constant.
+    Const(Value),
+}
+
+impl Term {
+    /// Whether the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is one.
+    pub fn as_const(&self) -> Option<Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(*c),
+        }
+    }
+}
+
+/// A relational subgoal `R(t1, ..., tk)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    /// The relation of the subgoal.
+    pub relation: RelationId,
+    /// Its terms, in attribute order.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: RelationId, terms: Vec<Term>) -> Self {
+        Atom { relation, terms }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The distinct variables of the atom, in first-occurrence order.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The constants of the atom.
+    pub fn constants(&self) -> Vec<Value> {
+        self.terms.iter().filter_map(|t| t.as_const()).collect()
+    }
+
+    /// Whether the atom contains no variables.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| !t.is_var())
+    }
+}
+
+/// Comparison operators allowed in query bodies. `>` and `>=` are normalised
+/// to `<` and `<=` by swapping operands at construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Strictly less than (under the domain's total order).
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Equality.
+    Eq,
+    /// Disequality.
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the operator to two domain values.
+    pub fn apply(self, lhs: Value, rhs: Value) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// The textual form of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// A comparison predicate `lhs op rhs` in a query body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Left operand.
+    pub lhs: Term,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Term,
+}
+
+impl Comparison {
+    /// Creates a comparison.
+    pub fn new(lhs: Term, op: CmpOp, rhs: Term) -> Self {
+        Comparison { lhs, op, rhs }
+    }
+
+    /// The variables occurring in the comparison.
+    pub fn variables(&self) -> Vec<VarId> {
+        [self.lhs, self.rhs]
+            .iter()
+            .filter_map(|t| t.as_var())
+            .collect()
+    }
+}
+
+/// A conjunctive query with inequalities, in datalog notation:
+/// `Q(head) :- atom, ..., comparison, ...`.
+///
+/// A query with an empty head is *boolean* (Section 3.1). Queries own their
+/// variable namespace: variables are created through
+/// [`ConjunctiveQuery::add_var`] (or the builder / parser) and are only
+/// meaningful within the query that created them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    /// The query name (cosmetic; used by the pretty-printer).
+    pub name: String,
+    /// Head terms (empty for boolean queries).
+    pub head: Vec<Term>,
+    /// Relational subgoals.
+    pub atoms: Vec<Atom>,
+    /// Comparison predicates.
+    pub comparisons: Vec<Comparison>,
+    var_names: Vec<String>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates an empty query with the given name.
+    pub fn new(name: &str) -> Self {
+        ConjunctiveQuery {
+            name: name.to_string(),
+            head: Vec::new(),
+            atoms: Vec::new(),
+            comparisons: Vec::new(),
+            var_names: Vec::new(),
+        }
+    }
+
+    /// Adds a variable with the given display name and returns its id.
+    /// Adding the same name twice returns the existing variable (except for
+    /// the anonymous name `"_"`, which always creates a fresh variable, as in
+    /// the paper's `−` notation).
+    pub fn add_var(&mut self, name: &str) -> VarId {
+        if name != "_" {
+            if let Some(i) = self.var_names.iter().position(|n| n == name) {
+                return VarId(i as u32);
+            }
+        }
+        let id = VarId(self.var_names.len() as u32);
+        let display = if name == "_" {
+            format!("_{}", id.0)
+        } else {
+            name.to_string()
+        };
+        self.var_names.push(display);
+        id
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Looks up a named variable.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// The number of variables in the query's namespace.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Iterates over all variables of the query.
+    pub fn variables(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.var_names.len() as u32).map(VarId)
+    }
+
+    /// All distinct constants mentioned in the head, body or comparisons.
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for t in &self.head {
+            if let Some(c) = t.as_const() {
+                out.insert(c);
+            }
+        }
+        for a in &self.atoms {
+            out.extend(a.constants());
+        }
+        for c in &self.comparisons {
+            if let Some(v) = c.lhs.as_const() {
+                out.insert(v);
+            }
+            if let Some(v) = c.rhs.as_const() {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct variables plus distinct constants. This is the `n`
+    /// of Proposition 4.9 (domain-independence requires `|D| ≥ n(n+1)` in the
+    /// presence of order predicates, `|D| ≥ n` without them).
+    pub fn symbol_count(&self) -> usize {
+        self.num_vars() + self.constants().len()
+    }
+
+    /// Whether the query is boolean (arity 0).
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// The output arity of the query.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Whether the query uses order predicates (`<`, `<=`).
+    pub fn has_order_comparisons(&self) -> bool {
+        self.comparisons
+            .iter()
+            .any(|c| matches!(c.op, CmpOp::Lt | CmpOp::Le))
+    }
+
+    /// Whether the query has any comparison predicates.
+    pub fn has_comparisons(&self) -> bool {
+        !self.comparisons.is_empty()
+    }
+
+    /// The distinct relations mentioned in the body.
+    pub fn relations(&self) -> BTreeSet<RelationId> {
+        self.atoms.iter().map(|a| a.relation).collect()
+    }
+
+    /// Checks the safety conditions: every head variable and every comparison
+    /// variable must occur in some relational subgoal.
+    pub fn validate(&self) -> Result<()> {
+        let body_vars: BTreeSet<VarId> = self.atoms.iter().flat_map(|a| a.variables()).collect();
+        for t in &self.head {
+            if let Some(v) = t.as_var() {
+                if !body_vars.contains(&v) {
+                    return Err(CqError::UnsafeHeadVariable(self.var_name(v).to_string()));
+                }
+            }
+        }
+        for c in &self.comparisons {
+            for v in c.variables() {
+                if !body_vars.contains(&v) {
+                    return Err(CqError::UnsafeComparisonVariable(
+                        self.var_name(v).to_string(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a boolean query asserting the presence of a single ground tuple
+    /// (`S() :- t`), as used in the reduction of Theorem 4.11.
+    pub fn tuple_assertion(name: &str, tuple: &qvsec_data::Tuple) -> Self {
+        let mut q = ConjunctiveQuery::new(name);
+        q.atoms.push(Atom::new(
+            tuple.relation,
+            tuple.values.iter().map(|&v| Term::Const(v)).collect(),
+        ));
+        q
+    }
+}
+
+/// A set of views `V̄ = V1, ..., Vk` published together (or to distinct
+/// recipients who may collude — Section 4.1.1, "Collusions").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ViewSet {
+    views: Vec<ConjunctiveQuery>,
+}
+
+impl ViewSet {
+    /// Creates an empty view set.
+    pub fn new() -> Self {
+        ViewSet::default()
+    }
+
+    /// Creates a view set from a vector of views.
+    pub fn from_views(views: Vec<ConjunctiveQuery>) -> Self {
+        ViewSet { views }
+    }
+
+    /// Creates a view set holding a single view.
+    pub fn single(view: ConjunctiveQuery) -> Self {
+        ViewSet { views: vec![view] }
+    }
+
+    /// Adds a view.
+    pub fn push(&mut self, view: ConjunctiveQuery) {
+        self.views.push(view);
+    }
+
+    /// The views in publication order.
+    pub fn views(&self) -> &[ConjunctiveQuery] {
+        &self.views
+    }
+
+    /// Number of views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Iterates over the views.
+    pub fn iter(&self) -> impl Iterator<Item = &ConjunctiveQuery> + '_ {
+        self.views.iter()
+    }
+}
+
+impl From<ConjunctiveQuery> for ViewSet {
+    fn from(q: ConjunctiveQuery) -> Self {
+        ViewSet::single(q)
+    }
+}
+
+impl From<Vec<ConjunctiveQuery>> for ViewSet {
+    fn from(v: Vec<ConjunctiveQuery>) -> Self {
+        ViewSet::from_views(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_data::{Domain, Schema, Tuple};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("R", &["x", "y"]);
+        s
+    }
+
+    #[test]
+    fn add_var_interns_named_variables_but_not_anonymous() {
+        let mut q = ConjunctiveQuery::new("Q");
+        let x1 = q.add_var("x");
+        let x2 = q.add_var("x");
+        assert_eq!(x1, x2);
+        let a1 = q.add_var("_");
+        let a2 = q.add_var("_");
+        assert_ne!(a1, a2, "anonymous variables are always fresh");
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.var_name(x1), "x");
+        assert!(q.var_name(a1).starts_with('_'));
+        assert_eq!(q.var_by_name("x"), Some(x1));
+        assert_eq!(q.var_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn boolean_and_arity() {
+        let schema = schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut q = ConjunctiveQuery::new("Q");
+        let x = q.add_var("x");
+        q.atoms.push(Atom::new(r, vec![Term::Var(x), Term::Var(x)]));
+        assert!(q.is_boolean());
+        assert_eq!(q.arity(), 0);
+        q.head.push(Term::Var(x));
+        assert!(!q.is_boolean());
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_unsafe_queries() {
+        let schema = schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let mut q = ConjunctiveQuery::new("Q");
+        let x = q.add_var("x");
+        let y = q.add_var("y");
+        q.atoms.push(Atom::new(r, vec![Term::Var(x), Term::Var(x)]));
+        q.head.push(Term::Var(y));
+        assert!(matches!(q.validate(), Err(CqError::UnsafeHeadVariable(_))));
+
+        let mut q2 = ConjunctiveQuery::new("Q2");
+        let x = q2.add_var("x");
+        let z = q2.add_var("z");
+        q2.atoms.push(Atom::new(r, vec![Term::Var(x), Term::Var(x)]));
+        q2.comparisons
+            .push(Comparison::new(Term::Var(x), CmpOp::Lt, Term::Var(z)));
+        assert!(matches!(
+            q2.validate(),
+            Err(CqError::UnsafeComparisonVariable(_))
+        ));
+    }
+
+    #[test]
+    fn symbol_count_counts_distinct_vars_and_constants() {
+        let schema = schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let domain = Domain::with_constants(["a", "b"]);
+        let a = domain.get("a").unwrap();
+        let mut q = ConjunctiveQuery::new("Q");
+        let x = q.add_var("x");
+        let y = q.add_var("y");
+        q.atoms.push(Atom::new(r, vec![Term::Var(x), Term::Const(a)]));
+        q.atoms.push(Atom::new(r, vec![Term::Var(y), Term::Const(a)]));
+        assert_eq!(q.symbol_count(), 3); // x, y, a
+        assert_eq!(q.constants().len(), 1);
+        assert_eq!(q.relations().len(), 1);
+    }
+
+    #[test]
+    fn cmp_op_semantics_follow_domain_order() {
+        let domain = Domain::with_constants(["a", "b"]);
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        assert!(CmpOp::Lt.apply(a, b));
+        assert!(!CmpOp::Lt.apply(b, a));
+        assert!(CmpOp::Le.apply(a, a));
+        assert!(CmpOp::Eq.apply(a, a));
+        assert!(CmpOp::Ne.apply(a, b));
+        assert_eq!(CmpOp::Le.symbol(), "<=");
+    }
+
+    #[test]
+    fn atom_accessors() {
+        let schema = schema();
+        let r = schema.relation_by_name("R").unwrap();
+        let domain = Domain::with_constants(["a"]);
+        let a = domain.get("a").unwrap();
+        let mut q = ConjunctiveQuery::new("Q");
+        let x = q.add_var("x");
+        let atom = Atom::new(r, vec![Term::Var(x), Term::Const(a)]);
+        assert_eq!(atom.arity(), 2);
+        assert_eq!(atom.variables(), vec![x]);
+        assert_eq!(atom.constants(), vec![a]);
+        assert!(!atom.is_ground());
+        let ground = Atom::new(r, vec![Term::Const(a), Term::Const(a)]);
+        assert!(ground.is_ground());
+    }
+
+    #[test]
+    fn tuple_assertion_builds_ground_boolean_query() {
+        let schema = schema();
+        let domain = Domain::with_constants(["a", "b"]);
+        let t = Tuple::from_names(&schema, &domain, "R", &["a", "b"]).unwrap();
+        let q = ConjunctiveQuery::tuple_assertion("S", &t);
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms.len(), 1);
+        assert!(q.atoms[0].is_ground());
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn view_set_constructors() {
+        let q = ConjunctiveQuery::new("V1");
+        let mut vs = ViewSet::single(q.clone());
+        assert_eq!(vs.len(), 1);
+        vs.push(ConjunctiveQuery::new("V2"));
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs.views()[1].name, "V2");
+        let vs2: ViewSet = vec![q.clone()].into();
+        assert_eq!(vs2.len(), 1);
+        let vs3: ViewSet = q.into();
+        assert!(!vs3.is_empty());
+        assert!(ViewSet::new().is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Programmatic construction of conjunctive queries.
+//!
+//! The [`QueryBuilder`] mirrors the parser's conventions so that queries can
+//! be assembled in code (e.g. by the random workload generators) without
+//! going through text:
+//!
+//! * a term written `'name'` (or any string passed to [`QueryBuilder::constant_term`])
+//!   denotes a constant, interned into the domain;
+//! * the term `"_"` denotes a fresh anonymous variable (the paper's `−`);
+//! * any other identifier denotes a named variable.
+
+use crate::ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term};
+use crate::{CqError, Result};
+use qvsec_data::{Domain, Schema};
+
+/// A fluent builder for [`ConjunctiveQuery`] values.
+pub struct QueryBuilder<'a> {
+    schema: &'a Schema,
+    domain: &'a mut Domain,
+    query: ConjunctiveQuery,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Starts building a query with the given name.
+    pub fn new(name: &str, schema: &'a Schema, domain: &'a mut Domain) -> Self {
+        QueryBuilder {
+            schema,
+            domain,
+            query: ConjunctiveQuery::new(name),
+        }
+    }
+
+    fn term(&mut self, spec: &str) -> Term {
+        if let Some(stripped) = spec
+            .strip_prefix('\'')
+            .and_then(|s| s.strip_suffix('\''))
+        {
+            Term::Const(self.domain.add(stripped))
+        } else {
+            Term::Var(self.query.add_var(spec))
+        }
+    }
+
+    /// Adds head terms using the builder's term conventions.
+    pub fn head(mut self, terms: &[&str]) -> Self {
+        for t in terms {
+            let term = self.term(t);
+            self.query.head.push(term);
+        }
+        self
+    }
+
+    /// Adds an explicitly constant head term.
+    pub fn constant_head(mut self, name: &str) -> Self {
+        let v = self.domain.add(name);
+        self.query.head.push(Term::Const(v));
+        self
+    }
+
+    /// Adds a relational subgoal. `terms` follow the builder conventions.
+    ///
+    /// # Errors
+    /// Returns an error if the relation is unknown or the arity is wrong; the
+    /// error is deferred to [`QueryBuilder::build`].
+    pub fn atom(mut self, relation: &str, terms: &[&str]) -> Self {
+        match self.schema.require_relation(relation) {
+            Ok(rel) => {
+                let ts: Vec<Term> = terms.iter().map(|t| self.term(t)).collect();
+                if ts.len() != self.schema.arity(rel) {
+                    // record an invalid atom marker by pushing and letting
+                    // build() validate arity below
+                    self.query.atoms.push(Atom::new(rel, ts));
+                } else {
+                    self.query.atoms.push(Atom::new(rel, ts));
+                }
+            }
+            Err(_) => {
+                // remember the failure by storing an impossible atom; build()
+                // re-checks relation names, so simply panic early with a clear
+                // message instead of deferring a confusing error.
+                panic!("unknown relation `{relation}` in QueryBuilder");
+            }
+        }
+        self
+    }
+
+    /// Adds an explicitly constant-only ("ground") subgoal.
+    pub fn ground_atom(mut self, relation: &str, constants: &[&str]) -> Self {
+        let rel = self
+            .schema
+            .require_relation(relation)
+            .unwrap_or_else(|_| panic!("unknown relation `{relation}` in QueryBuilder"));
+        let ts: Vec<Term> = constants
+            .iter()
+            .map(|c| Term::Const(self.domain.add(c)))
+            .collect();
+        self.query.atoms.push(Atom::new(rel, ts));
+        self
+    }
+
+    /// Adds a comparison `lhs op rhs` where `op` is one of `<`, `<=`, `=`,
+    /// `!=`, `>`, `>=` (the latter two are normalised by swapping operands).
+    pub fn cmp(mut self, lhs: &str, op: &str, rhs: &str) -> Self {
+        let l = self.term(lhs);
+        let r = self.term(rhs);
+        let (lhs, op, rhs) = match op {
+            "<" => (l, CmpOp::Lt, r),
+            "<=" => (l, CmpOp::Le, r),
+            "=" | "==" => (l, CmpOp::Eq, r),
+            "!=" | "<>" => (l, CmpOp::Ne, r),
+            ">" => (r, CmpOp::Lt, l),
+            ">=" => (r, CmpOp::Le, l),
+            other => panic!("unknown comparison operator `{other}`"),
+        };
+        self.query.comparisons.push(Comparison::new(lhs, op, rhs));
+        self
+    }
+
+    /// Finishes the query, validating arities and safety.
+    pub fn build(self) -> Result<ConjunctiveQuery> {
+        for atom in &self.query.atoms {
+            let expected = self.schema.arity(atom.relation);
+            if atom.arity() != expected {
+                return Err(CqError::Data(qvsec_data::DataError::ArityMismatch {
+                    relation: self.schema.relation(atom.relation).name.clone(),
+                    expected,
+                    actual: atom.arity(),
+                }));
+            }
+        }
+        self.query.validate()?;
+        Ok(self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        (schema, Domain::new())
+    }
+
+    #[test]
+    fn builds_a_projection_view() {
+        let (schema, mut domain) = setup();
+        // V(n, d) :- Employee(n, d, p)   (Table 1, view V2)
+        let v = QueryBuilder::new("V", &schema, &mut domain)
+            .head(&["n", "d"])
+            .atom("Employee", &["n", "d", "p"])
+            .build()
+            .unwrap();
+        assert_eq!(v.arity(), 2);
+        assert_eq!(v.atoms.len(), 1);
+        assert_eq!(v.num_vars(), 3);
+        assert!(v.constants().is_empty());
+    }
+
+    #[test]
+    fn builds_selection_with_constant() {
+        let (schema, mut domain) = setup();
+        // V4(n) :- Employee(n, 'Mgmt', p)
+        let v = QueryBuilder::new("V4", &schema, &mut domain)
+            .head(&["n"])
+            .atom("Employee", &["n", "'Mgmt'", "p"])
+            .build()
+            .unwrap();
+        assert_eq!(v.constants().len(), 1);
+        assert!(domain.get("Mgmt").is_some(), "constant interned into domain");
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let (schema, mut domain) = setup();
+        let v = QueryBuilder::new("V", &schema, &mut domain)
+            .head(&["n"])
+            .atom("Employee", &["n", "_", "_"])
+            .build()
+            .unwrap();
+        assert_eq!(v.num_vars(), 3);
+    }
+
+    #[test]
+    fn comparisons_normalise_gt() {
+        let (schema, mut domain) = setup();
+        let v = QueryBuilder::new("V", &schema, &mut domain)
+            .head(&["n"])
+            .atom("Employee", &["n", "d", "p"])
+            .cmp("d", ">", "p")
+            .build()
+            .unwrap();
+        assert_eq!(v.comparisons.len(), 1);
+        assert_eq!(v.comparisons[0].op, CmpOp::Lt);
+        // operands swapped: p < d
+        assert_eq!(v.comparisons[0].lhs.as_var(), v.var_by_name("p"));
+    }
+
+    #[test]
+    fn arity_errors_are_reported_at_build_time() {
+        let (schema, mut domain) = setup();
+        let err = QueryBuilder::new("V", &schema, &mut domain)
+            .head(&["n"])
+            .atom("Employee", &["n", "d"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CqError::Data(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relation")]
+    fn unknown_relations_panic_immediately() {
+        let (schema, mut domain) = setup();
+        let _ = QueryBuilder::new("V", &schema, &mut domain).atom("Nope", &["x"]);
+    }
+
+    #[test]
+    fn ground_atom_and_constant_head() {
+        let (schema, mut domain) = setup();
+        let q = QueryBuilder::new("S", &schema, &mut domain)
+            .constant_head("alice")
+            .ground_atom("Employee", &["alice", "HR", "555"])
+            .build()
+            .unwrap();
+        assert_eq!(q.arity(), 1);
+        assert!(q.atoms[0].is_ground());
+    }
+
+    #[test]
+    fn unsafe_head_is_rejected() {
+        let (schema, mut domain) = setup();
+        let err = QueryBuilder::new("V", &schema, &mut domain)
+            .head(&["zzz"])
+            .atom("Employee", &["n", "d", "p"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CqError::UnsafeHeadVariable(_)));
+    }
+}

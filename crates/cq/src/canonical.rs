@@ -1,0 +1,152 @@
+//! Canonical (frozen) databases.
+//!
+//! The canonical database of a conjunctive query freezes every variable into
+//! a fresh constant and reads the body as an instance. It is the classical
+//! tool behind CQ containment (Chandra–Merkurio homomorphism theorem), and in
+//! this workspace it also powers:
+//!
+//! * the *fine instances* of Appendix A (frozen bodies where some subgoals
+//!   are collapsed onto a distinguished tuple), and
+//! * the quotient-image enumeration used for the asymptotic exponents of the
+//!   practical-security model (Section 6.2).
+
+use crate::ast::{ConjunctiveQuery, Term, VarId};
+use qvsec_data::{Domain, Instance, Tuple, Value};
+use std::collections::HashMap;
+
+/// The canonical database of a query: its body frozen into an instance.
+#[derive(Debug, Clone)]
+pub struct CanonicalDatabase {
+    /// The frozen body.
+    pub instance: Instance,
+    /// The constant assigned to each variable.
+    pub frozen_vars: HashMap<VarId, Value>,
+    /// The frozen head answer (empty for boolean queries).
+    pub head_answer: Vec<Value>,
+    /// The domain extended with the fresh constants used for freezing.
+    pub extended_domain: Domain,
+}
+
+impl CanonicalDatabase {
+    /// Freezes `query` over (a copy of) `domain`. Every variable is assigned
+    /// a fresh constant; pre-existing constants are kept as-is.
+    pub fn freeze(query: &ConjunctiveQuery, domain: &Domain) -> Self {
+        Self::freeze_with(query, domain, &HashMap::new())
+    }
+
+    /// Freezes `query`, but forces the variables listed in `pinned` to the
+    /// given values instead of fresh constants. This is how the fine
+    /// instances `I_G` of Appendix A are built: the variables bound by
+    /// unifying the subgoal set `G` with the distinguished tuple `t` are
+    /// pinned, all others are frozen fresh.
+    pub fn freeze_with(
+        query: &ConjunctiveQuery,
+        domain: &Domain,
+        pinned: &HashMap<VarId, Value>,
+    ) -> Self {
+        let mut extended = domain.clone();
+        let mut frozen_vars: HashMap<VarId, Value> = pinned.clone();
+        for v in query.variables() {
+            frozen_vars
+                .entry(v)
+                .or_insert_with(|| extended.fresh(query.var_name(v)));
+        }
+        let resolve = |t: &Term| -> Value {
+            match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => frozen_vars[v],
+            }
+        };
+        let mut instance = Instance::new();
+        for atom in &query.atoms {
+            instance.insert(Tuple::new(
+                atom.relation,
+                atom.terms.iter().map(resolve).collect(),
+            ));
+        }
+        let head_answer = query.head.iter().map(resolve).collect();
+        CanonicalDatabase {
+            instance,
+            frozen_vars,
+            head_answer,
+            extended_domain: extended,
+        }
+    }
+
+    /// The frozen value of a variable.
+    pub fn value_of(&self, v: VarId) -> Value {
+        self.frozen_vars[&v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::parser::parse_query;
+    use qvsec_data::Schema;
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        (schema, Domain::with_constants(["a", "b"]))
+    }
+
+    #[test]
+    fn frozen_body_has_one_tuple_per_distinct_atom_image() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x) :- R(x, y), R(y, z)", &schema, &mut domain).unwrap();
+        let canon = CanonicalDatabase::freeze(&q, &domain);
+        assert_eq!(canon.instance.len(), 2);
+        assert_eq!(canon.head_answer.len(), 1);
+        // fresh constants were added to the extended domain only
+        assert!(canon.extended_domain.len() > domain.len());
+        assert_eq!(domain.len(), 2);
+    }
+
+    #[test]
+    fn query_is_satisfied_by_its_own_canonical_database() {
+        // The defining property: Q evaluated on freeze(Q) yields the frozen
+        // head answer.
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x, z) :- R(x, y), R(y, z)", &schema, &mut domain).unwrap();
+        let canon = CanonicalDatabase::freeze(&q, &domain);
+        let answers = evaluate(&q, &canon.instance);
+        assert!(answers.contains(&canon.head_answer));
+    }
+
+    #[test]
+    fn constants_are_preserved_by_freezing() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, 'a')", &schema, &mut domain).unwrap();
+        let canon = CanonicalDatabase::freeze(&q, &domain);
+        let a = domain.get("a").unwrap();
+        let tuple = canon.instance.iter().next().unwrap();
+        assert_eq!(tuple.values[1], a);
+        assert_ne!(tuple.values[0], a, "variable froze to a fresh constant");
+    }
+
+    #[test]
+    fn pinned_variables_take_requested_values() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, y), R(y, y)", &schema, &mut domain).unwrap();
+        let a = domain.get("a").unwrap();
+        let y = q.var_by_name("y").unwrap();
+        let mut pinned = HashMap::new();
+        pinned.insert(y, a);
+        let canon = CanonicalDatabase::freeze_with(&q, &domain, &pinned);
+        assert_eq!(canon.value_of(y), a);
+        // R(y, y) collapses onto R(a, a)
+        let r = schema.relation_by_name("R").unwrap();
+        assert!(canon.instance.contains(&Tuple::new(r, vec![a, a])));
+        assert_eq!(canon.instance.len(), 2);
+    }
+
+    #[test]
+    fn repeated_identical_atoms_collapse_in_the_frozen_instance() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, y), R(x, y)", &schema, &mut domain).unwrap();
+        let canon = CanonicalDatabase::freeze(&q, &domain);
+        assert_eq!(canon.instance.len(), 1);
+    }
+}

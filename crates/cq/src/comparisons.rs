@@ -1,0 +1,97 @@
+//! Evaluation of comparison predicates under (partial) variable assignments.
+
+use crate::ast::{Comparison, Term, VarId};
+use qvsec_data::Value;
+
+/// A partial assignment of query variables to domain values, indexed by
+/// [`VarId`].
+pub type PartialAssignment = Vec<Option<Value>>;
+
+/// Resolves a term under a partial assignment.
+pub fn resolve_term(term: &Term, assignment: &PartialAssignment) -> Option<Value> {
+    match term {
+        Term::Const(c) => Some(*c),
+        Term::Var(v) => assignment.get(v.index()).copied().flatten(),
+    }
+}
+
+/// Checks every comparison that is fully grounded under `assignment`.
+/// Returns `false` as soon as one grounded comparison is violated; ungrounded
+/// comparisons are skipped (they may still be satisfied later).
+pub fn check_grounded(comparisons: &[Comparison], assignment: &PartialAssignment) -> bool {
+    comparisons.iter().all(|c| {
+        match (resolve_term(&c.lhs, assignment), resolve_term(&c.rhs, assignment)) {
+            (Some(l), Some(r)) => c.op.apply(l, r),
+            _ => true,
+        }
+    })
+}
+
+/// Checks every comparison under a *total* assignment: all comparisons must
+/// be grounded and satisfied.
+pub fn check_all(comparisons: &[Comparison], assignment: &PartialAssignment) -> bool {
+    comparisons.iter().all(|c| {
+        match (resolve_term(&c.lhs, assignment), resolve_term(&c.rhs, assignment)) {
+            (Some(l), Some(r)) => c.op.apply(l, r),
+            _ => false,
+        }
+    })
+}
+
+/// Returns the variables that occur in some comparison but are not assigned.
+pub fn unassigned_comparison_vars(
+    comparisons: &[Comparison],
+    assignment: &PartialAssignment,
+) -> Vec<VarId> {
+    let mut out = Vec::new();
+    for c in comparisons {
+        for v in c.variables() {
+            if assignment.get(v.index()).copied().flatten().is_none() && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+    use qvsec_data::Domain;
+
+    fn terms() -> (Value, Value, Term, Term, Term) {
+        let domain = Domain::with_constants(["a", "b"]);
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        (a, b, Term::Var(VarId(0)), Term::Var(VarId(1)), Term::Const(b))
+    }
+
+    #[test]
+    fn grounded_comparisons_are_enforced() {
+        let (a, b, x, y, _cb) = terms();
+        let cmps = vec![Comparison::new(x, CmpOp::Lt, y)];
+        // x = a, y = b satisfies a < b
+        assert!(check_all(&cmps, &vec![Some(a), Some(b)]));
+        // x = b, y = a violates
+        assert!(!check_all(&cmps, &vec![Some(b), Some(a)]));
+    }
+
+    #[test]
+    fn ungrounded_comparisons_pass_partial_but_fail_total_check() {
+        let (a, _b, x, y, _cb) = terms();
+        let cmps = vec![Comparison::new(x, CmpOp::Ne, y)];
+        let partial = vec![Some(a), None];
+        assert!(check_grounded(&cmps, &partial));
+        assert!(!check_all(&cmps, &partial));
+        assert_eq!(unassigned_comparison_vars(&cmps, &partial), vec![VarId(1)]);
+    }
+
+    #[test]
+    fn constants_resolve_without_assignment() {
+        let (a, b, x, _y, cb) = terms();
+        let cmps = vec![Comparison::new(x, CmpOp::Lt, cb)];
+        assert!(check_all(&cmps, &vec![Some(a)]));
+        assert!(!check_all(&cmps, &vec![Some(b)]), "b < b fails");
+    }
+}

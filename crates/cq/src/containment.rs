@@ -1,0 +1,114 @@
+//! Classical conjunctive-query containment.
+//!
+//! `Q1 ⊑ Q2` (every answer of `Q1` is an answer of `Q2` on every instance)
+//! holds, for comparison-free conjunctive queries, iff there is a
+//! homomorphism from `Q2` into the canonical database of `Q1` mapping `Q2`'s
+//! head onto `Q1`'s frozen head (the homomorphism theorem). Containment and
+//! the induced equivalence relate to the paper through the *query answering*
+//! discussion of Section 4.1.1: if `V'` is answerable from `V̄` then any
+//! query secure w.r.t. `V̄` is secure w.r.t. `V'`; answerability by a single
+//! rewriting query is certified by containment both ways.
+//!
+//! For queries with comparison predicates this check is **sound but not
+//! complete**: a `true` result still implies containment (the frozen
+//! comparison constraints are honoured), but containment may hold even when
+//! the single canonical database does not witness it.
+
+use crate::ast::ConjunctiveQuery;
+use crate::canonical::CanonicalDatabase;
+use crate::homomorphism::answer_survives;
+use qvsec_data::Domain;
+
+/// Whether `q1 ⊑ q2` (see module documentation for the precision caveats with
+/// comparison predicates).
+pub fn contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, domain: &Domain) -> bool {
+    if q1.arity() != q2.arity() {
+        return false;
+    }
+    // Freezing q1 may fail to satisfy q1's own comparisons (e.g. x < y with x
+    // and y frozen to arbitrary fresh constants). The classical theorem
+    // applies to comparison-free q1; for q1 with comparisons this remains a
+    // sound approximation of containment because an unsatisfiable canonical
+    // database makes the check vacuously dependent on q2 only.
+    let canon = CanonicalDatabase::freeze(q1, domain);
+    answer_survives(q2, &canon.instance, &canon.head_answer, None)
+}
+
+/// Whether `q1` and `q2` are equivalent (mutual containment).
+pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, domain: &Domain) -> bool {
+    contained_in(q1, q2, domain) && contained_in(q2, q1, domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use qvsec_data::Schema;
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        (schema, Domain::with_constants(["a", "b"]))
+    }
+
+    #[test]
+    fn longer_chains_are_contained_in_shorter_ones() {
+        let (schema, mut domain) = setup();
+        // Q1: x with a 2-step path from it;  Q2: x with a 1-step path.
+        let q1 = parse_query("Q1(x) :- R(x, y), R(y, z)", &schema, &mut domain).unwrap();
+        let q2 = parse_query("Q2(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        assert!(contained_in(&q1, &q2, &domain));
+        assert!(!contained_in(&q2, &q1, &domain));
+        assert!(!equivalent(&q1, &q2, &domain));
+    }
+
+    #[test]
+    fn containment_is_reflexive() {
+        let (schema, mut domain) = setup();
+        for text in [
+            "Q(x) :- R(x, y)",
+            "Q() :- R(x, x)",
+            "Q(n) :- Employee(n, 'a', p)",
+        ] {
+            let q = parse_query(text, &schema, &mut domain).unwrap();
+            assert!(contained_in(&q, &q, &domain), "{text} not contained in itself");
+        }
+    }
+
+    #[test]
+    fn selection_is_contained_in_projection() {
+        let (schema, mut domain) = setup();
+        // names of employees in department 'a' ⊑ all names
+        let sel = parse_query("S(n) :- Employee(n, 'a', p)", &schema, &mut domain).unwrap();
+        let proj = parse_query("P(n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        assert!(contained_in(&sel, &proj, &domain));
+        assert!(!contained_in(&proj, &sel, &domain));
+    }
+
+    #[test]
+    fn redundant_atoms_do_not_affect_equivalence() {
+        let (schema, mut domain) = setup();
+        let q1 = parse_query("Q(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let q2 = parse_query("Q(x) :- R(x, y), R(x, w)", &schema, &mut domain).unwrap();
+        assert!(equivalent(&q1, &q2, &domain));
+    }
+
+    #[test]
+    fn different_arities_are_never_contained() {
+        let (schema, mut domain) = setup();
+        let q1 = parse_query("Q(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let q2 = parse_query("Q(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        assert!(!contained_in(&q1, &q2, &domain));
+        assert!(!contained_in(&q2, &q1, &domain));
+    }
+
+    #[test]
+    fn boolean_containment() {
+        let (schema, mut domain) = setup();
+        let specific = parse_query("B1() :- R('a', 'b')", &schema, &mut domain).unwrap();
+        let general = parse_query("B2() :- R(x, y)", &schema, &mut domain).unwrap();
+        assert!(contained_in(&specific, &general, &domain));
+        assert!(!contained_in(&general, &specific, &domain));
+    }
+}

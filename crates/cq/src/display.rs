@@ -1,0 +1,129 @@
+//! Pretty-printing of queries in the parser's syntax.
+//!
+//! The printer and the parser round-trip: `parse(print(q)) == q` up to
+//! variable identity (verified by property tests).
+
+use crate::ast::{Atom, ConjunctiveQuery, Term};
+use qvsec_data::{Domain, Schema};
+use std::fmt;
+
+/// Renders a query in datalog syntax, resolving relation, constant and
+/// variable names.
+pub struct QueryDisplay<'a> {
+    query: &'a ConjunctiveQuery,
+    schema: &'a Schema,
+    domain: &'a Domain,
+}
+
+impl ConjunctiveQuery {
+    /// Returns a displayable wrapper that renders the query in the parser's
+    /// datalog syntax.
+    pub fn display<'a>(&'a self, schema: &'a Schema, domain: &'a Domain) -> QueryDisplay<'a> {
+        QueryDisplay {
+            query: self,
+            schema,
+            domain,
+        }
+    }
+}
+
+fn write_term(
+    f: &mut fmt::Formatter<'_>,
+    term: &Term,
+    query: &ConjunctiveQuery,
+    domain: &Domain,
+) -> fmt::Result {
+    match term {
+        Term::Var(v) => write!(f, "{}", query.var_name(*v)),
+        Term::Const(c) => write!(f, "'{}'", domain.name(*c)),
+    }
+}
+
+fn write_atom(
+    f: &mut fmt::Formatter<'_>,
+    atom: &Atom,
+    query: &ConjunctiveQuery,
+    schema: &Schema,
+    domain: &Domain,
+) -> fmt::Result {
+    write!(f, "{}(", schema.relation(atom.relation).name)?;
+    for (i, t) in atom.terms.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write_term(f, t, query, domain)?;
+    }
+    write!(f, ")")
+}
+
+impl fmt::Display for QueryDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let q = self.query;
+        write!(f, "{}(", q.name)?;
+        for (i, t) in q.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write_term(f, t, q, self.domain)?;
+        }
+        write!(f, ") :- ")?;
+        let mut first = true;
+        for atom in &q.atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write_atom(f, atom, q, self.schema, self.domain)?;
+        }
+        for cmp in &q.comparisons {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write_term(f, &cmp.lhs, q, self.domain)?;
+            write!(f, " {} ", cmp.op.symbol())?;
+            write_term(f, &cmp.rhs, q, self.domain)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+    use qvsec_data::{Domain, Schema};
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        schema.add_relation("R", &["x", "y"]);
+        (schema, Domain::new())
+    }
+
+    #[test]
+    fn printer_round_trips_through_parser() {
+        let (schema, mut domain) = setup();
+        let inputs = [
+            "V1(n, d) :- Employee(n, d, p)",
+            "S() :- Employee('Jane', 'Shipping', '1234567')",
+            "Q(x) :- R(x, 'a'), R('a', y), x < y, y != 'c'",
+        ];
+        for input in inputs {
+            let q1 = parse_query(input, &schema, &mut domain).unwrap();
+            let printed = q1.display(&schema, &domain).to_string();
+            let q2 = parse_query(&printed, &schema, &mut domain).unwrap();
+            // structural equality: same atoms, head shape, comparisons
+            assert_eq!(q1.atoms, q2.atoms, "atoms differ for {input}");
+            assert_eq!(q1.head, q2.head, "heads differ for {input}");
+            assert_eq!(q1.comparisons, q2.comparisons, "comparisons differ for {input}");
+        }
+    }
+
+    #[test]
+    fn boolean_queries_print_empty_head() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("B() :- R(x, y)", &schema, &mut domain).unwrap();
+        let s = q.display(&schema, &domain).to_string();
+        assert!(s.starts_with("B() :- R("));
+    }
+}

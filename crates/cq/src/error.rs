@@ -1,0 +1,76 @@
+//! Error types for the conjunctive query engine.
+
+use qvsec_data::DataError;
+use std::fmt;
+
+/// Errors produced while parsing, building or evaluating conjunctive queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqError {
+    /// A parse error with position information.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset in the input where the error occurred.
+        offset: usize,
+    },
+    /// A head variable does not occur in the body (unsafe rule).
+    UnsafeHeadVariable(String),
+    /// A comparison uses a variable that does not occur in any subgoal.
+    UnsafeComparisonVariable(String),
+    /// An error bubbled up from the data substrate (unknown relation, arity
+    /// mismatch, ...).
+    Data(DataError),
+    /// Generic invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            CqError::UnsafeHeadVariable(v) => {
+                write!(f, "head variable `{v}` does not occur in the body")
+            }
+            CqError::UnsafeComparisonVariable(v) => {
+                write!(f, "comparison variable `{v}` does not occur in any subgoal")
+            }
+            CqError::Data(e) => write!(f, "{e}"),
+            CqError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CqError {}
+
+impl From<DataError> for CqError {
+    fn from(e: DataError) -> Self {
+        CqError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = CqError::Parse {
+            message: "expected `)`".into(),
+            offset: 12,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("expected"));
+
+        let e = CqError::UnsafeHeadVariable("x".into());
+        assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn data_errors_convert() {
+        let e: CqError = DataError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, CqError::Data(_)));
+        assert!(e.to_string().contains('R'));
+    }
+}

@@ -1,0 +1,167 @@
+//! Query evaluation over database instances.
+//!
+//! `Q(I)` is the set of head images of all homomorphisms from `Q`'s body into
+//! `I` that satisfy the comparison predicates (Section 3.1). Boolean queries
+//! (arity 0) evaluate to `true` iff at least one homomorphism exists.
+
+use crate::ast::ConjunctiveQuery;
+use crate::homomorphism::{find_homomorphism, find_homomorphisms};
+use qvsec_data::{Instance, Value};
+use std::collections::BTreeSet;
+
+/// A single answer tuple of a query.
+pub type Answer = Vec<Value>;
+
+/// The full answer set of a query on an instance.
+pub type AnswerSet = BTreeSet<Answer>;
+
+/// Evaluates a query over an instance, returning its answer set.
+///
+/// For a boolean query the result is either the empty set (false) or the
+/// singleton set containing the empty tuple (true).
+pub fn evaluate(query: &ConjunctiveQuery, instance: &Instance) -> AnswerSet {
+    let mut answers = AnswerSet::new();
+    if query.is_boolean() {
+        if find_homomorphism(query, instance).is_some() {
+            answers.insert(Vec::new());
+        }
+        return answers;
+    }
+    for hom in find_homomorphisms(query, instance) {
+        if let Some(image) = hom.head_image(query) {
+            answers.insert(image);
+        }
+    }
+    answers
+}
+
+/// Evaluates a boolean query (`true` iff the body is satisfiable in the
+/// instance). Non-boolean queries are treated as their boolean projection
+/// ("is the answer set non-empty?").
+pub fn evaluate_boolean(query: &ConjunctiveQuery, instance: &Instance) -> bool {
+    find_homomorphism(query, instance).is_some()
+}
+
+/// Evaluates every view of a view set, returning the vector of answer sets in
+/// view order. This is the published value `V̄(I) = (V1(I), ..., Vk(I))`.
+pub fn evaluate_views(views: &crate::ast::ViewSet, instance: &Instance) -> Vec<AnswerSet> {
+    views.iter().map(|v| evaluate(v, instance)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ViewSet;
+    use crate::parser::{parse_query, parse_view_set};
+    use qvsec_data::{Domain, Schema, Tuple};
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        schema.add_relation("R", &["x", "y"]);
+        (
+            schema,
+            Domain::with_constants(["a", "b", "alice", "bob", "sales", "hr", "p1", "p2"]),
+        )
+    }
+
+    fn emp(schema: &Schema, domain: &Domain, n: &str, d: &str, p: &str) -> Tuple {
+        Tuple::from_names(schema, domain, "Employee", &[n, d, p]).unwrap()
+    }
+
+    #[test]
+    fn projection_view_returns_projected_pairs() {
+        let (schema, mut domain) = setup();
+        let v = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let inst = Instance::from_tuples([
+            emp(&schema, &domain, "alice", "sales", "p1"),
+            emp(&schema, &domain, "bob", "sales", "p2"),
+        ]);
+        let answers = evaluate(&v, &inst);
+        assert_eq!(answers.len(), 2);
+        let alice = domain.get("alice").unwrap();
+        let sales = domain.get("sales").unwrap();
+        assert!(answers.contains(&vec![alice, sales]));
+    }
+
+    #[test]
+    fn duplicate_projections_collapse() {
+        let (schema, mut domain) = setup();
+        let v = parse_query("V(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let inst = Instance::from_tuples([
+            emp(&schema, &domain, "alice", "sales", "p1"),
+            emp(&schema, &domain, "bob", "sales", "p2"),
+        ]);
+        assert_eq!(evaluate(&v, &inst).len(), 1, "set semantics");
+    }
+
+    #[test]
+    fn boolean_queries_report_satisfiability() {
+        let (schema, mut domain) = setup();
+        let s = parse_query(
+            "S() :- Employee('alice', 'sales', p)",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
+        let yes = Instance::from_tuples([emp(&schema, &domain, "alice", "sales", "p1")]);
+        let no = Instance::from_tuples([emp(&schema, &domain, "bob", "sales", "p1")]);
+        assert!(evaluate_boolean(&s, &yes));
+        assert!(!evaluate_boolean(&s, &no));
+        assert_eq!(evaluate(&s, &yes).len(), 1);
+        assert!(evaluate(&s, &no).is_empty());
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_answers() {
+        let (schema, mut domain) = setup();
+        let v = parse_query("V(n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        assert!(evaluate(&v, &Instance::new()).is_empty());
+    }
+
+    #[test]
+    fn evaluation_is_monotone() {
+        // Conjunctive queries are monotone: I ⊆ I' ⇒ Q(I) ⊆ Q(I')
+        // (Section 3.1). Spot-check on a small family of instances.
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x, z) :- R(x, y), R(y, z)", &schema, &mut domain).unwrap();
+        let t_ab = Tuple::from_names(&schema, &domain, "R", &["a", "b"]).unwrap();
+        let t_bb = Tuple::from_names(&schema, &domain, "R", &["b", "b"]).unwrap();
+        let t_ba = Tuple::from_names(&schema, &domain, "R", &["b", "a"]).unwrap();
+        let small = Instance::from_tuples([t_ab.clone(), t_bb.clone()]);
+        let large = Instance::from_tuples([t_ab, t_bb, t_ba]);
+        let small_ans = evaluate(&q, &small);
+        let large_ans = evaluate(&q, &large);
+        assert!(small_ans.iter().all(|a| large_ans.contains(a)));
+        assert!(large_ans.len() >= small_ans.len());
+    }
+
+    #[test]
+    fn view_sets_evaluate_componentwise() {
+        let (schema, mut domain) = setup();
+        let views: ViewSet = parse_view_set(
+            "VBob(n, d) :- Employee(n, d, p)\nVCarol(d, p) :- Employee(n, d, p)",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
+        let inst = Instance::from_tuples([emp(&schema, &domain, "alice", "sales", "p1")]);
+        let results = evaluate_views(&views, &inst);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].len(), 1);
+        assert_eq!(results[1].len(), 1);
+    }
+
+    #[test]
+    fn selection_with_constant_filters() {
+        let (schema, mut domain) = setup();
+        let v = parse_query("V(n) :- Employee(n, 'sales', p)", &schema, &mut domain).unwrap();
+        let inst = Instance::from_tuples([
+            emp(&schema, &domain, "alice", "sales", "p1"),
+            emp(&schema, &domain, "bob", "hr", "p2"),
+        ]);
+        let answers = evaluate(&v, &inst);
+        assert_eq!(answers.len(), 1);
+        assert!(answers.contains(&vec![domain.get("alice").unwrap()]));
+    }
+}

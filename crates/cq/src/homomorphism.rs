@@ -1,0 +1,367 @@
+//! Homomorphism search from query bodies into database instances.
+//!
+//! A homomorphism maps the variables of a query to domain values such that
+//! the image of every subgoal is a tuple of the instance and every comparison
+//! predicate holds. Homomorphisms are the workhorse of the whole workspace:
+//! query evaluation, containment, the criterion-based critical-tuple test
+//! (Appendix A reasons entirely in terms of homomorphisms `h : Q → I` and
+//! alternatives `h_new : Q → I − {t}`) and the canonical-database
+//! constructions all reduce to this search.
+
+use crate::ast::{ConjunctiveQuery, Term};
+use crate::comparisons::{check_grounded, PartialAssignment};
+use qvsec_data::{Instance, Tuple, Value};
+
+/// A total assignment of (the body-relevant) query variables to values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Homomorphism {
+    /// Value assigned to each variable (indexed by `VarId`); `None` for
+    /// variables that do not occur in any subgoal.
+    pub assignment: Vec<Option<Value>>,
+}
+
+impl Homomorphism {
+    /// The value of a term under this homomorphism (head constants resolve to
+    /// themselves).
+    pub fn term_value(&self, term: &Term) -> Option<Value> {
+        match term {
+            Term::Const(c) => Some(*c),
+            Term::Var(v) => self.assignment.get(v.index()).copied().flatten(),
+        }
+    }
+
+    /// The image of the query head under this homomorphism. Head variables
+    /// that do not occur in the body (rejected by validation) yield `None`.
+    pub fn head_image(&self, query: &ConjunctiveQuery) -> Option<Vec<Value>> {
+        query.head.iter().map(|t| self.term_value(t)).collect()
+    }
+
+    /// The image of the query body: the set of tuples the subgoals are mapped
+    /// to.
+    pub fn body_image(&self, query: &ConjunctiveQuery) -> Option<Instance> {
+        let mut inst = Instance::new();
+        for atom in &query.atoms {
+            let values: Option<Vec<Value>> =
+                atom.terms.iter().map(|t| self.term_value(t)).collect();
+            inst.insert(Tuple::new(atom.relation, values?));
+        }
+        Some(inst)
+    }
+}
+
+/// Options controlling the homomorphism search.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOptions {
+    /// Stop after this many homomorphisms have been found.
+    pub limit: Option<usize>,
+    /// Require the head image to equal this answer (used to test whether a
+    /// specific answer survives when a tuple is removed — the non-boolean
+    /// case of the critical-tuple test).
+    pub required_answer: Option<Vec<Value>>,
+    /// Require every subgoal image to avoid this tuple (equivalent to
+    /// searching in `I − {t}` but without copying the instance).
+    pub forbidden_tuple: Option<Tuple>,
+}
+
+/// Finds homomorphisms from `query` into `instance`, subject to `options`.
+pub fn search(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    options: &SearchOptions,
+) -> Vec<Homomorphism> {
+    let mut results = Vec::new();
+    let mut assignment: PartialAssignment = vec![None; query.num_vars()];
+
+    // Pre-check: grounded head constants against a required answer.
+    if let Some(answer) = &options.required_answer {
+        if answer.len() != query.head.len() {
+            return results;
+        }
+        for (term, &val) in query.head.iter().zip(answer.iter()) {
+            match term {
+                Term::Const(c) if *c != val => return results,
+                Term::Const(_) => {}
+                Term::Var(_) => {}
+            }
+        }
+    }
+
+    backtrack(query, instance, options, 0, &mut assignment, &mut results);
+    results
+}
+
+fn backtrack(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    options: &SearchOptions,
+    atom_index: usize,
+    assignment: &mut PartialAssignment,
+    results: &mut Vec<Homomorphism>,
+) {
+    if let Some(limit) = options.limit {
+        if results.len() >= limit {
+            return;
+        }
+    }
+    if atom_index == query.atoms.len() {
+        // All atoms matched: every comparison must now be grounded (safety
+        // guarantees comparison variables occur in subgoals) and satisfied.
+        if !crate::comparisons::check_all(&query.comparisons, assignment) {
+            return;
+        }
+        let hom = Homomorphism {
+            assignment: assignment.clone(),
+        };
+        if let Some(answer) = &options.required_answer {
+            match hom.head_image(query) {
+                Some(image) if &image == answer => {}
+                _ => return,
+            }
+        }
+        results.push(hom);
+        return;
+    }
+
+    let atom = &query.atoms[atom_index];
+    // iterate over candidate tuples of the right relation
+    let candidates: Vec<&Tuple> = instance.tuples_of(atom.relation).collect();
+    for tuple in candidates {
+        if let Some(forbidden) = &options.forbidden_tuple {
+            if tuple == forbidden {
+                continue;
+            }
+        }
+        if tuple.arity() != atom.arity() {
+            continue;
+        }
+        // try to extend the assignment by matching atom against tuple
+        let mut newly_bound = Vec::new();
+        let mut ok = true;
+        for (term, &value) in atom.terms.iter().zip(tuple.values.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if *c != value {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match assignment[v.index()] {
+                    Some(existing) => {
+                        if existing != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        assignment[v.index()] = Some(value);
+                        newly_bound.push(v.index());
+                    }
+                },
+            }
+        }
+        if ok && check_grounded(&query.comparisons, assignment) {
+            // prune using the required answer on grounded head variables
+            let answer_ok = match &options.required_answer {
+                Some(answer) => query.head.iter().zip(answer.iter()).all(|(t, &val)| {
+                    match crate::comparisons::resolve_term(t, assignment) {
+                        Some(v) => v == val,
+                        None => true,
+                    }
+                }),
+                None => true,
+            };
+            if answer_ok {
+                backtrack(
+                    query,
+                    instance,
+                    options,
+                    atom_index + 1,
+                    assignment,
+                    results,
+                );
+            }
+        }
+        for idx in newly_bound {
+            assignment[idx] = None;
+        }
+    }
+}
+
+/// Finds all homomorphisms from `query` into `instance`.
+pub fn find_homomorphisms(query: &ConjunctiveQuery, instance: &Instance) -> Vec<Homomorphism> {
+    search(query, instance, &SearchOptions::default())
+}
+
+/// Finds one homomorphism from `query` into `instance`, if any exists.
+pub fn find_homomorphism(query: &ConjunctiveQuery, instance: &Instance) -> Option<Homomorphism> {
+    search(
+        query,
+        instance,
+        &SearchOptions {
+            limit: Some(1),
+            ..SearchOptions::default()
+        },
+    )
+    .into_iter()
+    .next()
+}
+
+/// Whether some homomorphism maps `query`'s head to exactly `answer` within
+/// `instance`, optionally avoiding a forbidden tuple.
+pub fn answer_survives(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    answer: &[Value],
+    forbidden: Option<&Tuple>,
+) -> bool {
+    !search(
+        query,
+        instance,
+        &SearchOptions {
+            limit: Some(1),
+            required_answer: Some(answer.to_vec()),
+            forbidden_tuple: forbidden.cloned(),
+        },
+    )
+    .is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use qvsec_data::{Domain, Schema, Tuple};
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        (schema, Domain::with_constants(["a", "b", "c"]))
+    }
+
+    fn tup(schema: &Schema, domain: &Domain, x: &str, y: &str) -> Tuple {
+        Tuple::from_names(schema, domain, "R", &[x, y]).unwrap()
+    }
+
+    #[test]
+    fn finds_all_matches_of_a_single_atom() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let inst = Instance::from_tuples([
+            tup(&schema, &domain, "a", "b"),
+            tup(&schema, &domain, "b", "c"),
+        ]);
+        let homs = find_homomorphisms(&q, &inst);
+        assert_eq!(homs.len(), 2);
+    }
+
+    #[test]
+    fn join_variables_are_respected() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, y), R(y, z)", &schema, &mut domain).unwrap();
+        let path = Instance::from_tuples([
+            tup(&schema, &domain, "a", "b"),
+            tup(&schema, &domain, "b", "c"),
+        ]);
+        assert!(find_homomorphism(&q, &path).is_some());
+        let no_path = Instance::from_tuples([
+            tup(&schema, &domain, "a", "b"),
+            tup(&schema, &domain, "c", "a"),
+        ]);
+        // a->b then needs b->?, absent... but c->a then a->b works
+        assert!(find_homomorphism(&q, &no_path).is_some());
+        let disconnected = Instance::from_tuples([tup(&schema, &domain, "a", "b")]);
+        // single edge a->b: needs R(b, z), absent
+        assert!(find_homomorphism(&q, &disconnected).is_none());
+    }
+
+    #[test]
+    fn repeated_variables_must_match_equal_values() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, x)", &schema, &mut domain).unwrap();
+        let no_loop = Instance::from_tuples([tup(&schema, &domain, "a", "b")]);
+        assert!(find_homomorphism(&q, &no_loop).is_none());
+        let with_loop = Instance::from_tuples([tup(&schema, &domain, "b", "b")]);
+        assert!(find_homomorphism(&q, &with_loop).is_some());
+    }
+
+    #[test]
+    fn constants_restrict_matches() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(y) :- R('a', y)", &schema, &mut domain).unwrap();
+        let inst = Instance::from_tuples([
+            tup(&schema, &domain, "a", "b"),
+            tup(&schema, &domain, "b", "c"),
+        ]);
+        let homs = find_homomorphisms(&q, &inst);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(
+            homs[0].head_image(&q).unwrap(),
+            vec![domain.get("b").unwrap()]
+        );
+    }
+
+    #[test]
+    fn comparisons_filter_homomorphisms() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x, y) :- R(x, y), x < y", &schema, &mut domain).unwrap();
+        let inst = Instance::from_tuples([
+            tup(&schema, &domain, "a", "b"),
+            tup(&schema, &domain, "b", "a"),
+            tup(&schema, &domain, "c", "c"),
+        ]);
+        let homs = find_homomorphisms(&q, &inst);
+        assert_eq!(homs.len(), 1, "only a < b survives");
+    }
+
+    #[test]
+    fn required_answer_and_forbidden_tuple() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let tab = tup(&schema, &domain, "a", "b");
+        let tac = tup(&schema, &domain, "a", "c");
+        let inst = Instance::from_tuples([tab.clone(), tac.clone()]);
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        // answer (a) survives removing R(a,b) because R(a,c) still yields it
+        assert!(answer_survives(&q, &inst, &[a], Some(&tab)));
+        // answer (b) never exists
+        assert!(!answer_survives(&q, &inst, &[b], None));
+        // removing both supports kills the answer
+        let only = Instance::from_tuples([tab.clone()]);
+        assert!(!answer_survives(&q, &only, &[a], Some(&tab)));
+    }
+
+    #[test]
+    fn body_image_collects_mapped_tuples() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, y), R(y, z)", &schema, &mut domain).unwrap();
+        let inst = Instance::from_tuples([
+            tup(&schema, &domain, "a", "b"),
+            tup(&schema, &domain, "b", "c"),
+        ]);
+        let hom = find_homomorphism(&q, &inst).unwrap();
+        let image = hom.body_image(&q).unwrap();
+        assert!(image.is_subset_of(&inst));
+        assert_eq!(image.len(), 2);
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let inst = Instance::from_tuples([
+            tup(&schema, &domain, "a", "b"),
+            tup(&schema, &domain, "b", "c"),
+            tup(&schema, &domain, "c", "a"),
+        ]);
+        let homs = search(
+            &q,
+            &inst,
+            &SearchOptions {
+                limit: Some(2),
+                ..SearchOptions::default()
+            },
+        );
+        assert_eq!(homs.len(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! # qvsec-cq — conjunctive query engine
+//!
+//! Conjunctive queries with inequalities are the query language of the paper
+//! (Section 3.1): datalog rules of the form
+//!
+//! ```text
+//! Q(x, y) :- R1(x, 'a', y), R2(y, 'b', 'c'), x < y, y != 'c'
+//! ```
+//!
+//! where `x, y` are variables, `_` denotes anonymous variables (each
+//! occurrence distinct), and quoted identifiers are constants.
+//!
+//! This crate provides:
+//!
+//! * the query AST and a programmatic builder ([`ast`], [`builder`]),
+//! * a datalog-style parser and pretty-printer ([`parser`], [`display`]),
+//! * evaluation over database instances and monotonicity-respecting
+//!   homomorphism search ([`eval`], [`homomorphism`]),
+//! * unification of subgoals with ground tuples and with each other
+//!   ([`unification`]) — the engine behind the candidate-critical-tuple
+//!   enumeration and the paper's "practical algorithm" (Section 4.2),
+//! * canonical (frozen) databases and classical CQ containment
+//!   ([`canonical`], [`containment`]), and
+//! * comparison predicates over the domain's total order ([`comparisons`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod builder;
+pub mod canonical;
+pub mod comparisons;
+pub mod containment;
+pub mod display;
+pub mod error;
+pub mod eval;
+pub mod homomorphism;
+pub mod parser;
+pub mod unification;
+
+pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, VarId, ViewSet};
+pub use builder::QueryBuilder;
+pub use canonical::CanonicalDatabase;
+pub use containment::contained_in;
+pub use error::CqError;
+pub use eval::{evaluate, evaluate_boolean, Answer, AnswerSet};
+pub use homomorphism::{find_homomorphism, find_homomorphisms, Homomorphism};
+pub use parser::{parse_query, parse_view_set};
+pub use unification::{unify_atom_with_tuple, unify_atoms, unify_atoms_with_tuple, Substitution};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CqError>;

@@ -1,0 +1,414 @@
+//! A datalog-style parser for conjunctive queries with inequalities.
+//!
+//! Syntax (whitespace-insensitive):
+//!
+//! ```text
+//! V(n, d)    :- Employee(n, d, p)
+//! S()        :- Employee('Jane', 'Shipping', '1234567')
+//! Q(x)       :- R(x, 'a', y), R(y, _, _), x < y, y != 'c'
+//! ```
+//!
+//! * `name(...) :- ...` — the head; an empty argument list makes the query
+//!   boolean;
+//! * identifiers are **variables**;
+//! * quoted identifiers (`'a'`, `"Jane Doe"`) and bare integers are
+//!   **constants** (interned into the supplied [`Domain`]);
+//! * `_` is an anonymous variable — every occurrence is distinct, like the
+//!   paper's `−`;
+//! * comparisons use `<`, `<=`, `=`, `!=` (aliases `==`, `<>`), `>`, `>=`.
+
+use crate::ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, ViewSet};
+use crate::{CqError, Result};
+use qvsec_data::{Domain, Schema};
+
+/// Parses a single conjunctive query. Constants mentioned in the query are
+/// interned into `domain`.
+pub fn parse_query(input: &str, schema: &Schema, domain: &mut Domain) -> Result<ConjunctiveQuery> {
+    Parser::new(input, schema, domain).parse_rule()
+}
+
+/// Parses several queries separated by newlines or `;`, returning them as a
+/// [`ViewSet`]. Blank lines and lines starting with `%` or `#` (comments) are
+/// skipped.
+pub fn parse_view_set(input: &str, schema: &Schema, domain: &mut Domain) -> Result<ViewSet> {
+    let mut views = Vec::new();
+    for chunk in input.split(|c| c == '\n' || c == ';') {
+        let line = chunk.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        views.push(parse_query(line, schema, domain)?);
+    }
+    Ok(ViewSet::from_views(views))
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    schema: &'a Schema,
+    domain: &'a mut Domain,
+    /// Whether the last parsed comparison operator was `>`/`>=` and its
+    /// operands must therefore be swapped to normalise to `<`/`<=`.
+    last_cmp_swapped: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum RawTerm {
+    Var(String),
+    Anon,
+    Const(String),
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, schema: &'a Schema, domain: &'a mut Domain) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            schema,
+            domain,
+            last_cmp_swapped: false,
+        }
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(CqError::Parse {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.error(format!(
+                "expected `{}`, found `{}`",
+                expected as char,
+                self.peek().map(|c| c as char).unwrap_or('∅')
+            ))
+        }
+    }
+
+    fn try_eat_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.error("expected an identifier");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn quoted(&mut self, quote: u8) -> Result<String> {
+        // assumes the opening quote has been consumed
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != quote {
+            self.pos += 1;
+        }
+        if self.pos >= self.input.len() {
+            return self.error("unterminated quoted constant");
+        }
+        let s = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+        self.pos += 1; // closing quote
+        Ok(s)
+    }
+
+    fn raw_term(&mut self) -> Result<RawTerm> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'\'') => {
+                self.pos += 1;
+                Ok(RawTerm::Const(self.quoted(b'\'')?))
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                Ok(RawTerm::Const(self.quoted(b'"')?))
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let ident = self.ident()?;
+                Ok(RawTerm::Const(ident))
+            }
+            _ => {
+                let ident = self.ident()?;
+                if ident == "_" {
+                    Ok(RawTerm::Anon)
+                } else {
+                    Ok(RawTerm::Var(ident))
+                }
+            }
+        }
+    }
+
+    fn resolve(&mut self, raw: RawTerm, query: &mut ConjunctiveQuery) -> Term {
+        match raw {
+            RawTerm::Var(name) => Term::Var(query.add_var(&name)),
+            RawTerm::Anon => Term::Var(query.add_var("_")),
+            RawTerm::Const(name) => Term::Const(self.domain.add(&name)),
+        }
+    }
+
+    fn term_list(&mut self, query: &mut ConjunctiveQuery) -> Result<Vec<Term>> {
+        let mut terms = Vec::new();
+        self.eat(b'(')?;
+        self.skip_ws();
+        if self.peek() == Some(b')') {
+            self.pos += 1;
+            return Ok(terms);
+        }
+        loop {
+            let raw = self.raw_term()?;
+            terms.push(self.resolve(raw, query));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return self.error("expected `,` or `)` in argument list"),
+            }
+        }
+        Ok(terms)
+    }
+
+    fn comparison_op(&mut self) -> Option<CmpOp> {
+        self.skip_ws();
+        // two-character operators first
+        for (text, op, swap) in [
+            ("<=", CmpOp::Le, false),
+            (">=", CmpOp::Le, true),
+            ("!=", CmpOp::Ne, false),
+            ("<>", CmpOp::Ne, false),
+            ("==", CmpOp::Eq, false),
+            ("<", CmpOp::Lt, false),
+            (">", CmpOp::Lt, true),
+            ("=", CmpOp::Eq, false),
+        ] {
+            let save = self.pos;
+            if self.try_eat_str(text) {
+                self.last_cmp_swapped = swap;
+                return Some(op);
+            }
+            self.pos = save;
+        }
+        None
+    }
+
+    fn parse_rule(&mut self) -> Result<ConjunctiveQuery> {
+        let name = self.ident()?;
+        let mut query = ConjunctiveQuery::new(&name);
+        let head = self.term_list(&mut query)?;
+        query.head = head;
+        self.skip_ws();
+        if !self.try_eat_str(":-") {
+            return self.error("expected `:-` after the head");
+        }
+        loop {
+            self.body_item(&mut query)?;
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        self.skip_ws();
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.skip_ws();
+        }
+        if self.pos != self.input.len() {
+            return self.error("unexpected trailing input");
+        }
+        query.validate()?;
+        Ok(query)
+    }
+
+    fn body_item(&mut self, query: &mut ConjunctiveQuery) -> Result<()> {
+        self.skip_ws();
+        // lookahead: an atom is IDENT '(' ; otherwise it is a comparison
+        let save = self.pos;
+        if let Ok(ident) = self.ident() {
+            self.skip_ws();
+            if self.peek() == Some(b'(') {
+                let rel = self.schema.require_relation(&ident)?;
+                let terms = self.term_list(query)?;
+                if terms.len() != self.schema.arity(rel) {
+                    return Err(CqError::Data(qvsec_data::DataError::ArityMismatch {
+                        relation: ident,
+                        expected: self.schema.arity(rel),
+                        actual: terms.len(),
+                    }));
+                }
+                query.atoms.push(Atom::new(rel, terms));
+                return Ok(());
+            }
+        }
+        // not an atom: rewind and parse `term op term`
+        self.pos = save;
+        let lhs_raw = self.raw_term()?;
+        let op = match self.comparison_op() {
+            Some(op) => op,
+            None => return self.error("expected a comparison operator"),
+        };
+        let swapped = self.last_cmp_swapped;
+        let rhs_raw = self.raw_term()?;
+        let lhs = self.resolve(lhs_raw, query);
+        let rhs = self.resolve(rhs_raw, query);
+        let (lhs, rhs) = if swapped { (rhs, lhs) } else { (lhs, rhs) };
+        query.comparisons.push(Comparison::new(lhs, op, rhs));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        schema.add_relation("R", &["x", "y"]);
+        (schema, Domain::new())
+    }
+
+    #[test]
+    fn parses_table1_projection_views() {
+        let (schema, mut domain) = setup();
+        let v = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        assert_eq!(v.name, "V1");
+        assert_eq!(v.arity(), 2);
+        assert_eq!(v.atoms.len(), 1);
+        assert_eq!(v.num_vars(), 3);
+        assert!(v.comparisons.is_empty());
+    }
+
+    #[test]
+    fn parses_boolean_query_with_constants() {
+        let (schema, mut domain) = setup();
+        let s = parse_query(
+            "S() :- Employee('Jane', 'Shipping', '1234567')",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
+        assert!(s.is_boolean());
+        assert!(s.atoms[0].is_ground());
+        assert_eq!(domain.len(), 3);
+        assert!(domain.get("Jane").is_some());
+    }
+
+    #[test]
+    fn parses_anonymous_variables_as_fresh() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x) :- R(x, _), R(_, x)", &schema, &mut domain).unwrap();
+        // x plus two distinct anonymous variables
+        assert_eq!(q.num_vars(), 3);
+    }
+
+    #[test]
+    fn parses_comparisons_and_normalises_gt() {
+        let (schema, mut domain) = setup();
+        let q = parse_query(
+            "Q(x) :- R(x, y), x < y, y != 'c', x > 'a', y >= x",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
+        assert_eq!(q.comparisons.len(), 4);
+        assert_eq!(q.comparisons[0].op, CmpOp::Lt);
+        assert_eq!(q.comparisons[1].op, CmpOp::Ne);
+        // x > 'a' becomes 'a' < x
+        assert_eq!(q.comparisons[2].op, CmpOp::Lt);
+        assert!(q.comparisons[2].lhs.as_const().is_some());
+        // y >= x becomes x <= y
+        assert_eq!(q.comparisons[3].op, CmpOp::Le);
+        assert_eq!(q.comparisons[3].lhs.as_var(), q.var_by_name("x"));
+    }
+
+    #[test]
+    fn parses_numeric_constants() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x) :- R(x, 42)", &schema, &mut domain).unwrap();
+        assert_eq!(q.constants().len(), 1);
+        assert!(domain.get("42").is_some());
+    }
+
+    #[test]
+    fn rejects_unknown_relations_and_bad_arity() {
+        let (schema, mut domain) = setup();
+        assert!(parse_query("Q(x) :- Nope(x)", &schema, &mut domain).is_err());
+        assert!(parse_query("Q(x) :- R(x)", &schema, &mut domain).is_err());
+    }
+
+    #[test]
+    fn rejects_unsafe_and_malformed_rules() {
+        let (schema, mut domain) = setup();
+        assert!(matches!(
+            parse_query("Q(z) :- R(x, y)", &schema, &mut domain),
+            Err(CqError::UnsafeHeadVariable(_))
+        ));
+        assert!(parse_query("Q(x) R(x, y)", &schema, &mut domain).is_err());
+        assert!(parse_query("Q(x) :- R(x, y), x <", &schema, &mut domain).is_err());
+        assert!(parse_query("Q(x) :- R(x, 'unterminated)", &schema, &mut domain).is_err());
+        assert!(parse_query("Q(x) :- R(x, y) trailing", &schema, &mut domain).is_err());
+    }
+
+    #[test]
+    fn trailing_period_is_accepted() {
+        let (schema, mut domain) = setup();
+        assert!(parse_query("Q(x) :- R(x, y).", &schema, &mut domain).is_ok());
+    }
+
+    #[test]
+    fn parse_view_set_splits_on_newlines_and_semicolons() {
+        let (schema, mut domain) = setup();
+        let text = "
+            % Bob's view and Carol's view (Table 1, row 2)
+            V(n, d)  :- Employee(n, d, p)
+            Vp(d, p) :- Employee(n, d, p) ; W(n) :- Employee(n, d, p)
+        ";
+        let views = parse_view_set(text, &schema, &mut domain).unwrap();
+        assert_eq!(views.len(), 3);
+        assert_eq!(views.views()[0].name, "V");
+        assert_eq!(views.views()[2].name, "W");
+    }
+
+    #[test]
+    fn shared_variables_within_a_rule_are_identified() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, y), R(y, z)", &schema, &mut domain).unwrap();
+        assert_eq!(q.num_vars(), 3);
+        let y = q.var_by_name("y").unwrap();
+        assert_eq!(q.atoms[0].terms[1], Term::Var(y));
+        assert_eq!(q.atoms[1].terms[0], Term::Var(y));
+    }
+}

@@ -1,0 +1,325 @@
+//! Unification of subgoals with ground tuples and with other subgoals.
+//!
+//! Unification drives two pieces of the paper's machinery:
+//!
+//! * **Candidate critical tuples.** Any critical tuple of a conjunctive query
+//!   must be a homomorphic image of one of its subgoals (Section 4.2), i.e.
+//!   the result of unifying that subgoal with a ground tuple. The
+//!   criterion-based `crit` procedure enumerates exactly these candidates.
+//! * **The practical algorithm.** "Simply compare all pairs of subgoals from
+//!   `S` and from `V̄`. If any pair of subgoals unify, then ¬(S | V̄)" may be
+//!   reported (Section 4.2) — a sound, fast over-approximation implemented by
+//!   [`unify_atoms`].
+
+use crate::ast::{Atom, Term, VarId};
+use qvsec_data::{Tuple, Value};
+use std::collections::HashMap;
+
+/// A partial substitution of query variables by domain values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    bindings: HashMap<VarId, Value>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Substitution::default()
+    }
+
+    /// The value bound to a variable, if any.
+    pub fn get(&self, v: VarId) -> Option<Value> {
+        self.bindings.get(&v).copied()
+    }
+
+    /// Binds `v` to `value`; fails (returns `false`) if `v` is already bound
+    /// to a different value.
+    pub fn bind(&mut self, v: VarId, value: Value) -> bool {
+        match self.bindings.get(&v) {
+            Some(&existing) => existing == value,
+            None => {
+                self.bindings.insert(v, value);
+                true
+            }
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Iterates over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Value)> + '_ {
+        self.bindings.iter().map(|(&v, &val)| (v, val))
+    }
+
+    /// Applies the substitution to a term.
+    pub fn apply_term(&self, term: &Term) -> Term {
+        match term {
+            Term::Const(_) => *term,
+            Term::Var(v) => match self.get(*v) {
+                Some(val) => Term::Const(val),
+                None => *term,
+            },
+        }
+    }
+
+    /// Applies the substitution to an atom, producing a ground tuple if every
+    /// variable of the atom is bound.
+    pub fn ground_atom(&self, atom: &Atom) -> Option<Tuple> {
+        let values: Option<Vec<Value>> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => self.get(*v),
+            })
+            .collect();
+        values.map(|v| Tuple::new(atom.relation, v))
+    }
+}
+
+/// Unifies a single subgoal with a ground tuple: same relation, constants
+/// agree positionally, and variables bind consistently. Returns the matching
+/// substitution, or `None`.
+pub fn unify_atom_with_tuple(atom: &Atom, tuple: &Tuple) -> Option<Substitution> {
+    let mut subst = Substitution::new();
+    extend_unify_atom_with_tuple(&mut subst, atom, tuple).then_some(subst)
+}
+
+/// Extends an existing substitution by unifying `atom` with `tuple`. Returns
+/// `false` (leaving the substitution in an unspecified but safe state) if
+/// unification fails.
+pub fn extend_unify_atom_with_tuple(subst: &mut Substitution, atom: &Atom, tuple: &Tuple) -> bool {
+    if atom.relation != tuple.relation || atom.arity() != tuple.arity() {
+        return false;
+    }
+    for (term, &value) in atom.terms.iter().zip(tuple.values.iter()) {
+        match term {
+            Term::Const(c) => {
+                if *c != value {
+                    return false;
+                }
+            }
+            Term::Var(v) => {
+                if !subst.bind(*v, value) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Simultaneously unifies a set of subgoals with a single ground tuple: all
+/// subgoals must map onto `tuple` under one common substitution. This is the
+/// construction of the *fine instances* `I_G` of Appendix A, where `G` is the
+/// set of subgoals mapped to the tuple `t`.
+pub fn unify_atoms_with_tuple(atoms: &[&Atom], tuple: &Tuple) -> Option<Substitution> {
+    let mut subst = Substitution::new();
+    for atom in atoms {
+        if !extend_unify_atom_with_tuple(&mut subst, atom, tuple) {
+            return None;
+        }
+    }
+    Some(subst)
+}
+
+/// Whether two subgoals — understood as coming from *different* queries, so
+/// their variables are disjoint even if their `VarId`s coincide — can be
+/// mapped to a common ground tuple.
+///
+/// This is the test of the paper's "practical algorithm": `S | V̄` certainly
+/// holds if no subgoal of `S` unifies with a subgoal of `V̄`.
+pub fn unify_atoms(left: &Atom, right: &Atom) -> bool {
+    if left.relation != right.relation || left.arity() != right.arity() {
+        return false;
+    }
+    // Union-find over the terms of both atoms, tagging variables by side.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    enum Node {
+        LeftVar(VarId),
+        RightVar(VarId),
+        Const(Value),
+    }
+    let mut parent: HashMap<Node, Node> = HashMap::new();
+    fn find(parent: &mut HashMap<Node, Node>, mut n: Node) -> Node {
+        loop {
+            let p = *parent.entry(n).or_insert(n);
+            if p == n {
+                return n;
+            }
+            // path halving
+            let gp = *parent.entry(p).or_insert(p);
+            parent.insert(n, gp);
+            n = gp;
+        }
+    }
+    fn union(parent: &mut HashMap<Node, Node>, a: Node, b: Node) -> bool {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra == rb {
+            return true;
+        }
+        match (ra, rb) {
+            (Node::Const(x), Node::Const(y)) => x == y,
+            (Node::Const(_), _) => {
+                parent.insert(rb, ra);
+                true
+            }
+            (_, Node::Const(_)) => {
+                parent.insert(ra, rb);
+                true
+            }
+            _ => {
+                parent.insert(ra, rb);
+                true
+            }
+        }
+    }
+    let node_of = |side_left: bool, term: &Term| match term {
+        Term::Const(c) => Node::Const(*c),
+        Term::Var(v) => {
+            if side_left {
+                Node::LeftVar(*v)
+            } else {
+                Node::RightVar(*v)
+            }
+        }
+    };
+    for (lt, rt) in left.terms.iter().zip(right.terms.iter()) {
+        let ln = node_of(true, lt);
+        let rn = node_of(false, rt);
+        if !union(&mut parent, ln, rn) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use qvsec_data::{Domain, Schema, Tuple};
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        schema.add_relation("T", &["a", "b", "c", "d", "e"]);
+        (schema, Domain::with_constants(["a", "b", "c", "0", "1", "2", "3"]))
+    }
+
+    #[test]
+    fn atom_unifies_with_matching_tuple() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, 'a')", &schema, &mut domain).unwrap();
+        let atom = &q.atoms[0];
+        let t_ba = Tuple::from_names(&schema, &domain, "R", &["b", "a"]).unwrap();
+        let t_bb = Tuple::from_names(&schema, &domain, "R", &["b", "b"]).unwrap();
+        let subst = unify_atom_with_tuple(atom, &t_ba).unwrap();
+        assert_eq!(subst.len(), 1);
+        assert_eq!(
+            subst.get(q.var_by_name("x").unwrap()),
+            Some(domain.get("b").unwrap())
+        );
+        assert!(unify_atom_with_tuple(atom, &t_bb).is_none(), "constant mismatch");
+        assert_eq!(subst.ground_atom(atom), Some(t_ba));
+    }
+
+    #[test]
+    fn repeated_variables_require_equal_values() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, x)", &schema, &mut domain).unwrap();
+        let atom = &q.atoms[0];
+        let t_ab = Tuple::from_names(&schema, &domain, "R", &["a", "b"]).unwrap();
+        let t_aa = Tuple::from_names(&schema, &domain, "R", &["a", "a"]).unwrap();
+        assert!(unify_atom_with_tuple(atom, &t_ab).is_none());
+        assert!(unify_atom_with_tuple(atom, &t_aa).is_some());
+    }
+
+    #[test]
+    fn simultaneous_unification_with_one_tuple() {
+        // The Section 4.2 example: Q():-R(x,y,z,z,u),R(x,x,x,y,y) and the
+        // tuple t = R(a,a,b,b,c). The first subgoal unifies with t, the second
+        // does not, and the two cannot be simultaneously unified with t.
+        let (schema, mut domain) = setup();
+        let q = parse_query(
+            "Q() :- T(x, y, z, z, u), T(x, x, x, y, y)",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
+        let t = Tuple::from_names(&schema, &domain, "T", &["a", "a", "b", "b", "c"]).unwrap();
+        let g0 = &q.atoms[0];
+        let g1 = &q.atoms[1];
+        assert!(unify_atom_with_tuple(g0, &t).is_some());
+        assert!(unify_atom_with_tuple(g1, &t).is_none());
+        assert!(unify_atoms_with_tuple(&[g0, g1], &t).is_none());
+        assert!(unify_atoms_with_tuple(&[g0], &t).is_some());
+    }
+
+    #[test]
+    fn atom_atom_unification_respects_sides() {
+        let (schema, mut domain) = setup();
+        // S() :- R('a', x)   and   V() :- R(y, 'b') unify (common tuple R(a,b))
+        let s = parse_query("S() :- R('a', x)", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R(y, 'b')", &schema, &mut domain).unwrap();
+        assert!(unify_atoms(&s.atoms[0], &v.atoms[0]));
+
+        // S() :- R('a', 'a')  and  V() :- R('b', x) do not (constant clash)
+        let s2 = parse_query("S() :- R('a', 'a')", &schema, &mut domain).unwrap();
+        let v2 = parse_query("V() :- R('b', x)", &schema, &mut domain).unwrap();
+        assert!(!unify_atoms(&s2.atoms[0], &v2.atoms[0]));
+    }
+
+    #[test]
+    fn atom_atom_unification_handles_repeated_variables() {
+        let (schema, mut domain) = setup();
+        // R(x, x) vs R('a', 'b'): x would need to be both a and b
+        let s = parse_query("S() :- R(x, x)", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- R('a', 'b')", &schema, &mut domain).unwrap();
+        assert!(!unify_atoms(&s.atoms[0], &v.atoms[0]));
+        // R(x, x) vs R(y, z): fine (map everything to one constant)
+        let v2 = parse_query("V2() :- R(y, z)", &schema, &mut domain).unwrap();
+        assert!(unify_atoms(&s.atoms[0], &v2.atoms[0]));
+        // transitive constant clash: R(x, x) vs R('a', y) where y later forced to 'b'
+        // is covered by the chain case below: R(x, y), and right R('a', 'b') with x=y
+        let s3 = parse_query("S3() :- T(x, x, y, y, z)", &schema, &mut domain).unwrap();
+        let v3 = parse_query("V3() :- T('a', w, w, 'b', z)", &schema, &mut domain).unwrap();
+        // x='a', x=w, w=y, y='b' → 'a'='b' contradiction
+        assert!(!unify_atoms(&s3.atoms[0], &v3.atoms[0]));
+    }
+
+    #[test]
+    fn different_relations_never_unify() {
+        let (schema, mut domain) = setup();
+        let s = parse_query("S() :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V() :- T(a, b, c, d, e)", &schema, &mut domain).unwrap();
+        assert!(!unify_atoms(&s.atoms[0], &v.atoms[0]));
+        let t = Tuple::from_names(&schema, &domain, "T", &["a", "a", "b", "b", "c"]).unwrap();
+        assert!(unify_atom_with_tuple(&s.atoms[0], &t).is_none());
+    }
+
+    #[test]
+    fn substitution_accessors() {
+        let mut s = Substitution::new();
+        assert!(s.is_empty());
+        assert!(s.bind(VarId(0), Value(3)));
+        assert!(s.bind(VarId(0), Value(3)), "re-binding same value is fine");
+        assert!(!s.bind(VarId(0), Value(4)), "conflicting binding fails");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().count(), 1);
+        assert_eq!(s.apply_term(&Term::Var(VarId(0))), Term::Const(Value(3)));
+        assert_eq!(s.apply_term(&Term::Var(VarId(9))), Term::Var(VarId(9)));
+        assert_eq!(s.apply_term(&Term::Const(Value(7))), Term::Const(Value(7)));
+    }
+
+    use qvsec_data::Value;
+}

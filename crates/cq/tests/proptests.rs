@@ -1,0 +1,146 @@
+//! Property-based tests for the conjunctive query engine.
+//!
+//! Random conjunctive queries over a small binary-relation schema are
+//! generated directly as ASTs (via the builder conventions) and checked for
+//! the semantic properties the rest of the workspace relies on:
+//! monotonicity, printer/parser round-tripping, containment reflexivity, and
+//! consistency between evaluation and homomorphism search.
+
+use proptest::prelude::*;
+use qvsec_cq::eval::evaluate;
+use qvsec_cq::homomorphism::find_homomorphisms;
+use qvsec_cq::{contained_in, parse_query, ConjunctiveQuery};
+use qvsec_data::{Domain, Instance, Schema, Tuple};
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("R", &["x", "y"]);
+    s
+}
+
+fn domain() -> Domain {
+    Domain::with_constants(["a", "b", "c"])
+}
+
+/// Strategy generating the text of a random conjunctive query over R/2 with
+/// variables x0..x3 and constants a, b, c.
+fn query_text() -> impl Strategy<Value = String> {
+    let term = prop_oneof![
+        Just("x0".to_string()),
+        Just("x1".to_string()),
+        Just("x2".to_string()),
+        Just("x3".to_string()),
+        Just("'a'".to_string()),
+        Just("'b'".to_string()),
+        Just("'c'".to_string()),
+    ];
+    let atom = (term.clone(), term).prop_map(|(a, b)| format!("R({a}, {b})"));
+    proptest::collection::vec(atom, 1..4).prop_map(|atoms| {
+        // Use the variables of the first atom for the head so the query is safe.
+        let body = atoms.join(", ");
+        let head_var = atoms[0]
+            .trim_start_matches("R(")
+            .trim_end_matches(')')
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .find(|t| t.starts_with('x'));
+        match head_var {
+            Some(v) => format!("Q({v}) :- {body}"),
+            None => format!("Q() :- {body}"),
+        }
+    })
+}
+
+/// Strategy generating a random instance over R/2 with constants a, b, c.
+fn instance_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..3, 0usize..3), 0..6)
+}
+
+fn build_instance(pairs: &[(usize, usize)], schema: &Schema, domain: &Domain) -> Instance {
+    let r = schema.relation_by_name("R").unwrap();
+    let vals: Vec<_> = domain.values().collect();
+    Instance::from_tuples(
+        pairs
+            .iter()
+            .map(|&(x, y)| Tuple::new(r, vec![vals[x], vals[y]])),
+    )
+}
+
+fn parse(text: &str, schema: &Schema, domain: &mut Domain) -> ConjunctiveQuery {
+    parse_query(text, schema, domain).expect("generated query must parse")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn evaluation_is_monotone(text in query_text(),
+                              small in instance_strategy(),
+                              extra in instance_strategy()) {
+        let schema = schema();
+        let mut domain = domain();
+        let q = parse(&text, &schema, &mut domain);
+        let small_inst = build_instance(&small, &schema, &domain);
+        let mut all = small.clone();
+        all.extend(extra);
+        let large_inst = build_instance(&all, &schema, &domain);
+        let small_ans = evaluate(&q, &small_inst);
+        let large_ans = evaluate(&q, &large_inst);
+        for a in &small_ans {
+            prop_assert!(large_ans.contains(a), "monotonicity violated for {}", text);
+        }
+    }
+
+    #[test]
+    fn printer_parser_round_trip(text in query_text()) {
+        let schema = schema();
+        let mut domain = domain();
+        let q1 = parse(&text, &schema, &mut domain);
+        let printed = q1.display(&schema, &domain).to_string();
+        let q2 = parse(&printed, &schema, &mut domain);
+        prop_assert_eq!(&q1.atoms, &q2.atoms);
+        prop_assert_eq!(&q1.head, &q2.head);
+        prop_assert_eq!(&q1.comparisons, &q2.comparisons);
+    }
+
+    #[test]
+    fn containment_is_reflexive(text in query_text()) {
+        let schema = schema();
+        let mut domain = domain();
+        let q = parse(&text, &schema, &mut domain);
+        prop_assert!(contained_in(&q, &q, &domain));
+    }
+
+    #[test]
+    fn every_homomorphism_yields_an_answer(text in query_text(), pairs in instance_strategy()) {
+        let schema = schema();
+        let mut domain = domain();
+        let q = parse(&text, &schema, &mut domain);
+        let inst = build_instance(&pairs, &schema, &domain);
+        let answers = evaluate(&q, &inst);
+        for hom in find_homomorphisms(&q, &inst) {
+            let image = hom.head_image(&q).expect("safe queries ground their heads");
+            prop_assert!(answers.contains(&image));
+            let body = hom.body_image(&q).expect("body grounds");
+            prop_assert!(body.is_subset_of(&inst));
+        }
+    }
+
+    #[test]
+    fn containment_implies_answer_inclusion(t1 in query_text(), t2 in query_text(), pairs in instance_strategy()) {
+        // Soundness of the containment check: if contained_in(q1, q2) then on
+        // every instance every q1-answer is a q2-answer (same arity only).
+        let schema = schema();
+        let mut domain = domain();
+        let q1 = parse(&t1, &schema, &mut domain);
+        let q2 = parse(&t2, &schema, &mut domain);
+        if q1.arity() == q2.arity() && contained_in(&q1, &q2, &domain) {
+            let inst = build_instance(&pairs, &schema, &domain);
+            let a1 = evaluate(&q1, &inst);
+            let a2 = evaluate(&q2, &inst);
+            for a in &a1 {
+                prop_assert!(a2.contains(a), "containment unsound for {} ⊑ {}", t1, t2);
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Compact bitsets used to encode instances over a fixed tuple space.
+//!
+//! The exhaustive decision procedures (Definition 4.1 checked literally,
+//! Definition 4.4 checked by brute force, polynomial construction via
+//! Eq. (5)) enumerate every subset of a small tuple space. A [`BitSet`]
+//! stores one such subset as packed 64-bit words.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of tuples over which exhaustive `2^n` instance enumeration
+/// is permitted. Beyond this the exhaustive procedures refuse to run and
+/// callers must use the criterion-based (critical-tuple) procedures or
+/// Monte-Carlo estimation instead.
+pub const MAX_ENUMERABLE: usize = 24;
+
+/// A fixed-capacity bitset over `len` positions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty bitset with capacity for `len` positions.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates a bitset with every position set.
+    pub fn full(len: usize) -> Self {
+        let mut bs = BitSet::new(len);
+        for i in 0..len {
+            bs.insert(i);
+        }
+        bs
+    }
+
+    /// Creates a bitset of capacity `len` from a `u64` mask (positions ≥ 64
+    /// are left unset). This is the fast path used by subset enumeration.
+    pub fn from_mask(len: usize, mask: u64) -> Self {
+        let mut bs = BitSet::new(len);
+        if !bs.words.is_empty() {
+            bs.words[0] = if len >= 64 {
+                mask
+            } else {
+                mask & ((1u64 << len) - 1)
+            };
+        }
+        bs
+    }
+
+    /// Number of addressable positions.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Sets position `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears position `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether position `i` is set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set positions.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no position is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over set positions in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Returns a copy with position `i` removed (the `I − {t}` operation of
+    /// Definition 4.4).
+    pub fn without(&self, i: usize) -> BitSet {
+        let mut c = self.clone();
+        c.remove(i);
+        c
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len);
+        BitSet {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len);
+        BitSet {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the two bitsets share no position.
+    pub fn is_disjoint_from(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+}
+
+impl fmt::Display for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over all `2^n` subsets of `{0, .., n-1}` as `u64` masks, in
+/// increasing mask order. Refuses to be constructed for `n >`
+/// [`MAX_ENUMERABLE`] (use [`subsets_checked`]).
+pub fn subsets(n: usize) -> impl Iterator<Item = u64> {
+    assert!(
+        n <= MAX_ENUMERABLE,
+        "refusing to enumerate 2^{n} subsets (cap is 2^{MAX_ENUMERABLE})"
+    );
+    0..(1u64 << n)
+}
+
+/// Fallible version of [`subsets`].
+pub fn subsets_checked(n: usize) -> crate::Result<impl Iterator<Item = u64>> {
+    if n > MAX_ENUMERABLE {
+        return Err(crate::DataError::EnumerationTooLarge(n));
+    }
+    Ok(0..(1u64 << n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut bs = BitSet::new(100);
+        bs.insert(0);
+        bs.insert(63);
+        bs.insert(64);
+        bs.insert(99);
+        assert!(bs.contains(0) && bs.contains(63) && bs.contains(64) && bs.contains(99));
+        assert!(!bs.contains(50));
+        assert_eq!(bs.count(), 4);
+        bs.remove(63);
+        assert!(!bs.contains(63));
+        assert_eq!(bs.count(), 3);
+    }
+
+    #[test]
+    fn iter_yields_sorted_positions() {
+        let mut bs = BitSet::new(130);
+        for i in [5, 64, 128, 7] {
+            bs.insert(i);
+        }
+        let v: Vec<_> = bs.iter().collect();
+        assert_eq!(v, vec![5, 7, 64, 128]);
+    }
+
+    #[test]
+    fn from_mask_masks_out_of_range_bits() {
+        let bs = BitSet::from_mask(3, 0b1111);
+        assert_eq!(bs.count(), 3);
+        assert!(bs.contains(2));
+    }
+
+    #[test]
+    fn without_removes_a_single_position() {
+        let bs = BitSet::from_mask(4, 0b1111);
+        let w = bs.without(2);
+        assert!(!w.contains(2));
+        assert_eq!(w.count(), 3);
+        assert_eq!(bs.count(), 4, "original is unchanged");
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_mask(6, 0b001011);
+        let b = BitSet::from_mask(6, 0b001110);
+        assert_eq!(a.union(&b), BitSet::from_mask(6, 0b001111));
+        assert_eq!(a.intersection(&b), BitSet::from_mask(6, 0b001010));
+        assert!(a.intersection(&b).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        let c = BitSet::from_mask(6, 0b110000);
+        assert!(a.is_disjoint_from(&c));
+        assert!(!a.is_disjoint_from(&b));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let f = BitSet::full(10);
+        assert_eq!(f.count(), 10);
+        assert!(!f.is_empty());
+        assert!(BitSet::new(10).is_empty());
+    }
+
+    #[test]
+    fn subsets_enumerates_all_masks() {
+        let all: Vec<u64> = subsets(3).collect();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], 0);
+        assert_eq!(all[7], 7);
+    }
+
+    #[test]
+    fn subsets_checked_rejects_large_spaces() {
+        assert!(subsets_checked(MAX_ENUMERABLE).is_ok());
+        assert!(subsets_checked(MAX_ENUMERABLE + 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to enumerate")]
+    fn subsets_panics_on_large_spaces() {
+        let _ = subsets(MAX_ENUMERABLE + 1);
+    }
+
+    #[test]
+    fn display_lists_set_positions() {
+        let bs = BitSet::from_mask(5, 0b10101);
+        assert_eq!(bs.to_string(), "{0, 2, 4}");
+    }
+}

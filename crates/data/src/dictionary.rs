@@ -1,0 +1,318 @@
+//! Dictionaries: probability distributions over tuples.
+//!
+//! Section 3.2 of the paper defines a *dictionary* `(D, P)` assigning to each
+//! tuple `t ∈ tup(D)` an independent probability `P(t) = x_t` of occurring in
+//! the database. The induced distribution over instances is Eq. (1):
+//!
+//! ```text
+//! P[I] = ∏_{t ∈ I} x_t · ∏_{t ∉ I} (1 − x_t)
+//! ```
+//!
+//! A [`Dictionary`] carries a [`TupleSpace`] and one exact [`Ratio`]
+//! probability per tuple. Two model families are provided:
+//!
+//! * arbitrary per-tuple probabilities (including the uniform `P(t) = p`
+//!   dictionaries used throughout Section 4), and
+//! * the *expected-size* model of Section 6.2, where each tuple of a relation
+//!   of arity `k` has probability `S / n^k` so that the expected instance
+//!   size stays constant as the domain grows.
+
+use crate::ratio::Ratio;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::tuple_space::TupleSpace;
+use crate::value::Domain;
+use crate::{DataError, Instance, Result};
+
+/// A tuple-independent probability distribution over the instances of a
+/// [`TupleSpace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dictionary {
+    space: TupleSpace,
+    probs: Vec<Ratio>,
+}
+
+impl Dictionary {
+    /// Builds a dictionary assigning probability `p` to every tuple of the
+    /// space.
+    pub fn uniform(space: TupleSpace, p: Ratio) -> Result<Self> {
+        if !p.is_probability() {
+            return Err(DataError::InvalidProbability(format!(
+                "{p} is not in [0, 1]"
+            )));
+        }
+        let n = space.len();
+        Ok(Dictionary {
+            space,
+            probs: vec![p; n],
+        })
+    }
+
+    /// The uniform `P(t) = 1/2` dictionary used by the paper's worked
+    /// examples (Examples 4.2, 4.3, 4.12).
+    pub fn half(space: TupleSpace) -> Self {
+        Dictionary::uniform(space, Ratio::new(1, 2)).expect("1/2 is a probability")
+    }
+
+    /// Builds a dictionary from explicit per-tuple probabilities, aligned
+    /// with the tuple order of `space`.
+    pub fn from_probabilities(space: TupleSpace, probs: Vec<Ratio>) -> Result<Self> {
+        if probs.len() != space.len() {
+            return Err(DataError::DictionarySizeMismatch {
+                tuples: space.len(),
+                probabilities: probs.len(),
+            });
+        }
+        for p in &probs {
+            if !p.is_probability() {
+                return Err(DataError::InvalidProbability(format!(
+                    "{p} is not in [0, 1]"
+                )));
+            }
+        }
+        Ok(Dictionary { space, probs })
+    }
+
+    /// Builds the expected-size dictionary of Section 6.2: every tuple of a
+    /// relation with arity `k` gets probability `expected_size / |D|^k`
+    /// (clamped to 1), so the expected number of tuples per relation is
+    /// `expected_size` independently of the domain size.
+    pub fn expected_size(
+        schema: &Schema,
+        domain: &Domain,
+        space: TupleSpace,
+        expected_size: u32,
+    ) -> Result<Self> {
+        let n = domain.len() as i128;
+        let probs = space
+            .iter()
+            .map(|t| {
+                let arity = schema.arity(t.relation) as u32;
+                let denom = n.checked_pow(arity).unwrap_or(i128::MAX);
+                let p = Ratio::new(expected_size as i128, denom.max(1));
+                if p > Ratio::ONE {
+                    Ratio::ONE
+                } else {
+                    p
+                }
+            })
+            .collect();
+        Dictionary::from_probabilities(space, probs)
+    }
+
+    /// The tuple space this dictionary is defined over.
+    pub fn space(&self) -> &TupleSpace {
+        &self.space
+    }
+
+    /// Number of tuples in the underlying space.
+    pub fn len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// Whether the underlying space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.space.is_empty()
+    }
+
+    /// The probability of the tuple at index `i` of the space.
+    pub fn prob(&self, i: usize) -> Ratio {
+        self.probs[i]
+    }
+
+    /// The probability of a tuple; `None` if the tuple is outside the space.
+    pub fn prob_of(&self, t: &Tuple) -> Option<Ratio> {
+        self.space.index_of(t).map(|i| self.probs[i])
+    }
+
+    /// Overrides the probability of the tuple at index `i`.
+    pub fn set_prob(&mut self, i: usize, p: Ratio) -> Result<()> {
+        if !p.is_probability() {
+            return Err(DataError::InvalidProbability(format!(
+                "{p} is not in [0, 1]"
+            )));
+        }
+        self.probs[i] = p;
+        Ok(())
+    }
+
+    /// All probabilities, aligned with the space's tuple order.
+    pub fn probabilities(&self) -> &[Ratio] {
+        &self.probs
+    }
+
+    /// Whether every tuple probability is strictly between 0 and 1. This is
+    /// the non-degeneracy hypothesis of Theorem 4.8 (`P₀(t) ≠ 0, 1`).
+    pub fn is_nondegenerate(&self) -> bool {
+        self.probs
+            .iter()
+            .all(|p| !p.is_zero() && !p.is_one())
+    }
+
+    /// `P[I]` for an instance given as a `u64` mask over the space
+    /// (Eq. (1)).
+    pub fn instance_probability_mask(&self, mask: u64) -> Ratio {
+        let mut p = Ratio::ONE;
+        for i in 0..self.len() {
+            let factor = if mask & (1u64 << i) != 0 {
+                self.probs[i]
+            } else {
+                self.probs[i].complement()
+            };
+            p *= factor;
+        }
+        p
+    }
+
+    /// `P[I]` for an explicit instance (Eq. (1)). Tuples outside the space
+    /// are treated as impossible: if the instance contains any, the
+    /// probability is 0.
+    pub fn instance_probability(&self, instance: &Instance) -> Ratio {
+        for t in instance.iter() {
+            if !self.space.contains(t) {
+                return Ratio::ZERO;
+            }
+        }
+        let mut p = Ratio::ONE;
+        for (i, t) in self.space.iter().enumerate() {
+            let factor = if instance.contains(t) {
+                self.probs[i]
+            } else {
+                self.probs[i].complement()
+            };
+            p *= factor;
+        }
+        p
+    }
+
+    /// The expected number of tuples in a sampled instance (the `m` of
+    /// Example 6.2).
+    pub fn expected_instance_size(&self) -> Ratio {
+        self.probs.iter().copied().sum()
+    }
+
+    /// The probabilities as `f64`, for Monte-Carlo sampling.
+    pub fn probabilities_f64(&self) -> Vec<f64> {
+        self.probs.iter().map(|p| p.to_f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Domain;
+
+    fn binary_space() -> (Schema, Domain, TupleSpace) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let domain = Domain::with_constants(["a", "b"]);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        (schema, domain, space)
+    }
+
+    #[test]
+    fn uniform_half_matches_example_4_2_instance_probabilities() {
+        // With 4 tuples at p = 1/2, every one of the 16 instances has
+        // probability 1/16 (Example 4.2).
+        let (_, _, space) = binary_space();
+        let dict = Dictionary::half(space);
+        let total: Ratio = (0..16u64)
+            .map(|mask| dict.instance_probability_mask(mask))
+            .sum();
+        assert!(total.is_one());
+        assert_eq!(dict.instance_probability_mask(0b0101), Ratio::new(1, 16));
+        assert_eq!(dict.expected_instance_size(), Ratio::from_integer(2));
+    }
+
+    #[test]
+    fn uniform_rejects_invalid_probability() {
+        let (_, _, space) = binary_space();
+        assert!(Dictionary::uniform(space, Ratio::new(3, 2)).is_err());
+    }
+
+    #[test]
+    fn from_probabilities_validates_length_and_range() {
+        let (_, _, space) = binary_space();
+        let err = Dictionary::from_probabilities(space.clone(), vec![Ratio::new(1, 2); 3]).unwrap_err();
+        assert!(matches!(err, DataError::DictionarySizeMismatch { .. }));
+        let err = Dictionary::from_probabilities(space.clone(), vec![Ratio::new(-1, 2); 4]).unwrap_err();
+        assert!(matches!(err, DataError::InvalidProbability(_)));
+        let ok = Dictionary::from_probabilities(
+            space,
+            vec![Ratio::new(1, 4), Ratio::new(1, 3), Ratio::ZERO, Ratio::ONE],
+        )
+        .unwrap();
+        assert!(!ok.is_nondegenerate(), "contains 0 and 1 probabilities");
+    }
+
+    #[test]
+    fn non_uniform_instance_probability() {
+        let (schema, domain, space) = binary_space();
+        let probs = vec![
+            Ratio::new(1, 4),
+            Ratio::new(1, 2),
+            Ratio::new(1, 2),
+            Ratio::new(1, 2),
+        ];
+        let dict = Dictionary::from_probabilities(space, probs).unwrap();
+        // instance containing only the first tuple of the space
+        let t0 = dict.space().tuple(0).clone();
+        let inst = Instance::from_tuples([t0.clone()]);
+        let expected = Ratio::new(1, 4) * Ratio::new(1, 2).pow(3);
+        assert_eq!(dict.instance_probability(&inst), expected);
+        assert_eq!(dict.prob_of(&t0), Some(Ratio::new(1, 4)));
+        // instance with a tuple outside the space has probability 0
+        let mut big_domain = domain.clone();
+        let c = big_domain.fresh("z");
+        let r = schema.relation_by_name("R").unwrap();
+        let outside = Instance::from_tuples([Tuple::new(r, vec![c, c])]);
+        assert!(dict.instance_probability(&outside).is_zero());
+    }
+
+    #[test]
+    fn expected_size_model_scales_with_domain() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        for n in [2usize, 4, 8] {
+            let domain = Domain::with_size(n);
+            let space = TupleSpace::full_with_cap(&schema, &domain, 100).unwrap();
+            let dict = Dictionary::expected_size(&schema, &domain, space, 3).unwrap();
+            // every tuple has probability 3 / n^2 (clamped at 1)
+            let expected = Ratio::new(3, (n * n) as i128);
+            let expected = if expected > Ratio::ONE { Ratio::ONE } else { expected };
+            assert_eq!(dict.prob(0), expected);
+            if expected < Ratio::ONE {
+                assert_eq!(dict.expected_instance_size(), Ratio::from_integer(3));
+            }
+        }
+    }
+
+    #[test]
+    fn set_prob_updates_and_validates() {
+        let (_, _, space) = binary_space();
+        let mut dict = Dictionary::half(space);
+        dict.set_prob(0, Ratio::new(1, 3)).unwrap();
+        assert_eq!(dict.prob(0), Ratio::new(1, 3));
+        assert!(dict.set_prob(0, Ratio::new(5, 3)).is_err());
+    }
+
+    #[test]
+    fn nondegeneracy_detects_zero_and_one() {
+        let (_, _, space) = binary_space();
+        let dict = Dictionary::half(space.clone());
+        assert!(dict.is_nondegenerate());
+        let degenerate =
+            Dictionary::uniform(space, Ratio::ONE).unwrap();
+        assert!(!degenerate.is_nondegenerate());
+    }
+
+    #[test]
+    fn f64_probabilities_match() {
+        let (_, _, space) = binary_space();
+        let dict = Dictionary::half(space);
+        let f = dict.probabilities_f64();
+        assert_eq!(f.len(), 4);
+        assert!(f.iter().all(|&p| (p - 0.5).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,140 @@
+//! Error types for the data substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating domains, schemas,
+/// tuples, instances and dictionaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A constant name was looked up in a [`crate::Domain`] that does not
+    /// contain it.
+    UnknownConstant(String),
+    /// A relation name was looked up in a [`crate::Schema`] that does not
+    /// contain it.
+    UnknownRelation(String),
+    /// A relation was declared twice in the same schema.
+    DuplicateRelation(String),
+    /// A tuple was built with the wrong number of arguments for its relation.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity of the relation.
+        expected: usize,
+        /// Number of arguments supplied.
+        actual: usize,
+    },
+    /// A key constraint referenced an attribute position outside the
+    /// relation's arity.
+    InvalidKeyPosition {
+        /// Relation name.
+        relation: String,
+        /// Offending attribute position.
+        position: usize,
+    },
+    /// The full tuple space `tup(D)` would exceed the configured cap; callers
+    /// should use an explicit support set instead.
+    TupleSpaceTooLarge {
+        /// Number of tuples that would be required.
+        required: u128,
+        /// Maximum number of tuples allowed.
+        cap: usize,
+    },
+    /// A probability outside `[0, 1]` was supplied to a dictionary.
+    InvalidProbability(String),
+    /// A dictionary was built over a different number of tuples than its
+    /// tuple space contains.
+    DictionarySizeMismatch {
+        /// Number of tuples in the tuple space.
+        tuples: usize,
+        /// Number of probabilities supplied.
+        probabilities: usize,
+    },
+    /// Exhaustive instance enumeration was requested over a tuple space that
+    /// is too large to enumerate (more than [`crate::bitset::MAX_ENUMERABLE`]
+    /// tuples).
+    EnumerationTooLarge(usize),
+    /// Generic invariant violation with a human-readable message.
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownConstant(name) => write!(f, "unknown constant `{name}`"),
+            DataError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            DataError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` declared more than once")
+            }
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but {actual} arguments were supplied"
+            ),
+            DataError::InvalidKeyPosition { relation, position } => write!(
+                f,
+                "key position {position} is outside the arity of relation `{relation}`"
+            ),
+            DataError::TupleSpaceTooLarge { required, cap } => write!(
+                f,
+                "tuple space would contain {required} tuples, above the cap of {cap}"
+            ),
+            DataError::InvalidProbability(msg) => write!(f, "invalid probability: {msg}"),
+            DataError::DictionarySizeMismatch {
+                tuples,
+                probabilities,
+            } => write!(
+                f,
+                "dictionary has {probabilities} probabilities for {tuples} tuples"
+            ),
+            DataError::EnumerationTooLarge(n) => write!(
+                f,
+                "cannot exhaustively enumerate instances over {n} tuples (2^{n} subsets)"
+            ),
+            DataError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::ArityMismatch {
+            relation: "R".to_string(),
+            expected: 2,
+            actual: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('R'));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('3'));
+
+        let e = DataError::UnknownConstant("bob".into());
+        assert!(e.to_string().contains("bob"));
+
+        let e = DataError::TupleSpaceTooLarge {
+            required: 1_000_000,
+            cap: 100,
+        };
+        assert!(e.to_string().contains("1000000"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            DataError::UnknownRelation("R".into()),
+            DataError::UnknownRelation("R".into())
+        );
+        assert_ne!(
+            DataError::UnknownRelation("R".into()),
+            DataError::UnknownRelation("S".into())
+        );
+    }
+}

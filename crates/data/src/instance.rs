@@ -1,0 +1,266 @@
+//! Database instances.
+//!
+//! An instance `I` is any subset of `tup(D)` (Section 3.1). Instances are the
+//! objects over which queries are evaluated, probabilities are defined
+//! (Eq. (1)), and criticality of tuples is tested (Definition 4.4:
+//! `Q(I − {t}) ≠ Q(I)`).
+
+use crate::schema::{KeyConstraint, RelationId};
+use crate::tuple::Tuple;
+use crate::value::Domain;
+use crate::Schema;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A database instance: a finite set of ground tuples.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Instance {
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Builds an instance from an iterator of tuples.
+    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(tuples: I) -> Self {
+        Instance {
+            tuples: tuples.into_iter().collect(),
+        }
+    }
+
+    /// Inserts a tuple; returns `true` if it was not already present.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        self.tuples.insert(t)
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Whether the instance contains the tuple.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over all tuples in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Iterates over the tuples of a single relation.
+    pub fn tuples_of(&self, relation: RelationId) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter().filter(move |t| t.relation == relation)
+    }
+
+    /// Returns `I − {t}`: a copy of this instance with `t` removed
+    /// (Definition 4.4).
+    pub fn without(&self, t: &Tuple) -> Instance {
+        let mut c = self.clone();
+        c.remove(t);
+        c
+    }
+
+    /// Returns `I ∪ {t}`.
+    pub fn with(&self, t: Tuple) -> Instance {
+        let mut c = self.clone();
+        c.insert(t);
+        c
+    }
+
+    /// Set union of two instances.
+    pub fn union(&self, other: &Instance) -> Instance {
+        Instance {
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Set intersection of two instances.
+    pub fn intersection(&self, other: &Instance) -> Instance {
+        Instance {
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Instance) -> bool {
+        self.tuples.is_subset(&other.tuples)
+    }
+
+    /// Whether an instance satisfies a key constraint: no two distinct tuples
+    /// of the constrained relation agree on the key positions.
+    pub fn satisfies_key(&self, key: &KeyConstraint) -> bool {
+        let mut seen = BTreeSet::new();
+        for t in self.tuples_of(key.relation) {
+            let k = t.project(&key.positions);
+            if !seen.insert(k) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether an instance satisfies every key constraint of a schema. This
+    /// is the prior knowledge `K` of Section 5.2, Application 2.
+    pub fn satisfies_keys(&self, schema: &Schema) -> bool {
+        schema.keys().iter().all(|k| self.satisfies_key(k))
+    }
+
+    /// Renders the instance with resolved relation and constant names.
+    pub fn display<'a>(&'a self, schema: &'a Schema, domain: &'a Domain) -> InstanceDisplay<'a> {
+        InstanceDisplay {
+            instance: self,
+            schema,
+            domain,
+        }
+    }
+}
+
+impl FromIterator<Tuple> for Instance {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Instance::from_tuples(iter)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Pretty-printer for an instance with resolved names.
+pub struct InstanceDisplay<'a> {
+    instance: &'a Instance,
+    schema: &'a Schema,
+    domain: &'a Domain,
+}
+
+impl fmt::Display for InstanceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.instance.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", t.display(self.schema, self.domain))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Domain;
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let domain = Domain::with_constants(["a", "b"]);
+        (schema, domain)
+    }
+
+    fn t(schema: &Schema, domain: &Domain, x: &str, y: &str) -> Tuple {
+        Tuple::from_names(schema, domain, "R", &[x, y]).unwrap()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let (schema, domain) = setup();
+        let mut i = Instance::new();
+        assert!(i.is_empty());
+        let taa = t(&schema, &domain, "a", "a");
+        assert!(i.insert(taa.clone()));
+        assert!(!i.insert(taa.clone()), "re-insertion reports false");
+        assert!(i.contains(&taa));
+        assert_eq!(i.len(), 1);
+        assert!(i.remove(&taa));
+        assert!(!i.remove(&taa));
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn without_is_non_destructive() {
+        let (schema, domain) = setup();
+        let taa = t(&schema, &domain, "a", "a");
+        let tab = t(&schema, &domain, "a", "b");
+        let i = Instance::from_tuples([taa.clone(), tab.clone()]);
+        let j = i.without(&taa);
+        assert_eq!(i.len(), 2);
+        assert_eq!(j.len(), 1);
+        assert!(!j.contains(&taa));
+        assert!(j.contains(&tab));
+        let k = j.with(taa.clone());
+        assert_eq!(k, i);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let (schema, domain) = setup();
+        let taa = t(&schema, &domain, "a", "a");
+        let tab = t(&schema, &domain, "a", "b");
+        let tbb = t(&schema, &domain, "b", "b");
+        let i = Instance::from_tuples([taa.clone(), tab.clone()]);
+        let j = Instance::from_tuples([tab.clone(), tbb.clone()]);
+        assert_eq!(i.union(&j).len(), 3);
+        assert_eq!(i.intersection(&j).len(), 1);
+        assert!(i.intersection(&j).is_subset_of(&i));
+        assert!(!i.is_subset_of(&j));
+    }
+
+    #[test]
+    fn key_constraints_detect_duplicates() {
+        let (mut schema, domain) = setup();
+        let r = schema.relation_by_name("R").unwrap();
+        schema.add_key(r, &[0]).unwrap();
+        let taa = t(&schema, &domain, "a", "a");
+        let tab = t(&schema, &domain, "a", "b");
+        let tbb = t(&schema, &domain, "b", "b");
+        let ok = Instance::from_tuples([taa.clone(), tbb.clone()]);
+        assert!(ok.satisfies_keys(&schema));
+        let bad = Instance::from_tuples([taa, tab]);
+        assert!(!bad.satisfies_keys(&schema), "two tuples share key value a");
+        assert!(Instance::new().satisfies_keys(&schema));
+    }
+
+    #[test]
+    fn tuples_of_filters_by_relation() {
+        let mut schema = Schema::new();
+        let r = schema.add_relation("R", &["x"]);
+        let s = schema.add_relation("S", &["x"]);
+        let domain = Domain::with_constants(["a"]);
+        let a = domain.get("a").unwrap();
+        let i = Instance::from_tuples([Tuple::new(r, vec![a]), Tuple::new(s, vec![a])]);
+        assert_eq!(i.tuples_of(r).count(), 1);
+        assert_eq!(i.tuples_of(s).count(), 1);
+    }
+
+    #[test]
+    fn display_resolves_names() {
+        let (schema, domain) = setup();
+        let i = Instance::from_tuples([t(&schema, &domain, "a", "b")]);
+        assert_eq!(i.display(&schema, &domain).to_string(), "{R(a, b)}");
+    }
+}

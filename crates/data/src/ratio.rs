@@ -1,0 +1,360 @@
+//! Exact rational arithmetic.
+//!
+//! The probabilities manipulated by the paper's definitions (Eqs. (1)–(4),
+//! Examples 4.2/4.3 with values like `3/16` and `1/3`) are rationals. To
+//! reproduce those numbers exactly — and to decide statistical independence
+//! without floating-point tolerances — this module provides a small,
+//! self-contained rational type over `i128` with automatic normalization.
+//!
+//! The type is deliberately minimal: probabilities are always in `[0, 1]` and
+//! the exhaustive procedures only multiply a couple of dozen factors, so
+//! `i128` headroom (with reduction after every operation) is ample for the
+//! workloads in this repository. Overflow panics with a clear message rather
+//! than silently wrapping.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `numer / denom` in lowest terms with positive
+/// denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ratio {
+    numer: i128,
+    denom: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl Ratio {
+    /// The rational zero.
+    pub const ZERO: Ratio = Ratio { numer: 0, denom: 1 };
+    /// The rational one.
+    pub const ONE: Ratio = Ratio { numer: 1, denom: 1 };
+
+    /// Creates `numer / denom`, normalizing sign and reducing to lowest
+    /// terms.
+    ///
+    /// # Panics
+    /// Panics if `denom == 0`.
+    pub fn new(numer: i128, denom: i128) -> Self {
+        assert!(denom != 0, "Ratio with zero denominator");
+        let sign = if denom < 0 { -1 } else { 1 };
+        let g = gcd(numer, denom);
+        if g == 0 {
+            return Ratio { numer: 0, denom: 1 };
+        }
+        Ratio {
+            numer: sign * numer / g,
+            denom: sign * denom / g,
+        }
+    }
+
+    /// Creates the integer `n` as a rational.
+    pub fn from_integer(n: i128) -> Self {
+        Ratio { numer: n, denom: 1 }
+    }
+
+    /// The numerator (in lowest terms, sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.numer
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.denom
+    }
+
+    /// Whether this rational is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.numer == 0
+    }
+
+    /// Whether this rational is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.numer == self.denom
+    }
+
+    /// Whether this rational lies in the closed interval `[0, 1]` (i.e. is a
+    /// valid probability).
+    pub fn is_probability(&self) -> bool {
+        self.numer >= 0 && self.numer <= self.denom
+    }
+
+    /// `1 − self` (complement probability, the `1 − x_j` factors of Eq. (1)).
+    pub fn complement(&self) -> Ratio {
+        Ratio::ONE - *self
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.numer as f64 / self.denom as f64
+    }
+
+    /// Integer power.
+    pub fn pow(&self, mut exp: u32) -> Ratio {
+        let mut base = *self;
+        let mut acc = Ratio::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> Ratio {
+        Ratio {
+            numer: self.numer.abs(),
+            denom: self.denom,
+        }
+    }
+
+    /// The reciprocal `denom / numer`.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(self.numer != 0, "reciprocal of zero");
+        Ratio::new(self.denom, self.numer)
+    }
+
+    fn checked_mul_i128(a: i128, b: i128) -> i128 {
+        a.checked_mul(b)
+            .expect("Ratio arithmetic overflowed i128; use smaller dictionaries")
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::ZERO
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        // reduce cross terms by the gcd of denominators first to limit growth
+        let g = gcd(self.denom, rhs.denom);
+        let lhs_scaled = Ratio::checked_mul_i128(self.numer, rhs.denom / g);
+        let rhs_scaled = Ratio::checked_mul_i128(rhs.numer, self.denom / g);
+        let numer = lhs_scaled
+            .checked_add(rhs_scaled)
+            .expect("Ratio addition overflowed i128");
+        let denom = Ratio::checked_mul_i128(self.denom / g, rhs.denom);
+        Ratio::new(numer, denom)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // cross-reduce before multiplying to limit growth
+        let g1 = gcd(self.numer, rhs.denom).max(1);
+        let g2 = gcd(rhs.numer, self.denom).max(1);
+        let numer = Ratio::checked_mul_i128(self.numer / g1, rhs.numer / g2);
+        let denom = Ratio::checked_mul_i128(self.denom / g2, rhs.denom / g1);
+        Ratio::new(numer, denom)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            numer: -self.numer,
+            denom: self.denom,
+        }
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Ratio {
+    fn mul_assign(&mut self, rhs: Ratio) {
+        *self = *self * rhs;
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // denominators are positive, so cross-multiplication preserves order
+        let lhs = Ratio::checked_mul_i128(self.numer, other.denom);
+        let rhs = Ratio::checked_mul_i128(other.numer, self.denom);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denom == 1 {
+            write!(f, "{}", self.numer)
+        } else {
+            write!(f, "{}/{}", self.numer, self.denom)
+        }
+    }
+}
+
+impl From<i128> for Ratio {
+    fn from(n: i128) -> Self {
+        Ratio::from_integer(n)
+    }
+}
+
+impl From<u32> for Ratio {
+    fn from(n: u32) -> Self {
+        Ratio::from_integer(n as i128)
+    }
+}
+
+impl std::iter::Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::iter::Product for Ratio {
+    fn product<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(0, 7), Ratio::ZERO);
+        assert_eq!(Ratio::new(1, 2).denom(), 2);
+        assert_eq!(Ratio::new(2, -4).denom(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_matches_hand_computation() {
+        let a = Ratio::new(1, 2);
+        let b = Ratio::new(1, 3);
+        assert_eq!(a + b, Ratio::new(5, 6));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 6));
+        assert_eq!(a / b, Ratio::new(3, 2));
+        assert_eq!(-a, Ratio::new(-1, 2));
+        assert_eq!(a.complement(), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(3, 16).complement(), Ratio::new(13, 16));
+    }
+
+    #[test]
+    fn example_4_2_probabilities_are_representable() {
+        // the a-priori probability 3/16 and posterior 1/3 from Example 4.2
+        let prior = Ratio::new(3, 16);
+        let posterior = Ratio::new(1, 3);
+        assert!(prior < posterior);
+        assert!(prior.is_probability() && posterior.is_probability());
+        assert_ne!(prior, posterior);
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(Ratio::new(1, 2).pow(4), Ratio::new(1, 16));
+        assert_eq!(Ratio::new(2, 3).pow(0), Ratio::ONE);
+        assert_eq!(Ratio::new(2, 3).recip(), Ratio::new(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_of_zero_panics() {
+        let _ = Ratio::ZERO.recip();
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![Ratio::new(1, 2), Ratio::new(1, 3), Ratio::new(2, 3), Ratio::ZERO];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Ratio::ZERO, Ratio::new(1, 3), Ratio::new(1, 2), Ratio::new(2, 3)]
+        );
+    }
+
+    #[test]
+    fn sum_and_product_fold_correctly() {
+        let probs = [Ratio::new(1, 4), Ratio::new(1, 4), Ratio::new(1, 2)];
+        let total: Ratio = probs.iter().copied().sum();
+        assert!(total.is_one());
+        let prod: Ratio = probs.iter().copied().product();
+        assert_eq!(prod, Ratio::new(1, 32));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Ratio::new(3, 16).to_string(), "3/16");
+        assert_eq!(Ratio::from_integer(5).to_string(), "5");
+        assert_eq!(Ratio::new(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn f64_conversion_is_close() {
+        assert!((Ratio::new(1, 3).to_f64() - 0.333_333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn probability_range_check() {
+        assert!(Ratio::new(1, 2).is_probability());
+        assert!(Ratio::ZERO.is_probability());
+        assert!(Ratio::ONE.is_probability());
+        assert!(!Ratio::new(3, 2).is_probability());
+        assert!(!Ratio::new(-1, 2).is_probability());
+    }
+}

@@ -1,0 +1,263 @@
+//! Relational schemas and key constraints.
+//!
+//! A schema is a collection of relation names `R1, R2, ...`, each with a list
+//! of named attributes (Section 3.1). Key constraints are the form of prior
+//! knowledge analysed in Section 5.2 (Application 2 / Corollary 5.3).
+
+use crate::error::DataError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a relation within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelationId(pub u32);
+
+impl RelationId {
+    /// The raw index of this relation in its schema.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A key constraint: the listed attribute positions functionally determine
+/// the whole tuple (at most one tuple per key value may be present).
+///
+/// In the paper's notation (Section 5.2), a set of key constraints `K`
+/// induces the equivalence relation `t ≡_K t'` ("same relation, same key"),
+/// and an instance satisfies `K` iff it contains at most one tuple from each
+/// equivalence class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyConstraint {
+    /// Relation the key applies to.
+    pub relation: RelationId,
+    /// Attribute positions (0-based) forming the key.
+    pub positions: Vec<usize>,
+}
+
+/// Declaration of a single relation: its name and attribute names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationSchema {
+    /// Relation name, e.g. `"Employee"`.
+    pub name: String,
+    /// Attribute names, e.g. `["name", "department", "phone"]`.
+    pub attributes: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+}
+
+/// A relational schema: an ordered list of relation declarations plus
+/// optional key constraints.
+///
+/// ```
+/// use qvsec_data::Schema;
+/// let mut schema = Schema::new();
+/// let emp = schema.add_relation("Employee", &["name", "department", "phone"]);
+/// assert_eq!(schema.relation(emp).arity(), 3);
+/// assert_eq!(schema.relation_by_name("Employee"), Some(emp));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    relations: Vec<RelationSchema>,
+    #[serde(skip)]
+    by_name: HashMap<String, RelationId>,
+    keys: Vec<KeyConstraint>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Adds a relation with the given attribute names and returns its id.
+    ///
+    /// # Panics
+    /// Panics if a relation with the same name already exists; use
+    /// [`Schema::try_add_relation`] for a fallible version.
+    pub fn add_relation(&mut self, name: &str, attributes: &[&str]) -> RelationId {
+        self.try_add_relation(name, attributes)
+            .expect("duplicate relation name")
+    }
+
+    /// Adds a relation, erroring on duplicate names.
+    pub fn try_add_relation(&mut self, name: &str, attributes: &[&str]) -> Result<RelationId> {
+        if self.by_name.contains_key(name) {
+            return Err(DataError::DuplicateRelation(name.to_string()));
+        }
+        let id = RelationId(self.relations.len() as u32);
+        self.relations.push(RelationSchema {
+            name: name.to_string(),
+            attributes: attributes.iter().map(|s| s.to_string()).collect(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds a relation with anonymous attribute names `a0..a{arity-1}`.
+    pub fn add_relation_with_arity(&mut self, name: &str, arity: usize) -> RelationId {
+        let attrs: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+        self.add_relation(name, &attr_refs)
+    }
+
+    /// Declares a key constraint on `relation` over the given attribute
+    /// positions.
+    pub fn add_key(&mut self, relation: RelationId, positions: &[usize]) -> Result<()> {
+        let rel = self.relation(relation);
+        for &p in positions {
+            if p >= rel.arity() {
+                return Err(DataError::InvalidKeyPosition {
+                    relation: rel.name.clone(),
+                    position: p,
+                });
+            }
+        }
+        self.keys.push(KeyConstraint {
+            relation,
+            positions: positions.to_vec(),
+        });
+        Ok(())
+    }
+
+    /// The declaration of a relation.
+    pub fn relation(&self, id: RelationId) -> &RelationSchema {
+        &self.relations[id.index()]
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a relation by name, erroring if absent.
+    pub fn require_relation(&self, name: &str) -> Result<RelationId> {
+        self.relation_by_name(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// The arity of a relation.
+    pub fn arity(&self, id: RelationId) -> usize {
+        self.relation(id).arity()
+    }
+
+    /// Number of relations in the schema.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterates over all relation ids in declaration order.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelationId> + '_ {
+        (0..self.relations.len() as u32).map(RelationId)
+    }
+
+    /// All declared key constraints.
+    pub fn keys(&self) -> &[KeyConstraint] {
+        &self.keys
+    }
+
+    /// Key constraints declared for a specific relation.
+    pub fn keys_for(&self, relation: RelationId) -> impl Iterator<Item = &KeyConstraint> + '_ {
+        self.keys.iter().filter(move |k| k.relation == relation)
+    }
+
+    /// Rebuilds the name index (needed after deserialization, which skips the
+    /// lookup table).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), RelationId(i as u32)))
+            .collect();
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in &self.relations {
+            writeln!(f, "{}({})", rel.name, rel.attributes.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employee_schema() -> (Schema, RelationId) {
+        let mut s = Schema::new();
+        let emp = s.add_relation("Employee", &["name", "department", "phone"]);
+        (s, emp)
+    }
+
+    #[test]
+    fn relations_are_indexed_by_name() {
+        let (s, emp) = employee_schema();
+        assert_eq!(s.relation_by_name("Employee"), Some(emp));
+        assert_eq!(s.relation_by_name("Missing"), None);
+        assert_eq!(s.relation(emp).name, "Employee");
+        assert_eq!(s.arity(emp), 3);
+    }
+
+    #[test]
+    fn duplicate_relations_are_rejected() {
+        let (mut s, _) = employee_schema();
+        assert_eq!(
+            s.try_add_relation("Employee", &["x"]).unwrap_err(),
+            DataError::DuplicateRelation("Employee".into())
+        );
+    }
+
+    #[test]
+    fn anonymous_attributes_get_generated_names() {
+        let mut s = Schema::new();
+        let r = s.add_relation_with_arity("R", 4);
+        assert_eq!(s.relation(r).attributes, vec!["a0", "a1", "a2", "a3"]);
+    }
+
+    #[test]
+    fn key_constraints_validate_positions() {
+        let (mut s, emp) = employee_schema();
+        s.add_key(emp, &[0]).unwrap();
+        assert_eq!(s.keys().len(), 1);
+        assert_eq!(s.keys_for(emp).count(), 1);
+        let err = s.add_key(emp, &[7]).unwrap_err();
+        assert!(matches!(err, DataError::InvalidKeyPosition { position: 7, .. }));
+    }
+
+    #[test]
+    fn require_relation_errors_on_unknown() {
+        let (s, _) = employee_schema();
+        assert!(s.require_relation("Employee").is_ok());
+        assert!(s.require_relation("Nope").is_err());
+    }
+
+    #[test]
+    fn display_shows_attribute_lists() {
+        let (s, _) = employee_schema();
+        assert_eq!(s.to_string(), "Employee(name, department, phone)\n");
+    }
+
+    #[test]
+    fn relation_ids_iterate_in_order() {
+        let mut s = Schema::new();
+        let a = s.add_relation_with_arity("A", 1);
+        let b = s.add_relation_with_arity("B", 2);
+        let ids: Vec<_> = s.relation_ids().collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Ground tuples.
+//!
+//! A tuple `R(a, b, c)` is an element of `tup(D)` (Section 3.1). Tuples carry
+//! the [`RelationId`] of the relation they belong to and a vector of domain
+//! [`Value`]s.
+
+use crate::schema::{RelationId, Schema};
+use crate::value::{Domain, Value};
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A ground tuple over a schema and a domain.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    /// The relation this tuple belongs to.
+    pub relation: RelationId,
+    /// The tuple's attribute values, in schema attribute order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple without validating arity against a schema.
+    pub fn new(relation: RelationId, values: Vec<Value>) -> Self {
+        Tuple { relation, values }
+    }
+
+    /// Creates a tuple, validating its arity against `schema`.
+    pub fn checked(schema: &Schema, relation: RelationId, values: Vec<Value>) -> Result<Self> {
+        let expected = schema.arity(relation);
+        if values.len() != expected {
+            return Err(DataError::ArityMismatch {
+                relation: schema.relation(relation).name.clone(),
+                expected,
+                actual: values.len(),
+            });
+        }
+        Ok(Tuple { relation, values })
+    }
+
+    /// Convenience constructor from constant names: `Tuple::parse(&schema,
+    /// &domain, "Employee", &["alice", "sales", "555"])`.
+    ///
+    /// All constant names must already be interned in `domain`.
+    pub fn from_names(
+        schema: &Schema,
+        domain: &Domain,
+        relation: &str,
+        values: &[&str],
+    ) -> Result<Self> {
+        let rel = schema.require_relation(relation)?;
+        let vals = values
+            .iter()
+            .map(|n| domain.require(n))
+            .collect::<Result<Vec<_>>>()?;
+        Tuple::checked(schema, rel, vals)
+    }
+
+    /// The arity (number of values) of this tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at attribute position `i`.
+    pub fn value(&self, i: usize) -> Value {
+        self.values[i]
+    }
+
+    /// Projects the tuple onto the given attribute positions (used by key
+    /// constraints: the projection onto the key positions identifies the
+    /// `≡_K` equivalence class of the tuple).
+    pub fn project(&self, positions: &[usize]) -> Vec<Value> {
+        positions.iter().map(|&p| self.values[p]).collect()
+    }
+
+    /// Renders the tuple using the names in `schema` and `domain`.
+    pub fn display<'a>(&'a self, schema: &'a Schema, domain: &'a Domain) -> TupleDisplay<'a> {
+        TupleDisplay {
+            tuple: self,
+            schema,
+            domain,
+        }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}(", self.relation.0)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Pretty-printer for a tuple with resolved relation and constant names.
+pub struct TupleDisplay<'a> {
+    tuple: &'a Tuple,
+    schema: &'a Schema,
+    domain: &'a Domain,
+}
+
+impl fmt::Display for TupleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.schema.relation(self.tuple.relation).name)?;
+        for (i, v) in self.tuple.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.domain.name(*v))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Schema, Domain, RelationId) {
+        let mut schema = Schema::new();
+        let emp = schema.add_relation("Employee", &["name", "department", "phone"]);
+        let domain = Domain::with_constants(["alice", "sales", "555", "bob"]);
+        (schema, domain, emp)
+    }
+
+    #[test]
+    fn checked_construction_validates_arity() {
+        let (schema, domain, emp) = setup();
+        let a = domain.get("alice").unwrap();
+        let s = domain.get("sales").unwrap();
+        let p = domain.get("555").unwrap();
+        assert!(Tuple::checked(&schema, emp, vec![a, s, p]).is_ok());
+        let err = Tuple::checked(&schema, emp, vec![a, s]).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { expected: 3, actual: 2, .. }));
+    }
+
+    #[test]
+    fn from_names_resolves_relation_and_constants() {
+        let (schema, domain, emp) = setup();
+        let t = Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
+        assert_eq!(t.relation, emp);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(domain.name(t.value(0)), "alice");
+        assert!(Tuple::from_names(&schema, &domain, "Nope", &[]).is_err());
+        assert!(Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "999"]).is_err());
+    }
+
+    #[test]
+    fn projection_extracts_key_positions() {
+        let (schema, domain, _) = setup();
+        let t = Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
+        let key = t.project(&[0]);
+        assert_eq!(key, vec![domain.get("alice").unwrap()]);
+        let rev = t.project(&[2, 0]);
+        assert_eq!(rev, vec![domain.get("555").unwrap(), domain.get("alice").unwrap()]);
+    }
+
+    #[test]
+    fn display_resolves_names() {
+        let (schema, domain, _) = setup();
+        let t = Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
+        assert_eq!(t.display(&schema, &domain).to_string(), "Employee(alice, sales, 555)");
+        // the raw Display impl is schema-agnostic
+        assert!(t.to_string().starts_with("r0("));
+    }
+
+    #[test]
+    fn tuples_order_lexicographically() {
+        let (schema, domain, _) = setup();
+        let t1 = Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
+        let t2 = Tuple::from_names(&schema, &domain, "Employee", &["bob", "sales", "555"]).unwrap();
+        assert!(t1 < t2);
+    }
+}

@@ -1,0 +1,281 @@
+//! Tuple spaces: finite enumerations of candidate tuples.
+//!
+//! The paper works with `tup(D)`, the set of all tuples over all relations
+//! that can be formed from the domain `D` (Section 3.1). For realistic
+//! domains this set is astronomically large, so the exhaustive procedures in
+//! this workspace operate on a [`TupleSpace`]: either the *full* `tup(D)` of
+//! a deliberately tiny domain, or an explicit *support set* of tuples outside
+//! of which the queries under analysis are insensitive (their critical tuples
+//! and lineage are always contained in such a support set).
+
+use crate::bitset::{subsets_checked, BitSet, MAX_ENUMERABLE};
+use crate::instance::Instance;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Domain;
+use crate::{DataError, Result};
+use std::collections::HashMap;
+
+/// Default cap on the size of a fully enumerated `tup(D)`.
+pub const DEFAULT_FULL_SPACE_CAP: usize = 4096;
+
+/// A finite, ordered list of tuples with O(1) index lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleSpace {
+    tuples: Vec<Tuple>,
+    index: HashMap<Tuple, usize>,
+}
+
+impl TupleSpace {
+    /// Builds the full tuple space `tup(D)` for `schema` over `domain`,
+    /// refusing if it would contain more than `DEFAULT_FULL_SPACE_CAP`
+    /// tuples.
+    pub fn full(schema: &Schema, domain: &Domain) -> Result<Self> {
+        Self::full_with_cap(schema, domain, DEFAULT_FULL_SPACE_CAP)
+    }
+
+    /// Builds the full tuple space `tup(D)` with an explicit cap.
+    pub fn full_with_cap(schema: &Schema, domain: &Domain, cap: usize) -> Result<Self> {
+        let d = domain.len() as u128;
+        let mut required: u128 = 0;
+        for rel in schema.relation_ids() {
+            required = required.saturating_add(d.saturating_pow(schema.arity(rel) as u32));
+        }
+        if required > cap as u128 {
+            return Err(DataError::TupleSpaceTooLarge { required, cap });
+        }
+        let mut tuples = Vec::with_capacity(required as usize);
+        for rel in schema.relation_ids() {
+            let arity = schema.arity(rel);
+            // mixed-radix enumeration of all |D|^arity value vectors
+            let mut counters = vec![0usize; arity];
+            if domain.is_empty() && arity > 0 {
+                continue;
+            }
+            loop {
+                let values = counters
+                    .iter()
+                    .map(|&c| domain.values().nth(c).expect("counter in range"))
+                    .collect();
+                tuples.push(Tuple::new(rel, values));
+                // increment
+                let mut i = arity;
+                loop {
+                    if i == 0 {
+                        break;
+                    }
+                    i -= 1;
+                    counters[i] += 1;
+                    if counters[i] < domain.len() {
+                        break;
+                    }
+                    counters[i] = 0;
+                    if i == 0 {
+                        // overflowed the most significant digit: done
+                        counters.clear();
+                        break;
+                    }
+                }
+                if counters.is_empty() || arity == 0 {
+                    break;
+                }
+            }
+        }
+        Ok(Self::from_tuples(tuples))
+    }
+
+    /// Builds a tuple space from an explicit support set. Duplicates are
+    /// removed and tuples are sorted to give a canonical ordering.
+    pub fn from_tuples(mut tuples: Vec<Tuple>) -> Self {
+        tuples.sort();
+        tuples.dedup();
+        let index = tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        TupleSpace { tuples, index }
+    }
+
+    /// Number of tuples in the space.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuple at index `i`.
+    pub fn tuple(&self, i: usize) -> &Tuple {
+        &self.tuples[i]
+    }
+
+    /// The index of a tuple, if it belongs to the space.
+    pub fn index_of(&self, t: &Tuple) -> Option<usize> {
+        self.index.get(t).copied()
+    }
+
+    /// Whether the space contains the given tuple.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.index.contains_key(t)
+    }
+
+    /// Iterates over the tuples in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// All tuples as a slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Converts a bitset over this space into an [`Instance`].
+    pub fn instance_from_bitset(&self, bits: &BitSet) -> Instance {
+        Instance::from_tuples(bits.iter().map(|i| self.tuples[i].clone()))
+    }
+
+    /// Converts a `u64` mask over this space into an [`Instance`].
+    pub fn instance_from_mask(&self, mask: u64) -> Instance {
+        Instance::from_tuples(
+            (0..self.len().min(64))
+                .filter(|i| mask & (1u64 << i) != 0)
+                .map(|i| self.tuples[i].clone()),
+        )
+    }
+
+    /// Converts an [`Instance`] into a bitset over this space. Tuples of the
+    /// instance outside the space are ignored (they cannot affect queries
+    /// whose support is inside the space).
+    pub fn bitset_from_instance(&self, instance: &Instance) -> BitSet {
+        let mut bs = BitSet::new(self.len());
+        for t in instance.iter() {
+            if let Some(i) = self.index_of(t) {
+                bs.insert(i);
+            }
+        }
+        bs
+    }
+
+    /// Iterates over all `2^n` instances of this space, as `(mask, Instance)`
+    /// pairs. Errors if the space is larger than [`MAX_ENUMERABLE`].
+    pub fn instances(&self) -> Result<impl Iterator<Item = (u64, Instance)> + '_> {
+        if self.len() > MAX_ENUMERABLE {
+            return Err(DataError::EnumerationTooLarge(self.len()));
+        }
+        let it = subsets_checked(self.len())?;
+        Ok(it.map(move |mask| (mask, self.instance_from_mask(mask))))
+    }
+
+    /// The union of this space with another (canonical order is recomputed).
+    pub fn union(&self, other: &TupleSpace) -> TupleSpace {
+        let mut all = self.tuples.clone();
+        all.extend(other.tuples.iter().cloned());
+        TupleSpace::from_tuples(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Domain;
+
+    fn binary_r() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let domain = Domain::with_constants(["a", "b"]);
+        (schema, domain)
+    }
+
+    #[test]
+    fn full_space_of_binary_relation_over_two_constants_has_four_tuples() {
+        // Example 4.2 of the paper: R(X,Y), D = {a,b} gives 4 possible tuples
+        // and 16 instances.
+        let (schema, domain) = binary_r();
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        assert_eq!(space.len(), 4);
+        let instances: Vec<_> = space.instances().unwrap().collect();
+        assert_eq!(instances.len(), 16);
+    }
+
+    #[test]
+    fn full_space_respects_cap() {
+        let (schema, domain) = binary_r();
+        let err = TupleSpace::full_with_cap(&schema, &domain, 3).unwrap_err();
+        assert!(matches!(err, DataError::TupleSpaceTooLarge { required: 4, cap: 3 }));
+    }
+
+    #[test]
+    fn full_space_handles_multiple_relations_and_zero_arity() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x"]);
+        schema.add_relation("Unit", &[]);
+        let domain = Domain::with_constants(["a", "b", "c"]);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        // 3 unary tuples + 1 nullary tuple
+        assert_eq!(space.len(), 4);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let (schema, domain) = binary_r();
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        for i in 0..space.len() {
+            let t = space.tuple(i).clone();
+            assert_eq!(space.index_of(&t), Some(i));
+            assert!(space.contains(&t));
+        }
+        let r = schema.relation_by_name("R").unwrap();
+        let bogus = Tuple::new(r, vec![crate::Value(99), crate::Value(99)]);
+        assert_eq!(space.index_of(&bogus), None);
+    }
+
+    #[test]
+    fn from_tuples_dedupes_and_sorts() {
+        let (schema, domain) = binary_r();
+        let r = schema.relation_by_name("R").unwrap();
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let t1 = Tuple::new(r, vec![b, a]);
+        let t2 = Tuple::new(r, vec![a, a]);
+        let space = TupleSpace::from_tuples(vec![t1.clone(), t2.clone(), t1.clone()]);
+        assert_eq!(space.len(), 2);
+        assert!(space.tuple(0) <= space.tuple(1));
+    }
+
+    #[test]
+    fn mask_and_bitset_conversions_agree() {
+        let (schema, domain) = binary_r();
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let inst = space.instance_from_mask(0b0110);
+        assert_eq!(inst.len(), 2);
+        let bits = space.bitset_from_instance(&inst);
+        assert_eq!(bits, BitSet::from_mask(4, 0b0110));
+        let back = space.instance_from_bitset(&bits);
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn union_merges_spaces() {
+        let (schema, domain) = binary_r();
+        let r = schema.relation_by_name("R").unwrap();
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let s1 = TupleSpace::from_tuples(vec![Tuple::new(r, vec![a, a])]);
+        let s2 = TupleSpace::from_tuples(vec![Tuple::new(r, vec![b, b]), Tuple::new(r, vec![a, a])]);
+        let u = s1.union(&s2);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn instances_refuses_oversized_spaces() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let domain = Domain::with_size(6); // 36 tuples > MAX_ENUMERABLE
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        assert!(space.instances().is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Constants and finite domains.
+//!
+//! The paper fixes a finite domain `D` containing every value that can occur
+//! in any attribute of any relation (Section 3.1). Constants are interned:
+//! a [`Value`] is a small index into its [`Domain`], and the interning order
+//! doubles as the total order used by comparison predicates (`<`, `≤`).
+
+use crate::error::DataError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned constant of the finite domain `D`.
+///
+/// A `Value` is only meaningful relative to the [`Domain`] that produced it.
+/// The ordering of `Value`s (by interning index) is the total order used to
+/// interpret order predicates in conjunctive queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// The raw interning index of this constant.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A finite, totally ordered domain of named constants.
+///
+/// ```
+/// use qvsec_data::Domain;
+/// let mut d = Domain::new();
+/// let a = d.add("a");
+/// let b = d.add("b");
+/// assert!(a < b);
+/// assert_eq!(d.name(a), "a");
+/// assert_eq!(d.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Domain {
+    names: Vec<String>,
+    #[serde(skip)]
+    by_name: HashMap<String, Value>,
+    fresh_counter: u64,
+}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Domain {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            fresh_counter: 0,
+        }
+    }
+
+    /// Creates a domain containing the given constants, in order.
+    pub fn with_constants<I, S>(constants: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut d = Domain::new();
+        for c in constants {
+            d.add(c.as_ref());
+        }
+        d
+    }
+
+    /// Creates a domain of `n` anonymous constants named `c0..c{n-1}`.
+    ///
+    /// Useful for the "large enough domain" constructions of Proposition 4.9.
+    pub fn with_size(n: usize) -> Self {
+        let mut d = Domain::new();
+        for i in 0..n {
+            d.add(&format!("c{i}"));
+        }
+        d
+    }
+
+    /// Interns a constant, returning its [`Value`]. Adding an existing name
+    /// returns the existing value.
+    pub fn add(&mut self, name: &str) -> Value {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = Value(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), v);
+        v
+    }
+
+    /// Adds a fresh constant guaranteed to be distinct from all existing
+    /// constants. The `prefix` is purely cosmetic.
+    ///
+    /// Fresh constants implement the "distinct constant `c_x` per variable"
+    /// device used by the *fine instances* of Appendix A.
+    pub fn fresh(&mut self, prefix: &str) -> Value {
+        loop {
+            let name = format!("{prefix}${}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.by_name.contains_key(&name) {
+                return self.add(&name);
+            }
+        }
+    }
+
+    /// Looks up a constant by name.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a constant by name, erroring if absent.
+    pub fn require(&self, name: &str) -> Result<Value> {
+        self.get(name)
+            .ok_or_else(|| DataError::UnknownConstant(name.to_string()))
+    }
+
+    /// The display name of a constant.
+    pub fn name(&self, value: Value) -> &str {
+        &self.names[value.index()]
+    }
+
+    /// Whether the domain contains the given value (i.e. the value was
+    /// produced by this domain and not a larger one).
+    pub fn contains(&self, value: Value) -> bool {
+        value.index() < self.names.len()
+    }
+
+    /// Number of constants in the domain.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all constants in interning (and comparison) order.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.names.len() as u32).map(Value)
+    }
+
+    /// Iterates over `(value, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Value, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Value(i as u32), n.as_str()))
+    }
+
+    /// Rebuilds the name index (needed after deserialization, which skips the
+    /// lookup table).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), Value(i as u32)))
+            .collect();
+    }
+
+    /// Extends the domain until it contains at least `target` constants,
+    /// adding fresh constants as needed. Returns the newly added constants.
+    ///
+    /// This is the operation used to build the "large enough" active domain of
+    /// Proposition 4.9 (`|D| ≥ n(n+1)` where `n` bounds the variables and
+    /// constants of the queries under analysis).
+    pub fn pad_to(&mut self, target: usize) -> Vec<Value> {
+        let mut added = Vec::new();
+        while self.len() < target {
+            added.push(self.fresh("pad"));
+        }
+        added
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Domain::new();
+        let a1 = d.add("a");
+        let a2 = d.add("a");
+        assert_eq!(a1, a2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn values_are_ordered_by_insertion() {
+        let d = Domain::with_constants(["x", "y", "z"]);
+        let vals: Vec<_> = d.values().collect();
+        assert_eq!(vals.len(), 3);
+        assert!(vals[0] < vals[1] && vals[1] < vals[2]);
+        assert_eq!(d.name(vals[2]), "z");
+    }
+
+    #[test]
+    fn fresh_constants_are_distinct() {
+        let mut d = Domain::with_constants(["a"]);
+        let f1 = d.fresh("v");
+        let f2 = d.fresh("v");
+        assert_ne!(f1, f2);
+        assert_eq!(d.len(), 3);
+        assert!(d.name(f1).starts_with("v$"));
+    }
+
+    #[test]
+    fn fresh_avoids_existing_names() {
+        let mut d = Domain::new();
+        d.add("v$0");
+        let f = d.fresh("v");
+        assert_ne!(d.name(f), "v$0");
+    }
+
+    #[test]
+    fn require_reports_unknown_constants() {
+        let d = Domain::with_constants(["a"]);
+        assert!(d.require("a").is_ok());
+        assert_eq!(
+            d.require("zzz").unwrap_err(),
+            DataError::UnknownConstant("zzz".to_string())
+        );
+    }
+
+    #[test]
+    fn with_size_builds_numbered_constants() {
+        let d = Domain::with_size(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.name(Value(3)), "c3");
+    }
+
+    #[test]
+    fn pad_to_extends_domain() {
+        let mut d = Domain::with_constants(["a", "b"]);
+        let added = d.pad_to(6);
+        assert_eq!(added.len(), 4);
+        assert_eq!(d.len(), 6);
+        // padding an already-large domain is a no-op
+        assert!(d.pad_to(3).is_empty());
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let d = Domain::with_constants(["a", "b"]);
+        assert_eq!(d.to_string(), "{a, b}");
+    }
+
+    #[test]
+    fn contains_respects_bounds() {
+        let d = Domain::with_constants(["a", "b"]);
+        assert!(d.contains(Value(1)));
+        assert!(!d.contains(Value(2)));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the data substrate.
+
+use proptest::prelude::*;
+use qvsec_data::{BitSet, Dictionary, Domain, Instance, Ratio, Schema, Tuple, TupleSpace};
+
+fn small_ratio() -> impl Strategy<Value = Ratio> {
+    (0i128..=12, 1i128..=12).prop_map(|(n, d)| Ratio::new(n.min(d), d))
+}
+
+proptest! {
+    #[test]
+    fn ratio_addition_is_commutative_and_associative(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn ratio_multiplication_distributes_over_addition(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn ratio_complement_is_involutive(a in small_ratio()) {
+        prop_assert_eq!(a.complement().complement(), a);
+        prop_assert_eq!(a + a.complement(), Ratio::ONE);
+    }
+
+    #[test]
+    fn ratio_ordering_agrees_with_f64(a in small_ratio(), b in small_ratio()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bitset_insert_then_contains(indices in proptest::collection::vec(0usize..100, 0..30)) {
+        let mut bs = BitSet::new(100);
+        for &i in &indices {
+            bs.insert(i);
+        }
+        for &i in &indices {
+            prop_assert!(bs.contains(i));
+        }
+        let collected: Vec<usize> = bs.iter().collect();
+        let mut expected: Vec<usize> = indices.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn bitset_union_contains_both_operands(xs in proptest::collection::vec(0usize..60, 0..20),
+                                           ys in proptest::collection::vec(0usize..60, 0..20)) {
+        let mut a = BitSet::new(60);
+        let mut b = BitSet::new(60);
+        for &i in &xs { a.insert(i); }
+        for &i in &ys { b.insert(i); }
+        let u = a.union(&b);
+        prop_assert!(a.is_subset_of(&u));
+        prop_assert!(b.is_subset_of(&u));
+        prop_assert_eq!(u.intersection(&a), a.clone());
+    }
+
+    #[test]
+    fn instance_probabilities_sum_to_one(probs in proptest::collection::vec((0i128..=4, 1i128..=4), 3..=3)) {
+        // Build a 3-tuple space with arbitrary per-tuple probabilities and
+        // check Σ_I P[I] = 1 (Eq. (1) defines a probability distribution).
+        let mut schema = Schema::new();
+        let r = schema.add_relation("R", &["x"]);
+        let domain = Domain::with_constants(["a", "b", "c"]);
+        let vals: Vec<_> = domain.values().collect();
+        let space = TupleSpace::from_tuples(vals.iter().map(|&v| Tuple::new(r, vec![v])).collect());
+        let ratios: Vec<Ratio> = probs.iter().map(|&(n, d)| Ratio::new(n.min(d), d)).collect();
+        let dict = Dictionary::from_probabilities(space, ratios).unwrap();
+        let total: Ratio = (0..8u64).map(|m| dict.instance_probability_mask(m)).sum();
+        prop_assert!(total.is_one());
+    }
+
+    #[test]
+    fn domain_padding_reaches_target(base in 0usize..5, target in 0usize..20) {
+        let mut d = Domain::with_size(base);
+        d.pad_to(target);
+        prop_assert!(d.len() >= target);
+        prop_assert!(d.len() >= base);
+    }
+}
+
+#[test]
+fn instance_union_is_idempotent_and_monotone() {
+    let mut schema = Schema::new();
+    let r = schema.add_relation("R", &["x", "y"]);
+    let domain = Domain::with_constants(["a", "b", "c"]);
+    let vals: Vec<_> = domain.values().collect();
+    let mut tuples = Vec::new();
+    for &x in &vals {
+        for &y in &vals {
+            tuples.push(Tuple::new(r, vec![x, y]));
+        }
+    }
+    let i = Instance::from_tuples(tuples[0..4].iter().cloned());
+    let j = Instance::from_tuples(tuples[2..6].iter().cloned());
+    assert_eq!(i.union(&i), i);
+    assert!(i.is_subset_of(&i.union(&j)));
+    assert!(j.is_subset_of(&i.union(&j)));
+    assert_eq!(i.union(&j).len(), 6);
+}

@@ -1,0 +1,467 @@
+//! Event polynomials `f_Q(x̄)` (Section 4.3).
+//!
+//! For a boolean query `Q` over a tuple space `{t_1, ..., t_n}`, the
+//! probability that `Q` is true is a polynomial `f_Q` in the tuple
+//! probabilities `x_1, ..., x_n` (Eq. (5)). Proposition 4.13 lists the
+//! properties this polynomial has — in particular each variable has degree at
+//! most one, and `x_i` occurs (degree exactly one) **iff** `t_i` is a
+//! critical tuple of `Q`. The proofs of Theorems 4.5, 4.8 and 5.2 are
+//! manipulations of these polynomials; this module makes them executable:
+//!
+//! * [`event_polynomial`] builds `f_Q` exactly (integer coefficients) from a
+//!   query and a tuple space, via the Möbius transform of the satisfying-set
+//!   indicator;
+//! * [`Polynomial`] supports the ring operations, evaluation, variable
+//!   degrees and the Shannon substitutions `x_i := 0/1` used in the paper's
+//!   induction (Prop. 4.13, item 5).
+
+use qvsec_cq::{evaluate_boolean, ConjunctiveQuery};
+use qvsec_data::{Ratio, Result, TupleSpace};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A monomial: a finite map from variable index to (positive) exponent.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial(BTreeMap<u32, u32>);
+
+impl Monomial {
+    /// The empty (constant) monomial.
+    pub fn one() -> Self {
+        Monomial::default()
+    }
+
+    /// The monomial `x_v`.
+    pub fn var(v: u32) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(v, 1);
+        Monomial(m)
+    }
+
+    /// The product of two monomials (exponents add).
+    pub fn product(&self, other: &Monomial) -> Monomial {
+        let mut out = self.0.clone();
+        for (&v, &e) in &other.0 {
+            *out.entry(v).or_insert(0) += e;
+        }
+        Monomial(out)
+    }
+
+    /// The exponent of a variable in this monomial.
+    pub fn degree_of(&self, v: u32) -> u32 {
+        self.0.get(&v).copied().unwrap_or(0)
+    }
+
+    /// The total degree.
+    pub fn total_degree(&self) -> u32 {
+        self.0.values().sum()
+    }
+
+    /// The variables occurring with positive exponent.
+    pub fn variables(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.keys().copied()
+    }
+}
+
+/// A sparse polynomial with exact `i128` coefficients over variables indexed
+/// by tuple-space position.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Polynomial {
+    terms: BTreeMap<Monomial, i128>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial::default()
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: i128) -> Self {
+        let mut p = Polynomial::zero();
+        if c != 0 {
+            p.terms.insert(Monomial::one(), c);
+        }
+        p
+    }
+
+    /// The polynomial `x_v`.
+    pub fn var(v: u32) -> Self {
+        let mut p = Polynomial::zero();
+        p.terms.insert(Monomial::var(v), 1);
+        p
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of monomials with non-zero coefficient.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The coefficient of a monomial.
+    pub fn coefficient(&self, m: &Monomial) -> i128 {
+        self.terms.get(m).copied().unwrap_or(0)
+    }
+
+    /// The maximum exponent of `x_v` across all monomials. By
+    /// Proposition 4.13(1)–(2), for an event polynomial this is 1 iff tuple
+    /// `v` is critical for the query and 0 otherwise.
+    pub fn degree_of_var(&self, v: u32) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.degree_of(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All variables occurring in the polynomial.
+    pub fn variables(&self) -> BTreeSet<u32> {
+        self.terms
+            .keys()
+            .flat_map(|m| m.variables().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// The total degree of the polynomial.
+    pub fn total_degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.total_degree())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn insert(&mut self, m: Monomial, c: i128) {
+        if c == 0 {
+            return;
+        }
+        let entry = self.terms.entry(m.clone()).or_insert(0);
+        *entry += c;
+        if *entry == 0 {
+            // normalise: drop zero coefficients so equality is structural
+            self.terms.remove(&m);
+        }
+    }
+
+    /// Evaluates the polynomial at a rational point (variable `i` takes value
+    /// `point[i]`; missing variables default to zero).
+    pub fn eval(&self, point: &[Ratio]) -> Ratio {
+        let mut total = Ratio::ZERO;
+        for (m, &c) in &self.terms {
+            let mut term = Ratio::from_integer(c);
+            for v in m.variables() {
+                let x = point.get(v as usize).copied().unwrap_or(Ratio::ZERO);
+                term *= x.pow(m.degree_of(v));
+            }
+            total += term;
+        }
+        total
+    }
+
+    /// Evaluates the polynomial at an `f64` point.
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(m, &c)| {
+                let mut term = c as f64;
+                for v in m.variables() {
+                    term *= point
+                        .get(v as usize)
+                        .copied()
+                        .unwrap_or(0.0)
+                        .powi(m.degree_of(v) as i32);
+                }
+                term
+            })
+            .sum()
+    }
+
+    /// Substitutes `x_v := value` (0 or 1), producing the polynomial of the
+    /// restricted boolean formula (Prop. 4.13, item 5: `f_{Q[t=false]} =
+    /// f_Q[x=0]`, `f_{Q[t=true]} = f_Q[x=1]`).
+    pub fn substitute_bool(&self, v: u32, value: bool) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for (m, &c) in &self.terms {
+            let deg = m.degree_of(v);
+            if deg == 0 {
+                out.insert(m.clone(), c);
+            } else if value {
+                // x_v^d = 1: drop the variable
+                let reduced = Monomial(
+                    m.0.iter()
+                        .filter(|(&var, _)| var != v)
+                        .map(|(&var, &e)| (var, e))
+                        .collect(),
+                );
+                out.insert(reduced, c);
+            }
+            // value = false and deg > 0: the whole term vanishes
+        }
+        out
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, i128)> + '_ {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+}
+
+impl Add for &Polynomial {
+    type Output = Polynomial;
+    fn add(self, rhs: &Polynomial) -> Polynomial {
+        let mut out = self.clone();
+        for (m, &c) in &rhs.terms {
+            out.insert(m.clone(), c);
+        }
+        out
+    }
+}
+
+impl Sub for &Polynomial {
+    type Output = Polynomial;
+    fn sub(self, rhs: &Polynomial) -> Polynomial {
+        let mut out = self.clone();
+        for (m, &c) in &rhs.terms {
+            out.insert(m.clone(), -c);
+        }
+        out
+    }
+}
+
+impl Neg for &Polynomial {
+    type Output = Polynomial;
+    fn neg(self) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for (m, &c) in &self.terms {
+            out.insert(m.clone(), -c);
+        }
+        out
+    }
+}
+
+impl Mul for &Polynomial {
+    type Output = Polynomial;
+    fn mul(self, rhs: &Polynomial) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &rhs.terms {
+                out.insert(
+                    ma.product(mb),
+                    ca.checked_mul(cb).expect("polynomial coefficient overflow"),
+                );
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, &c) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if m.0.is_empty() {
+                write!(f, "{c}")?;
+            } else {
+                if c != 1 {
+                    write!(f, "{c}·")?;
+                }
+                let vars: Vec<String> = m
+                    .0
+                    .iter()
+                    .map(|(&v, &e)| {
+                        if e == 1 {
+                            format!("x{v}")
+                        } else {
+                            format!("x{v}^{e}")
+                        }
+                    })
+                    .collect();
+                write!(f, "{}", vars.join("·"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the multilinear polynomial with the given coefficients from the
+/// indicator of the satisfying instances: `sat[mask]` is whether the boolean
+/// event holds on the instance encoded by `mask` over `n_vars` tuples.
+///
+/// Coefficient of the monomial `∏_{i ∈ T} x_i` is
+/// `Σ_{I ⊆ T, sat(I)} (−1)^{|T|−|I|}` (subset Möbius transform).
+pub fn from_satisfying(n_vars: usize, sat: &[bool]) -> Polynomial {
+    assert_eq!(sat.len(), 1usize << n_vars, "sat table must have 2^n entries");
+    let mut coeffs: Vec<i128> = sat.iter().map(|&b| if b { 1 } else { 0 }).collect();
+    for bit in 0..n_vars {
+        for mask in 0..coeffs.len() {
+            if mask & (1 << bit) != 0 {
+                coeffs[mask] -= coeffs[mask ^ (1 << bit)];
+            }
+        }
+    }
+    let mut poly = Polynomial::zero();
+    for (mask, &c) in coeffs.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let monomial = Monomial(
+            (0..n_vars)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| (i as u32, 1))
+                .collect(),
+        );
+        poly.insert(monomial, c);
+    }
+    poly
+}
+
+/// Builds the event polynomial `f_Q` of a boolean query over a tuple space by
+/// evaluating the query on every instance of the space (Eq. (5)). Errors if
+/// the space is too large to enumerate.
+pub fn event_polynomial(query: &ConjunctiveQuery, space: &TupleSpace) -> Result<Polynomial> {
+    let mut sat = vec![false; 1usize << space.len()];
+    for (mask, instance) in space.instances()? {
+        sat[mask as usize] = evaluate_boolean(query, &instance);
+    }
+    Ok(from_satisfying(space.len(), &sat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Domain, Schema};
+
+    fn x(v: u32) -> Polynomial {
+        Polynomial::var(v)
+    }
+
+    #[test]
+    fn ring_operations() {
+        let p = &(&x(0) + &x(1)) * &x(2);
+        assert_eq!(p.num_terms(), 2);
+        assert_eq!(p.degree_of_var(2), 1);
+        let q = &p - &p;
+        assert!(q.is_zero());
+        let sq = &x(0) * &x(0);
+        assert_eq!(sq.degree_of_var(0), 2);
+        assert_eq!(sq.total_degree(), 2);
+        let neg = -&x(0);
+        assert_eq!((&neg + &x(0)), Polynomial::zero());
+    }
+
+    #[test]
+    fn evaluation_matches_structure() {
+        // p = x0 + x1·x2 − x0·x1·x2
+        let p = &(&x(0) + &(&x(1) * &x(2))) - &(&(&x(0) * &x(1)) * &x(2));
+        let half = Ratio::new(1, 2);
+        let v = p.eval(&[half, half, half]);
+        // 1/2 + 1/4 − 1/8 = 5/8
+        assert_eq!(v, Ratio::new(5, 8));
+        assert!((p.eval_f64(&[0.5, 0.5, 0.5]) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_4_12_polynomial() {
+        // Q() :- R('a', x), R(x, x) over D = {a, b}.
+        // tup(D) ordered by TupleSpace: t0=R(a,a), t1=R(a,b), t2=R(b,a), t3=R(b,b).
+        // The paper's indexing (t1..t4) gives fQ = x1 + x2·x4 − x1·x2·x4, i.e.
+        // in 0-based order: x0 + x1·x3 − x0·x1·x3.
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let q = parse_query("Q() :- R('a', x), R(x, x)", &schema, &mut domain).unwrap();
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let f = event_polynomial(&q, &space).unwrap();
+        let expected = &(&x(0) + &(&x(1) * &x(3))) - &(&(&x(0) * &x(1)) * &x(3));
+        assert_eq!(f, expected);
+        // Prop 4.13(2): x0, x1, x3 have degree 1 (critical tuples); x2 degree 0.
+        assert_eq!(f.degree_of_var(0), 1);
+        assert_eq!(f.degree_of_var(1), 1);
+        assert_eq!(f.degree_of_var(2), 0);
+        assert_eq!(f.degree_of_var(3), 1);
+        // evaluating at the all-1/2 point gives P[Q] = 12/16... let's check:
+        // fQ(1/2,·,·,1/2) = 1/2 + 1/4 − 1/8 = 5/8 = 10/16; the paper says Q is
+        // true on 12 of 16 instances of the FULL space of 4 tuples where the
+        // third tuple is free: 5/8 · 2 halves? Direct count: Q true on
+        // instances containing t0, or containing both t1 and t3:
+        // |{t0}| = 8, |{t1,t3}| = 4, overlap 2 ⇒ 10 instances ⇒ 10/16 = 5/8. ✓
+        let half = Ratio::new(1, 2);
+        assert_eq!(f.eval(&[half, half, half, half]), Ratio::new(5, 8));
+    }
+
+    #[test]
+    fn product_of_disjoint_event_polynomials_is_the_conjunction_polynomial() {
+        // Prop 4.13(3): crit(Q1) ∩ crit(Q2) = ∅ ⇒ f_{Q1∧Q2} = f_Q1 · f_Q2.
+        // Example 4.12 continued: Q' :- R('b','a') depends only on t2.
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let q = parse_query("Q() :- R('a', x), R(x, x)", &schema, &mut domain).unwrap();
+        let qp = parse_query("Qp() :- R('b', 'a')", &schema, &mut domain).unwrap();
+        let conj = parse_query("C() :- R('a', x), R(x, x), R('b', 'a')", &schema, &mut domain).unwrap();
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let f_q = event_polynomial(&q, &space).unwrap();
+        let f_qp = event_polynomial(&qp, &space).unwrap();
+        let f_conj = event_polynomial(&conj, &space).unwrap();
+        assert_eq!(f_qp, x(2));
+        assert_eq!(&f_q * &f_qp, f_conj);
+    }
+
+    #[test]
+    fn substitution_mirrors_boolean_restriction() {
+        // Prop 4.13(5) on Example 4.12: f_Q[x3 = 0] = x0, f_Q[x3 = 1] = x0 + x1 − x0·x1.
+        let f = &(&x(0) + &(&x(1) * &x(3))) - &(&(&x(0) * &x(1)) * &x(3));
+        assert_eq!(f.substitute_bool(3, false), x(0));
+        let expected = &(&x(0) + &x(1)) - &(&x(0) * &x(1));
+        assert_eq!(f.substitute_bool(3, true), expected);
+    }
+
+    #[test]
+    fn from_satisfying_of_constant_events() {
+        let always = from_satisfying(2, &[true, true, true, true]);
+        assert_eq!(always, Polynomial::constant(1));
+        let never = from_satisfying(2, &[false, false, false, false]);
+        assert!(never.is_zero());
+        // event "tuple 0 is present"
+        let t0 = from_satisfying(2, &[false, true, false, true]);
+        assert_eq!(t0, x(0));
+    }
+
+    #[test]
+    fn event_polynomial_coefficients_bound_probabilities() {
+        // probabilities evaluated from the polynomial always lie in [0,1]
+        // for probability points — spot check a non-trivial query.
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let q = parse_query("Q() :- R(x, y), R(y, x)", &schema, &mut domain).unwrap();
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let f = event_polynomial(&q, &space).unwrap();
+        for num in 0..=4i128 {
+            let p = Ratio::new(num, 4);
+            let val = f.eval(&vec![p; 4]);
+            assert!(val >= Ratio::ZERO && val <= Ratio::ONE, "P = {val} out of range");
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = &(&x(0) * &x(1)) + &Polynomial::constant(2);
+        let s = p.to_string();
+        assert!(s.contains("x0·x1"));
+        assert!(s.contains('2'));
+        assert_eq!(Polynomial::zero().to_string(), "0");
+    }
+}

@@ -1,0 +1,187 @@
+//! Random workload generators for the scaling benchmarks.
+//!
+//! The paper's complexity results (Theorems 4.10/4.11) say the exact
+//! procedures are exponential in the query size; the benches measure that
+//! growth on synthetic families: chain queries, star queries and random
+//! conjunctive queries over a binary relation, with scaled domains and
+//! dictionaries.
+
+use qvsec_cq::{Atom, ConjunctiveQuery, Term};
+use qvsec_data::{Dictionary, Domain, Ratio, Schema, TupleSpace};
+use rand::Rng;
+
+/// A chain (path) query `Q(x0, xk) :- R(x0, x1), R(x1, x2), ..., R(x{k-1}, xk)`.
+pub fn chain_query(schema: &Schema, length: usize) -> ConjunctiveQuery {
+    let r = schema.relation_by_name("R").expect("binary relation R");
+    let mut q = ConjunctiveQuery::new(&format!("Chain{length}"));
+    let vars: Vec<_> = (0..=length).map(|i| q.add_var(&format!("x{i}"))).collect();
+    for i in 0..length {
+        q.atoms.push(Atom::new(r, vec![Term::Var(vars[i]), Term::Var(vars[i + 1])]));
+    }
+    q.head = vec![Term::Var(vars[0]), Term::Var(vars[length])];
+    q
+}
+
+/// A boolean chain query (no head) of the given length.
+pub fn boolean_chain_query(schema: &Schema, length: usize) -> ConjunctiveQuery {
+    let mut q = chain_query(schema, length);
+    q.head.clear();
+    q.name = format!("BChain{length}");
+    q
+}
+
+/// A star query `Q(c) :- R(c, x1), R(c, x2), ..., R(c, xk)`.
+pub fn star_query(schema: &Schema, branches: usize) -> ConjunctiveQuery {
+    let r = schema.relation_by_name("R").expect("binary relation R");
+    let mut q = ConjunctiveQuery::new(&format!("Star{branches}"));
+    let center = q.add_var("c");
+    for i in 0..branches {
+        let leaf = q.add_var(&format!("x{i}"));
+        q.atoms.push(Atom::new(r, vec![Term::Var(center), Term::Var(leaf)]));
+    }
+    q.head = vec![Term::Var(center)];
+    q
+}
+
+/// A random conjunctive query over `R/2`: each subgoal's terms are drawn from
+/// `num_vars` variables and the constants of `domain` (with probability
+/// `const_prob` of picking a constant). The head projects the first variable
+/// that occurs in the body, or is boolean if none does.
+pub fn random_query<R: Rng + ?Sized>(
+    schema: &Schema,
+    domain: &Domain,
+    num_atoms: usize,
+    num_vars: usize,
+    const_prob: f64,
+    rng: &mut R,
+) -> ConjunctiveQuery {
+    let r = schema.relation_by_name("R").expect("binary relation R");
+    let mut q = ConjunctiveQuery::new("Random");
+    let vars: Vec<_> = (0..num_vars.max(1)).map(|i| q.add_var(&format!("x{i}"))).collect();
+    let constants: Vec<_> = domain.values().collect();
+    let term = |q_rng: &mut R| -> Term {
+        if !constants.is_empty() && q_rng.gen::<f64>() < const_prob {
+            Term::Const(constants[q_rng.gen_range(0..constants.len())])
+        } else {
+            Term::Var(vars[q_rng.gen_range(0..vars.len())])
+        }
+    };
+    for _ in 0..num_atoms.max(1) {
+        let terms = vec![term(rng), term(rng)];
+        q.atoms.push(Atom::new(r, terms));
+    }
+    // pick a head variable that occurs in the body, if any
+    let body_var = q.atoms.iter().flat_map(|a| a.variables()).next();
+    if let Some(v) = body_var {
+        q.head = vec![Term::Var(v)];
+    }
+    q
+}
+
+/// A uniform dictionary with probability `p` over the full tuple space of
+/// `schema` × a fresh domain of `domain_size` constants.
+pub fn uniform_dictionary(
+    schema: &Schema,
+    domain_size: usize,
+    p: Ratio,
+) -> (Domain, Dictionary) {
+    let domain = Domain::with_size(domain_size);
+    let space = TupleSpace::full_with_cap(schema, &domain, 1 << 20).expect("space fits the cap");
+    let dict = Dictionary::uniform(space, p).expect("valid probability");
+    (domain, dict)
+}
+
+/// A batch of random queries sharing one schema/domain, for benchmark loops.
+pub fn random_query_batch(
+    schema: &Schema,
+    domain: &Domain,
+    count: usize,
+    num_atoms: usize,
+    seed: u64,
+) -> Vec<ConjunctiveQuery> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| random_query(schema, domain, num_atoms, num_atoms + 1, 0.3, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::binary_schema;
+    use qvsec_cq::eval::evaluate;
+    use qvsec_data::Instance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_queries_have_the_requested_shape() {
+        let schema = binary_schema();
+        for len in 1..=5 {
+            let q = chain_query(&schema, len);
+            assert_eq!(q.atoms.len(), len);
+            assert_eq!(q.num_vars(), len + 1);
+            assert_eq!(q.arity(), 2);
+            assert!(q.validate().is_ok());
+            let b = boolean_chain_query(&schema, len);
+            assert!(b.is_boolean());
+        }
+    }
+
+    #[test]
+    fn chain_query_evaluates_paths() {
+        let schema = binary_schema();
+        let domain = Domain::with_constants(["a", "b", "c"]);
+        let q = chain_query(&schema, 2);
+        let t = |x: &str, y: &str| qvsec_data::Tuple::from_names(&schema, &domain, "R", &[x, y]).unwrap();
+        let inst = Instance::from_tuples([t("a", "b"), t("b", "c")]);
+        let answers = evaluate(&q, &inst);
+        let a = domain.get("a").unwrap();
+        let c = domain.get("c").unwrap();
+        assert!(answers.contains(&vec![a, c]));
+    }
+
+    #[test]
+    fn star_queries_share_the_center_variable() {
+        let schema = binary_schema();
+        let q = star_query(&schema, 4);
+        assert_eq!(q.atoms.len(), 4);
+        assert_eq!(q.num_vars(), 5);
+        assert!(q.atoms.iter().all(|a| a.terms[0] == q.atoms[0].terms[0]));
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn random_queries_are_wellformed() {
+        let schema = binary_schema();
+        let domain = Domain::with_constants(["a", "b"]);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let q = random_query(&schema, &domain, 3, 3, 0.4, &mut rng);
+            assert!(q.validate().is_ok());
+            assert!(!q.atoms.is_empty());
+        }
+    }
+
+    #[test]
+    fn uniform_dictionary_scales_with_domain() {
+        let schema = binary_schema();
+        let (domain, dict) = uniform_dictionary(&schema, 3, Ratio::new(1, 4));
+        assert_eq!(domain.len(), 3);
+        assert_eq!(dict.len(), 9);
+        assert_eq!(dict.prob(0), Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn batches_are_reproducible() {
+        let schema = binary_schema();
+        let domain = Domain::with_constants(["a", "b"]);
+        let b1 = random_query_batch(&schema, &domain, 5, 2, 42);
+        let b2 = random_query_batch(&schema, &domain, 5, 2, 42);
+        assert_eq!(b1.len(), 5);
+        for (x, y) in b1.iter().zip(&b2) {
+            assert_eq!(x.atoms, y.atoms);
+        }
+    }
+}

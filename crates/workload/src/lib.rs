@@ -1,0 +1,26 @@
+//! # qvsec-workload — paper scenarios and workload generators
+//!
+//! Everything the examples, the integration tests and the benchmark harness
+//! need to exercise the `qvsec` decision procedures on the workloads the
+//! paper discusses:
+//!
+//! * the paper's schemas (Employee, Patient, the manufacturing-exchange
+//!   schema of the introduction) — [`schemas`];
+//! * the exact query/view pairs of Table 1 and of the worked examples,
+//!   together with the verdicts the paper assigns them — [`paper`];
+//! * random workload generators (chain/star/random conjunctive queries,
+//!   scaled domains and dictionaries) for the scaling benchmarks —
+//!   [`generators`];
+//! * multi-party collusion auditing: which coalitions of view recipients can
+//!   jointly violate a secret — [`scenarios`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod paper;
+pub mod scenarios;
+pub mod schemas;
+
+pub use paper::{table1, Table1Row};
+pub use scenarios::{collusion_audit, CoalitionReport};

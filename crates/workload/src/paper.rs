@@ -1,0 +1,219 @@
+//! The exact query/view pairs studied in the paper, with the verdicts the
+//! paper assigns them.
+
+use crate::schemas::{ab_domain, binary_schema, employee_schema};
+use qvsec::report::DisclosureClass;
+use qvsec_cq::{parse_query, ConjunctiveQuery, ViewSet};
+use qvsec_data::Domain;
+
+/// One row of Table 1: a secret query, the published views, and the paper's
+/// assessment of the disclosure.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Row number (1–4) as printed in the paper.
+    pub id: usize,
+    /// The secret query `S_i`.
+    pub secret: ConjunctiveQuery,
+    /// The published views.
+    pub views: ViewSet,
+    /// The paper's informal description of the disclosure.
+    pub disclosure: DisclosureClass,
+    /// The paper's query-view security verdict (the last column).
+    pub secure: bool,
+    /// The domain the queries were parsed against (shared across the row).
+    pub domain: Domain,
+    /// Human-readable description.
+    pub description: &'static str,
+}
+
+/// Builds the four rows of Table 1 over `Emp(name, department, phone)`.
+pub fn table1() -> Vec<Table1Row> {
+    let schema = employee_schema();
+    let mut rows = Vec::new();
+
+    // (1) V1(n,d) :- Emp(n,d,p)   S1(d) :- Emp(n,d,p)       Total    No
+    {
+        let mut domain = Domain::new();
+        let v = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let s = parse_query("S1(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        rows.push(Table1Row {
+            id: 1,
+            secret: s,
+            views: ViewSet::single(v),
+            disclosure: DisclosureClass::Total,
+            secure: false,
+            domain,
+            description: "S1 is answerable from V1: total disclosure",
+        });
+    }
+    // (2) V2(n,d), V2'(d,p)       S2(n,p)                    Partial  No
+    {
+        let mut domain = Domain::new();
+        let v2 = parse_query("V2(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let v2p = parse_query("V2p(d, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let s = parse_query("S2(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        rows.push(Table1Row {
+            id: 2,
+            secret: s,
+            views: ViewSet::from_views(vec![v2, v2p]),
+            disclosure: DisclosureClass::Partial,
+            secure: false,
+            domain,
+            description: "Bob and Carol collude on the name-phone association: partial disclosure",
+        });
+    }
+    // (3) V3(n)                   S3(p)                      Minute   No
+    {
+        let mut domain = Domain::new();
+        let v = parse_query("V3(n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let s = parse_query("S3(p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        rows.push(Table1Row {
+            id: 3,
+            secret: s,
+            views: ViewSet::single(v),
+            disclosure: DisclosureClass::Minute,
+            secure: false,
+            domain,
+            description: "the name list reveals only the database size: minute disclosure",
+        });
+    }
+    // (4) V4(n):-Emp(n,Mgmt,p)    S4(n):-Emp(n,HR,p)         None     Yes
+    {
+        let mut domain = Domain::new();
+        let v = parse_query("V4(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap();
+        let s = parse_query("S4(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        rows.push(Table1Row {
+            id: 4,
+            secret: s,
+            views: ViewSet::single(v),
+            disclosure: DisclosureClass::NoDisclosure,
+            secure: true,
+            domain,
+            description: "management names say nothing about HR names: secure",
+        });
+    }
+    rows
+}
+
+/// The Example 4.2 pair (not secure): `V(x) :- R(x, y)`, `S(y) :- R(x, y)`
+/// over `D = {a, b}`.
+pub fn example_4_2() -> (ConjunctiveQuery, ConjunctiveQuery, Domain) {
+    let schema = binary_schema();
+    let mut domain = ab_domain();
+    let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+    let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+    (s, v, domain)
+}
+
+/// The Example 4.3 pair (secure): `V(x) :- R(x, 'b')`, `S(y) :- R(y, 'a')`.
+pub fn example_4_3() -> (ConjunctiveQuery, ConjunctiveQuery, Domain) {
+    let schema = binary_schema();
+    let mut domain = ab_domain();
+    let v = parse_query("V(x) :- R(x, 'b')", &schema, &mut domain).unwrap();
+    let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
+    (s, v, domain)
+}
+
+/// The Example 4.12 boolean query `Q() :- R('a', x), R(x, x)` whose event
+/// polynomial is `x1 + x2·x4 − x1·x2·x4`.
+pub fn example_4_12() -> (ConjunctiveQuery, Domain) {
+    let schema = binary_schema();
+    let mut domain = ab_domain();
+    let q = parse_query("Q() :- R('a', x), R(x, x)", &schema, &mut domain).unwrap();
+    (q, domain)
+}
+
+/// The Section 2.1 boolean pair (Jane / Shipping): the view makes the secret
+/// substantially more likely even though it does not determine it.
+pub fn section_2_1() -> (ConjunctiveQuery, ConjunctiveQuery, Domain) {
+    let schema = employee_schema();
+    let mut domain = Domain::with_constants(["Jane", "Shipping", "1234567", "Joe", "7654321"]);
+    let s = parse_query(
+        "S() :- Employee('Jane', 'Shipping', '1234567')",
+        &schema,
+        &mut domain,
+    )
+    .unwrap();
+    let v = parse_query(
+        "V() :- Employee('Jane', 'Shipping', p), Employee(n, 'Shipping', '1234567')",
+        &schema,
+        &mut domain,
+    )
+    .unwrap();
+    (s, v, domain)
+}
+
+/// The introduction's data-exchange scenario: Bob receives the
+/// (name, department) view, Carol the (department, phone) view, and the
+/// company wants to keep the (name, phone) association secret.
+pub fn intro_collusion() -> (ConjunctiveQuery, ViewSet, Domain) {
+    let schema = employee_schema();
+    let mut domain = Domain::new();
+    let v_bob = parse_query("VBob(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+    let v_carol = parse_query("VCarol(d, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+    let s = parse_query("S(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+    (s, ViewSet::from_views(vec![v_bob, v_carol]), domain)
+}
+
+/// The manufacturing-exchange views of the introduction: detailed part data
+/// for suppliers (V1), product features and prices for retailers (V2), labor
+/// costs for the tax consultant (V3); the internal manufacturing cost is the
+/// secret.
+pub fn manufacturing_views() -> (ConjunctiveQuery, ViewSet, Domain) {
+    let schema = crate::schemas::manufacturing_schema();
+    let mut domain = Domain::new();
+    let v1 = parse_query("V1(pr, pa, s) :- Part(pr, pa, s)", &schema, &mut domain).unwrap();
+    let v2 = parse_query("V2(pr, f, price) :- Product(pr, f, price)", &schema, &mut domain).unwrap();
+    let v3 = parse_query("V3(pr, c) :- Labor(pr, op, c)", &schema, &mut domain).unwrap();
+    let secret = parse_query("S(pr, c) :- ManufCost(pr, c)", &schema, &mut domain).unwrap();
+    (secret, ViewSet::from_views(vec![v1, v2, v3]), domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec::security::secure_for_all_distributions;
+    use qvsec_data::Schema;
+
+    #[test]
+    fn table1_security_column_is_reproduced() {
+        let schema = employee_schema();
+        for row in table1() {
+            let verdict =
+                secure_for_all_distributions(&row.secret, &row.views, &schema, &row.domain)
+                    .unwrap();
+            assert_eq!(
+                verdict.secure, row.secure,
+                "row {} ({}) has the wrong verdict",
+                row.id, row.description
+            );
+        }
+    }
+
+    #[test]
+    fn worked_example_builders_produce_wellformed_queries() {
+        let (s, v, _) = example_4_2();
+        assert_eq!(s.arity(), 1);
+        assert_eq!(v.arity(), 1);
+        let (s, v, _) = example_4_3();
+        assert_eq!(s.constants().len(), 1);
+        assert_eq!(v.constants().len(), 1);
+        let (q, _) = example_4_12();
+        assert!(q.is_boolean());
+        let (s, v, _) = section_2_1();
+        assert!(s.is_boolean() && v.is_boolean());
+        let (s, views, _) = intro_collusion();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(views.len(), 2);
+    }
+
+    #[test]
+    fn manufacturing_views_are_secure_for_the_cost_secret() {
+        // The ManufCost relation is disjoint from the relations the views
+        // publish, so the audit must report perfect security.
+        let (secret, views, domain) = manufacturing_views();
+        let schema: Schema = crate::schemas::manufacturing_schema();
+        let verdict = secure_for_all_distributions(&secret, &views, &schema, &domain).unwrap();
+        assert!(verdict.secure);
+    }
+}

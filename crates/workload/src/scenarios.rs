@@ -1,0 +1,155 @@
+//! Multi-party collusion auditing (the first data-exchange scenario of the
+//! introduction).
+//!
+//! Alice publishes view `V_i` to party `i`. Which coalitions of parties can,
+//! by pooling their views, learn something about the secret `S`? Because
+//! query-view security is closed under collusion (Theorem 4.5: `S | V̄` iff
+//! `S | V_i` for every `i`), a coalition violates the secret iff at least one
+//! of its members' views does individually — and the audit below reports
+//! both the per-view verdicts and the resulting minimal unsafe coalitions.
+
+use qvsec::security::{secure_for_all_distributions, SecurityVerdict};
+use qvsec::Result;
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_data::{Domain, Schema};
+
+/// The audit result for one named recipient/coalition.
+#[derive(Debug, Clone)]
+pub struct CoalitionReport {
+    /// Names of the recipients in the coalition.
+    pub members: Vec<String>,
+    /// The security verdict for the union of their views.
+    pub verdict: SecurityVerdict,
+}
+
+/// Audits every non-empty coalition of recipients. `views` associates a
+/// recipient name with the view published to them. Coalitions are returned
+/// in increasing size order.
+pub fn collusion_audit(
+    secret: &ConjunctiveQuery,
+    views: &[(String, ConjunctiveQuery)],
+    schema: &Schema,
+    domain: &Domain,
+) -> Result<Vec<CoalitionReport>> {
+    let n = views.len();
+    assert!(n <= 16, "collusion audit enumerates 2^n coalitions");
+    let mut reports = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        let members: Vec<String> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| views[i].0.clone())
+            .collect();
+        let coalition_views = ViewSet::from_views(
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| views[i].1.clone())
+                .collect(),
+        );
+        let verdict = secure_for_all_distributions(secret, &coalition_views, schema, domain)?;
+        reports.push(CoalitionReport { members, verdict });
+    }
+    reports.sort_by_key(|r| r.members.len());
+    Ok(reports)
+}
+
+/// The minimal unsafe coalitions: unsafe coalitions none of whose proper
+/// subsets are unsafe.
+pub fn minimal_unsafe_coalitions(reports: &[CoalitionReport]) -> Vec<&CoalitionReport> {
+    let unsafe_sets: Vec<&CoalitionReport> =
+        reports.iter().filter(|r| !r.verdict.secure).collect();
+    unsafe_sets
+        .iter()
+        .filter(|r| {
+            !unsafe_sets.iter().any(|other| {
+                other.members.len() < r.members.len()
+                    && other.members.iter().all(|m| r.members.contains(m))
+            })
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::employee_schema;
+    use qvsec_cq::parse_query;
+
+    #[test]
+    fn collusion_audit_of_the_introduction_scenario() {
+        // Bob gets (name, department), Carol gets (department, phone), Dana
+        // gets the management-only name list. Secret: (name, phone).
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let secret = parse_query("S(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let views = vec![
+            (
+                "bob".to_string(),
+                parse_query("VBob(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+            ),
+            (
+                "carol".to_string(),
+                parse_query("VCarol(d, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+            ),
+            (
+                "dana".to_string(),
+                parse_query("VDana(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap(),
+            ),
+        ];
+        let reports = collusion_audit(&secret, &views, &schema, &domain).unwrap();
+        assert_eq!(reports.len(), 7, "all non-empty coalitions are audited");
+        // every coalition containing bob or carol is unsafe; dana alone...
+        // note: even VDana(n) overlaps the secret on management employees'
+        // names, so it is individually unsafe under perfect secrecy.
+        for r in &reports {
+            let expected_unsafe = r.members.iter().any(|m| m == "bob" || m == "carol" || m == "dana");
+            assert_eq!(!r.verdict.secure, expected_unsafe, "coalition {:?}", r.members);
+        }
+        let minimal = minimal_unsafe_coalitions(&reports);
+        assert!(minimal.iter().all(|r| r.members.len() == 1));
+    }
+
+    #[test]
+    fn secure_views_produce_no_unsafe_coalitions() {
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let secret = parse_query("S(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        let views = vec![
+            (
+                "mgmt".to_string(),
+                parse_query("V1(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap(),
+            ),
+            (
+                "sales".to_string(),
+                parse_query("V2(n) :- Employee(n, 'Sales', p)", &schema, &mut domain).unwrap(),
+            ),
+        ];
+        let reports = collusion_audit(&secret, &views, &schema, &domain).unwrap();
+        assert!(reports.iter().all(|r| r.verdict.secure));
+        assert!(minimal_unsafe_coalitions(&reports).is_empty());
+    }
+
+    #[test]
+    fn collusion_closure_property_holds() {
+        // Theorem 4.5: a coalition is unsafe iff some member is unsafe.
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let secret = parse_query("S(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let views = vec![
+            (
+                "safe".to_string(),
+                parse_query("V1(n) :- Employee(n, 'Mgmt', x), x != x", &schema, &mut domain)
+                    .unwrap(),
+            ),
+            (
+                "unsafe".to_string(),
+                parse_query("V2(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+            ),
+        ];
+        let reports = collusion_audit(&secret, &views, &schema, &domain).unwrap();
+        for r in &reports {
+            let member_unsafe = r.members.iter().any(|m| m == "unsafe");
+            assert_eq!(!r.verdict.secure, member_unsafe);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The relational schemas used throughout the paper.
+
+use qvsec_data::{Domain, Schema};
+
+/// `Employee(name, department, phone)` — the running example of Section 1
+/// and Table 1.
+pub fn employee_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("Employee", &["name", "department", "phone"]);
+    s
+}
+
+/// `Patient(name, disease)` — the hospital dictionary example of
+/// Section 3.2.
+pub fn patient_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("Patient", &["name", "disease"]);
+    s
+}
+
+/// The manufacturing data-exchange schema sketched in the introduction:
+/// parts for products, product features/prices for retailers, labor costs
+/// for the tax consultant, and the internal manufacturing costs the company
+/// wants to keep secret.
+pub fn manufacturing_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("Part", &["product", "part", "supplier"]);
+    s.add_relation("Product", &["product", "feature", "price"]);
+    s.add_relation("Labor", &["product", "operation", "cost"]);
+    s.add_relation("ManufCost", &["product", "cost"]);
+    s
+}
+
+/// A single binary relation `R(x, y)` — the schema of the worked examples of
+/// Section 4 (Examples 4.2, 4.3, 4.12).
+pub fn binary_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("R", &["x", "y"]);
+    s
+}
+
+/// `Employee` with a key on `name` — used by the key-constraint experiments
+/// (Section 5.2, Application 2).
+pub fn employee_schema_with_key() -> Schema {
+    let mut s = employee_schema();
+    let emp = s.relation_by_name("Employee").unwrap();
+    s.add_key(emp, &[0]).unwrap();
+    s
+}
+
+/// A small employee domain: a few names, departments and phone numbers.
+pub fn small_employee_domain() -> Domain {
+    Domain::with_constants([
+        "alice", "bob", "carol", "dave", "Sales", "HR", "Mgmt", "p1", "p2", "p3", "p4",
+    ])
+}
+
+/// The two-constant domain `{a, b}` of the Section 4 worked examples.
+pub fn ab_domain() -> Domain {
+    Domain::with_constants(["a", "b"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_have_the_documented_relations() {
+        assert_eq!(employee_schema().len(), 1);
+        assert_eq!(employee_schema().arity(employee_schema().relation_by_name("Employee").unwrap()), 3);
+        assert_eq!(patient_schema().len(), 1);
+        assert_eq!(manufacturing_schema().len(), 4);
+        assert!(manufacturing_schema().relation_by_name("ManufCost").is_some());
+        assert_eq!(binary_schema().arity(binary_schema().relation_by_name("R").unwrap()), 2);
+    }
+
+    #[test]
+    fn keyed_schema_declares_the_name_key() {
+        let s = employee_schema_with_key();
+        assert_eq!(s.keys().len(), 1);
+        assert_eq!(s.keys()[0].positions, vec![0]);
+    }
+
+    #[test]
+    fn domains_contain_expected_constants() {
+        assert!(small_employee_domain().get("alice").is_some());
+        assert!(small_employee_domain().get("Mgmt").is_some());
+        assert_eq!(ab_domain().len(), 2);
+    }
+}

@@ -1,0 +1,9 @@
+//! Runnable example applications for the `qvsec` workspace.
+//!
+//! This crate exists only to host the example binaries; see the files in the
+//! package root (`quickstart.rs`, `collusion_audit.rs`, `medical_privacy.rs`,
+//! `encrypted_publishing.rs`, `prior_knowledge_audit.rs`) and run them with
+//!
+//! ```text
+//! cargo run -p qvsec-examples --example quickstart
+//! ```

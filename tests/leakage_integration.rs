@@ -1,0 +1,132 @@
+//! Integration test: the Section 6.1 leakage measure on the paper's
+//! Employee examples (Examples 6.2 and 6.3) and the Theorem 6.1 bound.
+
+use qvsec::leakage::{epsilon_for, leakage_exact, theorem_6_1_bound};
+use qvsec_cq::{parse_query, ViewSet};
+use qvsec_data::{Dictionary, Domain, Ratio, Schema, TupleSpace};
+
+fn emp_setup() -> (Schema, Domain, Dictionary) {
+    let mut schema = Schema::new();
+    schema.add_relation("Emp", &["name", "department", "phone"]);
+    let domain = Domain::with_constants(["a", "b"]);
+    let space = TupleSpace::full(&schema, &domain).unwrap();
+    let dict = Dictionary::half(space);
+    (schema, domain, dict)
+}
+
+#[test]
+fn example_6_2_department_view_leaks_only_a_little() {
+    // V(d) :- Emp(n,d,p) about S(n,p) :- Emp(n,d,p): a strictly positive but
+    // small leakage, with ε < 1 so Theorem 6.1 gives a finite bound.
+    let (schema, mut domain, dict) = emp_setup();
+    let s = parse_query("S(n, p) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let v = parse_query("V(d) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let views = ViewSet::single(v);
+    let report = leakage_exact(&s, &views, &dict).unwrap();
+    assert!(report.max_leak > Ratio::ZERO, "the pair is not perfectly secure");
+
+    let a = domain.get("a").unwrap();
+    let b = domain.get("b").unwrap();
+    let eps = epsilon_for(&s, &views, &dict, &domain, &[a, b], &[vec![a]])
+        .unwrap()
+        .unwrap();
+    assert!(eps > Ratio::ZERO && eps < Ratio::ONE);
+    let bound = theorem_6_1_bound(eps).unwrap();
+    assert!(bound > Ratio::ZERO);
+}
+
+#[test]
+fn example_6_3_more_revealing_views_and_collusion_increase_leakage() {
+    let (schema, mut domain, dict) = emp_setup();
+    let s = parse_query("S(n, p) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let v_d = parse_query("Vd(d) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let v_nd = parse_query("Vnd(n, d) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+    let v_dp = parse_query("Vdp(d, p) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+
+    let leak_d = leakage_exact(&s, &ViewSet::single(v_d), &dict).unwrap().max_leak;
+    let leak_nd = leakage_exact(&s, &ViewSet::single(v_nd.clone()), &dict).unwrap().max_leak;
+    let leak_collusion = leakage_exact(
+        &s,
+        &ViewSet::from_views(vec![v_nd.clone(), v_dp.clone()]),
+        &dict,
+    )
+    .unwrap()
+    .max_leak;
+
+    // Example 6.3's qualitative claims: the (name, department) view leaks at
+    // least as much as the department-only view, and colluding with the
+    // (department, phone) view leaks the most.
+    assert!(
+        leak_nd >= leak_d,
+        "V(n,d) must leak at least as much as V(d): {leak_nd} vs {leak_d}"
+    );
+    assert!(
+        leak_collusion >= leak_nd,
+        "the collusion must leak at least as much as V(n,d): {leak_collusion} vs {leak_nd}"
+    );
+    assert!(leak_collusion > Ratio::ZERO);
+
+    // the ε of Theorem 6.1 moves in the same direction
+    let a = domain.get("a").unwrap();
+    let b = domain.get("b").unwrap();
+    let eps_d = epsilon_for(
+        &s,
+        &ViewSet::single(parse_query("V(d) :- Emp(n, d, p)", &schema, &mut domain).unwrap()),
+        &dict,
+        &domain,
+        &[a, b],
+        &[vec![a]],
+    )
+    .unwrap()
+    .unwrap();
+    let eps_nd = epsilon_for(&s, &ViewSet::single(v_nd), &dict, &domain, &[a, b], &[vec![a, a]])
+        .unwrap()
+        .unwrap();
+    assert!(eps_nd >= eps_d);
+}
+
+#[test]
+fn secure_pairs_have_zero_leakage_and_vice_versa() {
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["x", "y"]);
+    let mut domain = Domain::with_constants(["a", "b"]);
+    let dict = Dictionary::half(TupleSpace::full(&schema, &domain).unwrap());
+    // a secure pair (Example 4.3)
+    let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
+    let v = parse_query("V(x) :- R(x, 'b')", &schema, &mut domain).unwrap();
+    assert!(leakage_exact(&s, &ViewSet::single(v), &dict)
+        .unwrap()
+        .max_leak
+        .is_zero());
+    // an insecure pair (Example 4.2)
+    let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+    let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+    let report = leakage_exact(&s, &ViewSet::single(v), &dict).unwrap();
+    assert!(report.max_leak > Ratio::ZERO);
+    let witness = report.witness.unwrap();
+    assert!(witness.posterior > witness.prior);
+}
+
+#[test]
+fn larger_departments_leak_less_about_the_association() {
+    // The introduction's intuition: the more employees per department, the
+    // harder it is to pin a phone number on a person. Compare the leakage of
+    // the department view about the name-phone association over domains with
+    // one extra phone value.
+    let mut schema = Schema::new();
+    schema.add_relation("Emp", &["name", "department", "phone"]);
+    let leak_for = |constants: &[&str]| {
+        let mut domain = Domain::with_constants(constants.to_vec());
+        let s = parse_query("S(n, p) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(n, d) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
+        // keep the space enumerable: one department value, growing phone pool
+        let space = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 1 << 12).unwrap();
+        if space.len() > qvsec_data::bitset::MAX_ENUMERABLE {
+            return None;
+        }
+        let dict = Dictionary::uniform(space, Ratio::new(1, 2)).unwrap();
+        Some(leakage_exact(&s, &ViewSet::single(v), &dict).unwrap().max_leak)
+    };
+    let small = leak_for(&["a", "b"]).expect("2-constant space is enumerable");
+    assert!(small > Ratio::ZERO);
+}

@@ -1,0 +1,149 @@
+//! Integration test: the five Section 5.2 applications, exercised through the
+//! public API across crates.
+
+use qvsec::prior::{
+    cardinality_destroys_security, protective_knowledge_absent, secure_given_knowledge,
+    secure_given_knowledge_all_distributions_boolean, secure_given_prior_view_boolean,
+    secure_given_prior_views_dict, secure_under_keys, CardinalityConstraint, Knowledge,
+};
+use qvsec::security::secure_for_all_distributions;
+use qvsec_cq::{parse_query, ViewSet};
+use qvsec_data::{Dictionary, Domain, Schema, TupleSpace};
+use qvsec_prob::lineage::support_space;
+
+fn keyed_schema() -> Schema {
+    let mut schema = Schema::new();
+    let r = schema.add_relation("R", &["key", "value"]);
+    schema.add_key(r, &[0]).unwrap();
+    schema
+}
+
+#[test]
+fn application_1_no_knowledge_recovers_theorem_4_5() {
+    let schema = keyed_schema();
+    let mut domain = Domain::with_constants(["a", "b", "c"]);
+    let s = parse_query("S() :- R('a', 'b')", &schema, &mut domain).unwrap();
+    let v = parse_query("V() :- R('a', 'c')", &schema, &mut domain).unwrap();
+    let space = support_space(&[&s, &v], &domain, 100).unwrap();
+    let plain = secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+        .unwrap()
+        .secure;
+    let with_trivial_knowledge =
+        secure_given_knowledge_all_distributions_boolean(&s, &v, &Knowledge::True, &space).unwrap();
+    assert_eq!(plain, with_trivial_knowledge);
+    assert!(plain, "the pair is secure without knowledge");
+}
+
+#[test]
+fn application_2_keys() {
+    let schema = keyed_schema();
+    let mut domain = Domain::with_constants(["a", "b", "c"]);
+    let s = parse_query("S() :- R('a', 'b')", &schema, &mut domain).unwrap();
+    let v = parse_query("V() :- R('a', 'c')", &schema, &mut domain).unwrap();
+    let space = support_space(&[&s, &v], &domain, 100).unwrap();
+    // Corollary 5.3 verdict
+    let verdict = secure_under_keys(&s, &ViewSet::single(v.clone()), &schema, &space).unwrap();
+    assert!(!verdict.secure);
+    assert_eq!(verdict.violating_pairs.len(), 1);
+    // exhaustive Definition 5.1 check agrees
+    let dict = Dictionary::half(space);
+    let keys = Knowledge::Keys(schema.keys().to_vec());
+    let report = secure_given_knowledge(&s, &ViewSet::single(v), &keys, &dict).unwrap();
+    assert!(!report.independent);
+    // the disclosure is total in one direction: once V is known true, S is false
+    let worst = report.worst_violation().unwrap();
+    assert!(worst.posterior.is_zero() || worst.posterior.is_one());
+}
+
+#[test]
+fn application_3_cardinality() {
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["x", "y"]);
+    let mut domain = Domain::with_constants(["a", "b"]);
+    let s = parse_query("S() :- R('a', 'a')", &schema, &mut domain).unwrap();
+    let v = parse_query("V() :- R('b', 'b')", &schema, &mut domain).unwrap();
+    assert!(secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+        .unwrap()
+        .secure);
+    let space = TupleSpace::full(&schema, &domain).unwrap();
+    for constraint in [
+        CardinalityConstraint::Exactly(1),
+        CardinalityConstraint::AtMost(2),
+        CardinalityConstraint::AtLeast(3),
+    ] {
+        let k = Knowledge::Cardinality(constraint);
+        assert!(
+            !secure_given_knowledge_all_distributions_boolean(&s, &v, &k, &space).unwrap(),
+            "{constraint:?} must destroy security"
+        );
+    }
+    assert!(cardinality_destroys_security(&s, &ViewSet::single(v)));
+}
+
+#[test]
+fn application_4_protective_disclosure() {
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["x", "y"]);
+    let mut domain = Domain::with_constants(["a", "b"]);
+    let s = parse_query("S() :- R('a', x)", &schema, &mut domain).unwrap();
+    let v = parse_query("V() :- R(x, 'b')", &schema, &mut domain).unwrap();
+    let views = ViewSet::single(v.clone());
+    assert!(!secure_for_all_distributions(&s, &views, &schema, &domain).unwrap().secure);
+    let k = protective_knowledge_absent(&s, &views, &domain).unwrap();
+    let space = support_space(&[&s, &v], &domain, 100).unwrap();
+    assert!(secure_given_knowledge_all_distributions_boolean(&s, &v, &k, &space).unwrap());
+}
+
+#[test]
+fn application_5_prior_views() {
+    let mut schema = Schema::new();
+    schema.add_relation("R1", &["x", "y"]);
+    schema.add_relation("R2", &["x", "y"]);
+    let mut domain = Domain::with_constants(["a", "b"]);
+    let u = parse_query("U() :- R1('a', x), R2('a', y)", &schema, &mut domain).unwrap();
+    let s = parse_query("S() :- R1(z1, z2), R2('a', 'b')", &schema, &mut domain).unwrap();
+    let v = parse_query("V() :- R1('a', 'b'), R2(w1, w2)", &schema, &mut domain).unwrap();
+    // insecure individually, secure relative to the already-published U
+    assert!(!secure_for_all_distributions(&s, &ViewSet::single(u.clone()), &schema, &domain)
+        .unwrap()
+        .secure);
+    assert!(!secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+        .unwrap()
+        .secure);
+    let space = support_space(&[&u, &s, &v], &domain, 1 << 10).unwrap();
+    assert!(secure_given_prior_view_boolean(&u, &s, &v, &space).unwrap());
+
+    // dictionary-based relative security for non-boolean prior views
+    let mut rschema = Schema::new();
+    rschema.add_relation("R", &["x", "y"]);
+    let mut rdomain = Domain::with_constants(["a", "b"]);
+    let prior = parse_query("U(x) :- R(x, y)", &rschema, &mut rdomain).unwrap();
+    let new_view = parse_query("V(x) :- R(x, y)", &rschema, &mut rdomain).unwrap();
+    let secret = parse_query("S(y) :- R(x, y)", &rschema, &mut rdomain).unwrap();
+    let dict = Dictionary::half(TupleSpace::full(&rschema, &rdomain).unwrap());
+    assert!(secure_given_prior_views_dict(
+        &ViewSet::single(prior),
+        &secret,
+        &ViewSet::single(new_view),
+        &dict
+    )
+    .unwrap());
+}
+
+#[test]
+fn protective_knowledge_also_restores_statistical_independence() {
+    // Cross-crate sanity: the Corollary 5.4 knowledge constructed in
+    // `qvsec::prior` makes the literal Definition 5.1 check of `qvsec-prob`
+    // pass over a non-uniform dictionary.
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["x", "y"]);
+    let mut domain = Domain::with_constants(["a", "b"]);
+    let s = parse_query("S() :- R('a', x)", &schema, &mut domain).unwrap();
+    let v = parse_query("V() :- R(x, 'b')", &schema, &mut domain).unwrap();
+    let views = ViewSet::single(v);
+    let k = protective_knowledge_absent(&s, &views, &domain).unwrap();
+    let space = TupleSpace::full(&schema, &domain).unwrap();
+    let dict = Dictionary::uniform(space, qvsec_data::Ratio::new(1, 3)).unwrap();
+    let report = secure_given_knowledge(&s, &views, &k, &dict).unwrap();
+    assert!(report.independent);
+}

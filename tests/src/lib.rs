@@ -1,0 +1,6 @@
+//! Cross-crate integration tests for the `qvsec` workspace.
+//!
+//! The test targets live in the package root (see `Cargo.toml`): Table 1
+//! classification, theorem cross-validation, prior-knowledge scenarios,
+//! leakage ordering, the Appendix A hardness reduction and end-to-end
+//! data-exchange scenarios.

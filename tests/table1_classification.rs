@@ -1,0 +1,107 @@
+//! Integration test: reproduce Table 1 end to end.
+//!
+//! For every row of the paper's Table 1 the test checks (a) the security
+//! column via Theorem 4.5, (b) the fast Section 4.2 check, (c) the literal
+//! Definition 4.1 statistical test over a small dictionary, and (d) that the
+//! measured leakage induces the same ordering of the rows as the paper's
+//! informal Total / Partial / Minute / None spectrum.
+
+use qvsec::analysis::SecurityAnalyzer;
+use qvsec::fast_check::fast_check;
+use qvsec::report::DisclosureClass;
+use qvsec_cq::ConjunctiveQuery;
+use qvsec_data::{Dictionary, Ratio};
+use qvsec_prob::lineage::support_space;
+use qvsec_workload::paper::table1;
+use qvsec_workload::schemas::employee_schema;
+
+fn row_analysis(row: &qvsec_workload::paper::Table1Row) -> qvsec::analysis::DisclosureAnalysis {
+    let schema = employee_schema();
+    let mut domain = row.domain.clone();
+    domain.pad_to(2);
+    let mut queries: Vec<&ConjunctiveQuery> = vec![&row.secret];
+    queries.extend(row.views.iter());
+    let space = support_space(&queries, &domain, 1 << 12).expect("small support space");
+    let dict = Dictionary::uniform(space, Ratio::new(1, 2)).expect("uniform dictionary");
+    SecurityAnalyzer::new(&schema, &domain)
+        .with_minute_threshold(Ratio::new(1, 10))
+        .analyze_with_dictionary(&row.secret, &row.views, &dict)
+        .expect("analysis succeeds")
+}
+
+#[test]
+fn security_column_matches_the_paper() {
+    for row in table1() {
+        let analysis = row_analysis(&row);
+        assert_eq!(
+            analysis.security.secure, row.secure,
+            "row {} security verdict differs from the paper",
+            row.id
+        );
+        // the practical algorithm classifies all four rows correctly (§4.2)
+        assert_eq!(
+            fast_check(&row.secret, &row.views).is_certainly_secure(),
+            row.secure,
+            "row {} fast-check verdict differs",
+            row.id
+        );
+        // Definition 4.1 agrees with Theorem 4.5 on every row
+        assert_eq!(
+            analysis.independence.as_ref().unwrap().independent,
+            row.secure,
+            "row {} statistical verdict differs",
+            row.id
+        );
+    }
+}
+
+#[test]
+fn disclosure_spectrum_is_reproduced() {
+    let rows = table1();
+    let analyses: Vec<_> = rows.iter().map(row_analysis).collect();
+
+    // Row 1 is a total disclosure (the view determines the secret answer).
+    assert_eq!(analyses[0].totally_disclosed, Some(true), "row 1 must be total");
+    assert_eq!(analyses[0].class, DisclosureClass::Total);
+
+    // Rows 2 and 3 are partial/minute: insecure but not determined.
+    for idx in [1, 2] {
+        assert_eq!(analyses[idx].totally_disclosed, Some(false));
+        assert!(!analyses[idx].security.secure);
+    }
+    assert_eq!(analyses[1].class, DisclosureClass::Partial, "row 2 is a partial disclosure");
+    assert_eq!(analyses[2].class, DisclosureClass::Minute, "row 3 is a minute disclosure");
+
+    // Row 4 is perfectly secure.
+    assert_eq!(analyses[3].class, DisclosureClass::NoDisclosure);
+    assert!(analyses[3].leakage.as_ref().unwrap().max_leak.is_zero());
+
+    // The leakage ordering reproduces the spectrum: the collusion of row 2
+    // leaks strictly more than the size-only disclosure of row 3, which still
+    // leaks a little, and row 4 leaks nothing.
+    let leak = |i: usize| analyses[i].leakage.as_ref().unwrap().max_leak;
+    assert!(
+        leak(1) > leak(2),
+        "row 2 (partial) must leak more than row 3 (minute): {} vs {}",
+        leak(1),
+        leak(2)
+    );
+    assert!(leak(2) > Ratio::ZERO, "row 3 still leaks something (database size)");
+    assert!(leak(3).is_zero());
+}
+
+#[test]
+fn table_rows_report_witnessing_critical_tuples_when_insecure() {
+    for row in table1() {
+        let analysis = row_analysis(&row);
+        if row.secure {
+            assert!(analysis.security.common_critical_tuples.is_empty());
+        } else {
+            assert!(
+                !analysis.security.common_critical_tuples.is_empty(),
+                "row {} must produce witnesses",
+                row.id
+            );
+        }
+    }
+}

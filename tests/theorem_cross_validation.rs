@@ -1,0 +1,132 @@
+//! Integration test: the paper's worked examples and the agreement of all
+//! three decision paths (critical tuples, event polynomials, exhaustive
+//! statistics) on randomized inputs.
+
+use proptest::prelude::*;
+use qvsec::security::{secure_boolean_via_polynomials, secure_for_all_distributions};
+use qvsec_cq::eval::AnswerSet;
+use qvsec_cq::{parse_query, ViewSet};
+use qvsec_data::{Dictionary, Domain, Ratio, Schema, TupleSpace};
+use qvsec_prob::independence::check_independence;
+use qvsec_prob::lineage::support_space;
+use qvsec_prob::poly::{event_polynomial, Polynomial};
+use qvsec_prob::probability::{answer_distribution, conditional_probability};
+use qvsec_workload::paper::{example_4_12, example_4_2, example_4_3};
+use qvsec_workload::schemas::binary_schema;
+
+#[test]
+fn example_4_2_numbers_are_exact() {
+    // P[S = {(a)}] = 3/16 and P[S = {(a)} | V = {(b)}] = 1/3.
+    let (s, v, domain) = example_4_2();
+    let schema = binary_schema();
+    let space = TupleSpace::full(&schema, &domain).unwrap();
+    let dict = Dictionary::half(space);
+    let a = domain.get("a").unwrap();
+    let b = domain.get("b").unwrap();
+    let s_target: AnswerSet = [vec![a]].into_iter().collect();
+    let v_target: AnswerSet = [vec![b]].into_iter().collect();
+
+    let dist = answer_distribution(&s, &dict).unwrap();
+    assert_eq!(dist.get(&s_target).copied(), Some(Ratio::new(3, 16)));
+
+    let posterior = conditional_probability(
+        &dict,
+        |i| qvsec_cq::evaluate(&s, i) == s_target,
+        |i| qvsec_cq::evaluate(&v, i) == v_target,
+    )
+    .unwrap()
+    .unwrap();
+    assert_eq!(posterior, Ratio::new(1, 3));
+
+    // and therefore the pair is not secure, by any of the three criteria
+    assert!(!secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+        .unwrap()
+        .secure);
+    assert!(!check_independence(&s, &ViewSet::single(v), &dict).unwrap().independent);
+}
+
+#[test]
+fn example_4_3_numbers_are_exact() {
+    // P[S = {(a)}] = 1/4 with and without V = {(b)}; the pair is secure.
+    let (s, v, domain) = example_4_3();
+    let schema = binary_schema();
+    let space = TupleSpace::full(&schema, &domain).unwrap();
+    let dict = Dictionary::half(space);
+    let a = domain.get("a").unwrap();
+    let b = domain.get("b").unwrap();
+    let s_target: AnswerSet = [vec![a]].into_iter().collect();
+    let v_target: AnswerSet = [vec![b]].into_iter().collect();
+
+    let dist = answer_distribution(&s, &dict).unwrap();
+    assert_eq!(dist.get(&s_target).copied(), Some(Ratio::new(1, 4)));
+    let posterior = conditional_probability(
+        &dict,
+        |i| qvsec_cq::evaluate(&s, i) == s_target,
+        |i| qvsec_cq::evaluate(&v, i) == v_target,
+    )
+    .unwrap()
+    .unwrap();
+    assert_eq!(posterior, Ratio::new(1, 4));
+
+    assert!(secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+        .unwrap()
+        .secure);
+    assert!(check_independence(&s, &ViewSet::single(v), &dict).unwrap().independent);
+}
+
+#[test]
+fn example_4_12_polynomial_is_reproduced() {
+    // f_Q = x1 + x2·x4 − x1·x2·x4 in the paper's 1-based tuple indexing,
+    // i.e. x0 + x1·x3 − x0·x1·x3 over the canonical tuple order.
+    let (q, domain) = example_4_12();
+    let schema = binary_schema();
+    let space = TupleSpace::full(&schema, &domain).unwrap();
+    let f = event_polynomial(&q, &space).unwrap();
+    let x = Polynomial::var;
+    let expected = &(&x(0) + &(&x(1) * &x(3))) - &(&(&x(0) * &x(1)) * &x(3));
+    assert_eq!(f, expected);
+    // criticality of exactly t1, t2, t4 (paper indexing)
+    assert_eq!(f.degree_of_var(0), 1);
+    assert_eq!(f.degree_of_var(1), 1);
+    assert_eq!(f.degree_of_var(2), 0);
+    assert_eq!(f.degree_of_var(3), 1);
+}
+
+fn random_boolean_query() -> impl Strategy<Value = String> {
+    let term = prop_oneof![
+        Just("x0".to_string()),
+        Just("x1".to_string()),
+        Just("'a'".to_string()),
+        Just("'b'".to_string()),
+    ];
+    let atom = (term.clone(), term).prop_map(|(a, b)| format!("R({a}, {b})"));
+    proptest::collection::vec(atom, 1..3).prop_map(|atoms| format!("Q() :- {}", atoms.join(", ")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_three_decision_paths_agree(s_text in random_boolean_query(), v_text in random_boolean_query()) {
+        let schema: Schema = binary_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query(&s_text, &schema, &mut domain).unwrap();
+        let v = parse_query(&v_text, &schema, &mut domain).unwrap();
+        let views = ViewSet::single(v.clone());
+
+        // 1. Theorem 4.5 criterion
+        let by_criterion = secure_for_all_distributions(&s, &views, &schema, &domain)
+            .unwrap()
+            .secure;
+        // 2. event-polynomial identity (Eq. 6)
+        let space = support_space(&[&s, &v], &domain, 1 << 12).unwrap();
+        let by_polynomials = secure_boolean_via_polynomials(&s, &v, &space).unwrap();
+        // 3. literal Definition 4.1 under the uniform dictionary
+        let full_space = TupleSpace::full(&schema, &domain).unwrap();
+        let dict = Dictionary::half(full_space);
+        let by_statistics = check_independence(&s, &views, &dict).unwrap().independent;
+
+        prop_assert_eq!(by_criterion, by_polynomials, "criterion vs polynomials on ({}, {})", s_text, v_text);
+        prop_assert_eq!(by_criterion, by_statistics, "criterion vs statistics on ({}, {})", s_text, v_text);
+    }
+}
