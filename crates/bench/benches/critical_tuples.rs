@@ -85,7 +85,10 @@ fn bench_hardness_instances(c: &mut Criterion) {
             "sat_2vars",
             ForallExists3Cnf::existential(
                 2,
-                vec![vec![Literal::y(0), Literal::y(1)], vec![Literal::not_y(0), Literal::y(1)]],
+                vec![
+                    vec![Literal::y(0), Literal::y(1)],
+                    vec![Literal::not_y(0), Literal::y(1)],
+                ],
             ),
         ),
         (

@@ -26,12 +26,23 @@ fn print_reproduction() {
     let v_dp = parse_query("Vdp(d, p) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
 
     println!("\n=== Section 6.1 leakage reproduction (secret: name-phone association) ===");
-    println!("{:<40} {:>12} {:>12}", "published views", "leak(S,V)", "ε (Thm 6.1)");
+    println!(
+        "{:<40} {:>12} {:>12}",
+        "published views", "leak(S,V)", "ε (Thm 6.1)"
+    );
     let a = domain.get("a").unwrap();
     let b = domain.get("b").unwrap();
     let rows: Vec<(&str, ViewSet, Vec<Vec<_>>)> = vec![
-        ("V(d)  — Example 6.2", ViewSet::single(v_d.clone()), vec![vec![a]]),
-        ("V(n,d) — Example 6.3", ViewSet::single(v_nd.clone()), vec![vec![a, a]]),
+        (
+            "V(d)  — Example 6.2",
+            ViewSet::single(v_d.clone()),
+            vec![vec![a]],
+        ),
+        (
+            "V(n,d) — Example 6.3",
+            ViewSet::single(v_nd.clone()),
+            vec![vec![a, a]],
+        ),
         (
             "V(n,d) + V'(d,p) — collusion",
             ViewSet::from_views(vec![v_nd.clone(), v_dp.clone()]),
@@ -49,7 +60,12 @@ fn print_reproduction() {
             epsilon_for(&s, views, &dict, &domain, &[a, b], view_answers).unwrap()
         {
             if let Some(bound) = theorem_6_1_bound(eps_ratio) {
-                println!("{:<40} {:>12} {:>12.4}", "", "Thm 6.1 bound:", bound.to_f64());
+                println!(
+                    "{:<40} {:>12} {:>12.4}",
+                    "",
+                    "Thm 6.1 bound:",
+                    bound.to_f64()
+                );
             }
         }
     }

@@ -38,11 +38,17 @@ fn print_reproduction() {
     println!("\n=== Section 6.2: asymptotic exponents (μ_n[Q] ≈ c/n^d, expected size S = {EXPECTED_SIZE}) ===");
     println!("{:<14} {:>4} {:>10}", "query", "d", "c (est.)");
     for row in asymptotic_table(&qs, &schema, EXPECTED_SIZE).unwrap() {
-        println!("{:<14} {:>4} {:>10.2}", row.name, row.exponent, row.coefficient);
+        println!(
+            "{:<14} {:>4} {:>10.2}",
+            row.name, row.exponent, row.coefficient
+        );
     }
 
     println!("\nMonte-Carlo validation of the decay (samples = 4000):");
-    println!("{:<14} {:>10} {:>10} {:>10}", "query", "n=8", "n=16", "n=32");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "query", "n=8", "n=16", "n=32"
+    );
     for q in qs.iter().take(4) {
         let estimates: Vec<f64> = [8usize, 16, 32]
             .iter()

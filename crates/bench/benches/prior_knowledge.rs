@@ -49,7 +49,9 @@ fn print_reproduction() {
         &space2,
     )
     .unwrap();
-    println!("  A3 cardinality : with |I| ≤ 1 known, secure = {with_card} (paper: no query is secure)");
+    println!(
+        "  A3 cardinality : with |I| ≤ 1 known, secure = {with_card} (paper: no query is secure)"
+    );
 
     // Application 4: protective disclosure
     let s3 = parse_query("S() :- R('a', x)", &schema2, &mut domain2).unwrap();
@@ -83,9 +85,7 @@ fn bench_prior_knowledge(c: &mut Criterion) {
     let k = protective_knowledge_absent(&s, &ViewSet::single(v.clone()), &domain).unwrap();
     let space = support_space(&[&s, &v], &domain, 100).unwrap();
     c.bench_function("prior/eq8_polynomial_identity", |b| {
-        b.iter(|| {
-            secure_given_knowledge_all_distributions_boolean(&s, &v, &k, &space).unwrap()
-        })
+        b.iter(|| secure_given_knowledge_all_distributions_boolean(&s, &v, &k, &space).unwrap())
     });
     c.bench_function("prior/protective_knowledge_construction", |b| {
         b.iter(|| protective_knowledge_absent(&s, &ViewSet::single(v.clone()), &domain).unwrap())

@@ -106,17 +106,13 @@ fn bench_space_scaling(c: &mut Criterion) {
         let mut d = domain.clone();
         let q = parse_query("Q() :- R(x, y), R(y, z)", &schema, &mut d).unwrap();
         let dict = Dictionary::uniform(space, Ratio::new(1, 2)).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(dict.len()),
-            &dict,
-            |b, dict| {
-                b.iter(|| {
-                    qvsec_prob::probability::boolean_probability(&q, dict)
-                        .unwrap()
-                        .to_f64()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(dict.len()), &dict, |b, dict| {
+            b.iter(|| {
+                qvsec_prob::probability::boolean_probability(&q, dict)
+                    .unwrap()
+                    .to_f64()
+            })
+        });
     }
     group.finish();
 }

@@ -38,6 +38,34 @@ pub fn support_dictionary(
     qvsec_data::Dictionary::uniform(space, default_tuple_probability()).expect("valid dictionary")
 }
 
+/// An [`qvsec::AuditEngine`] over the given schema and domain, without a
+/// dictionary — the shared setup for the dictionary-free benches.
+pub fn engine(schema: &qvsec_data::Schema, domain: &qvsec_data::Domain) -> qvsec::AuditEngine {
+    qvsec::AuditEngine::builder(schema.clone(), domain.clone()).build()
+}
+
+/// The engine auditing one Table 1 row at full (probabilistic) depth: the
+/// row's domain padded to two constants, the support dictionary over the
+/// row's queries, and the 1/10 minute-vs-partial threshold the reproduction
+/// uses. This replaces the per-bench copies of that setup.
+pub fn table1_row_engine(
+    row: &qvsec_workload::Table1Row,
+) -> (qvsec::AuditEngine, qvsec::AuditRequest) {
+    let mut queries: Vec<&qvsec_cq::ConjunctiveQuery> = vec![&row.secret];
+    queries.extend(row.views.iter());
+    let dict = support_dictionary(&queries, &row.domain);
+    let mut domain = row.domain.clone();
+    domain.pad_to(2);
+    let engine = qvsec::AuditEngine::builder(qvsec_workload::schemas::employee_schema(), domain)
+        .dictionary(dict)
+        .minute_threshold(qvsec_data::Ratio::new(1, 10))
+        .default_depth(qvsec::AuditDepth::Probabilistic)
+        .build();
+    let request = qvsec::AuditRequest::new(row.secret.clone(), row.views.clone())
+        .named(format!("table1-row{}", row.id));
+    (engine, request)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,356 @@
+//! Library behind the `qvsec-cli` binary: audit-spec parsing (JSON or a
+//! TOML subset) and execution against an [`AuditEngine`].
+//!
+//! A spec declares a schema, optional domain constants, an optional
+//! dictionary, engine defaults, and a list of audits:
+//!
+//! ```json
+//! {
+//!   "relations": [
+//!     {"name": "Employee", "attributes": ["name", "department", "phone"]}
+//!   ],
+//!   "defaults": {"depth": "exact"},
+//!   "audits": [
+//!     {
+//!       "name": "table1-row4",
+//!       "secret": "S4(n) :- Employee(n, 'HR', p)",
+//!       "views": ["V4(n) :- Employee(n, 'Mgmt', p)"]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Queries are written in the workspace's datalog syntax and parsed with
+//! [`qvsec_cq::parse_query`]. The equivalent TOML form uses `[[relations]]`
+//! and `[[audits]]` array-of-table sections.
+
+pub mod toml_subset;
+
+use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
+use qvsec::QvsError;
+use qvsec_cq::{parse_query, ViewSet};
+use qvsec_data::{Dictionary, Domain, Ratio, Schema};
+use serde::Deserialize;
+use std::fmt;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// The spec file could not be parsed.
+    Spec(String),
+    /// A query inside the spec failed to parse or analyze.
+    Audit(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Spec(m) => write!(f, "spec error: {m}"),
+            CliError::Audit(m) => write!(f, "audit error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Spec(e.to_string())
+    }
+}
+
+impl From<QvsError> for CliError {
+    fn from(e: QvsError) -> Self {
+        CliError::Audit(e.to_string())
+    }
+}
+
+/// One relation declaration.
+#[derive(Debug, Clone, Deserialize)]
+pub struct RelationSpec {
+    /// Relation name.
+    pub name: String,
+    /// Attribute names.
+    pub attributes: Vec<String>,
+}
+
+/// Spec-level defaults applied to every audit unless overridden.
+#[derive(Debug, Clone, Default, Deserialize)]
+pub struct DefaultsSpec {
+    /// Default escalation depth (`"fast"`, `"exact"`, `"probabilistic"`).
+    pub depth: Option<String>,
+    /// Default minute-vs-partial threshold as `[numerator, denominator]`.
+    pub minute_threshold: Option<(i128, i128)>,
+    /// Default candidate-enumeration cap.
+    pub candidate_cap: Option<usize>,
+}
+
+/// Dictionary construction directive: a uniform distribution over the
+/// support space of every query in the spec.
+#[derive(Debug, Clone, Deserialize)]
+pub struct DictionarySpec {
+    /// Uniform per-tuple probability as `[numerator, denominator]`
+    /// (default `[1, 2]`).
+    pub probability: Option<(i128, i128)>,
+    /// Cap on the constructed tuple-space size (default 4096).
+    pub cap: Option<usize>,
+}
+
+/// One audit case.
+#[derive(Debug, Clone, Deserialize)]
+pub struct AuditCaseSpec {
+    /// Label for the report (defaults to the secret query's name).
+    pub name: Option<String>,
+    /// The secret query, datalog syntax.
+    pub secret: String,
+    /// The views about to be published, datalog syntax.
+    pub views: Vec<String>,
+    /// Per-audit depth override.
+    pub depth: Option<String>,
+    /// Per-audit minute threshold override.
+    pub minute_threshold: Option<(i128, i128)>,
+}
+
+/// A full audit specification.
+#[derive(Debug, Clone, Deserialize)]
+pub struct AuditSpec {
+    /// The schema's relations.
+    pub relations: Vec<RelationSpec>,
+    /// Domain constants interned before query parsing (query constants are
+    /// added on demand).
+    pub constants: Option<Vec<String>>,
+    /// Dictionary directive; required for `"probabilistic"` depth.
+    pub dictionary: Option<DictionarySpec>,
+    /// Engine defaults.
+    pub defaults: Option<DefaultsSpec>,
+    /// The audits to run.
+    pub audits: Vec<AuditCaseSpec>,
+}
+
+fn parse_depth(text: &str) -> Result<AuditDepth, CliError> {
+    match text.to_ascii_lowercase().as_str() {
+        "fast" => Ok(AuditDepth::Fast),
+        "exact" => Ok(AuditDepth::Exact),
+        "probabilistic" | "prob" => Ok(AuditDepth::Probabilistic),
+        other => Err(CliError::Spec(format!(
+            "unknown depth `{other}` (expected fast | exact | probabilistic)"
+        ))),
+    }
+}
+
+/// Detects the spec format and parses it. JSON when the first
+/// non-whitespace byte is `{`, the TOML subset otherwise.
+pub fn parse_spec(text: &str) -> Result<AuditSpec, CliError> {
+    let value = if text.trim_start().starts_with('{') {
+        serde_json::parse(text)?
+    } else {
+        toml_subset::parse(text).map_err(CliError::Spec)?
+    };
+    Ok(serde_json::from_value(&value)?)
+}
+
+/// Everything built from a spec: the engine and the parsed requests.
+pub struct PreparedAudit {
+    /// The engine, bound to the spec's schema/domain/dictionary.
+    pub engine: AuditEngine,
+    /// The parsed audit requests, in spec order.
+    pub requests: Vec<AuditRequest>,
+}
+
+/// Builds the engine and requests declared by a spec.
+pub fn prepare(spec: &AuditSpec) -> Result<PreparedAudit, CliError> {
+    let mut schema = Schema::new();
+    for rel in &spec.relations {
+        let attrs: Vec<&str> = rel.attributes.iter().map(String::as_str).collect();
+        schema
+            .try_add_relation(&rel.name, &attrs)
+            .map_err(|e| CliError::Spec(e.to_string()))?;
+    }
+    let mut domain = match &spec.constants {
+        Some(constants) => Domain::with_constants(constants),
+        None => Domain::new(),
+    };
+
+    let defaults = spec.defaults.clone().unwrap_or_default();
+    let mut parsed = Vec::new();
+    for (i, case) in spec.audits.iter().enumerate() {
+        let secret = parse_query(&case.secret, &schema, &mut domain).map_err(|e| {
+            CliError::Spec(format!("audit #{i}: bad secret `{}`: {e}", case.secret))
+        })?;
+        let mut views = ViewSet::new();
+        for v in &case.views {
+            views.push(
+                parse_query(v, &schema, &mut domain)
+                    .map_err(|e| CliError::Spec(format!("audit #{i}: bad view `{v}`: {e}")))?,
+            );
+        }
+        if views.is_empty() {
+            return Err(CliError::Spec(format!("audit #{i}: no views given")));
+        }
+        parsed.push((secret, views));
+    }
+
+    let mut builder = AuditEngine::builder(schema, domain.clone());
+    if let Some(depth) = &defaults.depth {
+        builder = builder.default_depth(parse_depth(depth)?);
+    }
+    if let Some((n, d)) = defaults.minute_threshold {
+        builder = builder.minute_threshold(Ratio::new(n, d));
+    }
+    if let Some(cap) = defaults.candidate_cap {
+        builder = builder.candidate_cap(cap);
+    }
+    if let Some(dict_spec) = &spec.dictionary {
+        let (n, d) = dict_spec.probability.unwrap_or((1, 2));
+        let cap = dict_spec.cap.unwrap_or(4096);
+        let queries: Vec<&qvsec_cq::ConjunctiveQuery> = parsed
+            .iter()
+            .flat_map(|(s, vs)| std::iter::once(s).chain(vs.iter()))
+            .collect();
+        let space = qvsec_prob::lineage::support_space(&queries, &domain, cap)
+            .map_err(|e| CliError::Spec(format!("dictionary support space: {e}")))?;
+        let dict = Dictionary::uniform(space, Ratio::new(n, d))
+            .map_err(|e| CliError::Spec(format!("dictionary: {e}")))?;
+        builder = builder.dictionary(dict);
+    }
+    let engine = builder.build();
+
+    let mut requests = Vec::new();
+    for (case, (secret, views)) in spec.audits.iter().zip(parsed) {
+        let mut request = AuditRequest::new(secret, views);
+        if let Some(name) = &case.name {
+            request = request.named(name.clone());
+        }
+        if let Some(depth) = &case.depth {
+            request = request.with_depth(parse_depth(depth)?);
+        }
+        if let Some((n, d)) = case.minute_threshold {
+            request = request.with_minute_threshold(Ratio::new(n, d));
+        }
+        requests.push(request);
+    }
+    Ok(PreparedAudit { engine, requests })
+}
+
+/// Parses a spec, runs every audit (in parallel unless `sequential`), and
+/// returns the JSON array of reports.
+pub fn run_spec(text: &str, sequential: bool) -> Result<serde_json::Value, CliError> {
+    let spec = parse_spec(text)?;
+    let prepared = prepare(&spec)?;
+    let reports = if sequential {
+        prepared
+            .requests
+            .iter()
+            .map(|r| prepared.engine.audit(r))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        prepared.engine.try_audit_batch(&prepared.requests)?
+    };
+    Ok(serde_json::to_value(&reports)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JSON_SPEC: &str = r#"{
+        "relations": [
+            {"name": "Employee", "attributes": ["name", "department", "phone"]}
+        ],
+        "defaults": {"depth": "exact"},
+        "audits": [
+            {
+                "name": "row1",
+                "secret": "S1(d) :- Employee(n, d, p)",
+                "views": ["V1(n, d) :- Employee(n, d, p)"]
+            },
+            {
+                "name": "row4",
+                "secret": "S4(n) :- Employee(n, 'HR', p)",
+                "views": ["V4(n) :- Employee(n, 'Mgmt', p)"]
+            }
+        ]
+    }"#;
+
+    #[test]
+    fn json_spec_runs_and_reports() {
+        let out = run_spec(JSON_SPEC, false).unwrap();
+        let reports = out.as_array().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].field("name").as_str(), Some("row1"));
+        assert_eq!(reports[0].field("secure"), &serde_json::Value::Bool(false));
+        assert_eq!(reports[1].field("secure"), &serde_json::Value::Bool(true));
+        assert_eq!(reports[1].field("class").as_str(), Some("NoDisclosure"));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let a = run_spec(JSON_SPEC, false).unwrap();
+        let b = run_spec(JSON_SPEC, true).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn toml_spec_matches_json_spec() {
+        let toml = r#"
+# Table 1 over Employee(name, department, phone)
+[[relations]]
+name = "Employee"
+attributes = ["name", "department", "phone"]
+
+[defaults]
+depth = "exact"
+
+[[audits]]
+name = "row1"
+secret = "S1(d) :- Employee(n, d, p)"
+views = ["V1(n, d) :- Employee(n, d, p)"]
+
+[[audits]]
+name = "row4"
+secret = "S4(n) :- Employee(n, 'HR', p)"
+views = ["V4(n) :- Employee(n, 'Mgmt', p)"]
+"#;
+        let a = run_spec(JSON_SPEC, false).unwrap();
+        let b = run_spec(toml, false).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probabilistic_specs_build_a_support_dictionary() {
+        let spec = r#"{
+            "relations": [{"name": "R", "attributes": ["x", "y"]}],
+            "constants": ["a", "b"],
+            "dictionary": {"probability": [1, 2]},
+            "defaults": {"depth": "probabilistic", "minute_threshold": [1, 10]},
+            "audits": [
+                {"secret": "S(y) :- R(x, y)", "views": ["V(x) :- R(x, y)"]}
+            ]
+        }"#;
+        let out = run_spec(spec, false).unwrap();
+        let report = &out.as_array().unwrap()[0];
+        assert!(!report.field("leakage").is_null());
+        assert_eq!(
+            report.field("totally_disclosed"),
+            &serde_json::Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn bad_specs_produce_spec_errors() {
+        assert!(matches!(parse_spec("{"), Err(CliError::Spec(_))));
+        let missing_view = r#"{
+            "relations": [{"name": "R", "attributes": ["x"]}],
+            "audits": [{"secret": "S(x) :- R(x)", "views": []}]
+        }"#;
+        let spec = parse_spec(missing_view).unwrap();
+        assert!(matches!(prepare(&spec), Err(CliError::Spec(_))));
+        let bad_depth = r#"{
+            "relations": [{"name": "R", "attributes": ["x"]}],
+            "defaults": {"depth": "warp"},
+            "audits": [{"secret": "S(x) :- R(x)", "views": ["V(x) :- R(x)"]}]
+        }"#;
+        let spec = parse_spec(bad_depth).unwrap();
+        assert!(matches!(prepare(&spec), Err(CliError::Spec(_))));
+    }
+}

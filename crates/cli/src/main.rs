@@ -1,0 +1,113 @@
+//! `qvsec-cli` — audit secrets against views from the command line.
+//!
+//! ```text
+//! qvsec-cli audit --spec specs/table1.json [--pretty] [--sequential]
+//! qvsec-cli audit --spec specs/table1.toml --out reports.json
+//! ```
+//!
+//! The spec format is documented in the `qvsec_cli` library docs; reports
+//! are emitted as a JSON array on stdout (or to `--out`).
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qvsec-cli — query-view security audits (Miklau & Suciu, SIGMOD 2004)
+
+USAGE:
+    qvsec-cli audit --spec <FILE> [OPTIONS]
+
+OPTIONS:
+    --spec <FILE>    Audit spec, JSON or TOML (format auto-detected)
+    --out <FILE>     Write the JSON reports to FILE instead of stdout
+    --pretty         Pretty-print the JSON output
+    --sequential     Audit one request at a time instead of in parallel
+    -h, --help       Show this help
+";
+
+struct Args {
+    spec: String,
+    out: Option<String>,
+    pretty: bool,
+    sequential: bool,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    match argv.next().as_deref() {
+        Some("audit") => {}
+        Some("-h") | Some("--help") | None => return Err(String::new()),
+        Some(other) => return Err(format!("unknown command `{other}`")),
+    }
+    let mut spec = None;
+    let mut out = None;
+    let mut pretty = false;
+    let mut sequential = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--spec" => spec = Some(argv.next().ok_or("--spec needs a file argument")?),
+            "--out" => out = Some(argv.next().ok_or("--out needs a file argument")?),
+            "--pretty" => pretty = true,
+            "--sequential" => sequential = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Args {
+        spec: spec.ok_or("missing required --spec <FILE>")?,
+        out,
+        pretty,
+        sequential,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprint!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.spec) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read spec `{}`: {e}", args.spec);
+            return ExitCode::FAILURE;
+        }
+    };
+    let reports = match qvsec_cli::run_spec(&text, args.sequential) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = if args.pretty {
+        serde_json::to_string_pretty(&reports)
+    } else {
+        serde_json::to_string(&reports)
+    }
+    .expect("JSON rendering is infallible");
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered + "\n") {
+                eprintln!("error: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            // Tolerate a closed pipe (`qvsec-cli ... | head`) instead of
+            // panicking in the println! machinery.
+            use std::io::Write;
+            let mut stdout = std::io::stdout();
+            let _ = stdout
+                .write_all(rendered.as_bytes())
+                .and_then(|_| stdout.write_all(b"\n"));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,318 @@
+//! A small TOML-subset parser producing [`serde_json::Value`] trees.
+//!
+//! Supports exactly what audit specs need:
+//!
+//! * `#` comments and blank lines,
+//! * `[table]` and nested `[table.subtable]` headers,
+//! * `[[array_of_tables]]` headers,
+//! * `key = value` with values: basic `"strings"`, integers, floats,
+//!   booleans, and single-line arrays of those (including nested arrays).
+//!
+//! Multi-line strings, dotted keys, inline tables and datetimes are out of
+//! scope and reported as errors.
+
+use serde_json::Value;
+
+/// Parses the TOML subset into a JSON object tree.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut root = Value::Object(Vec::new());
+    // Path of the table currently being filled.
+    let mut current_path: Vec<(String, bool)> = Vec::new(); // (key, is_array_table)
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| format!("line {}: {m}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("[[") {
+            let inner = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err("unterminated [[header]]".into()))?;
+            current_path = split_path(inner)
+                .map_err(err)?
+                .into_iter()
+                .map(|k| (k, false))
+                .collect();
+            if let Some(last) = current_path.last_mut() {
+                last.1 = true;
+            }
+            // Push a fresh element onto the array of tables.
+            let target = navigate(&mut root, &current_path, true).map_err(err)?;
+            debug_assert!(matches!(target, Value::Object(_)));
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated [header]".into()))?;
+            current_path = split_path(inner)
+                .map_err(err)?
+                .into_iter()
+                .map(|k| (k, false))
+                .collect();
+            let target = navigate(&mut root, &current_path, false).map_err(err)?;
+            debug_assert!(matches!(target, Value::Object(_)));
+        } else {
+            let (key, value_text) = line
+                .split_once('=')
+                .ok_or_else(|| err("expected `key = value`".into()))?;
+            let key = key.trim();
+            if key.is_empty() || key.contains('.') {
+                return Err(err(format!("unsupported key `{key}`")));
+            }
+            let value = parse_value(value_text.trim()).map_err(err)?;
+            let table = navigate(&mut root, &current_path, false).map_err(err)?;
+            match table {
+                Value::Object(entries) => {
+                    if entries.iter().any(|(k, _)| k == key) {
+                        return Err(err(format!("duplicate key `{key}`")));
+                    }
+                    entries.push((key.to_string(), value));
+                }
+                _ => return Err(err("internal: table is not an object".into())),
+            }
+        }
+    }
+    Ok(root)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` outside a quoted string starts a comment.
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_path(inner: &str) -> Result<Vec<String>, String> {
+    inner
+        .split('.')
+        .map(|p| {
+            let p = p.trim();
+            if p.is_empty() {
+                Err("empty table-path segment".to_string())
+            } else {
+                Ok(p.to_string())
+            }
+        })
+        .collect()
+}
+
+/// Walks (creating as needed) to the object named by `path`. For a path
+/// whose final segment is an array table, `push_new` appends a fresh
+/// element; otherwise the last element is returned.
+fn navigate<'a>(
+    root: &'a mut Value,
+    path: &[(String, bool)],
+    push_new: bool,
+) -> Result<&'a mut Value, String> {
+    let mut cursor = root;
+    for (i, (key, is_array)) in path.iter().enumerate() {
+        let last = i + 1 == path.len();
+        let entries = match cursor {
+            Value::Object(entries) => entries,
+            _ => return Err(format!("`{key}` is not a table")),
+        };
+        if !entries.iter().any(|(k, _)| k == key) {
+            let fresh = if *is_array {
+                Value::Array(vec![Value::Object(Vec::new())])
+            } else {
+                Value::Object(Vec::new())
+            };
+            entries.push((key.clone(), fresh));
+        } else if *is_array && last && push_new {
+            let (_, v) = entries
+                .iter_mut()
+                .find(|(k, _)| k == key)
+                .expect("just checked presence");
+            match v {
+                Value::Array(items) => items.push(Value::Object(Vec::new())),
+                _ => return Err(format!("`{key}` is not an array of tables")),
+            }
+        }
+        let (_, v) = entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .expect("just inserted or found");
+        cursor = if *is_array {
+            match v {
+                Value::Array(items) => items
+                    .last_mut()
+                    .ok_or_else(|| format!("array table `{key}` is empty"))?,
+                _ => return Err(format!("`{key}` is not an array of tables")),
+            }
+        } else if matches!(v, Value::Array(_)) {
+            return Err(format!("`{key}` is an array, not a table"));
+        } else {
+            v
+        };
+    }
+    Ok(cursor)
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err("missing value".to_string());
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string `{text}`"))?;
+        if inner.contains('"') {
+            return Err(format!("embedded quotes are not supported: `{text}`"));
+        }
+        return Ok(Value::Str(unescape(inner)?));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('[') {
+        return parse_array(text);
+    }
+    if let Ok(i) = text.replace('_', "").parse::<i128>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = text.replace('_', "").parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(format!("unsupported value `{text}`"))
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                other => return Err(format!("unsupported escape \\{other:?}")),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_array(text: &str) -> Result<Value, String> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("unterminated array `{text}`"))?;
+    let mut items = Vec::new();
+    for part in split_array_items(inner)? {
+        let part = part.trim();
+        if !part.is_empty() {
+            items.push(parse_value(part)?);
+        }
+    }
+    Ok(Value::Array(items))
+}
+
+/// Splits array items on commas that are outside strings and nested arrays.
+fn split_array_items(inner: &str) -> Result<Vec<String>, String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut current = String::new();
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            '[' if !in_string => {
+                depth += 1;
+                current.push(c);
+            }
+            ']' if !in_string => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| "unbalanced brackets in array".to_string())?;
+                current.push(c);
+            }
+            ',' if !in_string && depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if in_string {
+        return Err("unterminated string in array".to_string());
+    }
+    if depth != 0 {
+        return Err("unbalanced brackets in array".to_string());
+    }
+    parts.push(current);
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_array_tables_and_scalars() {
+        let text = r#"
+# top comment
+title = "spec"   # trailing comment
+count = 3
+ratio = [1, 2]
+
+[defaults]
+depth = "exact"
+threshold = [1, 10]
+
+[[audits]]
+name = "a"
+views = ["V(x) :- R(x, y)"]
+
+[[audits]]
+name = "b"
+flag = true
+nested = [[1, 2], [3]]
+"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.field("title").as_str(), Some("spec"));
+        assert_eq!(v.field("count"), &Value::Int(3));
+        assert_eq!(v.field("defaults").field("depth").as_str(), Some("exact"));
+        let audits = v.field("audits").as_array().unwrap();
+        assert_eq!(audits.len(), 2);
+        assert_eq!(audits[0].field("name").as_str(), Some("a"));
+        assert_eq!(audits[1].field("flag"), &Value::Bool(true));
+        assert_eq!(
+            audits[1].field("nested"),
+            &Value::Array(vec![
+                Value::Array(vec![Value::Int(1), Value::Int(2)]),
+                Value::Array(vec![Value::Int(3)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn strings_may_contain_hashes_and_brackets() {
+        let v = parse(r##"q = "S(x) :- R(x, 'a'), x != 'b' # not a comment""##).unwrap();
+        assert_eq!(
+            v.field("q").as_str(),
+            Some("S(x) :- R(x, 'a'), x != 'b' # not a comment")
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(parse("[unterminated").is_err());
+        assert!(parse("key").is_err());
+        assert!(parse("key = ").is_err());
+        assert!(parse("key = 2000-01-01").is_err());
+        assert!(parse("a = 1\na = 2").is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! End-to-end smoke tests: run the compiled `qvsec-cli` binary on the
+//! checked-in spec files and validate its JSON output.
+
+use std::process::Command;
+
+fn repo_root() -> std::path::PathBuf {
+    // crates/cli -> crates -> repo root
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root exists")
+        .to_path_buf()
+}
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_qvsec-cli"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("qvsec-cli runs")
+}
+
+fn check_table1_reports(stdout: &[u8]) {
+    let text = std::str::from_utf8(stdout).expect("UTF-8 output");
+    let value = serde_json::parse(text).expect("stdout is valid JSON");
+    let reports = value.as_array().expect("a JSON array of reports");
+    assert_eq!(reports.len(), 4);
+    let by_name = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.field("name").as_str() == Some(name))
+            .unwrap_or_else(|| panic!("report `{name}` present"))
+    };
+    // The paper's verdicts: rows 1-3 are insecure (total/partial/minute),
+    // row 4 is perfectly secure.
+    assert_eq!(by_name("row1-total").field("class").as_str(), Some("Total"));
+    assert_eq!(
+        by_name("row2-partial-collusion").field("class").as_str(),
+        Some("Partial")
+    );
+    assert_eq!(
+        by_name("row3-minute").field("class").as_str(),
+        Some("Minute")
+    );
+    let row4 = by_name("row4-secure");
+    assert_eq!(row4.field("class").as_str(), Some("NoDisclosure"));
+    assert_eq!(row4.field("secure"), &serde_json::Value::Bool(true));
+}
+
+#[test]
+fn audits_the_json_table1_spec() {
+    let out = run_cli(&["audit", "--spec", "specs/table1.json"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    check_table1_reports(&out.stdout);
+}
+
+#[test]
+fn audits_the_toml_table1_spec_identically() {
+    let json = run_cli(&["audit", "--spec", "specs/table1.json"]);
+    let toml = run_cli(&["audit", "--spec", "specs/table1.toml"]);
+    assert!(json.status.success() && toml.status.success());
+    assert_eq!(json.stdout, toml.stdout, "formats must agree");
+    let pretty = run_cli(&["audit", "--spec", "specs/table1.toml", "--pretty"]);
+    assert!(pretty.status.success());
+    check_table1_reports(&pretty.stdout);
+}
+
+#[test]
+fn sequential_flag_changes_nothing() {
+    let par = run_cli(&["audit", "--spec", "specs/table1.json"]);
+    let seq = run_cli(&["audit", "--spec", "specs/table1.json", "--sequential"]);
+    assert_eq!(par.stdout, seq.stdout);
+}
+
+#[test]
+fn bad_invocations_fail_with_diagnostics() {
+    let out = run_cli(&["audit"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spec"));
+    let out = run_cli(&["audit", "--spec", "/nonexistent/spec.json"]);
+    assert!(!out.status.success());
+    let out = run_cli(&["frobnicate"]);
+    assert!(!out.status.success());
+}

@@ -1,24 +1,27 @@
-//! High-level disclosure analysis: one call that runs the whole pipeline.
+//! Deprecated borrowed-lifetime facade over the [`crate::engine`] module.
 //!
-//! [`SecurityAnalyzer`] packages the individual procedures into the audit
-//! workflow sketched in the paper's introduction (the manufacturing-company
-//! scenario): given a secret query and the views about to be published,
-//! report (a) the fast syntactic verdict, (b) the exact dictionary-
-//! independent verdict with its witnesses, and — when a dictionary over an
-//! enumerable tuple space is supplied — (c) the exact statistical
-//! independence check, (d) the leakage measure and (e) the Table 1 style
-//! classification.
+//! [`SecurityAnalyzer`] was the original entry point: a `&Schema`/`&Domain`
+//! borrowing analyzer that could not be sent across threads or cached. The
+//! owned, `Send + Sync` [`crate::AuditEngine`] replaces it; this module
+//! keeps the old API compiling as a thin wrapper and will be removed in a
+//! future release.
 
-use crate::fast_check::{fast_check, FastVerdict};
-use crate::leakage::{ensure_enumerable, leakage_exact, LeakageReport};
-use crate::report::{classify, default_minute_threshold, is_totally_disclosed, DisclosureClass};
-use crate::security::{secure_for_all_distributions, SecurityVerdict};
+use crate::engine::{AuditDepth, AuditEngine, AuditReport, AuditRequest};
+use crate::fast_check::FastVerdict;
+use crate::leakage::LeakageReport;
+use crate::report::{default_minute_threshold, DisclosureClass};
+use crate::security::SecurityVerdict;
 use crate::Result;
 use qvsec_cq::{ConjunctiveQuery, ViewSet};
 use qvsec_data::{Dictionary, Domain, Ratio, Schema};
-use qvsec_prob::independence::{check_independence, IndependenceReport};
+use qvsec_prob::independence::IndependenceReport;
+use serde::Serialize;
 
 /// A reusable analyzer bound to a schema and a domain of constants.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the owned, thread-safe `qvsec::AuditEngine` instead"
+)]
 #[derive(Debug, Clone)]
 pub struct SecurityAnalyzer<'a> {
     schema: &'a Schema,
@@ -27,7 +30,10 @@ pub struct SecurityAnalyzer<'a> {
 }
 
 /// The combined result of a disclosure analysis.
-#[derive(Debug, Clone)]
+///
+/// Subsumed by [`crate::AuditReport`]; kept so existing callers and logs
+/// continue to work.
+#[derive(Debug, Clone, Serialize)]
 pub struct DisclosureAnalysis {
     /// The Section 4.2 practical (pairwise-unification) verdict.
     pub fast_verdict: FastVerdict,
@@ -45,6 +51,31 @@ pub struct DisclosureAnalysis {
     pub class: DisclosureClass,
 }
 
+impl TryFrom<AuditReport> for DisclosureAnalysis {
+    type Error = crate::QvsError;
+
+    /// Fails for [`AuditDepth::Fast`] reports, which carry no exact
+    /// security verdict.
+    fn try_from(report: AuditReport) -> Result<Self> {
+        let security = report.security.ok_or_else(|| {
+            crate::QvsError::Invalid(
+                "a DisclosureAnalysis needs an Exact-depth (or deeper) report; \
+                 this report stopped at the fast check"
+                    .to_string(),
+            )
+        })?;
+        Ok(DisclosureAnalysis {
+            fast_verdict: report.fast,
+            security,
+            independence: report.independence,
+            leakage: report.leakage,
+            totally_disclosed: report.totally_disclosed,
+            class: report.class,
+        })
+    }
+}
+
+#[allow(deprecated)]
 impl<'a> SecurityAnalyzer<'a> {
     /// Creates an analyzer for the given schema and domain.
     pub fn new(schema: &'a Schema, domain: &'a Domain) -> Self {
@@ -69,17 +100,12 @@ impl<'a> SecurityAnalyzer<'a> {
         secret: &ConjunctiveQuery,
         views: &ViewSet,
     ) -> Result<DisclosureAnalysis> {
-        let fast_verdict = fast_check(secret, views);
-        let security = secure_for_all_distributions(secret, views, self.schema, self.domain)?;
-        let class = classify(security.secure, false, None, self.minute_threshold);
-        Ok(DisclosureAnalysis {
-            fast_verdict,
-            security,
-            independence: None,
-            leakage: None,
-            totally_disclosed: None,
-            class,
-        })
+        let engine = AuditEngine::builder(self.schema.clone(), self.domain.clone())
+            .minute_threshold(self.minute_threshold)
+            .build();
+        let request =
+            AuditRequest::new(secret.clone(), views.clone()).with_depth(AuditDepth::Exact);
+        engine.audit(&request)?.try_into()
     }
 
     /// Runs the full analysis, including the exact statistical checks and the
@@ -91,26 +117,13 @@ impl<'a> SecurityAnalyzer<'a> {
         views: &ViewSet,
         dict: &Dictionary,
     ) -> Result<DisclosureAnalysis> {
-        ensure_enumerable(dict)?;
-        let fast_verdict = fast_check(secret, views);
-        let security = secure_for_all_distributions(secret, views, self.schema, self.domain)?;
-        let independence = check_independence(secret, views, dict)?;
-        let leakage = leakage_exact(secret, views, dict)?;
-        let totally_disclosed = is_totally_disclosed(secret, views, dict)?;
-        let class = classify(
-            security.secure,
-            totally_disclosed,
-            Some(leakage.max_leak),
-            self.minute_threshold,
-        );
-        Ok(DisclosureAnalysis {
-            fast_verdict,
-            security,
-            independence: Some(independence),
-            leakage: Some(leakage),
-            totally_disclosed: Some(totally_disclosed),
-            class,
-        })
+        let engine = AuditEngine::builder(self.schema.clone(), self.domain.clone())
+            .dictionary(dict.clone())
+            .minute_threshold(self.minute_threshold)
+            .build();
+        let request =
+            AuditRequest::new(secret.clone(), views.clone()).with_depth(AuditDepth::Probabilistic);
+        engine.audit(&request)?.try_into()
     }
 }
 
@@ -128,7 +141,10 @@ impl DisclosureAnalysis {
                 "possibly insecure (some subgoals unify)"
             }
         ));
-        out.push_str(&format!("exact criterion       : {}\n", self.security.summary()));
+        out.push_str(&format!(
+            "exact criterion       : {}\n",
+            self.security.summary()
+        ));
         if let Some(ind) = &self.independence {
             out.push_str(&format!(
                 "statistical check     : {} ({} answer pairs checked)\n",
@@ -161,6 +177,7 @@ impl DisclosureAnalysis {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use qvsec_cq::parse_query;
@@ -182,6 +199,7 @@ mod tests {
         let a = analyzer.analyze(&s4, &ViewSet::single(v4)).unwrap();
         assert_eq!(a.class, DisclosureClass::NoDisclosure);
         assert!(a.fast_verdict.is_certainly_secure());
+        assert!(a.security.secure);
         assert!(a.independence.is_none());
         assert!(a.render().contains("none"));
 
@@ -190,7 +208,11 @@ mod tests {
         let s1 = parse_query("S1(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
         let analyzer = SecurityAnalyzer::new(&schema, &domain);
         let a = analyzer.analyze(&s1, &ViewSet::single(v1)).unwrap();
-        assert_eq!(a.class, DisclosureClass::Partial, "without a dictionary, insecure defaults to partial");
+        assert_eq!(
+            a.class,
+            DisclosureClass::Partial,
+            "without a dictionary, insecure defaults to partial"
+        );
     }
 
     #[test]
@@ -251,5 +273,33 @@ mod tests {
             .analyze_with_dictionary(&s, &ViewSet::single(v), &dict)
             .unwrap();
         assert_eq!(a.class, DisclosureClass::Partial);
+    }
+
+    #[test]
+    fn fast_depth_reports_do_not_convert() {
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let v = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let engine = AuditEngine::builder(schema, domain).build();
+        let report = engine
+            .audit(&AuditRequest::new(s, ViewSet::single(v)).with_depth(AuditDepth::Fast))
+            .unwrap();
+        assert!(DisclosureAnalysis::try_from(report).is_err());
+    }
+
+    #[test]
+    fn audit_report_converts_into_disclosure_analysis() {
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let v = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let s = parse_query("S(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let engine = AuditEngine::builder(schema, domain).build();
+        let report = engine
+            .audit(&AuditRequest::new(s, ViewSet::single(v)))
+            .unwrap();
+        let analysis: DisclosureAnalysis = report.try_into().unwrap();
+        assert!(!analysis.security.secure);
+        assert_eq!(analysis.class, DisclosureClass::Partial);
     }
 }

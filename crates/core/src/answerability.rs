@@ -150,12 +150,16 @@ mod tests {
         let v = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
         let swapped = parse_query("S(d, n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
         assert_eq!(
-            answerable_as_projection(&swapped, &v, &domain).unwrap().positions,
+            answerable_as_projection(&swapped, &v, &domain)
+                .unwrap()
+                .positions,
             vec![1, 0]
         );
         let duplicated = parse_query("S(n, n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
         assert_eq!(
-            answerable_as_projection(&duplicated, &v, &domain).unwrap().positions,
+            answerable_as_projection(&duplicated, &v, &domain)
+                .unwrap()
+                .positions,
             vec![0, 0]
         );
     }
@@ -207,7 +211,10 @@ mod tests {
                 .unwrap()
                 .secure;
         assert!(secure_wrt_v);
-        assert!(secure_wrt_vp, "security must transfer to the answerable view");
+        assert!(
+            secure_wrt_vp,
+            "security must transfer to the answerable view"
+        );
     }
 
     #[test]

@@ -111,9 +111,15 @@ impl ForallExists3Cnf {
     /// Panics if a clause has more than three literals or references an
     /// out-of-range variable.
     pub fn new(num_universal: usize, num_existential: usize, clauses: Vec<Vec<Literal>>) -> Self {
-        assert!(num_universal <= 20 && num_existential <= 20, "solver is exponential");
+        assert!(
+            num_universal <= 20 && num_existential <= 20,
+            "solver is exponential"
+        );
         for clause in &clauses {
-            assert!(clause.len() <= 3, "3-CNF clauses have at most three literals");
+            assert!(
+                clause.len() <= 3,
+                "3-CNF clauses have at most three literals"
+            );
             for lit in clause {
                 match lit {
                     Literal::Universal { index, .. } => assert!(*index < num_universal),
@@ -160,10 +166,9 @@ impl ForallExists3Cnf {
     /// Appendix A reduction to apply ("each clause must have at least one Y
     /// variable: otherwise Φ is false").
     pub fn every_clause_has_existential(&self) -> bool {
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| matches!(l, Literal::Existential { .. }))
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| matches!(l, Literal::Existential { .. })))
     }
 }
 

@@ -77,10 +77,8 @@ pub fn is_critical(query: &ConjunctiveQuery, tuple: &Tuple, domain: &Domain) -> 
         let canon = CanonicalDatabase::freeze_with(query, domain, &pinned);
         // The frozen assignment must satisfy the query's comparisons for I_G
         // to witness Q(I_G) ≠ ∅ through h_G.
-        let assignment: Vec<Option<Value>> = query
-            .variables()
-            .map(|v| Some(canon.value_of(v)))
-            .collect();
+        let assignment: Vec<Option<Value>> =
+            query.variables().map(|v| Some(canon.value_of(v))).collect();
         if !qvsec_cq::comparisons::check_all(&query.comparisons, &assignment) {
             continue;
         }
@@ -103,8 +101,8 @@ pub fn critical_candidates(
 ) -> Result<BTreeSet<Tuple>> {
     let mut required: u128 = 0;
     for atom in &query.atoms {
-        required =
-            required.saturating_add((domain.len() as u128).saturating_pow(atom.variables().len() as u32));
+        required = required
+            .saturating_add((domain.len() as u128).saturating_pow(atom.variables().len() as u32));
     }
     if required > cap as u128 {
         return Err(QvsError::CandidateSpaceTooLarge { required, cap });
@@ -154,9 +152,7 @@ pub fn common_critical_tuples(
     }
     let mut common = Vec::new();
     for t in secret_candidates.intersection(&view_candidates) {
-        if is_critical(secret, t, domain)
-            && views.iter().any(|v| is_critical(v, t, domain))
-        {
+        if is_critical(secret, t, domain) && views.iter().any(|v| is_critical(v, t, domain)) {
             common.push(t.clone());
         }
     }
@@ -205,12 +201,18 @@ mod tests {
         let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
         let crit_v = critical_tuples(&v, &domain).unwrap();
         let crit_s = critical_tuples(&s, &domain).unwrap();
-        let expected_v: BTreeSet<Tuple> = [t(&schema, &domain, "R", &["a", "b"]), t(&schema, &domain, "R", &["b", "b"])]
-            .into_iter()
-            .collect();
-        let expected_s: BTreeSet<Tuple> = [t(&schema, &domain, "R", &["a", "a"]), t(&schema, &domain, "R", &["b", "a"])]
-            .into_iter()
-            .collect();
+        let expected_v: BTreeSet<Tuple> = [
+            t(&schema, &domain, "R", &["a", "b"]),
+            t(&schema, &domain, "R", &["b", "b"]),
+        ]
+        .into_iter()
+        .collect();
+        let expected_s: BTreeSet<Tuple> = [
+            t(&schema, &domain, "R", &["a", "a"]),
+            t(&schema, &domain, "R", &["b", "a"]),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(crit_v, expected_v);
         assert_eq!(crit_s, expected_s);
         assert!(crit_v.is_disjoint(&crit_s));
@@ -245,9 +247,21 @@ mod tests {
         // are not (they are not even candidates).
         let (schema, mut domain) = setup();
         let q = parse_query("Q() :- R('a', x)", &schema, &mut domain).unwrap();
-        assert!(is_critical(&q, &t(&schema, &domain, "R", &["a", "a"]), &domain));
-        assert!(is_critical(&q, &t(&schema, &domain, "R", &["a", "b"]), &domain));
-        assert!(!is_critical(&q, &t(&schema, &domain, "R", &["b", "a"]), &domain));
+        assert!(is_critical(
+            &q,
+            &t(&schema, &domain, "R", &["a", "a"]),
+            &domain
+        ));
+        assert!(is_critical(
+            &q,
+            &t(&schema, &domain, "R", &["a", "b"]),
+            &domain
+        ));
+        assert!(!is_critical(
+            &q,
+            &t(&schema, &domain, "R", &["b", "a"]),
+            &domain
+        ));
         let crit = critical_tuples(&q, &domain).unwrap();
         assert_eq!(crit.len(), 2);
     }
@@ -282,10 +296,26 @@ mod tests {
         // critical, the off-diagonal ones are.
         let (schema, mut domain) = setup();
         let q = parse_query("Q() :- R(x, y), x != y", &schema, &mut domain).unwrap();
-        assert!(is_critical(&q, &t(&schema, &domain, "R", &["a", "b"]), &domain));
-        assert!(is_critical(&q, &t(&schema, &domain, "R", &["b", "a"]), &domain));
-        assert!(!is_critical(&q, &t(&schema, &domain, "R", &["a", "a"]), &domain));
-        assert!(!is_critical(&q, &t(&schema, &domain, "R", &["b", "b"]), &domain));
+        assert!(is_critical(
+            &q,
+            &t(&schema, &domain, "R", &["a", "b"]),
+            &domain
+        ));
+        assert!(is_critical(
+            &q,
+            &t(&schema, &domain, "R", &["b", "a"]),
+            &domain
+        ));
+        assert!(!is_critical(
+            &q,
+            &t(&schema, &domain, "R", &["a", "a"]),
+            &domain
+        ));
+        assert!(!is_critical(
+            &q,
+            &t(&schema, &domain, "R", &["b", "b"]),
+            &domain
+        ));
     }
 
     #[test]

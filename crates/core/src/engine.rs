@@ -1,0 +1,732 @@
+//! The owned, thread-safe audit engine.
+//!
+//! [`AuditEngine`] is the workspace's production entry point: it owns its
+//! [`Schema`] / [`Domain`] (and optionally a [`Dictionary`]) behind `Arc`s,
+//! is `Send + Sync`, and serves any number of audits — sequentially via
+//! [`AuditEngine::audit`] or in parallel via [`AuditEngine::audit_batch`] —
+//! against that shared context.
+//!
+//! ## Staged, budgeted evaluation
+//!
+//! Every audit runs the paper's procedures as an escalation ladder bounded
+//! by the requested [`AuditDepth`]:
+//!
+//! | depth | procedures run | cost |
+//! |---|---|---|
+//! | [`AuditDepth::Fast`] | §4.2 pairwise subgoal unification | linear-ish, always conclusive when it certifies security |
+//! | [`AuditDepth::Exact`] | + Theorem 4.5 critical-tuple criterion | exponential in subgoal overlap, memoized |
+//! | [`AuditDepth::Probabilistic`] | + Definition 4.1 independence, §6.1 leakage, total-disclosure test over the dictionary | exponential in tuple-space size |
+//!
+//! The fast check always runs first. When it certifies security the exact
+//! stage is skipped entirely — soundly, since "no unifiable subgoal pair"
+//! implies `crit(S) ∩ crit(V̄) = ∅` — and the exact verdict is synthesized
+//! with an empty witness set. When the fast check is inconclusive and the
+//! budget stops at `Fast`, the report says so (`conclusive == false`)
+//! rather than guessing.
+//!
+//! ## The `crit(Q)` memo cache
+//!
+//! The exact stage needs `crit_D(Q)` for the secret and every view. The
+//! engine memoizes these sets keyed by
+//! ([`qvsec_cq::canonical_form`], active-domain size) — a key that is
+//! invariant under variable renaming, the cosmetic query name and most
+//! subgoal reorderings (ties between structurally identical subgoals can
+//! miss, never falsely hit), and sound because the critical-tuple set
+//! depends only on the query structure and the number of domain constants.
+//! Republishing the same view across thousands of audit requests therefore
+//! computes its critical tuples exactly once.
+
+use crate::fast_check::{fast_check, FastVerdict};
+use crate::leakage::{ensure_enumerable, leakage_exact, LeakageReport};
+use crate::report::{classify, default_minute_threshold, is_totally_disclosed, DisclosureClass};
+use crate::security::{active_domain, SecurityVerdict};
+use crate::{QvsError, Result};
+use qvsec_cq::{canonical_form, ConjunctiveQuery, ViewSet};
+use qvsec_data::{Dictionary, Domain, Ratio, Schema, Tuple};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// The `crit(Q)` memo cache: (canonical query form, active-domain size) →
+/// shared critical-tuple set.
+type CritCache = Mutex<HashMap<(String, usize), Arc<BTreeSet<Tuple>>>>;
+
+/// How deep an audit is allowed to escalate.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum AuditDepth {
+    /// Only the Section 4.2 pairwise-unification check.
+    Fast,
+    /// Escalate to the exact Theorem 4.5 critical-tuple criterion.
+    #[default]
+    Exact,
+    /// Escalate further to the dictionary-level checks: literal
+    /// Definition 4.1 independence, the Section 6.1 leakage measure and the
+    /// total-disclosure (determinacy) test. Requires the engine to hold a
+    /// dictionary with an enumerable tuple space.
+    Probabilistic,
+}
+
+/// Per-request options; unset fields fall back to the engine's defaults.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AuditOptions {
+    /// Maximum stage to escalate to.
+    pub depth: Option<AuditDepth>,
+    /// Threshold separating minute from partial disclosures.
+    pub minute_threshold: Option<Ratio>,
+    /// Cap on the candidate critical-tuple enumeration.
+    pub candidate_cap: Option<usize>,
+}
+
+/// One audit: a secret query, the views about to be published, and options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditRequest {
+    /// Label echoed into the report (useful for batch audits).
+    pub name: String,
+    /// The secret query `S`.
+    pub secret: ConjunctiveQuery,
+    /// The views `V̄` about to be published.
+    pub views: ViewSet,
+    /// Per-request options.
+    pub options: AuditOptions,
+}
+
+impl AuditRequest {
+    /// An audit of `secret` against `views` with default options, labelled
+    /// after the secret query.
+    pub fn new(secret: ConjunctiveQuery, views: impl Into<ViewSet>) -> Self {
+        AuditRequest {
+            name: secret.name.clone(),
+            secret,
+            views: views.into(),
+            options: AuditOptions::default(),
+        }
+    }
+
+    /// Overrides the report label.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Overrides the escalation depth.
+    pub fn with_depth(mut self, depth: AuditDepth) -> Self {
+        self.options.depth = Some(depth);
+        self
+    }
+
+    /// Overrides the minute-vs-partial threshold.
+    pub fn with_minute_threshold(mut self, threshold: Ratio) -> Self {
+        self.options.minute_threshold = Some(threshold);
+        self
+    }
+}
+
+/// The machine-readable result of one audit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// The request's label.
+    pub name: String,
+    /// The depth the audit was allowed to escalate to.
+    pub depth: AuditDepth,
+    /// Whether the verdict is definitive. Only `false` when the budget
+    /// stopped at [`AuditDepth::Fast`] and some subgoal pair unified (the
+    /// fast check alone cannot distinguish real from spurious overlaps).
+    pub conclusive: bool,
+    /// The definitive security verdict when known: `Some(true)` means
+    /// query-view secure for every tuple-independent distribution.
+    pub secure: Option<bool>,
+    /// Table 1 style classification. When `conclusive` is `false` this is
+    /// the conservative assumption [`DisclosureClass::Partial`].
+    pub class: DisclosureClass,
+    /// The Section 4.2 fast verdict (always present).
+    pub fast: FastVerdict,
+    /// The Theorem 4.5 verdict (present from [`AuditDepth::Exact`] up).
+    pub security: Option<SecurityVerdict>,
+    /// The literal Definition 4.1 check (present at
+    /// [`AuditDepth::Probabilistic`]).
+    pub independence: Option<qvsec_prob::independence::IndependenceReport>,
+    /// The Section 6.1 leakage report (present at
+    /// [`AuditDepth::Probabilistic`]).
+    pub leakage: Option<LeakageReport>,
+    /// Whether the views determine the secret answer over the dictionary
+    /// (present at [`AuditDepth::Probabilistic`]).
+    pub totally_disclosed: Option<bool>,
+    /// Human-readable renderings of the common critical tuples witnessing
+    /// insecurity (empty when secure or not escalated).
+    pub witnesses: Vec<String>,
+}
+
+impl AuditReport {
+    /// A multi-line human-readable rendering, suitable for audit logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("audit                 : {}\n", self.name));
+        out.push_str(&format!(
+            "classification        : {}{}\n",
+            self.class,
+            if self.conclusive {
+                ""
+            } else {
+                " (inconclusive: fast check only)"
+            }
+        ));
+        out.push_str(&format!(
+            "fast check            : {}\n",
+            if self.fast.is_certainly_secure() {
+                "secure (no unifiable subgoal pair)"
+            } else {
+                "possibly insecure (some subgoals unify)"
+            }
+        ));
+        if let Some(sec) = &self.security {
+            out.push_str(&format!("exact criterion       : {}\n", sec.summary()));
+        }
+        if let Some(ind) = &self.independence {
+            out.push_str(&format!(
+                "statistical check     : {} ({} answer pairs checked)\n",
+                if ind.independent {
+                    "independent"
+                } else {
+                    "dependent"
+                },
+                ind.pairs_checked
+            ));
+            if let Some(v) = ind.worst_violation() {
+                out.push_str(&format!(
+                    "  worst shift         : prior {} -> posterior {}\n",
+                    v.prior, v.posterior
+                ));
+            }
+        }
+        if let Some(leak) = &self.leakage {
+            out.push_str(&format!(
+                "leakage (Section 6.1) : {} (~{:.4})\n",
+                leak.max_leak,
+                leak.max_leak_f64()
+            ));
+        }
+        if let Some(total) = self.totally_disclosed {
+            out.push_str(&format!("totally disclosed     : {total}\n"));
+        }
+        if !self.witnesses.is_empty() {
+            out.push_str(&format!(
+                "witnesses             : {}\n",
+                self.witnesses.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Builder for [`AuditEngine`].
+#[derive(Debug, Clone)]
+pub struct AuditEngineBuilder {
+    schema: Arc<Schema>,
+    domain: Arc<Domain>,
+    dictionary: Option<Arc<Dictionary>>,
+    minute_threshold: Ratio,
+    candidate_cap: usize,
+    default_depth: AuditDepth,
+}
+
+impl AuditEngineBuilder {
+    /// Starts a builder from an owned (or shared) schema and domain.
+    pub fn new(schema: impl Into<Arc<Schema>>, domain: impl Into<Arc<Domain>>) -> Self {
+        AuditEngineBuilder {
+            schema: schema.into(),
+            domain: domain.into(),
+            dictionary: None,
+            minute_threshold: default_minute_threshold(),
+            candidate_cap: crate::critical::DEFAULT_CANDIDATE_CAP,
+            default_depth: AuditDepth::default(),
+        }
+    }
+
+    /// Attaches the dictionary enabling [`AuditDepth::Probabilistic`].
+    pub fn dictionary(mut self, dict: impl Into<Arc<Dictionary>>) -> Self {
+        self.dictionary = Some(dict.into());
+        self
+    }
+
+    /// Overrides the default minute-vs-partial threshold.
+    pub fn minute_threshold(mut self, threshold: Ratio) -> Self {
+        self.minute_threshold = threshold;
+        self
+    }
+
+    /// Overrides the default candidate-enumeration cap.
+    pub fn candidate_cap(mut self, cap: usize) -> Self {
+        self.candidate_cap = cap;
+        self
+    }
+
+    /// Overrides the default escalation depth used when a request does not
+    /// specify one.
+    pub fn default_depth(mut self, depth: AuditDepth) -> Self {
+        self.default_depth = depth;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> AuditEngine {
+        AuditEngine {
+            schema: self.schema,
+            domain: self.domain,
+            dictionary: self.dictionary,
+            minute_threshold: self.minute_threshold,
+            candidate_cap: self.candidate_cap,
+            default_depth: self.default_depth,
+            crit_cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// An owned, `Send + Sync` audit engine bound to one schema, domain and
+/// optional dictionary. See the [module docs](self) for the staging and
+/// caching model.
+#[derive(Debug)]
+pub struct AuditEngine {
+    schema: Arc<Schema>,
+    domain: Arc<Domain>,
+    dictionary: Option<Arc<Dictionary>>,
+    minute_threshold: Ratio,
+    candidate_cap: usize,
+    default_depth: AuditDepth,
+    /// `crit(Q)` memo, keyed by (canonical query form, active-domain size).
+    crit_cache: CritCache,
+}
+
+// The engine is shared across audit worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AuditEngine>();
+};
+
+impl AuditEngine {
+    /// Shorthand for [`AuditEngineBuilder::new`].
+    pub fn builder(
+        schema: impl Into<Arc<Schema>>,
+        domain: impl Into<Arc<Domain>>,
+    ) -> AuditEngineBuilder {
+        AuditEngineBuilder::new(schema, domain)
+    }
+
+    /// The engine's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The engine's domain of constants.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The engine's dictionary, when configured.
+    pub fn dictionary(&self) -> Option<&Dictionary> {
+        self.dictionary.as_deref()
+    }
+
+    /// Number of distinct `crit(Q)` sets currently memoized.
+    pub fn cached_crit_sets(&self) -> usize {
+        self.crit_cache.lock().expect("crit cache poisoned").len()
+    }
+
+    /// Computes (or fetches) `crit_D(Q)` over `active`, memoized under the
+    /// canonical form of `query` and the active-domain size.
+    fn crit_cached(
+        &self,
+        query: &ConjunctiveQuery,
+        active: &Domain,
+        cap: usize,
+    ) -> Result<Arc<BTreeSet<Tuple>>> {
+        let key = (canonical_form(query), active.len());
+        if let Some(hit) = self
+            .crit_cache
+            .lock()
+            .expect("crit cache poisoned")
+            .get(&key)
+        {
+            return Ok(Arc::clone(hit));
+        }
+        // Compute outside the lock so concurrent audits of distinct queries
+        // do not serialize; a racing duplicate insert is harmless.
+        let computed = Arc::new(crate::critical::critical_tuples_with_cap(
+            query, active, cap,
+        )?);
+        let mut cache = self.crit_cache.lock().expect("crit cache poisoned");
+        Ok(Arc::clone(
+            cache.entry(key).or_insert_with(|| Arc::clone(&computed)),
+        ))
+    }
+
+    /// The exact Theorem 4.5 verdict computed through the memo cache:
+    /// `crit(S) ∩ (crit(V1) ∪ ... ∪ crit(Vk))` over the Proposition 4.9
+    /// active domain.
+    ///
+    /// The cheap candidate (subgoal-grounding) intersection is checked
+    /// first: critical tuples are always subgoal groundings, so a view
+    /// whose candidates are disjoint from the secret's cannot contribute a
+    /// common critical tuple and no exponential `is_critical` work is spent
+    /// on it. Only views with overlapping candidates pay for the full,
+    /// memoized `crit(Q)` sets.
+    fn exact_security(
+        &self,
+        secret: &ConjunctiveQuery,
+        views: &ViewSet,
+        active: &Domain,
+        cap: usize,
+    ) -> Result<SecurityVerdict> {
+        let secret_candidates = crate::critical::critical_candidates(secret, active, cap)?;
+        let mut crit_s = None;
+        let mut common: BTreeSet<Tuple> = BTreeSet::new();
+        for v in views.iter() {
+            let view_candidates = crate::critical::critical_candidates(v, active, cap)?;
+            if secret_candidates.is_disjoint(&view_candidates) {
+                continue;
+            }
+            let crit_s = match &crit_s {
+                Some(c) => c,
+                None => crit_s.insert(self.crit_cached(secret, active, cap)?),
+            };
+            let crit_v = self.crit_cached(v, active, cap)?;
+            common.extend(crit_s.intersection(&crit_v).cloned());
+        }
+        Ok(SecurityVerdict {
+            secure: common.is_empty(),
+            common_critical_tuples: common.into_iter().collect(),
+            active_domain_size: active.len(),
+        })
+    }
+
+    /// Runs one audit to the requested (or default) depth.
+    pub fn audit(&self, request: &AuditRequest) -> Result<AuditReport> {
+        let depth = request.options.depth.unwrap_or(self.default_depth);
+        let threshold = request
+            .options
+            .minute_threshold
+            .unwrap_or(self.minute_threshold);
+        let cap = request.options.candidate_cap.unwrap_or(self.candidate_cap);
+        let secret = &request.secret;
+        let views = &request.views;
+
+        // Stage 1 — always: the Section 4.2 fast check.
+        let fast = fast_check(secret, views);
+        let fast_secure = fast.is_certainly_secure();
+
+        // Stage 2 — the exact criterion, unless the fast check already
+        // certified security (soundness: no unifiable pair ⇒ no common
+        // critical tuple) or the budget stops at Fast. The active domain is
+        // the engine domain padded to the Proposition 4.9 bound; witnesses
+        // are rendered against it since padded constants can occur in them.
+        let active = active_domain(secret, views, &self.domain);
+        let security = if depth >= AuditDepth::Exact {
+            if fast_secure {
+                Some(SecurityVerdict {
+                    secure: true,
+                    common_critical_tuples: Vec::new(),
+                    active_domain_size: active.len(),
+                })
+            } else {
+                Some(self.exact_security(secret, views, &active, cap)?)
+            }
+        } else {
+            None
+        };
+
+        let secure: Option<bool> = if fast_secure {
+            Some(true)
+        } else {
+            security.as_ref().map(|s| s.secure)
+        };
+
+        // Stage 3 — dictionary-level checks.
+        let (independence, leakage, totally_disclosed) = if depth >= AuditDepth::Probabilistic {
+            let dict = self
+                .dictionary
+                .as_deref()
+                .ok_or(QvsError::DictionaryRequired)?;
+            ensure_enumerable(dict)?;
+            let independence = qvsec_prob::independence::check_independence(secret, views, dict)?;
+            let leakage = leakage_exact(secret, views, dict)?;
+            let total = is_totally_disclosed(secret, views, dict)?;
+            (Some(independence), Some(leakage), Some(total))
+        } else {
+            (None, None, None)
+        };
+
+        let class = classify(
+            secure == Some(true),
+            totally_disclosed.unwrap_or(false),
+            leakage.as_ref().map(|l| l.max_leak),
+            threshold,
+        );
+        let witnesses = security
+            .as_ref()
+            .map(|s| {
+                s.common_critical_tuples
+                    .iter()
+                    .map(|t| t.display(&self.schema, &active).to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        Ok(AuditReport {
+            name: request.name.clone(),
+            depth,
+            conclusive: secure.is_some(),
+            secure,
+            class,
+            fast,
+            security,
+            independence,
+            leakage,
+            totally_disclosed,
+            witnesses,
+        })
+    }
+
+    /// Audits a whole batch in parallel. Reports come back in request
+    /// order; a per-request error does not abort the rest of the batch.
+    pub fn audit_batch(&self, requests: &[AuditRequest]) -> Vec<Result<AuditReport>> {
+        requests.par_iter().map(|r| self.audit(r)).collect()
+    }
+
+    /// [`AuditEngine::audit_batch`], failing on the first per-request error.
+    pub fn try_audit_batch(&self, requests: &[AuditRequest]) -> Result<Vec<AuditReport>> {
+        self.audit_batch(requests).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical::critical_tuples;
+    use qvsec_cq::parse_query;
+    use qvsec_data::TupleSpace;
+
+    fn employee_schema() -> Schema {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        schema.add_relation("R", &["x", "y"]);
+        schema
+    }
+
+    fn engine_for(domain: &Domain) -> AuditEngine {
+        AuditEngine::builder(employee_schema(), domain.clone()).build()
+    }
+
+    #[test]
+    fn fast_depth_is_conclusive_only_when_it_certifies_security() {
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let v4 = parse_query("V4(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap();
+        let s4 = parse_query("S4(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        let engine = engine_for(&domain);
+        let report = engine
+            .audit(&AuditRequest::new(s4, ViewSet::single(v4)).with_depth(AuditDepth::Fast))
+            .unwrap();
+        assert_eq!(report.secure, Some(true));
+        assert!(report.conclusive);
+        assert_eq!(report.class, DisclosureClass::NoDisclosure);
+        assert!(report.security.is_none(), "no escalation at Fast depth");
+
+        let mut domain = Domain::new();
+        let v1 = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let s1 = parse_query("S1(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let engine = engine_for(&domain);
+        let report = engine
+            .audit(&AuditRequest::new(s1, ViewSet::single(v1)).with_depth(AuditDepth::Fast))
+            .unwrap();
+        assert_eq!(report.secure, None, "fast check alone cannot condemn");
+        assert!(!report.conclusive);
+        assert_eq!(report.class, DisclosureClass::Partial, "conservative class");
+        assert!(report.render().contains("inconclusive"));
+    }
+
+    #[test]
+    fn exact_depth_matches_the_free_function_criterion() {
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let v1 = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let s1 = parse_query("S1(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let views = ViewSet::single(v1);
+        let engine = engine_for(&domain);
+        let report = engine
+            .audit(&AuditRequest::new(s1.clone(), views.clone()))
+            .unwrap();
+        let free =
+            crate::security::secure_for_all_distributions(&s1, &views, &schema, &domain).unwrap();
+        let sec = report.security.unwrap();
+        assert_eq!(sec.secure, free.secure);
+        assert_eq!(sec.active_domain_size, free.active_domain_size);
+        assert_eq!(
+            sec.common_critical_tuples.iter().collect::<BTreeSet<_>>(),
+            free.common_critical_tuples.iter().collect::<BTreeSet<_>>()
+        );
+        assert!(!report.witnesses.is_empty());
+    }
+
+    #[test]
+    fn crit_cache_returns_results_identical_to_uncached_critical_tuples() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let engine = engine_for(&domain);
+        let queries = [
+            "V(x) :- R(x, y)",
+            "S(y) :- R(x, y)",
+            "Q() :- R('a', x)",
+            "W(x) :- R(x, 'b'), x != 'a'",
+        ];
+        for text in queries {
+            let q = parse_query(text, &schema, &mut domain).unwrap();
+            let cached = engine.crit_cached(&q, &domain, 100_000).unwrap();
+            let uncached = critical_tuples(&q, &domain).unwrap();
+            assert_eq!(*cached, uncached, "cache must be transparent for {text}");
+            // Second fetch hits the cache and returns the same allocation.
+            let again = engine.crit_cached(&q, &domain, 100_000).unwrap();
+            assert!(Arc::ptr_eq(&cached, &again));
+        }
+    }
+
+    #[test]
+    fn crit_cache_is_shared_across_renamed_queries() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let engine = engine_for(&domain);
+        let q1 = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let q2 = parse_query("W(u) :- R(u, w)", &schema, &mut domain).unwrap();
+        let c1 = engine.crit_cached(&q1, &domain, 100_000).unwrap();
+        let c2 = engine.crit_cached(&q2, &domain, 100_000).unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2), "α-equivalent queries share an entry");
+        assert_eq!(engine.cached_crit_sets(), 1);
+    }
+
+    #[test]
+    fn probabilistic_depth_requires_a_dictionary() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let engine = engine_for(&domain);
+        let err = engine
+            .audit(&AuditRequest::new(s, ViewSet::single(v)).with_depth(AuditDepth::Probabilistic))
+            .unwrap_err();
+        assert!(matches!(err, QvsError::DictionaryRequired));
+    }
+
+    #[test]
+    fn probabilistic_depth_produces_the_full_report() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let space = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 100).unwrap();
+        let dict = Dictionary::half(space);
+        let engine = AuditEngine::builder(schema, domain)
+            .dictionary(dict)
+            .default_depth(AuditDepth::Probabilistic)
+            .build();
+        let report = engine
+            .audit(&AuditRequest::new(s, ViewSet::single(v)))
+            .unwrap();
+        assert_eq!(report.secure, Some(false));
+        assert!(!report.independence.as_ref().unwrap().independent);
+        assert!(report.leakage.as_ref().unwrap().max_leak > Ratio::ZERO);
+        assert_eq!(report.totally_disclosed, Some(false));
+        assert_ne!(report.class, DisclosureClass::NoDisclosure);
+        let rendered = report.render();
+        assert!(rendered.contains("leakage"));
+        assert!(rendered.contains("statistical check"));
+    }
+
+    #[test]
+    fn batch_verdicts_are_identical_to_sequential_audits() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let texts = [
+            ("S(y) :- R(x, y)", "V(x) :- R(x, y)"),
+            ("S(y) :- R(y, 'a')", "V(x) :- R(x, 'b')"),
+            (
+                "S(n) :- Employee(n, 'HR', p)",
+                "V(n) :- Employee(n, 'Mgmt', p)",
+            ),
+            (
+                "S(n, p) :- Employee(n, d, p)",
+                "V(n, d) :- Employee(n, d, p)",
+            ),
+        ];
+        let requests: Vec<AuditRequest> = texts
+            .iter()
+            .map(|(s, v)| {
+                let s = parse_query(s, &schema, &mut domain).unwrap();
+                let v = parse_query(v, &schema, &mut domain).unwrap();
+                AuditRequest::new(s, ViewSet::single(v))
+            })
+            .collect();
+        let engine = AuditEngine::builder(schema, domain).build();
+        let batch = engine.try_audit_batch(&requests).unwrap();
+        for (req, from_batch) in requests.iter().zip(&batch) {
+            let solo = engine.audit(req).unwrap();
+            assert_eq!(solo.secure, from_batch.secure);
+            assert_eq!(solo.class, from_batch.class);
+            assert_eq!(
+                solo.security.as_ref().map(|s| &s.common_critical_tuples),
+                from_batch
+                    .security
+                    .as_ref()
+                    .map(|s| &s.common_critical_tuples)
+            );
+        }
+    }
+
+    #[test]
+    fn reports_serialize_to_json_and_back() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let space = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 100).unwrap();
+        let dict = Dictionary::half(space);
+        let engine = AuditEngine::builder(schema, domain)
+            .dictionary(dict)
+            .default_depth(AuditDepth::Probabilistic)
+            .build();
+        let report = engine
+            .audit(&AuditRequest::new(s, ViewSet::single(v)))
+            .unwrap();
+        let text = serde_json::to_string(&report).unwrap();
+        let back: AuditReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.secure, report.secure);
+        assert_eq!(back.class, report.class);
+        assert_eq!(
+            back.leakage.as_ref().unwrap().max_leak,
+            report.leakage.as_ref().unwrap().max_leak
+        );
+        assert_eq!(back.witnesses, report.witnesses);
+    }
+
+    #[test]
+    fn engine_is_usable_from_multiple_threads() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let engine = Arc::new(AuditEngine::builder(schema, domain).build());
+        let req = AuditRequest::new(s, ViewSet::single(v));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let engine = Arc::clone(&engine);
+            let req = req.clone();
+            handles.push(std::thread::spawn(move || {
+                engine.audit(&req).unwrap().secure
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(false));
+        }
+        let _ = TupleSpace::full(engine.schema(), engine.domain());
+    }
+}

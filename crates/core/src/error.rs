@@ -24,6 +24,9 @@ pub enum QvsError {
     /// A procedure requiring comparison-free queries was invoked with a
     /// query containing order predicates it cannot handle exactly.
     UnsupportedComparisons(String),
+    /// A dictionary-level check was requested from an engine built without
+    /// a dictionary.
+    DictionaryRequired,
     /// Generic invariant violation.
     Invalid(String),
 }
@@ -43,6 +46,10 @@ impl fmt::Display for QvsError {
             QvsError::UnsupportedComparisons(name) => write!(
                 f,
                 "query `{name}` uses comparisons not supported exactly by this procedure"
+            ),
+            QvsError::DictionaryRequired => write!(
+                f,
+                "probabilistic audit depth requires an engine built with a dictionary"
             ),
             QvsError::Invalid(msg) => write!(f, "{msg}"),
         }

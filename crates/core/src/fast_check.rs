@@ -15,9 +15,10 @@
 
 use qvsec_cq::unification::unify_atoms;
 use qvsec_cq::{Atom, ConjunctiveQuery, ViewSet};
+use serde::{Deserialize, Serialize};
 
 /// The verdict of the pairwise-unification check.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FastVerdict {
     /// No subgoal of the secret unifies with any subgoal of the views: the
     /// secret is certainly secure for every distribution.
@@ -101,7 +102,11 @@ mod tests {
         // examples correctly; check Table 1.
         let schema = schema();
         let rows = [
-            ("S1(d) :- Employee(n, d, p)", vec!["V1(n, d) :- Employee(n, d, p)"], false),
+            (
+                "S1(d) :- Employee(n, d, p)",
+                vec!["V1(n, d) :- Employee(n, d, p)"],
+                false,
+            ),
             (
                 "S2(n, p) :- Employee(n, d, p)",
                 vec![
@@ -110,7 +115,11 @@ mod tests {
                 ],
                 false,
             ),
-            ("S3(p) :- Employee(n, d, p)", vec!["V3(n) :- Employee(n, d, p)"], false),
+            (
+                "S3(p) :- Employee(n, d, p)",
+                vec!["V3(n) :- Employee(n, d, p)"],
+                false,
+            ),
             (
                 "S4(n) :- Employee(n, 'HR', p)",
                 vec!["V4(n) :- Employee(n, 'Mgmt', p)"],
@@ -140,10 +149,16 @@ mod tests {
         // Whenever the fast check says Secure, the exact criterion must agree.
         let schema = schema();
         let pairs = [
-            ("S(n) :- Employee(n, 'HR', p)", "V(n) :- Employee(n, 'Mgmt', p)"),
+            (
+                "S(n) :- Employee(n, 'HR', p)",
+                "V(n) :- Employee(n, 'Mgmt', p)",
+            ),
             ("S(y) :- R(y, 'a')", "V(x) :- R(x, 'b')"),
             ("S() :- R('a', 'a')", "V() :- R('b', 'b')"),
-            ("S(n, p) :- Employee(n, d, p)", "V(n, d) :- Employee(n, d, p)"),
+            (
+                "S(n, p) :- Employee(n, d, p)",
+                "V(n, d) :- Employee(n, d, p)",
+            ),
             ("S() :- R(x, x)", "V() :- R('a', 'b')"),
         ];
         for (s_text, v_text) in pairs {
@@ -165,10 +180,18 @@ mod tests {
         // proves security.
         let schema = schema();
         let mut domain = Domain::new();
-        let v = parse_query("V() :- T(x, y, z, z, u), T(x, x, x, y, y)", &schema, &mut domain).unwrap();
+        let v = parse_query(
+            "V() :- T(x, y, z, z, u), T(x, x, x, y, y)",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
         let s = parse_query("S() :- T('a', 'a', 'b', 'b', 'c')", &schema, &mut domain).unwrap();
         let views = ViewSet::single(v);
-        assert!(!fast_check(&s, &views).is_certainly_secure(), "fast check flags the pair");
+        assert!(
+            !fast_check(&s, &views).is_certainly_secure(),
+            "fast check flags the pair"
+        );
         let exact = secure_for_all_distributions(&s, &views, &schema, &domain).unwrap();
         assert!(exact.secure, "but the exact criterion proves security");
     }
@@ -183,7 +206,11 @@ mod tests {
         let views = ViewSet::from_views(vec![v1, v2]);
         assert_eq!(unifying_pairs(&s, &views).len(), 2);
         match fast_check(&s, &views) {
-            FastVerdict::PossiblyInsecure { secret_atom, view, view_atom } => {
+            FastVerdict::PossiblyInsecure {
+                secret_atom,
+                view,
+                view_atom,
+            } => {
                 assert_eq!(secret_atom, 0);
                 assert_eq!(view, 0);
                 assert_eq!(view_atom, 0);

@@ -28,11 +28,12 @@ use qvsec_cq::{ConjunctiveQuery, Term, ViewSet};
 use qvsec_data::{Dictionary, Domain, Instance, Ratio, Tuple, Value};
 use qvsec_prob::montecarlo::MonteCarloEstimator;
 use qvsec_prob::probability::event_probability;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// One `(s, v̄)` pair together with its prior, posterior and relative
 /// increase.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LeakEntry {
     /// The secret answer tuple `s`.
     pub query_answer: Answer,
@@ -47,7 +48,7 @@ pub struct LeakEntry {
 }
 
 /// The result of an exact leakage computation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LeakageReport {
     /// `leak(S, V̄)`: the supremum of the relative increase over all examined
     /// answer pairs (zero when the query is perfectly secure).
@@ -117,10 +118,7 @@ pub fn bind_head(query: &ConjunctiveQuery, answer: &[Value]) -> Option<Conjuncti
 /// The answers of a query that occur on at least one instance of the
 /// dictionary's tuple space (i.e. have positive inclusion probability under
 /// a non-degenerate dictionary).
-pub fn possible_answers(
-    query: &ConjunctiveQuery,
-    dict: &Dictionary,
-) -> Result<BTreeSet<Answer>> {
+pub fn possible_answers(query: &ConjunctiveQuery, dict: &Dictionary) -> Result<BTreeSet<Answer>> {
     let saturated = Instance::from_tuples(dict.space().iter().cloned());
     Ok(evaluate(query, &saturated).into_iter().collect())
 }
@@ -200,7 +198,7 @@ pub fn leakage_exact(
     }
     report
         .positive_entries
-        .sort_by(|a, b| b.relative_increase.cmp(&a.relative_increase));
+        .sort_by_key(|e| std::cmp::Reverse(e.relative_increase));
     Ok(report)
 }
 
@@ -401,7 +399,10 @@ mod tests {
         )
         .unwrap()
         .unwrap();
-        assert!(eps_nd >= eps, "ε must not decrease for the more revealing view: {eps_nd} vs {eps}");
+        assert!(
+            eps_nd >= eps,
+            "ε must not decrease for the more revealing view: {eps_nd} vs {eps}"
+        );
         // the bound formula itself
         assert_eq!(
             theorem_6_1_bound(Ratio::new(1, 2)).unwrap(),
@@ -417,16 +418,8 @@ mod tests {
         let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
         let a = domain.get("a").unwrap();
         let b = domain.get("b").unwrap();
-        let est = leakage_estimate(
-            &s,
-            &ViewSet::single(v),
-            &dict,
-            &[a, b],
-            &[vec![a]],
-            4000,
-            7,
-        )
-        .unwrap();
+        let est =
+            leakage_estimate(&s, &ViewSet::single(v), &dict, &[a, b], &[vec![a]], 4000, 7).unwrap();
         assert!(est.is_finite());
     }
 

@@ -141,10 +141,7 @@ pub fn asymptotics(
         };
         let mut image: BTreeSet<(u32, Vec<u64>)> = BTreeSet::new();
         for atom in &query.atoms {
-            image.insert((
-                atom.relation.0,
-                atom.terms.iter().map(|t| value_of(t)).collect(),
-            ));
+            image.insert((atom.relation.0, atom.terms.iter().map(&value_of).collect()));
         }
         let total_arity: u32 = image
             .iter()
@@ -398,7 +395,10 @@ mod tests {
         let p16 = estimate_mu_n(&q, &schema, 16, 4, 6000, 3).unwrap();
         assert!(p8 > p16, "μ_n must decrease with n: {p8} vs {p16}");
         let ratio = p8 / p16.max(1e-6);
-        assert!(ratio > 1.3 && ratio < 3.5, "decay ratio {ratio} inconsistent with d = 1");
+        assert!(
+            ratio > 1.3 && ratio < 3.5,
+            "decay ratio {ratio} inconsistent with d = 1"
+        );
     }
 
     #[test]

@@ -59,13 +59,10 @@ fn is_trivial(query: &ConjunctiveQuery) -> bool {
     if query.atoms.is_empty() {
         return true;
     }
-    query.comparisons.iter().any(|c| {
-        c.lhs == c.rhs
-            && matches!(
-                c.op,
-                qvsec_cq::CmpOp::Ne | qvsec_cq::CmpOp::Lt
-            )
-    })
+    query
+        .comparisons
+        .iter()
+        .any(|c| c.lhs == c.rhs && matches!(c.op, qvsec_cq::CmpOp::Ne | qvsec_cq::CmpOp::Lt))
 }
 
 /// The paper's Application 3 statement as a predicate: with any non-trivial
@@ -122,13 +119,10 @@ mod tests {
         let space = TupleSpace::full(&schema, &domain).unwrap();
 
         // secure without knowledge
-        assert!(secure_given_knowledge_all_distributions_boolean(
-            &s,
-            &v,
-            &Knowledge::True,
-            &space
-        )
-        .unwrap());
+        assert!(
+            secure_given_knowledge_all_distributions_boolean(&s, &v, &Knowledge::True, &space)
+                .unwrap()
+        );
 
         // insecure with a cardinality constraint (Application 3)
         let card = Knowledge::Cardinality(CardinalityConstraint::AtMost(1));
@@ -164,8 +158,14 @@ mod tests {
         let (schema, mut domain) = setup();
         let s = parse_query("S() :- R(x, y), x != x", &schema, &mut domain).unwrap();
         let v = parse_query("V() :- R('b', 'b')", &schema, &mut domain).unwrap();
-        assert!(!cardinality_destroys_security(&s, &ViewSet::single(v.clone())));
+        assert!(!cardinality_destroys_security(
+            &s,
+            &ViewSet::single(v.clone())
+        ));
         let nontrivial = parse_query("S2() :- R('a', 'a')", &schema, &mut domain).unwrap();
-        assert!(cardinality_destroys_security(&nontrivial, &ViewSet::single(v)));
+        assert!(cardinality_destroys_security(
+            &nontrivial,
+            &ViewSet::single(v)
+        ));
     }
 }

@@ -127,8 +127,14 @@ mod tests {
         let t_ab = Tuple::new(r, vec![a, b]);
         let t_ac = Tuple::new(r, vec![a, c]);
         let t_bb = Tuple::new(r, vec![b, b]);
-        assert!(equivalent_under_keys(&t_ab, &t_ac, schema.keys()), "same key a");
-        assert!(!equivalent_under_keys(&t_ab, &t_bb, schema.keys()), "different keys");
+        assert!(
+            equivalent_under_keys(&t_ab, &t_ac, schema.keys()),
+            "same key a"
+        );
+        assert!(
+            !equivalent_under_keys(&t_ab, &t_bb, schema.keys()),
+            "different keys"
+        );
         assert!(equivalent_under_keys(&t_ab, &t_ab, schema.keys()));
         // without any key constraint, equivalence is identity
         assert!(!equivalent_under_keys(&t_ab, &t_ac, &[]));
@@ -198,7 +204,8 @@ mod tests {
         let v = parse_query("V() :- R(x, 'b')", &schema, &mut domain).unwrap();
         let space = support_space(&[&s, &v], &domain, 100).unwrap();
         let verdict = secure_under_keys(&s, &ViewSet::single(v.clone()), &schema, &space).unwrap();
-        let plain = secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &domain).unwrap();
+        let plain =
+            secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &domain).unwrap();
         assert_eq!(verdict.secure, plain.secure);
     }
 }

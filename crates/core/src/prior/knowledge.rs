@@ -169,7 +169,9 @@ mod tests {
         assert!(Knowledge::Keys(schema.keys().to_vec()).holds(&inst));
         assert!(!Knowledge::Keys(schema.keys().to_vec())
             .holds(&Instance::from_tuples([t_ab.clone(), t_aa.clone()])));
-        assert!(Knowledge::TupleStatus(vec![(t_ab.clone(), true), (t_aa.clone(), false)]).holds(&inst));
+        assert!(
+            Knowledge::TupleStatus(vec![(t_ab.clone(), true), (t_aa.clone(), false)]).holds(&inst)
+        );
         assert!(!Knowledge::TupleStatus(vec![(t_aa.clone(), true)]).holds(&inst));
         assert!(Knowledge::Cardinality(CardinalityConstraint::Exactly(1)).holds(&inst));
         let conj = Knowledge::True
@@ -203,13 +205,9 @@ mod tests {
             let s = parse_query(s_text, &schema, &mut domain).unwrap();
             let v = parse_query(v_text, &schema, &mut domain).unwrap();
             let space = support_space(&[&s, &v], &domain, 1 << 12).unwrap();
-            let secure = secure_given_knowledge_all_distributions_boolean(
-                &s,
-                &v,
-                &Knowledge::True,
-                &space,
-            )
-            .unwrap();
+            let secure =
+                secure_given_knowledge_all_distributions_boolean(&s, &v, &Knowledge::True, &space)
+                    .unwrap();
             assert_eq!(secure, expected, "({s_text}, {v_text})");
         }
     }
@@ -227,20 +225,16 @@ mod tests {
         let v = parse_query("V() :- R('a', 'c')", &schema, &mut domain).unwrap();
         let space = support_space(&[&s, &v], &domain, 1 << 12).unwrap();
         // without knowledge: secure
-        assert!(secure_given_knowledge_all_distributions_boolean(
-            &s,
-            &v,
-            &Knowledge::True,
-            &space
-        )
-        .unwrap());
+        assert!(
+            secure_given_knowledge_all_distributions_boolean(&s, &v, &Knowledge::True, &space)
+                .unwrap()
+        );
         // with the key constraint: not secure
         let keys = Knowledge::Keys(schema.keys().to_vec());
         assert!(!secure_given_knowledge_all_distributions_boolean(&s, &v, &keys, &space).unwrap());
         // the dictionary-based Definition 5.1 check agrees
         let dict = full_dict(&schema, &domain);
-        let report =
-            secure_given_knowledge(&s, &ViewSet::single(v), &keys, &dict).unwrap();
+        let report = secure_given_knowledge(&s, &ViewSet::single(v), &keys, &dict).unwrap();
         assert!(!report.independent);
     }
 
@@ -290,8 +284,7 @@ mod tests {
         let s = parse_query("S() :- R('a', 'a')", &schema, &mut domain).unwrap();
         let v = parse_query("V() :- R('b', 'b')", &schema, &mut domain).unwrap();
         let space = TupleSpace::full(&schema, &domain).unwrap();
-        let dict =
-            Dictionary::uniform(space, Ratio::new(1, 3)).unwrap();
+        let dict = Dictionary::uniform(space, Ratio::new(1, 3)).unwrap();
         let report =
             secure_given_knowledge(&s, &ViewSet::single(v), &Knowledge::True, &dict).unwrap();
         assert!(report.independent);

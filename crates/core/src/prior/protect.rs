@@ -32,7 +32,11 @@ where
         return Ok(Knowledge::True);
     }
     Ok(Knowledge::TupleStatus(
-        common.into_iter().map(|t| (status_of(&t), t)).map(|(s, t)| (t, s)).collect(),
+        common
+            .into_iter()
+            .map(|t| (status_of(&t), t))
+            .map(|(s, t)| (t, s))
+            .collect(),
     ))
 }
 
@@ -84,9 +88,11 @@ mod tests {
         let v = parse_query("V() :- R(x, 'b')", &schema, &mut domain).unwrap();
         let views = ViewSet::single(v.clone());
 
-        assert!(!secure_for_all_distributions(&s, &views, &schema, &domain)
-            .unwrap()
-            .secure);
+        assert!(
+            !secure_for_all_distributions(&s, &views, &schema, &domain)
+                .unwrap()
+                .secure
+        );
 
         let k_absent = protective_knowledge_absent(&s, &views, &domain).unwrap();
         match &k_absent {
@@ -133,8 +139,8 @@ mod tests {
         let a = domain.get("a").unwrap();
         let b = domain.get("b").unwrap();
         let database = Instance::from_tuples([Tuple::new(r, vec![a, b])]);
-        let k = protective_knowledge_for_instance(&s, &ViewSet::single(v), &domain, &database)
-            .unwrap();
+        let k =
+            protective_knowledge_for_instance(&s, &ViewSet::single(v), &domain, &database).unwrap();
         match k {
             Knowledge::TupleStatus(statuses) => {
                 assert_eq!(statuses.len(), 1);

@@ -113,12 +113,16 @@ mod tests {
         .unwrap();
 
         // S is insecure w.r.t. U and w.r.t. V taken alone.
-        assert!(!secure_for_all_distributions(&s, &ViewSet::single(u.clone()), &schema, &domain)
-            .unwrap()
-            .secure);
-        assert!(!secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
-            .unwrap()
-            .secure);
+        assert!(
+            !secure_for_all_distributions(&s, &ViewSet::single(u.clone()), &schema, &domain)
+                .unwrap()
+                .secure
+        );
+        assert!(
+            !secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+                .unwrap()
+                .secure
+        );
 
         // Relative security U : S | V is verified on a domain-scaled instance
         // of the same example in `scaled_application_5_relative_security`;
@@ -140,12 +144,16 @@ mod tests {
         let v = parse_query("V() :- R1('a', 'b'), R2(w1, w2)", &schema, &mut domain).unwrap();
 
         // S is insecure with respect to U and to V taken alone.
-        assert!(!secure_for_all_distributions(&s, &ViewSet::single(u.clone()), &schema, &domain)
-            .unwrap()
-            .secure);
-        assert!(!secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
-            .unwrap()
-            .secure);
+        assert!(
+            !secure_for_all_distributions(&s, &ViewSet::single(u.clone()), &schema, &domain)
+                .unwrap()
+                .secure
+        );
+        assert!(
+            !secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+                .unwrap()
+                .secure
+        );
 
         // But given U, publishing V discloses nothing more about S.
         let space = support_space(&[&u, &s, &v], &domain, 1 << 10).unwrap();
@@ -158,8 +166,7 @@ mod tests {
         // Sanity check of the criterion's discriminative power: swapping the
         // implication direction (a prior view that does NOT imply S1) fails.
         let mut domain2 = domain.clone();
-        let weak_prior =
-            parse_query("U2() :- R2('a', q)", &schema, &mut domain2).unwrap();
+        let weak_prior = parse_query("U2() :- R2('a', q)", &schema, &mut domain2).unwrap();
         let space2 = support_space(&[&weak_prior, &s, &v], &domain2, 1 << 10).unwrap();
         assert!(
             !secure_given_prior_view_boolean(&weak_prior, &s, &v, &space2).unwrap(),

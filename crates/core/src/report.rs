@@ -19,11 +19,12 @@ use crate::Result;
 use qvsec_cq::eval::{evaluate, AnswerSet};
 use qvsec_cq::{ConjunctiveQuery, ViewSet};
 use qvsec_data::{Dictionary, Ratio};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The four disclosure classes of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DisclosureClass {
     /// No disclosure: the query is perfectly secure with respect to the
     /// views (Table 1, row 4).
@@ -146,7 +147,10 @@ mod tests {
     #[test]
     fn classification_matrix() {
         let t = default_minute_threshold();
-        assert_eq!(classify(true, false, None, t), DisclosureClass::NoDisclosure);
+        assert_eq!(
+            classify(true, false, None, t),
+            DisclosureClass::NoDisclosure
+        );
         assert_eq!(classify(false, true, None, t), DisclosureClass::Total);
         assert_eq!(
             classify(false, false, Some(Ratio::new(1, 10)), t),
@@ -158,7 +162,10 @@ mod tests {
         );
         assert_eq!(classify(false, false, None, t), DisclosureClass::Partial);
         // secure takes precedence over everything
-        assert_eq!(classify(true, true, Some(Ratio::ONE), t), DisclosureClass::NoDisclosure);
+        assert_eq!(
+            classify(true, true, Some(Ratio::ONE), t),
+            DisclosureClass::NoDisclosure
+        );
     }
 
     #[test]

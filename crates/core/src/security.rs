@@ -18,9 +18,10 @@ use crate::critical::DEFAULT_CANDIDATE_CAP;
 use crate::Result;
 use qvsec_cq::{ConjunctiveQuery, ViewSet};
 use qvsec_data::{Domain, Schema, Tuple, TupleSpace};
+use serde::{Deserialize, Serialize};
 
 /// The outcome of the dictionary-independent security check.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SecurityVerdict {
     /// Whether `S |_P V̄` holds for every probability distribution `P`.
     pub secure: bool,
@@ -168,9 +169,11 @@ mod tests {
         let mut d1 = Domain::new();
         let v1 = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut d1).unwrap();
         let s1 = parse_query("S1(d) :- Employee(n, d, p)", &schema, &mut d1).unwrap();
-        assert!(!secure_for_all_distributions(&s1, &ViewSet::single(v1), &schema, &d1)
-            .unwrap()
-            .secure);
+        assert!(
+            !secure_for_all_distributions(&s1, &ViewSet::single(v1), &schema, &d1)
+                .unwrap()
+                .secure
+        );
 
         // row 2: partial disclosure through collusion — not secure
         let mut d2 = Domain::new();
@@ -187,9 +190,11 @@ mod tests {
         let mut d3 = Domain::new();
         let v3 = parse_query("V3(n) :- Employee(n, d, p)", &schema, &mut d3).unwrap();
         let s3 = parse_query("S3(p) :- Employee(n, d, p)", &schema, &mut d3).unwrap();
-        assert!(!secure_for_all_distributions(&s3, &ViewSet::single(v3), &schema, &d3)
-            .unwrap()
-            .secure);
+        assert!(
+            !secure_for_all_distributions(&s3, &ViewSet::single(v3), &schema, &d3)
+                .unwrap()
+                .secure
+        );
 
         // row 4: no disclosure — secure
         let mut d4 = Domain::new();
@@ -207,15 +212,19 @@ mod tests {
         let mut domain = Domain::with_constants(["a", "b"]);
         let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
         let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
-        assert!(!secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &domain)
-            .unwrap()
-            .secure);
+        assert!(
+            !secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &domain)
+                .unwrap()
+                .secure
+        );
 
         let v = parse_query("V(x) :- R(x, 'b')", &schema, &mut domain).unwrap();
         let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
-        assert!(secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &domain)
-            .unwrap()
-            .secure);
+        assert!(
+            secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &domain)
+                .unwrap()
+                .secure
+        );
     }
 
     #[test]
@@ -228,18 +237,22 @@ mod tests {
         let v_b = parse_query("Vb(n) :- Employee(n, 'Sales', p)", &schema, &mut domain).unwrap();
         let s = parse_query("S(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
         for v in [&v_a, &v_b] {
-            assert!(secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
-                .unwrap()
-                .secure);
+            assert!(
+                secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+                    .unwrap()
+                    .secure
+            );
         }
-        assert!(secure_for_all_distributions(
-            &s,
-            &ViewSet::from_views(vec![v_a, v_b]),
-            &schema,
-            &domain
-        )
-        .unwrap()
-        .secure);
+        assert!(
+            secure_for_all_distributions(
+                &s,
+                &ViewSet::from_views(vec![v_a, v_b]),
+                &schema,
+                &domain
+            )
+            .unwrap()
+            .secure
+        );
     }
 
     #[test]
@@ -251,14 +264,14 @@ mod tests {
         let views = ViewSet::single(v);
         // 3 variables, no constants, no order predicates: n = 3
         assert_eq!(active_domain_size(&s, &views), 3);
-        let with_order = parse_query(
-            "W(n) :- Employee(n, d, p), d < p",
-            &schema,
-            &mut domain,
-        )
-        .unwrap();
+        let with_order =
+            parse_query("W(n) :- Employee(n, d, p), d < p", &schema, &mut domain).unwrap();
         let views = ViewSet::single(with_order);
-        assert_eq!(active_domain_size(&s, &views), 12, "n(n+1) with order predicates");
+        assert_eq!(
+            active_domain_size(&s, &views),
+            12,
+            "n(n+1) with order predicates"
+        );
         let active = active_domain(&s, &views, &domain);
         assert!(active.len() >= 12);
     }
@@ -279,12 +292,17 @@ mod tests {
             let v = parse_query(v_text, &schema, &mut d).unwrap();
             let space = support_space(&[&s, &v], &d, 1 << 12).unwrap();
             let poly_secure = secure_boolean_via_polynomials(&s, &v, &space).unwrap();
-            let crit_secure =
-                secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &d)
-                    .unwrap()
-                    .secure;
-            assert_eq!(poly_secure, crit_secure, "criteria disagree on ({s_text}, {v_text})");
-            assert_eq!(poly_secure, expected_secure, "unexpected verdict for ({s_text}, {v_text})");
+            let crit_secure = secure_for_all_distributions(&s, &ViewSet::single(v), &schema, &d)
+                .unwrap()
+                .secure;
+            assert_eq!(
+                poly_secure, crit_secure,
+                "criteria disagree on ({s_text}, {v_text})"
+            );
+            assert_eq!(
+                poly_secure, expected_secure,
+                "unexpected verdict for ({s_text}, {v_text})"
+            );
         }
         let _ = domain.add("c");
     }

@@ -438,7 +438,8 @@ mod tests {
         let mut q2 = ConjunctiveQuery::new("Q2");
         let x = q2.add_var("x");
         let z = q2.add_var("z");
-        q2.atoms.push(Atom::new(r, vec![Term::Var(x), Term::Var(x)]));
+        q2.atoms
+            .push(Atom::new(r, vec![Term::Var(x), Term::Var(x)]));
         q2.comparisons
             .push(Comparison::new(Term::Var(x), CmpOp::Lt, Term::Var(z)));
         assert!(matches!(
@@ -456,8 +457,10 @@ mod tests {
         let mut q = ConjunctiveQuery::new("Q");
         let x = q.add_var("x");
         let y = q.add_var("y");
-        q.atoms.push(Atom::new(r, vec![Term::Var(x), Term::Const(a)]));
-        q.atoms.push(Atom::new(r, vec![Term::Var(y), Term::Const(a)]));
+        q.atoms
+            .push(Atom::new(r, vec![Term::Var(x), Term::Const(a)]));
+        q.atoms
+            .push(Atom::new(r, vec![Term::Var(y), Term::Const(a)]));
         assert_eq!(q.symbol_count(), 3); // x, y, a
         assert_eq!(q.constants().len(), 1);
         assert_eq!(q.relations().len(), 1);

@@ -31,10 +31,7 @@ impl<'a> QueryBuilder<'a> {
     }
 
     fn term(&mut self, spec: &str) -> Term {
-        if let Some(stripped) = spec
-            .strip_prefix('\'')
-            .and_then(|s| s.strip_suffix('\''))
-        {
+        if let Some(stripped) = spec.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
             Term::Const(self.domain.add(stripped))
         } else {
             Term::Var(self.query.add_var(spec))
@@ -168,7 +165,10 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(v.constants().len(), 1);
-        assert!(domain.get("Mgmt").is_some(), "constant interned into domain");
+        assert!(
+            domain.get("Mgmt").is_some(),
+            "constant interned into domain"
+        );
     }
 
     #[test]

@@ -79,6 +79,110 @@ impl CanonicalDatabase {
     }
 }
 
+/// A canonical, name-independent rendering of a query, suitable as a memo
+/// key for semantic analyses such as the critical-tuple set `crit(Q)`.
+///
+/// **Soundness (the property caches rely on):** equal canonical forms imply
+/// the queries are identical up to variable naming and subgoal/comparison
+/// order — transformations that leave `crit(Q)`, evaluation and containment
+/// untouched. The cosmetic query name is deliberately excluded, so
+/// `V1(x) :- R(x, y)` and `W(a) :- R(a, b)` share one cache entry.
+///
+/// **Completeness is best-effort:** variable renamings and most subgoal
+/// reorderings collapse to one form, but reordering subgoals whose local
+/// patterns tie (e.g. `R(x, y), R(y, z)` vs `R(y, z), R(x, y)`) can yield
+/// distinct forms because the tie is broken by source order. That costs a
+/// duplicate cache entry, never a wrong cache hit.
+///
+/// The construction: subgoals are sorted by a variable-name-independent
+/// pattern, variables are renumbered by first occurrence across the sorted
+/// body (then head, then comparisons), and the result is rendered with
+/// constants as interned indices.
+pub fn canonical_form(query: &ConjunctiveQuery) -> String {
+    use crate::ast::Atom;
+    use std::fmt::Write;
+
+    // A per-atom pattern independent of global variable identity: constants
+    // by interned index, variables by position of first occurrence *within
+    // this atom* (so `R(x, x)` and `R(y, y)` sort identically).
+    fn local_pattern(atom: &Atom) -> (u32, Vec<(u8, u32)>) {
+        let mut seen: Vec<VarId> = Vec::new();
+        let terms = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => (0u8, c.0),
+                Term::Var(v) => {
+                    let idx = match seen.iter().position(|s| s == v) {
+                        Some(i) => i,
+                        None => {
+                            seen.push(*v);
+                            seen.len() - 1
+                        }
+                    };
+                    (1u8, idx as u32)
+                }
+            })
+            .collect();
+        (atom.relation.0, terms)
+    }
+
+    let mut order: Vec<usize> = (0..query.atoms.len()).collect();
+    order.sort_by_key(|&i| local_pattern(&query.atoms[i]));
+
+    // Renumber variables by first occurrence over sorted atoms, head, then
+    // comparisons.
+    let mut renumber: HashMap<VarId, usize> = HashMap::new();
+    let mut next = 0usize;
+    let mut rename = |v: VarId, renumber: &mut HashMap<VarId, usize>| -> usize {
+        *renumber.entry(v).or_insert_with(|| {
+            let n = next;
+            next += 1;
+            n
+        })
+    };
+    let mut out = String::new();
+    let mut term_str = |t: &Term, renumber: &mut HashMap<VarId, usize>| match t {
+        Term::Const(c) => format!("c{}", c.0),
+        Term::Var(v) => format!("v{}", rename(*v, renumber)),
+    };
+    for &i in &order {
+        let atom = &query.atoms[i];
+        let _ = write!(out, "r{}(", atom.relation.0);
+        for (j, t) in atom.terms.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&term_str(t, &mut renumber));
+        }
+        out.push(')');
+        out.push(';');
+    }
+    out.push('|');
+    for (j, t) in query.head.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&term_str(t, &mut renumber));
+    }
+    out.push('|');
+    let mut cmps: Vec<String> = query
+        .comparisons
+        .iter()
+        .map(|c| {
+            format!(
+                "{}{}{}",
+                term_str(&c.lhs, &mut renumber),
+                c.op.symbol(),
+                term_str(&c.rhs, &mut renumber)
+            )
+        })
+        .collect();
+    cmps.sort();
+    out.push_str(&cmps.join(";"));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

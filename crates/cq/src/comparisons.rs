@@ -20,7 +20,10 @@ pub fn resolve_term(term: &Term, assignment: &PartialAssignment) -> Option<Value
 /// comparisons are skipped (they may still be satisfied later).
 pub fn check_grounded(comparisons: &[Comparison], assignment: &PartialAssignment) -> bool {
     comparisons.iter().all(|c| {
-        match (resolve_term(&c.lhs, assignment), resolve_term(&c.rhs, assignment)) {
+        match (
+            resolve_term(&c.lhs, assignment),
+            resolve_term(&c.rhs, assignment),
+        ) {
             (Some(l), Some(r)) => c.op.apply(l, r),
             _ => true,
         }
@@ -31,7 +34,10 @@ pub fn check_grounded(comparisons: &[Comparison], assignment: &PartialAssignment
 /// be grounded and satisfied.
 pub fn check_all(comparisons: &[Comparison], assignment: &PartialAssignment) -> bool {
     comparisons.iter().all(|c| {
-        match (resolve_term(&c.lhs, assignment), resolve_term(&c.rhs, assignment)) {
+        match (
+            resolve_term(&c.lhs, assignment),
+            resolve_term(&c.rhs, assignment),
+        ) {
             (Some(l), Some(r)) => c.op.apply(l, r),
             _ => false,
         }
@@ -64,7 +70,13 @@ mod tests {
         let domain = Domain::with_constants(["a", "b"]);
         let a = domain.get("a").unwrap();
         let b = domain.get("b").unwrap();
-        (a, b, Term::Var(VarId(0)), Term::Var(VarId(1)), Term::Const(b))
+        (
+            a,
+            b,
+            Term::Var(VarId(0)),
+            Term::Var(VarId(1)),
+            Term::Const(b),
+        )
     }
 
     #[test]

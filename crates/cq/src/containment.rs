@@ -72,7 +72,10 @@ mod tests {
             "Q(n) :- Employee(n, 'a', p)",
         ] {
             let q = parse_query(text, &schema, &mut domain).unwrap();
-            assert!(contained_in(&q, &q, &domain), "{text} not contained in itself");
+            assert!(
+                contained_in(&q, &q, &domain),
+                "{text} not contained in itself"
+            );
         }
     }
 

@@ -115,7 +115,10 @@ mod tests {
             // structural equality: same atoms, head shape, comparisons
             assert_eq!(q1.atoms, q2.atoms, "atoms differ for {input}");
             assert_eq!(q1.head, q2.head, "heads differ for {input}");
-            assert_eq!(q1.comparisons, q2.comparisons, "comparisons differ for {input}");
+            assert_eq!(
+                q1.comparisons, q2.comparisons,
+                "comparisons differ for {input}"
+            );
         }
     }
 

@@ -98,12 +98,7 @@ mod tests {
     #[test]
     fn boolean_queries_report_satisfiability() {
         let (schema, mut domain) = setup();
-        let s = parse_query(
-            "S() :- Employee('alice', 'sales', p)",
-            &schema,
-            &mut domain,
-        )
-        .unwrap();
+        let s = parse_query("S() :- Employee('alice', 'sales', p)", &schema, &mut domain).unwrap();
         let yes = Instance::from_tuples([emp(&schema, &domain, "alice", "sales", "p1")]);
         let no = Instance::from_tuples([emp(&schema, &domain, "bob", "sales", "p1")]);
         assert!(evaluate_boolean(&s, &yes));

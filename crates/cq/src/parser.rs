@@ -32,7 +32,7 @@ pub fn parse_query(input: &str, schema: &Schema, domain: &mut Domain) -> Result<
 /// skipped.
 pub fn parse_view_set(input: &str, schema: &Schema, domain: &mut Domain) -> Result<ViewSet> {
     let mut views = Vec::new();
-    for chunk in input.split(|c| c == '\n' || c == ';') {
+    for chunk in input.split(['\n', ';']) {
         let line = chunk.trim();
         if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
             continue;

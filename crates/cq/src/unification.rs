@@ -213,7 +213,10 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_relation("R", &["x", "y"]);
         schema.add_relation("T", &["a", "b", "c", "d", "e"]);
-        (schema, Domain::with_constants(["a", "b", "c", "0", "1", "2", "3"]))
+        (
+            schema,
+            Domain::with_constants(["a", "b", "c", "0", "1", "2", "3"]),
+        )
     }
 
     #[test]
@@ -229,7 +232,10 @@ mod tests {
             subst.get(q.var_by_name("x").unwrap()),
             Some(domain.get("b").unwrap())
         );
-        assert!(unify_atom_with_tuple(atom, &t_bb).is_none(), "constant mismatch");
+        assert!(
+            unify_atom_with_tuple(atom, &t_bb).is_none(),
+            "constant mismatch"
+        );
         assert_eq!(subst.ground_atom(atom), Some(t_ba));
     }
 

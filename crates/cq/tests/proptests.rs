@@ -104,6 +104,53 @@ proptest! {
     }
 
     #[test]
+    fn canonical_form_survives_display_parse_round_trips(text in query_text()) {
+        // The canonical form is the engine's crit(Q) cache key: printing a
+        // query and re-parsing it (which renames nothing but re-interns
+        // variables in a fresh namespace) must land in the same cache slot.
+        let schema = schema();
+        let mut domain = domain();
+        let q1 = parse(&text, &schema, &mut domain);
+        let printed = q1.display(&schema, &domain).to_string();
+        let q2 = parse(&printed, &schema, &mut domain);
+        prop_assert_eq!(qvsec_cq::canonical_form(&q1), qvsec_cq::canonical_form(&q2));
+    }
+
+    #[test]
+    fn canonical_form_is_invariant_under_variable_renaming(text in query_text()) {
+        // Rewrite the query text with systematically different variable
+        // names and a different cosmetic head name; the canonical form must
+        // not move.
+        let schema = schema();
+        let mut domain = domain();
+        let q1 = parse(&text, &schema, &mut domain);
+        let renamed_text = text
+            .replace("x0", "u7").replace("x1", "u5")
+            .replace("x2", "u9").replace("x3", "u2")
+            .replacen('Q', "Zed", 1);
+        let q2 = parse(&renamed_text, &schema, &mut domain);
+        prop_assert_eq!(qvsec_cq::canonical_form(&q1), qvsec_cq::canonical_form(&q2));
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_canonical_forms(t1 in query_text(), t2 in query_text()) {
+        // Soundness direction: equal canonical forms must describe the same
+        // query up to variable naming — check the consequence that both
+        // queries evaluate identically on every instance we can build here.
+        let schema = schema();
+        let mut domain = domain();
+        let q1 = parse(&t1, &schema, &mut domain);
+        let q2 = parse(&t2, &schema, &mut domain);
+        if qvsec_cq::canonical_form(&q1) == qvsec_cq::canonical_form(&q2) {
+            for pairs in [vec![], vec![(0, 0)], vec![(0, 1), (1, 0)], vec![(1, 1), (2, 0), (0, 2)]] {
+                let inst = build_instance(&pairs, &schema, &domain);
+                prop_assert_eq!(evaluate(&q1, &inst), evaluate(&q2, &inst),
+                    "canonical collision between {} and {}", t1, t2);
+            }
+        }
+    }
+
+    #[test]
     fn containment_is_reflexive(text in query_text()) {
         let schema = schema();
         let mut domain = domain();

@@ -144,9 +144,7 @@ impl Dictionary {
     /// Whether every tuple probability is strictly between 0 and 1. This is
     /// the non-degeneracy hypothesis of Theorem 4.8 (`P₀(t) ≠ 0, 1`).
     pub fn is_nondegenerate(&self) -> bool {
-        self.probs
-            .iter()
-            .all(|p| !p.is_zero() && !p.is_one())
+        self.probs.iter().all(|p| !p.is_zero() && !p.is_one())
     }
 
     /// `P[I]` for an instance given as a `u64` mask over the space
@@ -234,9 +232,11 @@ mod tests {
     #[test]
     fn from_probabilities_validates_length_and_range() {
         let (_, _, space) = binary_space();
-        let err = Dictionary::from_probabilities(space.clone(), vec![Ratio::new(1, 2); 3]).unwrap_err();
+        let err =
+            Dictionary::from_probabilities(space.clone(), vec![Ratio::new(1, 2); 3]).unwrap_err();
         assert!(matches!(err, DataError::DictionarySizeMismatch { .. }));
-        let err = Dictionary::from_probabilities(space.clone(), vec![Ratio::new(-1, 2); 4]).unwrap_err();
+        let err =
+            Dictionary::from_probabilities(space.clone(), vec![Ratio::new(-1, 2); 4]).unwrap_err();
         assert!(matches!(err, DataError::InvalidProbability(_)));
         let ok = Dictionary::from_probabilities(
             space,
@@ -280,7 +280,11 @@ mod tests {
             let dict = Dictionary::expected_size(&schema, &domain, space, 3).unwrap();
             // every tuple has probability 3 / n^2 (clamped at 1)
             let expected = Ratio::new(3, (n * n) as i128);
-            let expected = if expected > Ratio::ONE { Ratio::ONE } else { expected };
+            let expected = if expected > Ratio::ONE {
+                Ratio::ONE
+            } else {
+                expected
+            };
             assert_eq!(dict.prob(0), expected);
             if expected < Ratio::ONE {
                 assert_eq!(dict.expected_instance_size(), Ratio::from_integer(3));
@@ -302,8 +306,7 @@ mod tests {
         let (_, _, space) = binary_space();
         let dict = Dictionary::half(space.clone());
         assert!(dict.is_nondegenerate());
-        let degenerate =
-            Dictionary::uniform(space, Ratio::ONE).unwrap();
+        let degenerate = Dictionary::uniform(space, Ratio::ONE).unwrap();
         assert!(!degenerate.is_nondegenerate());
     }
 

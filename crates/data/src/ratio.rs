@@ -107,7 +107,7 @@ impl Ratio {
         let mut acc = Ratio::ONE;
         while exp > 0 {
             if exp & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             base = base * base;
             exp >>= 1;
@@ -180,6 +180,9 @@ impl Mul for Ratio {
 
 impl Div for Ratio {
     type Output = Ratio;
+    // Division by multiplying with the reciprocal keeps the reduce-and-
+    // normalize logic in one place (`Mul`).
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Ratio) -> Ratio {
         self * rhs.recip()
     }
@@ -320,11 +323,21 @@ mod tests {
 
     #[test]
     fn ordering_is_numeric() {
-        let mut v = vec![Ratio::new(1, 2), Ratio::new(1, 3), Ratio::new(2, 3), Ratio::ZERO];
+        let mut v = vec![
+            Ratio::new(1, 2),
+            Ratio::new(1, 3),
+            Ratio::new(2, 3),
+            Ratio::ZERO,
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![Ratio::ZERO, Ratio::new(1, 3), Ratio::new(1, 2), Ratio::new(2, 3)]
+            vec![
+                Ratio::ZERO,
+                Ratio::new(1, 3),
+                Ratio::new(1, 2),
+                Ratio::new(2, 3)
+            ]
         );
     }
 

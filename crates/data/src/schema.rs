@@ -236,7 +236,10 @@ mod tests {
         assert_eq!(s.keys().len(), 1);
         assert_eq!(s.keys_for(emp).count(), 1);
         let err = s.add_key(emp, &[7]).unwrap_err();
-        assert!(matches!(err, DataError::InvalidKeyPosition { position: 7, .. }));
+        assert!(matches!(
+            err,
+            DataError::InvalidKeyPosition { position: 7, .. }
+        ));
     }
 
     #[test]

@@ -135,35 +135,53 @@ mod tests {
         let p = domain.get("555").unwrap();
         assert!(Tuple::checked(&schema, emp, vec![a, s, p]).is_ok());
         let err = Tuple::checked(&schema, emp, vec![a, s]).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { expected: 3, actual: 2, .. }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                expected: 3,
+                actual: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn from_names_resolves_relation_and_constants() {
         let (schema, domain, emp) = setup();
-        let t = Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
+        let t =
+            Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
         assert_eq!(t.relation, emp);
         assert_eq!(t.arity(), 3);
         assert_eq!(domain.name(t.value(0)), "alice");
         assert!(Tuple::from_names(&schema, &domain, "Nope", &[]).is_err());
-        assert!(Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "999"]).is_err());
+        assert!(
+            Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "999"]).is_err()
+        );
     }
 
     #[test]
     fn projection_extracts_key_positions() {
         let (schema, domain, _) = setup();
-        let t = Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
+        let t =
+            Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
         let key = t.project(&[0]);
         assert_eq!(key, vec![domain.get("alice").unwrap()]);
         let rev = t.project(&[2, 0]);
-        assert_eq!(rev, vec![domain.get("555").unwrap(), domain.get("alice").unwrap()]);
+        assert_eq!(
+            rev,
+            vec![domain.get("555").unwrap(), domain.get("alice").unwrap()]
+        );
     }
 
     #[test]
     fn display_resolves_names() {
         let (schema, domain, _) = setup();
-        let t = Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
-        assert_eq!(t.display(&schema, &domain).to_string(), "Employee(alice, sales, 555)");
+        let t =
+            Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
+        assert_eq!(
+            t.display(&schema, &domain).to_string(),
+            "Employee(alice, sales, 555)"
+        );
         // the raw Display impl is schema-agnostic
         assert!(t.to_string().starts_with("r0("));
     }
@@ -171,7 +189,8 @@ mod tests {
     #[test]
     fn tuples_order_lexicographically() {
         let (schema, domain, _) = setup();
-        let t1 = Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
+        let t1 =
+            Tuple::from_names(&schema, &domain, "Employee", &["alice", "sales", "555"]).unwrap();
         let t2 = Tuple::from_names(&schema, &domain, "Employee", &["bob", "sales", "555"]).unwrap();
         assert!(t1 < t2);
     }

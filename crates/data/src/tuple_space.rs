@@ -205,7 +205,13 @@ mod tests {
     fn full_space_respects_cap() {
         let (schema, domain) = binary_r();
         let err = TupleSpace::full_with_cap(&schema, &domain, 3).unwrap_err();
-        assert!(matches!(err, DataError::TupleSpaceTooLarge { required: 4, cap: 3 }));
+        assert!(matches!(
+            err,
+            DataError::TupleSpaceTooLarge {
+                required: 4,
+                cap: 3
+            }
+        ));
     }
 
     #[test]
@@ -265,7 +271,8 @@ mod tests {
         let a = domain.get("a").unwrap();
         let b = domain.get("b").unwrap();
         let s1 = TupleSpace::from_tuples(vec![Tuple::new(r, vec![a, a])]);
-        let s2 = TupleSpace::from_tuples(vec![Tuple::new(r, vec![b, b]), Tuple::new(r, vec![a, a])]);
+        let s2 =
+            TupleSpace::from_tuples(vec![Tuple::new(r, vec![b, b]), Tuple::new(r, vec![a, a])]);
         let u = s1.union(&s2);
         assert_eq!(u.len(), 2);
     }

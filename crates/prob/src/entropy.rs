@@ -118,7 +118,11 @@ mod tests {
         let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
         let v = parse_query("V(x) :- R(x, 'b')", &schema, &mut domain).unwrap();
         let report = entropy_report(&s, &ViewSet::single(v), &dict).unwrap();
-        assert!(report.mutual_information.abs() < 1e-9, "I = {}", report.mutual_information);
+        assert!(
+            report.mutual_information.abs() < 1e-9,
+            "I = {}",
+            report.mutual_information
+        );
         assert!(report.aggregate_secure(1e-9));
         // S ranges over 4 equally likely answer sets (subsets of {a, b}
         // restricted by the two tuples R(a,a), R(b,a)): H(S) = 2 bits.
@@ -133,10 +137,18 @@ mod tests {
         let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
         let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
         let report = entropy_report(&s, &ViewSet::single(v.clone()), &dict).unwrap();
-        assert!(report.mutual_information > 0.05, "I = {}", report.mutual_information);
+        assert!(
+            report.mutual_information > 0.05,
+            "I = {}",
+            report.mutual_information
+        );
         assert!(!report.aggregate_secure(1e-3));
         // sanity: the exact independence check agrees that the pair is dependent
-        assert!(!check_independence(&s, &ViewSet::single(v), &dict).unwrap().independent);
+        assert!(
+            !check_independence(&s, &ViewSet::single(v), &dict)
+                .unwrap()
+                .independent
+        );
         // information-theoretic identities hold
         assert!(report.joint_entropy <= report.query_entropy + report.views_entropy + 1e-9);
         assert!(report.conditional_entropy <= report.query_entropy + 1e-9);
@@ -166,11 +178,20 @@ mod tests {
             "the aggregate signal is small: {}",
             report.mutual_information
         );
-        assert!(report.aggregate_secure(0.5), "the aggregate criterion accepts the pair");
+        assert!(
+            report.aggregate_secure(0.5),
+            "the aggregate criterion accepts the pair"
+        );
         let exact = check_independence(&s, &ViewSet::single(v), &dict).unwrap();
-        assert!(!exact.independent, "but the per-answer criterion rejects it");
+        assert!(
+            !exact.independent,
+            "but the per-answer criterion rejects it"
+        );
         let worst = exact.worst_violation().unwrap();
-        assert!(worst.posterior.is_one(), "observing V pins the secret completely");
+        assert!(
+            worst.posterior.is_one(),
+            "observing V pins the secret completely"
+        );
     }
 
     #[test]
@@ -182,10 +203,8 @@ mod tests {
         let a = domain.get("a").unwrap();
         let t_aa = qvsec_data::Tuple::new(r, vec![a, a]);
         let unconditional = entropy_report(&s, &ViewSet::single(v.clone()), &dict).unwrap();
-        let conditional = entropy_report_given(&s, &ViewSet::single(v), &dict, |i| {
-            i.contains(&t_aa)
-        })
-        .unwrap();
+        let conditional =
+            entropy_report_given(&s, &ViewSet::single(v), &dict, |i| i.contains(&t_aa)).unwrap();
         assert!(conditional.query_entropy < unconditional.query_entropy);
     }
 

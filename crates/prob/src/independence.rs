@@ -19,10 +19,11 @@ use crate::probability::{joint_distribution, JointDistribution};
 use qvsec_cq::eval::AnswerSet;
 use qvsec_cq::{ConjunctiveQuery, ViewSet};
 use qvsec_data::{Dictionary, Instance, Ratio, Result};
+use serde::{Deserialize, Serialize};
 
 /// One violation of the independence condition: an answer pair whose
 /// posterior differs from its prior.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Violation {
     /// The secret query answer `s`.
     pub query_answer: AnswerSet,
@@ -53,7 +54,7 @@ impl Violation {
 }
 
 /// The outcome of an exhaustive independence check.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IndependenceReport {
     /// Whether `S` and `V̄` are statistically independent (i.e. `S |_P V̄`).
     pub independent: bool,
@@ -95,7 +96,7 @@ fn analyse(joint: &JointDistribution) -> IndependenceReport {
             }
         }
     }
-    violations.sort_by(|a, b| b.absolute_change().cmp(&a.absolute_change()));
+    violations.sort_by_key(|v| std::cmp::Reverse(v.absolute_change()));
     IndependenceReport {
         independent: violations.is_empty(),
         violations,
@@ -171,7 +172,9 @@ mod tests {
         let hit = report
             .violations
             .iter()
-            .find(|viol| viol.query_answer == s_target && viol.view_answers == vec![v_target.clone()])
+            .find(|viol| {
+                viol.query_answer == s_target && viol.view_answers == vec![v_target.clone()]
+            })
             .expect("the Example 4.2 pair must violate independence");
         assert_eq!(hit.prior, Ratio::new(3, 16));
         assert_eq!(hit.posterior, Ratio::new(1, 3));
@@ -229,13 +232,11 @@ mod tests {
         let t_ab = qvsec_data::Tuple::from_names(&schema, &domain, "R", &["a", "b"]).unwrap();
         let insecure = check_independence(&s, &ViewSet::single(v.clone()), &dict).unwrap();
         assert!(!insecure.independent);
-        let secure_given_absent = check_independence_given(
-            &s,
-            &ViewSet::single(v.clone()),
-            &dict,
-            |i| !i.contains(&t_ab),
-        )
-        .unwrap();
+        let secure_given_absent =
+            check_independence_given(&s, &ViewSet::single(v.clone()), &dict, |i| {
+                !i.contains(&t_ab)
+            })
+            .unwrap();
         assert!(secure_given_absent.independent);
         let secure_given_present =
             check_independence_given(&s, &ViewSet::single(v), &dict, |i| i.contains(&t_ab))
@@ -248,8 +249,7 @@ mod tests {
         let (schema, mut domain, dict) = setup();
         let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
         let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
-        let report =
-            check_independence_given(&s, &ViewSet::single(v), &dict, |_| false).unwrap();
+        let report = check_independence_given(&s, &ViewSet::single(v), &dict, |_| false).unwrap();
         assert!(report.independent);
         assert_eq!(report.pairs_checked, 0);
     }

@@ -31,7 +31,9 @@ pub mod poly;
 pub mod probability;
 
 pub use entropy::{entropy_report, EntropyReport};
-pub use independence::{check_independence, check_independence_given, IndependenceReport, Violation};
+pub use independence::{
+    check_independence, check_independence_given, IndependenceReport, Violation,
+};
 pub use lineage::{lineage_dnf, support_space, support_tuples};
 pub use montecarlo::MonteCarloEstimator;
 pub use poly::{event_polynomial, from_satisfying, Monomial, Polynomial};

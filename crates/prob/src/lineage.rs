@@ -106,10 +106,7 @@ pub fn lineage_dnf(query: &ConjunctiveQuery, space: &TupleSpace) -> Vec<Vec<usiz
     let mut witnesses: BTreeSet<Vec<usize>> = BTreeSet::new();
     for hom in find_homomorphisms(query, &saturated) {
         if let Some(image) = hom.body_image(query) {
-            let mut indices: Vec<usize> = image
-                .iter()
-                .filter_map(|t| space.index_of(t))
-                .collect();
+            let mut indices: Vec<usize> = image.iter().filter_map(|t| space.index_of(t)).collect();
             indices.sort_unstable();
             indices.dedup();
             if indices.len() == image.len() {

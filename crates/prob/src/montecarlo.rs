@@ -4,7 +4,7 @@
 //! hospital-sized dictionaries of Section 3.2, or the growing domains used to
 //! study asymptotic behaviour in Section 6.2), probabilities are estimated by
 //! sampling instances from the tuple-independent distribution. Sampling of
-//! independent batches is parallelised with `crossbeam` scoped threads.
+//! independent batches is parallelised with `std::thread` scoped threads.
 
 use qvsec_cq::eval::{evaluate, AnswerSet};
 use qvsec_cq::{evaluate_boolean, ConjunctiveQuery, ViewSet};
@@ -55,14 +55,14 @@ impl<'a> MonteCarloEstimator<'a> {
         let per_thread = self.samples.div_ceil(self.threads);
         let total_hits = std::sync::atomic::AtomicUsize::new(0);
         let total_samples = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..self.threads {
                 let event = &event;
                 let total_hits = &total_hits;
                 let total_samples = &total_samples;
                 let dict = self.dict;
                 let seed = self.seed;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let sampler = InstanceSampler::new(dict);
                     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9E37_79B9));
                     let mut hits = 0usize;
@@ -75,8 +75,7 @@ impl<'a> MonteCarloEstimator<'a> {
                     total_samples.fetch_add(per_thread, std::sync::atomic::Ordering::Relaxed);
                 });
             }
-        })
-        .expect("sampling threads must not panic");
+        });
         total_hits.load(std::sync::atomic::Ordering::Relaxed) as f64
             / total_samples.load(std::sync::atomic::Ordering::Relaxed) as f64
     }
@@ -106,7 +105,7 @@ impl<'a> MonteCarloEstimator<'a> {
         query: &ConjunctiveQuery,
         answer: &[qvsec_data::Value],
     ) -> f64 {
-        self.estimate(|i| evaluate(query, i).contains(&answer.to_vec()))
+        self.estimate(|i| evaluate(query, i).contains(answer))
     }
 
     /// Estimates the relative leakage `(P[s ⊆ S | v̄ ⊆ V̄] − P[s ⊆ S]) / P[s ⊆ S]`
@@ -124,7 +123,7 @@ impl<'a> MonteCarloEstimator<'a> {
             return None;
         }
         let posterior = self.estimate_conditional(
-            |i| evaluate(query, i).contains(&query_answer.to_vec()),
+            |i| evaluate(query, i).contains(query_answer),
             |i| {
                 views.iter().zip(view_answers.iter()).all(|(v, ans)| {
                     let out: AnswerSet = evaluate(v, i);
@@ -191,7 +190,10 @@ mod tests {
                 |i| qvsec_cq::evaluate_boolean(&v, i),
             )
             .unwrap();
-        assert!(posterior > prior + 0.05, "posterior {posterior} vs prior {prior}");
+        assert!(
+            posterior > prior + 0.05,
+            "posterior {posterior} vs prior {prior}"
+        );
     }
 
     #[test]
@@ -205,7 +207,10 @@ mod tests {
         let leak = mc
             .relative_leakage(&s, &[a, b], &ViewSet::single(v), &[vec![a]])
             .unwrap();
-        assert!(leak > -0.1, "observing the projection must not reduce the estimate much: {leak}");
+        assert!(
+            leak > -0.1,
+            "observing the projection must not reduce the estimate much: {leak}"
+        );
     }
 
     #[test]

@@ -111,11 +111,7 @@ impl Polynomial {
     /// Proposition 4.13(1)–(2), for an event polynomial this is 1 iff tuple
     /// `v` is critical for the query and 0 otherwise.
     pub fn degree_of_var(&self, v: u32) -> u32 {
-        self.terms
-            .keys()
-            .map(|m| m.degree_of(v))
-            .max()
-            .unwrap_or(0)
+        self.terms.keys().map(|m| m.degree_of(v)).max().unwrap_or(0)
     }
 
     /// All variables occurring in the polynomial.
@@ -276,17 +272,16 @@ impl fmt::Display for Polynomial {
                 if c != 1 {
                     write!(f, "{c}·")?;
                 }
-                let vars: Vec<String> = m
-                    .0
-                    .iter()
-                    .map(|(&v, &e)| {
-                        if e == 1 {
-                            format!("x{v}")
-                        } else {
-                            format!("x{v}^{e}")
-                        }
-                    })
-                    .collect();
+                let vars: Vec<String> =
+                    m.0.iter()
+                        .map(|(&v, &e)| {
+                            if e == 1 {
+                                format!("x{v}")
+                            } else {
+                                format!("x{v}^{e}")
+                            }
+                        })
+                        .collect();
                 write!(f, "{}", vars.join("·"))?;
             }
         }
@@ -301,7 +296,11 @@ impl fmt::Display for Polynomial {
 /// Coefficient of the monomial `∏_{i ∈ T} x_i` is
 /// `Σ_{I ⊆ T, sat(I)} (−1)^{|T|−|I|}` (subset Möbius transform).
 pub fn from_satisfying(n_vars: usize, sat: &[bool]) -> Polynomial {
-    assert_eq!(sat.len(), 1usize << n_vars, "sat table must have 2^n entries");
+    assert_eq!(
+        sat.len(),
+        1usize << n_vars,
+        "sat table must have 2^n entries"
+    );
     let mut coeffs: Vec<i128> = sat.iter().map(|&b| if b { 1 } else { 0 }).collect();
     for bit in 0..n_vars {
         for mask in 0..coeffs.len() {
@@ -410,7 +409,12 @@ mod tests {
         let mut domain = Domain::with_constants(["a", "b"]);
         let q = parse_query("Q() :- R('a', x), R(x, x)", &schema, &mut domain).unwrap();
         let qp = parse_query("Qp() :- R('b', 'a')", &schema, &mut domain).unwrap();
-        let conj = parse_query("C() :- R('a', x), R(x, x), R('b', 'a')", &schema, &mut domain).unwrap();
+        let conj = parse_query(
+            "C() :- R('a', x), R(x, x), R('b', 'a')",
+            &schema,
+            &mut domain,
+        )
+        .unwrap();
         let space = TupleSpace::full(&schema, &domain).unwrap();
         let f_q = event_polynomial(&q, &space).unwrap();
         let f_qp = event_polynomial(&qp, &space).unwrap();
@@ -451,8 +455,11 @@ mod tests {
         let f = event_polynomial(&q, &space).unwrap();
         for num in 0..=4i128 {
             let p = Ratio::new(num, 4);
-            let val = f.eval(&vec![p; 4]);
-            assert!(val >= Ratio::ZERO && val <= Ratio::ONE, "P = {val} out of range");
+            let val = f.eval(&[p; 4]);
+            assert!(
+                val >= Ratio::ZERO && val <= Ratio::ONE,
+                "P = {val} out of range"
+            );
         }
     }
 

@@ -16,7 +16,10 @@ pub fn chain_query(schema: &Schema, length: usize) -> ConjunctiveQuery {
     let mut q = ConjunctiveQuery::new(&format!("Chain{length}"));
     let vars: Vec<_> = (0..=length).map(|i| q.add_var(&format!("x{i}"))).collect();
     for i in 0..length {
-        q.atoms.push(Atom::new(r, vec![Term::Var(vars[i]), Term::Var(vars[i + 1])]));
+        q.atoms.push(Atom::new(
+            r,
+            vec![Term::Var(vars[i]), Term::Var(vars[i + 1])],
+        ));
     }
     q.head = vec![Term::Var(vars[0]), Term::Var(vars[length])];
     q
@@ -37,7 +40,8 @@ pub fn star_query(schema: &Schema, branches: usize) -> ConjunctiveQuery {
     let center = q.add_var("c");
     for i in 0..branches {
         let leaf = q.add_var(&format!("x{i}"));
-        q.atoms.push(Atom::new(r, vec![Term::Var(center), Term::Var(leaf)]));
+        q.atoms
+            .push(Atom::new(r, vec![Term::Var(center), Term::Var(leaf)]));
     }
     q.head = vec![Term::Var(center)];
     q
@@ -57,7 +61,9 @@ pub fn random_query<R: Rng + ?Sized>(
 ) -> ConjunctiveQuery {
     let r = schema.relation_by_name("R").expect("binary relation R");
     let mut q = ConjunctiveQuery::new("Random");
-    let vars: Vec<_> = (0..num_vars.max(1)).map(|i| q.add_var(&format!("x{i}"))).collect();
+    let vars: Vec<_> = (0..num_vars.max(1))
+        .map(|i| q.add_var(&format!("x{i}")))
+        .collect();
     let constants: Vec<_> = domain.values().collect();
     let term = |q_rng: &mut R| -> Term {
         if !constants.is_empty() && q_rng.gen::<f64>() < const_prob {
@@ -80,11 +86,7 @@ pub fn random_query<R: Rng + ?Sized>(
 
 /// A uniform dictionary with probability `p` over the full tuple space of
 /// `schema` × a fresh domain of `domain_size` constants.
-pub fn uniform_dictionary(
-    schema: &Schema,
-    domain_size: usize,
-    p: Ratio,
-) -> (Domain, Dictionary) {
+pub fn uniform_dictionary(schema: &Schema, domain_size: usize, p: Ratio) -> (Domain, Dictionary) {
     let domain = Domain::with_size(domain_size);
     let space = TupleSpace::full_with_cap(schema, &domain, 1 << 20).expect("space fits the cap");
     let dict = Dictionary::uniform(space, p).expect("valid probability");
@@ -134,7 +136,9 @@ mod tests {
         let schema = binary_schema();
         let domain = Domain::with_constants(["a", "b", "c"]);
         let q = chain_query(&schema, 2);
-        let t = |x: &str, y: &str| qvsec_data::Tuple::from_names(&schema, &domain, "R", &[x, y]).unwrap();
+        let t = |x: &str, y: &str| {
+            qvsec_data::Tuple::from_names(&schema, &domain, "R", &[x, y]).unwrap()
+        };
         let inst = Instance::from_tuples([t("a", "b"), t("b", "c")]);
         let answers = evaluate(&q, &inst);
         let a = domain.get("a").unwrap();

@@ -163,7 +163,12 @@ pub fn manufacturing_views() -> (ConjunctiveQuery, ViewSet, Domain) {
     let schema = crate::schemas::manufacturing_schema();
     let mut domain = Domain::new();
     let v1 = parse_query("V1(pr, pa, s) :- Part(pr, pa, s)", &schema, &mut domain).unwrap();
-    let v2 = parse_query("V2(pr, f, price) :- Product(pr, f, price)", &schema, &mut domain).unwrap();
+    let v2 = parse_query(
+        "V2(pr, f, price) :- Product(pr, f, price)",
+        &schema,
+        &mut domain,
+    )
+    .unwrap();
     let v3 = parse_query("V3(pr, c) :- Labor(pr, op, c)", &schema, &mut domain).unwrap();
     let secret = parse_query("S(pr, c) :- ManufCost(pr, c)", &schema, &mut domain).unwrap();
     (secret, ViewSet::from_views(vec![v1, v2, v3]), domain)

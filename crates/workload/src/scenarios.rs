@@ -8,7 +8,8 @@
 //! of its members' views does individually — and the audit below reports
 //! both the per-view verdicts and the resulting minimal unsafe coalitions.
 
-use qvsec::security::{secure_for_all_distributions, SecurityVerdict};
+use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
+use qvsec::security::SecurityVerdict;
 use qvsec::Result;
 use qvsec_cq::{ConjunctiveQuery, ViewSet};
 use qvsec_data::{Domain, Schema};
@@ -33,21 +34,40 @@ pub fn collusion_audit(
 ) -> Result<Vec<CoalitionReport>> {
     let n = views.len();
     assert!(n <= 16, "collusion audit enumerates 2^n coalitions");
-    let mut reports = Vec::new();
-    for mask in 1u32..(1u32 << n) {
-        let members: Vec<String> = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| views[i].0.clone())
-            .collect();
-        let coalition_views = ViewSet::from_views(
-            (0..n)
+    // One engine across all 2^n coalitions: every view's critical-tuple set
+    // is computed once and served from the engine's memo cache for each of
+    // the 2^(n-1) coalitions it participates in.
+    let engine = AuditEngine::builder(schema.clone(), domain.clone()).build();
+    let requests: Vec<(Vec<String>, AuditRequest)> = (1u32..(1u32 << n))
+        .map(|mask| {
+            let members: Vec<String> = (0..n)
                 .filter(|i| mask & (1 << i) != 0)
-                .map(|i| views[i].1.clone())
-                .collect(),
-        );
-        let verdict = secure_for_all_distributions(secret, &coalition_views, schema, domain)?;
-        reports.push(CoalitionReport { members, verdict });
-    }
+                .map(|i| views[i].0.clone())
+                .collect();
+            let coalition_views = ViewSet::from_views(
+                (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| views[i].1.clone())
+                    .collect(),
+            );
+            let request = AuditRequest::new(secret.clone(), coalition_views)
+                .named(members.join("+"))
+                .with_depth(AuditDepth::Exact);
+            (members, request)
+        })
+        .collect();
+    let audit_requests: Vec<AuditRequest> = requests.iter().map(|(_, r)| r.clone()).collect();
+    let audited = engine.try_audit_batch(&audit_requests)?;
+    let mut reports: Vec<CoalitionReport> = requests
+        .into_iter()
+        .zip(audited)
+        .map(|((members, _), report)| CoalitionReport {
+            members,
+            verdict: report
+                .security
+                .expect("Exact-depth reports carry a security verdict"),
+        })
+        .collect();
     reports.sort_by_key(|r| r.members.len());
     Ok(reports)
 }
@@ -55,8 +75,7 @@ pub fn collusion_audit(
 /// The minimal unsafe coalitions: unsafe coalitions none of whose proper
 /// subsets are unsafe.
 pub fn minimal_unsafe_coalitions(reports: &[CoalitionReport]) -> Vec<&CoalitionReport> {
-    let unsafe_sets: Vec<&CoalitionReport> =
-        reports.iter().filter(|r| !r.verdict.secure).collect();
+    let unsafe_sets: Vec<&CoalitionReport> = reports.iter().filter(|r| !r.verdict.secure).collect();
     unsafe_sets
         .iter()
         .filter(|r| {
@@ -102,8 +121,15 @@ mod tests {
         // note: even VDana(n) overlaps the secret on management employees'
         // names, so it is individually unsafe under perfect secrecy.
         for r in &reports {
-            let expected_unsafe = r.members.iter().any(|m| m == "bob" || m == "carol" || m == "dana");
-            assert_eq!(!r.verdict.secure, expected_unsafe, "coalition {:?}", r.members);
+            let expected_unsafe = r
+                .members
+                .iter()
+                .any(|m| m == "bob" || m == "carol" || m == "dana");
+            assert_eq!(
+                !r.verdict.secure, expected_unsafe,
+                "coalition {:?}",
+                r.members
+            );
         }
         let minimal = minimal_unsafe_coalitions(&reports);
         assert!(minimal.iter().all(|r| r.members.len() == 1));
@@ -138,8 +164,12 @@ mod tests {
         let views = vec![
             (
                 "safe".to_string(),
-                parse_query("V1(n) :- Employee(n, 'Mgmt', x), x != x", &schema, &mut domain)
-                    .unwrap(),
+                parse_query(
+                    "V1(n) :- Employee(n, 'Mgmt', x), x != x",
+                    &schema,
+                    &mut domain,
+                )
+                .unwrap(),
             ),
             (
                 "unsafe".to_string(),

@@ -67,11 +67,19 @@ mod tests {
     #[test]
     fn schemas_have_the_documented_relations() {
         assert_eq!(employee_schema().len(), 1);
-        assert_eq!(employee_schema().arity(employee_schema().relation_by_name("Employee").unwrap()), 3);
+        assert_eq!(
+            employee_schema().arity(employee_schema().relation_by_name("Employee").unwrap()),
+            3
+        );
         assert_eq!(patient_schema().len(), 1);
         assert_eq!(manufacturing_schema().len(), 4);
-        assert!(manufacturing_schema().relation_by_name("ManufCost").is_some());
-        assert_eq!(binary_schema().arity(binary_schema().relation_by_name("R").unwrap()), 2);
+        assert!(manufacturing_schema()
+            .relation_by_name("ManufCost")
+            .is_some());
+        assert_eq!(
+            binary_schema().arity(binary_schema().relation_by_name("R").unwrap()),
+            2
+        );
     }
 
     #[test]

@@ -42,14 +42,21 @@ fn audit_manufacturing() {
         println!(
             "  coalition {:<40} -> {}",
             format!("{:?}", report.members),
-            if report.verdict.secure { "secure" } else { "NOT secure" }
+            if report.verdict.secure {
+                "secure"
+            } else {
+                "NOT secure"
+            }
         );
     }
     let minimal = minimal_unsafe_coalitions(&reports);
     if minimal.is_empty() {
         println!("\n  no coalition can learn anything about the manufacturing cost\n");
     } else {
-        println!("\n  minimal unsafe coalitions: {:?}\n", minimal.iter().map(|r| &r.members).collect::<Vec<_>>());
+        println!(
+            "\n  minimal unsafe coalitions: {:?}\n",
+            minimal.iter().map(|r| &r.members).collect::<Vec<_>>()
+        );
     }
 }
 
@@ -96,9 +103,11 @@ fn guess_probability_simulation() {
         domain.add(d);
         domain.add(p);
     }
-    let database = Instance::from_tuples(employees.iter().map(|(n, d, p)| {
-        Tuple::from_names(&schema, &domain, "Employee", &[n, d, p]).unwrap()
-    }));
+    let database = Instance::from_tuples(
+        employees
+            .iter()
+            .map(|(n, d, p)| Tuple::from_names(&schema, &domain, "Employee", &[n, d, p]).unwrap()),
+    );
     let v_bob = parse_query("VBob(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
     let v_carol = parse_query("VCarol(d, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
     let bob_answer = qvsec_cq::evaluate(&v_bob, &database);

@@ -16,7 +16,10 @@
 //! * but constant-specific secrets ("does Jane work in Shipping?") are only
 //!   minutely disclosed, which the leakage machinery quantifies.
 
-use qvsec::encrypted::{answerable_from_encrypted, encrypt_instance, perfectly_secure_wrt_encrypted};
+use qvsec::encrypted::{
+    answerable_from_encrypted, encrypt_instance, perfectly_secure_wrt_encrypted,
+};
+use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
 use qvsec_cq::{evaluate, parse_query};
 use qvsec_data::{Domain, Instance, Tuple};
 use qvsec_workload::schemas::employee_schema;
@@ -37,9 +40,11 @@ fn main() {
         domain.add(d);
         domain.add(p);
     }
-    let database = Instance::from_tuples(employees.iter().map(|(n, d, p)| {
-        Tuple::from_names(&schema, &domain, "Employee", &[n, d, p]).unwrap()
-    }));
+    let database = Instance::from_tuples(
+        employees
+            .iter()
+            .map(|(n, d, p)| Tuple::from_names(&schema, &domain, "Employee", &[n, d, p]).unwrap()),
+    );
 
     println!("original database ({} tuples):", database.len());
     println!("  {}\n", database.display(&schema, &domain));
@@ -50,7 +55,10 @@ fn main() {
     println!("  {}\n", encrypted.display(&schema, &enc_domain));
 
     println!("=== What the encrypted view still reveals ===\n");
-    println!("  cardinality: {} tuples (always disclosed)", encrypted.len());
+    println!(
+        "  cardinality: {} tuples (always disclosed)",
+        encrypted.len()
+    );
 
     // A constant-free query: "are there two employees sharing a phone?"
     let mut d = enc_domain.clone();
@@ -71,12 +79,8 @@ fn main() {
 
     // A constant-specific query is not answerable...
     let mut d = enc_domain.clone();
-    let jane_shipping = parse_query(
-        "Q2() :- Employee('jane', 'shipping', p)",
-        &schema,
-        &mut d,
-    )
-    .unwrap();
+    let jane_shipping =
+        parse_query("Q2() :- Employee('jane', 'shipping', p)", &schema, &mut d).unwrap();
     println!(
         "  Q2 (is Jane in Shipping?), mentions constants, answerable: {}",
         answerable_from_encrypted(&jane_shipping)
@@ -101,8 +105,25 @@ fn main() {
         );
     }
 
+    // For contrast: had Alice published the *plaintext* projection
+    // V(n, d) instead of an encrypted copy, the audit engine condemns the
+    // name-department secret outright.
+    println!("\n=== Contrast: plaintext projection, audited by the engine ===\n");
+    let mut d = domain.clone();
+    let plain_view = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut d).unwrap();
+    let plain_secret = parse_query("S(n, d) :- Employee(n, d, p)", &schema, &mut d).unwrap();
+    let engine = AuditEngine::builder(schema.clone(), d).build();
+    let report = engine
+        .audit(
+            &AuditRequest::new(plain_secret, qvsec_cq::ViewSet::single(plain_view))
+                .named("plaintext-projection")
+                .with_depth(AuditDepth::Exact),
+        )
+        .unwrap();
+    println!("{}", report.render());
+
     println!(
-        "\nConclusion: encrypted views protect constants but not structure; pair them with the\n\
+        "Conclusion: encrypted views protect constants but not structure; pair them with the\n\
          leakage analysis (see the medical_privacy example) to quantify what remains."
     );
 }

@@ -16,12 +16,11 @@
 //! * shows how the Section 6.2 expected-size model classifies the same
 //!   disclosures as "practically secure" when the domain grows.
 
-use qvsec::leakage::{epsilon_for, leakage_exact, theorem_6_1_bound};
+use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
+use qvsec::leakage::{epsilon_for, theorem_6_1_bound};
 use qvsec::practical::{asymptotics, practical_security, PracticalVerdict};
-use qvsec::security::secure_for_all_distributions;
 use qvsec_cq::{parse_query, ViewSet};
-use qvsec_data::{Dictionary, Domain, Ratio, TupleSpace};
-use qvsec_prob::independence::check_independence;
+use qvsec_data::{Dictionary, Domain, Ratio, Tuple, TupleSpace};
 use qvsec_workload::schemas::patient_schema;
 
 fn main() {
@@ -32,7 +31,30 @@ fn main() {
     let disease_view = parse_query("Diseases(d) :- Patient(n, d)", &schema, &mut domain).unwrap();
     let secret = parse_query("S(n, d) :- Patient(n, d)", &schema, &mut domain).unwrap();
 
-    println!("=== Perfect security (Theorem 4.5) ===\n");
+    // One engine serves the whole audit: it owns the schema, the domain and
+    // the 2x2 dictionary, and escalates per request. The dictionary's tuple
+    // space is *typed* — names {ann, bo} x diseases {flu, asthma}, the
+    // Section 2.1 shape — rather than the full 4x4 cross of the untyped
+    // domain, which keeps the exhaustive Definition 4.1 check tractable.
+    let patient = schema.relation_by_name("Patient").unwrap();
+    let names = ["ann", "bo"].map(|n| domain.get(n).unwrap());
+    let diseases = ["flu", "asthma"].map(|d| domain.get(d).unwrap());
+    let space = TupleSpace::from_tuples(
+        names
+            .iter()
+            .flat_map(|&n| {
+                diseases
+                    .iter()
+                    .map(move |&d| Tuple::new(patient, vec![n, d]))
+            })
+            .collect(),
+    );
+    let dict = Dictionary::uniform(space.clone(), Ratio::new(1, 4)).unwrap();
+    let engine = AuditEngine::builder(schema.clone(), domain.clone())
+        .dictionary(dict)
+        .build();
+
+    println!("=== Perfect security (Theorem 4.5, exact depth) ===\n");
     for (label, views) in [
         ("names only", ViewSet::single(names_view.clone())),
         ("diseases only", ViewSet::single(disease_view.clone())),
@@ -41,24 +63,31 @@ fn main() {
             ViewSet::from_views(vec![names_view.clone(), disease_view.clone()]),
         ),
     ] {
-        let verdict = secure_for_all_distributions(&secret, &views, &schema, &domain).unwrap();
-        println!("  {:<30} -> {}", label, verdict.summary());
+        let report = engine
+            .audit(&AuditRequest::new(secret.clone(), views).with_depth(AuditDepth::Exact))
+            .unwrap();
+        println!(
+            "  {:<30} -> {}",
+            label,
+            report.security.expect("exact depth").summary()
+        );
     }
 
-    println!("\n=== Exact probabilities over a 2x2 dictionary (Definition 4.1) ===\n");
-    let space = TupleSpace::full(&schema, &domain).unwrap();
+    println!("\n=== Escalating to the dictionary (Definition 4.1 + Section 6.1) ===\n");
     println!(
         "  tuple space: {} possible Patient tuples, {} instances",
         space.len(),
         1u64 << space.len()
     );
-    let dict = Dictionary::uniform(space, Ratio::new(1, 4)).unwrap();
-    let report = check_independence(
-        &secret,
-        &ViewSet::from_views(vec![names_view.clone(), disease_view.clone()]),
-        &dict,
-    )
-    .unwrap();
+    let views = ViewSet::from_views(vec![names_view.clone(), disease_view.clone()]);
+    let full = engine
+        .audit(
+            &AuditRequest::new(secret.clone(), views.clone())
+                .named("names+diseases")
+                .with_depth(AuditDepth::Probabilistic),
+        )
+        .unwrap();
+    let report = full.independence.as_ref().expect("probabilistic depth");
     println!(
         "  statistically independent: {} ({} answer pairs checked)",
         report.independent, report.pairs_checked
@@ -69,25 +98,42 @@ fn main() {
             worst.prior, worst.posterior
         );
     }
-
-    println!("\n=== Leakage (Section 6.1) ===\n");
-    let views = ViewSet::from_views(vec![names_view.clone(), disease_view.clone()]);
-    let leak = leakage_exact(&secret, &views, &dict).unwrap();
-    println!("  leak(S, {{Names, Diseases}}) = {} (~{:.4})", leak.max_leak, leak.max_leak_f64());
+    let leak = full.leakage.as_ref().expect("probabilistic depth");
+    println!(
+        "  leak(S, {{Names, Diseases}}) = {} (~{:.4})",
+        leak.max_leak,
+        leak.max_leak_f64()
+    );
     if let Some(w) = &leak.witness {
         println!(
             "  attained at secret answer {:?} given view answers {:?}",
             w.query_answer, w.view_answers
         );
     }
+    let dict = engine.dictionary().expect("engine holds the dictionary");
     let ann = domain.get("ann").unwrap();
     let flu = domain.get("flu").unwrap();
-    if let Some(eps) = epsilon_for(&secret, &views, &dict, &domain, &[ann, flu], &[vec![ann], vec![flu]])
-        .unwrap()
+    if let Some(eps) = epsilon_for(
+        &secret,
+        &views,
+        dict,
+        &domain,
+        &[ann, flu],
+        &[vec![ann], vec![flu]],
+    )
+    .unwrap()
     {
-        println!("  ε of Theorem 6.1 for (ann, flu): {} (~{:.4})", eps, eps.to_f64());
+        println!(
+            "  ε of Theorem 6.1 for (ann, flu): {} (~{:.4})",
+            eps,
+            eps.to_f64()
+        );
         if let Some(bound) = theorem_6_1_bound(eps) {
-            println!("  Theorem 6.1 leakage bound: {} (~{:.4})", bound, bound.to_f64());
+            println!(
+                "  Theorem 6.1 leakage bound: {} (~{:.4})",
+                bound,
+                bound.to_f64()
+            );
         }
     }
 
@@ -103,8 +149,8 @@ fn main() {
         PracticalVerdict::PracticallySecure => {
             println!("  publishing Vb is PRACTICALLY SECURE for Sb: lim μ_n[Sb | Vb] = 0")
         }
-        PracticalVerdict::PracticalDisclosure { estimated_limit } => println!(
-            "  practical disclosure: lim μ_n[Sb | Vb] ≈ {estimated_limit:.3}"
-        ),
+        PracticalVerdict::PracticalDisclosure { estimated_limit } => {
+            println!("  practical disclosure: lim μ_n[Sb | Vb] ≈ {estimated_limit:.3}")
+        }
     }
 }

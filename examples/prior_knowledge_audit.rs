@@ -9,15 +9,31 @@
 //! protective disclosure of critical tuples, and relative security with
 //! respect to a previously published view.
 
+use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
 use qvsec::prior::{
     cardinality_destroys_security, protective_knowledge_absent, secure_given_knowledge,
     secure_given_knowledge_all_distributions_boolean, secure_under_keys, CardinalityConstraint,
     Knowledge,
 };
-use qvsec::security::secure_for_all_distributions;
-use qvsec_cq::{parse_query, ViewSet};
+use qvsec_cq::{parse_query, ConjunctiveQuery, ViewSet};
 use qvsec_data::{Dictionary, Domain, Schema, TupleSpace};
 use qvsec_prob::lineage::support_space;
+
+/// The baseline (no prior knowledge) verdict, served by an [`AuditEngine`]
+/// at exact depth.
+fn baseline(
+    secret: &ConjunctiveQuery,
+    views: &ViewSet,
+    schema: &Schema,
+    domain: &Domain,
+) -> qvsec::security::SecurityVerdict {
+    let engine = AuditEngine::builder(schema.clone(), domain.clone()).build();
+    engine
+        .audit(&AuditRequest::new(secret.clone(), views.clone()).with_depth(AuditDepth::Exact))
+        .expect("audit succeeds")
+        .security
+        .expect("exact depth carries a security verdict")
+}
 
 fn main() {
     application_1_and_2();
@@ -35,7 +51,7 @@ fn application_1_and_2() {
     let s = parse_query("S() :- R('a', 'b')", &schema, &mut domain).unwrap();
     let v = parse_query("V() :- R('a', 'c')", &schema, &mut domain).unwrap();
 
-    let plain = secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain).unwrap();
+    let plain = baseline(&s, &ViewSet::single(v.clone()), &schema, &domain);
     println!("  without prior knowledge : {}", plain.summary());
 
     let space = support_space(&[&s, &v], &domain, 1 << 10).unwrap();
@@ -44,7 +60,11 @@ fn application_1_and_2() {
         secure_given_knowledge_all_distributions_boolean(&s, &v, &keys, &space).unwrap();
     println!(
         "  knowing `key` is a key  : {}",
-        if with_keys { "still secure" } else { "NOT secure (V true implies S false)" }
+        if with_keys {
+            "still secure"
+        } else {
+            "NOT secure (V true implies S false)"
+        }
     );
     let corollary = secure_under_keys(&s, &ViewSet::single(v), &schema, &space).unwrap();
     println!(
@@ -63,9 +83,7 @@ fn application_3() {
     let v = parse_query("V() :- R('b', 'b')", &schema, &mut domain).unwrap();
     println!(
         "  the pair is otherwise secure: {}",
-        secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
-            .unwrap()
-            .secure
+        baseline(&s, &ViewSet::single(v.clone()), &schema, &domain).secure
     );
     let space = TupleSpace::full(&schema, &domain).unwrap();
     for constraint in [
@@ -74,8 +92,7 @@ fn application_3() {
         CardinalityConstraint::AtLeast(3),
     ] {
         let k = Knowledge::Cardinality(constraint);
-        let secure =
-            secure_given_knowledge_all_distributions_boolean(&s, &v, &k, &space).unwrap();
+        let secure = secure_given_knowledge_all_distributions_boolean(&s, &v, &k, &space).unwrap();
         println!("  knowing {constraint:?}: secure = {secure}");
     }
     println!(
@@ -94,7 +111,7 @@ fn application_4() {
     let views = ViewSet::single(v.clone());
     println!(
         "  before: {}",
-        secure_for_all_distributions(&s, &views, &schema, &domain).unwrap().summary()
+        baseline(&s, &views, &schema, &domain).summary()
     );
     let k = protective_knowledge_absent(&s, &views, &domain).unwrap();
     println!("  announced knowledge: {k:?}");
@@ -116,15 +133,10 @@ fn application_5() {
     let s = parse_query("S() :- R1(z1, z2), R2('a', 'b')", &schema, &mut domain).unwrap();
     let v = parse_query("V() :- R1('a', 'b'), R2(w1, w2)", &schema, &mut domain).unwrap();
     for (label, query, other) in [("U", &u, &s), ("V", &v, &s)] {
-        let verdict =
-            secure_for_all_distributions(other, &ViewSet::single(query.clone()), &schema, &domain)
-                .unwrap();
+        let verdict = baseline(other, &ViewSet::single(query.clone()), &schema, &domain);
         println!("  S secure w.r.t. {label} alone: {}", verdict.secure);
     }
     let space = support_space(&[&u, &s, &v], &domain, 1 << 10).unwrap();
-    let relative =
-        qvsec::prior::secure_given_prior_view_boolean(&u, &s, &v, &space).unwrap();
-    println!(
-        "  but given that U was already published, V adds nothing: U : S | V = {relative}"
-    );
+    let relative = qvsec::prior::secure_given_prior_view_boolean(&u, &s, &v, &space).unwrap();
+    println!("  but given that U was already published, V adds nothing: U : S | V = {relative}");
 }

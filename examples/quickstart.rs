@@ -1,16 +1,17 @@
-//! Quickstart: audit the four query/view pairs of Table 1.
+//! Quickstart: audit the four query/view pairs of Table 1 with the
+//! [`AuditEngine`].
 //!
 //! ```text
 //! cargo run -p qvsec-examples --example quickstart
 //! ```
 //!
-//! For every row of Table 1 the example runs the full analysis pipeline —
-//! the fast syntactic check, the exact Theorem 4.5 criterion, the literal
-//! Definition 4.1 statistical test over a small dictionary, the Section 6.1
-//! leakage measure — and prints the resulting classification next to the
-//! verdict the paper assigns.
+//! For every row of Table 1 the engine escalates through its staged
+//! pipeline — the fast syntactic check, the exact Theorem 4.5 criterion,
+//! the literal Definition 4.1 statistical test over a small dictionary and
+//! the Section 6.1 leakage measure — and prints the resulting
+//! classification next to the verdict the paper assigns.
 
-use qvsec::analysis::SecurityAnalyzer;
+use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
 use qvsec_data::{Dictionary, Ratio};
 use qvsec_prob::lineage::support_space;
 use qvsec_workload::paper::table1;
@@ -18,7 +19,9 @@ use qvsec_workload::schemas::employee_schema;
 
 fn main() {
     let schema = employee_schema();
-    println!("Table 1 — a spectrum of information disclosure over Employee(name, department, phone)\n");
+    println!(
+        "Table 1 — a spectrum of information disclosure over Employee(name, department, phone)\n"
+    );
     println!(
         "{:<4} {:<30} {:<16} {:<16} {:<10}",
         "row", "pair", "paper", "qvsec", "leak(S,V)"
@@ -37,11 +40,14 @@ fn main() {
         // compressed, so use a 1/10 minute-vs-partial threshold (the ordering
         // of the rows, which is what the paper's spectrum describes, does not
         // depend on the threshold).
-        let analyzer = SecurityAnalyzer::new(&schema, &domain)
-            .with_minute_threshold(Ratio::new(1, 10));
-        let analysis = analyzer
-            .analyze_with_dictionary(&row.secret, &row.views, &dict)
-            .expect("analysis succeeds");
+        let engine = AuditEngine::builder(schema.clone(), domain)
+            .dictionary(dict)
+            .minute_threshold(Ratio::new(1, 10))
+            .default_depth(AuditDepth::Probabilistic)
+            .build();
+        let report = engine
+            .audit(&AuditRequest::new(row.secret.clone(), row.views.clone()))
+            .expect("audit succeeds");
 
         let pair = format!(
             "S{} vs {}",
@@ -56,13 +62,21 @@ fn main() {
             "{:<4} {:<30} {:<16} {:<16} {:<10.4}",
             row.id,
             pair,
-            format!("{} / {}", row.disclosure, if row.secure { "Yes" } else { "No" }),
             format!(
                 "{} / {}",
-                analysis.class,
-                if analysis.security.secure { "Yes" } else { "No" }
+                row.disclosure,
+                if row.secure { "Yes" } else { "No" }
             ),
-            analysis
+            format!(
+                "{} / {}",
+                report.class,
+                if report.secure == Some(true) {
+                    "Yes"
+                } else {
+                    "No"
+                }
+            ),
+            report
                 .leakage
                 .as_ref()
                 .map(|l| l.max_leak_f64())
@@ -79,8 +93,12 @@ fn main() {
     queries.extend(row2.views.iter());
     let space = support_space(&queries, &domain, 1 << 12).unwrap();
     let dict = Dictionary::uniform(space, Ratio::new(1, 2)).unwrap();
-    let analysis = SecurityAnalyzer::new(&schema, &domain)
-        .analyze_with_dictionary(&row2.secret, &row2.views, &dict)
+    let engine = AuditEngine::builder(schema, domain)
+        .dictionary(dict)
+        .default_depth(AuditDepth::Probabilistic)
+        .build();
+    let report = engine
+        .audit(&AuditRequest::new(row2.secret.clone(), row2.views.clone()).named("bob+carol"))
         .unwrap();
-    println!("{}", analysis.render());
+    println!("{}", report.render());
 }

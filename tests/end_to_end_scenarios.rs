@@ -2,7 +2,7 @@
 //! end to end through the workload builders, the analyzer and the collusion
 //! audit.
 
-use qvsec::analysis::SecurityAnalyzer;
+use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
 use qvsec::practical::{practical_security, PracticalVerdict};
 use qvsec::security::secure_for_all_distributions;
 use qvsec_cq::{parse_query, ViewSet};
@@ -34,8 +34,7 @@ fn manufacturing_exchange_is_unsafe_for_a_labor_cost_secret() {
     // (and any coalition containing them) discloses it.
     let schema = manufacturing_schema();
     let (_, views, mut domain) = manufacturing_views();
-    let secret =
-        parse_query("S(pr, c) :- Labor(pr, op, c)", &schema, &mut domain).unwrap();
+    let secret = parse_query("S(pr, c) :- Labor(pr, op, c)", &schema, &mut domain).unwrap();
     let named: Vec<(String, qvsec_cq::ConjunctiveQuery)> = views
         .iter()
         .cloned()
@@ -67,12 +66,19 @@ fn bob_and_carol_collusion_is_detected_and_quantified() {
     queries.extend(views.iter());
     let space = support_space(&queries, &d, 1 << 12).unwrap();
     let dict = Dictionary::uniform(space, Ratio::new(1, 2)).unwrap();
-    let analysis = SecurityAnalyzer::new(&schema, &d)
-        .analyze_with_dictionary(&secret, &views, &dict)
+    let analysis = AuditEngine::builder(schema, d)
+        .dictionary(dict)
+        .default_depth(AuditDepth::Probabilistic)
+        .build()
+        .audit(&AuditRequest::new(secret.clone(), views.clone()))
         .unwrap();
-    assert!(!analysis.security.secure);
+    assert_eq!(analysis.secure, Some(false));
     assert!(analysis.leakage.as_ref().unwrap().max_leak > Ratio::ZERO);
-    assert_eq!(analysis.totally_disclosed, Some(false), "the association is not fully determined");
+    assert_eq!(
+        analysis.totally_disclosed,
+        Some(false),
+        "the association is not fully determined"
+    );
 }
 
 #[test]
@@ -81,12 +87,19 @@ fn section_2_1_disclosure_is_detected_by_every_layer() {
     let (secret, view, domain) = section_2_1();
     let views = ViewSet::single(view.clone());
     // criterion
-    assert!(!secure_for_all_distributions(&secret, &views, &schema, &domain).unwrap().secure);
+    assert!(
+        !secure_for_all_distributions(&secret, &views, &schema, &domain)
+            .unwrap()
+            .secure
+    );
     // statistics over the support dictionary: the posterior must exceed the prior
     let space = support_space(&[&secret, &view], &domain, 1 << 12).unwrap();
     let dict = Dictionary::uniform(space, Ratio::new(1, 3)).unwrap();
-    let analysis = SecurityAnalyzer::new(&schema, &domain)
-        .analyze_with_dictionary(&secret, &views, &dict)
+    let analysis = AuditEngine::builder(schema, domain)
+        .dictionary(dict)
+        .default_depth(AuditDepth::Probabilistic)
+        .build()
+        .audit(&AuditRequest::new(secret.clone(), views.clone()))
         .unwrap();
     let report = analysis.independence.unwrap();
     assert!(!report.independent);
@@ -102,16 +115,13 @@ fn practical_security_reclassifies_the_minute_disclosures() {
     let mut schema = qvsec_data::Schema::new();
     schema.add_relation("Employee", &["name", "department", "phone"]);
     let mut domain = Domain::new();
-    let secret = parse_query(
-        "S() :- Employee('alice', 'HR', 'p1')",
-        &schema,
-        &mut domain,
-    )
-    .unwrap();
+    let secret = parse_query("S() :- Employee('alice', 'HR', 'p1')", &schema, &mut domain).unwrap();
     let view = parse_query("V() :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
-    assert!(!secure_for_all_distributions(&secret, &ViewSet::single(view.clone()), &schema, &domain)
-        .unwrap()
-        .secure);
+    assert!(
+        !secure_for_all_distributions(&secret, &ViewSet::single(view.clone()), &schema, &domain)
+            .unwrap()
+            .secure
+    );
     match practical_security(&secret, &view, &schema, 50.0).unwrap() {
         PracticalVerdict::PracticallySecure => {}
         other => panic!("expected practical security, got {other:?}"),

@@ -45,7 +45,10 @@ fn reduction_agrees_with_the_naive_solver_on_random_formulas() {
             "reduction disagrees with the solver on {formula}"
         );
     }
-    assert!(satisfiable_seen > 0, "the random family must include satisfiable formulas");
+    assert!(
+        satisfiable_seen > 0,
+        "the random family must include satisfiable formulas"
+    );
     assert!(
         unsatisfiable_seen > 0,
         "the random family must include unsatisfiable formulas"

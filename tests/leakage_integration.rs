@@ -23,7 +23,10 @@ fn example_6_2_department_view_leaks_only_a_little() {
     let v = parse_query("V(d) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
     let views = ViewSet::single(v);
     let report = leakage_exact(&s, &views, &dict).unwrap();
-    assert!(report.max_leak > Ratio::ZERO, "the pair is not perfectly secure");
+    assert!(
+        report.max_leak > Ratio::ZERO,
+        "the pair is not perfectly secure"
+    );
 
     let a = domain.get("a").unwrap();
     let b = domain.get("b").unwrap();
@@ -43,8 +46,12 @@ fn example_6_3_more_revealing_views_and_collusion_increase_leakage() {
     let v_nd = parse_query("Vnd(n, d) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
     let v_dp = parse_query("Vdp(d, p) :- Emp(n, d, p)", &schema, &mut domain).unwrap();
 
-    let leak_d = leakage_exact(&s, &ViewSet::single(v_d), &dict).unwrap().max_leak;
-    let leak_nd = leakage_exact(&s, &ViewSet::single(v_nd.clone()), &dict).unwrap().max_leak;
+    let leak_d = leakage_exact(&s, &ViewSet::single(v_d), &dict)
+        .unwrap()
+        .max_leak;
+    let leak_nd = leakage_exact(&s, &ViewSet::single(v_nd.clone()), &dict)
+        .unwrap()
+        .max_leak;
     let leak_collusion = leakage_exact(
         &s,
         &ViewSet::from_views(vec![v_nd.clone(), v_dp.clone()]),
@@ -79,9 +86,16 @@ fn example_6_3_more_revealing_views_and_collusion_increase_leakage() {
     )
     .unwrap()
     .unwrap();
-    let eps_nd = epsilon_for(&s, &ViewSet::single(v_nd), &dict, &domain, &[a, b], &[vec![a, a]])
-        .unwrap()
-        .unwrap();
+    let eps_nd = epsilon_for(
+        &s,
+        &ViewSet::single(v_nd),
+        &dict,
+        &domain,
+        &[a, b],
+        &[vec![a, a]],
+    )
+    .unwrap()
+    .unwrap();
     assert!(eps_nd >= eps_d);
 }
 
@@ -125,7 +139,11 @@ fn larger_departments_leak_less_about_the_association() {
             return None;
         }
         let dict = Dictionary::uniform(space, Ratio::new(1, 2)).unwrap();
-        Some(leakage_exact(&s, &ViewSet::single(v), &dict).unwrap().max_leak)
+        Some(
+            leakage_exact(&s, &ViewSet::single(v), &dict)
+                .unwrap()
+                .max_leak,
+        )
     };
     let small = leak_for(&["a", "b"]).expect("2-constant space is enumerable");
     assert!(small > Ratio::ZERO);

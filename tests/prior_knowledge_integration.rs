@@ -62,9 +62,11 @@ fn application_3_cardinality() {
     let mut domain = Domain::with_constants(["a", "b"]);
     let s = parse_query("S() :- R('a', 'a')", &schema, &mut domain).unwrap();
     let v = parse_query("V() :- R('b', 'b')", &schema, &mut domain).unwrap();
-    assert!(secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
-        .unwrap()
-        .secure);
+    assert!(
+        secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+            .unwrap()
+            .secure
+    );
     let space = TupleSpace::full(&schema, &domain).unwrap();
     for constraint in [
         CardinalityConstraint::Exactly(1),
@@ -88,7 +90,11 @@ fn application_4_protective_disclosure() {
     let s = parse_query("S() :- R('a', x)", &schema, &mut domain).unwrap();
     let v = parse_query("V() :- R(x, 'b')", &schema, &mut domain).unwrap();
     let views = ViewSet::single(v.clone());
-    assert!(!secure_for_all_distributions(&s, &views, &schema, &domain).unwrap().secure);
+    assert!(
+        !secure_for_all_distributions(&s, &views, &schema, &domain)
+            .unwrap()
+            .secure
+    );
     let k = protective_knowledge_absent(&s, &views, &domain).unwrap();
     let space = support_space(&[&s, &v], &domain, 100).unwrap();
     assert!(secure_given_knowledge_all_distributions_boolean(&s, &v, &k, &space).unwrap());
@@ -104,12 +110,16 @@ fn application_5_prior_views() {
     let s = parse_query("S() :- R1(z1, z2), R2('a', 'b')", &schema, &mut domain).unwrap();
     let v = parse_query("V() :- R1('a', 'b'), R2(w1, w2)", &schema, &mut domain).unwrap();
     // insecure individually, secure relative to the already-published U
-    assert!(!secure_for_all_distributions(&s, &ViewSet::single(u.clone()), &schema, &domain)
-        .unwrap()
-        .secure);
-    assert!(!secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
-        .unwrap()
-        .secure);
+    assert!(
+        !secure_for_all_distributions(&s, &ViewSet::single(u.clone()), &schema, &domain)
+            .unwrap()
+            .secure
+    );
+    assert!(
+        !secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+            .unwrap()
+            .secure
+    );
     let space = support_space(&[&u, &s, &v], &domain, 1 << 10).unwrap();
     assert!(secure_given_prior_view_boolean(&u, &s, &v, &space).unwrap());
 

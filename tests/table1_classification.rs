@@ -6,7 +6,7 @@
 //! measured leakage induces the same ordering of the rows as the paper's
 //! informal Total / Partial / Minute / None spectrum.
 
-use qvsec::analysis::SecurityAnalyzer;
+use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
 use qvsec::fast_check::fast_check;
 use qvsec::report::DisclosureClass;
 use qvsec_cq::ConjunctiveQuery;
@@ -15,7 +15,7 @@ use qvsec_prob::lineage::support_space;
 use qvsec_workload::paper::table1;
 use qvsec_workload::schemas::employee_schema;
 
-fn row_analysis(row: &qvsec_workload::paper::Table1Row) -> qvsec::analysis::DisclosureAnalysis {
+fn row_analysis(row: &qvsec_workload::paper::Table1Row) -> qvsec::AuditReport {
     let schema = employee_schema();
     let mut domain = row.domain.clone();
     domain.pad_to(2);
@@ -23,9 +23,12 @@ fn row_analysis(row: &qvsec_workload::paper::Table1Row) -> qvsec::analysis::Disc
     queries.extend(row.views.iter());
     let space = support_space(&queries, &domain, 1 << 12).expect("small support space");
     let dict = Dictionary::uniform(space, Ratio::new(1, 2)).expect("uniform dictionary");
-    SecurityAnalyzer::new(&schema, &domain)
-        .with_minute_threshold(Ratio::new(1, 10))
-        .analyze_with_dictionary(&row.secret, &row.views, &dict)
+    AuditEngine::builder(schema, domain)
+        .dictionary(dict)
+        .minute_threshold(Ratio::new(1, 10))
+        .default_depth(AuditDepth::Probabilistic)
+        .build()
+        .audit(&AuditRequest::new(row.secret.clone(), row.views.clone()))
         .expect("analysis succeeds")
 }
 
@@ -34,7 +37,8 @@ fn security_column_matches_the_paper() {
     for row in table1() {
         let analysis = row_analysis(&row);
         assert_eq!(
-            analysis.security.secure, row.secure,
+            analysis.secure,
+            Some(row.secure),
             "row {} security verdict differs from the paper",
             row.id
         );
@@ -61,16 +65,28 @@ fn disclosure_spectrum_is_reproduced() {
     let analyses: Vec<_> = rows.iter().map(row_analysis).collect();
 
     // Row 1 is a total disclosure (the view determines the secret answer).
-    assert_eq!(analyses[0].totally_disclosed, Some(true), "row 1 must be total");
+    assert_eq!(
+        analyses[0].totally_disclosed,
+        Some(true),
+        "row 1 must be total"
+    );
     assert_eq!(analyses[0].class, DisclosureClass::Total);
 
     // Rows 2 and 3 are partial/minute: insecure but not determined.
     for idx in [1, 2] {
         assert_eq!(analyses[idx].totally_disclosed, Some(false));
-        assert!(!analyses[idx].security.secure);
+        assert_eq!(analyses[idx].secure, Some(false));
     }
-    assert_eq!(analyses[1].class, DisclosureClass::Partial, "row 2 is a partial disclosure");
-    assert_eq!(analyses[2].class, DisclosureClass::Minute, "row 3 is a minute disclosure");
+    assert_eq!(
+        analyses[1].class,
+        DisclosureClass::Partial,
+        "row 2 is a partial disclosure"
+    );
+    assert_eq!(
+        analyses[2].class,
+        DisclosureClass::Minute,
+        "row 3 is a minute disclosure"
+    );
 
     // Row 4 is perfectly secure.
     assert_eq!(analyses[3].class, DisclosureClass::NoDisclosure);
@@ -86,7 +102,10 @@ fn disclosure_spectrum_is_reproduced() {
         leak(1),
         leak(2)
     );
-    assert!(leak(2) > Ratio::ZERO, "row 3 still leaks something (database size)");
+    assert!(
+        leak(2) > Ratio::ZERO,
+        "row 3 still leaks something (database size)"
+    );
     assert!(leak(3).is_zero());
 }
 
@@ -94,13 +113,21 @@ fn disclosure_spectrum_is_reproduced() {
 fn table_rows_report_witnessing_critical_tuples_when_insecure() {
     for row in table1() {
         let analysis = row_analysis(&row);
+        let security = analysis
+            .security
+            .expect("probabilistic depth includes the exact verdict");
         if row.secure {
-            assert!(analysis.security.common_critical_tuples.is_empty());
+            assert!(security.common_critical_tuples.is_empty());
+            assert!(analysis.witnesses.is_empty());
         } else {
             assert!(
-                !analysis.security.common_critical_tuples.is_empty(),
+                !security.common_critical_tuples.is_empty(),
                 "row {} must produce witnesses",
                 row.id
+            );
+            assert_eq!(
+                analysis.witnesses.len(),
+                security.common_critical_tuples.len()
             );
         }
     }

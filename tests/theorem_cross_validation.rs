@@ -39,10 +39,16 @@ fn example_4_2_numbers_are_exact() {
     assert_eq!(posterior, Ratio::new(1, 3));
 
     // and therefore the pair is not secure, by any of the three criteria
-    assert!(!secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
-        .unwrap()
-        .secure);
-    assert!(!check_independence(&s, &ViewSet::single(v), &dict).unwrap().independent);
+    assert!(
+        !secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+            .unwrap()
+            .secure
+    );
+    assert!(
+        !check_independence(&s, &ViewSet::single(v), &dict)
+            .unwrap()
+            .independent
+    );
 }
 
 #[test]
@@ -68,10 +74,16 @@ fn example_4_3_numbers_are_exact() {
     .unwrap();
     assert_eq!(posterior, Ratio::new(1, 4));
 
-    assert!(secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
-        .unwrap()
-        .secure);
-    assert!(check_independence(&s, &ViewSet::single(v), &dict).unwrap().independent);
+    assert!(
+        secure_for_all_distributions(&s, &ViewSet::single(v.clone()), &schema, &domain)
+            .unwrap()
+            .secure
+    );
+    assert!(
+        check_independence(&s, &ViewSet::single(v), &dict)
+            .unwrap()
+            .independent
+    );
 }
 
 #[test]

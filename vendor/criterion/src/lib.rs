@@ -1,0 +1,221 @@
+//! Minimal, API-compatible stand-in for the slice of `criterion` this
+//! workspace's benches use: `Criterion`, `benchmark_group` (+
+//! `sample_size`), `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short warm-up,
+//! then a fixed number of timed samples, and prints median and mean
+//! per-iteration times. Good enough to compare hot paths locally; not a
+//! substitute for the real crate's rigor.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A named benchmark id, e.g. `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration durations, one per sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then recording `samples` samples of a
+    /// batch of iterations each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: aim for batches of >= ~1ms or
+        // at least one iteration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.results.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn report(name: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("bench {name:<55} (no samples)");
+        return;
+    }
+    let mut sorted = results.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "bench {name:<55} median {median:>12?}   mean {mean:>12?}   ({} samples)",
+        sorted.len()
+    );
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.default_samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.results);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.default_samples,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&id.to_string(), &b.results);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), &b.results);
+        self
+    }
+
+    /// Runs an input-parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.into()), &b.results);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

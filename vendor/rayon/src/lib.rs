@@ -1,0 +1,147 @@
+//! Minimal, API-compatible stand-in for the slice of `rayon` this workspace
+//! uses: `slice.par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! The implementation splits the input into one contiguous chunk per
+//! available core and maps each chunk on a scoped `std::thread`, writing
+//! results in place so output order matches input order — the property the
+//! audit-batch API relies on.
+
+/// Re-exports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads used by the shim.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Types with a by-reference parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+
+    /// A parallel iterator over references to the elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// The number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`]; consume it with `collect`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map and collects results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn run_map<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(items: &'a [T], f: &F) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<R>] = &mut results;
+        let mut start = 0usize;
+        while start < n {
+            let take = chunk.min(n - start);
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let slice = &items[start..start + take];
+            scope.spawn(move || {
+                for (out, item) in head.iter_mut().zip(slice) {
+                    *out = Some(f(item));
+                }
+            });
+            start += take;
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker thread filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

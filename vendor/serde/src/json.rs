@@ -1,0 +1,202 @@
+//! The JSON-shaped data model shared by the `serde` and `serde_json` shims.
+
+use crate::Error;
+use std::fmt;
+
+/// A JSON value. Integers are kept exact (up to `i128`) so rational
+/// numerators/denominators round-trip bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The member of an object, or [`Json::Null`] when absent (which is how
+    /// optional fields deserialize to `None`).
+    pub fn field(&self, name: &str) -> &Json {
+        match self {
+            Json::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&Json::Null),
+            _ => &Json::Null,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sole `(key, value)` entry of a single-key object (the encoding of
+    /// data-carrying enum variants).
+    pub fn single_entry(&self) -> Result<(&str, &Json), Error> {
+        match self {
+            Json::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), &entries[0].1))
+            }
+            other => Err(Error::custom(format!(
+                "expected single-key object, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The payload of an array of exactly `n` elements.
+    pub fn array_of_len(&self, n: usize) -> Result<&[Json], Error> {
+        match self {
+            Json::Array(items) if items.len() == n => Ok(items),
+            other => Err(Error::custom(format!(
+                "expected array of length {n}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Json {
+    /// Writes compact JSON text into `out`.
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => write_float(out, *f),
+            Json::Str(s) => escape_into(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Writes pretty-printed JSON text into `out` at the given indent level.
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&" ".repeat(indent + STEP));
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push(']');
+            }
+            Json::Object(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&" ".repeat(indent + STEP));
+                    escape_into(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let s = format!("{f}");
+        // Ensure floats keep a decimal point so they re-parse as floats.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            out.push_str(&s);
+        } else {
+            out.push_str(&s);
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Infinity; emit null like serde_json does.
+        out.push_str("null");
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        f.write_str(&s)
+    }
+}

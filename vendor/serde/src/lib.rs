@@ -1,0 +1,336 @@
+//! Minimal, API-compatible stand-in for the `serde` crate.
+//!
+//! The build environment of this workspace has no access to a crate
+//! registry, so the pieces of serde the workspace actually uses are
+//! implemented here from scratch: the [`Serialize`] / [`Deserialize`]
+//! traits, a JSON-shaped data model ([`json::Json`]), impls for the std
+//! types the workspace serializes, and (via the sibling `serde_derive`
+//! proc-macro crate) `#[derive(Serialize, Deserialize)]` with support for
+//! `#[serde(skip)]`.
+//!
+//! The data model is deliberately JSON-only: `serialize` produces a
+//! [`json::Json`] tree and `deserialize` consumes one. The sibling
+//! `serde_json` crate supplies the text layer. Derived formats match
+//! serde's externally-tagged defaults (unit enum variants as strings,
+//! data-carrying variants as single-key objects, newtype structs
+//! transparent), so reports stay readable and stable.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::Json;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Error produced by deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the JSON-shaped data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Json`] tree.
+    fn serialize(&self) -> Json;
+}
+
+/// Deserialization from the JSON-shaped data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Json`] tree.
+    fn deserialize(value: &Json) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Json {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Json {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Json) -> Result<Self, Error> {
+                match value {
+                    Json::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!("integer {i} out of range for {}", stringify!($t)))),
+                    Json::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(Error::custom(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Float(f) => Ok(*f),
+            Json::Int(i) => Ok(*i as f64),
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        let s = String::deserialize(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Json {
+        match self {
+            Some(v) => v.serialize(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for HashSet<T> {
+    fn serialize(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Json {
+        Json::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Json {
+        let mut entries: Vec<(String, Json)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Json {
+                Json::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Json) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                match value {
+                    Json::Array(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected array of length {LEN}, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl Serialize for Json {
+    fn serialize(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn deserialize(value: &Json) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

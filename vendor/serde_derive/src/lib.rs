@@ -1,0 +1,477 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote` —
+//! the build environment has no registry access). Supports the shapes this
+//! workspace uses:
+//!
+//! * structs with named fields (including private ones and `#[serde(skip)]`,
+//!   which omits the field on serialize and fills it with `Default::default()`
+//!   on deserialize),
+//! * tuple structs (single-field newtypes serialize transparently, wider
+//!   ones as arrays),
+//! * enums with unit, tuple and struct variants, in serde's externally
+//!   tagged encoding (`"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}`).
+//!
+//! Generic types are not supported (none of the workspace's serialized
+//! types are generic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Splits a token stream into top-level "chunks" separated by commas that sit
+/// at angle-bracket depth zero (so `Vec<(A, B)>` stays one chunk).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Consumes leading attributes from `tokens[i..]`, returning whether one of
+/// them was `#[serde(skip)]` (or `#[serde(skip_serializing, ...)]`-style —
+/// any serde attribute mentioning `skip`).
+fn eat_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i < tokens.len() {
+        let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        // `#` is followed by a bracket group: `[...]`.
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                let text = g.stream().to_string();
+                if text.starts_with("serde") && text.contains("skip") {
+                    skip = true;
+                }
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    skip
+}
+
+/// Consumes an optional visibility (`pub`, `pub(crate)`, ...) from
+/// `tokens[i..]`.
+fn eat_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    for chunk in split_top_level(&tokens) {
+        if chunk.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        let skip = eat_attributes(&chunk, &mut i);
+        eat_visibility(&chunk, &mut i);
+        if let Some(TokenTree::Ident(id)) = chunk.get(i) {
+            fields.push(Field {
+                name: id.to_string(),
+                skip,
+            });
+        }
+    }
+    fields
+}
+
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&tokens)
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .count()
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    for chunk in split_top_level(&tokens) {
+        if chunk.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        eat_attributes(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue,
+        };
+        i += 1;
+        let shape = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantShape::Tuple(parse_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    eat_attributes(&tokens, &mut i);
+    eat_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct or enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: parse_tuple_arity(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_enum_variants(g.stream()),
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "obj.push((\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize(&self) -> ::serde::json::Json {{
+                        let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::json::Json)> = ::std::vec::Vec::new();
+                        {pushes}
+                        ::serde::json::Json::Object(obj)
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn serialize(&self) -> ::serde::json::Json {{
+                    ::serde::Serialize::serialize(&self.0)
+                }}
+            }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize(&self) -> ::serde::json::Json {{
+                        ::serde::json::Json::Array(vec![{}])
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn serialize(&self) -> ::serde::json::Json {{
+                    ::serde::json::Json::Null
+                }}
+            }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::json::Json::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::serialize(f0)".to_string()
+                        } else {
+                            let sers: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::json::Json::Array(vec![{}])", sers.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::json::Json::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::serialize({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::json::Json::Object(vec![(\"{vn}\".to_string(), ::serde::json::Json::Object(vec![{pushes}]))]),\n",
+                            binds = binders.join(", "),
+                            pushes = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize(&self) -> ::serde::json::Json {{
+                        match self {{
+                            {arms}
+                        }}
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!(
+                            "{n}: ::serde::Deserialize::deserialize(value.field(\"{n}\"))?",
+                            n = f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize(value: &::serde::json::Json) -> ::std::result::Result<Self, ::serde::Error> {{
+                        ::std::result::Result::Ok({name} {{ {} }})
+                    }}
+                }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn deserialize(value: &::serde::json::Json) -> ::std::result::Result<Self, ::serde::Error> {{
+                    ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))
+                }}
+            }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize(value: &::serde::json::Json) -> ::std::result::Result<Self, ::serde::Error> {{
+                        let items = value.array_of_len({arity})?;
+                        ::std::result::Result::Ok({name}({}))
+                    }}
+                }}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn deserialize(_value: &::serde::json::Json) -> ::std::result::Result<Self, ::serde::Error> {{
+                    ::std::result::Result::Ok({name})
+                }}
+            }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?))"
+                            )
+                        } else {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let items = inner.array_of_len({arity})?; ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                inits.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => {body},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::std::default::Default::default()", f.name)
+                                } else {
+                                    format!(
+                                        "{n}: ::serde::Deserialize::deserialize(inner.field(\"{n}\"))?",
+                                        n = f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize(value: &::serde::json::Json) -> ::std::result::Result<Self, ::serde::Error> {{
+                        if let ::std::option::Option::Some(s) = value.as_str() {{
+                            return match s {{
+                                {unit_arms}
+                                other => ::std::result::Result::Err(::serde::Error::custom(
+                                    format!(\"unknown variant `{{other}}` of {name}\"))),
+                            }};
+                        }}
+                        let (key, inner) = value.single_entry()?;
+                        match key {{
+                            {data_arms}
+                            other => ::std::result::Result::Err(::serde::Error::custom(
+                                format!(\"unknown variant `{{other}}` of {name}\"))),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error token stream"),
+    }
+}
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
