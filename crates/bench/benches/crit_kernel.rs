@@ -1,0 +1,77 @@
+//! Experiment SCALE-K: the parallel, pruned `crit(Q)` kernel vs. the
+//! preserved pre-kernel sequential path on the Table 1 workloads.
+//!
+//! Prints the pruning counters once at start-up (candidates examined vs.
+//! symmetry-collapsed vs. actually decided), then benches both paths per
+//! Table 1 row over growing active domains. `bench_crit` (the qvsec-bench
+//! binary) records the same comparison into `BENCH_crit.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qvsec::critical::{critical_tuples_seq, critical_tuples_traced, CritStats};
+use qvsec_cq::ConjunctiveQuery;
+use qvsec_workload::paper::table1;
+
+const CAP: usize = 250_000;
+
+fn print_pruning_counters() {
+    println!("\n=== crit(Q) kernel pruning on the Table 1 workloads (domain 12) ===");
+    for row in table1() {
+        let mut queries: Vec<&ConjunctiveQuery> = vec![&row.secret];
+        queries.extend(row.views.iter());
+        let mut domain = row.domain.clone();
+        domain.pad_to(12);
+        let stats = CritStats::new();
+        for q in &queries {
+            let kernel = critical_tuples_traced(q, &domain, CAP, &stats).unwrap();
+            let seq = critical_tuples_seq(q, &domain, CAP).unwrap();
+            assert_eq!(kernel, seq, "kernel must match the sequential baseline");
+        }
+        let snap = stats.snapshot();
+        println!(
+            "  row{}: {} candidates, {} collapsed by symmetry, {} decided, {} frozen",
+            row.id,
+            snap.candidates_examined,
+            snap.pruned_by_symmetry,
+            snap.decisions_run,
+            snap.instances_frozen
+        );
+    }
+    println!();
+}
+
+fn bench_kernel_vs_seq(c: &mut Criterion) {
+    for row in table1() {
+        let mut queries: Vec<&ConjunctiveQuery> = vec![&row.secret];
+        queries.extend(row.views.iter());
+        let mut group = c.benchmark_group(format!("crit_kernel/table1-row{}", row.id));
+        group.sample_size(10);
+        for size in [8usize, 12] {
+            let mut domain = row.domain.clone();
+            domain.pad_to(size);
+            group.bench_with_input(BenchmarkId::new("seq", size), &size, |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        critical_tuples_seq(q, &domain, CAP).unwrap();
+                    }
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("kernel", size), &size, |b, _| {
+                b.iter(|| {
+                    let stats = CritStats::new();
+                    for q in &queries {
+                        critical_tuples_traced(q, &domain, CAP, &stats).unwrap();
+                    }
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn all(c: &mut Criterion) {
+    print_pruning_counters();
+    bench_kernel_vs_seq(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! `bench_crit` — runs the `crit(Q)` kernel harness and writes
+//! `BENCH_crit.json` (wall-clock seq vs. kernel + pruning counters), so the
+//! repository's performance trajectory is recorded alongside the code.
+//!
+//! ```text
+//! cargo run --release -p qvsec-bench --bin bench_crit -- \
+//!     [--out BENCH_crit.json] [--sizes 16,20,24] [--iters 5]
+//! ```
+
+use qvsec_bench::crit::{render_report, run_crit_bench, DEFAULT_DOMAIN_SIZES};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bench_crit — crit(Q) kernel benchmark, emits BENCH_crit.json
+
+USAGE:
+    bench_crit [--out <FILE>] [--sizes <N,N,...>] [--iters <N>]
+
+OPTIONS:
+    --out <FILE>      Output path (default BENCH_crit.json)
+    --sizes <N,...>   Comma-separated active-domain sizes (default 16,20,24)
+    --iters <N>       Iterations per measurement, best-of (default 5)
+    -h, --help        Show this help
+";
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_crit.json");
+    let mut sizes: Vec<usize> = DEFAULT_DOMAIN_SIZES.to_vec();
+    let mut iters = 5usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let parse_fail = |what: &str| {
+            eprintln!("error: bad value for {what}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        };
+        match arg.as_str() {
+            "--out" => match argv.next() {
+                Some(path) => out = path,
+                None => return parse_fail("--out"),
+            },
+            "--sizes" => match argv.next().map(|s| {
+                s.split(',')
+                    .map(|n| n.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+            }) {
+                Some(Ok(parsed)) if !parsed.is_empty() => sizes = parsed,
+                _ => return parse_fail("--sizes"),
+            },
+            "--iters" => match argv.next().and_then(|s| s.parse().ok()) {
+                Some(n) => iters = n,
+                None => return parse_fail("--iters"),
+            },
+            "-h" | "--help" => {
+                eprint!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = run_crit_bench(&sizes, iters);
+    print!("{}", render_report(&report));
+    if report.workloads.iter().any(|w| !w.verdicts_match) {
+        eprintln!("error: kernel and sequential baseline disagree — not writing a report");
+        return ExitCode::FAILURE;
+    }
+    match serde_json::to_string_pretty(&report) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&out, text + "\n") {
+                eprintln!("error: cannot write `{out}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

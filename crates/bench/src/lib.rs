@@ -12,12 +12,20 @@
 //! ```text
 //! cargo bench -p qvsec-bench --bench table1
 //! cargo bench -p qvsec-bench --bench critical_tuples
+//! cargo bench -p qvsec-bench --bench crit_kernel
 //! cargo bench -p qvsec-bench --bench security_decision
 //! cargo bench -p qvsec-bench --bench probability
 //! cargo bench -p qvsec-bench --bench leakage
 //! cargo bench -p qvsec-bench --bench prior_knowledge
 //! cargo bench -p qvsec-bench --bench practical_security
 //! ```
+//!
+//! The [`crit`] module is the JSON-emitting harness behind `BENCH_crit.json`
+//! (run it with `cargo run --release -p qvsec-bench --bin bench_crit`): the
+//! kernel-vs-sequential `crit(Q)` comparison with pruning counters, recorded
+//! so the performance trajectory lives in the repository.
+
+pub mod crit;
 
 /// The uniform per-tuple probability used by the dictionary-based benches.
 pub fn default_tuple_probability() -> qvsec_data::Ratio {

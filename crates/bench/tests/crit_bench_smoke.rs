@@ -1,0 +1,72 @@
+//! Smoke tests for the `crit(Q)` bench harness and the committed
+//! `BENCH_crit.json` artifact.
+
+use qvsec_bench::crit::{run_crit_bench, CritBenchReport};
+
+#[test]
+fn harness_runs_and_reports_pruning_counters() {
+    // Tiny sizes, single iteration: this is a correctness smoke test, not a
+    // measurement.
+    let report = run_crit_bench(&[4, 5], 1);
+    assert_eq!(report.domain_sizes, vec![4, 5]);
+    assert_eq!(report.workloads.len(), 4 * 2, "4 Table 1 rows × 2 sizes");
+    for w in &report.workloads {
+        assert!(w.verdicts_match, "{}: kernel and baseline disagree", w.name);
+        assert!(
+            w.pruning.candidates_examined > 0,
+            "{}: no candidates",
+            w.name
+        );
+        assert!(
+            w.pruning.decisions_run + w.pruning.pruned_by_symmetry >= w.pruning.candidates_examined,
+            "{}: every candidate is decided or collapsed",
+            w.name
+        );
+        assert!(w.seq_nanos > 0 && w.kernel_nanos > 0);
+    }
+    // The report round-trips through JSON with the pruning counters intact.
+    let json = serde_json::to_string(&report).unwrap();
+    for key in [
+        "candidates_examined",
+        "pruned_by_symmetry",
+        "pruned_by_prefilter",
+        "pruned_by_comparisons",
+        "instances_frozen",
+        "seq_nanos",
+        "kernel_nanos",
+        "speedup",
+    ] {
+        assert!(json.contains(key), "missing `{key}` in harness JSON");
+    }
+    let back: CritBenchReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.workloads.len(), report.workloads.len());
+}
+
+#[test]
+fn committed_bench_crit_json_parses_and_contains_the_counters() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crit.json");
+    let text =
+        std::fs::read_to_string(path).expect("BENCH_crit.json is committed at the repository root");
+    let report: CritBenchReport = serde_json::from_str(&text).expect("BENCH_crit.json parses");
+    assert!(!report.workloads.is_empty());
+    assert!(report.threads >= 1);
+    for w in &report.workloads {
+        assert!(
+            w.verdicts_match,
+            "{}: committed run had a verdict mismatch",
+            w.name
+        );
+        assert!(w.pruning.candidates_examined > 0);
+    }
+    assert!(
+        report
+            .workloads
+            .iter()
+            .any(|w| w.pruning.pruned_by_symmetry > 0),
+        "the committed trajectory must show pruning at work"
+    );
+    assert!(
+        report.min_speedup >= 1.0,
+        "committed kernel run must not be slower than the baseline"
+    );
+}

@@ -1,0 +1,188 @@
+//! Candidate enumeration: the ground instantiations of a query's subgoals.
+//!
+//! Every critical tuple of a conjunctive query is a homomorphic image of one
+//! of its subgoals (Section 4.2), so the candidate space of `crit_D(Q)` is
+//! the union of each subgoal's groundings over `D`. This module enumerates
+//! that union exactly:
+//!
+//! * subgoals are deduplicated by their *local pattern* (relation, constant
+//!   positions, repeated-variable shape) before grounding — `R(x, y)` and
+//!   `R(u, w)` generate the same tuples, as do `R(x, x)` and `R(y, y)`;
+//! * the size guard counts **distinct variables per subgoal** (a subgoal with
+//!   a repeated variable like `R(x, x)` contributes `|D|` groundings, not
+//!   `|D|²`) and checks the **union size incrementally** while enumerating,
+//!   so overlap between subgoals is never double-counted. The historical
+//!   estimate summed per-atom counts and could reject queries whose real
+//!   candidate space fit comfortably under the cap.
+
+use crate::{QvsError, Result};
+use qvsec_cq::{Atom, ConjunctiveQuery, Term};
+use qvsec_data::{Domain, Tuple, TupleSpace};
+use std::collections::BTreeSet;
+
+/// Default cap on the number of candidate tuples enumerated by
+/// [`critical_tuples`](super::critical_tuples) and the intersection helpers.
+pub const DEFAULT_CANDIDATE_CAP: usize = 250_000;
+
+/// A subgoal's grounding-relevant shape: relation plus, per position, either
+/// the constant or the index of the variable's first occurrence within the
+/// atom. Two subgoals with equal keys ground to exactly the same tuple set.
+fn atom_grounding_key(atom: &Atom) -> (u32, Vec<(u8, u32)>) {
+    let mut seen: Vec<qvsec_cq::VarId> = Vec::new();
+    let terms = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => (0u8, c.0),
+            Term::Var(v) => {
+                let idx = match seen.iter().position(|s| s == v) {
+                    Some(i) => i,
+                    None => {
+                        seen.push(*v);
+                        seen.len() - 1
+                    }
+                };
+                (1u8, idx as u32)
+            }
+        })
+        .collect();
+    (atom.relation.0, terms)
+}
+
+/// All candidate critical tuples of a query over a domain: the ground
+/// instantiations of its subgoals (every critical tuple is among them).
+///
+/// Errors with [`QvsError::CandidateSpaceTooLarge`] when the *distinct*
+/// candidate count exceeds `cap` — a single subgoal whose `|D|^vars`
+/// groundings (counting distinct variables) overflow the cap is rejected
+/// before enumerating, and the union is tracked incrementally so duplicate
+/// or overlapping subgoals never inflate the estimate.
+pub fn critical_candidates(
+    query: &ConjunctiveQuery,
+    domain: &Domain,
+    cap: usize,
+) -> Result<BTreeSet<Tuple>> {
+    let mut out = BTreeSet::new();
+    let mut seen_shapes: BTreeSet<(u32, Vec<(u8, u32)>)> = BTreeSet::new();
+    for atom in &query.atoms {
+        if !seen_shapes.insert(atom_grounding_key(atom)) {
+            continue; // identical grounding set already enumerated
+        }
+        // A subgoal's groundings are pairwise distinct, one per assignment of
+        // its *distinct* variables, so this product is exact — not an upper
+        // bound — and exceeding the cap on one subgoal is already fatal.
+        let per_atom = (domain.len() as u128).saturating_pow(atom.variables().len() as u32);
+        if per_atom > cap as u128 {
+            return Err(QvsError::CandidateSpaceTooLarge {
+                required: per_atom,
+                cap,
+            });
+        }
+        for tuple in qvsec_prob::lineage::atom_groundings(atom, domain) {
+            out.insert(tuple);
+            if out.len() > cap {
+                return Err(QvsError::CandidateSpaceTooLarge {
+                    required: out.len() as u128,
+                    cap,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The candidate space as an interned, sorted [`TupleSpace`] — the universe
+/// the kernel's bitset-backed candidate sets index into.
+pub fn candidate_space(
+    query: &ConjunctiveQuery,
+    domain: &Domain,
+    cap: usize,
+) -> Result<TupleSpace> {
+    Ok(TupleSpace::from_tuples(
+        critical_candidates(query, domain, cap)?
+            .into_iter()
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::parse_query;
+    use qvsec_data::Schema;
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        schema.add_relation("T", &["a", "b", "c", "d", "e"]);
+        (schema, Domain::with_size(4))
+    }
+
+    #[test]
+    fn repeated_variables_within_an_atom_count_once() {
+        // R(x, x) grounds to the |D| diagonal tuples, not |D|².
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, x)", &schema, &mut domain).unwrap();
+        let candidates = critical_candidates(&q, &domain, 4).unwrap();
+        assert_eq!(candidates.len(), domain.len());
+        // A cap of exactly |D| therefore suffices — the old per-position
+        // estimate would have demanded |D|².
+        assert!(critical_candidates(&q, &domain, domain.len()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_subgoals_are_not_double_counted() {
+        // Q(x) :- R(x, y), R(x, w), R(u, v): all three subgoals ground to the
+        // same |D|² tuples; the union must be accepted under a |D|² cap.
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x) :- R(x, y), R(x, w), R(u, v)", &schema, &mut domain).unwrap();
+        let dd = domain.len() * domain.len();
+        let candidates = critical_candidates(&q, &domain, dd).unwrap();
+        assert_eq!(candidates.len(), dd);
+        let single = parse_query("Qs(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        assert_eq!(
+            candidates,
+            critical_candidates(&single, &domain, dd).unwrap()
+        );
+    }
+
+    #[test]
+    fn a_single_oversized_subgoal_is_rejected_before_enumerating() {
+        let (schema, _) = setup();
+        let mut big = Domain::with_size(20);
+        let q = parse_query("Q() :- T(a, b, c, d, e)", &schema, &mut big).unwrap();
+        // 20^5 = 3.2M candidates against a cap of 1000.
+        match critical_candidates(&q, &big, 1000) {
+            Err(QvsError::CandidateSpaceTooLarge { required, cap }) => {
+                assert_eq!(required, 3_200_000);
+                assert_eq!(cap, 1000);
+            }
+            other => panic!("expected CandidateSpaceTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_overflow_across_distinct_subgoals_is_caught() {
+        // Two disjoint grounding sets (different constants) that individually
+        // fit but jointly exceed the cap.
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q() :- R(x, 'c0'), R('c1', y)", &schema, &mut domain).unwrap();
+        // 4 + 4 candidates minus the shared R(c1, c0) = 7 distinct.
+        assert_eq!(critical_candidates(&q, &domain, 7).unwrap().len(), 7);
+        assert!(matches!(
+            critical_candidates(&q, &domain, 6),
+            Err(QvsError::CandidateSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn candidate_space_is_sorted_and_interned() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let space = candidate_space(&q, &domain, 1000).unwrap();
+        assert_eq!(space.len(), domain.len() * domain.len());
+        for i in 0..space.len() {
+            assert_eq!(space.index_of(space.tuple(i)), Some(i));
+        }
+    }
+}

@@ -23,6 +23,22 @@
 //! The search is exponential only in the number of subgoals that unify with
 //! `t` (usually one or two), not in the domain or instance size.
 //!
+//! ### The kernel
+//!
+//! The module is organised as a pipeline (one submodule per stage):
+//!
+//! | stage | submodule | job |
+//! |---|---|---|
+//! | enumerate | `candidates` | interned candidate space, subgoal-shape dedup, exact cap accounting |
+//! | decide | `decide` | the fine-instance procedure with a unification prefilter, comparison-constraint propagation and duplicate-subgoal dedup |
+//! | schedule | `kernel` | symmetry collapse (pattern classes) + `rayon`-parallel filtering with a deterministic merge |
+//! | account | `stats` | [`CritStats`] pruning counters feeding `BENCH_crit.json` |
+//!
+//! Every pruning layer is a pure optimization: verdicts are cross-validated
+//! against the literal Definition 4.4 oracle in
+//! [`crate::critical_bruteforce`] and against the preserved sequential
+//! baseline [`critical_tuples_seq`] by unit and property tests.
+//!
 //! ### Comparison predicates
 //!
 //! Equality and disequality comparisons are handled exactly. Order
@@ -31,139 +47,29 @@
 //! existing constants); this placement is sufficient for the query classes
 //! used in the paper, and the brute-force procedure in
 //! [`crate::critical_bruteforce`] remains the reference oracle for small
-//! domains (the two are cross-checked by property tests).
+//! domains (the two are cross-checked by property tests). Symmetry collapse
+//! is disabled whenever a query uses order predicates.
 
-use crate::{QvsError, Result};
-use qvsec_cq::homomorphism::answer_survives;
-use qvsec_cq::unification::unify_atoms_with_tuple;
-use qvsec_cq::{CanonicalDatabase, ConjunctiveQuery, VarId, ViewSet};
-use qvsec_data::{Domain, Tuple, Value};
-use qvsec_prob::lineage::atom_groundings;
-use std::collections::{BTreeSet, HashMap};
+mod candidates;
+mod decide;
+mod kernel;
+mod stats;
 
-/// Default cap on the number of candidate tuples enumerated by
-/// [`critical_tuples`] and the intersection helpers.
-pub const DEFAULT_CANDIDATE_CAP: usize = 250_000;
-
-/// Decides whether `tuple` is critical for `query` (Definition 4.4), using
-/// the fine-instance procedure described in the module documentation.
-///
-/// `domain` must contain every constant of the query and of the tuple; fresh
-/// constants needed for freezing are drawn from a private extension and never
-/// leak into `domain`.
-pub fn is_critical(query: &ConjunctiveQuery, tuple: &Tuple, domain: &Domain) -> bool {
-    // Subgoals that can individually be mapped onto the tuple.
-    let unifiable: Vec<usize> = query
-        .atoms
-        .iter()
-        .enumerate()
-        .filter(|(_, atom)| qvsec_cq::unify_atom_with_tuple(atom, tuple).is_some())
-        .map(|(i, _)| i)
-        .collect();
-    if unifiable.is_empty() {
-        return false;
-    }
-    // Enumerate every non-empty subset G of the unifiable subgoals.
-    let k = unifiable.len();
-    for mask in 1u64..(1u64 << k) {
-        let atoms: Vec<&qvsec_cq::Atom> = (0..k)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| &query.atoms[unifiable[i]])
-            .collect();
-        let Some(subst) = unify_atoms_with_tuple(&atoms, tuple) else {
-            continue;
-        };
-        let pinned: HashMap<VarId, Value> = subst.iter().collect();
-        let canon = CanonicalDatabase::freeze_with(query, domain, &pinned);
-        // The frozen assignment must satisfy the query's comparisons for I_G
-        // to witness Q(I_G) ≠ ∅ through h_G.
-        let assignment: Vec<Option<Value>> =
-            query.variables().map(|v| Some(canon.value_of(v))).collect();
-        if !qvsec_cq::comparisons::check_all(&query.comparisons, &assignment) {
-            continue;
-        }
-        debug_assert!(canon.instance.contains(tuple), "I_G must contain t");
-        // t is critical iff the answer h_G(head) does not survive removing t.
-        if !answer_survives(query, &canon.instance, &canon.head_answer, Some(tuple)) {
-            return true;
-        }
-    }
-    false
-}
-
-/// All candidate critical tuples of a query over a domain: the ground
-/// instantiations of its subgoals. Every critical tuple is among them
-/// (a critical tuple must be a homomorphic image of a subgoal, Section 4.2).
-pub fn critical_candidates(
-    query: &ConjunctiveQuery,
-    domain: &Domain,
-    cap: usize,
-) -> Result<BTreeSet<Tuple>> {
-    let mut required: u128 = 0;
-    for atom in &query.atoms {
-        required = required
-            .saturating_add((domain.len() as u128).saturating_pow(atom.variables().len() as u32));
-    }
-    if required > cap as u128 {
-        return Err(QvsError::CandidateSpaceTooLarge { required, cap });
-    }
-    let mut out = BTreeSet::new();
-    for atom in &query.atoms {
-        out.extend(atom_groundings(atom, domain));
-    }
-    Ok(out)
-}
-
-/// Computes `crit_D(Q)` exactly over the given domain (with the default
-/// candidate cap).
-pub fn critical_tuples(query: &ConjunctiveQuery, domain: &Domain) -> Result<BTreeSet<Tuple>> {
-    critical_tuples_with_cap(query, domain, DEFAULT_CANDIDATE_CAP)
-}
-
-/// Computes `crit_D(Q)` exactly over the given domain with an explicit cap on
-/// the candidate enumeration.
-pub fn critical_tuples_with_cap(
-    query: &ConjunctiveQuery,
-    domain: &Domain,
-    cap: usize,
-) -> Result<BTreeSet<Tuple>> {
-    let candidates = critical_candidates(query, domain, cap)?;
-    Ok(candidates
-        .into_iter()
-        .filter(|t| is_critical(query, t, domain))
-        .collect())
-}
-
-/// Computes `crit_D(S) ∩ crit_D(V̄)` — the common critical tuples whose
-/// emptiness characterises dictionary-independent security (Theorem 4.5).
-///
-/// Candidates are restricted to tuples that are subgoal instantiations of
-/// **both** sides, so the enumeration stays proportional to the overlap.
-pub fn common_critical_tuples(
-    secret: &ConjunctiveQuery,
-    views: &ViewSet,
-    domain: &Domain,
-    cap: usize,
-) -> Result<Vec<Tuple>> {
-    let secret_candidates = critical_candidates(secret, domain, cap)?;
-    let mut view_candidates: BTreeSet<Tuple> = BTreeSet::new();
-    for v in views.iter() {
-        view_candidates.extend(critical_candidates(v, domain, cap)?);
-    }
-    let mut common = Vec::new();
-    for t in secret_candidates.intersection(&view_candidates) {
-        if is_critical(secret, t, domain) && views.iter().any(|v| is_critical(v, t, domain)) {
-            common.push(t.clone());
-        }
-    }
-    Ok(common)
-}
+pub use candidates::{candidate_space, critical_candidates, DEFAULT_CANDIDATE_CAP};
+pub use decide::{is_critical, is_critical_traced};
+pub use kernel::{
+    common_critical_tuples, common_critical_tuples_traced, critical_tuples, critical_tuples_seq,
+    critical_tuples_traced, critical_tuples_with_cap,
+};
+pub use stats::{CritStats, CritStatsSnapshot};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qvsec_cq::parse_query;
-    use qvsec_data::Schema;
+    use crate::QvsError;
+    use qvsec_cq::{parse_query, ViewSet};
+    use qvsec_data::{Domain, Schema, Tuple};
+    use std::collections::BTreeSet;
 
     fn setup() -> (Schema, Domain) {
         let mut schema = Schema::new();
@@ -347,5 +253,71 @@ mod tests {
         let q = parse_query("Q(x) :- R(x, y)", &schema, &mut domain).unwrap();
         let other = t(&schema, &domain, "Employee", &["a", "a", "a"]);
         assert!(!is_critical(&q, &other, &domain));
+    }
+
+    #[test]
+    fn kernel_matches_the_sequential_baseline_and_reports_pruning() {
+        let (schema, mut domain) = setup();
+        domain.add("c");
+        domain.add("d");
+        let texts = [
+            "Q1(x) :- R(x, y)",
+            "Q2() :- R('a', x), R(x, x)",
+            "Q3() :- R(x, y), x != y",
+            "Q4(x) :- R(x, y), R(x, w)",
+            "Q5() :- R(x, y), x < y",
+        ];
+        for text in texts {
+            let q = parse_query(text, &schema, &mut domain).unwrap();
+            let stats = CritStats::new();
+            let kernel = critical_tuples_traced(&q, &domain, 100_000, &stats).unwrap();
+            let seq = critical_tuples_seq(&q, &domain, 100_000).unwrap();
+            assert_eq!(kernel, seq, "kernel diverges from baseline on {text}");
+            let ordered_kernel: Vec<&Tuple> = kernel.iter().collect();
+            let ordered_seq: Vec<&Tuple> = seq.iter().collect();
+            assert_eq!(
+                ordered_kernel, ordered_seq,
+                "iteration order differs on {text}"
+            );
+            let snap = stats.snapshot();
+            assert_eq!(
+                snap.candidates_examined as usize,
+                critical_candidates(&q, &domain, 100_000).unwrap().len(),
+                "candidate accounting for {text}"
+            );
+            if !q.has_order_comparisons() {
+                assert!(
+                    snap.pruned_by_symmetry > 0,
+                    "symmetry collapse expected for {text}, got {snap:?}"
+                );
+                assert!(snap.decisions_run < snap.candidates_examined);
+            } else {
+                assert_eq!(
+                    snap.pruned_by_symmetry, 0,
+                    "order predicates disable symmetry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn common_critical_tuples_are_sorted_and_match_pairwise_decisions() {
+        let (schema, mut domain) = setup();
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let views = ViewSet::single(v.clone());
+        let common = common_critical_tuples(&s, &views, &domain, 1000).unwrap();
+        assert_eq!(
+            common.len(),
+            4,
+            "every tuple is critical for both projections"
+        );
+        let mut sorted = common.clone();
+        sorted.sort();
+        assert_eq!(common, sorted, "result comes back in canonical order");
+        for tuple in &common {
+            assert!(is_critical(&s, tuple, &domain));
+            assert!(is_critical(&v, tuple, &domain));
+        }
     }
 }

@@ -1,0 +1,158 @@
+//! Pruning and work counters for the `crit(Q)` kernel.
+//!
+//! The kernel's value proposition is *work it did not do*: candidates never
+//! enumerated twice, symmetric tuples decided once, groundings rejected
+//! before the expensive freeze-and-search step. [`CritStats`] records that
+//! accounting with lock-free atomic counters so the parallel filter can
+//! update it from every worker thread; [`CritStatsSnapshot`] is the frozen,
+//! serializable view emitted into `BENCH_crit.json` and exposed through
+//! [`crate::engine::AuditEngine::crit_stats`].
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live, thread-safe counters updated by the kernel. One instance can be
+/// shared across any number of concurrent kernel invocations (the engine
+/// keeps a single engine-lifetime instance).
+#[derive(Debug, Default)]
+pub struct CritStats {
+    candidates_examined: AtomicU64,
+    decisions_run: AtomicU64,
+    pruned_by_symmetry: AtomicU64,
+    pruned_by_prefilter: AtomicU64,
+    pruned_by_comparisons: AtomicU64,
+    duplicate_atoms_skipped: AtomicU64,
+    subsets_walked: AtomicU64,
+    instances_frozen: AtomicU64,
+}
+
+impl CritStats {
+    /// A fresh, zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_candidates(&self, n: u64) {
+        self.candidates_examined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_decision(&self) {
+        self.decisions_run.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_symmetry_pruned(&self, n: u64) {
+        self.pruned_by_symmetry.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_prefilter_prune(&self) {
+        self.pruned_by_prefilter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_comparison_prune(&self) {
+        self.pruned_by_comparisons.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_duplicate_atoms(&self, n: u64) {
+        self.duplicate_atoms_skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_subset_walked(&self) {
+        self.subsets_walked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_freeze(&self) {
+        self.instances_frozen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freezes the current counter values into a serializable snapshot.
+    pub fn snapshot(&self) -> CritStatsSnapshot {
+        CritStatsSnapshot {
+            candidates_examined: self.candidates_examined.load(Ordering::Relaxed),
+            decisions_run: self.decisions_run.load(Ordering::Relaxed),
+            pruned_by_symmetry: self.pruned_by_symmetry.load(Ordering::Relaxed),
+            pruned_by_prefilter: self.pruned_by_prefilter.load(Ordering::Relaxed),
+            pruned_by_comparisons: self.pruned_by_comparisons.load(Ordering::Relaxed),
+            duplicate_atoms_skipped: self.duplicate_atoms_skipped.load(Ordering::Relaxed),
+            subsets_walked: self.subsets_walked.load(Ordering::Relaxed),
+            instances_frozen: self.instances_frozen.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen view of [`CritStats`], safe to serialize, diff and report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CritStatsSnapshot {
+    /// Candidate tuples the kernel considered (after candidate-space dedup).
+    pub candidates_examined: u64,
+    /// Full fine-instance decisions actually executed.
+    pub decisions_run: u64,
+    /// Candidates whose verdict was copied from a symmetric representative
+    /// instead of being decided from scratch.
+    pub pruned_by_symmetry: u64,
+    /// Decisions answered negatively by the O(atoms) unification prefilter
+    /// (no subgoal unifies with the tuple), skipping the subset walk.
+    pub pruned_by_prefilter: u64,
+    /// Groundings rejected by comparison-constraint propagation before an
+    /// instance was frozen (plus decisions rejected because every unifying
+    /// subgoal violated a grounded comparison).
+    pub pruned_by_comparisons: u64,
+    /// Subgoals skipped in subset walks because an identical subgoal was
+    /// already enumerated (halves the walk per duplicate).
+    pub duplicate_atoms_skipped: u64,
+    /// Subgoal subsets enumerated across all decisions (the `2^k` walks).
+    pub subsets_walked: u64,
+    /// Fine instances actually frozen and searched for a surviving answer —
+    /// the expensive step every pruning layer exists to avoid.
+    pub instances_frozen: u64,
+}
+
+impl CritStatsSnapshot {
+    /// Total candidates or groundings eliminated before the expensive path.
+    pub fn total_pruned(&self) -> u64 {
+        self.pruned_by_symmetry
+            .saturating_add(self.pruned_by_prefilter)
+            .saturating_add(self.pruned_by_comparisons)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = CritStats::new();
+        stats.add_candidates(10);
+        stats.add_decision();
+        stats.add_symmetry_pruned(7);
+        stats.add_prefilter_prune();
+        stats.add_comparison_prune();
+        stats.add_duplicate_atoms(2);
+        stats.add_subset_walked();
+        stats.add_freeze();
+        let snap = stats.snapshot();
+        assert_eq!(snap.candidates_examined, 10);
+        assert_eq!(snap.decisions_run, 1);
+        assert_eq!(snap.pruned_by_symmetry, 7);
+        assert_eq!(snap.total_pruned(), 9);
+        assert_eq!(snap.subsets_walked, 1);
+        assert_eq!(snap.instances_frozen, 1);
+    }
+
+    #[test]
+    fn snapshot_serializes_with_counter_names() {
+        let snap = CritStats::new().snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        for key in [
+            "candidates_examined",
+            "pruned_by_symmetry",
+            "pruned_by_prefilter",
+            "pruned_by_comparisons",
+            "instances_frozen",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let back: CritStatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -35,7 +35,14 @@
 //! depends only on the query structure and the number of domain constants.
 //! Republishing the same view across thousands of audit requests therefore
 //! computes its critical tuples exactly once.
+//!
+//! Cache misses are served by the parallel, pruned `crit(Q)` kernel of
+//! [`crate::critical`] (symmetry collapse, unification prefilter,
+//! comparison-constraint propagation), and the engine accumulates the
+//! kernel's pruning counters for its whole lifetime — see
+//! [`AuditEngine::crit_stats`].
 
+use crate::critical::{CritStats, CritStatsSnapshot};
 use crate::fast_check::{fast_check, FastVerdict};
 use crate::leakage::{ensure_enumerable, leakage_exact, LeakageReport};
 use crate::report::{classify, default_minute_threshold, is_totally_disclosed, DisclosureClass};
@@ -51,6 +58,19 @@ use std::sync::{Arc, Mutex};
 /// The `crit(Q)` memo cache: (canonical query form, active-domain size) →
 /// shared critical-tuple set.
 type CritCache = Mutex<HashMap<(String, usize), Arc<BTreeSet<Tuple>>>>;
+
+/// Whether two sorted tuple slices (interned candidate spaces) share no
+/// element — a single merge walk, no hashing, no cloning.
+fn sorted_disjoint(mut a: &[Tuple], mut b: &[Tuple]) -> bool {
+    while let (Some(x), Some(y)) = (a.first(), b.first()) {
+        match x.cmp(y) {
+            std::cmp::Ordering::Less => a = &a[1..],
+            std::cmp::Ordering::Greater => b = &b[1..],
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
 
 /// How deep an audit is allowed to escalate.
 #[derive(
@@ -280,6 +300,7 @@ impl AuditEngineBuilder {
             candidate_cap: self.candidate_cap,
             default_depth: self.default_depth,
             crit_cache: Mutex::new(HashMap::new()),
+            crit_stats: CritStats::new(),
         }
     }
 }
@@ -287,6 +308,26 @@ impl AuditEngineBuilder {
 /// An owned, `Send + Sync` audit engine bound to one schema, domain and
 /// optional dictionary. See the [module docs](self) for the staging and
 /// caching model.
+///
+/// ```
+/// use qvsec::{AuditEngine, AuditRequest};
+/// use qvsec_cq::{parse_query, ViewSet};
+/// use qvsec_data::{Domain, Schema};
+///
+/// let mut schema = Schema::new();
+/// schema.add_relation("Employee", &["name", "department", "phone"]);
+/// let mut domain = Domain::new();
+/// let v = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+/// let s = parse_query("S(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+///
+/// let engine = AuditEngine::builder(schema, domain).build();
+/// let report = engine.audit(&AuditRequest::new(s, ViewSet::single(v))).unwrap();
+/// assert_eq!(report.secure, Some(false), "Table 1 row 1: total disclosure");
+///
+/// // The exact stage ran the crit(Q) kernel and memoized its results:
+/// assert!(engine.crit_stats().candidates_examined > 0);
+/// assert_eq!(engine.cached_crit_sets(), 2);
+/// ```
 #[derive(Debug)]
 pub struct AuditEngine {
     schema: Arc<Schema>,
@@ -297,6 +338,8 @@ pub struct AuditEngine {
     default_depth: AuditDepth,
     /// `crit(Q)` memo, keyed by (canonical query form, active-domain size).
     crit_cache: CritCache,
+    /// Engine-lifetime pruning counters from the `crit(Q)` kernel.
+    crit_stats: CritStats,
 }
 
 // The engine is shared across audit worker threads.
@@ -334,6 +377,15 @@ impl AuditEngine {
         self.crit_cache.lock().expect("crit cache poisoned").len()
     }
 
+    /// A snapshot of the engine-lifetime `crit(Q)` kernel counters:
+    /// candidates examined, pruned (symmetry / prefilter / comparisons) and
+    /// fine instances actually frozen, accumulated across every audit served
+    /// so far. Cache hits do no kernel work, so a hot engine's counters grow
+    /// sublinearly in the number of audits.
+    pub fn crit_stats(&self) -> CritStatsSnapshot {
+        self.crit_stats.snapshot()
+    }
+
     /// Computes (or fetches) `crit_D(Q)` over `active`, memoized under the
     /// canonical form of `query` and the active-domain size.
     fn crit_cached(
@@ -353,8 +405,11 @@ impl AuditEngine {
         }
         // Compute outside the lock so concurrent audits of distinct queries
         // do not serialize; a racing duplicate insert is harmless.
-        let computed = Arc::new(crate::critical::critical_tuples_with_cap(
-            query, active, cap,
+        let computed = Arc::new(crate::critical::critical_tuples_traced(
+            query,
+            active,
+            cap,
+            &self.crit_stats,
         )?);
         let mut cache = self.crit_cache.lock().expect("crit cache poisoned");
         Ok(Arc::clone(
@@ -379,12 +434,12 @@ impl AuditEngine {
         active: &Domain,
         cap: usize,
     ) -> Result<SecurityVerdict> {
-        let secret_candidates = crate::critical::critical_candidates(secret, active, cap)?;
+        let secret_space = crate::critical::candidate_space(secret, active, cap)?;
         let mut crit_s = None;
         let mut common: BTreeSet<Tuple> = BTreeSet::new();
         for v in views.iter() {
-            let view_candidates = crate::critical::critical_candidates(v, active, cap)?;
-            if secret_candidates.is_disjoint(&view_candidates) {
+            let view_space = crate::critical::candidate_space(v, active, cap)?;
+            if sorted_disjoint(secret_space.tuples(), view_space.tuples()) {
                 continue;
             }
             let crit_s = match &crit_s {
@@ -602,6 +657,33 @@ mod tests {
         let c2 = engine.crit_cached(&q2, &domain, 100_000).unwrap();
         assert!(Arc::ptr_eq(&c1, &c2), "α-equivalent queries share an entry");
         assert_eq!(engine.cached_crit_sets(), 1);
+    }
+
+    #[test]
+    fn crit_stats_accumulate_and_cache_hits_do_no_kernel_work() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let engine = engine_for(&domain);
+        assert_eq!(engine.crit_stats().candidates_examined, 0);
+        let request = AuditRequest::new(s, ViewSet::single(v));
+        engine.audit(&request).unwrap();
+        let after_first = engine.crit_stats();
+        assert!(
+            after_first.candidates_examined > 0,
+            "exact stage ran the kernel"
+        );
+        assert!(
+            after_first.pruned_by_symmetry > 0,
+            "projection workload collapses symmetric candidates: {after_first:?}"
+        );
+        engine.audit(&request).unwrap();
+        let after_second = engine.crit_stats();
+        assert_eq!(
+            after_first, after_second,
+            "a crit-cache hit does no kernel work"
+        );
     }
 
     #[test]

@@ -26,10 +26,10 @@
 //! | Module | Paper | Contents |
 //! |---|---|---|
 //! | [`engine`] | — | the owned `AuditEngine`: staged audits, `crit(Q)` memo cache, parallel batches, serde reports |
-//! | [`critical`] | §4.2, Def. 4.4, App. A | critical tuples `crit_D(Q)`, the fine-instance decision procedure |
+//! | [`critical`] | §4.2, Def. 4.4, App. A | the parallel, pruned `crit_D(Q)` kernel: interned candidates, fine-instance decision, symmetry collapse, pruning counters |
 //! | [`critical_bruteforce`] | Def. 4.4 | literal, exhaustive reference implementation |
 //! | [`security`] | Thm 4.5, Thm 4.8, Prop. 4.9 | the dictionary-independent security criterion `crit(S) ∩ crit(V̄) = ∅` |
-//! | [`fast_check`] | §4.2 | the "practical algorithm": pairwise subgoal unification |
+//! | [`mod@fast_check`] | §4.2 | the "practical algorithm": pairwise subgoal unification |
 //! | [`report`] | §1.1, Table 1 | Total/Partial/Minute/None classification |
 //! | [`analysis`] | — | deprecated borrowed-lifetime facade kept for compatibility |
 //! | [`prior`] | §5.1–5.3 | security under prior knowledge: Theorem 5.2, keys (Cor. 5.3), cardinality, protective disclosure (Cor. 5.4), prior views (Cor. 5.5) |
@@ -89,7 +89,7 @@ pub mod security;
 #[allow(deprecated)]
 pub use analysis::{DisclosureAnalysis, SecurityAnalyzer};
 pub use answerability::{answerable_as_projection, answerable_from_views, determined_by};
-pub use critical::{critical_tuples, is_critical};
+pub use critical::{critical_tuples, is_critical, CritStats, CritStatsSnapshot};
 pub use engine::{
     AuditDepth, AuditEngine, AuditEngineBuilder, AuditOptions, AuditReport, AuditRequest,
 };

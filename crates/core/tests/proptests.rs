@@ -9,11 +9,15 @@
 //!   literal Definition 4.1 statistical-independence check under the uniform
 //!   dictionary — which, by Theorem 4.8, represents *all* non-degenerate
 //!   dictionaries for monotone queries,
+//! * the parallel, pruned `crit(Q)` kernel reproduces the sequential
+//!   baseline exactly (members *and* iteration order),
 //! * security is symmetric (Bayes), and
 //! * the Section 4.2 fast check is sound.
 
 use proptest::prelude::*;
-use qvsec::critical::{critical_tuples, is_critical};
+use qvsec::critical::{
+    critical_tuples, critical_tuples_seq, critical_tuples_traced, is_critical, CritStats,
+};
 use qvsec::critical_bruteforce::{critical_tuples_bruteforce, is_critical_bruteforce};
 use qvsec::fast_check::fast_check;
 use qvsec::security::secure_for_all_distributions;
@@ -88,6 +92,33 @@ proptest! {
                 "tuple {} disagreement for {}", t, text
             );
         }
+    }
+
+    #[test]
+    fn parallel_kernel_equals_sequential_baseline(text in query_text(), extra in 0usize..3) {
+        // The kernel (symmetry collapse + pruning + parallel filter with
+        // deterministic merge) must reproduce the sequential pre-kernel path
+        // exactly — same members, same iteration order — on random queries
+        // over domains of varying size.
+        let schema = schema();
+        let mut domain = domain();
+        for i in 0..extra {
+            domain.add(&format!("extra{i}"));
+        }
+        let q = parse(&text, &schema, &mut domain);
+        let stats = CritStats::new();
+        let kernel = critical_tuples_traced(&q, &domain, 100_000, &stats).unwrap();
+        let seq = critical_tuples_seq(&q, &domain, 100_000).unwrap();
+        prop_assert_eq!(&kernel, &seq, "kernel != seq for {}", text);
+        let kernel_order: Vec<_> = kernel.iter().collect();
+        let seq_order: Vec<_> = seq.iter().collect();
+        prop_assert_eq!(kernel_order, seq_order, "iteration order differs for {}", text);
+        let snap = stats.snapshot();
+        prop_assert!(
+            snap.decisions_run + snap.pruned_by_symmetry >= snap.candidates_examined
+                || snap.candidates_examined == 0,
+            "every candidate is either decided or symmetry-collapsed: {:?}", snap
+        );
     }
 
     #[test]

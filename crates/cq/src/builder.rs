@@ -4,7 +4,7 @@
 //! be assembled in code (e.g. by the random workload generators) without
 //! going through text:
 //!
-//! * a term written `'name'` (or any string passed to [`QueryBuilder::constant_term`])
+//! * a term written `'name'` (or any string passed to [`QueryBuilder::constant_head`])
 //!   denotes a constant, interned into the domain;
 //! * the term `"_"` denotes a fresh anonymous variable (the paper's `−`);
 //! * any other identifier denotes a named variable.

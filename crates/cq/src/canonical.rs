@@ -98,6 +98,25 @@ impl CanonicalDatabase {
 /// pattern, variables are renumbered by first occurrence across the sorted
 /// body (then head, then comparisons), and the result is rendered with
 /// constants as interned indices.
+///
+/// ```
+/// use qvsec_cq::{canonical_form, parse_query};
+/// use qvsec_data::{Domain, Schema};
+///
+/// let mut schema = Schema::new();
+/// schema.add_relation("R", &["x", "y"]);
+/// let mut domain = Domain::new();
+///
+/// // α-equivalent queries (renamed variables, different cosmetic names)
+/// // share one canonical form ...
+/// let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+/// let w = parse_query("W(u) :- R(u, w)", &schema, &mut domain).unwrap();
+/// assert_eq!(canonical_form(&v), canonical_form(&w));
+///
+/// // ... while structurally different queries do not.
+/// let flipped = parse_query("F(y) :- R(x, y)", &schema, &mut domain).unwrap();
+/// assert_ne!(canonical_form(&v), canonical_form(&flipped));
+/// ```
 pub fn canonical_form(query: &ConjunctiveQuery) -> String {
     use crate::ast::Atom;
     use std::fmt::Write;

@@ -1,0 +1,236 @@
+//! Interned, bitset-backed candidate sets.
+//!
+//! The critical-tuple procedures enumerate large candidate sets (subgoal
+//! groundings) and repeatedly union, intersect and filter them. Keeping those
+//! sets as `BTreeSet<Tuple>` clones a heap-allocated [`Tuple`] per element on
+//! every operation. A [`CandidateSet`] instead interns the candidates once in
+//! a shared [`TupleSpace`] (the sorted, deduplicated universe) and represents
+//! every derived set as a [`BitSet`] over that space — chunked `u64` words, so
+//! unlike the single-mask instance enumeration the representation scales past
+//! 64 tuples, and past the [`DEFAULT_FULL_SPACE_CAP`] of fully enumerated
+//! spaces (spaces built with [`TupleSpace::from_tuples`] are unbounded).
+//!
+//! Set algebra on candidate sets is word-parallel (one `u64` AND/OR per 64
+//! candidates) and iteration yields `&Tuple` borrows from the space; tuples
+//! are only cloned when a caller materializes a final result.
+//!
+//! [`DEFAULT_FULL_SPACE_CAP`]: crate::tuple_space::DEFAULT_FULL_SPACE_CAP
+
+use crate::bitset::BitSet;
+use crate::tuple::Tuple;
+use crate::tuple_space::TupleSpace;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A set of candidate tuples, stored as indices into a shared, interned
+/// [`TupleSpace`].
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    space: Arc<TupleSpace>,
+    bits: BitSet,
+}
+
+impl CandidateSet {
+    /// The empty set over `space`.
+    pub fn empty(space: Arc<TupleSpace>) -> Self {
+        let bits = BitSet::new(space.len());
+        CandidateSet { space, bits }
+    }
+
+    /// The set containing every tuple of `space`.
+    pub fn full(space: Arc<TupleSpace>) -> Self {
+        let bits = BitSet::full(space.len());
+        CandidateSet { space, bits }
+    }
+
+    /// The shared universe this set indexes into.
+    pub fn space(&self) -> &Arc<TupleSpace> {
+        &self.space
+    }
+
+    /// The underlying bitset.
+    pub fn bits(&self) -> &BitSet {
+        &self.bits
+    }
+
+    /// Inserts the tuple at space index `i`.
+    pub fn insert_index(&mut self, i: usize) {
+        self.bits.insert(i);
+    }
+
+    /// Inserts a tuple if it belongs to the space; returns whether it did.
+    pub fn insert(&mut self, tuple: &Tuple) -> bool {
+        match self.space.index_of(tuple) {
+            Some(i) => {
+                self.bits.insert(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the set contains `tuple`.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.space
+            .index_of(tuple)
+            .is_some_and(|i| self.bits.contains(i))
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.count()
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Iterates over the member indices in increasing (canonical) order.
+    pub fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter()
+    }
+
+    /// Iterates over the member tuples, borrowed from the space, in the
+    /// space's canonical (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.bits.iter().map(|i| self.space.tuple(i))
+    }
+
+    /// In-place union with a set over the same space.
+    ///
+    /// # Panics
+    /// Panics if the two sets were built over different spaces.
+    pub fn union_with(&mut self, other: &CandidateSet) {
+        self.assert_same_space(other);
+        self.bits = self.bits.union(&other.bits);
+    }
+
+    /// In-place intersection with a set over the same space.
+    ///
+    /// # Panics
+    /// Panics if the two sets were built over different spaces.
+    pub fn intersect_with(&mut self, other: &CandidateSet) {
+        self.assert_same_space(other);
+        self.bits = self.bits.intersection(&other.bits);
+    }
+
+    /// Whether the two sets (over the same space) share no member.
+    ///
+    /// # Panics
+    /// Panics if the two sets were built over different spaces.
+    pub fn is_disjoint(&self, other: &CandidateSet) -> bool {
+        self.assert_same_space(other);
+        self.bits.is_disjoint_from(&other.bits)
+    }
+
+    /// Materializes the members as an owned, sorted set (this is the only
+    /// place candidate tuples are cloned).
+    pub fn to_tuples(&self) -> BTreeSet<Tuple> {
+        self.iter().cloned().collect()
+    }
+
+    fn assert_same_space(&self, other: &CandidateSet) {
+        assert!(
+            Arc::ptr_eq(&self.space, &other.space) || self.space == other.space,
+            "candidate sets belong to different tuple spaces"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Domain;
+
+    fn space_over(n: usize) -> Arc<TupleSpace> {
+        // n unary tuples U(c) — an interned universe of exactly n candidates.
+        let mut schema = Schema::new();
+        schema.add_relation("U", &["x"]);
+        let domain = Domain::with_size(n);
+        let rel = schema.relation_by_name("U").unwrap();
+        let tuples = domain.values().map(|v| Tuple::new(rel, vec![v])).collect();
+        Arc::new(TupleSpace::from_tuples(tuples))
+    }
+
+    #[test]
+    fn insert_contains_iter_roundtrip() {
+        let space = space_over(10);
+        let mut set = CandidateSet::empty(Arc::clone(&space));
+        assert!(set.is_empty());
+        set.insert_index(3);
+        assert!(set.insert(space.tuple(7)));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(space.tuple(3)));
+        assert!(!set.contains(space.tuple(4)));
+        let indices: Vec<usize> = set.indices().collect();
+        assert_eq!(indices, vec![3, 7]);
+        assert_eq!(set.iter().count(), 2);
+        assert_eq!(set.to_tuples().len(), 2);
+    }
+
+    #[test]
+    fn tuples_outside_the_space_are_rejected() {
+        let space = space_over(4);
+        let mut set = CandidateSet::empty(Arc::clone(&space));
+        let mut schema = Schema::new();
+        schema.add_relation("U", &["x"]);
+        let rel = schema.relation_by_name("U").unwrap();
+        let outside = Tuple::new(rel, vec![crate::Value(99)]);
+        assert!(!set.insert(&outside));
+        assert!(!set.contains(&outside));
+    }
+
+    #[test]
+    fn set_algebra_is_word_parallel_past_64_members() {
+        // 130 candidates spans three u64 words.
+        let space = space_over(130);
+        let mut evens = CandidateSet::empty(Arc::clone(&space));
+        let mut multiples_of_three = CandidateSet::empty(Arc::clone(&space));
+        for i in 0..130 {
+            if i % 2 == 0 {
+                evens.insert_index(i);
+            }
+            if i % 3 == 0 {
+                multiples_of_three.insert_index(i);
+            }
+        }
+        let mut union = evens.clone();
+        union.union_with(&multiples_of_three);
+        let mut inter = evens.clone();
+        inter.intersect_with(&multiples_of_three);
+        assert_eq!(
+            union.len(),
+            (0..130).filter(|i| i % 2 == 0 || i % 3 == 0).count()
+        );
+        assert_eq!(inter.len(), (0..130).filter(|i| i % 6 == 0).count());
+        assert!(!evens.is_disjoint(&multiples_of_three));
+        let full = CandidateSet::full(Arc::clone(&space));
+        assert_eq!(full.len(), 130);
+        let empty = CandidateSet::empty(space);
+        assert!(empty.is_disjoint(&full));
+    }
+
+    #[test]
+    fn scales_past_the_full_space_default_cap() {
+        // 5000 interned candidates — beyond DEFAULT_FULL_SPACE_CAP (4096),
+        // which only bounds *fully enumerated* spaces.
+        let space = space_over(5000);
+        assert!(space.len() > crate::tuple_space::DEFAULT_FULL_SPACE_CAP);
+        let mut set = CandidateSet::empty(Arc::clone(&space));
+        for i in (0..5000).step_by(7) {
+            set.insert_index(i);
+        }
+        assert_eq!(set.len(), 5000usize.div_ceil(7));
+        assert_eq!(set.iter().count(), set.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "different tuple spaces")]
+    fn mismatched_spaces_panic() {
+        let a = CandidateSet::empty(space_over(4));
+        let b = CandidateSet::empty(space_over(5));
+        a.is_disjoint(&b);
+    }
+}

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bitset;
+pub mod candidates;
 pub mod dictionary;
 pub mod error;
 pub mod instance;
@@ -35,6 +36,7 @@ pub mod tuple_space;
 pub mod value;
 
 pub use bitset::BitSet;
+pub use candidates::CandidateSet;
 pub use dictionary::Dictionary;
 pub use error::DataError;
 pub use instance::Instance;

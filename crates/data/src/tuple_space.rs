@@ -86,6 +86,12 @@ impl TupleSpace {
 
     /// Builds a tuple space from an explicit support set. Duplicates are
     /// removed and tuples are sorted to give a canonical ordering.
+    ///
+    /// Unlike [`TupleSpace::full`], explicit spaces are **not** capped: they
+    /// serve as interned universes for [`crate::candidates::CandidateSet`]s,
+    /// whose chunked-word bitsets scale far past
+    /// [`DEFAULT_FULL_SPACE_CAP`] (only the exhaustive `2^n` instance
+    /// enumeration of [`TupleSpace::instances`] stays mask-limited).
     pub fn from_tuples(mut tuples: Vec<Tuple>) -> Self {
         tuples.sort();
         tuples.dedup();
