@@ -1,33 +1,39 @@
-//! `bench_crit` — runs the `crit(Q)` kernel harness and writes
-//! `BENCH_crit.json` (wall-clock seq vs. kernel + pruning counters), so the
-//! repository's performance trajectory is recorded alongside the code.
+//! `bench_prob` — runs the probabilistic-kernel harness and writes
+//! `BENCH_prob.json` (wall-clock enumeration baseline vs. shared-sample
+//! kernel + Monte-Carlo pool-reuse stats), so the Probabilistic-stage
+//! performance trajectory is recorded alongside the code.
 //!
 //! ```text
-//! cargo run --release -p qvsec-bench --bin bench_crit -- \
-//!     [--out BENCH_crit.json] [--sizes 16,20,24] [--iters 5] [--threads N]
+//! cargo run --release -p qvsec-bench --bin bench_prob -- \
+//!     [--out BENCH_prob.json] [--sizes 3,4] [--iters 3] \
+//!     [--samples 8192] [--threads N]
 //! ```
 
-use qvsec_bench::crit::{render_report, run_crit_bench, DEFAULT_DOMAIN_SIZES};
+use qvsec_bench::prob::{render_report, run_prob_bench, DEFAULT_DOMAIN_SIZES, DEFAULT_MC_SAMPLES};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-bench_crit — crit(Q) kernel benchmark, emits BENCH_crit.json
+bench_prob — probabilistic kernel benchmark, emits BENCH_prob.json
 
 USAGE:
-    bench_crit [--out <FILE>] [--sizes <N,N,...>] [--iters <N>]
+    bench_prob [--out <FILE>] [--sizes <N,N,...>] [--iters <N>]
+               [--samples <N>] [--threads <N>]
 
 OPTIONS:
-    --out <FILE>      Output path (default BENCH_crit.json)
-    --sizes <N,...>   Comma-separated active-domain sizes (default 16,20,24)
-    --iters <N>       Iterations per measurement, best-of (default 5)
-    --threads <N>     Worker threads for the parallel filter (default: cores)
+    --out <FILE>      Output path (default BENCH_prob.json)
+    --sizes <N,...>   Comma-separated binary-relation domain sizes
+                      (default 3,4; |D|^2 must stay enumerable, i.e. <= 4)
+    --iters <N>       Iterations per measurement, best-of (default 3)
+    --samples <N>     Monte-Carlo pool size (default 8192)
+    --threads <N>     Worker threads for streaming/sampling (default: cores)
     -h, --help        Show this help
 ";
 
 fn main() -> ExitCode {
-    let mut out = String::from("BENCH_crit.json");
+    let mut out = String::from("BENCH_prob.json");
     let mut sizes: Vec<usize> = DEFAULT_DOMAIN_SIZES.to_vec();
-    let mut iters = 5usize;
+    let mut iters = 3usize;
+    let mut samples = DEFAULT_MC_SAMPLES;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let parse_fail = |what: &str| {
@@ -51,6 +57,10 @@ fn main() -> ExitCode {
             "--iters" => match argv.next().and_then(|s| s.parse().ok()) {
                 Some(n) => iters = n,
                 None => return parse_fail("--iters"),
+            },
+            "--samples" => match argv.next().and_then(|s| s.parse().ok()) {
+                Some(n) => samples = n,
+                None => return parse_fail("--samples"),
             },
             "--threads" => match argv.next().and_then(|s| s.parse().ok()) {
                 Some(n) => {
@@ -76,10 +86,24 @@ fn main() -> ExitCode {
             }
         }
     }
-    let report = run_crit_bench(&sizes, iters);
+    if sizes
+        .iter()
+        .any(|&s| s * s > qvsec_data::bitset::MAX_ENUMERABLE)
+    {
+        eprintln!(
+            "error: --sizes must keep |D|^2 enumerable (<= {})",
+            qvsec_data::bitset::MAX_ENUMERABLE
+        );
+        return ExitCode::from(2);
+    }
+    let report = run_prob_bench(&sizes, iters, samples);
     print!("{}", render_report(&report));
     if report.workloads.iter().any(|w| !w.verdicts_match) {
-        eprintln!("error: kernel and sequential baseline disagree — not writing a report");
+        eprintln!("error: kernel and enumeration baseline disagree — not writing a report");
+        return ExitCode::FAILURE;
+    }
+    if !report.mc.determinism_ok {
+        eprintln!("error: Monte-Carlo reports are not seed-deterministic — not writing a report");
         return ExitCode::FAILURE;
     }
     match serde_json::to_string_pretty(&report) {

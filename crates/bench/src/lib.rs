@@ -23,9 +23,15 @@
 //! The [`crit`] module is the JSON-emitting harness behind `BENCH_crit.json`
 //! (run it with `cargo run --release -p qvsec-bench --bin bench_crit`): the
 //! kernel-vs-sequential `crit(Q)` comparison with pruning counters, recorded
-//! so the performance trajectory lives in the repository.
+//! so the performance trajectory lives in the repository. The [`prob`]
+//! module is its Probabilistic-stage sibling behind `BENCH_prob.json` (run
+//! with `--bin bench_prob`): shared-sample kernel vs. the preserved
+//! enumeration baseline, plus a Monte-Carlo pool-reuse section. Both
+//! binaries accept `--threads N` to pin the worker count; this crate's
+//! `README.md` records the per-thread scaling notes.
 
 pub mod crit;
+pub mod prob;
 
 /// The uniform per-tuple probability used by the dictionary-based benches.
 pub fn default_tuple_probability() -> qvsec_data::Ratio {

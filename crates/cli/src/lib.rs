@@ -94,6 +94,14 @@ pub struct DictionarySpec {
     pub probability: Option<(i128, i128)>,
     /// Cap on the constructed tuple-space size (default 4096).
     pub cap: Option<usize>,
+    /// Largest tuple-space size the probabilistic stage evaluates exactly;
+    /// bigger spaces cut over to Monte-Carlo estimation (default 24).
+    pub exact_cutover: Option<usize>,
+    /// Worlds drawn into the shared Monte-Carlo sample pool (default 8192).
+    pub samples: Option<usize>,
+    /// Seed of the shared sample pool; fixing it makes Monte-Carlo reports
+    /// byte-reproducible.
+    pub seed: Option<u64>,
 }
 
 /// One audit case.
@@ -212,6 +220,15 @@ pub fn prepare(spec: &AuditSpec) -> Result<PreparedAudit, CliError> {
         let dict = Dictionary::uniform(space, Ratio::new(n, d))
             .map_err(|e| CliError::Spec(format!("dictionary: {e}")))?;
         builder = builder.dictionary(dict);
+        if let Some(cutover) = dict_spec.exact_cutover {
+            builder = builder.exact_cutover(cutover);
+        }
+        if let Some(samples) = dict_spec.samples {
+            builder = builder.mc_samples(samples);
+        }
+        if let Some(seed) = dict_spec.seed {
+            builder = builder.mc_seed(seed);
+        }
     }
     let engine = builder.build();
 
@@ -334,6 +351,33 @@ views = ["V4(n) :- Employee(n, 'Mgmt', p)"]
             report.field("totally_disclosed"),
             &serde_json::Value::Bool(false)
         );
+        // The estimator metadata is surfaced in the report: a 4-tuple space
+        // is evaluated exactly, streaming all 16 worlds.
+        let estimator = report.field("estimator");
+        assert_eq!(estimator.field("mode").as_str(), Some("Exact"));
+        assert_eq!(estimator.field("worlds_streamed").as_int(), Some(16));
+    }
+
+    #[test]
+    fn dictionary_estimator_knobs_force_and_configure_monte_carlo() {
+        let spec = r#"{
+            "relations": [{"name": "R", "attributes": ["x", "y"]}],
+            "constants": ["a", "b"],
+            "dictionary": {"probability": [1, 2], "exact_cutover": 0,
+                           "samples": 1500, "seed": 99},
+            "defaults": {"depth": "probabilistic"},
+            "audits": [
+                {"secret": "S(y) :- R(x, y)", "views": ["V(x) :- R(x, y)"]}
+            ]
+        }"#;
+        let out = run_spec(spec, false).unwrap();
+        let report = &out.as_array().unwrap()[0];
+        let estimator = report.field("estimator");
+        assert_eq!(estimator.field("mode").as_str(), Some("MonteCarlo"));
+        assert_eq!(estimator.field("sample_count").as_int(), Some(1500));
+        assert_eq!(estimator.field("seed").as_int(), Some(99));
+        // Same spec, same seed: byte-identical output.
+        assert_eq!(out, run_spec(spec, false).unwrap());
     }
 
     #[test]

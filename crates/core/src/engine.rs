@@ -15,7 +15,7 @@
 //! |---|---|---|
 //! | [`AuditDepth::Fast`] | §4.2 pairwise subgoal unification | linear-ish, always conclusive when it certifies security |
 //! | [`AuditDepth::Exact`] | + Theorem 4.5 critical-tuple criterion | exponential in subgoal overlap, memoized |
-//! | [`AuditDepth::Probabilistic`] | + Definition 4.1 independence, §6.1 leakage, total-disclosure test over the dictionary | exponential in tuple-space size |
+//! | [`AuditDepth::Probabilistic`] | + Definition 4.1 independence, §6.1 leakage, total-disclosure test over the dictionary | one pass of the shared-sample kernel |
 //!
 //! The fast check always runs first. When it certifies security the exact
 //! stage is skipped entirely — soundly, since "no unifiable subgoal pair"
@@ -41,19 +41,33 @@
 //! comparison-constraint propagation), and the engine accumulates the
 //! kernel's pruning counters for its whole lifetime — see
 //! [`AuditEngine::crit_stats`].
+//!
+//! ## The probabilistic kernel
+//!
+//! The `Probabilistic` stage routes through the shared-sample kernel of
+//! [`qvsec_prob::kernel`]: tuple spaces up to the configured cutover are
+//! streamed exactly as bit masks (no `Instance` per world, one enumeration
+//! serving independence, leakage *and* total disclosure), larger spaces cut
+//! over to Monte-Carlo estimation from one seeded sample pool shared across
+//! the three passes and across every audit — including all requests of an
+//! [`AuditEngine::audit_batch`] — the engine serves. Each report carries
+//! [`EstimatorReport`] metadata saying which estimator produced it, and
+//! [`AuditEngine::prob_stats`] exposes the kernel's lifetime counters
+//! (worlds streamed, samples drawn/reused, cutovers).
 
 use crate::critical::{CritStats, CritStatsSnapshot};
 use crate::fast_check::{fast_check, FastVerdict};
-use crate::leakage::{ensure_enumerable, leakage_exact, LeakageReport};
-use crate::report::{classify, default_minute_threshold, is_totally_disclosed, DisclosureClass};
+use crate::leakage::LeakageReport;
+use crate::report::{classify, default_minute_threshold, DisclosureClass};
 use crate::security::{active_domain, SecurityVerdict};
 use crate::{QvsError, Result};
 use qvsec_cq::{canonical_form, ConjunctiveQuery, ViewSet};
 use qvsec_data::{Dictionary, Domain, Ratio, Schema, Tuple};
+use qvsec_prob::kernel::{EstimatorReport, KernelConfig, ProbKernel, ProbStatsSnapshot};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The `crit(Q)` memo cache: (canonical query form, active-domain size) →
 /// shared critical-tuple set.
@@ -174,6 +188,11 @@ pub struct AuditReport {
     /// Whether the views determine the secret answer over the dictionary
     /// (present at [`AuditDepth::Probabilistic`]).
     pub totally_disclosed: Option<bool>,
+    /// Which estimator served the probabilistic stage — exact mask
+    /// streaming or shared-pool Monte-Carlo — with sample count, seed and
+    /// standard-error bound (present at [`AuditDepth::Probabilistic`]).
+    #[serde(default)]
+    pub estimator: Option<EstimatorReport>,
     /// Human-readable renderings of the common critical tuples witnessing
     /// insecurity (empty when secure or not escalated).
     pub witnesses: Vec<String>,
@@ -231,6 +250,20 @@ impl AuditReport {
         if let Some(total) = self.totally_disclosed {
             out.push_str(&format!("totally disclosed     : {total}\n"));
         }
+        if let Some(est) = &self.estimator {
+            out.push_str(&match est.mode {
+                qvsec_prob::kernel::EstimatorMode::Exact => format!(
+                    "estimator             : exact ({} worlds streamed)\n",
+                    est.worlds_streamed
+                ),
+                qvsec_prob::kernel::EstimatorMode::MonteCarlo => format!(
+                    "estimator             : monte-carlo ({} samples, seed {}, std error <= {:.4})\n",
+                    est.sample_count,
+                    est.seed.unwrap_or_default(),
+                    est.std_error
+                ),
+            });
+        }
         if !self.witnesses.is_empty() {
             out.push_str(&format!(
                 "witnesses             : {}\n",
@@ -250,6 +283,7 @@ pub struct AuditEngineBuilder {
     minute_threshold: Ratio,
     candidate_cap: usize,
     default_depth: AuditDepth,
+    prob_config: KernelConfig,
 }
 
 impl AuditEngineBuilder {
@@ -262,6 +296,7 @@ impl AuditEngineBuilder {
             minute_threshold: default_minute_threshold(),
             candidate_cap: crate::critical::DEFAULT_CANDIDATE_CAP,
             default_depth: AuditDepth::default(),
+            prob_config: KernelConfig::default(),
         }
     }
 
@@ -290,6 +325,28 @@ impl AuditEngineBuilder {
         self
     }
 
+    /// Largest tuple-space size the probabilistic stage evaluates exactly;
+    /// bigger spaces cut over to Monte-Carlo estimation (default:
+    /// [`qvsec_data::bitset::MAX_ENUMERABLE`]).
+    pub fn exact_cutover(mut self, tuples: usize) -> Self {
+        self.prob_config.exact_cutover = tuples;
+        self
+    }
+
+    /// Number of worlds drawn into the probabilistic kernel's shared sample
+    /// pool (Monte-Carlo path).
+    pub fn mc_samples(mut self, samples: usize) -> Self {
+        self.prob_config.samples = samples;
+        self
+    }
+
+    /// Seed of the shared sample pool; a fixed seed makes every
+    /// Monte-Carlo report byte-reproducible.
+    pub fn mc_seed(mut self, seed: u64) -> Self {
+        self.prob_config.seed = seed;
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> AuditEngine {
         AuditEngine {
@@ -299,8 +356,10 @@ impl AuditEngineBuilder {
             minute_threshold: self.minute_threshold,
             candidate_cap: self.candidate_cap,
             default_depth: self.default_depth,
+            prob_config: self.prob_config,
             crit_cache: Mutex::new(HashMap::new()),
             crit_stats: CritStats::new(),
+            prob_kernel: OnceLock::new(),
         }
     }
 }
@@ -336,10 +395,16 @@ pub struct AuditEngine {
     minute_threshold: Ratio,
     candidate_cap: usize,
     default_depth: AuditDepth,
+    /// Probabilistic kernel configuration (cutover, samples, seed).
+    prob_config: KernelConfig,
     /// `crit(Q)` memo, keyed by (canonical query form, active-domain size).
     crit_cache: CritCache,
     /// Engine-lifetime pruning counters from the `crit(Q)` kernel.
     crit_stats: CritStats,
+    /// The shared-sample probabilistic kernel, built on the first
+    /// `Probabilistic` audit and reused (pool included) for the engine's
+    /// whole lifetime.
+    prob_kernel: OnceLock<Arc<ProbKernel>>,
 }
 
 // The engine is shared across audit worker threads.
@@ -384,6 +449,24 @@ impl AuditEngine {
     /// sublinearly in the number of audits.
     pub fn crit_stats(&self) -> CritStatsSnapshot {
         self.crit_stats.snapshot()
+    }
+
+    /// A snapshot of the engine-lifetime probabilistic-kernel counters:
+    /// exact worlds streamed, samples drawn into the shared pool, samples
+    /// served from it instead of freshly drawn, and exact→Monte-Carlo
+    /// cutovers. All zeros until the first `Probabilistic` audit.
+    pub fn prob_stats(&self) -> ProbStatsSnapshot {
+        self.prob_kernel
+            .get()
+            .map(|k| k.stats())
+            .unwrap_or_default()
+    }
+
+    /// The probabilistic kernel, built against the engine's dictionary on
+    /// first use.
+    fn kernel(&self, dict: &Arc<Dictionary>) -> &Arc<ProbKernel> {
+        self.prob_kernel
+            .get_or_init(|| Arc::new(ProbKernel::new(Arc::clone(dict), self.prob_config)))
     }
 
     /// Computes (or fetches) `crit_D(Q)` over `active`, memoized under the
@@ -497,20 +580,26 @@ impl AuditEngine {
             security.as_ref().map(|s| s.secure)
         };
 
-        // Stage 3 — dictionary-level checks.
-        let (independence, leakage, totally_disclosed) = if depth >= AuditDepth::Probabilistic {
-            let dict = self
-                .dictionary
-                .as_deref()
-                .ok_or(QvsError::DictionaryRequired)?;
-            ensure_enumerable(dict)?;
-            let independence = qvsec_prob::independence::check_independence(secret, views, dict)?;
-            let leakage = leakage_exact(secret, views, dict)?;
-            let total = is_totally_disclosed(secret, views, dict)?;
-            (Some(independence), Some(leakage), Some(total))
-        } else {
-            (None, None, None)
-        };
+        // Stage 3 — dictionary-level checks, served by the shared-sample
+        // probabilistic kernel: one space evaluation (exact mask streaming
+        // or pooled Monte-Carlo) yields independence, leakage and total
+        // disclosure together.
+        let (independence, leakage, totally_disclosed, estimator) =
+            if depth >= AuditDepth::Probabilistic {
+                let dict = self
+                    .dictionary
+                    .as_ref()
+                    .ok_or(QvsError::DictionaryRequired)?;
+                let audit = self.kernel(dict).evaluate(secret, views)?;
+                (
+                    Some(audit.independence),
+                    Some(LeakageReport::from(audit.leakage)),
+                    Some(audit.totally_disclosed),
+                    Some(audit.estimator),
+                )
+            } else {
+                (None, None, None, None)
+            };
 
         let class = classify(
             secure == Some(true),
@@ -539,6 +628,7 @@ impl AuditEngine {
             independence,
             leakage,
             totally_disclosed,
+            estimator,
             witnesses,
         })
     }
@@ -722,6 +812,98 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("leakage"));
         assert!(rendered.contains("statistical check"));
+    }
+
+    #[test]
+    fn probabilistic_reports_match_the_enumeration_baseline_and_carry_estimator_metadata() {
+        let schema = employee_schema();
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let s = parse_query("S(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let space = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 100).unwrap();
+        let views = ViewSet::single(v);
+        let dict = Dictionary::half(space);
+        let engine = AuditEngine::builder(schema, domain)
+            .dictionary(dict.clone())
+            .default_depth(AuditDepth::Probabilistic)
+            .build();
+        let report = engine
+            .audit(&AuditRequest::new(s.clone(), views.clone()))
+            .unwrap();
+        // Exact-path estimator metadata.
+        let est = report
+            .estimator
+            .expect("probabilistic depth sets estimator");
+        assert_eq!(est.mode, qvsec_prob::kernel::EstimatorMode::Exact);
+        assert_eq!(est.worlds_streamed, 1 << dict.len());
+        assert_eq!(est.sample_count, 0);
+        assert_eq!(est.std_error, 0.0);
+        assert!(report.render().contains("estimator"));
+        // The kernel's verdicts are identical to the preserved enumeration
+        // baseline.
+        let base_ind = qvsec_prob::independence::check_independence(&s, &views, &dict).unwrap();
+        let base_leak = crate::leakage::leakage_exact(&s, &views, &dict).unwrap();
+        let base_total = crate::report::is_totally_disclosed(&s, &views, &dict).unwrap();
+        let ind = report.independence.unwrap();
+        assert_eq!(ind.independent, base_ind.independent);
+        assert_eq!(ind.violations, base_ind.violations);
+        assert_eq!(ind.pairs_checked, base_ind.pairs_checked);
+        let leak = report.leakage.unwrap();
+        assert_eq!(leak.max_leak, base_leak.max_leak);
+        assert_eq!(leak.positive_entries, base_leak.positive_entries);
+        assert_eq!(leak.pairs_checked, base_leak.pairs_checked);
+        assert_eq!(leak.witness, base_leak.witness);
+        assert_eq!(report.totally_disclosed, Some(base_total));
+        // Lifetime counters saw the streamed worlds.
+        let stats = engine.prob_stats();
+        assert_eq!(stats.exact_worlds_streamed, 1 << dict.len());
+        assert_eq!(stats.cutovers, 0);
+    }
+
+    #[test]
+    fn large_spaces_cut_over_to_monte_carlo_and_share_the_pool_across_batches() {
+        let schema = employee_schema();
+        // |D| = 5 makes the full R-space 25 tuples — beyond MAX_ENUMERABLE,
+        // so the pre-kernel engine refused this audit outright.
+        let mut domain = Domain::with_size(5);
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let support = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 10_000).unwrap();
+        assert!(support.len() > qvsec_data::bitset::MAX_ENUMERABLE);
+        let dict = Dictionary::uniform(support, Ratio::new(1, 5)).unwrap();
+        let engine = AuditEngine::builder(schema, domain)
+            .dictionary(dict)
+            .default_depth(AuditDepth::Probabilistic)
+            .mc_samples(2000)
+            .mc_seed(7)
+            .build();
+        let request = AuditRequest::new(s, ViewSet::single(v));
+        let batch = engine
+            .try_audit_batch(&[request.clone(), request.clone()])
+            .unwrap();
+        let est = batch[0].estimator.unwrap();
+        assert_eq!(est.mode, qvsec_prob::kernel::EstimatorMode::MonteCarlo);
+        assert_eq!(est.sample_count, 2000);
+        assert_eq!(est.seed, Some(7));
+        assert!(est.std_error > 0.0);
+        let stats = engine.prob_stats();
+        assert_eq!(stats.samples_drawn, 2000, "one pool serves the whole batch");
+        assert!(
+            stats.samples_reused >= 3 * 2000,
+            "passes + second audit reuse"
+        );
+        assert_eq!(stats.cutovers, 2);
+        // Shared pool + chunked seeding: both reports are identical.
+        assert_eq!(
+            serde_json::to_string(&batch[0]).unwrap(),
+            serde_json::to_string(&batch[1]).unwrap()
+        );
+        // And a fresh engine with the same seed reproduces them.
+        let report = engine.audit(&request).unwrap();
+        assert_eq!(
+            serde_json::to_string(&batch[0]).unwrap(),
+            serde_json::to_string(&report).unwrap()
+        );
     }
 
     #[test]

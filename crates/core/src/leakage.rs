@@ -69,6 +69,37 @@ impl LeakageReport {
     }
 }
 
+impl From<qvsec_prob::kernel::KernelLeakEntry> for LeakEntry {
+    fn from(e: qvsec_prob::kernel::KernelLeakEntry) -> Self {
+        LeakEntry {
+            query_answer: e.query_answer,
+            view_answers: e.view_answers,
+            prior: e.prior,
+            posterior: e.posterior,
+            relative_increase: e.relative_increase,
+        }
+    }
+}
+
+impl From<qvsec_prob::kernel::KernelLeakage> for LeakageReport {
+    /// Adopts a kernel leakage verdict. On the kernel's exact path the
+    /// result is identical to [`leakage_exact`] (same pairs, same order,
+    /// same exact rationals); on the Monte-Carlo path the entries are
+    /// sample-count estimates filtered for significance.
+    fn from(k: qvsec_prob::kernel::KernelLeakage) -> Self {
+        LeakageReport {
+            max_leak: k.max_leak,
+            witness: k.witness.map(LeakEntry::from),
+            positive_entries: k
+                .positive_entries
+                .into_iter()
+                .map(LeakEntry::from)
+                .collect(),
+            pairs_checked: k.pairs_checked,
+        }
+    }
+}
+
 /// Freezes a query's head to a specific answer, producing the boolean query
 /// `S_s(I) ≡ (s ∈ S(I))` used throughout Section 6.1. Returns `None` if a
 /// constant in the head contradicts the requested answer.

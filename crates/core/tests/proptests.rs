@@ -207,3 +207,98 @@ proptest! {
         prop_assert_eq!(joint, each);
     }
 }
+
+// The probabilistic kernel behind the engine's Probabilistic stage must be
+// transparent: on enumerable spaces its three verdicts are identical to the
+// preserved enumeration baselines, and under rayon-parallel batches a fixed
+// seed yields byte-identical reports.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn probabilistic_stage_equals_the_enumeration_baselines(
+        s_text in query_text(), v_text in query_text()
+    ) {
+        let schema = schema();
+        let mut domain = domain();
+        let s = parse(&s_text, &schema, &mut domain);
+        let v = parse(&v_text, &schema, &mut domain);
+        let views = ViewSet::single(v);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let dict = Dictionary::half(space);
+        let engine = qvsec::AuditEngine::builder(schema, domain)
+            .dictionary(dict.clone())
+            .default_depth(qvsec::AuditDepth::Probabilistic)
+            .build();
+        let report = engine
+            .audit(&qvsec::AuditRequest::new(s.clone(), views.clone()))
+            .unwrap();
+
+        let base_ind = check_independence(&s, &views, &dict).unwrap();
+        let ind = report.independence.unwrap();
+        prop_assert_eq!(ind.independent, base_ind.independent);
+        prop_assert_eq!(ind.violations, base_ind.violations);
+        prop_assert_eq!(ind.pairs_checked, base_ind.pairs_checked);
+
+        let base_leak = qvsec::leakage::leakage_exact(&s, &views, &dict).unwrap();
+        let leak = report.leakage.unwrap();
+        prop_assert_eq!(leak.max_leak, base_leak.max_leak);
+        prop_assert_eq!(leak.witness, base_leak.witness);
+        prop_assert_eq!(leak.positive_entries, base_leak.positive_entries);
+        prop_assert_eq!(leak.pairs_checked, base_leak.pairs_checked);
+
+        let base_total = qvsec::report::is_totally_disclosed(&s, &views, &dict).unwrap();
+        prop_assert_eq!(report.totally_disclosed, Some(base_total));
+    }
+}
+
+/// Seed-determinism of `audit_batch` under rayon: the same engine seed and
+/// request list serialize to byte-identical JSON across parallel runs,
+/// repeat runs and fresh engines — for Monte-Carlo audits included.
+#[test]
+fn audit_batch_is_seed_deterministic_under_rayon() {
+    let build = || {
+        let schema = schema();
+        let mut domain = Domain::with_size(5); // 25 tuples: Monte-Carlo path
+        let s = parse("S(y) :- R(x, y)", &schema, &mut domain);
+        let v = parse("V(x) :- R(x, y)", &schema, &mut domain);
+        let s2 = parse("S2(x0) :- R(x0, 'a')", &schema, &mut domain);
+        let v2 = parse("V2(x0) :- R('b', x0)", &schema, &mut domain);
+        let space = TupleSpace::full_with_cap(&schema, &domain, 100).unwrap();
+        let dict = Dictionary::uniform(space, Ratio::new(1, 5)).unwrap();
+        let engine = qvsec::AuditEngine::builder(schema, domain)
+            .dictionary(dict)
+            .default_depth(qvsec::AuditDepth::Probabilistic)
+            .mc_samples(1500)
+            .mc_seed(2024)
+            .build();
+        let requests = vec![
+            qvsec::AuditRequest::new(s.clone(), ViewSet::single(v.clone())),
+            qvsec::AuditRequest::new(s2, ViewSet::single(v2)),
+            qvsec::AuditRequest::new(s, ViewSet::single(v)),
+        ];
+        (engine, requests)
+    };
+    let (engine_a, requests) = build();
+    let first = serde_json::to_string(&engine_a.try_audit_batch(&requests).unwrap()).unwrap();
+    let again = serde_json::to_string(&engine_a.try_audit_batch(&requests).unwrap()).unwrap();
+    assert_eq!(first, again, "repeat batches on one engine are identical");
+    let (engine_b, requests_b) = build();
+    let fresh = serde_json::to_string(&engine_b.try_audit_batch(&requests_b).unwrap()).unwrap();
+    assert_eq!(
+        first, fresh,
+        "a fresh engine with the same seed reproduces the batch"
+    );
+    let sequential: Vec<_> = requests
+        .iter()
+        .map(|r| engine_a.audit(r).unwrap())
+        .collect();
+    assert_eq!(
+        first,
+        serde_json::to_string(&sequential).unwrap(),
+        "parallel and sequential audits are identical"
+    );
+    // The engine-lifetime counters saw exactly one pool draw.
+    assert_eq!(engine_a.prob_stats().samples_drawn, 1500);
+    assert!(engine_a.prob_stats().samples_reused >= 8 * 1500);
+}

@@ -43,6 +43,20 @@ impl CandidateSet {
         CandidateSet { space, bits }
     }
 
+    /// Wraps an existing bitset over `space` (e.g. a sampled world from
+    /// [`crate::InstanceSampler::sample_bitset`]) without copying it.
+    ///
+    /// # Panics
+    /// Panics if the bitset's capacity does not match the space.
+    pub fn from_bits(space: Arc<TupleSpace>, bits: BitSet) -> Self {
+        assert_eq!(
+            bits.capacity(),
+            space.len(),
+            "bitset capacity must match the tuple space"
+        );
+        CandidateSet { space, bits }
+    }
+
     /// The shared universe this set indexes into.
     pub fn space(&self) -> &Arc<TupleSpace> {
         &self.space

@@ -7,6 +7,7 @@
 //! instances from the tuple-independent distribution — each tuple is included
 //! independently with its dictionary probability.
 
+use crate::bitset::BitSet;
 use crate::dictionary::Dictionary;
 use crate::instance::Instance;
 use rand::Rng;
@@ -42,6 +43,23 @@ impl<'a> InstanceSampler<'a> {
                 .filter(|(_, &p)| rng.gen::<f64>() < p)
                 .map(|(i, _)| self.dictionary.space().tuple(i).clone()),
         )
+    }
+
+    /// Samples one instance directly as a [`BitSet`] over the tuple space —
+    /// no per-tuple clone, no `Instance` hash set. This is the representation
+    /// the shared-sample probabilistic kernel keeps its world pool in; unlike
+    /// [`InstanceSampler::sample_mask`] it scales past 64 tuples.
+    ///
+    /// Consumes exactly one `rng.gen::<f64>()` per tuple of the space, so a
+    /// fixed seed yields the same world regardless of representation.
+    pub fn sample_bitset<R: Rng + ?Sized>(&self, rng: &mut R) -> BitSet {
+        let mut bits = BitSet::new(self.probs.len());
+        for (i, &p) in self.probs.iter().enumerate() {
+            if rng.gen::<f64>() < p {
+                bits.insert(i);
+            }
+        }
+        bits
     }
 
     /// Samples one instance as a `u64` mask over the tuple space (only valid
@@ -185,6 +203,23 @@ mod tests {
         assert!(sampler0
             .estimate_conditional(&mut rng, 100, |_| true, move |i| i.contains(&t0))
             .is_none());
+    }
+
+    #[test]
+    fn bitset_samples_agree_with_instance_samples_for_a_fixed_seed() {
+        let d = dict(Ratio::new(1, 3));
+        let sampler = InstanceSampler::new(&d);
+        for seed in 0..20u64 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let inst = sampler.sample(&mut rng_a);
+            let bits = sampler.sample_bitset(&mut rng_b);
+            assert_eq!(
+                d.space().bitset_from_instance(&inst),
+                bits,
+                "seed {seed}: representations disagree"
+            );
+        }
     }
 
     #[test]

@@ -71,7 +71,7 @@ impl IndependenceReport {
     }
 }
 
-fn analyse(joint: &JointDistribution) -> IndependenceReport {
+pub(crate) fn analyse(joint: &JointDistribution) -> IndependenceReport {
     let mass = joint.total_mass;
     let marginal_q = joint.marginal_query();
     let marginal_v = joint.marginal_views();

@@ -1,0 +1,261 @@
+//! Query compilation: from a conjunctive query to per-answer witness masks.
+//!
+//! The enumeration baseline evaluates `Q(I)` with a fresh homomorphism
+//! search on every one of the `2^n` worlds. The kernel instead runs the
+//! search **once**, against the saturated instance (every tuple of the
+//! space present): each homomorphism contributes its head image (a possible
+//! answer) and its body image (a witness — a set of space indices). By
+//! monotonicity of conjunctive queries, `a ∈ Q(I)` iff some witness of `a`
+//! is contained in `I`, so evaluating a compiled query against a world is a
+//! handful of mask containment tests (`w & m == w`) instead of a search.
+//!
+//! This is exactly the lineage construction of Example 4.12
+//! (`Q = t1 ∨ (t2 ∧ t4)`), generalised from boolean queries to one DNF per
+//! possible answer.
+
+use qvsec_cq::eval::Answer;
+use qvsec_cq::homomorphism::find_homomorphisms;
+use qvsec_cq::ConjunctiveQuery;
+use qvsec_data::bitset::BitSet;
+use qvsec_data::{Instance, TupleSpace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A query compiled against a tuple space.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// Every answer with at least one witness, in canonical (sorted) order —
+    /// the same order as `possible_answers` iteration over a `BTreeSet`.
+    answers: Vec<Answer>,
+    /// Per answer: the minimal witnesses as sorted space-index lists.
+    witnesses: Vec<Vec<Vec<usize>>>,
+    /// Per answer: the same witnesses as `u64` masks (populated only when
+    /// the space has at most 64 tuples — always true for the exact path,
+    /// which is capped at `MAX_ENUMERABLE`).
+    masks: Option<Vec<Vec<u64>>>,
+    /// Per answer: the same witnesses as chunked bitsets (any space size);
+    /// used to evaluate sampled worlds.
+    bits: Vec<Vec<BitSet>>,
+    /// Words needed to store one answer-membership signature.
+    sig_words: usize,
+}
+
+/// Keeps only witnesses not strictly containing another witness (the
+/// minimality filter of `lineage_dnf`).
+fn minimal(witnesses: BTreeSet<Vec<usize>>) -> Vec<Vec<usize>> {
+    let all: Vec<Vec<usize>> = witnesses.into_iter().collect();
+    let mut out = Vec::new();
+    'outer: for (i, w) in all.iter().enumerate() {
+        for (j, other) in all.iter().enumerate() {
+            if i != j && other.len() < w.len() && other.iter().all(|x| w.contains(x)) {
+                continue 'outer;
+            }
+        }
+        out.push(w.clone());
+    }
+    out
+}
+
+impl CompiledQuery {
+    /// Compiles `query` against `space`: one homomorphism search against the
+    /// saturated instance, grouped by head answer.
+    pub fn compile(query: &ConjunctiveQuery, space: &TupleSpace) -> CompiledQuery {
+        let saturated = Instance::from_tuples(space.iter().cloned());
+        let mut by_answer: BTreeMap<Answer, BTreeSet<Vec<usize>>> = BTreeMap::new();
+        for hom in find_homomorphisms(query, &saturated) {
+            let (Some(answer), Some(image)) = (hom.head_image(query), hom.body_image(query)) else {
+                continue;
+            };
+            let mut indices: Vec<usize> = image.iter().filter_map(|t| space.index_of(t)).collect();
+            indices.sort_unstable();
+            indices.dedup();
+            if indices.len() == image.len() {
+                by_answer.entry(answer).or_default().insert(indices);
+            }
+        }
+        let mut answers = Vec::with_capacity(by_answer.len());
+        let mut witnesses = Vec::with_capacity(by_answer.len());
+        for (answer, wits) in by_answer {
+            answers.push(answer);
+            witnesses.push(minimal(wits));
+        }
+        let masks = (space.len() <= 64).then(|| {
+            witnesses
+                .iter()
+                .map(|per_answer| {
+                    per_answer
+                        .iter()
+                        .map(|w| w.iter().fold(0u64, |m, &i| m | (1u64 << i)))
+                        .collect()
+                })
+                .collect()
+        });
+        let bits = witnesses
+            .iter()
+            .map(|per_answer| {
+                per_answer
+                    .iter()
+                    .map(|w| {
+                        let mut b = BitSet::new(space.len());
+                        for &i in w {
+                            b.insert(i);
+                        }
+                        b
+                    })
+                    .collect()
+            })
+            .collect();
+        let sig_words = answers.len().div_ceil(64);
+        CompiledQuery {
+            answers,
+            witnesses,
+            masks,
+            bits,
+            sig_words,
+        }
+    }
+
+    /// The possible answers, sorted.
+    pub fn answers(&self) -> &[Answer] {
+        &self.answers
+    }
+
+    /// Number of possible answers.
+    pub fn num_answers(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// The minimal witnesses of answer `i`, as sorted space-index lists.
+    pub fn witnesses_of(&self, i: usize) -> &[Vec<usize>] {
+        &self.witnesses[i]
+    }
+
+    /// `u64` words needed for this query's slice of a signature.
+    pub fn sig_words(&self) -> usize {
+        self.sig_words
+    }
+
+    /// Appends this query's answer-membership bits for the world `mask`
+    /// onto `sig`: bit `i` is set iff answer `i` is in the query's answer
+    /// set on that world.
+    ///
+    /// # Panics
+    /// Panics if the space had more than 64 tuples (no mask form).
+    pub fn push_answer_bits_mask(&self, mask: u64, sig: &mut Vec<u64>) {
+        let masks = self
+            .masks
+            .as_ref()
+            .expect("mask evaluation requires a space of at most 64 tuples");
+        let base = sig.len();
+        sig.resize(base + self.sig_words, 0);
+        for (i, per_answer) in masks.iter().enumerate() {
+            if per_answer.iter().any(|&w| w & !mask == 0) {
+                sig[base + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+    }
+
+    /// Appends this query's answer-membership bits for a sampled world given
+    /// as a bitset over the same space.
+    pub fn push_answer_bits_world(&self, world: &BitSet, sig: &mut Vec<u64>) {
+        let base = sig.len();
+        sig.resize(base + self.sig_words, 0);
+        for (i, per_answer) in self.bits.iter().enumerate() {
+            if per_answer.iter().any(|w| w.is_subset_of(world)) {
+                sig[base + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+    }
+
+    /// Whether answer `i` is marked present in this query's signature slice
+    /// (`sig` must start at this query's first word).
+    pub fn answer_bit(&self, sig: &[u64], i: usize) -> bool {
+        sig[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Decodes this query's signature slice into the full answer set.
+    pub fn decode(&self, sig: &[u64]) -> qvsec_cq::eval::AnswerSet {
+        self.answers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.answer_bit(sig, *i))
+            .map(|(_, a)| a.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::eval::evaluate;
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Domain, Schema};
+
+    fn setup() -> (Schema, Domain, TupleSpace) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let domain = Domain::with_constants(["a", "b"]);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        (schema, domain, space)
+    }
+
+    #[test]
+    fn compiled_answers_match_saturated_evaluation() {
+        let (schema, mut domain, space) = setup();
+        for text in [
+            "V(x) :- R(x, y)",
+            "S(y) :- R(x, y)",
+            "Q() :- R('a', x), R(x, x)",
+            "P(x, y) :- R(x, y), x != y",
+        ] {
+            let q = parse_query(text, &schema, &mut domain).unwrap();
+            let compiled = CompiledQuery::compile(&q, &space);
+            let saturated = Instance::from_tuples(space.iter().cloned());
+            let expected: Vec<Answer> = evaluate(&q, &saturated).into_iter().collect();
+            assert_eq!(compiled.answers(), &expected[..], "{text}");
+        }
+    }
+
+    #[test]
+    fn mask_evaluation_matches_instance_evaluation_on_every_world() {
+        let (schema, mut domain, space) = setup();
+        let q = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let compiled = CompiledQuery::compile(&q, &space);
+        for (mask, instance) in space.instances().unwrap() {
+            let mut sig = Vec::new();
+            compiled.push_answer_bits_mask(mask, &mut sig);
+            let decoded = compiled.decode(&sig);
+            assert_eq!(decoded, evaluate(&q, &instance), "world {mask:b}");
+            // the bitset form agrees with the mask form
+            let world = qvsec_data::bitset::BitSet::from_mask(space.len(), mask);
+            let mut sig_b = Vec::new();
+            compiled.push_answer_bits_world(&world, &mut sig_b);
+            assert_eq!(sig, sig_b);
+        }
+    }
+
+    #[test]
+    fn boolean_queries_compile_to_a_single_conditional_answer() {
+        let (schema, mut domain, space) = setup();
+        let q = parse_query("Q() :- R('a', x), R(x, x)", &schema, &mut domain).unwrap();
+        let compiled = CompiledQuery::compile(&q, &space);
+        assert_eq!(compiled.num_answers(), 1, "boolean: the empty answer");
+        // Example 4.12: witnesses are {t0} and {t1, t3} in space order.
+        let wits = compiled.witnesses_of(0);
+        assert_eq!(wits.len(), 2);
+        let sizes: Vec<usize> = wits.iter().map(|w| w.len()).collect();
+        assert!(sizes.contains(&1) && sizes.contains(&2));
+    }
+
+    #[test]
+    fn unsatisfiable_queries_compile_to_no_answers() {
+        let (schema, mut domain, space) = setup();
+        let q = parse_query("Q() :- R(x, x), x != x", &schema, &mut domain).unwrap();
+        let compiled = CompiledQuery::compile(&q, &space);
+        assert_eq!(compiled.num_answers(), 0);
+        assert_eq!(compiled.sig_words(), 0);
+        let mut sig = Vec::new();
+        compiled.push_answer_bits_mask(0b1111, &mut sig);
+        assert!(sig.is_empty());
+        assert!(compiled.decode(&sig).is_empty());
+    }
+}

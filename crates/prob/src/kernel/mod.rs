@@ -1,0 +1,652 @@
+//! The shared-sample probabilistic kernel behind `AuditDepth::Probabilistic`.
+//!
+//! The kernel serves the three dictionary-level checks of an audit — the
+//! literal Definition 4.1 independence test, the Section 6.1 leakage
+//! measure, and the total-disclosure (determinacy) test — from **one**
+//! evaluation of the tuple space per audit:
+//!
+//! * **Exact path** (spaces up to the configured cutover): every world is
+//!   streamed as a `u64` mask and evaluated against per-answer witness
+//!   masks ([`compile`]), accumulating a *signature distribution* — the
+//!   joint distribution of `(S(I), V̄(I))` keyed by packed answer bits
+//!   ([`exact`]). No `Instance` is ever materialized and no homomorphism
+//!   search runs per world; all three checks are aggregations over the
+//!   (typically tiny) set of distinct signatures.
+//! * **Monte-Carlo path** (larger spaces): the same signatures are counted
+//!   over the worlds of a seeded, lazily-built [`SamplePool`] shared across
+//!   the three passes *and* across every audit the kernel serves
+//!   ([`montecarlo`]), with estimates reported as exact count ratios plus a
+//!   standard-error bound.
+//!
+//! Every audit reports which estimator produced it ([`EstimatorReport`]),
+//! and the kernel keeps lifetime counters of worlds streamed, samples
+//! drawn/reused and exact→Monte-Carlo cutovers ([`ProbStats`]).
+
+pub mod compile;
+pub mod exact;
+pub mod montecarlo;
+pub mod pool;
+pub mod stats;
+
+pub use compile::CompiledQuery;
+pub use exact::{stream_exact, SignatureDistribution};
+pub use montecarlo::{count_signatures, SignatureCounts};
+pub use pool::{SamplePool, POOL_CHUNK};
+pub use stats::{ProbStats, ProbStatsSnapshot};
+
+use crate::independence::{analyse, IndependenceReport, Violation};
+use crate::probability::JointDistribution;
+use qvsec_cq::eval::{Answer, AnswerSet};
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_data::bitset::MAX_ENUMERABLE;
+use qvsec_data::{Dictionary, Ratio, Result, TupleSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// Kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Largest tuple-space size evaluated exactly; bigger spaces cut over
+    /// to Monte-Carlo estimation. Clamped to [`MAX_ENUMERABLE`].
+    pub exact_cutover: usize,
+    /// Worlds drawn into the shared sample pool (Monte-Carlo path).
+    pub samples: usize,
+    /// Seed of the shared sample pool.
+    pub seed: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            exact_cutover: MAX_ENUMERABLE,
+            samples: 8192,
+            seed: 0x9ec4_51ec,
+        }
+    }
+}
+
+/// Which estimator produced a probabilistic verdict. Serializes as the
+/// variant name (`"Exact"` / `"MonteCarlo"`), like every other report enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EstimatorMode {
+    /// Exhaustive mask streaming: probabilities are exact rationals.
+    Exact,
+    /// Shared-pool Monte-Carlo: probabilities are sample-count ratios.
+    MonteCarlo,
+}
+
+/// Estimator metadata attached to every kernel verdict (and surfaced on
+/// `AuditReport`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorReport {
+    /// Exact streaming or Monte-Carlo.
+    pub mode: EstimatorMode,
+    /// Tuples in the dictionary's space.
+    pub space_size: usize,
+    /// Worlds streamed by the exact path (`2^space_size`), 0 for Monte-Carlo.
+    pub worlds_streamed: u64,
+    /// Pooled samples used, 0 for the exact path.
+    pub sample_count: usize,
+    /// Seed of the shared pool (Monte-Carlo only).
+    pub seed: Option<u64>,
+    /// Worst-case standard error of any estimated probability
+    /// (`0.5 / √samples`); 0 for the exact path.
+    pub std_error: f64,
+}
+
+/// One `(s, v̄)` leakage entry, kernel form (mirrors the core crate's
+/// `LeakEntry` field-for-field; the engine converts).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelLeakEntry {
+    /// The secret answer tuple `s`.
+    pub query_answer: Answer,
+    /// One answer tuple per view (`v̄`).
+    pub view_answers: Vec<Answer>,
+    /// `P[s ⊆ S(I)]`.
+    pub prior: Ratio,
+    /// `P[s ⊆ S(I) | v̄ ⊆ V̄(I)]`.
+    pub posterior: Ratio,
+    /// `(posterior − prior) / prior`.
+    pub relative_increase: Ratio,
+}
+
+/// The kernel's Section 6.1 leakage verdict.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelLeakage {
+    /// `leak(S, V̄)` over the examined pairs.
+    pub max_leak: Ratio,
+    /// The pair attaining the supremum.
+    pub witness: Option<KernelLeakEntry>,
+    /// Every pair with a strictly positive (and, under Monte-Carlo,
+    /// significant) relative increase, sorted by decreasing increase.
+    pub positive_entries: Vec<KernelLeakEntry>,
+    /// Number of `(s, v̄)` pairs examined.
+    pub pairs_checked: usize,
+}
+
+/// Everything the Probabilistic stage needs, from one space evaluation.
+#[derive(Debug, Clone)]
+pub struct KernelAudit {
+    /// The Definition 4.1 independence verdict.
+    pub independence: IndependenceReport,
+    /// The Section 6.1 leakage verdict.
+    pub leakage: KernelLeakage,
+    /// Whether the view answers determine the secret answer over the
+    /// evaluated worlds.
+    pub totally_disclosed: bool,
+    /// Which estimator produced the verdicts above.
+    pub estimator: EstimatorReport,
+}
+
+/// The shared-sample probabilistic kernel: owns the dictionary, the interned
+/// tuple space, the lazily-built sample pool and the lifetime counters.
+#[derive(Debug)]
+pub struct ProbKernel {
+    dict: Arc<Dictionary>,
+    space: Arc<TupleSpace>,
+    config: KernelConfig,
+    stats: ProbStats,
+    pool: OnceLock<Arc<SamplePool>>,
+}
+
+impl ProbKernel {
+    /// Builds a kernel over `dict` with the given configuration.
+    pub fn new(dict: Arc<Dictionary>, config: KernelConfig) -> Self {
+        let space = Arc::new(dict.space().clone());
+        ProbKernel {
+            dict,
+            space,
+            config,
+            stats: ProbStats::new(),
+            pool: OnceLock::new(),
+        }
+    }
+
+    /// The dictionary the kernel evaluates against.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> ProbStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Whether audits against this dictionary run the exact path.
+    pub fn is_exact(&self) -> bool {
+        self.space.len() <= self.config.exact_cutover.min(MAX_ENUMERABLE)
+    }
+
+    /// The shared sample pool, built exactly once on first use
+    /// (`get_or_init` serializes racing first callers, so concurrent batch
+    /// audits never generate throwaway pools). Later calls — further
+    /// passes, further audits, other threads — reuse the same worlds and
+    /// are counted as reuses.
+    pub fn shared_pool(&self) -> Arc<SamplePool> {
+        let mut drawn_here = false;
+        let pool = self.pool.get_or_init(|| {
+            drawn_here = true;
+            Arc::new(SamplePool::generate(
+                &self.dict,
+                Arc::clone(&self.space),
+                self.config.samples,
+                self.config.seed,
+            ))
+        });
+        if drawn_here {
+            self.stats.add_samples_drawn(pool.len() as u64);
+        } else {
+            self.stats.add_samples_reused(pool.len() as u64);
+        }
+        Arc::clone(pool)
+    }
+
+    /// Runs the full Probabilistic stage for one audit: independence,
+    /// leakage and total disclosure from a single space evaluation.
+    pub fn evaluate(&self, secret: &ConjunctiveQuery, views: &ViewSet) -> Result<KernelAudit> {
+        let mut compiled = Vec::with_capacity(1 + views.len());
+        compiled.push(CompiledQuery::compile(secret, &self.space));
+        for v in views.iter() {
+            compiled.push(CompiledQuery::compile(v, &self.space));
+        }
+        let offsets = sig_offsets(&compiled);
+        if self.is_exact() {
+            let dist = stream_exact(&self.dict, &compiled, &self.stats)?;
+            Ok(self.analyse_exact(&compiled, &offsets, dist))
+        } else {
+            self.stats.add_cutover();
+            let pool = self.shared_pool();
+            let counts = count_signatures(&pool, &compiled);
+            // The leakage and total-disclosure passes are served from the
+            // same per-world signatures the independence pass computed.
+            self.stats.add_samples_reused(2 * pool.len() as u64);
+            Ok(analyse_mc(
+                &compiled,
+                &offsets,
+                &counts,
+                &pool,
+                self.space.len(),
+            ))
+        }
+    }
+
+    fn analyse_exact(
+        &self,
+        compiled: &[CompiledQuery],
+        offsets: &[usize],
+        dist: SignatureDistribution,
+    ) -> KernelAudit {
+        let entries: Vec<(Vec<u64>, Ratio)> = dist.entries.into_iter().collect();
+        // Independence: rebuild the joint distribution of Definition 4.1 and
+        // reuse the baseline's own analysis, so the verdict is identical to
+        // `check_independence` by construction.
+        let mut joint: BTreeMap<(AnswerSet, Vec<AnswerSet>), Ratio> = BTreeMap::new();
+        let mut total_mass = Ratio::ZERO;
+        for (sig, p) in &entries {
+            let (s_ans, v_ans) = decode_signature(sig, compiled, offsets);
+            *joint.entry((s_ans, v_ans)).or_insert(Ratio::ZERO) += *p;
+            total_mass += *p;
+        }
+        let independence = analyse(&JointDistribution::from_parts(joint, total_mass));
+        let leakage = leakage_from_signatures(compiled, offsets, &entries, None);
+        let totally_disclosed = determined(entries.iter().map(|(sig, _)| sig.as_slice()), offsets);
+        KernelAudit {
+            independence,
+            leakage,
+            totally_disclosed,
+            estimator: EstimatorReport {
+                mode: EstimatorMode::Exact,
+                space_size: self.space.len(),
+                worlds_streamed: 1u64 << self.space.len(),
+                sample_count: 0,
+                seed: None,
+                std_error: 0.0,
+            },
+        }
+    }
+}
+
+/// Word offsets of each compiled query's slice within a signature.
+fn sig_offsets(compiled: &[CompiledQuery]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(compiled.len() + 1);
+    offsets.push(0);
+    for q in compiled {
+        offsets.push(offsets.last().unwrap() + q.sig_words());
+    }
+    offsets
+}
+
+/// Decodes a packed signature into the `(S(I), V̄(I))` answer sets.
+fn decode_signature(
+    sig: &[u64],
+    compiled: &[CompiledQuery],
+    offsets: &[usize],
+) -> (AnswerSet, Vec<AnswerSet>) {
+    let s_ans = compiled[0].decode(&sig[offsets[0]..offsets[1]]);
+    let v_ans = compiled[1..]
+        .iter()
+        .zip(offsets[1..].windows(2))
+        .map(|(q, w)| q.decode(&sig[w[0]..w[1]]))
+        .collect();
+    (s_ans, v_ans)
+}
+
+/// Whether the secret slice of every signature is a function of the view
+/// slices — determinacy over the evaluated worlds (the total-disclosure
+/// test).
+fn determined<'a>(sigs: impl Iterator<Item = &'a [u64]>, offsets: &[usize]) -> bool {
+    let split = offsets[1];
+    let mut by_view: std::collections::HashMap<&[u64], &[u64]> = std::collections::HashMap::new();
+    for sig in sigs {
+        let (secret_part, view_part) = sig.split_at(split);
+        match by_view.get(view_part) {
+            Some(&existing) if existing != secret_part => return false,
+            Some(_) => {}
+            None => {
+                by_view.insert(view_part, secret_part);
+            }
+        }
+    }
+    true
+}
+
+/// All index combinations of one possible answer per view, in the same
+/// order as the enumeration baseline's cartesian product (earlier views
+/// vary more slowly).
+fn view_combos(views: &[CompiledQuery]) -> Vec<Vec<usize>> {
+    let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
+    for v in views {
+        let mut next = Vec::with_capacity(combos.len() * v.num_answers());
+        for combo in &combos {
+            for a in 0..v.num_answers() {
+                let mut c = combo.clone();
+                c.push(a);
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+/// The Section 6.1 leakage measure over a signature distribution. With
+/// `mc_total = None` the weights are exact masses and every positive
+/// relative increase is reported (matching `leakage_exact`); with
+/// `mc_total = Some(n)` the weights are sample fractions and only increases
+/// beyond three standard errors are reported.
+fn leakage_from_signatures(
+    compiled: &[CompiledQuery],
+    offsets: &[usize],
+    entries: &[(Vec<u64>, Ratio)],
+    mc_total: Option<u64>,
+) -> KernelLeakage {
+    let secret = &compiled[0];
+    let views = &compiled[1..];
+    let m_s = secret.num_answers();
+    let combos = view_combos(views);
+
+    fn secret_slice<'a>(sig: &'a [u64], offsets: &[usize]) -> &'a [u64] {
+        &sig[offsets[0]..offsets[1]]
+    }
+    let combo_matches = |sig: &[u64], combo: &[usize]| {
+        views
+            .iter()
+            .zip(combo)
+            .zip(offsets[1..].windows(2))
+            .all(|((v, &a), w)| v.answer_bit(&sig[w[0]..w[1]], a))
+    };
+
+    let mut priors = vec![Ratio::ZERO; m_s];
+    for (sig, w) in entries {
+        for (i, prior) in priors.iter_mut().enumerate() {
+            if secret.answer_bit(secret_slice(sig, offsets), i) {
+                *prior += *w;
+            }
+        }
+    }
+    let cond: Vec<Ratio> = combos
+        .iter()
+        .map(|combo| {
+            entries
+                .iter()
+                .filter(|(sig, _)| combo_matches(sig, combo))
+                .map(|(_, w)| *w)
+                .sum()
+        })
+        .collect();
+
+    let mut report = KernelLeakage::default();
+    for (i, &prior) in priors.iter().enumerate() {
+        if prior.is_zero() {
+            continue;
+        }
+        for (ci, combo) in combos.iter().enumerate() {
+            report.pairs_checked += 1;
+            let c = cond[ci];
+            if c.is_zero() {
+                continue;
+            }
+            let joint: Ratio = entries
+                .iter()
+                .filter(|(sig, _)| {
+                    secret.answer_bit(secret_slice(sig, offsets), i) && combo_matches(sig, combo)
+                })
+                .map(|(_, w)| *w)
+                .sum();
+            let posterior = joint / c;
+            let relative = (posterior - prior) / prior;
+            let include = match mc_total {
+                None => relative > Ratio::ZERO,
+                Some(n) => {
+                    relative > Ratio::ZERO
+                        && significant(prior, posterior, n as f64, (c.to_f64() * n as f64).max(1.0))
+                }
+            };
+            if include {
+                let entry = KernelLeakEntry {
+                    query_answer: secret.answers()[i].clone(),
+                    view_answers: views
+                        .iter()
+                        .zip(combo)
+                        .map(|(v, &a)| v.answers()[a].clone())
+                        .collect(),
+                    prior,
+                    posterior,
+                    relative_increase: relative,
+                };
+                if relative > report.max_leak {
+                    report.max_leak = relative;
+                    report.witness = Some(entry.clone());
+                }
+                report.positive_entries.push(entry);
+            }
+        }
+    }
+    report
+        .positive_entries
+        .sort_by_key(|e| std::cmp::Reverse(e.relative_increase));
+    report
+}
+
+/// Whether `posterior − prior` exceeds three combined standard errors for
+/// binomial estimates over `n` (prior) and `n_cond` (posterior) samples.
+fn significant(prior: Ratio, posterior: Ratio, n: f64, n_cond: f64) -> bool {
+    let p = prior.to_f64();
+    let q = posterior.to_f64();
+    let sigma = (p * (1.0 - p) / n).sqrt() + (q * (1.0 - q) / n_cond).sqrt();
+    (q - p).abs() > 3.0 * sigma
+}
+
+/// The Monte-Carlo analysis: the same three verdicts, from pooled
+/// signature counts, reported as exact count ratios with a 3σ
+/// significance filter on violations and leak entries.
+fn analyse_mc(
+    compiled: &[CompiledQuery],
+    offsets: &[usize],
+    counts: &SignatureCounts,
+    pool: &SamplePool,
+    space_size: usize,
+) -> KernelAudit {
+    let n = counts.total.max(1);
+    // Decoded joint counts for the independence marginals.
+    let mut joint: BTreeMap<(AnswerSet, Vec<AnswerSet>), u64> = BTreeMap::new();
+    for (sig, c) in &counts.counts {
+        let key = decode_signature(sig, compiled, offsets);
+        *joint.entry(key).or_insert(0) += c;
+    }
+    let mut marginal_q: BTreeMap<&AnswerSet, u64> = BTreeMap::new();
+    let mut marginal_v: BTreeMap<&Vec<AnswerSet>, u64> = BTreeMap::new();
+    for ((s, v), &c) in &joint {
+        *marginal_q.entry(s).or_insert(0) += c;
+        *marginal_v.entry(v).or_insert(0) += c;
+    }
+    let mut violations = Vec::new();
+    let mut pairs = 0usize;
+    for (s_ans, &c_s) in &marginal_q {
+        let prior = Ratio::new(c_s as i128, n as i128);
+        for (v_ans, &c_v) in &marginal_v {
+            if c_v == 0 {
+                continue;
+            }
+            pairs += 1;
+            let c_joint = joint
+                .get(&((*s_ans).clone(), (*v_ans).clone()))
+                .copied()
+                .unwrap_or(0);
+            let posterior = Ratio::new(c_joint as i128, c_v as i128);
+            if posterior != prior && significant(prior, posterior, n as f64, c_v as f64) {
+                violations.push(Violation {
+                    query_answer: (*s_ans).clone(),
+                    view_answers: (*v_ans).clone(),
+                    prior,
+                    posterior,
+                });
+            }
+        }
+    }
+    violations.sort_by_key(|v| std::cmp::Reverse(v.absolute_change()));
+    let independence = IndependenceReport {
+        independent: violations.is_empty(),
+        violations,
+        pairs_checked: pairs,
+    };
+
+    let entries: Vec<(Vec<u64>, Ratio)> = counts
+        .counts
+        .iter()
+        .map(|(sig, &c)| (sig.clone(), Ratio::new(c as i128, n as i128)))
+        .collect();
+    let leakage = leakage_from_signatures(compiled, offsets, &entries, Some(n));
+    let totally_disclosed = determined(counts.counts.keys().map(|s| s.as_slice()), offsets);
+    KernelAudit {
+        independence,
+        leakage,
+        totally_disclosed,
+        estimator: EstimatorReport {
+            mode: EstimatorMode::MonteCarlo,
+            space_size,
+            worlds_streamed: 0,
+            sample_count: pool.len(),
+            seed: Some(pool.seed()),
+            std_error: 0.5 / (n as f64).sqrt(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::independence::check_independence;
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Domain, Schema};
+
+    fn setup() -> (Schema, Domain, Arc<Dictionary>) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let domain = Domain::with_constants(["a", "b"]);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        (schema, domain, Arc::new(Dictionary::half(space)))
+    }
+
+    #[test]
+    fn exact_kernel_reproduces_the_example_4_2_independence_report() {
+        let (schema, mut domain, dict) = setup();
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let views = ViewSet::single(v);
+        let kernel = ProbKernel::new(Arc::clone(&dict), KernelConfig::default());
+        let audit = kernel.evaluate(&s, &views).unwrap();
+        let baseline = check_independence(&s, &views, &dict).unwrap();
+        assert_eq!(audit.independence.independent, baseline.independent);
+        assert_eq!(audit.independence.pairs_checked, baseline.pairs_checked);
+        assert_eq!(audit.independence.violations, baseline.violations);
+        assert_eq!(audit.estimator.mode, EstimatorMode::Exact);
+        assert_eq!(audit.estimator.worlds_streamed, 16);
+        assert!(!audit.totally_disclosed);
+        assert!(audit.leakage.max_leak > Ratio::ZERO);
+        assert_eq!(kernel.stats().exact_worlds_streamed, 16);
+        assert_eq!(kernel.stats().cutovers, 0);
+    }
+
+    #[test]
+    fn exact_kernel_certifies_the_example_4_3_secure_pair() {
+        let (schema, mut domain, dict) = setup();
+        let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let kernel = ProbKernel::new(dict, KernelConfig::default());
+        let audit = kernel.evaluate(&s, &ViewSet::single(v)).unwrap();
+        assert!(audit.independence.independent);
+        assert!(audit.leakage.max_leak.is_zero());
+        assert!(audit.leakage.witness.is_none());
+        assert!(!audit.totally_disclosed);
+    }
+
+    #[test]
+    fn identity_view_is_totally_disclosing() {
+        let (schema, mut domain, dict) = setup();
+        let s = parse_query("S(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let kernel = ProbKernel::new(dict, KernelConfig::default());
+        let audit = kernel.evaluate(&s, &ViewSet::single(v)).unwrap();
+        assert!(audit.totally_disclosed);
+    }
+
+    #[test]
+    fn cutover_runs_monte_carlo_and_reuses_the_pool() {
+        let (schema, mut domain, dict) = setup();
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let views = ViewSet::single(v);
+        let config = KernelConfig {
+            exact_cutover: 0, // force Monte-Carlo even on the tiny space
+            samples: 4000,
+            seed: 17,
+        };
+        let kernel = ProbKernel::new(dict, config);
+        assert!(!kernel.is_exact());
+        let first = kernel.evaluate(&s, &views).unwrap();
+        assert_eq!(first.estimator.mode, EstimatorMode::MonteCarlo);
+        assert_eq!(first.estimator.sample_count, 4000);
+        assert_eq!(first.estimator.seed, Some(17));
+        assert!(first.estimator.std_error > 0.0);
+        // Example 4.2 dependence is strong; 4000 samples find it.
+        assert!(!first.independence.independent);
+        let after_one = kernel.stats();
+        assert_eq!(after_one.samples_drawn, 4000);
+        assert_eq!(after_one.samples_reused, 2 * 4000);
+        assert_eq!(after_one.cutovers, 1);
+        let second = kernel.evaluate(&s, &views).unwrap();
+        let after_two = kernel.stats();
+        assert_eq!(after_two.samples_drawn, 4000, "pool drawn once");
+        assert_eq!(after_two.samples_reused, 5 * 4000);
+        assert_eq!(after_two.cutovers, 2);
+        // Same pool, same signatures: the two audits are identical.
+        assert_eq!(
+            first.independence.violations,
+            second.independence.violations
+        );
+        assert_eq!(first.leakage, second.leakage);
+    }
+
+    #[test]
+    fn monte_carlo_does_not_flag_the_secure_pair() {
+        let (schema, mut domain, dict) = setup();
+        let s = parse_query("S(y) :- R(y, 'a')", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, 'b')", &schema, &mut domain).unwrap();
+        let config = KernelConfig {
+            exact_cutover: 0,
+            samples: 4000,
+            seed: 23,
+        };
+        let kernel = ProbKernel::new(dict, config);
+        let audit = kernel.evaluate(&s, &ViewSet::single(v)).unwrap();
+        assert!(
+            audit.independence.independent,
+            "3σ filter must not flag a perfectly secure pair: {:?}",
+            audit.independence.violations
+        );
+        assert!(audit.leakage.max_leak.is_zero());
+    }
+
+    #[test]
+    fn estimator_report_serializes() {
+        let rep = EstimatorReport {
+            mode: EstimatorMode::MonteCarlo,
+            space_size: 36,
+            worlds_streamed: 0,
+            sample_count: 8192,
+            seed: Some(42),
+            std_error: 0.005,
+        };
+        let json = serde_json::to_string(&rep).unwrap();
+        assert!(json.contains("MonteCarlo"));
+        let back: EstimatorReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+    }
+}

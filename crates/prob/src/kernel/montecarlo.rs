@@ -1,0 +1,85 @@
+//! The Monte-Carlo path: batched signature counting over the shared pool.
+//!
+//! Above the exact cutover the kernel estimates the same signature
+//! distribution the exact path streams, from the worlds of the shared
+//! [`super::SamplePool`]. Every world is evaluated **once** against every
+//! compiled query (a few bitset containment tests), and the independence,
+//! leakage and total-disclosure passes are all computed from the resulting
+//! counts — the passes share one sample set by construction, where the
+//! pre-kernel code re-sampled per pass and per view.
+
+use super::compile::CompiledQuery;
+use super::pool::SamplePool;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Signature → number of pooled worlds exhibiting it.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureCounts {
+    /// Distinct signatures with their multiplicities.
+    pub counts: HashMap<Vec<u64>, u64>,
+    /// Total number of worlds counted (the pool size).
+    pub total: u64,
+}
+
+/// Evaluates every pooled world against the compiled queries, in parallel
+/// chunks, and merges the per-chunk counts. The chunking is by world index,
+/// so the result is independent of the worker-thread count.
+pub fn count_signatures(pool: &SamplePool, compiled: &[CompiledQuery]) -> SignatureCounts {
+    let worlds = pool.worlds();
+    let chunk_len = super::pool::POOL_CHUNK;
+    let chunks: Vec<usize> = (0..worlds.len().div_ceil(chunk_len.max(1))).collect();
+    let partials: Vec<HashMap<Vec<u64>, u64>> = chunks
+        .par_iter()
+        .map(|&c| {
+            let lo = c * chunk_len;
+            let hi = (lo + chunk_len).min(worlds.len());
+            let mut local: HashMap<Vec<u64>, u64> = HashMap::new();
+            let mut sig = Vec::new();
+            for world in &worlds[lo..hi] {
+                sig.clear();
+                for q in compiled {
+                    q.push_answer_bits_world(world.bits(), &mut sig);
+                }
+                *local.entry(sig.clone()).or_insert(0) += 1;
+            }
+            local
+        })
+        .collect();
+    let mut out = SignatureCounts {
+        counts: HashMap::new(),
+        total: worlds.len() as u64,
+    };
+    for partial in partials {
+        for (sig, c) in partial {
+            *out.counts.entry(sig).or_insert(0) += c;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::parse_query;
+    use qvsec_data::{Dictionary, Domain, Schema, TupleSpace};
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_cover_the_whole_pool_and_are_deterministic() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let dict = Dictionary::half(space.clone());
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let compiled = vec![CompiledQuery::compile(&s, &space)];
+        let arc_space = Arc::new(space);
+        let pool = SamplePool::generate(&dict, Arc::clone(&arc_space), 3000, 11);
+        let a = count_signatures(&pool, &compiled);
+        let b = count_signatures(&pool, &compiled);
+        assert_eq!(a.total, 3000);
+        assert_eq!(a.counts.values().sum::<u64>(), 3000);
+        assert_eq!(a.counts, b.counts);
+    }
+}

@@ -1,0 +1,192 @@
+//! The shared sample pool: one seeded batch of sampled worlds, reused by
+//! every Monte-Carlo pass of the kernel.
+//!
+//! Before the kernel existed, each estimation pass (independence, leakage,
+//! total disclosure) — and each audit in a batch — re-sampled its own
+//! instances, and every sample materialized an `Instance` (a `BTreeSet` of
+//! heap-allocated `Tuple`s). The pool draws the batch **once** per
+//! (dictionary, sample count, seed), keeps each world as a
+//! [`CandidateSet`] bitset over a shared [`Arc<TupleSpace>`] (one bit per
+//! tuple of the space, no tuple clones), and hands out borrowed worlds to
+//! every pass that needs them.
+//!
+//! Sampling is parallelised in fixed-size chunks, each chunk re-seeded from
+//! the pool seed and its chunk index, so the pool contents are **identical
+//! for any worker-thread count** — the property the seed-determinism tests
+//! pin down.
+
+use qvsec_data::{CandidateSet, Dictionary, InstanceSampler, TupleSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Worlds sampled per parallel chunk. The chunk — not the worker — is the
+/// unit of seeding, so results do not depend on how chunks are scheduled.
+pub const POOL_CHUNK: usize = 1024;
+
+/// A seeded batch of sampled worlds over one tuple space.
+#[derive(Debug, Clone)]
+pub struct SamplePool {
+    space: Arc<TupleSpace>,
+    worlds: Vec<CandidateSet>,
+    seed: u64,
+}
+
+/// SplitMix64 finalizer used to decorrelate per-chunk RNG seeds.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-chunk RNG seed. The pool seed is mixed *before* the chunk index is
+/// folded in, so pools drawn under nearby seeds (1, 2, 3, ...) share no
+/// chunk streams — `mix(seed + c)` would make chunk `c` of seed `S` equal
+/// chunk `c − 1` of seed `S + 1`, correlating ~all worlds of consecutive
+/// seeds.
+fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    mix(mix(seed) ^ chunk)
+}
+
+impl SamplePool {
+    /// Draws `samples` worlds from `dict` under `seed`. `space` must be the
+    /// dictionary's own tuple space, shared so every world indexes into one
+    /// interned universe.
+    pub fn generate(
+        dict: &Dictionary,
+        space: Arc<TupleSpace>,
+        samples: usize,
+        seed: u64,
+    ) -> SamplePool {
+        assert_eq!(
+            space.as_ref(),
+            dict.space(),
+            "pool space must be the dictionary's tuple space"
+        );
+        let sampler = InstanceSampler::new(dict);
+        let chunks: Vec<usize> = (0..samples.div_ceil(POOL_CHUNK)).collect();
+        let per_chunk: Vec<Vec<CandidateSet>> = chunks
+            .par_iter()
+            .map(|&c| {
+                let mut rng = StdRng::seed_from_u64(chunk_seed(seed, c as u64));
+                let lo = c * POOL_CHUNK;
+                let hi = (lo + POOL_CHUNK).min(samples);
+                (lo..hi)
+                    .map(|_| {
+                        CandidateSet::from_bits(Arc::clone(&space), sampler.sample_bitset(&mut rng))
+                    })
+                    .collect()
+            })
+            .collect();
+        SamplePool {
+            space,
+            worlds: per_chunk.into_iter().flatten().collect(),
+            seed,
+        }
+    }
+
+    /// The sampled worlds, in draw order.
+    pub fn worlds(&self) -> &[CandidateSet] {
+        &self.worlds
+    }
+
+    /// Number of pooled worlds.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// The seed the pool was drawn under.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shared tuple space the worlds index into.
+    pub fn space(&self) -> &Arc<TupleSpace> {
+        &self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_data::{Domain, Schema};
+
+    fn dict() -> Dictionary {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let domain = Domain::with_constants(["a", "b"]);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        Dictionary::half(space)
+    }
+
+    #[test]
+    fn pools_are_deterministic_for_a_fixed_seed() {
+        let d = dict();
+        let space = Arc::new(d.space().clone());
+        let a = SamplePool::generate(&d, Arc::clone(&space), 2500, 7);
+        let b = SamplePool::generate(&d, Arc::clone(&space), 2500, 7);
+        assert_eq!(a.len(), 2500);
+        assert_eq!(a.seed(), 7);
+        for (wa, wb) in a.worlds().iter().zip(b.worlds()) {
+            assert_eq!(wa.bits(), wb.bits());
+        }
+        let c = SamplePool::generate(&d, space, 2500, 8);
+        assert!(
+            a.worlds()
+                .iter()
+                .zip(c.worlds())
+                .any(|(x, y)| x.bits() != y.bits()),
+            "different seeds should draw different pools"
+        );
+    }
+
+    #[test]
+    fn consecutive_seeds_share_no_chunk_streams() {
+        // Regression: seeding chunks from `mix(seed + chunk)` made chunk c
+        // of seed S identical to chunk c-1 of seed S+1, so consecutive-seed
+        // pools shared almost every world. With multi-chunk pools, no chunk
+        // of seed S may reappear anywhere in seed S+1.
+        let d = dict();
+        let space = Arc::new(d.space().clone());
+        let n = 3 * POOL_CHUNK;
+        let a = SamplePool::generate(&d, Arc::clone(&space), n, 1);
+        let b = SamplePool::generate(&d, space, n, 2);
+        for (ca, chunk_a) in a.worlds().chunks(POOL_CHUNK).enumerate() {
+            for (cb, chunk_b) in b.worlds().chunks(POOL_CHUNK).enumerate() {
+                let identical = chunk_a
+                    .iter()
+                    .zip(chunk_b)
+                    .all(|(x, y)| x.bits() == y.bits());
+                assert!(
+                    !identical,
+                    "chunk {ca} of seed 1 equals chunk {cb} of seed 2"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_sample_sizes_concentrate_around_expectation() {
+        let d = dict();
+        let space = Arc::new(d.space().clone());
+        let pool = SamplePool::generate(&d, space, 4000, 3);
+        let mean = pool.worlds().iter().map(|w| w.len()).sum::<usize>() as f64 / 4000.0;
+        assert!((mean - 2.0).abs() < 0.15, "mean world size {mean}");
+    }
+
+    #[test]
+    fn empty_pool_is_fine() {
+        let d = dict();
+        let space = Arc::new(d.space().clone());
+        let pool = SamplePool::generate(&d, space, 0, 1);
+        assert!(pool.is_empty());
+        assert_eq!(pool.len(), 0);
+    }
+}

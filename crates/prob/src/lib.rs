@@ -12,9 +12,13 @@
 //!   polynomials, together with the properties of Proposition 4.13
 //!   ([`poly`]),
 //! * lineage (supporting tuple sets and DNF witnesses) used to build reduced
-//!   tuple spaces and asymptotic estimates ([`lineage`]), and
+//!   tuple spaces and asymptotic estimates ([`lineage`]),
 //! * Monte-Carlo estimators for dictionaries too large for exhaustive
-//!   enumeration ([`montecarlo`]).
+//!   enumeration ([`montecarlo`]), and
+//! * the **shared-sample probabilistic kernel** ([`kernel`]): the scalable
+//!   path behind the engine's `Probabilistic` stage — exact mask streaming
+//!   with an automatic cutover to batched Monte-Carlo over a seeded sample
+//!   pool reused across passes and audits.
 //!
 //! All exact computations use the [`qvsec_data::Ratio`] rational type, so the
 //! numbers of the paper's worked examples (`3/16`, `1/3`, `1/4`, ...) are
@@ -25,6 +29,7 @@
 
 pub mod entropy;
 pub mod independence;
+pub mod kernel;
 pub mod lineage;
 pub mod montecarlo;
 pub mod poly;
@@ -33,6 +38,10 @@ pub mod probability;
 pub use entropy::{entropy_report, EntropyReport};
 pub use independence::{
     check_independence, check_independence_given, IndependenceReport, Violation,
+};
+pub use kernel::{
+    EstimatorMode, EstimatorReport, KernelAudit, KernelConfig, KernelLeakEntry, KernelLeakage,
+    ProbKernel, ProbStats, ProbStatsSnapshot, SamplePool,
 };
 pub use lineage::{lineage_dnf, support_space, support_tuples};
 pub use montecarlo::MonteCarloEstimator;

@@ -111,6 +111,13 @@ impl<'a> MonteCarloEstimator<'a> {
     /// Estimates the relative leakage `(P[s ⊆ S | v̄ ⊆ V̄] − P[s ⊆ S]) / P[s ⊆ S]`
     /// for one specific pair of atomic events. Returns `None` when either the
     /// conditioning event was never observed or the prior estimate is zero.
+    ///
+    /// Prior and posterior are computed from **one** shared sample set (each
+    /// sampled instance is evaluated once and feeds both counters), so a
+    /// fixed seed yields one deterministic answer and the sampling cost is
+    /// paid once instead of once per estimate. This also removes the
+    /// pre-kernel failure mode where the prior and the conditional estimate
+    /// came from different draws and could disagree on overlapping events.
     pub fn relative_leakage(
         &self,
         query: &ConjunctiveQuery,
@@ -118,19 +125,36 @@ impl<'a> MonteCarloEstimator<'a> {
         views: &ViewSet,
         view_answers: &[Vec<qvsec_data::Value>],
     ) -> Option<f64> {
-        let prior = self.answer_inclusion_probability(query, query_answer);
-        if prior == 0.0 {
+        if self.samples == 0 {
             return None;
         }
-        let posterior = self.estimate_conditional(
-            |i| evaluate(query, i).contains(query_answer),
-            |i| {
-                views.iter().zip(view_answers.iter()).all(|(v, ans)| {
-                    let out: AnswerSet = evaluate(v, i);
-                    out.contains(ans)
-                })
-            },
-        )?;
+        let sampler = InstanceSampler::new(self.dict);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut s_hits = 0usize;
+        let mut v_hits = 0usize;
+        let mut joint_hits = 0usize;
+        for _ in 0..self.samples {
+            let inst = sampler.sample(&mut rng);
+            let s_in = evaluate(query, &inst).contains(query_answer);
+            let v_in = views.iter().zip(view_answers.iter()).all(|(v, ans)| {
+                let out: AnswerSet = evaluate(v, &inst);
+                out.contains(ans)
+            });
+            if s_in {
+                s_hits += 1;
+            }
+            if v_in {
+                v_hits += 1;
+                if s_in {
+                    joint_hits += 1;
+                }
+            }
+        }
+        if s_hits == 0 || v_hits == 0 {
+            return None;
+        }
+        let prior = s_hits as f64 / self.samples as f64;
+        let posterior = joint_hits as f64 / v_hits as f64;
         Some((posterior - prior) / prior)
     }
 
@@ -194,6 +218,32 @@ mod tests {
             posterior > prior + 0.05,
             "posterior {posterior} vs prior {prior}"
         );
+    }
+
+    #[test]
+    fn relative_leakage_is_deterministic_for_a_fixed_seed() {
+        let (schema, mut domain, dict) = setup();
+        let s = parse_query("S(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let mc = MonteCarloEstimator::new(&dict, 2000, 41);
+        let views = ViewSet::single(v);
+        let first = mc
+            .relative_leakage(&s, &[a, b], &views, &[vec![a]])
+            .unwrap();
+        let second = mc
+            .relative_leakage(&s, &[a, b], &views, &[vec![a]])
+            .unwrap();
+        assert_eq!(first, second, "one seed, one shared sample set, one answer");
+        assert!(mc
+            .relative_leakage(&s, &[a, b], &views, &[vec![a]])
+            .unwrap()
+            .is_finite());
+        let zero = MonteCarloEstimator::new(&dict, 0, 41);
+        assert!(zero
+            .relative_leakage(&s, &[a, b], &views, &[vec![a]])
+            .is_none());
     }
 
     #[test]

@@ -91,6 +91,19 @@ pub struct JointDistribution {
 }
 
 impl JointDistribution {
+    /// Assembles a distribution from explicit entries (used by the
+    /// mask-streaming kernel, which aggregates the same `(s, v̄)` outcomes
+    /// without materializing an [`Instance`] per world).
+    pub(crate) fn from_parts(
+        entries: BTreeMap<(AnswerSet, Vec<AnswerSet>), Ratio>,
+        total_mass: Ratio,
+    ) -> Self {
+        JointDistribution {
+            entries,
+            total_mass,
+        }
+    }
+
     /// Iterates over `((s, v̄), probability)` entries with positive mass.
     pub fn iter(&self) -> impl Iterator<Item = (&(AnswerSet, Vec<AnswerSet>), Ratio)> + '_ {
         self.entries.iter().map(|(k, &p)| (k, p))

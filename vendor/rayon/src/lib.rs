@@ -1,21 +1,73 @@
 //! Minimal, API-compatible stand-in for the slice of `rayon` this workspace
-//! uses: `slice.par_iter().map(f).collect::<Vec<_>>()`.
+//! uses: `slice.par_iter().map(f).collect::<Vec<_>>()` plus the
+//! [`ThreadPoolBuilder::build_global`] thread-count override the bench
+//! harnesses rely on (`bench_crit --threads N`).
 //!
 //! The implementation splits the input into one contiguous chunk per
-//! available core and maps each chunk on a scoped `std::thread`, writing
+//! worker and maps each chunk on a scoped `std::thread`, writing
 //! results in place so output order matches input order — the property the
 //! audit-batch API relies on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Re-exports, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
 }
 
+/// Global worker-count override installed by [`ThreadPoolBuilder`]; 0 means
+/// "use the hardware parallelism".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 /// Number of worker threads used by the shim.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build_global`]; the shim never
+/// actually fails, the type exists for API compatibility with real rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already initialised")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirror of `rayon::ThreadPoolBuilder`, reduced to the `num_threads` +
+/// `build_global` calls the workspace uses. Unlike real rayon, rebuilding the
+/// global pool is allowed (each call just replaces the worker-count override).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (hardware) parallelism.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads; 0 restores hardware parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configured worker count as the global default used by
+    /// every subsequent `par_iter` call.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 /// Types with a by-reference parallel iterator (`.par_iter()`).
@@ -133,6 +185,20 @@ mod tests {
         let input: Vec<u64> = (0..1000).collect();
         let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_pool_builder_overrides_and_restores_worker_count() {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), 3);
+        let input: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..101).collect::<Vec<_>>());
+        crate::ThreadPoolBuilder::new().build_global().unwrap();
+        assert!(crate::current_num_threads() >= 1);
     }
 
     #[test]

@@ -45,6 +45,14 @@ impl Json {
         }
     }
 
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// The array payload, if this is an array.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
