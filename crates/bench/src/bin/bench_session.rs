@@ -1,0 +1,97 @@
+//! `bench_session` — runs the session harness and writes
+//! `BENCH_session.json` (warm session steps vs. fresh-engine audits of the
+//! same cumulative prefix, with per-step cache-reuse counters), so the
+//! serving-path performance trajectory is recorded alongside the code.
+//!
+//! ```text
+//! cargo run --release -p qvsec-bench --bin bench_session -- \
+//!     [--out BENCH_session.json] [--iters 3] [--threads N]
+//! ```
+
+use qvsec_bench::session::{render_report, run_session_bench};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bench_session — session warm-path benchmark, emits BENCH_session.json
+
+USAGE:
+    bench_session [--out <FILE>] [--iters <N>] [--threads <N>]
+
+OPTIONS:
+    --out <FILE>      Output path (default BENCH_session.json)
+    --iters <N>       Iterations per measurement, best-of (default 3)
+    --threads <N>     Worker threads for the engine's parallel stages
+                      (default: cores)
+    -h, --help        Show this help
+";
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_session.json");
+    let mut iters = 3usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let parse_fail = |what: &str| {
+            eprintln!("error: bad value for {what}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        };
+        match arg.as_str() {
+            "--out" => match argv.next() {
+                Some(path) => out = path,
+                None => return parse_fail("--out"),
+            },
+            "--iters" => match argv.next().and_then(|s| s.parse().ok()) {
+                Some(n) => iters = n,
+                None => return parse_fail("--iters"),
+            },
+            "--threads" => match argv.next().and_then(|s| s.parse().ok()) {
+                Some(n) => {
+                    if rayon::ThreadPoolBuilder::new()
+                        .num_threads(n)
+                        .build_global()
+                        .is_err()
+                    {
+                        eprintln!("error: cannot configure {n} worker threads");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => return parse_fail("--threads"),
+            },
+            "-h" | "--help" => {
+                eprint!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = run_session_bench(iters);
+    print!("{}", render_report(&report));
+    if !report.all_verdicts_match {
+        eprintln!(
+            "error: a session step diverged from the stateless baseline — not writing a report"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !report.warm_steps_all_hit_cache {
+        eprintln!("error: a warm step served nothing from cache — not writing a report");
+        return ExitCode::FAILURE;
+    }
+    match serde_json::to_string_pretty(&report) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&out, text + "\n") {
+                eprintln!("error: cannot write `{out}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

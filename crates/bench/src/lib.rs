@@ -32,6 +32,7 @@
 
 pub mod crit;
 pub mod prob;
+pub mod session;
 
 /// The uniform per-tuple probability used by the dictionary-based benches.
 pub fn default_tuple_probability() -> qvsec_data::Ratio {

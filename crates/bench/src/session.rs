@@ -1,0 +1,353 @@
+//! The session benchmark harness behind `BENCH_session.json`.
+//!
+//! Measures the tentpole claim of the session API: publishing views
+//! **incrementally** through one [`qvsec::AuditSession`] serves every step
+//! after the first from the engine's compiled artifacts (crit-set memo,
+//! candidate spaces, class verdicts, witness-mask compilations, the shared
+//! Monte-Carlo pool), where a stateless deployment re-audits the whole
+//! published prefix on a **fresh engine** per request — recompiling
+//! everything, redrawing the pool.
+//!
+//! Per step `k` the harness records:
+//!
+//! * `warm_nanos` — best-of-N latency of `audit_candidate` at the session's
+//!   current prefix (identical work to the `publish` that follows, engine
+//!   caches warm from steps `< k`);
+//! * `cold_nanos` — best-of-N latency of a fresh engine auditing the same
+//!   cumulative request from scratch;
+//! * the committing publish's cache-delta counters, and whether its report
+//!   is **byte-identical** to the fresh engine's (it must be — the session
+//!   is an optimization layer, not a different semantics).
+//!
+//! The binary `bench_session` runs this harness and writes
+//! `BENCH_session.json`, mirroring `BENCH_crit.json` / `BENCH_prob.json`.
+
+use qvsec::engine::{AuditDepth, AuditEngine, AuditOptions, AuditRequest, CacheStatsSnapshot};
+use qvsec_cq::{parse_query, ConjunctiveQuery, ViewSet};
+use qvsec_data::{Dictionary, Domain, Ratio, Schema, TupleSpace};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured publication step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionStepReport {
+    /// 1-based step number.
+    pub step: usize,
+    /// The published view's label.
+    pub view: String,
+    /// Best-of-N wall clock of a fresh engine auditing the cumulative
+    /// prefix, nanoseconds.
+    pub cold_nanos: u64,
+    /// Best-of-N wall clock of the warm session answering the same
+    /// question, nanoseconds.
+    pub warm_nanos: u64,
+    /// `cold_nanos / warm_nanos`.
+    pub speedup: f64,
+    /// Whether the session's cumulative report is byte-identical to the
+    /// fresh engine's.
+    pub verdicts_match: bool,
+    /// The committing publish's cache-reuse delta.
+    pub cache: CacheStatsSnapshot,
+}
+
+/// One workload: a secret published against a fixed view sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionWorkloadReport {
+    /// Workload label, e.g. `collusion-prob/domain3`.
+    pub name: String,
+    /// Audit depth the session runs at.
+    pub depth: String,
+    /// Per-step measurements, in publication order.
+    pub steps: Vec<SessionStepReport>,
+    /// Geometric mean of the warm-step speedups (steps ≥ 2 — step 1 has
+    /// nothing to reuse beyond within-audit sharing).
+    pub warm_geomean_speedup: f64,
+}
+
+/// The full harness report serialized into `BENCH_session.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionBenchReport {
+    /// Worker threads available to the engine's parallel stages.
+    pub threads: usize,
+    /// Iterations per measurement (best-of).
+    pub iterations: usize,
+    /// Per-workload measurements.
+    pub workloads: Vec<SessionWorkloadReport>,
+    /// Geometric mean of all warm-step (≥ 2) speedups across workloads.
+    pub geomean_warm_speedup: f64,
+    /// Whether every step of every workload matched the stateless baseline.
+    pub all_verdicts_match: bool,
+    /// Whether every step from 2 onward served something from cache
+    /// (crit/space memo, class verdicts, compile cache or pooled samples).
+    pub warm_steps_all_hit_cache: bool,
+}
+
+fn best_of<F: FnMut()>(iterations: usize, mut f: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iterations.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// A workload definition: how to build the engine, and what to publish.
+struct Workload {
+    name: String,
+    depth: AuditDepth,
+    schema: Schema,
+    domain: Domain,
+    dictionary: Option<Dictionary>,
+    mc_samples: usize,
+    secret: ConjunctiveQuery,
+    steps: Vec<(String, ConjunctiveQuery)>,
+}
+
+impl Workload {
+    fn engine(&self) -> AuditEngine {
+        let mut builder = AuditEngine::builder(self.schema.clone(), self.domain.clone())
+            .default_depth(self.depth)
+            .mc_samples(self.mc_samples);
+        if let Some(dict) = &self.dictionary {
+            builder = builder.dictionary(dict.clone());
+        }
+        builder.build()
+    }
+}
+
+/// Default shared-pool size for the Monte-Carlo workload.
+pub const DEFAULT_MC_SAMPLES: usize = 8192;
+
+fn depth_name(depth: AuditDepth) -> &'static str {
+    match depth {
+        AuditDepth::Fast => "fast",
+        AuditDepth::Exact => "exact",
+        AuditDepth::Probabilistic => "probabilistic",
+    }
+}
+
+fn run_workload(workload: &Workload, iterations: usize) -> SessionWorkloadReport {
+    let engine = Arc::new(workload.engine());
+    let mut session = engine
+        .open_session(workload.secret.clone())
+        .named(workload.name.clone());
+    let mut steps = Vec::with_capacity(workload.steps.len());
+    let mut published: Vec<ConjunctiveQuery> = Vec::new();
+    for (k, (view_name, view)) in workload.steps.iter().enumerate() {
+        // Warm latency: the candidate audit runs exactly the work `publish`
+        // will, over caches warmed by the previous steps (the first
+        // candidate call itself warms this step's new artifacts; best-of
+        // keeps the steady-state figure).
+        let warm_nanos = best_of(iterations, || {
+            session.audit_candidate(view).unwrap();
+        });
+        let report = session
+            .publish_named(view_name.clone(), view.clone())
+            .unwrap();
+        published.push(view.clone());
+
+        // Cold baseline: a fresh engine per request — the stateless serving
+        // shape — audits the same cumulative prefix.
+        let request = AuditRequest {
+            name: report.report.name.clone(),
+            secret: workload.secret.clone(),
+            views: ViewSet::from_views(published.clone()),
+            options: AuditOptions::default(),
+        };
+        let fresh_report = workload.engine().audit(&request).unwrap();
+        let cold_nanos = best_of(iterations, || {
+            workload.engine().audit(&request).unwrap();
+        });
+        let verdicts_match = serde_json::to_string(&report.report).unwrap()
+            == serde_json::to_string(&fresh_report).unwrap();
+        steps.push(SessionStepReport {
+            step: k + 1,
+            view: view_name.clone(),
+            cold_nanos,
+            warm_nanos,
+            speedup: cold_nanos as f64 / warm_nanos.max(1) as f64,
+            verdicts_match,
+            cache: report.cache,
+        });
+    }
+    let warm: Vec<f64> = steps.iter().skip(1).map(|s| s.speedup).collect();
+    let warm_geomean_speedup = if warm.is_empty() {
+        1.0
+    } else {
+        (warm.iter().map(|s| s.ln()).sum::<f64>() / warm.len() as f64).exp()
+    };
+    SessionWorkloadReport {
+        name: workload.name.clone(),
+        depth: depth_name(workload.depth).to_string(),
+        steps,
+        warm_geomean_speedup,
+    }
+}
+
+fn employee_collusion_workload(mc_samples: usize) -> Workload {
+    let schema = qvsec_workload::schemas::employee_schema();
+    let mut domain = Domain::new();
+    let secret = parse_query("S(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+    let steps = vec![
+        (
+            "bob".to_string(),
+            parse_query("VBob(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+        ),
+        (
+            "carol".to_string(),
+            parse_query("VCarol(d, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+        ),
+        (
+            "dana".to_string(),
+            parse_query("VDana(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap(),
+        ),
+    ];
+    Workload {
+        name: "collusion-exact/employee".to_string(),
+        depth: AuditDepth::Exact,
+        schema,
+        domain,
+        dictionary: None,
+        mc_samples,
+        secret,
+        steps,
+    }
+}
+
+fn binary_schema() -> Schema {
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["x", "y"]);
+    schema
+}
+
+/// The §6 collusion pair over a binary relation at an exactly-enumerable
+/// domain size, plus an α-renamed republication of the first view (served
+/// 100% from the compile and crit memos).
+fn prob_collusion_workload(size: usize, mc_samples: usize) -> Workload {
+    let schema = binary_schema();
+    let mut domain = Domain::with_size(size);
+    let secret = parse_query("S(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+    let v1 = parse_query("V1(x) :- R(x, y)", &schema, &mut domain).unwrap();
+    let v2 = parse_query("V2(y) :- R(x, y)", &schema, &mut domain).unwrap();
+    let republished = parse_query("W(u) :- R(u, w)", &schema, &mut domain).unwrap();
+    let space = TupleSpace::full(&schema, &domain).unwrap();
+    let dictionary = Some(Dictionary::half(space));
+    Workload {
+        name: format!("collusion-prob/domain{size}"),
+        depth: AuditDepth::Probabilistic,
+        schema,
+        domain,
+        dictionary,
+        mc_samples,
+        secret,
+        steps: vec![
+            ("v1".to_string(), v1),
+            ("v2".to_string(), v2),
+            ("v1-republished".to_string(), republished),
+        ],
+    }
+}
+
+/// The same pair over a space too large to enumerate: every fresh engine
+/// redraws the full Monte-Carlo pool, the session draws it once.
+fn mc_collusion_workload(size: usize, mc_samples: usize) -> Workload {
+    let schema = binary_schema();
+    let mut domain = Domain::with_size(size);
+    let secret = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+    let v1 = parse_query("V1(x) :- R(x, y)", &schema, &mut domain).unwrap();
+    let v2 = parse_query("V2(x) :- R(x, 'c0')", &schema, &mut domain).unwrap();
+    let space = TupleSpace::full_with_cap(&schema, &domain, 4096).unwrap();
+    let dictionary =
+        Some(Dictionary::uniform(space, Ratio::new(1, size as i128)).expect("valid probability"));
+    Workload {
+        name: format!("collusion-mc/domain{size}"),
+        depth: AuditDepth::Probabilistic,
+        schema,
+        domain,
+        dictionary,
+        mc_samples,
+        secret,
+        steps: vec![("v1".to_string(), v1), ("v2".to_string(), v2)],
+    }
+}
+
+/// Runs the harness over the three collusion workloads.
+pub fn run_session_bench(iterations: usize) -> SessionBenchReport {
+    run_session_bench_with(iterations, DEFAULT_MC_SAMPLES)
+}
+
+/// [`run_session_bench`] with an explicit Monte-Carlo pool size (the smoke
+/// tests shrink it so the dev-profile run stays fast).
+pub fn run_session_bench_with(iterations: usize, mc_samples: usize) -> SessionBenchReport {
+    let workloads = [
+        employee_collusion_workload(mc_samples),
+        prob_collusion_workload(3, mc_samples),
+        mc_collusion_workload(6, mc_samples),
+    ];
+    let reports: Vec<SessionWorkloadReport> = workloads
+        .iter()
+        .map(|w| run_workload(w, iterations))
+        .collect();
+    let warm: Vec<f64> = reports
+        .iter()
+        .flat_map(|w| w.steps.iter().skip(1).map(|s| s.speedup))
+        .collect();
+    let geomean_warm_speedup = if warm.is_empty() {
+        1.0
+    } else {
+        (warm.iter().map(|s| s.ln()).sum::<f64>() / warm.len() as f64).exp()
+    };
+    SessionBenchReport {
+        threads: rayon::current_num_threads(),
+        iterations: iterations.max(1),
+        geomean_warm_speedup,
+        all_verdicts_match: reports
+            .iter()
+            .all(|w| w.steps.iter().all(|s| s.verdicts_match)),
+        warm_steps_all_hit_cache: reports
+            .iter()
+            .all(|w| w.steps.iter().skip(1).all(|s| s.cache.any_reuse())),
+        workloads: reports,
+    }
+}
+
+/// Renders a compact human-readable table of the report.
+pub fn render_report(report: &SessionBenchReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "warm session steps vs fresh-engine audits ({} threads, best of {}):",
+        report.threads, report.iterations
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:>4} {:<16} {:>12} {:>12} {:>8} {:>6} {:>6} {:>6}",
+        "workload", "step", "view", "cold µs", "warm µs", "speedup", "crit", "cmpl", "match"
+    );
+    for w in &report.workloads {
+        for s in &w.steps {
+            let _ = writeln!(
+                out,
+                "{:<26} {:>4} {:<16} {:>12.1} {:>12.1} {:>7.1}x {:>6} {:>6} {:>6}",
+                w.name,
+                s.step,
+                s.view,
+                s.cold_nanos as f64 / 1000.0,
+                s.warm_nanos as f64 / 1000.0,
+                s.speedup,
+                s.cache.crit_cache_hits,
+                s.cache.compile_cache_hits,
+                s.verdicts_match,
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "geomean warm-step (>=2) speedup {:.2}x, verdicts match: {}, warm cache hits: {}",
+        report.geomean_warm_speedup, report.all_verdicts_match, report.warm_steps_all_hit_cache
+    );
+    out
+}

@@ -1,0 +1,87 @@
+//! Smoke tests for the session bench harness and the committed
+//! `BENCH_session.json` artifact.
+
+use qvsec_bench::session::{render_report, run_session_bench_with, SessionBenchReport};
+
+#[test]
+fn harness_runs_warm_steps_hit_cache_and_match_the_stateless_baseline() {
+    // Single iteration, tiny Monte-Carlo pool: a correctness smoke test,
+    // not a measurement.
+    let report = run_session_bench_with(1, 512);
+    assert_eq!(report.workloads.len(), 3);
+    assert!(report.all_verdicts_match, "a session step diverged");
+    assert!(
+        report.warm_steps_all_hit_cache,
+        "a warm step served nothing from cache"
+    );
+    for w in &report.workloads {
+        assert!(w.steps.len() >= 2, "{}: needs warm steps", w.name);
+        for s in &w.steps {
+            assert!(s.verdicts_match, "{} step {}: divergence", w.name, s.step);
+            assert!(s.cold_nanos > 0 && s.warm_nanos > 0);
+            if s.step >= 2 {
+                assert!(
+                    s.cache.crit_cache_hits > 0,
+                    "{} step {}: no crit-cache hits: {:?}",
+                    w.name,
+                    s.step,
+                    s.cache
+                );
+            }
+        }
+    }
+    // The probabilistic workloads additionally reuse kernel compilations;
+    // the Monte-Carlo one reuses pooled columns.
+    let prob = &report.workloads[1];
+    assert!(prob.steps[1].cache.compile_cache_hits > 0);
+    let mc = &report.workloads[2];
+    assert!(
+        mc.steps[1].cache.pool_column_hits > 0,
+        "warm MC step must reuse pooled answer-bit columns: {:?}",
+        mc.steps[1].cache
+    );
+    // The α-renamed republication is served entirely from the memo.
+    let republished = prob.steps.last().unwrap();
+    assert_eq!(republished.cache.crit_cache_misses, 0);
+    assert_eq!(republished.cache.queries_compiled, 0);
+
+    let rendered = render_report(&report);
+    assert!(rendered.contains("geomean"));
+    let json = serde_json::to_string(&report).unwrap();
+    let back: SessionBenchReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.workloads.len(), report.workloads.len());
+}
+
+#[test]
+fn committed_bench_session_json_parses_and_holds_the_acceptance_criteria() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
+    let text = std::fs::read_to_string(path)
+        .expect("BENCH_session.json is committed at the repository root");
+    let report: SessionBenchReport =
+        serde_json::from_str(&text).expect("BENCH_session.json parses");
+    assert!(!report.workloads.is_empty());
+    assert!(report.threads >= 1);
+    assert!(
+        report.all_verdicts_match,
+        "committed run had a session/stateless divergence"
+    );
+    assert!(
+        report.warm_steps_all_hit_cache,
+        "committed run shows a warm step without cache reuse"
+    );
+    assert!(
+        report.geomean_warm_speedup > 1.0,
+        "committed warm steps must beat fresh-engine audits, got {:.2}x",
+        report.geomean_warm_speedup
+    );
+    for w in &report.workloads {
+        for s in w.steps.iter().filter(|s| s.step >= 2) {
+            assert!(
+                s.cache.crit_cache_hits > 0 || s.cache.compile_cache_hits > 0,
+                "{} step {}: committed warm step shows no compile/crit hits",
+                w.name,
+                s.step
+            );
+        }
+    }
+}

@@ -28,10 +28,11 @@ pub mod toml_subset;
 
 use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
 use qvsec::QvsError;
-use qvsec_cq::{parse_query, ViewSet};
+use qvsec_cq::{parse_query, ConjunctiveQuery, ViewSet};
 use qvsec_data::{Dictionary, Domain, Ratio, Schema};
 use serde::Deserialize;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -165,20 +166,69 @@ pub struct PreparedAudit {
     pub requests: Vec<AuditRequest>,
 }
 
-/// Builds the engine and requests declared by a spec.
-pub fn prepare(spec: &AuditSpec) -> Result<PreparedAudit, CliError> {
+/// Builds the schema and initial domain a spec declares.
+fn build_schema_domain(
+    relations: &[RelationSpec],
+    constants: &Option<Vec<String>>,
+) -> Result<(Schema, Domain), CliError> {
     let mut schema = Schema::new();
-    for rel in &spec.relations {
+    for rel in relations {
         let attrs: Vec<&str> = rel.attributes.iter().map(String::as_str).collect();
         schema
             .try_add_relation(&rel.name, &attrs)
             .map_err(|e| CliError::Spec(e.to_string()))?;
     }
-    let mut domain = match &spec.constants {
+    let domain = match constants {
         Some(constants) => Domain::with_constants(constants),
         None => Domain::new(),
     };
+    Ok((schema, domain))
+}
 
+/// Builds an engine bound to `schema`/`domain` with the spec's defaults and
+/// (when declared) a uniform dictionary over the support space of
+/// `queries`.
+fn build_engine(
+    schema: Schema,
+    domain: &Domain,
+    defaults: &DefaultsSpec,
+    dictionary: &Option<DictionarySpec>,
+    queries: &[&ConjunctiveQuery],
+) -> Result<AuditEngine, CliError> {
+    let mut builder = AuditEngine::builder(schema, domain.clone());
+    if let Some(depth) = &defaults.depth {
+        builder = builder.default_depth(parse_depth(depth)?);
+    }
+    if let Some((n, d)) = defaults.minute_threshold {
+        builder = builder.minute_threshold(Ratio::new(n, d));
+    }
+    if let Some(cap) = defaults.candidate_cap {
+        builder = builder.candidate_cap(cap);
+    }
+    if let Some(dict_spec) = dictionary {
+        let (n, d) = dict_spec.probability.unwrap_or((1, 2));
+        let cap = dict_spec.cap.unwrap_or(4096);
+        let space = qvsec_prob::lineage::support_space(queries, domain, cap)
+            .map_err(|e| CliError::Spec(format!("dictionary support space: {e}")))?;
+        let dict = Dictionary::uniform(space, Ratio::new(n, d))
+            .map_err(|e| CliError::Spec(format!("dictionary: {e}")))?;
+        builder = builder.dictionary(dict);
+        if let Some(cutover) = dict_spec.exact_cutover {
+            builder = builder.exact_cutover(cutover);
+        }
+        if let Some(samples) = dict_spec.samples {
+            builder = builder.mc_samples(samples);
+        }
+        if let Some(seed) = dict_spec.seed {
+            builder = builder.mc_seed(seed);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Builds the engine and requests declared by a spec.
+pub fn prepare(spec: &AuditSpec) -> Result<PreparedAudit, CliError> {
+    let (schema, mut domain) = build_schema_domain(&spec.relations, &spec.constants)?;
     let defaults = spec.defaults.clone().unwrap_or_default();
     let mut parsed = Vec::new();
     for (i, case) in spec.audits.iter().enumerate() {
@@ -198,39 +248,11 @@ pub fn prepare(spec: &AuditSpec) -> Result<PreparedAudit, CliError> {
         parsed.push((secret, views));
     }
 
-    let mut builder = AuditEngine::builder(schema, domain.clone());
-    if let Some(depth) = &defaults.depth {
-        builder = builder.default_depth(parse_depth(depth)?);
-    }
-    if let Some((n, d)) = defaults.minute_threshold {
-        builder = builder.minute_threshold(Ratio::new(n, d));
-    }
-    if let Some(cap) = defaults.candidate_cap {
-        builder = builder.candidate_cap(cap);
-    }
-    if let Some(dict_spec) = &spec.dictionary {
-        let (n, d) = dict_spec.probability.unwrap_or((1, 2));
-        let cap = dict_spec.cap.unwrap_or(4096);
-        let queries: Vec<&qvsec_cq::ConjunctiveQuery> = parsed
-            .iter()
-            .flat_map(|(s, vs)| std::iter::once(s).chain(vs.iter()))
-            .collect();
-        let space = qvsec_prob::lineage::support_space(&queries, &domain, cap)
-            .map_err(|e| CliError::Spec(format!("dictionary support space: {e}")))?;
-        let dict = Dictionary::uniform(space, Ratio::new(n, d))
-            .map_err(|e| CliError::Spec(format!("dictionary: {e}")))?;
-        builder = builder.dictionary(dict);
-        if let Some(cutover) = dict_spec.exact_cutover {
-            builder = builder.exact_cutover(cutover);
-        }
-        if let Some(samples) = dict_spec.samples {
-            builder = builder.mc_samples(samples);
-        }
-        if let Some(seed) = dict_spec.seed {
-            builder = builder.mc_seed(seed);
-        }
-    }
-    let engine = builder.build();
+    let queries: Vec<&ConjunctiveQuery> = parsed
+        .iter()
+        .flat_map(|(s, vs)| std::iter::once(s).chain(vs.iter()))
+        .collect();
+    let engine = build_engine(schema, &domain, &defaults, &spec.dictionary, &queries)?;
 
     let mut requests = Vec::new();
     for (case, (secret, views)) in spec.audits.iter().zip(parsed) {
@@ -264,6 +286,146 @@ pub fn run_spec(text: &str, sequential: bool) -> Result<serde_json::Value, CliEr
         prepared.engine.try_audit_batch(&prepared.requests)?
     };
     Ok(serde_json::to_value(&reports)?)
+}
+
+/// One step of a session script. Exactly one of the four action fields must
+/// be set:
+///
+/// * `publish` — audit the secret against everything published plus this
+///   view, then commit it (optional `name` labels the recipient);
+/// * `candidate` — the same audit without committing (what-if);
+/// * `snapshot` — save the session state under the given label;
+/// * `restore` — rewind to the labelled snapshot.
+#[derive(Debug, Clone, Default, Deserialize)]
+pub struct SessionStepSpec {
+    /// View to publish, datalog syntax.
+    pub publish: Option<String>,
+    /// View to what-if audit, datalog syntax.
+    pub candidate: Option<String>,
+    /// Label to snapshot the session under.
+    pub snapshot: Option<String>,
+    /// Label of the snapshot to rewind to.
+    pub restore: Option<String>,
+    /// Recipient label for `publish` (defaults to the view's query name).
+    pub name: Option<String>,
+}
+
+/// A session script: one secret, a sequence of publication steps.
+#[derive(Debug, Clone, Deserialize)]
+pub struct SessionSpec {
+    /// The schema's relations.
+    pub relations: Vec<RelationSpec>,
+    /// Domain constants interned before query parsing.
+    pub constants: Option<Vec<String>>,
+    /// Dictionary directive; required for `"probabilistic"` depth. The
+    /// support space covers the secret and every step's view.
+    pub dictionary: Option<DictionarySpec>,
+    /// Engine defaults (the session audits at the default depth).
+    pub defaults: Option<DefaultsSpec>,
+    /// Session label echoed into every step report.
+    pub name: Option<String>,
+    /// The secret query, datalog syntax.
+    pub secret: String,
+    /// The publication steps, replayed in order.
+    pub steps: Vec<SessionStepSpec>,
+}
+
+/// Detects the format (JSON / TOML subset) and parses a session script.
+pub fn parse_session_spec(text: &str) -> Result<SessionSpec, CliError> {
+    let value = if text.trim_start().starts_with('{') {
+        serde_json::parse(text)?
+    } else {
+        toml_subset::parse(text).map_err(CliError::Spec)?
+    };
+    Ok(serde_json::from_value(&value)?)
+}
+
+/// Replays a session script and returns one JSON entry per step: the
+/// serialized [`qvsec::SessionReport`] for `publish`/`candidate` steps,
+/// `{"snapshot": label}` / `{"restored": label}` markers otherwise.
+pub fn run_session_spec(text: &str) -> Result<serde_json::Value, CliError> {
+    let spec = parse_session_spec(text)?;
+    let (schema, mut domain) = build_schema_domain(&spec.relations, &spec.constants)?;
+    let defaults = spec.defaults.clone().unwrap_or_default();
+
+    let secret = parse_query(&spec.secret, &schema, &mut domain)
+        .map_err(|e| CliError::Spec(format!("bad secret `{}`: {e}", spec.secret)))?;
+    let mut step_views: Vec<Option<ConjunctiveQuery>> = Vec::with_capacity(spec.steps.len());
+    for (i, step) in spec.steps.iter().enumerate() {
+        let actions = [
+            &step.publish,
+            &step.candidate,
+            &step.snapshot,
+            &step.restore,
+        ]
+        .iter()
+        .filter(|a| a.is_some())
+        .count();
+        if actions != 1 {
+            return Err(CliError::Spec(format!(
+                "step #{i}: exactly one of publish | candidate | snapshot | restore required"
+            )));
+        }
+        step_views.push(match step.publish.as_ref().or(step.candidate.as_ref()) {
+            Some(text) => Some(
+                parse_query(text, &schema, &mut domain)
+                    .map_err(|e| CliError::Spec(format!("step #{i}: bad view `{text}`: {e}")))?,
+            ),
+            None => None,
+        });
+    }
+
+    let queries: Vec<&ConjunctiveQuery> = std::iter::once(&secret)
+        .chain(step_views.iter().flatten())
+        .collect();
+    let engine = Arc::new(build_engine(
+        schema,
+        &domain,
+        &defaults,
+        &spec.dictionary,
+        &queries,
+    )?);
+
+    let mut session = engine.open_session(secret);
+    if let Some(name) = &spec.name {
+        session = session.named(name.clone());
+    }
+    let mut snapshots: std::collections::HashMap<String, qvsec::SessionSnapshot> =
+        std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(spec.steps.len());
+    for (step, view) in spec.steps.iter().zip(step_views) {
+        let marker = |kind: &str, label: &str, views: usize| {
+            serde_json::Value::Object(vec![
+                (kind.to_string(), serde_json::Value::Str(label.to_string())),
+                (
+                    "views_published".to_string(),
+                    serde_json::Value::Int(views as i128),
+                ),
+            ])
+        };
+        if let Some(label) = &step.snapshot {
+            snapshots.insert(label.clone(), session.snapshot());
+            out.push(marker("snapshot", label, session.views_published()));
+            continue;
+        }
+        if let Some(label) = &step.restore {
+            let snap = snapshots
+                .get(label)
+                .ok_or_else(|| CliError::Spec(format!("restore of unknown snapshot `{label}`")))?;
+            session.restore(snap);
+            out.push(marker("restored", label, session.views_published()));
+            continue;
+        }
+        let view = view.expect("publish/candidate steps parsed a view");
+        let report = if step.publish.is_some() {
+            let name = step.name.clone().unwrap_or_else(|| view.name.clone());
+            session.publish_named(name, view)?
+        } else {
+            session.audit_candidate(&view)?
+        };
+        out.push(serde_json::to_value(&report)?);
+    }
+    Ok(serde_json::Value::Array(out))
 }
 
 #[cfg(test)]
@@ -378,6 +540,74 @@ views = ["V4(n) :- Employee(n, 'Mgmt', p)"]
         assert_eq!(estimator.field("seed").as_int(), Some(99));
         // Same spec, same seed: byte-identical output.
         assert_eq!(out, run_spec(spec, false).unwrap());
+    }
+
+    #[test]
+    fn session_specs_replay_with_cache_metadata() {
+        let spec = r#"{
+            "relations": [{"name": "R", "attributes": ["x", "y"]}],
+            "constants": ["a", "b"],
+            "dictionary": {"probability": [1, 2]},
+            "defaults": {"depth": "probabilistic"},
+            "secret": "S(x, y) :- R(x, y)",
+            "steps": [
+                {"publish": "V1(x) :- R(x, y)"},
+                {"snapshot": "s1"},
+                {"publish": "V2(y) :- R(x, y)"},
+                {"restore": "s1"},
+                {"candidate": "V2(y) :- R(x, y)"}
+            ]
+        }"#;
+        let out = run_session_spec(spec).unwrap();
+        let entries = out.as_array().unwrap();
+        assert_eq!(entries.len(), 5);
+        let second = &entries[2];
+        assert_eq!(second.field("step").as_int(), Some(2));
+        assert!(
+            second
+                .field("cache")
+                .field("crit_cache_hits")
+                .as_int()
+                .unwrap()
+                > 0
+        );
+        assert!(
+            second
+                .field("cache")
+                .field("compile_cache_hits")
+                .as_int()
+                .unwrap()
+                > 0,
+            "warm step compiles from the kernel memo"
+        );
+        // The candidate after the restore re-audits the same prefix as the
+        // committed step 2: identical cumulative reports.
+        assert_eq!(
+            serde_json::to_string(entries[4].field("report")).unwrap(),
+            serde_json::to_string(second.field("report")).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_session_specs_are_rejected() {
+        let two_actions = r#"{
+            "relations": [{"name": "R", "attributes": ["x"]}],
+            "secret": "S(x) :- R(x)",
+            "steps": [{"publish": "V(x) :- R(x)", "candidate": "W(x) :- R(x)"}]
+        }"#;
+        assert!(matches!(
+            run_session_spec(two_actions),
+            Err(CliError::Spec(_))
+        ));
+        let unknown_restore = r#"{
+            "relations": [{"name": "R", "attributes": ["x"]}],
+            "secret": "S(x) :- R(x)",
+            "steps": [{"restore": "nope"}]
+        }"#;
+        assert!(matches!(
+            run_session_spec(unknown_restore),
+            Err(CliError::Spec(_))
+        ));
     }
 
     #[test]

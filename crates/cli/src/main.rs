@@ -3,10 +3,15 @@
 //! ```text
 //! qvsec-cli audit --spec specs/table1.json [--pretty] [--sequential]
 //! qvsec-cli audit --spec specs/table1.toml --out reports.json
+//! qvsec-cli session --spec specs/session_collusion.json [--pretty]
 //! ```
 //!
-//! The spec format is documented in the `qvsec_cli` library docs; reports
-//! are emitted as a JSON array on stdout (or to `--out`).
+//! `audit` runs stateless audits; `session` replays a script of incremental
+//! publish steps through an `AuditSession` (§6 collusion flow), emitting one
+//! step report — verdict, marginal leakage, cache-reuse counters — per
+//! step. Both spec formats are documented in the `qvsec_cli` library docs
+//! and `crates/cli/README.md`; output is a JSON array on stdout (or
+//! `--out`).
 
 use std::process::ExitCode;
 
@@ -15,16 +20,27 @@ qvsec-cli — query-view security audits (Miklau & Suciu, SIGMOD 2004)
 
 USAGE:
     qvsec-cli audit --spec <FILE> [OPTIONS]
+    qvsec-cli session --spec <FILE> [OPTIONS]
+
+COMMANDS:
+    audit            Run the spec's stateless audits (parallel by default)
+    session          Replay a session script of incremental publish steps
 
 OPTIONS:
-    --spec <FILE>    Audit spec, JSON or TOML (format auto-detected)
+    --spec <FILE>    Spec, JSON or TOML (format auto-detected)
     --out <FILE>     Write the JSON reports to FILE instead of stdout
     --pretty         Pretty-print the JSON output
-    --sequential     Audit one request at a time instead of in parallel
+    --sequential     (audit) one request at a time instead of in parallel
     -h, --help       Show this help
 ";
 
+enum Command {
+    Audit,
+    Session,
+}
+
 struct Args {
+    command: Command,
     spec: String,
     out: Option<String>,
     pretty: bool,
@@ -32,11 +48,12 @@ struct Args {
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
-    match argv.next().as_deref() {
-        Some("audit") => {}
+    let command = match argv.next().as_deref() {
+        Some("audit") => Command::Audit,
+        Some("session") => Command::Session,
         Some("-h") | Some("--help") | None => return Err(String::new()),
         Some(other) => return Err(format!("unknown command `{other}`")),
-    }
+    };
     let mut spec = None;
     let mut out = None;
     let mut pretty = false;
@@ -51,7 +68,13 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             other => return Err(format!("unknown option `{other}`")),
         }
     }
+    if sequential && matches!(command, Command::Session) {
+        return Err(
+            "--sequential only applies to `audit` (sessions are inherently ordered)".into(),
+        );
+    }
     Ok(Args {
+        command,
         spec: spec.ok_or("missing required --spec <FILE>")?,
         out,
         pretty,
@@ -79,7 +102,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let reports = match qvsec_cli::run_spec(&text, args.sequential) {
+    let run = match args.command {
+        Command::Audit => qvsec_cli::run_spec(&text, args.sequential),
+        Command::Session => qvsec_cli::run_session_spec(&text),
+    };
+    let reports = match run {
         Ok(reports) => reports,
         Err(e) => {
             eprintln!("error: {e}");

@@ -85,4 +85,66 @@ fn bad_invocations_fail_with_diagnostics() {
     assert!(!out.status.success());
     let out = run_cli(&["frobnicate"]);
     assert!(!out.status.success());
+    let out = run_cli(&[
+        "session",
+        "--spec",
+        "specs/session_collusion.json",
+        "--sequential",
+    ]);
+    assert!(!out.status.success(), "--sequential is audit-only");
+}
+
+#[test]
+fn replays_the_committed_session_script() {
+    let out = run_cli(&["session", "--spec", "specs/session_collusion.json"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::str::from_utf8(&out.stdout).expect("UTF-8 output");
+    let value = serde_json::parse(text).expect("stdout is valid JSON");
+    let entries = value.as_array().expect("a JSON array of step entries");
+    assert_eq!(entries.len(), 6, "one entry per script step");
+
+    // Steps 1-2: publishes; both insecure (the Bob/Carol collusion).
+    for (i, name) in [(0usize, "bob"), (1, "carol")] {
+        let e = &entries[i];
+        assert_eq!(e.field("view").as_str(), Some(name));
+        assert_eq!(e.field("committed"), &serde_json::Value::Bool(true));
+        assert_eq!(
+            e.field("report").field("secure"),
+            &serde_json::Value::Bool(false)
+        );
+    }
+    // Warm steps serve compiled artifacts from cache.
+    let carol_cache = entries[1].field("cache");
+    assert!(carol_cache.field("crit_cache_hits").as_int().unwrap() > 0);
+    assert!(carol_cache.field("compile_cache_hits").as_int().unwrap() > 0);
+
+    // Snapshot / candidate / restore / replayed publish.
+    assert_eq!(entries[2].field("snapshot").as_str(), Some("pre-dana"));
+    assert_eq!(
+        entries[3].field("committed"),
+        &serde_json::Value::Bool(false),
+        "candidate step does not commit"
+    );
+    assert_eq!(entries[4].field("restored").as_str(), Some("pre-dana"));
+    let dana = &entries[5];
+    assert_eq!(dana.field("view").as_str(), Some("dana"));
+    assert_eq!(
+        dana.field("cache").field("crit_cache_misses").as_int(),
+        Some(0),
+        "replaying after the what-if is served entirely from the memo"
+    );
+    // The candidate and the committed replay audit the same prefix: their
+    // cumulative reports agree.
+    assert_eq!(
+        serde_json::to_string(entries[3].field("report")).unwrap(),
+        serde_json::to_string(dana.field("report")).unwrap()
+    );
+
+    // Deterministic: replaying the script reproduces the bytes.
+    let again = run_cli(&["session", "--spec", "specs/session_collusion.json"]);
+    assert_eq!(out.stdout, again.stdout);
 }

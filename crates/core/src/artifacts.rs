@@ -1,0 +1,261 @@
+//! First-class compiled artifacts, memoized engine-wide.
+//!
+//! Everything expensive an audit derives from a query is a *compiled
+//! artifact* with a well-defined identity:
+//!
+//! | artifact | identity | domain-size dependent? |
+//! |---|---|---|
+//! | interned candidate space (subgoal groundings) | ([`CanonicalKey::form`], active-domain size) | yes — it enumerates `tup(D)` |
+//! | materialized `crit_D(Q)` set | ([`CanonicalKey::form`], active-domain size) | yes |
+//! | symmetry-class criticality verdicts ([`ClassVerdictCache`]) | [`CanonicalKey::form`] alone | **no** — the Appendix A decision freezes fresh constants, never enumerating the domain |
+//! | witness-mask compilation (`qvsec_prob::kernel::CompiledQuery`) | (canonical form, tuple space) | keyed inside the engine's `ProbKernel`, whose space is fixed |
+//!
+//! [`CompiledArtifacts`] owns the first three and hands them out as shared
+//! `Arc`s. The class-verdict layer is what makes the crit cache useful
+//! *across* active-domain sizes: two audits of the same view against
+//! different secrets generally see different Proposition 4.9 paddings, so
+//! their `(form, |D|)` keys miss — but every symmetry class the first audit
+//! decided is reused verbatim by the second, which only re-*derives* (i.e.
+//! re-enumerates class members), never re-*decides*.
+//!
+//! All artifacts are append-only for the engine's lifetime; hit/miss
+//! counters feed the per-step cache metadata of
+//! [`crate::session::SessionReport`].
+
+use crate::critical::{self, ClassVerdictCache, CritStats};
+use crate::Result;
+use qvsec_cq::{CanonicalKey, ConjunctiveQuery};
+use qvsec_data::{Domain, Tuple, TupleSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A per-domain memo keyed by (canonical query form, active-domain size).
+type DomainMemo<T> = Mutex<HashMap<(String, usize), Arc<T>>>;
+
+/// The engine-wide store of compiled per-query artifacts. See the
+/// [module docs](self) for the identity of each layer.
+#[derive(Debug, Default)]
+pub struct CompiledArtifacts {
+    /// Materialized `crit_D(Q)` sets.
+    crit_sets: DomainMemo<BTreeSet<Tuple>>,
+    /// Interned candidate (subgoal-grounding) spaces.
+    spaces: DomainMemo<TupleSpace>,
+    /// Domain-size-independent symmetry-class verdicts, per canonical form
+    /// (order-free queries only).
+    class_verdicts: Mutex<HashMap<String, Arc<ClassVerdictCache>>>,
+    /// Engine-lifetime pruning counters of the `crit(Q)` kernel.
+    crit_stats: CritStats,
+    crit_hits: AtomicU64,
+    crit_misses: AtomicU64,
+    space_hits: AtomicU64,
+    space_misses: AtomicU64,
+}
+
+impl CompiledArtifacts {
+    /// An empty artifact store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared `crit(Q)` kernel counters.
+    pub fn crit_stats(&self) -> &CritStats {
+        &self.crit_stats
+    }
+
+    /// Number of distinct `crit(Q)` sets currently memoized.
+    pub fn cached_crit_sets(&self) -> usize {
+        self.crit_sets.lock().expect("crit memo poisoned").len()
+    }
+
+    /// Number of canonical forms with a shared class-verdict cache.
+    pub fn cached_class_caches(&self) -> usize {
+        self.class_verdicts
+            .lock()
+            .expect("class memo poisoned")
+            .len()
+    }
+
+    /// The shared class-verdict cache of `key`'s canonical form, or `None`
+    /// when the query uses order comparisons (class verdicts are not
+    /// domain-permutation invariant there).
+    fn class_cache_for(&self, key: &CanonicalKey) -> Option<Arc<ClassVerdictCache>> {
+        if !key.order_free() {
+            return None;
+        }
+        let mut caches = self.class_verdicts.lock().expect("class memo poisoned");
+        Some(Arc::clone(
+            caches
+                .entry(key.form().to_string())
+                .or_insert_with(|| Arc::new(ClassVerdictCache::new())),
+        ))
+    }
+
+    /// Computes (or fetches) `crit_D(query)` over `active`, memoized under
+    /// the query's canonical form and the active-domain size, with symmetry
+    /// -class verdicts shared across domain sizes through the query's
+    /// [`ClassVerdictCache`].
+    pub fn crit(
+        &self,
+        query: &ConjunctiveQuery,
+        active: &Domain,
+        cap: usize,
+    ) -> Result<Arc<BTreeSet<Tuple>>> {
+        let key = CanonicalKey::of(query);
+        let memo_key = (key.form().to_string(), active.len());
+        if let Some(hit) = self
+            .crit_sets
+            .lock()
+            .expect("crit memo poisoned")
+            .get(&memo_key)
+        {
+            self.crit_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.crit_misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside the lock so concurrent audits of distinct queries
+        // do not serialize; a racing duplicate insert is harmless.
+        let classes = self.class_cache_for(&key);
+        let computed = Arc::new(critical::critical_tuples_shared(
+            query,
+            active,
+            cap,
+            &self.crit_stats,
+            classes.as_deref(),
+        )?);
+        let mut memo = self.crit_sets.lock().expect("crit memo poisoned");
+        Ok(Arc::clone(memo.entry(memo_key).or_insert(computed)))
+    }
+
+    /// Computes (or fetches) the interned candidate space of `query` over
+    /// `active` — the sorted universe of its subgoal groundings.
+    pub fn candidate_space(
+        &self,
+        query: &ConjunctiveQuery,
+        active: &Domain,
+        cap: usize,
+    ) -> Result<Arc<TupleSpace>> {
+        let memo_key = (qvsec_cq::canonical_form(query), active.len());
+        if let Some(hit) = self
+            .spaces
+            .lock()
+            .expect("space memo poisoned")
+            .get(&memo_key)
+        {
+            self.space_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.space_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(critical::candidate_space(query, active, cap)?);
+        let mut memo = self.spaces.lock().expect("space memo poisoned");
+        Ok(Arc::clone(memo.entry(memo_key).or_insert(computed)))
+    }
+
+    /// A snapshot of the artifact-layer hit/miss counters.
+    pub fn counters(&self) -> ArtifactCounters {
+        ArtifactCounters {
+            crit_cache_hits: self.crit_hits.load(Ordering::Relaxed),
+            crit_cache_misses: self.crit_misses.load(Ordering::Relaxed),
+            space_cache_hits: self.space_hits.load(Ordering::Relaxed),
+            space_cache_misses: self.space_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Hit/miss counters of the [`CompiledArtifacts`] memo layers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactCounters {
+    /// `crit(Q)` requests served from the memo.
+    pub crit_cache_hits: u64,
+    /// `crit(Q)` requests that ran the kernel.
+    pub crit_cache_misses: u64,
+    /// Candidate-space requests served from the memo.
+    pub space_cache_hits: u64,
+    /// Candidate-space requests that enumerated groundings.
+    pub space_cache_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical::critical_tuples;
+    use qvsec_cq::parse_query;
+    use qvsec_data::Schema;
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        (schema, Domain::with_constants(["a", "b"]))
+    }
+
+    #[test]
+    fn crit_artifacts_are_transparent_and_shared() {
+        let (schema, mut domain) = setup();
+        let artifacts = CompiledArtifacts::new();
+        let q = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let got = artifacts.crit(&q, &domain, 10_000).unwrap();
+        assert_eq!(*got, critical_tuples(&q, &domain).unwrap());
+        let again = artifacts.crit(&q, &domain, 10_000).unwrap();
+        assert!(Arc::ptr_eq(&got, &again));
+        let counters = artifacts.counters();
+        assert_eq!(counters.crit_cache_hits, 1);
+        assert_eq!(counters.crit_cache_misses, 1);
+    }
+
+    #[test]
+    fn class_verdicts_are_reused_when_the_domain_grows() {
+        let (schema, mut domain) = setup();
+        let artifacts = CompiledArtifacts::new();
+        let q = parse_query("V(x) :- R(x, 'a')", &schema, &mut domain).unwrap();
+        let small = artifacts.crit(&q, &domain, 100_000).unwrap();
+        assert_eq!(*small, critical_tuples(&q, &domain).unwrap());
+        let decided_small = artifacts.crit_stats().snapshot().decisions_run;
+
+        // Grow the domain: the (form, |D|) memo misses, but every symmetry
+        // class seen at the small size is reused — only classes that are
+        // NEW at the larger size get decided.
+        let mut grown = domain.clone();
+        for c in ["c", "d", "e"] {
+            grown.add(c);
+        }
+        let big = artifacts.crit(&q, &grown, 100_000).unwrap();
+        assert_eq!(*big, critical_tuples(&q, &grown).unwrap());
+        let snap = artifacts.crit_stats().snapshot();
+        assert!(
+            snap.class_verdicts_reused > 0,
+            "grown-domain audit must reuse class verdicts: {snap:?}"
+        );
+        assert!(
+            snap.decisions_run >= decided_small,
+            "counters only accumulate"
+        );
+        assert_eq!(artifacts.cached_crit_sets(), 2, "one set per domain size");
+        assert_eq!(artifacts.cached_class_caches(), 1, "one shared class map");
+    }
+
+    #[test]
+    fn order_queries_do_not_share_class_caches() {
+        let (schema, mut domain) = setup();
+        let artifacts = CompiledArtifacts::new();
+        let q = parse_query("Q() :- R(x, y), x < y", &schema, &mut domain).unwrap();
+        let got = artifacts.crit(&q, &domain, 100_000).unwrap();
+        assert_eq!(*got, critical_tuples(&q, &domain).unwrap());
+        assert_eq!(artifacts.cached_class_caches(), 0);
+        assert_eq!(artifacts.crit_stats().snapshot().class_verdicts_reused, 0);
+    }
+
+    #[test]
+    fn candidate_spaces_are_memoized() {
+        let (schema, mut domain) = setup();
+        let artifacts = CompiledArtifacts::new();
+        let q = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let a = artifacts.candidate_space(&q, &domain, 10_000).unwrap();
+        let b = artifacts.candidate_space(&q, &domain, 10_000).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 4);
+        let counters = artifacts.counters();
+        assert_eq!(counters.space_cache_hits, 1);
+        assert_eq!(counters.space_cache_misses, 1);
+    }
+}

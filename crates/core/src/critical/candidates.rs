@@ -27,7 +27,7 @@ pub const DEFAULT_CANDIDATE_CAP: usize = 250_000;
 /// A subgoal's grounding-relevant shape: relation plus, per position, either
 /// the constant or the index of the variable's first occurrence within the
 /// atom. Two subgoals with equal keys ground to exactly the same tuple set.
-fn atom_grounding_key(atom: &Atom) -> (u32, Vec<(u8, u32)>) {
+pub(super) fn atom_grounding_key(atom: &Atom) -> (u32, Vec<(u8, u32)>) {
     let mut seen: Vec<qvsec_cq::VarId> = Vec::new();
     let terms = atom
         .terms
@@ -78,14 +78,17 @@ pub fn critical_candidates(
                 cap,
             });
         }
-        for tuple in qvsec_prob::lineage::atom_groundings(atom, domain) {
-            out.insert(tuple);
-            if out.len() > cap {
-                return Err(QvsError::CandidateSpaceTooLarge {
-                    required: out.len() as u128,
-                    cap,
-                });
-            }
+        let mut overflow = false;
+        qvsec_prob::lineage::for_each_grounding(atom, domain, |values| {
+            out.insert(Tuple::new(atom.relation, values.to_vec()));
+            overflow = out.len() > cap;
+            !overflow
+        });
+        if overflow {
+            return Err(QvsError::CandidateSpaceTooLarge {
+                required: out.len() as u128,
+                cap,
+            });
         }
     }
     Ok(out)

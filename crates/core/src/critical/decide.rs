@@ -181,12 +181,23 @@ const PACKED_MAX_ANCHORS: usize = 16;
 
 /// Computes the [`TuplePattern`] of `tuple` given the sorted anchors.
 pub(crate) fn tuple_pattern(anchors: &[Value], tuple: &Tuple) -> TuplePattern {
+    tuple_pattern_values(anchors, tuple.relation.0, &tuple.values)
+}
+
+/// [`tuple_pattern`] over a borrowed value slice — the form the streaming
+/// grounding enumeration feeds (no `Tuple` is materialized to classify a
+/// candidate).
+pub(crate) fn tuple_pattern_values(
+    anchors: &[Value],
+    relation: u32,
+    values: &[Value],
+) -> TuplePattern {
     debug_assert!(anchors.windows(2).all(|w| w[0] < w[1]), "anchors sorted");
-    if tuple.values.len() <= PACKED_MAX_ARITY && anchors.len() <= PACKED_MAX_ANCHORS {
+    if values.len() <= PACKED_MAX_ARITY && anchors.len() <= PACKED_MAX_ANCHORS {
         let mut classes: [Value; PACKED_MAX_ARITY] = [Value(0); PACKED_MAX_ARITY];
         let mut class_count = 0usize;
         let mut bits: u64 = 1; // length sentinel
-        for &v in &tuple.values {
+        for &v in values {
             let token = match anchors.binary_search(&v) {
                 Ok(i) => i as u64,
                 Err(_) => {
@@ -203,14 +214,10 @@ pub(crate) fn tuple_pattern(anchors: &[Value], tuple: &Tuple) -> TuplePattern {
             };
             bits = (bits << 5) | token;
         }
-        TuplePattern::Packed {
-            relation: tuple.relation.0,
-            bits,
-        }
+        TuplePattern::Packed { relation, bits }
     } else {
         let mut classes: Vec<Value> = Vec::new();
-        let tokens = tuple
-            .values
+        let tokens = values
             .iter()
             .map(|&v| match anchors.binary_search(&v) {
                 Ok(i) => (false, i as u32),
@@ -226,10 +233,7 @@ pub(crate) fn tuple_pattern(anchors: &[Value], tuple: &Tuple) -> TuplePattern {
                 }
             })
             .collect();
-        TuplePattern::Wide {
-            relation: tuple.relation.0,
-            tokens,
-        }
+        TuplePattern::Wide { relation, tokens }
     }
 }
 

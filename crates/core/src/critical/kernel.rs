@@ -23,17 +23,20 @@
 //! pruning layers, no parallelism) as the benchmark baseline; property tests
 //! assert `kernel ≡ seq ≡ brute force`.
 
-use super::candidates::{candidate_space, critical_candidates, DEFAULT_CANDIDATE_CAP};
-use super::decide::{is_critical_traced, tuple_pattern, TuplePattern};
+use super::candidates::{
+    atom_grounding_key, candidate_space, critical_candidates, DEFAULT_CANDIDATE_CAP,
+};
+use super::decide::{is_critical_traced, tuple_pattern, tuple_pattern_values, TuplePattern};
 use super::stats::CritStats;
-use crate::Result;
+use crate::{QvsError, Result};
 use qvsec_cq::homomorphism::answer_survives;
 use qvsec_cq::unification::unify_atoms_with_tuple;
 use qvsec_cq::{CanonicalDatabase, ConjunctiveQuery, VarId, ViewSet};
-use qvsec_data::{CandidateSet, Domain, Tuple, Value};
+use qvsec_data::{CandidateSet, Domain, RelationId, Tuple, Value};
+use qvsec_prob::lineage::for_each_grounding;
 use rayon::prelude::*;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Computes `crit_D(Q)` exactly over the given domain (with the default
 /// candidate cap).
@@ -76,21 +79,267 @@ pub fn critical_tuples_traced(
     cap: usize,
     stats: &CritStats,
 ) -> Result<BTreeSet<Tuple>> {
-    // The already-sorted candidate set is filtered in place — no interning
-    // pass: only the intersection path needs an indexed space.
-    let candidate_set = critical_candidates(query, domain, cap)?;
-    stats.add_candidates(candidate_set.len() as u64);
-    let candidates: Vec<&Tuple> = candidate_set.iter().collect();
-    let anchors = symmetry_anchors(std::iter::once(query));
-    let verdicts = decide_all(&candidates, anchors.as_deref(), stats, |t| {
-        is_critical_traced(query, t, domain, stats)
-    });
-    Ok(candidates
+    critical_tuples_shared(query, domain, cap, stats, None)
+}
+
+/// Shared, domain-size-independent symmetry-class verdicts for **one**
+/// canonical query form (see [`qvsec_cq::CanonicalKey`]).
+///
+/// The criticality of a candidate depends only on its symmetry pattern —
+/// which anchor constants it repeats and how its unanchored values alias —
+/// never on how many constants the domain holds: the fine-instance decision
+/// of Appendix A freezes variables to *fresh* constants, so the verdict of a
+/// pattern class computed over a domain of size 4 is equally valid over a
+/// domain of size 40. A `ClassVerdictCache` records those verdicts so a
+/// query audited again over a **grown** active domain re-derives its
+/// critical set from the cached classes instead of re-deciding
+/// representatives.
+///
+/// Only order-free queries may share a cache (order predicates are not
+/// preserved by domain bijections); [`critical_tuples_shared`] ignores the
+/// cache when the query uses `<`/`<=`.
+#[derive(Debug, Default)]
+pub struct ClassVerdictCache {
+    verdicts: Mutex<HashMap<TuplePattern, bool, FxBuild>>,
+}
+
+impl ClassVerdictCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pattern classes with a memoized verdict.
+    pub fn len(&self) -> usize {
+        self.verdicts.lock().expect("class cache poisoned").len()
+    }
+
+    /// Whether no verdict has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One symmetry class discovered by the streaming grounding pass.
+struct ClassGroup {
+    pattern: TuplePattern,
+    representative: Tuple,
+}
+
+/// `m · (m−1) ··· (m−k+1)`: the number of tuples in a pattern class with `k`
+/// distinct unanchored values over a domain with `m` non-anchor constants.
+fn falling_factorial(m: u64, k: u64) -> u64 {
+    (0..k).map(|i| m.saturating_sub(i)).product()
+}
+
+/// Number of distinct unanchored values in a candidate's value slice.
+fn distinct_unanchored(values: &[Value], anchors: &[Value]) -> u64 {
+    let mut seen: Vec<Value> = Vec::with_capacity(values.len());
+    for &v in values {
+        if anchors.binary_search(&v).is_err() && !seen.contains(&v) {
+            seen.push(v);
+        }
+    }
+    seen.len() as u64
+}
+
+/// Materializes every member of the representative's symmetry class into
+/// `out`: anchor positions stay fixed, the `k` distinct unanchored values
+/// range over all injective assignments of non-anchor domain constants.
+fn emit_class_members(
+    relation: RelationId,
+    rep_values: &[Value],
+    anchors: &[Value],
+    non_anchor: &[Value],
+    out: &mut BTreeSet<Tuple>,
+) {
+    // Per position: the fixed anchor value, or the index of the distinct
+    // unanchored value driving it (first-occurrence order).
+    let mut class_vals: Vec<Value> = Vec::new();
+    let slots: Vec<std::result::Result<Value, usize>> = rep_values
         .iter()
-        .zip(&verdicts)
-        .filter(|(_, &critical)| critical)
-        .map(|(t, _)| (*t).clone())
-        .collect())
+        .map(|&v| {
+            if anchors.binary_search(&v).is_ok() {
+                Ok(v)
+            } else {
+                Err(match class_vals.iter().position(|&c| c == v) {
+                    Some(i) => i,
+                    None => {
+                        class_vals.push(v);
+                        class_vals.len() - 1
+                    }
+                })
+            }
+        })
+        .collect();
+    let k = class_vals.len();
+    let mut chosen: Vec<Value> = Vec::with_capacity(k);
+    emit_injective(relation, &slots, k, non_anchor, &mut chosen, out);
+}
+
+fn emit_injective(
+    relation: RelationId,
+    slots: &[std::result::Result<Value, usize>],
+    k: usize,
+    non_anchor: &[Value],
+    chosen: &mut Vec<Value>,
+    out: &mut BTreeSet<Tuple>,
+) {
+    if chosen.len() == k {
+        out.insert(Tuple::new(
+            relation,
+            slots
+                .iter()
+                .map(|slot| match slot {
+                    Ok(v) => *v,
+                    Err(i) => chosen[*i],
+                })
+                .collect(),
+        ));
+        return;
+    }
+    for &v in non_anchor {
+        if !chosen.contains(&v) {
+            chosen.push(v);
+            emit_injective(relation, slots, k, non_anchor, chosen, out);
+            chosen.pop();
+        }
+    }
+}
+
+/// [`critical_tuples_traced`] with an optional shared [`ClassVerdictCache`]
+/// serving symmetry-class verdicts across calls (and across active-domain
+/// sizes).
+///
+/// For order-free queries the kernel **streams** subgoal groundings straight
+/// into the pattern-grouping pass: each grounding is classified from a
+/// borrowed value buffer and only the first member of a class materializes a
+/// heap [`Tuple`] (the class representative). Class sizes are counted in
+/// closed form (each atom's grounding set is a union of complete pattern
+/// classes — any anchor-fixing domain permutation maps groundings to
+/// groundings), so the candidate accounting and the cap check stay exact
+/// without enumerating a candidate set. Members of critical classes are
+/// materialized once, directly into the sorted result.
+///
+/// With order comparisons the kernel falls back to the materializing
+/// per-candidate filter (no symmetry, no class sharing).
+pub fn critical_tuples_shared(
+    query: &ConjunctiveQuery,
+    domain: &Domain,
+    cap: usize,
+    stats: &CritStats,
+    classes: Option<&ClassVerdictCache>,
+) -> Result<BTreeSet<Tuple>> {
+    let Some(anchors) = symmetry_anchors(std::iter::once(query)) else {
+        // Order comparisons: decide every candidate individually.
+        let candidate_set = critical_candidates(query, domain, cap)?;
+        stats.add_candidates(candidate_set.len() as u64);
+        let candidates: Vec<&Tuple> = candidate_set.iter().collect();
+        let verdicts = decide_all(&candidates, None, stats, |t| {
+            is_critical_traced(query, t, domain, stats)
+        });
+        return Ok(candidates
+            .iter()
+            .zip(&verdicts)
+            .filter(|(_, &critical)| critical)
+            .map(|(t, _)| (*t).clone())
+            .collect());
+    };
+
+    let non_anchor: Vec<Value> = domain
+        .values()
+        .filter(|v| anchors.binary_search(v).is_err())
+        .collect();
+    let mut group_of: HashMap<TuplePattern, usize, FxBuild> = HashMap::default();
+    let mut groups: Vec<ClassGroup> = Vec::new();
+    let mut total: u64 = 0;
+    let mut seen_shapes: BTreeSet<(u32, Vec<(u8, u32)>)> = BTreeSet::new();
+    for atom in &query.atoms {
+        if !seen_shapes.insert(atom_grounding_key(atom)) {
+            continue; // identical grounding set already streamed
+        }
+        let per_atom = (domain.len() as u128).saturating_pow(atom.variables().len() as u32);
+        if per_atom > cap as u128 {
+            return Err(QvsError::CandidateSpaceTooLarge {
+                required: per_atom,
+                cap,
+            });
+        }
+        let mut overflow = false;
+        for_each_grounding(atom, domain, |values| {
+            let pattern = tuple_pattern_values(&anchors, atom.relation.0, values);
+            if !group_of.contains_key(&pattern) {
+                // Classes partition the candidate union, so summing their
+                // closed-form sizes counts distinct candidates exactly.
+                total += falling_factorial(
+                    non_anchor.len() as u64,
+                    distinct_unanchored(values, &anchors),
+                );
+                group_of.insert(pattern.clone(), groups.len());
+                groups.push(ClassGroup {
+                    pattern,
+                    representative: Tuple::new(atom.relation, values.to_vec()),
+                });
+            }
+            overflow = total > cap as u64;
+            !overflow
+        });
+        if overflow {
+            return Err(QvsError::CandidateSpaceTooLarge {
+                required: total as u128,
+                cap,
+            });
+        }
+    }
+    stats.add_candidates(total);
+    stats.add_symmetry_pruned(total - groups.len() as u64);
+
+    // Serve verdicts from the shared cache where possible, decide the rest.
+    let mut verdicts: Vec<Option<bool>> = vec![None; groups.len()];
+    if let Some(cache) = classes {
+        let known = cache.verdicts.lock().expect("class cache poisoned");
+        let mut reused = 0u64;
+        for (g, group) in groups.iter().enumerate() {
+            if let Some(&v) = known.get(&group.pattern) {
+                verdicts[g] = Some(v);
+                reused += 1;
+            }
+        }
+        stats.add_class_verdicts_reused(reused);
+    }
+    let undecided: Vec<usize> = verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_none())
+        .map(|(g, _)| g)
+        .collect();
+    let fresh: Vec<bool> = undecided
+        .par_iter()
+        .map(|&g| is_critical_traced(query, &groups[g].representative, domain, stats))
+        .collect();
+    for (&g, &v) in undecided.iter().zip(&fresh) {
+        verdicts[g] = Some(v);
+    }
+    if let Some(cache) = classes {
+        let mut known = cache.verdicts.lock().expect("class cache poisoned");
+        for (&g, &v) in undecided.iter().zip(&fresh) {
+            known.insert(groups[g].pattern.clone(), v);
+        }
+    }
+
+    let mut out = BTreeSet::new();
+    for (group, verdict) in groups.iter().zip(&verdicts) {
+        if verdict.unwrap_or(false) {
+            emit_class_members(
+                group.representative.relation,
+                &group.representative.values,
+                &anchors,
+                &non_anchor,
+                &mut out,
+            );
+        }
+    }
+    Ok(out)
 }
 
 /// Computes `crit_D(S) ∩ crit_D(V̄)` — the common critical tuples whose

@@ -59,7 +59,7 @@ pub use candidates::{candidate_space, critical_candidates, DEFAULT_CANDIDATE_CAP
 pub use decide::{is_critical, is_critical_traced};
 pub use kernel::{
     common_critical_tuples, common_critical_tuples_traced, critical_tuples, critical_tuples_seq,
-    critical_tuples_traced, critical_tuples_with_cap,
+    critical_tuples_shared, critical_tuples_traced, critical_tuples_with_cap, ClassVerdictCache,
 };
 pub use stats::{CritStats, CritStatsSnapshot};
 

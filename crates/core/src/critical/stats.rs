@@ -19,6 +19,7 @@ pub struct CritStats {
     candidates_examined: AtomicU64,
     decisions_run: AtomicU64,
     pruned_by_symmetry: AtomicU64,
+    class_verdicts_reused: AtomicU64,
     pruned_by_prefilter: AtomicU64,
     pruned_by_comparisons: AtomicU64,
     duplicate_atoms_skipped: AtomicU64,
@@ -42,6 +43,10 @@ impl CritStats {
 
     pub(crate) fn add_symmetry_pruned(&self, n: u64) {
         self.pruned_by_symmetry.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_class_verdicts_reused(&self, n: u64) {
+        self.class_verdicts_reused.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn add_prefilter_prune(&self) {
@@ -70,6 +75,7 @@ impl CritStats {
             candidates_examined: self.candidates_examined.load(Ordering::Relaxed),
             decisions_run: self.decisions_run.load(Ordering::Relaxed),
             pruned_by_symmetry: self.pruned_by_symmetry.load(Ordering::Relaxed),
+            class_verdicts_reused: self.class_verdicts_reused.load(Ordering::Relaxed),
             pruned_by_prefilter: self.pruned_by_prefilter.load(Ordering::Relaxed),
             pruned_by_comparisons: self.pruned_by_comparisons.load(Ordering::Relaxed),
             duplicate_atoms_skipped: self.duplicate_atoms_skipped.load(Ordering::Relaxed),
@@ -89,6 +95,11 @@ pub struct CritStatsSnapshot {
     /// Candidates whose verdict was copied from a symmetric representative
     /// instead of being decided from scratch.
     pub pruned_by_symmetry: u64,
+    /// Symmetry classes whose verdict was served from a shared
+    /// [`super::ClassVerdictCache`] (typically a prior audit at another
+    /// active-domain size) instead of deciding a representative.
+    #[serde(default)]
+    pub class_verdicts_reused: u64,
     /// Decisions answered negatively by the O(atoms) unification prefilter
     /// (no subgoal unifies with the tuple), skipping the subset walk.
     pub pruned_by_prefilter: u64,

@@ -24,23 +24,36 @@
 //! budget stops at `Fast`, the report says so (`conclusive == false`)
 //! rather than guessing.
 //!
-//! ## The `crit(Q)` memo cache
+//! ## Compiled artifacts
 //!
 //! The exact stage needs `crit_D(Q)` for the secret and every view. The
-//! engine memoizes these sets keyed by
-//! ([`qvsec_cq::canonical_form`], active-domain size) — a key that is
+//! engine memoizes these sets — together with interned candidate spaces —
+//! in its [`CompiledArtifacts`] store, keyed by
+//! ([`qvsec_cq::canonical_form`], active-domain size): a key that is
 //! invariant under variable renaming, the cosmetic query name and most
 //! subgoal reorderings (ties between structurally identical subgoals can
 //! miss, never falsely hit), and sound because the critical-tuple set
 //! depends only on the query structure and the number of domain constants.
 //! Republishing the same view across thousands of audit requests therefore
-//! computes its critical tuples exactly once.
+//! computes its critical tuples exactly once, and — for order-free
+//! queries — symmetry-class verdicts are shared across *domain sizes*, so
+//! even a grown active domain only re-derives class members rather than
+//! re-deciding representatives.
 //!
 //! Cache misses are served by the parallel, pruned `crit(Q)` kernel of
-//! [`crate::critical`] (symmetry collapse, unification prefilter,
+//! [`crate::critical`] (streaming pattern grouping, unification prefilter,
 //! comparison-constraint propagation), and the engine accumulates the
 //! kernel's pruning counters for its whole lifetime — see
-//! [`AuditEngine::crit_stats`].
+//! [`AuditEngine::crit_stats`]; every cache layer's hit/miss counters are
+//! combined in [`AuditEngine::cache_stats`].
+//!
+//! ## Sessions
+//!
+//! [`AuditEngine::open_session`] returns an [`AuditSession`] — the
+//! incremental-publication handle for the paper's §6 collusion flow
+//! ("V₁…Vₖ are public; is it safe to *also* publish Vₖ₊₁?"), which answers
+//! each marginal question over the warm artifact store and reports
+//! per-step cache-reuse deltas. See [`crate::session`].
 //!
 //! ## The probabilistic kernel
 //!
@@ -55,23 +68,21 @@
 //! [`AuditEngine::prob_stats`] exposes the kernel's lifetime counters
 //! (worlds streamed, samples drawn/reused, cutovers).
 
-use crate::critical::{CritStats, CritStatsSnapshot};
+use crate::artifacts::{ArtifactCounters, CompiledArtifacts};
+use crate::critical::CritStatsSnapshot;
 use crate::fast_check::{fast_check, FastVerdict};
 use crate::leakage::LeakageReport;
 use crate::report::{classify, default_minute_threshold, DisclosureClass};
 use crate::security::{active_domain, SecurityVerdict};
+use crate::session::AuditSession;
 use crate::{QvsError, Result};
-use qvsec_cq::{canonical_form, ConjunctiveQuery, ViewSet};
+use qvsec_cq::{ConjunctiveQuery, ViewSet};
 use qvsec_data::{Dictionary, Domain, Ratio, Schema, Tuple};
 use qvsec_prob::kernel::{EstimatorReport, KernelConfig, ProbKernel, ProbStatsSnapshot};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, Mutex, OnceLock};
-
-/// The `crit(Q)` memo cache: (canonical query form, active-domain size) →
-/// shared critical-tuple set.
-type CritCache = Mutex<HashMap<(String, usize), Arc<BTreeSet<Tuple>>>>;
+use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
 
 /// Whether two sorted tuple slices (interned candidate spaces) share no
 /// element — a single merge walk, no hashing, no cloning.
@@ -357,8 +368,7 @@ impl AuditEngineBuilder {
             candidate_cap: self.candidate_cap,
             default_depth: self.default_depth,
             prob_config: self.prob_config,
-            crit_cache: Mutex::new(HashMap::new()),
-            crit_stats: CritStats::new(),
+            artifacts: CompiledArtifacts::new(),
             prob_kernel: OnceLock::new(),
         }
     }
@@ -397,10 +407,10 @@ pub struct AuditEngine {
     default_depth: AuditDepth,
     /// Probabilistic kernel configuration (cutover, samples, seed).
     prob_config: KernelConfig,
-    /// `crit(Q)` memo, keyed by (canonical query form, active-domain size).
-    crit_cache: CritCache,
-    /// Engine-lifetime pruning counters from the `crit(Q)` kernel.
-    crit_stats: CritStats,
+    /// First-class compiled artifacts: `crit(Q)` sets and candidate spaces
+    /// memoized by (canonical form, active-domain size), plus the
+    /// domain-size-independent symmetry-class verdict caches.
+    artifacts: CompiledArtifacts,
     /// The shared-sample probabilistic kernel, built on the first
     /// `Probabilistic` audit and reused (pool included) for the engine's
     /// whole lifetime.
@@ -439,7 +449,13 @@ impl AuditEngine {
 
     /// Number of distinct `crit(Q)` sets currently memoized.
     pub fn cached_crit_sets(&self) -> usize {
-        self.crit_cache.lock().expect("crit cache poisoned").len()
+        self.artifacts.cached_crit_sets()
+    }
+
+    /// The engine's compiled-artifact store (crit sets, candidate spaces,
+    /// class-verdict caches).
+    pub fn artifacts(&self) -> &CompiledArtifacts {
+        &self.artifacts
     }
 
     /// A snapshot of the engine-lifetime `crit(Q)` kernel counters:
@@ -448,7 +464,46 @@ impl AuditEngine {
     /// so far. Cache hits do no kernel work, so a hot engine's counters grow
     /// sublinearly in the number of audits.
     pub fn crit_stats(&self) -> CritStatsSnapshot {
-        self.crit_stats.snapshot()
+        self.artifacts.crit_stats().snapshot()
+    }
+
+    /// A combined snapshot of every artifact/cache layer the engine runs:
+    /// crit-set and candidate-space memo hits, cross-domain class-verdict
+    /// reuses, probabilistic compile-cache hits and shared-pool sample
+    /// reuse. [`AuditSession`] reports per-step deltas of this snapshot.
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        let artifacts: ArtifactCounters = self.artifacts.counters();
+        let crit = self.artifacts.crit_stats().snapshot();
+        let prob = self.prob_stats();
+        CacheStatsSnapshot {
+            crit_cache_hits: artifacts.crit_cache_hits,
+            crit_cache_misses: artifacts.crit_cache_misses,
+            space_cache_hits: artifacts.space_cache_hits,
+            space_cache_misses: artifacts.space_cache_misses,
+            class_verdicts_reused: crit.class_verdicts_reused,
+            compile_cache_hits: prob.compile_cache_hits,
+            queries_compiled: prob.queries_compiled,
+            mc_samples_drawn: prob.samples_drawn,
+            mc_samples_reused: prob.samples_reused,
+            pool_columns_built: prob.pool_columns_built,
+            pool_column_hits: prob.pool_column_hits,
+        }
+    }
+
+    /// Opens an [`AuditSession`] for `secret`: a long-lived handle that
+    /// accumulates published views and answers "is it safe to *also*
+    /// publish V?" incrementally over this engine's compiled artifacts.
+    pub fn open_session(self: &Arc<Self>, secret: ConjunctiveQuery) -> AuditSession {
+        AuditSession::new(Arc::clone(self), secret, AuditOptions::default())
+    }
+
+    /// [`AuditEngine::open_session`] with per-session audit options.
+    pub fn open_session_with(
+        self: &Arc<Self>,
+        secret: ConjunctiveQuery,
+        options: AuditOptions,
+    ) -> AuditSession {
+        AuditSession::new(Arc::clone(self), secret, options)
     }
 
     /// A snapshot of the engine-lifetime probabilistic-kernel counters:
@@ -469,35 +524,16 @@ impl AuditEngine {
             .get_or_init(|| Arc::new(ProbKernel::new(Arc::clone(dict), self.prob_config)))
     }
 
-    /// Computes (or fetches) `crit_D(Q)` over `active`, memoized under the
-    /// canonical form of `query` and the active-domain size.
+    /// Computes (or fetches) `crit_D(Q)` over `active` through the
+    /// artifact store (memoized per (canonical form, active-domain size),
+    /// class verdicts shared across domain sizes).
     fn crit_cached(
         &self,
         query: &ConjunctiveQuery,
         active: &Domain,
         cap: usize,
     ) -> Result<Arc<BTreeSet<Tuple>>> {
-        let key = (canonical_form(query), active.len());
-        if let Some(hit) = self
-            .crit_cache
-            .lock()
-            .expect("crit cache poisoned")
-            .get(&key)
-        {
-            return Ok(Arc::clone(hit));
-        }
-        // Compute outside the lock so concurrent audits of distinct queries
-        // do not serialize; a racing duplicate insert is harmless.
-        let computed = Arc::new(crate::critical::critical_tuples_traced(
-            query,
-            active,
-            cap,
-            &self.crit_stats,
-        )?);
-        let mut cache = self.crit_cache.lock().expect("crit cache poisoned");
-        Ok(Arc::clone(
-            cache.entry(key).or_insert_with(|| Arc::clone(&computed)),
-        ))
+        self.artifacts.crit(query, active, cap)
     }
 
     /// The exact Theorem 4.5 verdict computed through the memo cache:
@@ -517,11 +553,11 @@ impl AuditEngine {
         active: &Domain,
         cap: usize,
     ) -> Result<SecurityVerdict> {
-        let secret_space = crate::critical::candidate_space(secret, active, cap)?;
+        let secret_space = self.artifacts.candidate_space(secret, active, cap)?;
         let mut crit_s = None;
         let mut common: BTreeSet<Tuple> = BTreeSet::new();
         for v in views.iter() {
-            let view_space = crate::critical::candidate_space(v, active, cap)?;
+            let view_space = self.artifacts.candidate_space(v, active, cap)?;
             if sorted_disjoint(secret_space.tuples(), view_space.tuples()) {
                 continue;
             }
@@ -642,6 +678,102 @@ impl AuditEngine {
     /// [`AuditEngine::audit_batch`], failing on the first per-request error.
     pub fn try_audit_batch(&self, requests: &[AuditRequest]) -> Result<Vec<AuditReport>> {
         self.audit_batch(requests).into_iter().collect()
+    }
+}
+
+/// A combined, serializable snapshot of every cache layer the engine runs.
+/// Monotone over the engine's lifetime; [`CacheStatsSnapshot::delta_since`]
+/// yields the per-operation view sessions attach to their reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStatsSnapshot {
+    /// `crit(Q)` requests served from the (form, domain-size) memo.
+    pub crit_cache_hits: u64,
+    /// `crit(Q)` requests that ran the kernel.
+    pub crit_cache_misses: u64,
+    /// Candidate-space requests served from the memo.
+    pub space_cache_hits: u64,
+    /// Candidate-space requests that enumerated groundings.
+    pub space_cache_misses: u64,
+    /// Symmetry-class verdicts served from a shared class cache (typically
+    /// a prior audit at another active-domain size).
+    pub class_verdicts_reused: u64,
+    /// Probabilistic witness-mask compilations served from the kernel memo.
+    pub compile_cache_hits: u64,
+    /// Probabilistic witness-mask compilations actually run.
+    pub queries_compiled: u64,
+    /// Worlds drawn into the shared Monte-Carlo pool.
+    pub mc_samples_drawn: u64,
+    /// Pooled worlds reused instead of freshly drawn.
+    pub mc_samples_reused: u64,
+    /// Per-query pooled answer-bit columns evaluated (Monte-Carlo misses).
+    pub pool_columns_built: u64,
+    /// Pooled answer-bit columns served from the kernel memo.
+    pub pool_column_hits: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// The field-wise difference `self − earlier` (saturating, so a stale
+    /// `earlier` never underflows).
+    pub fn delta_since(&self, earlier: &CacheStatsSnapshot) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            crit_cache_hits: self.crit_cache_hits.saturating_sub(earlier.crit_cache_hits),
+            crit_cache_misses: self
+                .crit_cache_misses
+                .saturating_sub(earlier.crit_cache_misses),
+            space_cache_hits: self
+                .space_cache_hits
+                .saturating_sub(earlier.space_cache_hits),
+            space_cache_misses: self
+                .space_cache_misses
+                .saturating_sub(earlier.space_cache_misses),
+            class_verdicts_reused: self
+                .class_verdicts_reused
+                .saturating_sub(earlier.class_verdicts_reused),
+            compile_cache_hits: self
+                .compile_cache_hits
+                .saturating_sub(earlier.compile_cache_hits),
+            queries_compiled: self
+                .queries_compiled
+                .saturating_sub(earlier.queries_compiled),
+            mc_samples_drawn: self
+                .mc_samples_drawn
+                .saturating_sub(earlier.mc_samples_drawn),
+            mc_samples_reused: self
+                .mc_samples_reused
+                .saturating_sub(earlier.mc_samples_reused),
+            pool_columns_built: self
+                .pool_columns_built
+                .saturating_sub(earlier.pool_columns_built),
+            pool_column_hits: self
+                .pool_column_hits
+                .saturating_sub(earlier.pool_column_hits),
+        }
+    }
+
+    /// Field-wise accumulation of a per-step delta.
+    pub fn accumulate(&mut self, delta: &CacheStatsSnapshot) {
+        self.crit_cache_hits += delta.crit_cache_hits;
+        self.crit_cache_misses += delta.crit_cache_misses;
+        self.space_cache_hits += delta.space_cache_hits;
+        self.space_cache_misses += delta.space_cache_misses;
+        self.class_verdicts_reused += delta.class_verdicts_reused;
+        self.compile_cache_hits += delta.compile_cache_hits;
+        self.queries_compiled += delta.queries_compiled;
+        self.mc_samples_drawn += delta.mc_samples_drawn;
+        self.mc_samples_reused += delta.mc_samples_reused;
+        self.pool_columns_built += delta.pool_columns_built;
+        self.pool_column_hits += delta.pool_column_hits;
+    }
+
+    /// Whether any layer served anything from cache.
+    pub fn any_reuse(&self) -> bool {
+        self.crit_cache_hits
+            + self.space_cache_hits
+            + self.class_verdicts_reused
+            + self.compile_cache_hits
+            + self.mc_samples_reused
+            + self.pool_column_hits
+            > 0
     }
 }
 

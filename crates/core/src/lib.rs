@@ -72,6 +72,7 @@
 
 pub mod analysis;
 pub mod answerability;
+pub mod artifacts;
 pub mod cnf;
 pub mod critical;
 pub mod critical_bruteforce;
@@ -85,19 +86,23 @@ pub mod practical;
 pub mod prior;
 pub mod report;
 pub mod security;
+pub mod session;
 
 #[allow(deprecated)]
 pub use analysis::{DisclosureAnalysis, SecurityAnalyzer};
 pub use answerability::{answerable_as_projection, answerable_from_views, determined_by};
+pub use artifacts::{ArtifactCounters, CompiledArtifacts};
 pub use critical::{critical_tuples, is_critical, CritStats, CritStatsSnapshot};
 pub use engine::{
     AuditDepth, AuditEngine, AuditEngineBuilder, AuditOptions, AuditReport, AuditRequest,
+    CacheStatsSnapshot,
 };
 pub use error::QvsError;
 pub use fast_check::{fast_check, FastVerdict};
 pub use leakage::{leakage_exact, LeakageReport};
 pub use report::DisclosureClass;
 pub use security::{secure_for_all_distributions, SecurityVerdict};
+pub use session::{AuditSession, MarginalDisclosure, SessionReport, SessionSnapshot};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, QvsError>;

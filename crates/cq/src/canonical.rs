@@ -202,6 +202,73 @@ pub fn canonical_form(query: &ConjunctiveQuery) -> String {
     out
 }
 
+/// A domain-size-independent memo key for compiled per-query artifacts.
+///
+/// Engine-level caches key compiled artifacts two ways:
+///
+/// * **per-domain artifacts** (the materialized `crit_D(Q)` set, interned
+///   candidate spaces) additionally fold in the active-domain size, because
+///   the artifact itself enumerates `tup(D)`;
+/// * **domain-size-independent artifacts** (symmetry-class criticality
+///   verdicts, witness-mask compilations against a fixed tuple space) key on
+///   the [`canonical_form`] alone — the verdict of a symmetry class depends
+///   only on the query's structure, never on how many constants the domain
+///   happens to hold.
+///
+/// `order_free` records whether the query avoids order comparisons
+/// (`<`/`<=`). Only order-free queries may share class verdicts across
+/// domain sizes: equality and disequality are preserved by every domain
+/// bijection, order predicates are not.
+///
+/// ```
+/// use qvsec_cq::{parse_query, CanonicalKey};
+/// use qvsec_data::{Domain, Schema};
+///
+/// let mut schema = Schema::new();
+/// schema.add_relation("R", &["x", "y"]);
+/// let mut domain = Domain::new();
+/// let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+/// let w = parse_query("W(u) :- R(u, w)", &schema, &mut domain).unwrap();
+/// assert_eq!(CanonicalKey::of(&v), CanonicalKey::of(&w));
+/// assert!(CanonicalKey::of(&v).order_free());
+///
+/// let ordered = parse_query("Q() :- R(x, y), x < y", &schema, &mut domain).unwrap();
+/// assert!(!CanonicalKey::of(&ordered).order_free());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalKey {
+    form: String,
+    order_free: bool,
+}
+
+impl CanonicalKey {
+    /// Computes the key of `query`: its [`canonical_form`] plus the
+    /// order-free flag gating cross-domain-size verdict sharing.
+    pub fn of(query: &ConjunctiveQuery) -> Self {
+        CanonicalKey {
+            form: canonical_form(query),
+            order_free: !query.has_order_comparisons(),
+        }
+    }
+
+    /// The canonical rendering (invariant under variable renaming, the
+    /// cosmetic query name and most subgoal reorderings).
+    pub fn form(&self) -> &str {
+        &self.form
+    }
+
+    /// Whether the query avoids `<`/`<=` — the precondition for reusing
+    /// symmetry-class verdicts across domain sizes.
+    pub fn order_free(&self) -> bool {
+        self.order_free
+    }
+
+    /// Consumes the key, returning the canonical form.
+    pub fn into_form(self) -> String {
+        self.form
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,7 +40,7 @@ pub mod unification;
 
 pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, VarId, ViewSet};
 pub use builder::QueryBuilder;
-pub use canonical::{canonical_form, CanonicalDatabase};
+pub use canonical::{canonical_form, CanonicalDatabase, CanonicalKey};
 pub use containment::contained_in;
 pub use error::CqError;
 pub use eval::{evaluate, evaluate_boolean, Answer, AnswerSet};

@@ -75,16 +75,31 @@ pub(crate) fn analyse(joint: &JointDistribution) -> IndependenceReport {
     let mass = joint.total_mass;
     let marginal_q = joint.marginal_query();
     let marginal_v = joint.marginal_views();
+    // Group the joint entries by secret answer once, so the Θ(|S| · |V̄|)
+    // pair walk below looks masses up by reference — `joint.joint(s, v)`
+    // would clone both (heap-heavy) keys per pair, which dominated
+    // many-answer workloads.
+    let mut by_secret: std::collections::BTreeMap<
+        &AnswerSet,
+        std::collections::BTreeMap<&Vec<AnswerSet>, Ratio>,
+    > = std::collections::BTreeMap::new();
+    for (key, p) in joint.iter() {
+        by_secret.entry(&key.0).or_default().insert(&key.1, p);
+    }
     let mut violations = Vec::new();
     let mut pairs = 0usize;
     for (s_ans, &p_s) in &marginal_q {
         let prior = p_s / mass;
+        let row = by_secret.get(s_ans);
         for (v_ans, &p_v) in &marginal_v {
             if p_v.is_zero() {
                 continue;
             }
             pairs += 1;
-            let p_joint = joint.joint(s_ans, v_ans);
+            let p_joint = row
+                .and_then(|r| r.get(v_ans))
+                .copied()
+                .unwrap_or(Ratio::ZERO);
             let posterior = p_joint / p_v;
             if posterior != prior {
                 violations.push(Violation {

@@ -17,6 +17,7 @@ use qvsec_data::bitset::MAX_ENUMERABLE;
 use qvsec_data::{DataError, Dictionary, Ratio};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The joint distribution of answer signatures: one entry per distinct
 /// `(S(I), V̄(I))` outcome, keyed by the packed answer-membership bits of
@@ -88,7 +89,7 @@ impl MaskProbability {
 /// exceeds [`MAX_ENUMERABLE`].
 pub fn stream_exact(
     dict: &Dictionary,
-    compiled: &[CompiledQuery],
+    compiled: &[Arc<CompiledQuery>],
     stats: &ProbStats,
 ) -> Result<SignatureDistribution, DataError> {
     let n = dict.len();
@@ -184,8 +185,8 @@ mod tests {
         let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
         let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
         let compiled = vec![
-            CompiledQuery::compile(&s, &space),
-            CompiledQuery::compile(&v, &space),
+            Arc::new(CompiledQuery::compile(&s, &space)),
+            Arc::new(CompiledQuery::compile(&v, &space)),
         ];
         let stats = ProbStats::new();
         let dist = stream_exact(&dict, &compiled, &stats).unwrap();

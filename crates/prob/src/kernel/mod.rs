@@ -30,19 +30,21 @@ pub mod stats;
 
 pub use compile::CompiledQuery;
 pub use exact::{stream_exact, SignatureDistribution};
-pub use montecarlo::{count_signatures, SignatureCounts};
+pub use montecarlo::{
+    count_signatures, count_signatures_from_columns, world_column, SignatureCounts,
+};
 pub use pool::{SamplePool, POOL_CHUNK};
 pub use stats::{ProbStats, ProbStatsSnapshot};
 
 use crate::independence::{analyse, IndependenceReport, Violation};
 use crate::probability::JointDistribution;
 use qvsec_cq::eval::{Answer, AnswerSet};
-use qvsec_cq::{ConjunctiveQuery, ViewSet};
+use qvsec_cq::{canonical_form, ConjunctiveQuery, ViewSet};
 use qvsec_data::bitset::MAX_ENUMERABLE;
 use qvsec_data::{Dictionary, Ratio, Result, TupleSpace};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -148,6 +150,15 @@ pub struct ProbKernel {
     config: KernelConfig,
     stats: ProbStats,
     pool: OnceLock<Arc<SamplePool>>,
+    /// Compiled-query memo: canonical query form → shared witness masks.
+    /// The kernel owns exactly one tuple space, so the space key of the
+    /// engine-wide artifact identity `(canonical form, space)` is implicit.
+    compiled: Mutex<HashMap<String, Arc<CompiledQuery>>>,
+    /// Per-query answer-bit columns over the shared pool (Monte-Carlo
+    /// path), keyed like [`ProbKernel::compiled`]: a query audited again —
+    /// a later session step, a republished view — skips the per-world
+    /// witness tests entirely.
+    pool_columns: Mutex<HashMap<String, Arc<Vec<u64>>>>,
 }
 
 impl ProbKernel {
@@ -160,6 +171,8 @@ impl ProbKernel {
             config,
             stats: ProbStats::new(),
             pool: OnceLock::new(),
+            compiled: Mutex::new(HashMap::new()),
+            pool_columns: Mutex::new(HashMap::new()),
         }
     }
 
@@ -207,14 +220,67 @@ impl ProbKernel {
         Arc::clone(pool)
     }
 
+    /// Fetches (or compiles and memoizes) the witness masks of `query`
+    /// against the kernel's tuple space. The memo key is the query's
+    /// [`canonical_form`], so α-renamed republications of a view share one
+    /// compilation; equal forms compile to identical masks because the
+    /// homomorphism search sees the same structure. Number of hits and
+    /// misses are exposed through [`ProbStats`].
+    pub fn compile_cached(&self, query: &ConjunctiveQuery) -> Arc<CompiledQuery> {
+        self.compile_cached_keyed(canonical_form(query), query)
+    }
+
+    fn compile_cached_keyed(&self, key: String, query: &ConjunctiveQuery) -> Arc<CompiledQuery> {
+        if let Some(hit) = self
+            .compiled
+            .lock()
+            .expect("compile cache poisoned")
+            .get(&key)
+        {
+            self.stats.add_compile_hit();
+            return Arc::clone(hit);
+        }
+        // Compile outside the lock; a racing duplicate insert is harmless.
+        let fresh = Arc::new(CompiledQuery::compile(query, &self.space));
+        self.stats.add_query_compiled();
+        let mut cache = self.compiled.lock().expect("compile cache poisoned");
+        Arc::clone(cache.entry(key).or_insert(fresh))
+    }
+
+    /// Fetches (or evaluates and memoizes) `query`'s answer-bit column over
+    /// the shared pool — the per-world signatures every Monte-Carlo audit
+    /// of this query concatenates from.
+    fn column_cached(&self, key: &str, pool: &SamplePool, query: &CompiledQuery) -> Arc<Vec<u64>> {
+        if let Some(hit) = self
+            .pool_columns
+            .lock()
+            .expect("column cache poisoned")
+            .get(key)
+        {
+            self.stats.add_pool_column_hit();
+            return Arc::clone(hit);
+        }
+        let fresh = Arc::new(montecarlo::world_column(pool, query));
+        self.stats.add_pool_column_built();
+        let mut cache = self.pool_columns.lock().expect("column cache poisoned");
+        Arc::clone(cache.entry(key.to_string()).or_insert(fresh))
+    }
+
+    /// Number of distinct compiled queries currently memoized.
+    pub fn compiled_queries(&self) -> usize {
+        self.compiled.lock().expect("compile cache poisoned").len()
+    }
+
     /// Runs the full Probabilistic stage for one audit: independence,
     /// leakage and total disclosure from a single space evaluation.
     pub fn evaluate(&self, secret: &ConjunctiveQuery, views: &ViewSet) -> Result<KernelAudit> {
-        let mut compiled = Vec::with_capacity(1 + views.len());
-        compiled.push(CompiledQuery::compile(secret, &self.space));
-        for v in views.iter() {
-            compiled.push(CompiledQuery::compile(v, &self.space));
-        }
+        let queries: Vec<&ConjunctiveQuery> = std::iter::once(secret).chain(views.iter()).collect();
+        let keys: Vec<String> = queries.iter().map(|q| canonical_form(q)).collect();
+        let compiled: Vec<Arc<CompiledQuery>> = queries
+            .iter()
+            .zip(&keys)
+            .map(|(q, k)| self.compile_cached_keyed(k.clone(), q))
+            .collect();
         let offsets = sig_offsets(&compiled);
         if self.is_exact() {
             let dist = stream_exact(&self.dict, &compiled, &self.stats)?;
@@ -222,7 +288,15 @@ impl ProbKernel {
         } else {
             self.stats.add_cutover();
             let pool = self.shared_pool();
-            let counts = count_signatures(&pool, &compiled);
+            // Per-query world columns are memoized alongside the
+            // compilations: only queries never audited against this pool
+            // pay the per-world witness tests.
+            let columns: Vec<Arc<Vec<u64>>> = compiled
+                .iter()
+                .zip(&keys)
+                .map(|(q, k)| self.column_cached(k, &pool, q))
+                .collect();
+            let counts = count_signatures_from_columns(&columns, &compiled, pool.len());
             // The leakage and total-disclosure passes are served from the
             // same per-world signatures the independence pass computed.
             self.stats.add_samples_reused(2 * pool.len() as u64);
@@ -238,7 +312,7 @@ impl ProbKernel {
 
     fn analyse_exact(
         &self,
-        compiled: &[CompiledQuery],
+        compiled: &[Arc<CompiledQuery>],
         offsets: &[usize],
         dist: SignatureDistribution,
     ) -> KernelAudit {
@@ -273,7 +347,7 @@ impl ProbKernel {
 }
 
 /// Word offsets of each compiled query's slice within a signature.
-fn sig_offsets(compiled: &[CompiledQuery]) -> Vec<usize> {
+fn sig_offsets(compiled: &[Arc<CompiledQuery>]) -> Vec<usize> {
     let mut offsets = Vec::with_capacity(compiled.len() + 1);
     offsets.push(0);
     for q in compiled {
@@ -285,7 +359,7 @@ fn sig_offsets(compiled: &[CompiledQuery]) -> Vec<usize> {
 /// Decodes a packed signature into the `(S(I), V̄(I))` answer sets.
 fn decode_signature(
     sig: &[u64],
-    compiled: &[CompiledQuery],
+    compiled: &[Arc<CompiledQuery>],
     offsets: &[usize],
 ) -> (AnswerSet, Vec<AnswerSet>) {
     let s_ans = compiled[0].decode(&sig[offsets[0]..offsets[1]]);
@@ -319,7 +393,7 @@ fn determined<'a>(sigs: impl Iterator<Item = &'a [u64]>, offsets: &[usize]) -> b
 /// All index combinations of one possible answer per view, in the same
 /// order as the enumeration baseline's cartesian product (earlier views
 /// vary more slowly).
-fn view_combos(views: &[CompiledQuery]) -> Vec<Vec<usize>> {
+fn view_combos(views: &[Arc<CompiledQuery>]) -> Vec<Vec<usize>> {
     let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
     for v in views {
         let mut next = Vec::with_capacity(combos.len() * v.num_answers());
@@ -340,8 +414,15 @@ fn view_combos(views: &[CompiledQuery]) -> Vec<Vec<usize>> {
 /// relative increase is reported (matching `leakage_exact`); with
 /// `mc_total = Some(n)` the weights are sample fractions and only increases
 /// beyond three standard errors are reported.
+///
+/// The aggregation is near-linear in the signature list: the per-pair joint
+/// masses `P[s ⊆ S ∧ v̄ ⊆ V̄]` are **indexed by secret-answer bit** in one
+/// walk — each signature that matches a combo contributes its weight to
+/// every set bit of its secret slice — instead of re-walking all signatures
+/// once per `(answer, combo)` pair, which made many-answer workloads
+/// (`collusion` in `BENCH_prob.json`) quadratic.
 fn leakage_from_signatures(
-    compiled: &[CompiledQuery],
+    compiled: &[Arc<CompiledQuery>],
     offsets: &[usize],
     entries: &[(Vec<u64>, Ratio)],
     mc_total: Option<u64>,
@@ -362,25 +443,35 @@ fn leakage_from_signatures(
             .all(|((v, &a), w)| v.answer_bit(&sig[w[0]..w[1]], a))
     };
 
+    // One walk: priors per secret answer, conditioning mass per combo, and
+    // the joint mass of every (answer, combo) pair via set-bit iteration
+    // over the matching signature's secret slice.
     let mut priors = vec![Ratio::ZERO; m_s];
+    let mut cond = vec![Ratio::ZERO; combos.len()];
+    let mut joint = vec![Ratio::ZERO; m_s * combos.len()];
     for (sig, w) in entries {
-        for (i, prior) in priors.iter_mut().enumerate() {
-            if secret.answer_bit(secret_slice(sig, offsets), i) {
-                *prior += *w;
+        let slice = secret_slice(sig, offsets);
+        let set_bits = |f: &mut dyn FnMut(usize)| {
+            for (wi, &word) in slice.iter().enumerate() {
+                let mut b = word;
+                while b != 0 {
+                    f(wi * 64 + b.trailing_zeros() as usize);
+                    b &= b - 1;
+                }
+            }
+        };
+        set_bits(&mut |i| priors[i] += *w);
+        for (ci, combo) in combos.iter().enumerate() {
+            if combo_matches(sig, combo) {
+                cond[ci] += *w;
+                set_bits(&mut |i| joint[i * combos.len() + ci] += *w);
             }
         }
     }
-    let cond: Vec<Ratio> = combos
-        .iter()
-        .map(|combo| {
-            entries
-                .iter()
-                .filter(|(sig, _)| combo_matches(sig, combo))
-                .map(|(_, w)| *w)
-                .sum()
-        })
-        .collect();
 
+    // Emission stays answer-major (then combo), exactly like the
+    // enumeration baseline, so tie-breaking in the stable sort below is
+    // byte-identical to `leakage_exact`.
     let mut report = KernelLeakage::default();
     for (i, &prior) in priors.iter().enumerate() {
         if prior.is_zero() {
@@ -392,14 +483,7 @@ fn leakage_from_signatures(
             if c.is_zero() {
                 continue;
             }
-            let joint: Ratio = entries
-                .iter()
-                .filter(|(sig, _)| {
-                    secret.answer_bit(secret_slice(sig, offsets), i) && combo_matches(sig, combo)
-                })
-                .map(|(_, w)| *w)
-                .sum();
-            let posterior = joint / c;
+            let posterior = joint[i * combos.len() + ci] / c;
             let relative = (posterior - prior) / prior;
             let include = match mc_total {
                 None => relative > Ratio::ZERO,
@@ -447,7 +531,7 @@ fn significant(prior: Ratio, posterior: Ratio, n: f64, n_cond: f64) -> bool {
 /// signature counts, reported as exact count ratios with a 3σ
 /// significance filter on violations and leak entries.
 fn analyse_mc(
-    compiled: &[CompiledQuery],
+    compiled: &[Arc<CompiledQuery>],
     offsets: &[usize],
     counts: &SignatureCounts,
     pool: &SamplePool,

@@ -12,6 +12,7 @@ use super::compile::CompiledQuery;
 use super::pool::SamplePool;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Signature → number of pooled worlds exhibiting it.
 #[derive(Debug, Clone, Default)]
@@ -25,21 +26,61 @@ pub struct SignatureCounts {
 /// Evaluates every pooled world against the compiled queries, in parallel
 /// chunks, and merges the per-chunk counts. The chunking is by world index,
 /// so the result is independent of the worker-thread count.
-pub fn count_signatures(pool: &SamplePool, compiled: &[CompiledQuery]) -> SignatureCounts {
+pub fn count_signatures(pool: &SamplePool, compiled: &[Arc<CompiledQuery>]) -> SignatureCounts {
+    let columns: Vec<Arc<Vec<u64>>> = compiled
+        .iter()
+        .map(|q| Arc::new(world_column(pool, q)))
+        .collect();
+    count_signatures_from_columns(&columns, compiled, pool.len())
+}
+
+/// One query's answer bits over every world of the pool, world-major
+/// (`sig_words` words per world). A column depends only on (pool, query),
+/// so the kernel memoizes it per canonical query form: republished views
+/// and later session steps skip the per-world witness tests entirely and
+/// their signatures become plain word concatenations.
+pub fn world_column(pool: &SamplePool, q: &CompiledQuery) -> Vec<u64> {
     let worlds = pool.worlds();
     let chunk_len = super::pool::POOL_CHUNK;
     let chunks: Vec<usize> = (0..worlds.len().div_ceil(chunk_len.max(1))).collect();
-    let partials: Vec<HashMap<Vec<u64>, u64>> = chunks
+    let per_chunk: Vec<Vec<u64>> = chunks
         .par_iter()
         .map(|&c| {
             let lo = c * chunk_len;
             let hi = (lo + chunk_len).min(worlds.len());
+            let mut out = Vec::with_capacity((hi - lo) * q.sig_words());
+            for world in &worlds[lo..hi] {
+                q.push_answer_bits_world(world.bits(), &mut out);
+            }
+            out
+        })
+        .collect();
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Counts signatures by concatenating the queries' precomputed world
+/// columns — no witness test runs here, only word copies. Chunked by world
+/// index, so the result is independent of the worker-thread count.
+pub fn count_signatures_from_columns(
+    columns: &[Arc<Vec<u64>>],
+    compiled: &[Arc<CompiledQuery>],
+    total_worlds: usize,
+) -> SignatureCounts {
+    debug_assert_eq!(columns.len(), compiled.len());
+    let words: Vec<usize> = compiled.iter().map(|q| q.sig_words()).collect();
+    let chunk_len = super::pool::POOL_CHUNK;
+    let chunks: Vec<usize> = (0..total_worlds.div_ceil(chunk_len.max(1))).collect();
+    let partials: Vec<HashMap<Vec<u64>, u64>> = chunks
+        .par_iter()
+        .map(|&c| {
+            let lo = c * chunk_len;
+            let hi = (lo + chunk_len).min(total_worlds);
             let mut local: HashMap<Vec<u64>, u64> = HashMap::new();
             let mut sig = Vec::new();
-            for world in &worlds[lo..hi] {
+            for w in lo..hi {
                 sig.clear();
-                for q in compiled {
-                    q.push_answer_bits_world(world.bits(), &mut sig);
+                for (column, &n) in columns.iter().zip(&words) {
+                    sig.extend_from_slice(&column[w * n..(w + 1) * n]);
                 }
                 *local.entry(sig.clone()).or_insert(0) += 1;
             }
@@ -48,7 +89,7 @@ pub fn count_signatures(pool: &SamplePool, compiled: &[CompiledQuery]) -> Signat
         .collect();
     let mut out = SignatureCounts {
         counts: HashMap::new(),
-        total: worlds.len() as u64,
+        total: total_worlds as u64,
     };
     for partial in partials {
         for (sig, c) in partial {
@@ -73,7 +114,7 @@ mod tests {
         let space = TupleSpace::full(&schema, &domain).unwrap();
         let dict = Dictionary::half(space.clone());
         let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
-        let compiled = vec![CompiledQuery::compile(&s, &space)];
+        let compiled = vec![Arc::new(CompiledQuery::compile(&s, &space))];
         let arc_space = Arc::new(space);
         let pool = SamplePool::generate(&dict, Arc::clone(&arc_space), 3000, 11);
         let a = count_signatures(&pool, &compiled);

@@ -17,6 +17,10 @@ pub struct ProbStats {
     samples_reused: AtomicU64,
     exact_worlds_streamed: AtomicU64,
     cutovers: AtomicU64,
+    queries_compiled: AtomicU64,
+    compile_cache_hits: AtomicU64,
+    pool_columns_built: AtomicU64,
+    pool_column_hits: AtomicU64,
 }
 
 impl ProbStats {
@@ -41,6 +45,22 @@ impl ProbStats {
         self.cutovers.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_query_compiled(&self) {
+        self.queries_compiled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_compile_hit(&self) {
+        self.compile_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_pool_column_built(&self) {
+        self.pool_columns_built.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_pool_column_hit(&self) {
+        self.pool_column_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> ProbStatsSnapshot {
         ProbStatsSnapshot {
@@ -48,6 +68,10 @@ impl ProbStats {
             samples_reused: self.samples_reused.load(Ordering::Relaxed),
             exact_worlds_streamed: self.exact_worlds_streamed.load(Ordering::Relaxed),
             cutovers: self.cutovers.load(Ordering::Relaxed),
+            queries_compiled: self.queries_compiled.load(Ordering::Relaxed),
+            compile_cache_hits: self.compile_cache_hits.load(Ordering::Relaxed),
+            pool_columns_built: self.pool_columns_built.load(Ordering::Relaxed),
+            pool_column_hits: self.pool_column_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -67,6 +91,23 @@ pub struct ProbStatsSnapshot {
     /// Number of audits that cut over from exact enumeration to Monte-Carlo
     /// because the tuple space exceeded the configured cutover.
     pub cutovers: u64,
+    /// Witness-mask compilations actually run (one homomorphism search
+    /// against the saturated instance each) — cache misses.
+    #[serde(default)]
+    pub queries_compiled: u64,
+    /// Compilations served from the kernel's canonical-form memo instead of
+    /// re-running the homomorphism search (republished views, later session
+    /// steps, α-renamed queries).
+    #[serde(default)]
+    pub compile_cache_hits: u64,
+    /// Per-query answer-bit columns evaluated over the shared pool (one
+    /// pass of per-world witness tests each) — cache misses.
+    #[serde(default)]
+    pub pool_columns_built: u64,
+    /// Column requests served from the memo: the query's pooled signatures
+    /// were reused without touching a single world.
+    #[serde(default)]
+    pub pool_column_hits: u64,
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ pub use kernel::{
     EstimatorMode, EstimatorReport, KernelAudit, KernelConfig, KernelLeakEntry, KernelLeakage,
     ProbKernel, ProbStats, ProbStatsSnapshot, SamplePool,
 };
-pub use lineage::{lineage_dnf, support_space, support_tuples};
+pub use lineage::{for_each_grounding, lineage_dnf, support_space, support_tuples};
 pub use montecarlo::MonteCarloEstimator;
 pub use poly::{event_polynomial, from_satisfying, Monomial, Polynomial};
 pub use probability::{

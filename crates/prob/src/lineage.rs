@@ -19,30 +19,42 @@ use qvsec_cq::{Atom, ConjunctiveQuery, Term};
 use qvsec_data::{DataError, Domain, Instance, Result, Tuple, TupleSpace, Value};
 use std::collections::BTreeSet;
 
-/// All ground instantiations of a single atom over the domain.
-pub fn atom_groundings(atom: &Atom, domain: &Domain) -> Vec<Tuple> {
+/// Streams every ground instantiation of a single atom over the domain into
+/// `f`, reusing **one** value buffer — no heap `Tuple` is allocated per
+/// grounding. Downstream passes that only need to *classify* a grounding
+/// (symmetry-pattern grouping, counting) consume the borrowed slice
+/// directly; passes that keep a grounding materialize it themselves.
+///
+/// `f` returns `true` to continue and `false` to stop the enumeration early
+/// (e.g. when a candidate cap is exceeded).
+pub fn for_each_grounding(atom: &Atom, domain: &Domain, mut f: impl FnMut(&[Value]) -> bool) {
     let vars = atom.variables();
     let values: Vec<Value> = domain.values().collect();
-    let mut out = Vec::new();
     if values.is_empty() && !vars.is_empty() {
-        return out;
+        return;
     }
+    // Per position: the fixed constant, or the index of the driving variable
+    // in the mixed-radix counter.
+    let slots: Vec<std::result::Result<Value, usize>> = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Ok(*c),
+            Term::Var(v) => Err(vars.iter().position(|x| x == v).expect("var of this atom")),
+        })
+        .collect();
     let mut counters = vec![0usize; vars.len()];
+    let mut buf: Vec<Value> = vec![Value(0); atom.terms.len()];
     loop {
-        // build the tuple under the current assignment
-        let assignment = |v: &qvsec_cq::VarId| -> Value {
-            let idx = vars.iter().position(|x| x == v).expect("var of this atom");
-            values[counters[idx]]
-        };
-        let tuple_values: Vec<Value> = atom
-            .terms
-            .iter()
-            .map(|t| match t {
-                Term::Const(c) => *c,
-                Term::Var(v) => assignment(v),
-            })
-            .collect();
-        out.push(Tuple::new(atom.relation, tuple_values));
+        for (out, slot) in buf.iter_mut().zip(&slots) {
+            *out = match slot {
+                Ok(c) => *c,
+                Err(j) => values[counters[*j]],
+            };
+        }
+        if !f(&buf) {
+            return;
+        }
         // increment mixed-radix counter
         let mut i = vars.len();
         let mut done = vars.is_empty();
@@ -61,6 +73,16 @@ pub fn atom_groundings(atom: &Atom, domain: &Domain) -> Vec<Tuple> {
             break;
         }
     }
+}
+
+/// All ground instantiations of a single atom over the domain, materialized
+/// (the streaming form is [`for_each_grounding`]).
+pub fn atom_groundings(atom: &Atom, domain: &Domain) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for_each_grounding(atom, domain, |values| {
+        out.push(Tuple::new(atom.relation, values.to_vec()));
+        true
+    });
     out
 }
 

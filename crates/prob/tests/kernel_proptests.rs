@@ -85,9 +85,9 @@ proptest! {
         let dict = Dictionary::half(space.clone());
         let views = ViewSet::single(v);
 
-        let compiled: Vec<CompiledQuery> = std::iter::once(&s)
+        let compiled: Vec<std::sync::Arc<CompiledQuery>> = std::iter::once(&s)
             .chain(views.iter())
-            .map(|q| CompiledQuery::compile(q, &space))
+            .map(|q| std::sync::Arc::new(CompiledQuery::compile(q, &space)))
             .collect();
         let stats = ProbStats::new();
         let dist = stream_exact(&dict, &compiled, &stats).unwrap();

@@ -10,9 +10,11 @@
 
 use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
 use qvsec::security::SecurityVerdict;
+use qvsec::session::SessionReport;
 use qvsec::Result;
 use qvsec_cq::{ConjunctiveQuery, ViewSet};
 use qvsec_data::{Domain, Schema};
+use std::sync::Arc;
 
 /// The audit result for one named recipient/coalition.
 #[derive(Debug, Clone)]
@@ -69,6 +71,32 @@ pub fn collusion_audit(
         })
         .collect();
     reports.sort_by_key(|r| r.members.len());
+    Ok(reports)
+}
+
+/// The §6 collusion scenario as an incremental publication session: the
+/// publisher releases the named views **one at a time**, asking before each
+/// whether it is safe to *also* publish it given everything already out.
+///
+/// Returns one [`SessionReport`] per publication, in order. Step `k`'s
+/// cumulative verdict equals the [`collusion_audit`] verdict of the
+/// coalition `{views[0..=k]}` (Theorem 4.5 closure under collusion), and
+/// every step after the first is served warm from the engine's compiled
+/// artifacts — the report's cache counters say exactly how warm.
+pub fn session_publication_audit(
+    secret: &ConjunctiveQuery,
+    views: &[(String, ConjunctiveQuery)],
+    schema: &Schema,
+    domain: &Domain,
+) -> Result<Vec<SessionReport>> {
+    let engine = Arc::new(AuditEngine::builder(schema.clone(), domain.clone()).build());
+    let mut session = engine
+        .open_session(secret.clone())
+        .named(format!("collusion:{}", secret.name));
+    let mut reports = Vec::with_capacity(views.len());
+    for (who, view) in views {
+        reports.push(session.publish_named(who.clone(), view.clone())?);
+    }
     Ok(reports)
 }
 
@@ -133,6 +161,48 @@ mod tests {
         }
         let minimal = minimal_unsafe_coalitions(&reports);
         assert!(minimal.iter().all(|r| r.members.len() == 1));
+    }
+
+    #[test]
+    fn session_steps_agree_with_coalition_audits() {
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let secret = parse_query("S(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let views = vec![
+            (
+                "bob".to_string(),
+                parse_query("VBob(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+            ),
+            (
+                "carol".to_string(),
+                parse_query("VCarol(d, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+            ),
+            (
+                "dana".to_string(),
+                parse_query("VDana(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap(),
+            ),
+        ];
+        let steps = session_publication_audit(&secret, &views, &schema, &domain).unwrap();
+        assert_eq!(steps.len(), 3);
+        let coalitions = collusion_audit(&secret, &views, &schema, &domain).unwrap();
+        for (k, step) in steps.iter().enumerate() {
+            let members: Vec<String> = views[..=k].iter().map(|(w, _)| w.clone()).collect();
+            let coalition = coalitions
+                .iter()
+                .find(|r| r.members == members)
+                .expect("prefix coalition audited");
+            assert_eq!(
+                step.report.secure,
+                Some(coalition.verdict.secure),
+                "session step {} disagrees with the {:?} coalition",
+                k + 1,
+                members
+            );
+        }
+        assert!(
+            steps[1].cache.crit_cache_hits > 0 && steps[2].cache.crit_cache_hits > 0,
+            "warm steps reuse crit sets"
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@ use qvsec_cq::parse_query;
 use qvsec_data::{Domain, Instance, Tuple};
 use qvsec_prob::montecarlo::MonteCarloEstimator;
 use qvsec_workload::paper::{intro_collusion, manufacturing_views};
-use qvsec_workload::scenarios::{collusion_audit, minimal_unsafe_coalitions};
+use qvsec_workload::scenarios::{
+    collusion_audit, minimal_unsafe_coalitions, session_publication_audit,
+};
 use qvsec_workload::schemas::{employee_schema, manufacturing_schema};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -61,7 +63,11 @@ fn audit_manufacturing() {
 }
 
 fn audit_employee() {
-    println!("=== Employee projections (Bob and Carol) ===\n");
+    println!("=== Employee projections (Bob and Carol), published incrementally ===\n");
+    // The paper's §6 operational question: the HR department publishes the
+    // Bob projection first, then asks whether it is safe to ALSO publish
+    // Carol's. A session answers each marginal question over the engine's
+    // warm compiled artifacts and reports how much was reused.
     let schema = employee_schema();
     let (secret, views, domain) = intro_collusion();
     let named: Vec<(String, qvsec_cq::ConjunctiveQuery)> = views
@@ -70,12 +76,29 @@ fn audit_employee() {
         .zip(["bob", "carol"])
         .map(|(v, who)| (who.to_string(), v))
         .collect();
-    let reports = collusion_audit(&secret, &named, &schema, &domain).expect("audit succeeds");
-    for report in &reports {
+    let steps =
+        session_publication_audit(&secret, &named, &schema, &domain).expect("audit succeeds");
+    for step in &steps {
         println!(
-            "  coalition {:<20} -> {}",
-            format!("{:?}", report.members),
-            report.verdict.summary()
+            "  step {} publish {:<8} -> {}{}",
+            step.step,
+            step.view,
+            if step.report.secure == Some(false) {
+                "NOT secure"
+            } else {
+                "secure"
+            },
+            if step.marginal.newly_insecure {
+                "  (this view broke security)"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "         cache: {} crit hits, {} class verdicts reused, {} misses",
+            step.cache.crit_cache_hits,
+            step.cache.class_verdicts_reused,
+            step.cache.crit_cache_misses
         );
     }
     println!();

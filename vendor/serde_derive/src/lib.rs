@@ -22,6 +22,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -82,11 +83,36 @@ fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
     out
 }
 
+/// Whether a `serde(...)` attribute's argument list contains the **bare**
+/// item `default`. Substring matching would also fire on the unsupported
+/// `default = "path"` form (silently substituting `Default::default()` for
+/// the named function) or on `default` inside a string literal; those panic
+/// instead, so unsupported spellings fail the build loudly.
+fn has_bare_default(attr_text: &str) -> bool {
+    let inner = match (attr_text.find('('), attr_text.rfind(')')) {
+        (Some(open), Some(close)) if open < close => &attr_text[open + 1..close],
+        _ => return false,
+    };
+    let mut found = false;
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item == "default" {
+            found = true;
+        } else if item.starts_with("default") {
+            panic!("serde shim: only the bare `#[serde(default)]` is supported, got `{item}`");
+        }
+    }
+    found
+}
+
 /// Consumes leading attributes from `tokens[i..]`, returning whether one of
 /// them was `#[serde(skip)]` (or `#[serde(skip_serializing, ...)]`-style —
-/// any serde attribute mentioning `skip`).
-fn eat_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+/// any serde attribute mentioning `skip`) and whether one was the bare
+/// `#[serde(default)]` (missing fields deserialize to `Default::default()`
+/// instead of erroring; the field still serializes normally).
+fn eat_attributes(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
     let mut skip = false;
+    let mut default = false;
     while *i < tokens.len() {
         let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
         if !is_hash {
@@ -99,13 +125,16 @@ fn eat_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
                 if text.starts_with("serde") && text.contains("skip") {
                     skip = true;
                 }
+                if text.starts_with("serde") && has_bare_default(&text) {
+                    default = true;
+                }
                 *i += 2;
                 continue;
             }
         }
         break;
     }
-    skip
+    (skip, default)
 }
 
 /// Consumes an optional visibility (`pub`, `pub(crate)`, ...) from
@@ -129,12 +158,13 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             continue;
         }
         let mut i = 0;
-        let skip = eat_attributes(&chunk, &mut i);
+        let (skip, default) = eat_attributes(&chunk, &mut i);
         eat_visibility(&chunk, &mut i);
         if let Some(TokenTree::Ident(id)) = chunk.get(i) {
             fields.push(Field {
                 name: id.to_string(),
                 skip,
+                default,
             });
         }
     }
@@ -337,6 +367,11 @@ fn gen_deserialize(item: &Item) -> String {
                 .map(|f| {
                     if f.skip {
                         format!("{}: ::std::default::Default::default()", f.name)
+                    } else if f.default {
+                        format!(
+                            "{n}: {{ let v = value.field(\"{n}\"); if v.is_null() {{ ::std::default::Default::default() }} else {{ ::serde::Deserialize::deserialize(v)? }} }}",
+                            n = f.name
+                        )
                     } else {
                         format!(
                             "{n}: ::serde::Deserialize::deserialize(value.field(\"{n}\"))?",
@@ -415,6 +450,11 @@ fn gen_deserialize(item: &Item) -> String {
                             .map(|f| {
                                 if f.skip {
                                     format!("{}: ::std::default::Default::default()", f.name)
+                                } else if f.default {
+                                    format!(
+                                        "{n}: {{ let v = inner.field(\"{n}\"); if v.is_null() {{ ::std::default::Default::default() }} else {{ ::serde::Deserialize::deserialize(v)? }} }}",
+                                        n = f.name
+                                    )
                                 } else {
                                     format!(
                                         "{n}: ::serde::Deserialize::deserialize(inner.field(\"{n}\"))?",
