@@ -1,0 +1,107 @@
+//! `bench_serve` — runs the serving-layer harness and writes
+//! `BENCH_serve.json` (warm multi-tenant registry throughput vs a fresh
+//! engine per request, plus the eviction-pressure sweep), so the serving
+//! performance trajectory is recorded alongside the code.
+//!
+//! ```text
+//! cargo run --release -p qvsec-bench --bin bench_serve -- \
+//!     [--out BENCH_serve.json] [--iters 3] [--tenants 6] [--threads N]
+//! ```
+
+use qvsec_bench::serve::{render_report, run_serve_bench, DEFAULT_TENANTS};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bench_serve — multi-tenant serving benchmark, emits BENCH_serve.json
+
+USAGE:
+    bench_serve [--out <FILE>] [--iters <N>] [--tenants <N>] [--samples <N>] [--threads <N>]
+
+OPTIONS:
+    --out <FILE>      Output path (default BENCH_serve.json)
+    --iters <N>       Iterations per measurement, best-of (default 3)
+    --tenants <N>     Tenants driven through the registry (default 6)
+    --samples <N>     Monte-Carlo pool size for the prob workload (default 8192)
+    --threads <N>     Worker threads for the engine's parallel stages
+                      (default: cores)
+    -h, --help        Show this help
+";
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_serve.json");
+    let mut iters = 3usize;
+    let mut tenants = DEFAULT_TENANTS;
+    let mut samples = 8192usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let parse_fail = |what: &str| {
+            eprintln!("error: bad value for {what}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        };
+        match arg.as_str() {
+            "--out" => match argv.next() {
+                Some(path) => out = path,
+                None => return parse_fail("--out"),
+            },
+            "--iters" => match argv.next().and_then(|s| s.parse().ok()) {
+                Some(n) => iters = n,
+                None => return parse_fail("--iters"),
+            },
+            "--tenants" => match argv.next().and_then(|s| s.parse().ok()) {
+                Some(n) => tenants = n,
+                None => return parse_fail("--tenants"),
+            },
+            "--samples" => match argv.next().and_then(|s| s.parse().ok()) {
+                Some(n) => samples = n,
+                None => return parse_fail("--samples"),
+            },
+            "--threads" => match argv.next().and_then(|s| s.parse().ok()) {
+                Some(n) => {
+                    if rayon::ThreadPoolBuilder::new()
+                        .num_threads(n)
+                        .build_global()
+                        .is_err()
+                    {
+                        eprintln!("error: cannot configure {n} worker threads");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => return parse_fail("--threads"),
+            },
+            "-h" | "--help" => {
+                eprint!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = run_serve_bench(iters, tenants, samples);
+    print!("{}", render_report(&report));
+    if !report.all_verdicts_match {
+        eprintln!("error: a registry verdict diverged from the stateless baseline — not writing");
+        return ExitCode::FAILURE;
+    }
+    if !report.eviction_verdicts_match {
+        eprintln!("error: a budgeted drive diverged from the unbounded one — not writing");
+        return ExitCode::FAILURE;
+    }
+    match serde_json::to_string_pretty(&report) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&out, text + "\n") {
+                eprintln!("error: cannot write `{out}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod crit;
 pub mod prob;
+pub mod serve;
 pub mod session;
 
 /// The uniform per-tuple probability used by the dictionary-based benches.

@@ -197,6 +197,7 @@ fn run_mc_section(samples: usize) -> McPoolReport {
         exact_cutover: qvsec_data::bitset::MAX_ENUMERABLE,
         samples,
         seed: 42,
+        ..KernelConfig::default()
     };
     let kernel = ProbKernel::new(Arc::clone(&dict), config);
     assert!(!kernel.is_exact());

@@ -1,0 +1,301 @@
+//! The serving-layer benchmark harness behind `BENCH_serve.json`.
+//!
+//! Measures the tentpole claim of `qvsec-serve`: a warm multi-tenant
+//! [`SessionRegistry`] — T tenants publishing through **one** shared
+//! engine — serves the whole request stream several times faster than the
+//! stateless deployment shape (a **fresh engine per request**, recompiling
+//! every artifact, redrawing every pool), with byte-identical verdicts.
+//! Tenant 1 warms the artifact store; tenants 2..T are served almost
+//! entirely from it, which is exactly what a server fronting many curators
+//! of one schema sees.
+//!
+//! A second axis sweeps **eviction pressure**: the same multi-tenant drive
+//! under shrinking engine byte budgets must keep verdicts identical to the
+//! unbounded run while the eviction counters climb — the bounded caches
+//! trade wall-clock for memory, never correctness.
+//!
+//! The binary `bench_serve` runs this harness and writes
+//! `BENCH_serve.json`, mirroring the other committed bench artifacts.
+
+use crate::session::{depth_name, employee_collusion_workload, prob_collusion_workload, Workload};
+use qvsec::engine::{AuditOptions, AuditRequest};
+use qvsec_cq::ConjunctiveQuery;
+use qvsec_serve::SessionRegistry;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default number of tenants driven through the registry.
+pub const DEFAULT_TENANTS: usize = 6;
+
+/// One workload's registry-vs-fresh-engines measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeWorkloadReport {
+    /// Workload label, e.g. `collusion-exact/employee`.
+    pub name: String,
+    /// Audit depth the tenants run at.
+    pub depth: String,
+    /// Total requests in the stream (tenants × publish steps).
+    pub requests: usize,
+    /// Best-of-N wall clock of the stateless shape: a fresh engine per
+    /// request auditing the tenant's cumulative prefix, nanoseconds.
+    pub cold_nanos: u64,
+    /// Best-of-N wall clock of the shared registry serving the same
+    /// stream (engine build included), nanoseconds.
+    pub warm_nanos: u64,
+    /// `cold_nanos / warm_nanos`.
+    pub speedup: f64,
+    /// Whether every registry report is byte-identical (modulo the request
+    /// label) to the fresh engine's.
+    pub verdicts_match: bool,
+}
+
+/// One point of the eviction-pressure sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvictionPoint {
+    /// Engine byte budget (`None` = unbounded).
+    pub budget_bytes: Option<usize>,
+    /// Best-of-N wall clock of the multi-tenant drive under this budget.
+    pub warm_nanos: u64,
+    /// Entries evicted during one drive.
+    pub evictions: u64,
+    /// Approximate bytes evicted during one drive.
+    pub evicted_bytes: u64,
+    /// Approximate bytes resident after the drive.
+    pub resident_bytes: u64,
+    /// Whether every verdict matched the unbounded drive.
+    pub verdicts_match: bool,
+}
+
+/// The full harness report serialized into `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// Worker threads available to the engine's parallel stages.
+    pub threads: usize,
+    /// Iterations per measurement (best-of).
+    pub iterations: usize,
+    /// Tenants driven through the registry per workload.
+    pub tenants: usize,
+    /// Per-workload measurements.
+    pub workloads: Vec<ServeWorkloadReport>,
+    /// Geometric mean of the per-workload speedups.
+    pub geomean_speedup: f64,
+    /// Whether every workload's verdicts matched the stateless baseline.
+    pub all_verdicts_match: bool,
+    /// The eviction-pressure sweep (run on the first workload).
+    pub eviction_sweep: Vec<EvictionPoint>,
+    /// Whether every budgeted drive matched the unbounded one.
+    pub eviction_verdicts_match: bool,
+}
+
+fn best_of<F: FnMut()>(iterations: usize, mut f: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iterations.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// A serialized report with the request/session label removed (the only
+/// field that legitimately differs between serving shapes).
+fn unlabelled(report: &qvsec::AuditReport) -> String {
+    let value = serde_json::to_value(report).expect("reports serialize");
+    let Value::Object(entries) = value else {
+        panic!("reports serialize to objects")
+    };
+    let kept: Vec<_> = entries.into_iter().filter(|(k, _)| k != "name").collect();
+    serde_json::to_string(&Value::Object(kept)).expect("rendering is infallible")
+}
+
+/// Drives `tenants` tenants through a fresh registry over a fresh engine.
+/// With `collect` the unlabelled per-request reports come back in stream
+/// order (the verification pass); the timed passes skip the serialization
+/// so it cannot dilute the measured ratio. The workloads themselves are
+/// shared with the session harness (`crate::session`), so both committed
+/// artifacts measure the same audit streams.
+fn drive_registry(
+    workload: &Workload,
+    tenants: usize,
+    budget: Option<usize>,
+    collect: bool,
+) -> (Vec<String>, u64, u64, u64) {
+    let engine = Arc::new(workload.engine_with_budget(budget));
+    let registry = SessionRegistry::new(Arc::clone(&engine));
+    let mut reports = Vec::new();
+    for t in 0..tenants {
+        let tenant = format!("tenant-{t:03}");
+        registry.open(&tenant, &workload.secret).expect("open");
+        for (who, view) in &workload.steps {
+            let report = registry
+                .publish(&tenant, None, Some(who.clone()), view.clone())
+                .expect("bench workloads audit cleanly");
+            if collect {
+                reports.push(unlabelled(&report.report));
+            }
+        }
+    }
+    let stats = engine.cache_stats();
+    (
+        reports,
+        stats.evictions,
+        stats.evicted_bytes,
+        stats.resident_bytes,
+    )
+}
+
+/// The stateless shape: a fresh engine per request, each auditing the
+/// tenant's cumulative prefix.
+fn drive_fresh_engines(workload: &Workload, tenants: usize, collect: bool) -> Vec<String> {
+    let mut reports = Vec::new();
+    for t in 0..tenants {
+        let tenant = format!("tenant-{t:03}");
+        let mut published: Vec<ConjunctiveQuery> = Vec::new();
+        for (k, (_, view)) in workload.steps.iter().enumerate() {
+            published.push(view.clone());
+            let request = AuditRequest {
+                name: format!("{tenant}#{}", k + 1),
+                secret: workload.secret.clone(),
+                views: qvsec_cq::ViewSet::from_views(published.clone()),
+                options: AuditOptions::default(),
+            };
+            let report = workload
+                .engine_with_budget(None)
+                .audit(&request)
+                .expect("audits");
+            if collect {
+                reports.push(unlabelled(&report));
+            }
+        }
+    }
+    reports
+}
+
+/// Runs the harness: registry-vs-fresh-engines per workload, then the
+/// eviction-pressure sweep on the employee workload.
+pub fn run_serve_bench(iterations: usize, tenants: usize, mc_samples: usize) -> ServeBenchReport {
+    let workloads = [
+        employee_collusion_workload(mc_samples),
+        prob_collusion_workload(3, mc_samples),
+    ];
+    let mut reports = Vec::with_capacity(workloads.len());
+    for w in &workloads {
+        let (warm_reports, ..) = drive_registry(w, tenants, None, true);
+        let cold_reports = drive_fresh_engines(w, tenants, true);
+        let verdicts_match = warm_reports == cold_reports;
+        let warm_nanos = best_of(iterations, || {
+            drive_registry(w, tenants, None, false);
+        });
+        let cold_nanos = best_of(iterations, || {
+            drive_fresh_engines(w, tenants, false);
+        });
+        reports.push(ServeWorkloadReport {
+            name: w.name.clone(),
+            depth: depth_name(w.depth).to_string(),
+            requests: tenants * w.steps.len(),
+            cold_nanos,
+            warm_nanos,
+            speedup: cold_nanos as f64 / warm_nanos.max(1) as f64,
+            verdicts_match,
+        });
+    }
+    let geomean_speedup = {
+        let logs: Vec<f64> = reports.iter().map(|r| r.speedup.ln()).collect();
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    };
+
+    // Eviction pressure: shrink the budget on the employee workload; the
+    // verdicts must track the unbounded drive at every point.
+    let sweep_workload = &workloads[0];
+    let (unbounded_reports, ..) = drive_registry(sweep_workload, tenants, None, true);
+    let mut eviction_sweep = Vec::new();
+    for budget in [None, Some(64 * 1024), Some(4 * 1024)] {
+        let (reports_b, evictions, evicted_bytes, resident_bytes) =
+            drive_registry(sweep_workload, tenants, budget, true);
+        let warm_nanos = best_of(iterations, || {
+            drive_registry(sweep_workload, tenants, budget, false);
+        });
+        eviction_sweep.push(EvictionPoint {
+            budget_bytes: budget,
+            warm_nanos,
+            evictions,
+            evicted_bytes,
+            resident_bytes,
+            verdicts_match: reports_b == unbounded_reports,
+        });
+    }
+
+    ServeBenchReport {
+        threads: rayon::current_num_threads(),
+        iterations: iterations.max(1),
+        tenants,
+        geomean_speedup,
+        all_verdicts_match: reports.iter().all(|r| r.verdicts_match),
+        workloads: reports,
+        eviction_verdicts_match: eviction_sweep.iter().all(|p| p.verdicts_match),
+        eviction_sweep,
+    }
+}
+
+/// Renders a compact human-readable table of the report.
+pub fn render_report(report: &ServeBenchReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "warm multi-tenant registry vs fresh engine per request ({} tenants, {} threads, best of {}):",
+        report.tenants, report.threads, report.iterations
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:<14} {:>9} {:>12} {:>12} {:>8} {:>6}",
+        "workload", "depth", "requests", "cold µs", "warm µs", "speedup", "match"
+    );
+    for w in &report.workloads {
+        let _ = writeln!(
+            out,
+            "{:<26} {:<14} {:>9} {:>12.1} {:>12.1} {:>7.1}x {:>6}",
+            w.name,
+            w.depth,
+            w.requests,
+            w.cold_nanos as f64 / 1000.0,
+            w.warm_nanos as f64 / 1000.0,
+            w.speedup,
+            w.verdicts_match,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "geomean speedup {:.2}x, verdicts match: {}",
+        report.geomean_speedup, report.all_verdicts_match
+    );
+    let _ = writeln!(
+        out,
+        "eviction-pressure sweep ({}):",
+        report.workloads[0].name
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>10} {:>14} {:>14} {:>6}",
+        "budget", "warm µs", "evictions", "evicted B", "resident B", "match"
+    );
+    for p in &report.eviction_sweep {
+        let budget = match p.budget_bytes {
+            Some(b) => format!("{b}"),
+            None => "unbounded".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12.1} {:>10} {:>14} {:>14} {:>6}",
+            budget,
+            p.warm_nanos as f64 / 1000.0,
+            p.evictions,
+            p.evicted_bytes,
+            p.resident_bytes,
+            p.verdicts_match,
+        );
+    }
+    out
+}

@@ -94,24 +94,42 @@ fn best_of<F: FnMut()>(iterations: usize, mut f: F) -> u64 {
 }
 
 /// A workload definition: how to build the engine, and what to publish.
-struct Workload {
-    name: String,
-    depth: AuditDepth,
-    schema: Schema,
-    domain: Domain,
-    dictionary: Option<Dictionary>,
-    mc_samples: usize,
-    secret: ConjunctiveQuery,
-    steps: Vec<(String, ConjunctiveQuery)>,
+/// Shared with the serving harness (`crate::serve`), so `BENCH_session.json`
+/// and `BENCH_serve.json` measure exactly the same workloads.
+pub(crate) struct Workload {
+    pub(crate) name: String,
+    pub(crate) depth: AuditDepth,
+    pub(crate) schema: Schema,
+    pub(crate) domain: Domain,
+    pub(crate) dictionary: Option<Dictionary>,
+    pub(crate) mc_samples: usize,
+    /// Serving knob: cap on reported leak-entry / violation lists (the
+    /// probabilistic workloads set it, mirroring a server's configuration;
+    /// verdict fields are unaffected and warm and cold engines share it).
+    pub(crate) report_cap: Option<usize>,
+    pub(crate) secret: ConjunctiveQuery,
+    pub(crate) steps: Vec<(String, ConjunctiveQuery)>,
 }
 
 impl Workload {
     fn engine(&self) -> AuditEngine {
+        self.engine_with_budget(None)
+    }
+
+    /// An engine for this workload, optionally bounded by a total cache
+    /// byte budget (the serve harness's eviction-pressure sweep).
+    pub(crate) fn engine_with_budget(&self, budget: Option<usize>) -> AuditEngine {
         let mut builder = AuditEngine::builder(self.schema.clone(), self.domain.clone())
             .default_depth(self.depth)
             .mc_samples(self.mc_samples);
         if let Some(dict) = &self.dictionary {
             builder = builder.dictionary(dict.clone());
+        }
+        if let Some(cap) = self.report_cap {
+            builder = builder.report_cap(cap);
+        }
+        if let Some(total) = budget {
+            builder = builder.cache_budget_bytes(total);
         }
         builder.build()
     }
@@ -120,7 +138,12 @@ impl Workload {
 /// Default shared-pool size for the Monte-Carlo workload.
 pub const DEFAULT_MC_SAMPLES: usize = 8192;
 
-fn depth_name(depth: AuditDepth) -> &'static str {
+/// Report cap the probabilistic workloads serve under (the serving-layer
+/// configuration: verdicts, max leak and witnesses are exact, the reported
+/// entry lists are bounded and materialized lazily).
+pub const DEFAULT_REPORT_CAP: usize = 16;
+
+pub(crate) fn depth_name(depth: AuditDepth) -> &'static str {
     match depth {
         AuditDepth::Fast => "fast",
         AuditDepth::Exact => "exact",
@@ -186,7 +209,7 @@ fn run_workload(workload: &Workload, iterations: usize) -> SessionWorkloadReport
     }
 }
 
-fn employee_collusion_workload(mc_samples: usize) -> Workload {
+pub(crate) fn employee_collusion_workload(mc_samples: usize) -> Workload {
     let schema = qvsec_workload::schemas::employee_schema();
     let mut domain = Domain::new();
     let secret = parse_query("S(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
@@ -211,6 +234,7 @@ fn employee_collusion_workload(mc_samples: usize) -> Workload {
         domain,
         dictionary: None,
         mc_samples,
+        report_cap: None,
         secret,
         steps,
     }
@@ -225,7 +249,7 @@ fn binary_schema() -> Schema {
 /// The §6 collusion pair over a binary relation at an exactly-enumerable
 /// domain size, plus an α-renamed republication of the first view (served
 /// 100% from the compile and crit memos).
-fn prob_collusion_workload(size: usize, mc_samples: usize) -> Workload {
+pub(crate) fn prob_collusion_workload(size: usize, mc_samples: usize) -> Workload {
     let schema = binary_schema();
     let mut domain = Domain::with_size(size);
     let secret = parse_query("S(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
@@ -241,6 +265,7 @@ fn prob_collusion_workload(size: usize, mc_samples: usize) -> Workload {
         domain,
         dictionary,
         mc_samples,
+        report_cap: Some(DEFAULT_REPORT_CAP),
         secret,
         steps: vec![
             ("v1".to_string(), v1),
@@ -252,7 +277,7 @@ fn prob_collusion_workload(size: usize, mc_samples: usize) -> Workload {
 
 /// The same pair over a space too large to enumerate: every fresh engine
 /// redraws the full Monte-Carlo pool, the session draws it once.
-fn mc_collusion_workload(size: usize, mc_samples: usize) -> Workload {
+pub(crate) fn mc_collusion_workload(size: usize, mc_samples: usize) -> Workload {
     let schema = binary_schema();
     let mut domain = Domain::with_size(size);
     let secret = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
@@ -268,6 +293,7 @@ fn mc_collusion_workload(size: usize, mc_samples: usize) -> Workload {
         domain,
         dictionary,
         mc_samples,
+        report_cap: Some(DEFAULT_REPORT_CAP),
         secret,
         steps: vec![("v1".to_string(), v1), ("v2".to_string(), v2)],
     }

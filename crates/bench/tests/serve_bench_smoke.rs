@@ -1,0 +1,79 @@
+//! Smoke tests for the serving-layer bench harness and the committed
+//! `BENCH_serve.json` artifact.
+
+use qvsec_bench::serve::{render_report, run_serve_bench, ServeBenchReport};
+
+#[test]
+fn harness_matches_the_stateless_baseline_and_survives_eviction_pressure() {
+    // Tiny run: 3 tenants, one iteration, small Monte-Carlo pool — a
+    // correctness smoke test, not a measurement.
+    let report = run_serve_bench(1, 3, 256);
+    assert_eq!(report.tenants, 3);
+    assert_eq!(report.workloads.len(), 2);
+    assert!(report.all_verdicts_match, "a registry verdict diverged");
+    for w in &report.workloads {
+        assert_eq!(w.requests, 3 * 3, "3 tenants x 3 collusion steps");
+        assert!(w.cold_nanos > 0 && w.warm_nanos > 0);
+        assert!(w.verdicts_match, "{}: divergence", w.name);
+    }
+    // The sweep: unbounded never evicts, the 4 KiB point must; every
+    // point's verdicts track the unbounded drive.
+    assert_eq!(report.eviction_sweep.len(), 3);
+    assert!(report.eviction_verdicts_match);
+    let unbounded = &report.eviction_sweep[0];
+    assert_eq!(unbounded.budget_bytes, None);
+    assert_eq!(unbounded.evictions, 0);
+    assert!(unbounded.resident_bytes > 0);
+    let tightest = report.eviction_sweep.last().unwrap();
+    assert_eq!(tightest.budget_bytes, Some(4096));
+    assert!(
+        tightest.evictions > 0,
+        "a 4 KiB budget must evict under the multi-tenant drive"
+    );
+    assert!(
+        tightest.resident_bytes < unbounded.resident_bytes,
+        "the budget must actually bound residency"
+    );
+
+    let rendered = render_report(&report);
+    assert!(rendered.contains("eviction-pressure sweep"));
+    let json = serde_json::to_string(&report).unwrap();
+    let back: ServeBenchReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.workloads.len(), report.workloads.len());
+}
+
+#[test]
+fn committed_bench_serve_json_holds_the_acceptance_criteria() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let text = std::fs::read_to_string(path)
+        .expect("BENCH_serve.json is committed at the repository root");
+    let report: ServeBenchReport = serde_json::from_str(&text).expect("BENCH_serve.json parses");
+    assert!(report.threads >= 1);
+    assert!(report.tenants >= 4);
+    assert!(
+        report.all_verdicts_match,
+        "committed run had a registry/stateless divergence"
+    );
+    assert!(
+        report.eviction_verdicts_match,
+        "committed run had a budgeted/unbounded divergence"
+    );
+    // The acceptance floor: warm multi-tenant serving at least 3x over a
+    // fresh engine per request on the collusion workload.
+    let collusion = report
+        .workloads
+        .iter()
+        .find(|w| w.name == "collusion-exact/employee")
+        .expect("the collusion workload is recorded");
+    assert!(
+        collusion.speedup >= 3.0,
+        "committed multi-tenant speedup below the 3x floor: {:.2}x",
+        collusion.speedup
+    );
+    // Eviction pressure was demonstrated, transparently.
+    assert!(report
+        .eviction_sweep
+        .iter()
+        .any(|p| p.budget_bytes.is_some() && p.evictions > 0));
+    assert!(report.eviction_sweep.iter().all(|p| p.verdicts_match));
+}

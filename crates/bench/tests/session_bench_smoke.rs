@@ -70,10 +70,27 @@ fn committed_bench_session_json_parses_and_holds_the_acceptance_criteria() {
         "committed run shows a warm step without cache reuse"
     );
     assert!(
-        report.geomean_warm_speedup > 1.0,
+        report.geomean_warm_speedup >= 1.5,
         "committed warm steps must beat fresh-engine audits, got {:.2}x",
         report.geomean_warm_speedup
     );
+    // Per-workload floors after the report-cap / lazy-materialization work:
+    // the exact workload's warm steps are served almost entirely from memo
+    // (>= 4x), while the probabilistic workloads' remaining cost is the
+    // genuinely shared signature analysis — their ratio sits at ~1x, but
+    // the capped, lazily-materialized reporting cut that shared tail ~5x
+    // in absolute time (domain3 step 3: ~106 ms before, ~21 ms now), so a
+    // warm step must never fall meaningfully below the stateless baseline.
+    for w in &report.workloads {
+        let floor = if w.depth == "exact" { 4.0 } else { 0.9 };
+        assert!(
+            w.warm_geomean_speedup >= floor,
+            "{}: committed warm geomean {:.2}x below the {:.1}x floor",
+            w.name,
+            w.warm_geomean_speedup,
+            floor
+        );
+    }
     for w in &report.workloads {
         for s in w.steps.iter().filter(|s| s.step >= 2) {
             assert!(

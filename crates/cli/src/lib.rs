@@ -103,6 +103,10 @@ pub struct DictionarySpec {
     /// Seed of the shared sample pool; fixing it makes Monte-Carlo reports
     /// byte-reproducible.
     pub seed: Option<u64>,
+    /// Cap on the reported leak-entry and independence-violation lists
+    /// (verdicts, max leak and the witness pair always cover every answer
+    /// pair; unset reports everything).
+    pub report_cap: Option<usize>,
 }
 
 /// One audit case.
@@ -221,6 +225,9 @@ fn build_engine(
         }
         if let Some(seed) = dict_spec.seed {
             builder = builder.mc_seed(seed);
+        }
+        if let Some(cap) = dict_spec.report_cap {
+            builder = builder.report_cap(cap);
         }
     }
     Ok(builder.build())
@@ -428,6 +435,97 @@ pub fn run_session_spec(text: &str) -> Result<serde_json::Value, CliError> {
     Ok(serde_json::Value::Array(out))
 }
 
+/// A server specification: the schema/domain/dictionary context every
+/// tenant audits in, plus registry and cache-budget knobs. Unlike audit and
+/// session specs there are no queries here — secrets and views arrive over
+/// the wire at runtime (and may only use constants declared in
+/// `constants`). The dictionary, when given, is built over the **full**
+/// tuple space of the declared schema and constants.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ServeSpec {
+    /// The schema's relations.
+    pub relations: Vec<RelationSpec>,
+    /// Domain constants runtime queries may mention.
+    pub constants: Option<Vec<String>>,
+    /// Dictionary over the full tuple space; required for
+    /// `"probabilistic"` depth.
+    pub dictionary: Option<DictionarySpec>,
+    /// Engine defaults (tenant sessions audit at the default depth).
+    pub defaults: Option<DefaultsSpec>,
+    /// Total byte budget for the engine's artifact and kernel caches;
+    /// unset keeps them append-only.
+    pub cache_budget_bytes: Option<usize>,
+    /// Cap on reported leak-entry / violation lists (serving knob).
+    pub report_cap: Option<usize>,
+    /// Registry shard count (default 16).
+    pub shards: Option<usize>,
+    /// Sessions idle longer than this many seconds are expired.
+    pub idle_timeout_secs: Option<u64>,
+}
+
+/// Detects the format (JSON / TOML subset) and parses a server spec.
+pub fn parse_serve_spec(text: &str) -> Result<ServeSpec, CliError> {
+    let value = if text.trim_start().starts_with('{') {
+        serde_json::parse(text)?
+    } else {
+        toml_subset::parse(text).map_err(CliError::Spec)?
+    };
+    Ok(serde_json::from_value(&value)?)
+}
+
+/// Builds the engine and sharded registry a server spec declares.
+pub fn build_registry(spec: &ServeSpec) -> Result<qvsec_serve::SessionRegistry, CliError> {
+    let (schema, domain) = build_schema_domain(&spec.relations, &spec.constants)?;
+    let defaults = spec.defaults.clone().unwrap_or_default();
+    let mut builder = AuditEngine::builder(schema.clone(), domain.clone());
+    if let Some(depth) = &defaults.depth {
+        builder = builder.default_depth(parse_depth(depth)?);
+    }
+    if let Some((n, d)) = defaults.minute_threshold {
+        builder = builder.minute_threshold(Ratio::new(n, d));
+    }
+    if let Some(cap) = defaults.candidate_cap {
+        builder = builder.candidate_cap(cap);
+    }
+    if let Some(total) = spec.cache_budget_bytes {
+        builder = builder.cache_budget_bytes(total);
+    }
+    if let Some(cap) = spec.report_cap {
+        builder = builder.report_cap(cap);
+    }
+    if let Some(dict_spec) = &spec.dictionary {
+        let (n, d) = dict_spec.probability.unwrap_or((1, 2));
+        let cap = dict_spec.cap.unwrap_or(4096);
+        let space = qvsec_data::TupleSpace::full_with_cap(&schema, &domain, cap)
+            .map_err(|e| CliError::Spec(format!("dictionary tuple space: {e}")))?;
+        let dict = Dictionary::uniform(space, Ratio::new(n, d))
+            .map_err(|e| CliError::Spec(format!("dictionary: {e}")))?;
+        builder = builder.dictionary(dict);
+        if let Some(cutover) = dict_spec.exact_cutover {
+            builder = builder.exact_cutover(cutover);
+        }
+        if let Some(samples) = dict_spec.samples {
+            builder = builder.mc_samples(samples);
+        }
+        if let Some(seed) = dict_spec.seed {
+            builder = builder.mc_seed(seed);
+        }
+        // The top-level knob wins; a cap on the dictionary table (the spot
+        // audit/session specs use) is honored rather than silently dropped.
+        if let (None, Some(cap)) = (spec.report_cap, dict_spec.report_cap) {
+            builder = builder.report_cap(cap);
+        }
+    }
+    let config = qvsec_serve::RegistryConfig {
+        shards: spec.shards.unwrap_or(16),
+        idle_timeout: spec.idle_timeout_secs.map(std::time::Duration::from_secs),
+    };
+    Ok(qvsec_serve::SessionRegistry::with_config(
+        Arc::new(builder.build()),
+        config,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,6 +706,30 @@ views = ["V4(n) :- Employee(n, 'Mgmt', p)"]
             run_session_spec(unknown_restore),
             Err(CliError::Spec(_))
         ));
+    }
+
+    #[test]
+    fn serve_specs_build_budgeted_registries() {
+        let spec = parse_serve_spec(
+            r#"{
+            "relations": [{"name": "R", "attributes": ["x", "y"]}],
+            "constants": ["a", "b"],
+            "dictionary": {"probability": [1, 2], "samples": 256, "seed": 3},
+            "defaults": {"depth": "probabilistic"},
+            "cache_budget_bytes": 65536,
+            "shards": 4
+        }"#,
+        )
+        .unwrap();
+        let registry = build_registry(&spec).unwrap();
+        assert_eq!(registry.shard_count(), 4);
+        let secret = registry.parse("S(x, y) :- R(x, y)").unwrap();
+        let view = registry.parse("V(x) :- R(x, y)").unwrap();
+        let report = registry.publish("t", Some(&secret), None, view).unwrap();
+        assert_eq!(report.report.secure, Some(false));
+        assert!(report.report.leakage.is_some(), "probabilistic depth ran");
+        // Runtime constants outside the declared domain are rejected.
+        assert!(registry.parse("W(x) :- R(x, 'z')").is_err());
     }
 
     #[test]

@@ -4,14 +4,16 @@
 //! qvsec-cli audit --spec specs/table1.json [--pretty] [--sequential]
 //! qvsec-cli audit --spec specs/table1.toml --out reports.json
 //! qvsec-cli session --spec specs/session_collusion.json [--pretty]
+//! qvsec-cli serve --spec specs/serve_employee.json --addr 127.0.0.1:7341 [--workers 4]
+//! qvsec-cli request --addr 127.0.0.1:7341 --file specs/serve_requests.ndjson
 //! ```
 //!
 //! `audit` runs stateless audits; `session` replays a script of incremental
-//! publish steps through an `AuditSession` (§6 collusion flow), emitting one
-//! step report — verdict, marginal leakage, cache-reuse counters — per
-//! step. Both spec formats are documented in the `qvsec_cli` library docs
-//! and `crates/cli/README.md`; output is a JSON array on stdout (or
-//! `--out`).
+//! publish steps through an `AuditSession` (§6 collusion flow). `serve`
+//! runs the multi-tenant NDJSON TCP server over a server spec, and
+//! `request` drives a running server with one request per input line,
+//! printing one response per line. Spec formats and the wire schema are
+//! documented in the `qvsec_cli` library docs and `crates/cli/README.md`.
 
 use std::process::ExitCode;
 
@@ -21,15 +23,22 @@ qvsec-cli — query-view security audits (Miklau & Suciu, SIGMOD 2004)
 USAGE:
     qvsec-cli audit --spec <FILE> [OPTIONS]
     qvsec-cli session --spec <FILE> [OPTIONS]
+    qvsec-cli serve --spec <FILE> --addr <HOST:PORT> [--workers <N>]
+    qvsec-cli request --addr <HOST:PORT> [--file <FILE>] [--out <FILE>]
 
 COMMANDS:
     audit            Run the spec's stateless audits (parallel by default)
     session          Replay a session script of incremental publish steps
+    serve            Run the multi-tenant NDJSON session server
+    request          Send NDJSON requests (from --file or stdin) to a server
 
 OPTIONS:
     --spec <FILE>    Spec, JSON or TOML (format auto-detected)
-    --out <FILE>     Write the JSON reports to FILE instead of stdout
-    --pretty         Pretty-print the JSON output
+    --addr <ADDR>    Server address, e.g. 127.0.0.1:7341
+    --workers <N>    (serve) connection worker threads (default 4)
+    --file <FILE>    (request) NDJSON request script (default: stdin)
+    --out <FILE>     Write the output to FILE instead of stdout
+    --pretty         Pretty-print the JSON output (audit/session)
     --sequential     (audit) one request at a time instead of in parallel
     -h, --help       Show this help
 ";
@@ -37,11 +46,16 @@ OPTIONS:
 enum Command {
     Audit,
     Session,
+    Serve,
+    Request,
 }
 
 struct Args {
     command: Command,
-    spec: String,
+    spec: Option<String>,
+    addr: Option<String>,
+    workers: usize,
+    file: Option<String>,
     out: Option<String>,
     pretty: bool,
     sequential: bool,
@@ -51,35 +65,170 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let command = match argv.next().as_deref() {
         Some("audit") => Command::Audit,
         Some("session") => Command::Session,
+        Some("serve") => Command::Serve,
+        Some("request") => Command::Request,
         Some("-h") | Some("--help") | None => return Err(String::new()),
         Some(other) => return Err(format!("unknown command `{other}`")),
     };
-    let mut spec = None;
-    let mut out = None;
-    let mut pretty = false;
-    let mut sequential = false;
+    let mut args = Args {
+        command,
+        spec: None,
+        addr: None,
+        workers: 4,
+        file: None,
+        out: None,
+        pretty: false,
+        sequential: false,
+    };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--spec" => spec = Some(argv.next().ok_or("--spec needs a file argument")?),
-            "--out" => out = Some(argv.next().ok_or("--out needs a file argument")?),
-            "--pretty" => pretty = true,
-            "--sequential" => sequential = true,
+            "--spec" => args.spec = Some(argv.next().ok_or("--spec needs a file argument")?),
+            "--addr" => args.addr = Some(argv.next().ok_or("--addr needs an address argument")?),
+            "--workers" => {
+                args.workers = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--workers needs a positive integer")?
+            }
+            "--file" => args.file = Some(argv.next().ok_or("--file needs a file argument")?),
+            "--out" => args.out = Some(argv.next().ok_or("--out needs a file argument")?),
+            "--pretty" => args.pretty = true,
+            "--sequential" => args.sequential = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    if sequential && matches!(command, Command::Session) {
-        return Err(
-            "--sequential only applies to `audit` (sessions are inherently ordered)".into(),
-        );
+    match args.command {
+        Command::Audit | Command::Session => {
+            if args.spec.is_none() {
+                return Err("missing required --spec <FILE>".into());
+            }
+            if args.sequential && matches!(args.command, Command::Session) {
+                return Err(
+                    "--sequential only applies to `audit` (sessions are inherently ordered)".into(),
+                );
+            }
+        }
+        Command::Serve => {
+            if args.spec.is_none() || args.addr.is_none() {
+                return Err("`serve` needs --spec <FILE> and --addr <HOST:PORT>".into());
+            }
+        }
+        Command::Request => {
+            if args.addr.is_none() {
+                return Err("`request` needs --addr <HOST:PORT>".into());
+            }
+        }
     }
-    Ok(Args {
-        command,
-        spec: spec.ok_or("missing required --spec <FILE>")?,
-        out,
-        pretty,
-        sequential,
+    Ok(args)
+}
+
+fn read_spec(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read spec `{path}`: {e}");
+        ExitCode::FAILURE
     })
+}
+
+/// Writes `text` (newline-terminated) to `--out` or stdout, tolerating a
+/// closed pipe (`qvsec-cli ... | head`) instead of panicking.
+fn emit(out: &Option<String>, text: String) -> ExitCode {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text + "\n") {
+                eprintln!("error: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            use std::io::Write;
+            let mut stdout = std::io::stdout();
+            let _ = stdout
+                .write_all(text.as_bytes())
+                .and_then(|_| stdout.write_all(b"\n"));
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn run_serve(args: &Args) -> ExitCode {
+    let text = match read_spec(args.spec.as_deref().expect("validated")) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let spec = match qvsec_cli::parse_serve_spec(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = match qvsec_cli::build_registry(&spec) {
+        Ok(registry) => registry,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = args.addr.as_deref().expect("validated");
+    let server = match qvsec_serve::Server::bind(std::sync::Arc::new(registry), addr, args.workers)
+    {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind `{addr}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        // Announced on stderr so request scripts piping stdout stay clean;
+        // flushed line-wise, so `wait-for-line` style supervision works.
+        Ok(bound) => eprintln!("qvsec-serve listening on {bound}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            eprintln!("qvsec-serve shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_request(args: &Args) -> ExitCode {
+    let input = match &args.file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            use std::io::Read;
+            let mut text = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("error: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            text
+        }
+    };
+    let lines: Vec<String> = input.lines().map(String::from).collect();
+    let addr = args.addr.as_deref().expect("validated");
+    match qvsec_serve::request_lines(addr, &lines) {
+        Ok(responses) => emit(&args.out, responses.join("\n")),
+        Err(e) => {
+            eprintln!("error: request to `{addr}` failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -95,16 +244,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let text = match std::fs::read_to_string(&args.spec) {
+    match args.command {
+        Command::Serve => return run_serve(&args),
+        Command::Request => return run_request(&args),
+        Command::Audit | Command::Session => {}
+    }
+    let text = match read_spec(args.spec.as_deref().expect("validated")) {
         Ok(text) => text,
-        Err(e) => {
-            eprintln!("error: cannot read spec `{}`: {e}", args.spec);
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     let run = match args.command {
         Command::Audit => qvsec_cli::run_spec(&text, args.sequential),
         Command::Session => qvsec_cli::run_session_spec(&text),
+        _ => unreachable!("serve/request handled above"),
     };
     let reports = match run {
         Ok(reports) => reports,
@@ -119,22 +271,5 @@ fn main() -> ExitCode {
         serde_json::to_string(&reports)
     }
     .expect("JSON rendering is infallible");
-    match &args.out {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, rendered + "\n") {
-                eprintln!("error: cannot write `{path}`: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        None => {
-            // Tolerate a closed pipe (`qvsec-cli ... | head`) instead of
-            // panicking in the println! machinery.
-            use std::io::Write;
-            let mut stdout = std::io::stdout();
-            let _ = stdout
-                .write_all(rendered.as_bytes())
-                .and_then(|_| stdout.write_all(b"\n"));
-        }
-    }
-    ExitCode::SUCCESS
+    emit(&args.out, rendered)
 }

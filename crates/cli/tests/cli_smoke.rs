@@ -95,6 +95,120 @@ fn bad_invocations_fail_with_diagnostics() {
 }
 
 #[test]
+fn serves_the_committed_request_script_deterministically() {
+    // One full server lifecycle per run: spawn `serve` on an ephemeral
+    // port (`:0` — a fixed port would collide with concurrent checkouts or
+    // a developer's own server), read the bound address from the stderr
+    // announcement, drive the committed two-tenant script with `request`,
+    // shut it down, and repeat. Two runs must produce byte-identical
+    // response streams, and the small committed cache budget must show
+    // evictions in the final stats.
+    use std::io::BufRead;
+
+    let run_once = || -> Vec<u8> {
+        let mut server = Command::new(env!("CARGO_BIN_EXE_qvsec-cli"))
+            .args([
+                "serve",
+                "--spec",
+                "specs/serve_employee.json",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+            ])
+            .current_dir(repo_root())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("server spawns");
+        // The bind announcement carries the ephemeral port.
+        let stderr = server.stderr.take().expect("stderr piped");
+        let mut lines = std::io::BufReader::new(stderr).lines();
+        let first = lines.next().expect("server announces").expect("readable");
+        let addr = first
+            .strip_prefix("qvsec-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected announcement: {first}"))
+            .trim()
+            .to_string();
+
+        let out = run_cli(&[
+            "request",
+            "--addr",
+            &addr,
+            "--file",
+            "specs/serve_requests.ndjson",
+        ]);
+        assert!(
+            out.status.success(),
+            "request failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Shut the server down over the wire and reap it.
+        let bye = Command::new(env!("CARGO_BIN_EXE_qvsec-cli"))
+            .args(["request", "--addr", &addr])
+            .current_dir(repo_root())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("shutdown client spawns");
+        use std::io::Write;
+        bye.stdin
+            .as_ref()
+            .expect("stdin piped")
+            .write_all(b"{\"op\": \"shutdown\"}\n")
+            .expect("shutdown request sent");
+        assert!(bye
+            .wait_with_output()
+            .expect("client exits")
+            .status
+            .success());
+        assert!(server.wait().expect("server exits").success());
+        out.stdout
+    };
+
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(
+        first, second,
+        "two server lifecycles must agree byte-for-byte"
+    );
+
+    let text = std::str::from_utf8(&first).expect("UTF-8 output");
+    let responses: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| serde_json::parse(l).expect("each response line is JSON"))
+        .collect();
+    assert_eq!(responses.len(), 9, "one response per request line");
+    for r in &responses {
+        assert_eq!(r.field("ok"), &serde_json::Value::Bool(true), "{r:?}");
+    }
+    // Both tenants' first publishes are insecure (Bob/Carol collusion).
+    for i in [1usize, 2] {
+        assert_eq!(
+            responses[i].field("report").field("report").field("secure"),
+            &serde_json::Value::Bool(false)
+        );
+    }
+    // The committed spec's byte budget is deliberately tiny, so this run
+    // demonstrates eviction (not warmth — the unbounded warm path is
+    // pinned down by the registry and bench tests): evictions and evicted
+    // bytes must show in the final stats, and both tenants are accounted.
+    let stats = responses[8].field("stats");
+    assert_eq!(stats.field("tenants").as_array().unwrap().len(), 2);
+    assert!(
+        stats
+            .field("engine_cache")
+            .field("evictions")
+            .as_int()
+            .unwrap()
+            > 0,
+        "4 KiB budget must evict: {stats:?}"
+    );
+    let alice = &stats.field("tenants").as_array().unwrap()[0];
+    assert_eq!(alice.field("tenant").as_str(), Some("alice"));
+    assert!(alice.field("approx_bytes").as_int().unwrap() > 0);
+}
+
+#[test]
 fn replays_the_committed_session_script() {
     let out = run_cli(&["session", "--spec", "specs/session_collusion.json"]);
     assert!(

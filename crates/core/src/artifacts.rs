@@ -18,25 +18,81 @@
 //! decided is reused verbatim by the second, which only re-*derives* (i.e.
 //! re-enumerates class members), never re-*decides*.
 //!
-//! All artifacts are append-only for the engine's lifetime; hit/miss
-//! counters feed the per-step cache metadata of
+//! ## Bounded caches
+//!
+//! Each layer is a byte-budgeted [`LruCache`]: with an [`ArtifactBudget`]
+//! configured (see `AuditEngineBuilder::cache_budget_bytes`), inserting past
+//! the budget evicts the least-recently-used entries, and a later request
+//! for an evicted artifact simply misses and recomputes — eviction is
+//! **transparent** to every verdict (property-tested in
+//! `tests/eviction_equivalence.rs`). With no budget the caches keep the
+//! historical append-only behaviour. Hit/miss/eviction counters and resident
+//! bytes feed the per-step cache metadata of
 //! [`crate::session::SessionReport`].
 
 use crate::critical::{self, ClassVerdictCache, CritStats};
 use crate::Result;
 use qvsec_cq::{CanonicalKey, ConjunctiveQuery};
-use qvsec_data::{Domain, Tuple, TupleSpace};
+use qvsec_data::{Domain, LruCache, Tuple, TupleSpace};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A per-domain memo keyed by (canonical query form, active-domain size).
-type DomainMemo<T> = Mutex<HashMap<(String, usize), Arc<T>>>;
+/// A per-domain memo keyed by (canonical query form, active-domain size),
+/// bounded by a byte budget.
+type DomainMemo<T> = Mutex<LruCache<(String, usize), Arc<T>>>;
+
+/// Approximate heap footprint of one tuple.
+fn tuple_bytes(t: &Tuple) -> usize {
+    std::mem::size_of::<Tuple>() + std::mem::size_of_val(t.values.as_slice())
+}
+
+/// Approximate heap footprint of a materialized `crit_D(Q)` set.
+fn crit_set_bytes(set: &BTreeSet<Tuple>) -> usize {
+    // ~2 words of BTree node overhead per entry on top of the tuples.
+    set.iter().map(tuple_bytes).sum::<usize>() + 16 * set.len()
+}
+
+/// Approximate heap footprint of an interned candidate space (sorted tuple
+/// vector plus the index map).
+fn space_bytes(space: &TupleSpace) -> usize {
+    space.iter().map(|t| 2 * tuple_bytes(t)).sum::<usize>() + 48 * space.len()
+}
+
+/// Per-layer byte budgets for the artifact store. `None` fields never evict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactBudget {
+    /// Budget for materialized `crit_D(Q)` sets.
+    pub crit_bytes: Option<usize>,
+    /// Budget for interned candidate spaces.
+    pub space_bytes: Option<usize>,
+    /// Budget for shared symmetry-class verdict caches.
+    pub class_bytes: Option<usize>,
+}
+
+impl ArtifactBudget {
+    /// The append-only (never-evicting) configuration.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Splits one total budget across the three layers: half to the crit
+    /// sets (the largest artifacts), a quarter each to candidate spaces and
+    /// class-verdict caches.
+    pub fn split(total: usize) -> Self {
+        ArtifactBudget {
+            crit_bytes: Some(total / 2),
+            space_bytes: Some(total / 4),
+            class_bytes: Some(total - total / 2 - total / 4),
+        }
+    }
+}
 
 /// The engine-wide store of compiled per-query artifacts. See the
-/// [module docs](self) for the identity of each layer.
-#[derive(Debug, Default)]
+/// [module docs](self) for the identity of each layer and the eviction
+/// policy.
+#[derive(Debug)]
 pub struct CompiledArtifacts {
     /// Materialized `crit_D(Q)` sets.
     crit_sets: DomainMemo<BTreeSet<Tuple>>,
@@ -44,7 +100,7 @@ pub struct CompiledArtifacts {
     spaces: DomainMemo<TupleSpace>,
     /// Domain-size-independent symmetry-class verdicts, per canonical form
     /// (order-free queries only).
-    class_verdicts: Mutex<HashMap<String, Arc<ClassVerdictCache>>>,
+    class_verdicts: Mutex<LruCache<String, Arc<ClassVerdictCache>>>,
     /// Engine-lifetime pruning counters of the `crit(Q)` kernel.
     crit_stats: CritStats,
     crit_hits: AtomicU64,
@@ -53,10 +109,30 @@ pub struct CompiledArtifacts {
     space_misses: AtomicU64,
 }
 
+impl Default for CompiledArtifacts {
+    fn default() -> Self {
+        Self::with_budget(ArtifactBudget::unbounded())
+    }
+}
+
 impl CompiledArtifacts {
-    /// An empty artifact store.
+    /// An empty, unbounded (append-only) artifact store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty artifact store bounded by `budget`.
+    pub fn with_budget(budget: ArtifactBudget) -> Self {
+        CompiledArtifacts {
+            crit_sets: Mutex::new(LruCache::new(budget.crit_bytes)),
+            spaces: Mutex::new(LruCache::new(budget.space_bytes)),
+            class_verdicts: Mutex::new(LruCache::new(budget.class_bytes)),
+            crit_stats: CritStats::new(),
+            crit_hits: AtomicU64::new(0),
+            crit_misses: AtomicU64::new(0),
+            space_hits: AtomicU64::new(0),
+            space_misses: AtomicU64::new(0),
+        }
     }
 
     /// The shared `crit(Q)` kernel counters.
@@ -85,11 +161,15 @@ impl CompiledArtifacts {
             return None;
         }
         let mut caches = self.class_verdicts.lock().expect("class memo poisoned");
-        Some(Arc::clone(
-            caches
-                .entry(key.form().to_string())
-                .or_insert_with(|| Arc::new(ClassVerdictCache::new())),
-        ))
+        if let Some(hit) = caches.get(key.form()) {
+            return Some(Arc::clone(hit));
+        }
+        let fresh = Arc::new(ClassVerdictCache::new());
+        Some(Arc::clone(caches.insert(
+            key.form().to_string(),
+            fresh,
+            key.form().len() + 64,
+        )))
     }
 
     /// Computes (or fetches) `crit_D(query)` over `active`, memoized under
@@ -124,8 +204,17 @@ impl CompiledArtifacts {
             &self.crit_stats,
             classes.as_deref(),
         )?);
+        // The kernel may have grown the shared class cache; re-weigh it so
+        // the class-layer budget sees the growth.
+        if let Some(classes) = &classes {
+            self.class_verdicts
+                .lock()
+                .expect("class memo poisoned")
+                .set_bytes(key.form(), classes.approx_bytes());
+        }
+        let bytes = crit_set_bytes(&computed) + memo_key.0.len();
         let mut memo = self.crit_sets.lock().expect("crit memo poisoned");
-        Ok(Arc::clone(memo.entry(memo_key).or_insert(computed)))
+        Ok(Arc::clone(memo.insert(memo_key, computed, bytes)))
     }
 
     /// Computes (or fetches) the interned candidate space of `query` over
@@ -148,22 +237,51 @@ impl CompiledArtifacts {
         }
         self.space_misses.fetch_add(1, Ordering::Relaxed);
         let computed = Arc::new(critical::candidate_space(query, active, cap)?);
+        let bytes = space_bytes(&computed) + memo_key.0.len();
         let mut memo = self.spaces.lock().expect("space memo poisoned");
-        Ok(Arc::clone(memo.entry(memo_key).or_insert(computed)))
+        Ok(Arc::clone(memo.insert(memo_key, computed, bytes)))
     }
 
-    /// A snapshot of the artifact-layer hit/miss counters.
+    /// A snapshot of the artifact-layer hit/miss/eviction counters and
+    /// resident bytes.
     pub fn counters(&self) -> ArtifactCounters {
+        let (crit_evictions, crit_evicted, crit_resident) = {
+            let memo = self.crit_sets.lock().expect("crit memo poisoned");
+            (
+                memo.evictions(),
+                memo.evicted_bytes(),
+                memo.resident_bytes(),
+            )
+        };
+        let (space_evictions, space_evicted, space_resident) = {
+            let memo = self.spaces.lock().expect("space memo poisoned");
+            (
+                memo.evictions(),
+                memo.evicted_bytes(),
+                memo.resident_bytes(),
+            )
+        };
+        let (class_evictions, class_evicted, class_resident) = {
+            let memo = self.class_verdicts.lock().expect("class memo poisoned");
+            (
+                memo.evictions(),
+                memo.evicted_bytes(),
+                memo.resident_bytes(),
+            )
+        };
         ArtifactCounters {
             crit_cache_hits: self.crit_hits.load(Ordering::Relaxed),
             crit_cache_misses: self.crit_misses.load(Ordering::Relaxed),
             space_cache_hits: self.space_hits.load(Ordering::Relaxed),
             space_cache_misses: self.space_misses.load(Ordering::Relaxed),
+            evictions: crit_evictions + space_evictions + class_evictions,
+            evicted_bytes: crit_evicted + space_evicted + class_evicted,
+            resident_bytes: (crit_resident + space_resident + class_resident) as u64,
         }
     }
 }
 
-/// Hit/miss counters of the [`CompiledArtifacts`] memo layers.
+/// Hit/miss/eviction counters of the [`CompiledArtifacts`] memo layers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ArtifactCounters {
     /// `crit(Q)` requests served from the memo.
@@ -174,6 +292,15 @@ pub struct ArtifactCounters {
     pub space_cache_hits: u64,
     /// Candidate-space requests that enumerated groundings.
     pub space_cache_misses: u64,
+    /// Artifacts evicted under the byte budget (all three layers).
+    #[serde(default)]
+    pub evictions: u64,
+    /// Approximate bytes evicted over the store's lifetime.
+    #[serde(default)]
+    pub evicted_bytes: u64,
+    /// Approximate bytes currently resident (a gauge, not a counter).
+    #[serde(default)]
+    pub resident_bytes: u64,
 }
 
 #[cfg(test)]
@@ -201,6 +328,8 @@ mod tests {
         let counters = artifacts.counters();
         assert_eq!(counters.crit_cache_hits, 1);
         assert_eq!(counters.crit_cache_misses, 1);
+        assert_eq!(counters.evictions, 0, "unbounded store never evicts");
+        assert!(counters.resident_bytes > 0);
     }
 
     #[test]
@@ -257,5 +386,46 @@ mod tests {
         let counters = artifacts.counters();
         assert_eq!(counters.space_cache_hits, 1);
         assert_eq!(counters.space_cache_misses, 1);
+    }
+
+    #[test]
+    fn tiny_budgets_evict_but_stay_transparent() {
+        let (schema, mut domain) = setup();
+        // A 1-byte budget per layer: every insert evicts the previous entry.
+        let artifacts = CompiledArtifacts::with_budget(ArtifactBudget::split(3));
+        let queries = [
+            parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap(),
+            parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap(),
+        ];
+        for round in 0..3 {
+            for q in &queries {
+                let got = artifacts.crit(q, &domain, 10_000).unwrap();
+                assert_eq!(
+                    *got,
+                    critical_tuples(q, &domain).unwrap(),
+                    "round {round}: eviction must be transparent"
+                );
+            }
+        }
+        let counters = artifacts.counters();
+        assert!(
+            counters.evictions > 0,
+            "tiny budget must evict: {counters:?}"
+        );
+        assert!(counters.evicted_bytes > 0);
+        assert_eq!(
+            counters.crit_cache_hits, 0,
+            "alternating queries under a one-entry budget never hit"
+        );
+        assert!(artifacts.cached_crit_sets() <= 1);
+    }
+
+    #[test]
+    fn budget_split_covers_the_total() {
+        let b = ArtifactBudget::split(100);
+        assert_eq!(
+            b.crit_bytes.unwrap() + b.space_bytes.unwrap() + b.class_bytes.unwrap(),
+            100
+        );
     }
 }

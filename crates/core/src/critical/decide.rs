@@ -23,7 +23,7 @@
 
 use super::stats::CritStats;
 use qvsec_cq::comparisons::{check_all, check_grounded};
-use qvsec_cq::homomorphism::answer_survives;
+use qvsec_cq::indexed::IndexedInstance;
 use qvsec_cq::unification::{unify_atom_with_tuple, unify_atoms_with_tuple, Substitution};
 use qvsec_cq::{Atom, CanonicalDatabase, ConjunctiveQuery, VarId};
 use qvsec_data::{Domain, Tuple, Value};
@@ -127,8 +127,12 @@ pub fn is_critical_traced(
             }
         }
         debug_assert!(canon.instance.contains(tuple), "I_G must contain t");
-        // t is critical iff the answer h_G(head) does not survive removing t.
-        if !answer_survives(query, &canon.instance, &canon.head_answer, Some(tuple)) {
+        // t is critical iff the answer h_G(head) does not survive removing
+        // t. The fine instance is interned as a bitset-indexed tuple space:
+        // each atom's candidates are one contiguous slice and `I_G − {t}`
+        // is a cleared bit (no per-candidate tuple compares).
+        let indexed = IndexedInstance::build(&canon.instance);
+        if !indexed.answer_survives(query, &canon.head_answer, Some(tuple)) {
             return true;
         }
     }

@@ -118,6 +118,22 @@ impl ClassVerdictCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Approximate heap footprint, for the engine's byte-budgeted artifact
+    /// layer (patterns are usually packed into a single word; wide patterns
+    /// add their token vectors).
+    pub fn approx_bytes(&self) -> usize {
+        let known = self.verdicts.lock().expect("class cache poisoned");
+        64 + known
+            .keys()
+            .map(|p| {
+                32 + match p {
+                    TuplePattern::Packed { .. } => 0,
+                    TuplePattern::Wide { tokens, .. } => 8 * tokens.len(),
+                }
+            })
+            .sum::<usize>()
+    }
 }
 
 /// One symmetry class discovered by the streaming grounding pass.

@@ -68,7 +68,7 @@
 //! [`AuditEngine::prob_stats`] exposes the kernel's lifetime counters
 //! (worlds streamed, samples drawn/reused, cutovers).
 
-use crate::artifacts::{ArtifactCounters, CompiledArtifacts};
+use crate::artifacts::{ArtifactBudget, ArtifactCounters, CompiledArtifacts};
 use crate::critical::CritStatsSnapshot;
 use crate::fast_check::{fast_check, FastVerdict};
 use crate::leakage::LeakageReport;
@@ -295,6 +295,7 @@ pub struct AuditEngineBuilder {
     candidate_cap: usize,
     default_depth: AuditDepth,
     prob_config: KernelConfig,
+    artifact_budget: ArtifactBudget,
 }
 
 impl AuditEngineBuilder {
@@ -308,6 +309,7 @@ impl AuditEngineBuilder {
             candidate_cap: crate::critical::DEFAULT_CANDIDATE_CAP,
             default_depth: AuditDepth::default(),
             prob_config: KernelConfig::default(),
+            artifact_budget: ArtifactBudget::unbounded(),
         }
     }
 
@@ -358,6 +360,41 @@ impl AuditEngineBuilder {
         self
     }
 
+    /// Bounds every engine cache by one total byte budget: 70% goes to the
+    /// compiled-artifact store (crit sets, candidate spaces, class
+    /// verdicts), 15% each to the probabilistic kernel's compile and
+    /// answer-bit-column caches. Inserting past a layer's budget evicts its
+    /// least-recently-used entries; eviction is transparent — any evicted
+    /// artifact is recomputed on the next request, and every verdict is
+    /// byte-identical to an unbounded engine's (see
+    /// `tests/eviction_equivalence.rs`). Without this call the caches are
+    /// append-only for the engine's lifetime.
+    pub fn cache_budget_bytes(mut self, total: usize) -> Self {
+        self.artifact_budget = ArtifactBudget::split(total * 7 / 10);
+        self.prob_config.compile_budget = Some(total * 15 / 100);
+        self.prob_config.column_budget = Some(total * 15 / 100);
+        self
+    }
+
+    /// Per-layer artifact budgets, for callers that want finer control than
+    /// [`AuditEngineBuilder::cache_budget_bytes`].
+    pub fn artifact_budget(mut self, budget: ArtifactBudget) -> Self {
+        self.artifact_budget = budget;
+        self
+    }
+
+    /// Caps the *reported* leak-entry and independence-violation lists of
+    /// probabilistic audits. Verdicts, `max_leak`, the witness pair and
+    /// `pairs_checked` still cover every pair; the cap only bounds how many
+    /// entries are materialized (lazily — answers are cloned for surviving
+    /// entries only) and serialized. `0` keeps the witness and drops the
+    /// lists. Unset, reports are byte-identical to the enumeration
+    /// baseline.
+    pub fn report_cap(mut self, cap: usize) -> Self {
+        self.prob_config.report_cap = Some(cap);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> AuditEngine {
         AuditEngine {
@@ -368,7 +405,7 @@ impl AuditEngineBuilder {
             candidate_cap: self.candidate_cap,
             default_depth: self.default_depth,
             prob_config: self.prob_config,
-            artifacts: CompiledArtifacts::new(),
+            artifacts: CompiledArtifacts::with_budget(self.artifact_budget),
             prob_kernel: OnceLock::new(),
         }
     }
@@ -487,6 +524,9 @@ impl AuditEngine {
             mc_samples_reused: prob.samples_reused,
             pool_columns_built: prob.pool_columns_built,
             pool_column_hits: prob.pool_column_hits,
+            evictions: artifacts.evictions + prob.evictions,
+            evicted_bytes: artifacts.evicted_bytes + prob.evicted_bytes,
+            resident_bytes: artifacts.resident_bytes + prob.resident_bytes,
         }
     }
 
@@ -709,6 +749,19 @@ pub struct CacheStatsSnapshot {
     pub pool_columns_built: u64,
     /// Pooled answer-bit columns served from the kernel memo.
     pub pool_column_hits: u64,
+    /// Entries evicted under the engine's cache byte budgets (artifact
+    /// store + kernel caches); 0 forever on an unbounded engine.
+    #[serde(default)]
+    pub evictions: u64,
+    /// Approximate bytes evicted over the engine's lifetime.
+    #[serde(default)]
+    pub evicted_bytes: u64,
+    /// Approximate bytes currently resident across every cache layer. A
+    /// gauge, not a counter: [`CacheStatsSnapshot::delta_since`] yields the
+    /// growth since the earlier snapshot (clamped at zero when eviction
+    /// shrank the caches).
+    #[serde(default)]
+    pub resident_bytes: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -747,6 +800,9 @@ impl CacheStatsSnapshot {
             pool_column_hits: self
                 .pool_column_hits
                 .saturating_sub(earlier.pool_column_hits),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            evicted_bytes: self.evicted_bytes.saturating_sub(earlier.evicted_bytes),
+            resident_bytes: self.resident_bytes.saturating_sub(earlier.resident_bytes),
         }
     }
 
@@ -763,6 +819,9 @@ impl CacheStatsSnapshot {
         self.mc_samples_reused += delta.mc_samples_reused;
         self.pool_columns_built += delta.pool_columns_built;
         self.pool_column_hits += delta.pool_column_hits;
+        self.evictions += delta.evictions;
+        self.evicted_bytes += delta.evicted_bytes;
+        self.resident_bytes += delta.resident_bytes;
     }
 
     /// Whether any layer served anything from cache.

@@ -91,7 +91,7 @@ pub mod session;
 #[allow(deprecated)]
 pub use analysis::{DisclosureAnalysis, SecurityAnalyzer};
 pub use answerability::{answerable_as_projection, answerable_from_views, determined_by};
-pub use artifacts::{ArtifactCounters, CompiledArtifacts};
+pub use artifacts::{ArtifactBudget, ArtifactCounters, CompiledArtifacts};
 pub use critical::{critical_tuples, is_critical, CritStats, CritStatsSnapshot};
 pub use engine::{
     AuditDepth, AuditEngine, AuditEngineBuilder, AuditOptions, AuditReport, AuditRequest,

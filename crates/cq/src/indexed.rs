@@ -1,0 +1,267 @@
+//! Bitset-indexed homomorphism search over frozen (fine) instances.
+//!
+//! The per-tuple criticality decision of Appendix A freezes a fine instance
+//! `I_G` and asks whether the head answer survives in `I_G − {t}` — a
+//! homomorphism search that [`crate::homomorphism::answer_survives`] runs
+//! over a plain [`Instance`]: every backtracking node walks the instance's
+//! whole tuple set to filter the atom's relation, and the removed tuple is
+//! skipped by a full tuple-equality compare per candidate.
+//!
+//! An [`IndexedInstance`] interns the instance once as a sorted
+//! [`TupleSpace`] with a [`CandidateSet`] of present tuples. Tuples sort
+//! relation-first, so each relation's candidates are one contiguous slice
+//! (no filtering), and `I − {t}` is a cleared bit: the candidate loop tests
+//! a word-indexed bit instead of comparing tuples. The search itself is the
+//! same backtracking procedure with identical comparison handling, so the
+//! verdict is equal by construction — property-tested against the
+//! `Instance`-walking path in `tests/proptests.rs`.
+
+use crate::ast::{ConjunctiveQuery, Term};
+use crate::comparisons::{check_all, check_grounded, resolve_term, PartialAssignment};
+use qvsec_data::{BitSet, CandidateSet, Instance, RelationId, Tuple, TupleSpace, Value};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// An instance interned as a sorted tuple space plus a presence bitset.
+/// See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct IndexedInstance {
+    space: Arc<TupleSpace>,
+    present: CandidateSet,
+    /// Contiguous index range of each relation's tuples within the space,
+    /// sorted by relation id (tuples order relation-first).
+    ranges: Vec<(RelationId, Range<usize>)>,
+}
+
+impl IndexedInstance {
+    /// Interns `instance`: sorts its tuples into a [`TupleSpace`] and marks
+    /// every one present.
+    pub fn build(instance: &Instance) -> Self {
+        let space = Arc::new(TupleSpace::from_tuples(instance.iter().cloned().collect()));
+        let present = CandidateSet::full(Arc::clone(&space));
+        let mut ranges: Vec<(RelationId, Range<usize>)> = Vec::new();
+        for (i, t) in space.iter().enumerate() {
+            match ranges.last_mut() {
+                Some((rel, range)) if *rel == t.relation => range.end = i + 1,
+                _ => ranges.push((t.relation, i..i + 1)),
+            }
+        }
+        IndexedInstance {
+            space,
+            present,
+            ranges,
+        }
+    }
+
+    /// The interned universe (the instance's tuples, sorted).
+    pub fn space(&self) -> &Arc<TupleSpace> {
+        &self.space
+    }
+
+    /// The presence set (all bits set after [`IndexedInstance::build`]).
+    pub fn present(&self) -> &CandidateSet {
+        &self.present
+    }
+
+    /// The slice of space indices holding `relation`'s tuples.
+    fn range_of(&self, relation: RelationId) -> Range<usize> {
+        self.ranges
+            .iter()
+            .find(|(rel, _)| *rel == relation)
+            .map(|(_, r)| r.clone())
+            .unwrap_or(0..0)
+    }
+
+    /// Whether some homomorphism maps `query`'s head to exactly `answer`
+    /// within this instance, optionally with one tuple removed
+    /// (`I − {forbidden}`). Verdict-identical to
+    /// [`crate::homomorphism::answer_survives`] over the original instance.
+    pub fn answer_survives(
+        &self,
+        query: &ConjunctiveQuery,
+        answer: &[Value],
+        forbidden: Option<&Tuple>,
+    ) -> bool {
+        // Grounded head constants must agree with the required answer.
+        if answer.len() != query.head.len() {
+            return false;
+        }
+        for (term, &val) in query.head.iter().zip(answer.iter()) {
+            if let Term::Const(c) = term {
+                if *c != val {
+                    return false;
+                }
+            }
+        }
+        // `I − {t}` is one cleared bit; a forbidden tuple outside the
+        // space removes nothing.
+        let mut present = self.present.bits().clone();
+        if let Some(t) = forbidden {
+            if let Some(i) = self.space.index_of(t) {
+                present.remove(i);
+            }
+        }
+        let mut assignment: PartialAssignment = vec![None; query.num_vars()];
+        self.backtrack(query, answer, &present, 0, &mut assignment)
+    }
+
+    fn backtrack(
+        &self,
+        query: &ConjunctiveQuery,
+        answer: &[Value],
+        present: &BitSet,
+        atom_index: usize,
+        assignment: &mut PartialAssignment,
+    ) -> bool {
+        if atom_index == query.atoms.len() {
+            // Safety guarantees comparison variables occur in subgoals, so
+            // every comparison is grounded here.
+            if !check_all(&query.comparisons, assignment) {
+                return false;
+            }
+            return query
+                .head
+                .iter()
+                .zip(answer.iter())
+                .all(|(t, &val)| resolve_term(t, assignment) == Some(val));
+        }
+        let atom = &query.atoms[atom_index];
+        for i in self.range_of(atom.relation) {
+            if !present.contains(i) {
+                continue;
+            }
+            let tuple = self.space.tuple(i);
+            if tuple.arity() != atom.arity() {
+                continue;
+            }
+            let mut newly_bound = Vec::new();
+            let mut ok = true;
+            for (term, &value) in atom.terms.iter().zip(tuple.values.iter()) {
+                match term {
+                    Term::Const(c) => {
+                        if *c != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match assignment[v.index()] {
+                        Some(existing) => {
+                            if existing != value {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            assignment[v.index()] = Some(value);
+                            newly_bound.push(v.index());
+                        }
+                    },
+                }
+            }
+            let survived = ok
+                && check_grounded(&query.comparisons, assignment)
+                // Prune on grounded head variables against the required
+                // answer, exactly like the Instance-walking search.
+                && query
+                    .head
+                    .iter()
+                    .zip(answer.iter())
+                    .all(|(t, &val)| match resolve_term(t, assignment) {
+                        Some(v) => v == val,
+                        None => true,
+                    })
+                && self.backtrack(query, answer, present, atom_index + 1, assignment);
+            for idx in newly_bound {
+                assignment[idx] = None;
+            }
+            if survived {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homomorphism::answer_survives;
+    use crate::parser::parse_query;
+    use qvsec_data::{Domain, Schema};
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        schema.add_relation("S", &["x"]);
+        (schema, Domain::with_constants(["a", "b", "c"]))
+    }
+
+    fn tup(schema: &Schema, domain: &Domain, x: &str, y: &str) -> Tuple {
+        Tuple::from_names(schema, domain, "R", &[x, y]).unwrap()
+    }
+
+    #[test]
+    fn indexed_search_agrees_with_the_instance_walking_search() {
+        let (schema, mut domain) = setup();
+        let queries = [
+            "Q(x) :- R(x, y)",
+            "Q() :- R(x, y), R(y, z)",
+            "Q() :- R(x, x)",
+            "Q(y) :- R('a', y)",
+            "Q(x, y) :- R(x, y), x < y",
+            "Q() :- R(x, y), x != y",
+        ];
+        let inst = Instance::from_tuples([
+            tup(&schema, &domain, "a", "b"),
+            tup(&schema, &domain, "b", "c"),
+            tup(&schema, &domain, "c", "c"),
+        ]);
+        let indexed = IndexedInstance::build(&inst);
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let answers: Vec<Vec<Value>> = vec![vec![], vec![a], vec![b], vec![a, b], vec![b, a]];
+        for text in queries {
+            let q = parse_query(text, &schema, &mut domain).unwrap();
+            for answer in &answers {
+                for forbidden in std::iter::once(None).chain(inst.iter().map(Some)) {
+                    assert_eq!(
+                        indexed.answer_survives(&q, answer, forbidden),
+                        answer_survives(&q, &inst, answer, forbidden),
+                        "{text} answer {answer:?} forbidden {forbidden:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forbidden_tuples_outside_the_instance_remove_nothing() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("Q(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let inst = Instance::from_tuples([tup(&schema, &domain, "a", "b")]);
+        let indexed = IndexedInstance::build(&inst);
+        let a = domain.get("a").unwrap();
+        let outside = tup(&schema, &domain, "c", "a");
+        assert!(indexed.answer_survives(&q, &[a], Some(&outside)));
+        assert!(!indexed.answer_survives(&q, &[a], Some(&tup(&schema, &domain, "a", "b"))));
+    }
+
+    #[test]
+    fn relations_index_into_contiguous_ranges() {
+        let (schema, domain) = setup();
+        let r = schema.relation_by_name("R").unwrap();
+        let s = schema.relation_by_name("S").unwrap();
+        let a = domain.get("a").unwrap();
+        let b = domain.get("b").unwrap();
+        let inst = Instance::from_tuples([
+            Tuple::new(r, vec![a, b]),
+            Tuple::new(s, vec![a]),
+            Tuple::new(r, vec![b, b]),
+        ]);
+        let indexed = IndexedInstance::build(&inst);
+        assert_eq!(indexed.range_of(r).len(), 2);
+        assert_eq!(indexed.range_of(s).len(), 1);
+        let other = RelationId(99);
+        assert_eq!(indexed.range_of(other).len(), 0);
+    }
+}

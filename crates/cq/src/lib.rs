@@ -35,6 +35,7 @@ pub mod display;
 pub mod error;
 pub mod eval;
 pub mod homomorphism;
+pub mod indexed;
 pub mod parser;
 pub mod unification;
 
@@ -45,6 +46,7 @@ pub use containment::contained_in;
 pub use error::CqError;
 pub use eval::{evaluate, evaluate_boolean, Answer, AnswerSet};
 pub use homomorphism::{find_homomorphism, find_homomorphisms, Homomorphism};
+pub use indexed::IndexedInstance;
 pub use parser::{parse_query, parse_view_set};
 pub use unification::{unify_atom_with_tuple, unify_atoms, unify_atoms_with_tuple, Substitution};
 

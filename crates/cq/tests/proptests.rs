@@ -174,6 +174,36 @@ proptest! {
     }
 
     #[test]
+    fn indexed_answer_survives_matches_the_instance_walking_search(
+        text in query_text(),
+        pairs in instance_strategy(),
+    ) {
+        // The bitset-indexed fine-instance search (contiguous per-relation
+        // candidate slices, removed tuple as a cleared bit) must agree with
+        // the historical Instance-walking search on every (answer, removed
+        // tuple) combination — it is the decision inside is_critical.
+        let schema = schema();
+        let mut domain = domain();
+        let q = parse(&text, &schema, &mut domain);
+        let inst = build_instance(&pairs, &schema, &domain);
+        let indexed = qvsec_cq::IndexedInstance::build(&inst);
+        let answers = evaluate(&q, &inst);
+        // Every real answer, plus one guaranteed non-answer shape.
+        let vals: Vec<_> = domain.values().collect();
+        let mut candidates: Vec<Vec<_>> = answers.iter().cloned().collect();
+        candidates.push(vec![vals[0]; q.arity()]);
+        for answer in &candidates {
+            for forbidden in std::iter::once(None).chain(inst.iter().map(Some)) {
+                prop_assert_eq!(
+                    indexed.answer_survives(&q, answer, forbidden),
+                    qvsec_cq::homomorphism::answer_survives(&q, &inst, answer, forbidden),
+                    "{} diverged on answer {:?} minus {:?}", text, answer, forbidden
+                );
+            }
+        }
+    }
+
+    #[test]
     fn containment_implies_answer_inclusion(t1 in query_text(), t2 in query_text(), pairs in instance_strategy()) {
         // Soundness of the containment check: if contained_in(q1, q2) then on
         // every instance every q1-answer is a q2-answer (same arity only).

@@ -28,6 +28,7 @@ pub mod candidates;
 pub mod dictionary;
 pub mod error;
 pub mod instance;
+pub mod lru;
 pub mod ratio;
 pub mod sampler;
 pub mod schema;
@@ -40,6 +41,7 @@ pub use candidates::CandidateSet;
 pub use dictionary::Dictionary;
 pub use error::DataError;
 pub use instance::Instance;
+pub use lru::LruCache;
 pub use ratio::Ratio;
 pub use sampler::InstanceSampler;
 pub use schema::{KeyConstraint, RelationId, RelationSchema, Schema};

@@ -1,0 +1,243 @@
+//! A byte-budgeted, least-recently-used cache.
+//!
+//! The engine's compiled-artifact memos and the probabilistic kernel's
+//! compile/column caches were append-only for the engine's lifetime — fine
+//! for one audit batch, unbounded for a long-lived multi-tenant server. An
+//! [`LruCache`] bounds each memo by an approximate **byte budget**: every
+//! entry is inserted with a caller-estimated weight, a hit refreshes the
+//! entry's recency, and an insert that pushes the cache over budget evicts
+//! least-recently-used entries until it fits again.
+//!
+//! Two properties the serving layer relies on:
+//!
+//! * **Transparency** — eviction only ever discards *derived* state; a later
+//!   request for an evicted key misses and recomputes, so verdicts are
+//!   byte-identical under any budget (property-tested in the core crate).
+//! * **Determinism** — recency ticks are a plain monotone counter and the
+//!   eviction scan breaks ties by smallest tick, so the same request
+//!   sequence always evicts the same entries regardless of thread count
+//!   (callers serialize access through the mutex they already hold).
+//!
+//! An entry larger than the whole budget is still admitted (and everything
+//! else evicted): the request that produced it must be served, and the next
+//! insert will evict it like any other entry.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One cached value with its byte weight and last-used tick.
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    value: V,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A byte-budgeted LRU map. See the [module docs](self).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    slots: HashMap<K, Slot<V>>,
+    /// Byte budget; `None` keeps the historical append-only behaviour.
+    budget: Option<usize>,
+    resident_bytes: usize,
+    tick: u64,
+    evictions: u64,
+    evicted_bytes: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache. `budget` of `None` never evicts.
+    pub fn new(budget: Option<usize>) -> Self {
+        LruCache {
+            slots: HashMap::new(),
+            budget,
+            resident_bytes: 0,
+            tick: 0,
+            evictions: 0,
+            evicted_bytes: 0,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Approximate bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Entries evicted over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Approximate bytes evicted over the cache's lifetime.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.evicted_bytes
+    }
+
+    /// Fetches `key`, refreshing its recency.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.tick += 1;
+        let tick = self.tick;
+        self.slots.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            &slot.value
+        })
+    }
+
+    /// Inserts `value` under `key` with an approximate byte weight, then
+    /// evicts least-recently-used entries until the budget holds. If the key
+    /// is already present its value is **kept** (racing duplicate inserts
+    /// are harmless, mirroring the old `entry().or_insert()` memos) and the
+    /// resident value is returned.
+    pub fn insert(&mut self, key: K, value: V, bytes: usize) -> &V {
+        self.tick += 1;
+        let tick = self.tick;
+        let slot = self.slots.entry(key.clone()).or_insert_with(|| {
+            self.resident_bytes += bytes;
+            Slot {
+                value,
+                bytes,
+                last_used: 0,
+            }
+        });
+        slot.last_used = tick;
+        self.enforce_budget(Some(&key));
+        &self.slots[&key].value
+    }
+
+    /// Re-weighs an existing entry (used for values that grow after
+    /// insertion, like shared class-verdict caches) and re-enforces the
+    /// budget. The re-weighed entry itself is protected from this pass.
+    pub fn set_bytes<Q>(&mut self, key: &Q, bytes: usize)
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ToOwned<Owned = K> + ?Sized,
+    {
+        if let Some(slot) = self.slots.get_mut(key) {
+            self.resident_bytes = self.resident_bytes - slot.bytes + bytes;
+            slot.bytes = bytes;
+            let owned = key.to_owned();
+            self.enforce_budget(Some(&owned));
+        }
+    }
+
+    /// Evicts least-recently-used entries until `resident_bytes` fits the
+    /// budget, never evicting `protect` (the entry serving the current
+    /// request).
+    fn enforce_budget(&mut self, protect: Option<&K>) {
+        let Some(budget) = self.budget else { return };
+        while self.resident_bytes > budget && self.slots.len() > 1 {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(k, _)| Some(*k) != protect)
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(slot) = self.slots.remove(&victim) {
+                self.resident_bytes -= slot.bytes;
+                self.evictions += 1;
+                self.evicted_bytes += slot.bytes as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_caches_never_evict() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(None);
+        for i in 0..100 {
+            cache.insert(i, i, 1 << 20);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.resident_bytes(), 100 << 20);
+    }
+
+    #[test]
+    fn over_budget_inserts_evict_the_least_recently_used() {
+        let mut cache: LruCache<&str, u32> = LruCache::new(Some(30));
+        cache.insert("a", 1, 10);
+        cache.insert("b", 2, 10);
+        cache.insert("c", 3, 10);
+        assert_eq!(cache.len(), 3);
+        // Touch "a" so "b" is now the LRU entry.
+        assert_eq!(cache.get("a"), Some(&1));
+        cache.insert("d", 4, 10);
+        assert_eq!(cache.get("b"), None, "LRU entry evicted");
+        assert_eq!(cache.get("a"), Some(&1));
+        assert_eq!(cache.get("d"), Some(&4));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.evicted_bytes(), 10);
+        assert_eq!(cache.resident_bytes(), 30);
+    }
+
+    #[test]
+    fn oversized_entries_are_admitted_and_evict_everything_else() {
+        let mut cache: LruCache<&str, u32> = LruCache::new(Some(10));
+        cache.insert("small", 1, 4);
+        cache.insert("huge", 2, 1000);
+        assert_eq!(cache.len(), 1, "only the oversized entry survives");
+        assert_eq!(cache.get("huge"), Some(&2));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn duplicate_inserts_keep_the_resident_value() {
+        let mut cache: LruCache<&str, u32> = LruCache::new(Some(100));
+        cache.insert("k", 1, 10);
+        let resident = *cache.insert("k", 2, 10);
+        assert_eq!(resident, 1, "racing duplicate insert is ignored");
+        assert_eq!(cache.resident_bytes(), 10, "no double accounting");
+    }
+
+    #[test]
+    fn set_bytes_reweighs_and_re_enforces() {
+        let mut cache: LruCache<String, u32> = LruCache::new(Some(20));
+        cache.insert("a".to_string(), 1, 5);
+        cache.insert("b".to_string(), 2, 5);
+        cache.set_bytes("b", 19);
+        assert_eq!(cache.get("a"), None, "growth of b evicted a");
+        assert_eq!(cache.get("b"), Some(&2));
+        assert_eq!(cache.resident_bytes(), 19);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_under_tick_ties() {
+        // Ticks are strictly monotone, so there are no real ties; two
+        // identically-driven caches evict identically.
+        let drive = || {
+            let mut cache: LruCache<u32, u32> = LruCache::new(Some(25));
+            let mut evicted = Vec::new();
+            for i in 0..20 {
+                cache.insert(i % 7, i, 10);
+                evicted.push(cache.evictions());
+            }
+            evicted
+        };
+        assert_eq!(drive(), drive());
+    }
+}

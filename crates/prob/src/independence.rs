@@ -72,6 +72,17 @@ impl IndependenceReport {
 }
 
 pub(crate) fn analyse(joint: &JointDistribution) -> IndependenceReport {
+    analyse_capped(joint, None)
+}
+
+/// [`analyse`] with a cap on the *reported* violation list. The verdict
+/// (`independent`) and `pairs_checked` always cover every pair; violations
+/// are materialized **lazily** — the pair walk records borrowed keys plus
+/// ratios, and the (heap-heavy) answer sets are cloned only for the at most
+/// `cap` entries surviving the sort. `None` reports everything,
+/// byte-identical to the historical output (the sort is stable over the
+/// same emission order with the same key).
+pub(crate) fn analyse_capped(joint: &JointDistribution, cap: Option<usize>) -> IndependenceReport {
     let mass = joint.total_mass;
     let marginal_q = joint.marginal_query();
     let marginal_v = joint.marginal_views();
@@ -86,7 +97,7 @@ pub(crate) fn analyse(joint: &JointDistribution) -> IndependenceReport {
     for (key, p) in joint.iter() {
         by_secret.entry(&key.0).or_default().insert(&key.1, p);
     }
-    let mut violations = Vec::new();
+    let mut violating: Vec<(&AnswerSet, &Vec<AnswerSet>, Ratio, Ratio)> = Vec::new();
     let mut pairs = 0usize;
     for (s_ans, &p_s) in &marginal_q {
         let prior = p_s / mass;
@@ -102,18 +113,25 @@ pub(crate) fn analyse(joint: &JointDistribution) -> IndependenceReport {
                 .unwrap_or(Ratio::ZERO);
             let posterior = p_joint / p_v;
             if posterior != prior {
-                violations.push(Violation {
-                    query_answer: s_ans.clone(),
-                    view_answers: v_ans.clone(),
-                    prior,
-                    posterior,
-                });
+                violating.push((s_ans, v_ans, prior, posterior));
             }
         }
     }
-    violations.sort_by_key(|v| std::cmp::Reverse(v.absolute_change()));
+    let independent = violating.is_empty();
+    violating
+        .sort_by_key(|(_, _, prior, posterior)| std::cmp::Reverse((*posterior - *prior).abs()));
+    let keep = cap.unwrap_or(usize::MAX).min(violating.len());
+    let violations = violating[..keep]
+        .iter()
+        .map(|(s_ans, v_ans, prior, posterior)| Violation {
+            query_answer: (*s_ans).clone(),
+            view_answers: (*v_ans).clone(),
+            prior: *prior,
+            posterior: *posterior,
+        })
+        .collect();
     IndependenceReport {
-        independent: violations.is_empty(),
+        independent,
         violations,
         pairs_checked: pairs,
     }

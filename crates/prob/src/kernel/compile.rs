@@ -119,6 +119,29 @@ impl CompiledQuery {
         &self.answers
     }
 
+    /// Approximate heap footprint of the compilation, for the kernel's
+    /// byte-budgeted compile cache.
+    pub fn approx_bytes(&self) -> usize {
+        let answers: usize = self
+            .answers
+            .iter()
+            .map(|a| 24 + std::mem::size_of_val(a.as_slice()))
+            .sum();
+        let witnesses: usize = self
+            .witnesses
+            .iter()
+            .flat_map(|per_answer| per_answer.iter())
+            .map(|w| 24 + 8 * w.len())
+            .sum();
+        let bits: usize = self
+            .bits
+            .iter()
+            .flat_map(|per_answer| per_answer.iter())
+            .map(|b| 32 + b.capacity().div_ceil(64) * 8)
+            .sum();
+        answers + witnesses + bits + std::mem::size_of::<Self>()
+    }
+
     /// Number of possible answers.
     pub fn num_answers(&self) -> usize {
         self.answers.len()

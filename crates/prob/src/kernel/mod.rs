@@ -36,14 +36,14 @@ pub use montecarlo::{
 pub use pool::{SamplePool, POOL_CHUNK};
 pub use stats::{ProbStats, ProbStatsSnapshot};
 
-use crate::independence::{analyse, IndependenceReport, Violation};
+use crate::independence::{analyse_capped, IndependenceReport, Violation};
 use crate::probability::JointDistribution;
 use qvsec_cq::eval::{Answer, AnswerSet};
 use qvsec_cq::{canonical_form, ConjunctiveQuery, ViewSet};
 use qvsec_data::bitset::MAX_ENUMERABLE;
-use qvsec_data::{Dictionary, Ratio, Result, TupleSpace};
+use qvsec_data::{Dictionary, LruCache, Ratio, Result, TupleSpace};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Kernel configuration.
@@ -56,6 +56,22 @@ pub struct KernelConfig {
     pub samples: usize,
     /// Seed of the shared sample pool.
     pub seed: u64,
+    /// Byte budget of the compile cache (`None` = append-only).
+    #[serde(default)]
+    pub compile_budget: Option<usize>,
+    /// Byte budget of the pooled answer-bit-column cache (`None` =
+    /// append-only).
+    #[serde(default)]
+    pub column_budget: Option<usize>,
+    /// Cap on the *reported* leak-entry and independence-violation lists.
+    /// Verdicts (`independent`, `max_leak`, the witness pair,
+    /// `pairs_checked`) are computed over **all** pairs regardless; the cap
+    /// only bounds how many entries are materialized and serialized —
+    /// `Some(0)` keeps the witness and drops the lists entirely. `None`
+    /// (the default) reports everything, byte-identical to the enumeration
+    /// baseline.
+    #[serde(default)]
+    pub report_cap: Option<usize>,
 }
 
 impl Default for KernelConfig {
@@ -64,6 +80,9 @@ impl Default for KernelConfig {
             exact_cutover: MAX_ENUMERABLE,
             samples: 8192,
             seed: 0x9ec4_51ec,
+            compile_budget: None,
+            column_budget: None,
+            report_cap: None,
         }
     }
 }
@@ -153,12 +172,14 @@ pub struct ProbKernel {
     /// Compiled-query memo: canonical query form → shared witness masks.
     /// The kernel owns exactly one tuple space, so the space key of the
     /// engine-wide artifact identity `(canonical form, space)` is implicit.
-    compiled: Mutex<HashMap<String, Arc<CompiledQuery>>>,
+    /// Bounded by [`KernelConfig::compile_budget`]; eviction is transparent
+    /// (a later audit of an evicted query recompiles).
+    compiled: Mutex<LruCache<String, Arc<CompiledQuery>>>,
     /// Per-query answer-bit columns over the shared pool (Monte-Carlo
     /// path), keyed like [`ProbKernel::compiled`]: a query audited again —
     /// a later session step, a republished view — skips the per-world
-    /// witness tests entirely.
-    pool_columns: Mutex<HashMap<String, Arc<Vec<u64>>>>,
+    /// witness tests entirely. Bounded by [`KernelConfig::column_budget`].
+    pool_columns: Mutex<LruCache<String, Arc<Vec<u64>>>>,
 }
 
 impl ProbKernel {
@@ -171,8 +192,8 @@ impl ProbKernel {
             config,
             stats: ProbStats::new(),
             pool: OnceLock::new(),
-            compiled: Mutex::new(HashMap::new()),
-            pool_columns: Mutex::new(HashMap::new()),
+            compiled: Mutex::new(LruCache::new(config.compile_budget)),
+            pool_columns: Mutex::new(LruCache::new(config.column_budget)),
         }
     }
 
@@ -186,9 +207,23 @@ impl ProbKernel {
         &self.config
     }
 
-    /// A snapshot of the lifetime counters.
+    /// A snapshot of the lifetime counters, including the cache layers'
+    /// eviction counters and resident bytes.
     pub fn stats(&self) -> ProbStatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        {
+            let compiled = self.compiled.lock().expect("compile cache poisoned");
+            snap.evictions += compiled.evictions();
+            snap.evicted_bytes += compiled.evicted_bytes();
+            snap.resident_bytes += compiled.resident_bytes() as u64;
+        }
+        {
+            let columns = self.pool_columns.lock().expect("column cache poisoned");
+            snap.evictions += columns.evictions();
+            snap.evicted_bytes += columns.evicted_bytes();
+            snap.resident_bytes += columns.resident_bytes() as u64;
+        }
+        snap
     }
 
     /// Whether audits against this dictionary run the exact path.
@@ -243,8 +278,9 @@ impl ProbKernel {
         // Compile outside the lock; a racing duplicate insert is harmless.
         let fresh = Arc::new(CompiledQuery::compile(query, &self.space));
         self.stats.add_query_compiled();
+        let bytes = fresh.approx_bytes() + key.len();
         let mut cache = self.compiled.lock().expect("compile cache poisoned");
-        Arc::clone(cache.entry(key).or_insert(fresh))
+        Arc::clone(cache.insert(key, fresh, bytes))
     }
 
     /// Fetches (or evaluates and memoizes) `query`'s answer-bit column over
@@ -262,8 +298,9 @@ impl ProbKernel {
         }
         let fresh = Arc::new(montecarlo::world_column(pool, query));
         self.stats.add_pool_column_built();
+        let bytes = 8 * fresh.len() + key.len() + 24;
         let mut cache = self.pool_columns.lock().expect("column cache poisoned");
-        Arc::clone(cache.entry(key.to_string()).or_insert(fresh))
+        Arc::clone(cache.insert(key.to_string(), fresh, bytes))
     }
 
     /// Number of distinct compiled queries currently memoized.
@@ -306,6 +343,7 @@ impl ProbKernel {
                 &counts,
                 &pool,
                 self.space.len(),
+                self.config.report_cap,
             ))
         }
     }
@@ -327,8 +365,12 @@ impl ProbKernel {
             *joint.entry((s_ans, v_ans)).or_insert(Ratio::ZERO) += *p;
             total_mass += *p;
         }
-        let independence = analyse(&JointDistribution::from_parts(joint, total_mass));
-        let leakage = leakage_from_signatures(compiled, offsets, &entries, None);
+        let independence = analyse_capped(
+            &JointDistribution::from_parts(joint, total_mass),
+            self.config.report_cap,
+        );
+        let leakage =
+            leakage_from_signatures(compiled, offsets, &entries, None, self.config.report_cap);
         let totally_disclosed = determined(entries.iter().map(|(sig, _)| sig.as_slice()), offsets);
         KernelAudit {
             independence,
@@ -421,11 +463,20 @@ fn view_combos(views: &[Arc<CompiledQuery>]) -> Vec<Vec<usize>> {
 /// every set bit of its secret slice — instead of re-walking all signatures
 /// once per `(answer, combo)` pair, which made many-answer workloads
 /// (`collusion` in `BENCH_prob.json`) quadratic.
+///
+/// Entries are materialized **lazily**: the scan records only `(answer,
+/// combo, ratios)` index triples, and the answer tuples are cloned for the
+/// (at most `cap`) entries that survive the sort. `max_leak`, the witness
+/// and `pairs_checked` always cover every pair; with `cap = None` the
+/// reported list is byte-identical to the uncapped historical output (the
+/// sort is stable over emission order, exactly like the old
+/// `sort_by_key(Reverse(relative_increase))`).
 fn leakage_from_signatures(
     compiled: &[Arc<CompiledQuery>],
     offsets: &[usize],
     entries: &[(Vec<u64>, Ratio)],
     mc_total: Option<u64>,
+    cap: Option<usize>,
 ) -> KernelLeakage {
     let secret = &compiled[0];
     let views = &compiled[1..];
@@ -471,13 +522,21 @@ fn leakage_from_signatures(
 
     // Emission stays answer-major (then combo), exactly like the
     // enumeration baseline, so tie-breaking in the stable sort below is
-    // byte-identical to `leakage_exact`.
+    // byte-identical to `leakage_exact`. Nothing is cloned during the scan.
+    struct Positive {
+        answer: usize,
+        combo: usize,
+        prior: Ratio,
+        posterior: Ratio,
+        relative: Ratio,
+    }
     let mut report = KernelLeakage::default();
+    let mut positives: Vec<Positive> = Vec::new();
     for (i, &prior) in priors.iter().enumerate() {
         if prior.is_zero() {
             continue;
         }
-        for (ci, combo) in combos.iter().enumerate() {
+        for (ci, _) in combos.iter().enumerate() {
             report.pairs_checked += 1;
             let c = cond[ci];
             if c.is_zero() {
@@ -493,28 +552,37 @@ fn leakage_from_signatures(
                 }
             };
             if include {
-                let entry = KernelLeakEntry {
-                    query_answer: secret.answers()[i].clone(),
-                    view_answers: views
-                        .iter()
-                        .zip(combo)
-                        .map(|(v, &a)| v.answers()[a].clone())
-                        .collect(),
+                positives.push(Positive {
+                    answer: i,
+                    combo: ci,
                     prior,
                     posterior,
-                    relative_increase: relative,
-                };
-                if relative > report.max_leak {
-                    report.max_leak = relative;
-                    report.witness = Some(entry.clone());
-                }
-                report.positive_entries.push(entry);
+                    relative,
+                });
             }
         }
     }
-    report
-        .positive_entries
-        .sort_by_key(|e| std::cmp::Reverse(e.relative_increase));
+    // Stable sort over emission order — equal increases keep the
+    // answer-major tie-break of the enumeration baseline, and the head of
+    // the sorted list is the earliest-emitted maximum (the old witness).
+    positives.sort_by_key(|p| std::cmp::Reverse(p.relative));
+    let materialize = |p: &Positive| KernelLeakEntry {
+        query_answer: secret.answers()[p.answer].clone(),
+        view_answers: views
+            .iter()
+            .zip(&combos[p.combo])
+            .map(|(v, &a)| v.answers()[a].clone())
+            .collect(),
+        prior: p.prior,
+        posterior: p.posterior,
+        relative_increase: p.relative,
+    };
+    if let Some(top) = positives.first() {
+        report.max_leak = top.relative;
+        report.witness = Some(materialize(top));
+    }
+    let keep = cap.unwrap_or(usize::MAX).min(positives.len());
+    report.positive_entries = positives[..keep].iter().map(materialize).collect();
     report
 }
 
@@ -536,6 +604,7 @@ fn analyse_mc(
     counts: &SignatureCounts,
     pool: &SamplePool,
     space_size: usize,
+    report_cap: Option<usize>,
 ) -> KernelAudit {
     let n = counts.total.max(1);
     // Decoded joint counts for the independence marginals.
@@ -550,34 +619,44 @@ fn analyse_mc(
         *marginal_q.entry(s).or_insert(0) += c;
         *marginal_v.entry(v).or_insert(0) += c;
     }
-    let mut violations = Vec::new();
+    // Like `analyse_capped`: record violating pairs by reference, sort,
+    // and clone answer sets only for the entries that survive the cap.
+    let mut by_secret: BTreeMap<&AnswerSet, BTreeMap<&Vec<AnswerSet>, u64>> = BTreeMap::new();
+    for ((s, v), &c) in &joint {
+        by_secret.entry(s).or_default().insert(v, c);
+    }
+    let mut violating: Vec<(&AnswerSet, &Vec<AnswerSet>, Ratio, Ratio)> = Vec::new();
     let mut pairs = 0usize;
     for (s_ans, &c_s) in &marginal_q {
         let prior = Ratio::new(c_s as i128, n as i128);
+        let row = by_secret.get(s_ans);
         for (v_ans, &c_v) in &marginal_v {
             if c_v == 0 {
                 continue;
             }
             pairs += 1;
-            let c_joint = joint
-                .get(&((*s_ans).clone(), (*v_ans).clone()))
-                .copied()
-                .unwrap_or(0);
+            let c_joint = row.and_then(|r| r.get(v_ans)).copied().unwrap_or(0);
             let posterior = Ratio::new(c_joint as i128, c_v as i128);
             if posterior != prior && significant(prior, posterior, n as f64, c_v as f64) {
-                violations.push(Violation {
-                    query_answer: (*s_ans).clone(),
-                    view_answers: (*v_ans).clone(),
-                    prior,
-                    posterior,
-                });
+                violating.push((*s_ans, *v_ans, prior, posterior));
             }
         }
     }
-    violations.sort_by_key(|v| std::cmp::Reverse(v.absolute_change()));
+    violating
+        .sort_by_key(|(_, _, prior, posterior)| std::cmp::Reverse((*posterior - *prior).abs()));
+    let independent = violating.is_empty();
+    let keep = report_cap.unwrap_or(usize::MAX).min(violating.len());
     let independence = IndependenceReport {
-        independent: violations.is_empty(),
-        violations,
+        independent,
+        violations: violating[..keep]
+            .iter()
+            .map(|(s_ans, v_ans, prior, posterior)| Violation {
+                query_answer: (*s_ans).clone(),
+                view_answers: (*v_ans).clone(),
+                prior: *prior,
+                posterior: *posterior,
+            })
+            .collect(),
         pairs_checked: pairs,
     };
 
@@ -586,7 +665,7 @@ fn analyse_mc(
         .iter()
         .map(|(sig, &c)| (sig.clone(), Ratio::new(c as i128, n as i128)))
         .collect();
-    let leakage = leakage_from_signatures(compiled, offsets, &entries, Some(n));
+    let leakage = leakage_from_signatures(compiled, offsets, &entries, Some(n), report_cap);
     let totally_disclosed = determined(counts.counts.keys().map(|s| s.as_slice()), offsets);
     KernelAudit {
         independence,
@@ -671,6 +750,7 @@ mod tests {
             exact_cutover: 0, // force Monte-Carlo even on the tiny space
             samples: 4000,
             seed: 17,
+            ..KernelConfig::default()
         };
         let kernel = ProbKernel::new(dict, config);
         assert!(!kernel.is_exact());
@@ -707,6 +787,7 @@ mod tests {
             exact_cutover: 0,
             samples: 4000,
             seed: 23,
+            ..KernelConfig::default()
         };
         let kernel = ProbKernel::new(dict, config);
         let audit = kernel.evaluate(&s, &ViewSet::single(v)).unwrap();

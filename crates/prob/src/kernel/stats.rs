@@ -72,6 +72,11 @@ impl ProbStats {
             compile_cache_hits: self.compile_cache_hits.load(Ordering::Relaxed),
             pool_columns_built: self.pool_columns_built.load(Ordering::Relaxed),
             pool_column_hits: self.pool_column_hits.load(Ordering::Relaxed),
+            // The kernel folds its cache layers' eviction counters and
+            // resident bytes in on top of this snapshot.
+            evictions: 0,
+            evicted_bytes: 0,
+            resident_bytes: 0,
         }
     }
 }
@@ -108,6 +113,15 @@ pub struct ProbStatsSnapshot {
     /// were reused without touching a single world.
     #[serde(default)]
     pub pool_column_hits: u64,
+    /// Compilations/columns evicted under the kernel's byte budgets.
+    #[serde(default)]
+    pub evictions: u64,
+    /// Approximate bytes evicted over the kernel's lifetime.
+    #[serde(default)]
+    pub evicted_bytes: u64,
+    /// Approximate bytes currently resident in the kernel caches (a gauge).
+    #[serde(default)]
+    pub resident_bytes: u64,
 }
 
 #[cfg(test)]

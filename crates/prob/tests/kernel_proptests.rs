@@ -164,7 +164,7 @@ proptest! {
         let exact = ProbKernel::new(Arc::clone(&dict), KernelConfig::default())
             .evaluate(&s, &views)
             .unwrap();
-        let mc_config = KernelConfig { exact_cutover: 0, samples: 4000, seed: 7 };
+        let mc_config = KernelConfig { exact_cutover: 0, samples: 4000, seed: 7, ..KernelConfig::default() };
         let mc = ProbKernel::new(Arc::clone(&dict), mc_config)
             .evaluate(&s, &views)
             .unwrap();

@@ -1,0 +1,43 @@
+//! # qvsec-serve — the multi-tenant serving layer
+//!
+//! The paper's audit question is inherently *online*: a curator decides,
+//! request after request, whether publishing the next view is safe. The
+//! core crate's [`qvsec::AuditSession`] is the single-tenant handle for
+//! that flow; this crate turns it into a **server**:
+//!
+//! * [`SessionRegistry`] — an owned, `Send + Sync`, sharded map of tenant
+//!   id → [`qvsec::AuditSession`] over one shared [`qvsec::AuditEngine`].
+//!   Tenants are hashed onto independent shard locks (and each tenant has
+//!   its own session lock), so concurrent tenants never contend; idle
+//!   sessions expire; per-tenant request and byte accounting is surfaced
+//!   through [`registry::RegistryStats`] next to the engine's extended
+//!   cache counters (hits, misses, evictions, resident bytes).
+//! * a newline-delimited-JSON TCP front end ([`server::Server`]) — a
+//!   `std::net::TcpListener` with a fixed worker-thread pool, speaking the
+//!   request/response schema of [`protocol`] (`publish` / `candidate` /
+//!   `snapshot` / `restore` / `stats`, mirroring the CLI session-script
+//!   steps). No async runtime: plain blocking sockets and threads, like the
+//!   rest of the workspace.
+//!
+//! Because every tenant shares the engine's compiled artifacts — crit sets,
+//! candidate spaces, class verdicts, witness-mask compilations, the Monte-
+//! Carlo pool — a warm registry serves a tenant's *first* request at the
+//! cost of a stateless deployment's *hottest* one (measured in
+//! `BENCH_serve.json`). Long-lived servers bound that sharing with the
+//! engine's byte-budgeted caches (`cache_budget_bytes`): eviction is
+//! transparent to every verdict, so the registry trades memory for
+//! recomputation, never for correctness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use protocol::{handle_request, WireRequest};
+pub use registry::{RegistryConfig, RegistryStats, ServeError, SessionRegistry, TenantStats};
+pub use server::{request_lines, Server, ServerHandle};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

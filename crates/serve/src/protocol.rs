@@ -1,0 +1,235 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, in order. Requests mirror
+//! the CLI session-script steps, plus registry-level operations:
+//!
+//! ```json
+//! {"op": "open",      "tenant": "alice", "secret": "S(n, p) :- Employee(n, d, p)"}
+//! {"op": "publish",   "tenant": "alice", "view": "V(n, d) :- Employee(n, d, p)", "name": "bob"}
+//! {"op": "candidate", "tenant": "alice", "view": "W(d) :- Employee(n, d, p)"}
+//! {"op": "snapshot",  "tenant": "alice", "label": "pre-carol"}
+//! {"op": "restore",   "tenant": "alice", "label": "pre-carol"}
+//! {"op": "stats"}
+//! {"op": "ping"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! `publish`/`candidate` on a tenant with no session require a `secret`
+//! field (which opens one); established tenants omit it. Responses are
+//! `{"ok": true, ...}` objects — `report` carries the full serialized
+//! [`qvsec::SessionReport`] for audits, `stats` carries a
+//! [`crate::registry::RegistryStats`] — or `{"ok": false, "error": "..."}`.
+//! Responses carry no timestamps, so replaying a request script is
+//! byte-deterministic (the CI smoke job replays the committed two-tenant
+//! script twice and diffs).
+
+use crate::registry::SessionRegistry;
+use crate::ServeError;
+use serde::Deserialize;
+use serde_json::Value;
+
+/// One parsed request line. Unknown *ops* produce an error response;
+/// unknown (e.g. typo'd) *fields* are ignored by deserialization, like
+/// most JSON APIs — clients must not rely on field-name validation.
+#[derive(Debug, Clone, Default, Deserialize)]
+pub struct WireRequest {
+    /// The operation: `open` | `publish` | `candidate` | `snapshot` |
+    /// `restore` | `stats` | `ping` | `shutdown`.
+    pub op: String,
+    /// Tenant id (required for every per-tenant op).
+    pub tenant: Option<String>,
+    /// Secret query, datalog syntax (opens a session on first contact).
+    pub secret: Option<String>,
+    /// View query, datalog syntax (`publish` / `candidate`).
+    pub view: Option<String>,
+    /// Recipient label for `publish` (defaults to the view's query name).
+    pub name: Option<String>,
+    /// Snapshot label (`snapshot` / `restore`).
+    pub label: Option<String>,
+}
+
+fn ok(fields: Vec<(String, Value)>) -> Value {
+    let mut entries = vec![("ok".to_string(), Value::Bool(true))];
+    entries.extend(fields);
+    Value::Object(entries)
+}
+
+fn err(message: String) -> Value {
+    Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(message)),
+    ])
+}
+
+fn require<'a>(field: &'a Option<String>, what: &str) -> crate::Result<&'a str> {
+    field
+        .as_deref()
+        .ok_or_else(|| ServeError::Parse(format!("missing required field `{what}`")))
+}
+
+fn dispatch(registry: &SessionRegistry, request: &WireRequest) -> crate::Result<Value> {
+    let parsed_secret = match &request.secret {
+        Some(text) => Some(registry.parse(text)?),
+        None => None,
+    };
+    match request.op.as_str() {
+        "ping" => Ok(ok(vec![(
+            "tenants".to_string(),
+            Value::Int(registry.tenant_count() as i128),
+        )])),
+        "stats" => {
+            let stats = registry.stats();
+            Ok(ok(vec![(
+                "stats".to_string(),
+                serde_json::to_value(&stats).map_err(|e| ServeError::Parse(e.to_string()))?,
+            )]))
+        }
+        "open" => {
+            let tenant = require(&request.tenant, "tenant")?;
+            let secret = parsed_secret
+                .as_ref()
+                .ok_or_else(|| ServeError::SecretRequired(tenant.to_string()))?;
+            let views = registry.open(tenant, secret)?;
+            Ok(ok(vec![
+                ("tenant".to_string(), Value::Str(tenant.to_string())),
+                ("views_published".to_string(), Value::Int(views as i128)),
+            ]))
+        }
+        "publish" | "candidate" => {
+            let tenant = require(&request.tenant, "tenant")?;
+            let view = registry.parse(require(&request.view, "view")?)?;
+            let report = if request.op == "publish" {
+                registry.publish(tenant, parsed_secret.as_ref(), request.name.clone(), view)?
+            } else {
+                registry.audit_candidate(tenant, parsed_secret.as_ref(), &view)?
+            };
+            Ok(ok(vec![
+                ("tenant".to_string(), Value::Str(tenant.to_string())),
+                (
+                    "report".to_string(),
+                    serde_json::to_value(&report).map_err(|e| ServeError::Parse(e.to_string()))?,
+                ),
+            ]))
+        }
+        "snapshot" | "restore" => {
+            let tenant = require(&request.tenant, "tenant")?;
+            let label = require(&request.label, "label")?;
+            let views = if request.op == "snapshot" {
+                registry.snapshot(tenant, label)?
+            } else {
+                registry.restore(tenant, label)?
+            };
+            Ok(ok(vec![
+                ("tenant".to_string(), Value::Str(tenant.to_string())),
+                (request.op.clone(), Value::Str(label.to_string())),
+                ("views_published".to_string(), Value::Int(views as i128)),
+            ]))
+        }
+        "shutdown" => Ok(ok(vec![(
+            "shutdown".to_string(),
+            Value::Bool(true),
+        )])),
+        other => Err(ServeError::Parse(format!(
+            "unknown op `{other}` (expected open | publish | candidate | snapshot | restore | stats | ping | shutdown)"
+        ))),
+    }
+}
+
+/// Parses one request line and dispatches it, mapping every failure onto an
+/// `{"ok": false}` response (a malformed line never tears down the
+/// connection). Returns the response plus whether the request asked the
+/// server to shut down.
+pub fn handle_request(registry: &SessionRegistry, line: &str) -> (Value, bool) {
+    let request: WireRequest =
+        match serde_json::parse(line).and_then(|v| serde_json::from_value(&v)) {
+            Ok(request) => request,
+            Err(e) => return (err(format!("bad request: {e}")), false),
+        };
+    let shutdown = request.op == "shutdown";
+    match dispatch(registry, &request) {
+        Ok(response) => (response, shutdown),
+        Err(e) => (err(e.to_string()), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec::engine::AuditEngine;
+    use qvsec_data::{Domain, Schema};
+    use std::sync::Arc;
+
+    fn registry() -> SessionRegistry {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        let engine = Arc::new(AuditEngine::builder(schema, Domain::new()).build());
+        SessionRegistry::new(engine)
+    }
+
+    #[test]
+    fn a_two_tenant_script_runs_end_to_end() {
+        let reg = registry();
+        let script = [
+            r#"{"op": "ping"}"#,
+            r#"{"op": "publish", "tenant": "a", "secret": "S(n, p) :- Employee(n, d, p)", "view": "VBob(n, d) :- Employee(n, d, p)", "name": "bob"}"#,
+            r#"{"op": "publish", "tenant": "b", "secret": "S(n, p) :- Employee(n, d, p)", "view": "VCarol(d, p) :- Employee(n, d, p)"}"#,
+            r#"{"op": "snapshot", "tenant": "a", "label": "s1"}"#,
+            r#"{"op": "candidate", "tenant": "a", "view": "VCarol(d, p) :- Employee(n, d, p)"}"#,
+            r#"{"op": "restore", "tenant": "a", "label": "s1"}"#,
+            r#"{"op": "stats"}"#,
+        ];
+        let mut responses = Vec::new();
+        for line in script {
+            let (response, shutdown) = handle_request(&reg, line);
+            assert!(!shutdown);
+            assert_eq!(
+                response.field("ok"),
+                &Value::Bool(true),
+                "{line} -> {response:?}"
+            );
+            responses.push(response);
+        }
+        assert_eq!(
+            responses[1].field("report").field("report").field("secure"),
+            &Value::Bool(false)
+        );
+        assert!(
+            responses[2]
+                .field("report")
+                .field("cache")
+                .field("crit_cache_hits")
+                .as_int()
+                .unwrap()
+                > 0,
+            "second tenant is served from the shared engine's warm caches"
+        );
+        let stats = responses[6].field("stats");
+        assert_eq!(stats.field("tenants").as_array().unwrap().len(), 2);
+        assert_eq!(stats.field("requests_served").as_int(), Some(5));
+    }
+
+    #[test]
+    fn failures_map_onto_error_responses() {
+        let reg = registry();
+        for line in [
+            "not json",
+            r#"{"op": "warp"}"#,
+            r#"{"op": "publish", "tenant": "a", "view": "V(n) :- Employee(n, d, p)"}"#,
+            r#"{"op": "publish", "tenant": "a", "secret": "S(n) :- Employee(n, d, p)"}"#,
+            r#"{"op": "restore", "tenant": "a", "label": "x"}"#,
+        ] {
+            let (response, shutdown) = handle_request(&reg, line);
+            assert!(!shutdown);
+            assert_eq!(
+                response.field("ok"),
+                &Value::Bool(false),
+                "{line} should fail: {response:?}"
+            );
+            assert!(!response.field("error").is_null());
+        }
+        // The shutdown marker round-trips.
+        let (response, shutdown) = handle_request(&reg, r#"{"op": "shutdown"}"#);
+        assert!(shutdown);
+        assert_eq!(response.field("ok"), &Value::Bool(true));
+    }
+}

@@ -1,0 +1,620 @@
+//! The sharded, multi-tenant session registry.
+//!
+//! One [`SessionRegistry`] owns one shared [`AuditEngine`] and maps tenant
+//! ids to live [`AuditSession`]s. The map is split into shards selected by
+//! a deterministic hash of the tenant id; each shard is its own mutex, and
+//! each tenant behind it is another — a shard lock is held only for the map
+//! lookup (microseconds), the audit itself runs under the tenant's own
+//! lock. Concurrent tenants therefore never serialize on each other, while
+//! two racing requests for the *same* tenant are ordered by its lock (the
+//! per-tenant report stream is a serial session history, exactly like the
+//! single-node `AuditSession`).
+//!
+//! The registry also owns what the engine does not: per-tenant labelled
+//! snapshots (the wire protocol's `snapshot`/`restore`), per-tenant request
+//! and byte accounting, and idle expiry ([`SessionRegistry::sweep_idle`]) —
+//! an expired tenant's next request simply reopens its session against the
+//! still-warm engine caches. Eviction of engine artifacts is equally
+//! transparent: a restored session re-derives anything evicted (see
+//! `tests/eviction_equivalence.rs` in the workspace root).
+
+use qvsec::engine::{AuditEngine, AuditOptions};
+use qvsec::session::{AuditSession, SessionReport, SessionSnapshot};
+use qvsec::QvsError;
+use qvsec_cq::{canonical_form, ConjunctiveQuery};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Errors surfaced to serving clients.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A query failed to parse, or used constants the server's domain does
+    /// not declare.
+    Parse(String),
+    /// An operation needed an existing session but the tenant has none.
+    UnknownTenant(String),
+    /// `publish`/`candidate` on a new tenant without a `secret`.
+    SecretRequired(String),
+    /// A `secret` that disagrees with the tenant's registered secret.
+    SecretMismatch(String),
+    /// `restore` of a label never snapshotted.
+    UnknownSnapshot(String),
+    /// The underlying audit failed.
+    Audit(QvsError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Parse(m) => write!(f, "parse error: {m}"),
+            ServeError::UnknownTenant(t) => {
+                write!(
+                    f,
+                    "tenant `{t}` has no session (send a `secret` to open one)"
+                )
+            }
+            ServeError::SecretRequired(t) => {
+                write!(f, "tenant `{t}` is new: a `secret` query is required")
+            }
+            ServeError::SecretMismatch(t) => write!(
+                f,
+                "tenant `{t}` already audits a different secret (one secret per session)"
+            ),
+            ServeError::UnknownSnapshot(l) => write!(f, "no snapshot labelled `{l}`"),
+            ServeError::Audit(e) => write!(f, "audit error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<QvsError> for ServeError {
+    fn from(e: QvsError) -> Self {
+        ServeError::Audit(e)
+    }
+}
+
+/// Registry configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryConfig {
+    /// Number of shards the tenant map is split into (rounded up to a power
+    /// of two, minimum 1).
+    pub shards: usize,
+    /// Sessions idle longer than this are removed by
+    /// [`SessionRegistry::sweep_idle`] (and opportunistically on request
+    /// dispatch). `None` keeps sessions forever.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            shards: 16,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// One tenant's live state: the session plus registry-side bookkeeping.
+#[derive(Debug)]
+struct Tenant {
+    session: AuditSession,
+    snapshots: HashMap<String, SessionSnapshot>,
+    last_used: Instant,
+    requests: u64,
+    /// Approximate bytes of published-view and snapshot state this tenant
+    /// pins (serialized size; recomputed after each mutating operation).
+    bytes: u64,
+}
+
+impl Tenant {
+    /// Recomputes the byte estimate from scratch (used after `restore`,
+    /// which rewinds the published prefix; the common ops account
+    /// incrementally instead of re-serializing the whole prefix).
+    fn recount_bytes(&mut self) {
+        let published: usize = self
+            .session
+            .published()
+            .iter()
+            .map(|p| serde_json::to_string(p).map(|s| s.len()).unwrap_or(0))
+            .sum();
+        let snapshots: usize = self
+            .snapshots
+            .values()
+            .map(|s| serde_json::to_string(s).map(|t| t.len()).unwrap_or(0))
+            .sum();
+        self.bytes = (published + snapshots) as u64;
+    }
+}
+
+/// Serialized size of a value, as the registry's byte-accounting unit.
+fn approx_bytes<T: serde::Serialize>(value: &T) -> u64 {
+    serde_json::to_string(value).map(|s| s.len()).unwrap_or(0) as u64
+}
+
+type Shard = Mutex<HashMap<String, Arc<Mutex<Tenant>>>>;
+
+/// An owned, `Send + Sync`, sharded registry of tenant sessions over one
+/// shared engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct SessionRegistry {
+    engine: Arc<AuditEngine>,
+    options: AuditOptions,
+    shards: Box<[Shard]>,
+    shard_mask: usize,
+    idle_timeout: Option<Duration>,
+    requests: AtomicU64,
+    expired: AtomicU64,
+}
+
+// The registry is the shared state of the serving threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SessionRegistry>();
+};
+
+/// Deterministic FNV-1a over the tenant id (no per-process hash seeds, so a
+/// request trace shards identically on every run).
+fn shard_hash(tenant: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SessionRegistry {
+    /// A registry over `engine` with default configuration.
+    pub fn new(engine: Arc<AuditEngine>) -> Self {
+        Self::with_config(engine, RegistryConfig::default())
+    }
+
+    /// A registry over `engine`, sharded and expiring per `config`.
+    pub fn with_config(engine: Arc<AuditEngine>, config: RegistryConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
+        SessionRegistry {
+            engine,
+            options: AuditOptions::default(),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_mask: shards - 1,
+            idle_timeout: config.idle_timeout,
+            requests: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared engine every tenant audits against.
+    pub fn engine(&self) -> &Arc<AuditEngine> {
+        &self.engine
+    }
+
+    /// Number of shards the tenant map is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured idle timeout, if any (the server runs a background
+    /// sweeper off this; in-dispatch sweeps only cover the shard a request
+    /// hashes to).
+    pub fn idle_timeout(&self) -> Option<Duration> {
+        self.idle_timeout
+    }
+
+    /// Number of live tenant sessions.
+    pub fn tenant_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// Parses a runtime query against the engine's schema and domain,
+    /// rejecting queries that mention constants the server never declared
+    /// (the engine's domain is fixed at build time; silently growing a
+    /// private copy would make verdicts depend on request order).
+    pub fn parse(&self, text: &str) -> crate::Result<ConjunctiveQuery> {
+        let mut domain = self.engine.domain().clone();
+        let before = domain.len();
+        let query = qvsec_cq::parse_query(text, self.engine.schema(), &mut domain)
+            .map_err(|e| ServeError::Parse(format!("bad query `{text}`: {e}")))?;
+        if domain.len() != before {
+            return Err(ServeError::Parse(format!(
+                "query `{text}` uses constants outside the server's declared domain"
+            )));
+        }
+        Ok(query)
+    }
+
+    fn shard_of(&self, tenant: &str) -> &Shard {
+        &self.shards[(shard_hash(tenant) as usize) & self.shard_mask]
+    }
+
+    /// Fetches the tenant's entry, opening a session when `secret` is given
+    /// and none exists. Sweeps the shard's idle entries on the way when an
+    /// idle timeout is configured — including the requesting tenant itself:
+    /// a session idle past the timeout is expired and the request reopens a
+    /// fresh one (secret required), exactly as the protocol documents.
+    fn tenant_entry(
+        &self,
+        tenant: &str,
+        secret: Option<&ConjunctiveQuery>,
+    ) -> crate::Result<Arc<Mutex<Tenant>>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(tenant);
+        let mut map = shard.lock().expect("shard poisoned");
+        if let Some(max_idle) = self.idle_timeout {
+            let now = Instant::now();
+            let before = map.len();
+            map.retain(|_, entry| {
+                entry
+                    .try_lock()
+                    .map(|t| now.duration_since(t.last_used) <= max_idle)
+                    .unwrap_or(true)
+            });
+            self.expired
+                .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+        }
+        if let Some(entry) = map.get(tenant) {
+            if let Some(secret) = secret {
+                let entry = Arc::clone(entry);
+                drop(map);
+                let t = entry.lock().expect("tenant poisoned");
+                if canonical_form(t.session.secret()) != canonical_form(secret) {
+                    return Err(ServeError::SecretMismatch(tenant.to_string()));
+                }
+                drop(t);
+                return Ok(entry);
+            }
+            return Ok(Arc::clone(entry));
+        }
+        let Some(secret) = secret else {
+            return Err(ServeError::UnknownTenant(tenant.to_string()));
+        };
+        let session = AuditSession::new(
+            Arc::clone(&self.engine),
+            secret.clone(),
+            self.options.clone(),
+        )
+        .named(format!("tenant:{tenant}"));
+        let entry = Arc::new(Mutex::new(Tenant {
+            session,
+            snapshots: HashMap::new(),
+            last_used: Instant::now(),
+            requests: 0,
+            bytes: 0,
+        }));
+        map.insert(tenant.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    fn with_tenant<R>(
+        &self,
+        tenant: &str,
+        secret: Option<&ConjunctiveQuery>,
+        f: impl FnOnce(&mut Tenant) -> crate::Result<R>,
+    ) -> crate::Result<R> {
+        let entry = self.tenant_entry(tenant, secret)?;
+        let mut t = entry.lock().expect("tenant poisoned");
+        let out = f(&mut t)?;
+        t.last_used = Instant::now();
+        t.requests += 1;
+        Ok(out)
+    }
+
+    /// Opens (or re-validates) `tenant`'s session for `secret` without
+    /// auditing anything.
+    pub fn open(&self, tenant: &str, secret: &ConjunctiveQuery) -> crate::Result<usize> {
+        self.with_tenant(tenant, Some(secret), |t| Ok(t.session.views_published()))
+    }
+
+    /// Publishes `view` for `tenant`: audits the secret against everything
+    /// the tenant already published plus `view`, commits it, and returns
+    /// the step report. A `secret` opens the session on first contact.
+    pub fn publish(
+        &self,
+        tenant: &str,
+        secret: Option<&ConjunctiveQuery>,
+        name: Option<String>,
+        view: ConjunctiveQuery,
+    ) -> crate::Result<SessionReport> {
+        self.with_tenant(tenant, secret, |t| {
+            let name = name.unwrap_or_else(|| view.name.clone());
+            let report = t.session.publish_named(name, view)?;
+            let committed = t.session.published().last().expect("just published");
+            t.bytes += approx_bytes(committed);
+            Ok(report)
+        })
+    }
+
+    /// The what-if audit: [`SessionRegistry::publish`] without committing.
+    pub fn audit_candidate(
+        &self,
+        tenant: &str,
+        secret: Option<&ConjunctiveQuery>,
+        view: &ConjunctiveQuery,
+    ) -> crate::Result<SessionReport> {
+        self.with_tenant(tenant, secret, |t| Ok(t.session.audit_candidate(view)?))
+    }
+
+    /// Saves `tenant`'s session state under `label`; returns the number of
+    /// views in the captured state.
+    pub fn snapshot(&self, tenant: &str, label: &str) -> crate::Result<usize> {
+        self.with_tenant(tenant, None, |t| {
+            let snap = t.session.snapshot();
+            let views = snap.views_published();
+            t.bytes += approx_bytes(&snap);
+            if let Some(replaced) = t.snapshots.insert(label.to_string(), snap) {
+                t.bytes = t.bytes.saturating_sub(approx_bytes(&replaced));
+            }
+            Ok(views)
+        })
+    }
+
+    /// Rewinds `tenant`'s session to the labelled snapshot; returns the
+    /// restored view count. Engine artifacts evicted since the snapshot are
+    /// re-derived transparently on the next audit.
+    pub fn restore(&self, tenant: &str, label: &str) -> crate::Result<usize> {
+        self.with_tenant(tenant, None, |t| {
+            let snap = t
+                .snapshots
+                .get(label)
+                .ok_or_else(|| ServeError::UnknownSnapshot(label.to_string()))?
+                .clone();
+            t.session.restore(&snap);
+            t.recount_bytes();
+            Ok(t.session.views_published())
+        })
+    }
+
+    /// Removes sessions idle longer than `max_idle`; returns how many were
+    /// expired. A tenant mid-request (its lock held) is never expired.
+    pub fn sweep_idle(&self, max_idle: Duration) -> usize {
+        let now = Instant::now();
+        let mut removed = 0;
+        for shard in self.shards.iter() {
+            let mut map = shard.lock().expect("shard poisoned");
+            let before = map.len();
+            map.retain(|_, entry| {
+                entry
+                    .try_lock()
+                    .map(|t| now.duration_since(t.last_used) <= max_idle)
+                    .unwrap_or(true)
+            });
+            removed += before - map.len();
+        }
+        self.expired.fetch_add(removed as u64, Ordering::Relaxed);
+        removed
+    }
+
+    /// A deterministic snapshot of the registry: per-tenant accounting
+    /// (sorted by tenant id) next to the engine's extended cache counters.
+    pub fn stats(&self) -> RegistryStats {
+        let mut tenants = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.lock().expect("shard poisoned");
+            for (id, entry) in map.iter() {
+                let t = entry.lock().expect("tenant poisoned");
+                tenants.push(TenantStats {
+                    tenant: id.clone(),
+                    views_published: t.session.views_published(),
+                    snapshots_held: t.snapshots.len(),
+                    requests: t.requests,
+                    approx_bytes: t.bytes,
+                    cache: *t.session.cumulative_cache(),
+                });
+            }
+        }
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        RegistryStats {
+            tenants,
+            shard_count: self.shards.len(),
+            requests_served: self.requests.load(Ordering::Relaxed),
+            sessions_expired: self.expired.load(Ordering::Relaxed),
+            engine_cache: self.engine.cache_stats(),
+        }
+    }
+}
+
+/// Per-tenant accounting surfaced by [`SessionRegistry::stats`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// The tenant id.
+    pub tenant: String,
+    /// Views the tenant has committed.
+    pub views_published: usize,
+    /// Labelled snapshots the tenant holds.
+    pub snapshots_held: usize,
+    /// Requests the tenant has issued (audits, snapshots, restores).
+    pub requests: u64,
+    /// Approximate bytes of published-view and snapshot state the tenant
+    /// pins in the registry.
+    pub approx_bytes: u64,
+    /// The tenant's session-cumulative cache-reuse counters.
+    pub cache: qvsec::engine::CacheStatsSnapshot,
+}
+
+/// A registry-wide accounting snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegistryStats {
+    /// Per-tenant accounting, sorted by tenant id.
+    pub tenants: Vec<TenantStats>,
+    /// Number of shards the tenant map is split into.
+    pub shard_count: usize,
+    /// Requests dispatched over the registry's lifetime.
+    pub requests_served: u64,
+    /// Sessions removed by idle expiry.
+    pub sessions_expired: u64,
+    /// The shared engine's extended cache counters (hits, misses,
+    /// evictions, evicted and resident bytes).
+    pub engine_cache: qvsec::engine::CacheStatsSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_data::{Domain, Schema};
+
+    fn registry() -> SessionRegistry {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        let mut domain = Domain::new();
+        // Declare the constants runtime queries may use.
+        domain.add("Mgmt");
+        let engine = Arc::new(AuditEngine::builder(schema, domain).build());
+        SessionRegistry::new(engine)
+    }
+
+    #[test]
+    fn publish_routes_through_per_tenant_sessions() {
+        let reg = registry();
+        let secret = reg.parse("S(n, p) :- Employee(n, d, p)").unwrap();
+        let bob = reg.parse("VBob(n, d) :- Employee(n, d, p)").unwrap();
+        let carol = reg.parse("VCarol(d, p) :- Employee(n, d, p)").unwrap();
+
+        let r1 = reg
+            .publish("alice", Some(&secret), Some("bob".into()), bob.clone())
+            .unwrap();
+        assert_eq!(r1.step, 1);
+        assert_eq!(r1.report.secure, Some(false));
+        // A second tenant opens its own session; the engine's caches are
+        // already warm from the first.
+        let r2 = reg
+            .publish("zoe", Some(&secret), Some("bob".into()), bob)
+            .unwrap();
+        assert_eq!(r2.step, 1);
+        assert!(
+            r2.cache.crit_cache_hits > 0,
+            "shared artifacts: {:?}",
+            r2.cache
+        );
+        // Established tenants need no secret.
+        let r3 = reg.publish("alice", None, None, carol).unwrap();
+        assert_eq!(r3.step, 2);
+        assert_eq!(reg.tenant_count(), 2);
+
+        let stats = reg.stats();
+        assert_eq!(stats.tenants.len(), 2);
+        assert_eq!(stats.tenants[0].tenant, "alice");
+        assert_eq!(stats.tenants[0].views_published, 2);
+        assert!(stats.tenants[0].approx_bytes > 0);
+        assert_eq!(stats.requests_served, 3);
+    }
+
+    #[test]
+    fn unknown_tenants_and_mismatched_secrets_are_rejected() {
+        let reg = registry();
+        let secret = reg.parse("S(n, p) :- Employee(n, d, p)").unwrap();
+        let other = reg.parse("S2(d) :- Employee(n, d, p)").unwrap();
+        let view = reg.parse("V(n, d) :- Employee(n, d, p)").unwrap();
+
+        assert!(matches!(
+            reg.audit_candidate("ghost", None, &view),
+            Err(ServeError::UnknownTenant(_))
+        ));
+        reg.open("alice", &secret).unwrap();
+        assert!(matches!(
+            reg.publish("alice", Some(&other), None, view.clone()),
+            Err(ServeError::SecretMismatch(_))
+        ));
+        // Re-presenting the same secret (α-renamed) is fine.
+        let renamed = reg.parse("S(a, b) :- Employee(a, c, b)").unwrap();
+        assert!(reg.publish("alice", Some(&renamed), None, view).is_ok());
+    }
+
+    #[test]
+    fn undeclared_constants_are_rejected_at_parse() {
+        let reg = registry();
+        assert!(reg.parse("V(n) :- Employee(n, 'Mgmt', p)").is_ok());
+        let err = reg
+            .parse("V(n) :- Employee(n, 'Skunkworks', p)")
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Parse(_)));
+        assert!(err.to_string().contains("declared domain"));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_through_the_registry() {
+        let reg = registry();
+        let secret = reg.parse("S(n, p) :- Employee(n, d, p)").unwrap();
+        let v1 = reg.parse("V1(n, d) :- Employee(n, d, p)").unwrap();
+        let v2 = reg.parse("V2(d, p) :- Employee(n, d, p)").unwrap();
+        reg.publish("t", Some(&secret), None, v1).unwrap();
+        assert_eq!(reg.snapshot("t", "base").unwrap(), 1);
+        reg.publish("t", None, None, v2.clone()).unwrap();
+        assert_eq!(reg.restore("t", "base").unwrap(), 1);
+        assert!(matches!(
+            reg.restore("t", "nope"),
+            Err(ServeError::UnknownSnapshot(_))
+        ));
+        // Replaying after the restore reaches the same cumulative verdict.
+        let replay = reg.publish("t", None, None, v2).unwrap();
+        assert_eq!(replay.step, 2);
+        assert!(replay.cache.any_reuse(), "replay is served warm");
+    }
+
+    #[test]
+    fn idle_sessions_expire_and_reopen_transparently() {
+        let reg = registry();
+        let secret = reg.parse("S(n, p) :- Employee(n, d, p)").unwrap();
+        let view = reg.parse("V(n, d) :- Employee(n, d, p)").unwrap();
+        let first = reg.publish("t", Some(&secret), None, view.clone()).unwrap();
+        assert_eq!(reg.tenant_count(), 1);
+        assert_eq!(reg.sweep_idle(Duration::ZERO), 1);
+        assert_eq!(reg.tenant_count(), 0);
+        assert_eq!(reg.stats().sessions_expired, 1);
+        // The tenant's next request reopens at step 1, warm.
+        let again = reg.publish("t", Some(&secret), None, view).unwrap();
+        assert_eq!(again.step, 1);
+        assert_eq!(
+            serde_json::to_string(&again.report).unwrap(),
+            serde_json::to_string(&first.report).unwrap(),
+            "reopened session reproduces the same verdict"
+        );
+        assert!(again.cache.any_reuse(), "engine caches survived expiry");
+    }
+
+    #[test]
+    fn a_stale_requesting_tenant_is_itself_expired() {
+        // The in-dispatch sweep must not spare the requester: a session
+        // idle past the timeout is gone, and the next request either
+        // reopens fresh (secret present) or is told to.
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        let engine = Arc::new(AuditEngine::builder(schema, Domain::new()).build());
+        let reg = SessionRegistry::with_config(
+            engine,
+            RegistryConfig {
+                shards: 4,
+                idle_timeout: Some(Duration::ZERO),
+            },
+        );
+        let secret = reg.parse("S(n, p) :- Employee(n, d, p)").unwrap();
+        let v1 = reg.parse("V1(n, d) :- Employee(n, d, p)").unwrap();
+        let v2 = reg.parse("V2(d, p) :- Employee(n, d, p)").unwrap();
+        let first = reg.publish("t", Some(&secret), None, v1).unwrap();
+        assert_eq!(first.step, 1);
+        // Without a secret the expired tenant is reported as unknown ...
+        assert!(matches!(
+            reg.publish("t", None, None, v2.clone()),
+            Err(ServeError::UnknownTenant(_))
+        ));
+        // ... and with one, the session reopens at step 1, not step 2.
+        let reopened = reg.publish("t", Some(&secret), None, v2).unwrap();
+        assert_eq!(reopened.step, 1, "stale session must not survive");
+        assert!(reg.stats().sessions_expired >= 1);
+    }
+
+    #[test]
+    fn tenants_hash_to_stable_shards() {
+        let reg = registry();
+        assert_eq!(reg.shard_count(), 16);
+        let a = shard_hash("alice");
+        assert_eq!(a, shard_hash("alice"), "hash is deterministic");
+        assert_ne!(a, shard_hash("alicf"));
+    }
+}

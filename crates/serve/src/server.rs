@@ -1,0 +1,309 @@
+//! The concurrent TCP front end: blocking sockets, a fixed worker pool,
+//! newline-delimited JSON.
+//!
+//! Connections are accepted on one listener thread and handed to a fixed
+//! pool of worker threads over a channel (the `std::thread` idiom the
+//! workspace already uses — no async runtime, no extra dependencies). Each
+//! worker owns a connection for its whole lifetime and serves its requests
+//! strictly in order, so a client's request script sees deterministic
+//! responses; different connections run on different workers and share
+//! nothing but the [`SessionRegistry`] (whose shard/tenant locking keeps
+//! concurrent tenants from contending).
+//!
+//! A `{"op": "shutdown"}` request answers, flips the shutdown flag and
+//! wakes the accept loop with a loop-back connection; the server then stops
+//! accepting, drains its workers and returns.
+
+use crate::protocol::handle_request;
+use crate::registry::SessionRegistry;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// A bound (but not yet running) server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<SessionRegistry>,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A cloneable handle onto a running (or about-to-run) server: its address
+/// and shutdown flag. Used by tests and embedders that run the server on a
+/// background thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and wakes the accept loop. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // A loop-back connection unblocks the (blocking) accept call.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7070`, or port 0 for an ephemeral
+    /// port) over `registry` with `workers` connection-serving threads.
+    pub fn bind(registry: Arc<SessionRegistry>, addr: &str, workers: usize) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            registry,
+            workers: workers.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+        })
+    }
+
+    /// Runs the accept loop until shutdown, dispatching connections to the
+    /// worker pool. Blocks the calling thread. With an idle timeout
+    /// configured on the registry, a background sweeper expires idle
+    /// tenants in **every** shard — the in-dispatch sweeps only cover the
+    /// shard a request happens to hash to, so without this a low-traffic
+    /// shard would retain its sessions forever.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.local_addr()?;
+        let sweeper = self.registry.idle_timeout().map(|max_idle| {
+            let registry = Arc::clone(&self.registry);
+            let shutdown = Arc::clone(&self.shutdown);
+            thread::spawn(move || {
+                use std::time::Duration;
+                // Sweep a few times per timeout period; sleep in short
+                // slices so shutdown is observed promptly.
+                let tick = (max_idle / 4).clamp(Duration::from_millis(50), Duration::from_secs(10));
+                let slice = tick.min(Duration::from_millis(200));
+                let mut slept = Duration::ZERO;
+                while !shutdown.load(Ordering::SeqCst) {
+                    thread::sleep(slice);
+                    slept += slice;
+                    if slept >= tick {
+                        registry.sweep_idle(max_idle);
+                        slept = Duration::ZERO;
+                    }
+                }
+            })
+        });
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let rx = Arc::clone(&rx);
+            let registry = Arc::clone(&self.registry);
+            let shutdown = Arc::clone(&self.shutdown);
+            pool.push(thread::spawn(move || loop {
+                let conn = rx.lock().expect("worker queue poisoned").recv();
+                match conn {
+                    Ok(stream) => serve_connection(&registry, stream, &shutdown, addr),
+                    Err(_) => break, // sender dropped: server is draining
+                }
+            }));
+        }
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    // A send only fails after drain started; drop the
+                    // connection in that case.
+                    let _ = tx.send(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        if let Some(sweeper) = sweeper {
+            let _ = sweeper.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection to completion: one JSON request per line, one JSON
+/// response per line, in order.
+fn serve_connection(
+    registry: &SessionRegistry,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = handle_request(registry, &line);
+        let mut text = serde_json::to_string(&response).expect("JSON rendering is infallible");
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+}
+
+/// Client helper: sends each request line over one connection and returns
+/// the response lines, in order. Used by `qvsec-cli request` and the smoke
+/// tests.
+pub fn request_lines(addr: &str, lines: &[String]) -> io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(lines.len());
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-script",
+            ));
+        }
+        responses.push(response.trim_end().to_string());
+    }
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec::engine::AuditEngine;
+    use qvsec_data::{Domain, Schema};
+
+    fn registry() -> Arc<SessionRegistry> {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        let engine = Arc::new(AuditEngine::builder(schema, Domain::new()).build());
+        Arc::new(SessionRegistry::new(engine))
+    }
+
+    fn spawn_server(workers: usize) -> (ServerHandle, thread::JoinHandle<io::Result<()>>) {
+        let server = Server::bind(registry(), "127.0.0.1:0", workers).unwrap();
+        let handle = server.handle().unwrap();
+        let join = thread::spawn(move || server.run());
+        (handle, join)
+    }
+
+    #[test]
+    fn serves_a_script_over_tcp_and_shuts_down() {
+        let (handle, join) = spawn_server(2);
+        let addr = handle.addr().to_string();
+        let script: Vec<String> = [
+            r#"{"op": "publish", "tenant": "a", "secret": "S(n, p) :- Employee(n, d, p)", "view": "V(n, d) :- Employee(n, d, p)"}"#,
+            r#"{"op": "candidate", "tenant": "a", "view": "W(d, p) :- Employee(n, d, p)"}"#,
+            r#"{"op": "stats"}"#,
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        let first = request_lines(&addr, &script).unwrap();
+        assert_eq!(first.len(), 3);
+        for response in &first {
+            assert!(response.starts_with(r#"{"ok":true"#), "{response}");
+        }
+        // A second connection sees the same tenant state.
+        let ping = request_lines(&addr, &[r#"{"op": "ping"}"#.to_string()]).unwrap();
+        assert!(ping[0].contains(r#""tenants":1"#), "{}", ping[0]);
+        // Shutdown over the wire stops the accept loop.
+        let bye = request_lines(&addr, &[r#"{"op": "shutdown"}"#.to_string()]).unwrap();
+        assert!(bye[0].contains(r#""shutdown":true"#));
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn the_background_sweeper_expires_idle_tenants_in_every_shard() {
+        use crate::registry::RegistryConfig;
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        let engine = Arc::new(
+            qvsec::engine::AuditEngine::builder(schema, qvsec_data::Domain::new()).build(),
+        );
+        let registry = Arc::new(crate::registry::SessionRegistry::with_config(
+            engine,
+            RegistryConfig {
+                shards: 16,
+                idle_timeout: Some(std::time::Duration::from_millis(50)),
+            },
+        ));
+        let server = Server::bind(Arc::clone(&registry), "127.0.0.1:0", 1).unwrap();
+        let handle = server.handle().unwrap();
+        let addr = handle.addr().to_string();
+        let join = thread::spawn(move || server.run());
+        // Open sessions for tenants landing (with near-certainty) in many
+        // different shards, then go idle: the sweeper must clear them all,
+        // not just whichever shard a later request touches.
+        let opens: Vec<String> = (0..8)
+            .map(|i| format!(
+                r#"{{"op": "open", "tenant": "tenant-{i}", "secret": "S(n, p) :- Employee(n, d, p)"}}"#
+            ))
+            .collect();
+        let responses = request_lines(&addr, &opens).unwrap();
+        assert!(responses.iter().all(|r| r.starts_with(r#"{"ok":true"#)));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while registry.tenant_count() > 0 && std::time::Instant::now() < deadline {
+            thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert_eq!(registry.tenant_count(), 0, "sweeper must clear all shards");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_without_killing_the_connection() {
+        let (handle, join) = spawn_server(1);
+        let addr = handle.addr().to_string();
+        let script: Vec<String> = ["this is not json", r#"{"op": "ping"}"#]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        let responses = request_lines(&addr, &script).unwrap();
+        assert!(responses[0].starts_with(r#"{"ok":false"#));
+        assert!(responses[1].starts_with(r#"{"ok":true"#));
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+}

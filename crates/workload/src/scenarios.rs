@@ -100,6 +100,42 @@ pub fn session_publication_audit(
     Ok(reports)
 }
 
+/// The serving-layer collusion scenario: `tenants` independent publishers
+/// release the same view sequence through one shared
+/// [`qvsec_serve::SessionRegistry`] — the multi-tenant shape of the §6
+/// question ("is it safe for *this* tenant to also publish V?"), where
+/// every tenant is its own adversary coalition accumulating views.
+///
+/// All tenants share one engine, so tenant `k`'s steps are served from the
+/// artifacts tenants `< k` compiled; per-tenant verdicts are nevertheless
+/// **identical** to a dedicated single-tenant session (asserted by the
+/// tests here and measured by `bench_serve`). Returns each tenant's
+/// reports in publication order, tenants sorted by id.
+pub fn multi_tenant_publication_audit(
+    secret: &ConjunctiveQuery,
+    views: &[(String, ConjunctiveQuery)],
+    schema: &Schema,
+    domain: &Domain,
+    tenants: usize,
+) -> Result<Vec<(String, Vec<SessionReport>)>> {
+    let engine = Arc::new(AuditEngine::builder(schema.clone(), domain.clone()).build());
+    let registry = qvsec_serve::SessionRegistry::new(engine);
+    let mut out = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let tenant = format!("tenant-{t:03}");
+        let mut reports = Vec::with_capacity(views.len());
+        for (who, view) in views {
+            reports.push(
+                registry
+                    .publish(&tenant, Some(secret), Some(who.clone()), view.clone())
+                    .expect("workload publications audit cleanly"),
+            );
+        }
+        out.push((tenant, reports));
+    }
+    Ok(out)
+}
+
 /// The minimal unsafe coalitions: unsafe coalitions none of whose proper
 /// subsets are unsafe.
 pub fn minimal_unsafe_coalitions(reports: &[CoalitionReport]) -> Vec<&CoalitionReport> {
@@ -203,6 +239,48 @@ mod tests {
             steps[1].cache.crit_cache_hits > 0 && steps[2].cache.crit_cache_hits > 0,
             "warm steps reuse crit sets"
         );
+    }
+
+    #[test]
+    fn multi_tenant_reports_match_dedicated_sessions() {
+        let schema = employee_schema();
+        let mut domain = Domain::new();
+        let secret = parse_query("S(n, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let views = vec![
+            (
+                "bob".to_string(),
+                parse_query("VBob(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+            ),
+            (
+                "carol".to_string(),
+                parse_query("VCarol(d, p) :- Employee(n, d, p)", &schema, &mut domain).unwrap(),
+            ),
+        ];
+        let tenants = multi_tenant_publication_audit(&secret, &views, &schema, &domain, 3).unwrap();
+        assert_eq!(tenants.len(), 3);
+        let dedicated = session_publication_audit(&secret, &views, &schema, &domain).unwrap();
+        // Reports differ only in the session label baked into `name`.
+        let unlabelled = |report: &qvsec::AuditReport| {
+            let value = serde_json::to_value(report).unwrap();
+            let serde_json::Value::Object(entries) = value else {
+                panic!("reports serialize to objects")
+            };
+            let kept: Vec<_> = entries.into_iter().filter(|(k, _)| k != "name").collect();
+            serde_json::to_string(&serde_json::Value::Object(kept)).unwrap()
+        };
+        for (tenant, reports) in &tenants {
+            assert_eq!(reports.len(), views.len());
+            for (step, expected) in reports.iter().zip(&dedicated) {
+                assert_eq!(
+                    unlabelled(&step.report),
+                    unlabelled(&expected.report),
+                    "{tenant} step {} diverged from a dedicated session",
+                    step.step
+                );
+            }
+        }
+        // Tenants after the first ride the shared engine's warm caches.
+        assert!(tenants[1].1[0].cache.any_reuse());
     }
 
     #[test]
