@@ -119,6 +119,20 @@ impl Workload {
     /// An engine for this workload, optionally bounded by a total cache
     /// byte budget (the serve harness's eviction-pressure sweep).
     pub(crate) fn engine_with_budget(&self, budget: Option<usize>) -> AuditEngine {
+        self.builder_with_budget(budget).build()
+    }
+
+    /// A store-backed engine (the serve harness's restart-rehydration
+    /// measurement): artifacts write through to `store` and prewarm from
+    /// it on the next build.
+    pub(crate) fn engine_with_store(
+        &self,
+        store: std::sync::Arc<dyn qvsec_store::StoreBackend>,
+    ) -> AuditEngine {
+        self.builder_with_budget(None).store(store).build()
+    }
+
+    fn builder_with_budget(&self, budget: Option<usize>) -> qvsec::engine::AuditEngineBuilder {
         let mut builder = AuditEngine::builder(self.schema.clone(), self.domain.clone())
             .default_depth(self.depth)
             .mc_samples(self.mc_samples);
@@ -131,7 +145,7 @@ impl Workload {
         if let Some(total) = budget {
             builder = builder.cache_budget_bytes(total);
         }
-        builder.build()
+        builder
     }
 }
 

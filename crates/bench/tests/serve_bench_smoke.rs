@@ -35,8 +35,20 @@ fn harness_matches_the_stateless_baseline_and_survives_eviction_pressure() {
         "the budget must actually bound residency"
     );
 
+    // Restart-rehydration: the rehydrated registry must be byte-identical
+    // to the pre-crash one, with one journal record per open and publish.
+    let restart = &report.restart;
+    assert!(
+        restart.stats_match,
+        "a cold restart over the warm store diverged from the pre-crash registry"
+    );
+    assert_eq!(restart.tenants, 3);
+    assert_eq!(restart.journal_records, 3 * (3 + 1));
+    assert!(restart.fresh_nanos > 0 && restart.rehydrate_nanos > 0);
+
     let rendered = render_report(&report);
     assert!(rendered.contains("eviction-pressure sweep"));
+    assert!(rendered.contains("restart-rehydration"));
     let json = serde_json::to_string(&report).unwrap();
     let back: ServeBenchReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.workloads.len(), report.workloads.len());
@@ -76,4 +88,16 @@ fn committed_bench_serve_json_holds_the_acceptance_criteria() {
         .iter()
         .any(|p| p.budget_bytes.is_some() && p.evictions > 0));
     assert!(report.eviction_sweep.iter().all(|p| p.verdicts_match));
+    // The restart floor: rehydrating from the warm store must recover the
+    // probabilistic workload's serving state at least 5x faster than
+    // re-driving the stream through a fresh engine, byte-identically.
+    assert!(
+        report.restart.stats_match,
+        "committed restart run diverged from the pre-crash registry"
+    );
+    assert!(
+        report.restart.speedup >= 5.0,
+        "committed restart-rehydration speedup below the 5x floor: {:.2}x",
+        report.restart.speedup
+    );
 }

@@ -189,17 +189,28 @@ fn build_schema_domain(
     Ok((schema, domain))
 }
 
+/// Opens the durable store a spec (or `--store` flag) selects.
+fn open_spec_store(
+    config: &qvsec_store::StoreConfig,
+) -> Result<std::sync::Arc<dyn qvsec_store::StoreBackend>, CliError> {
+    qvsec_store::open_store(config).map_err(|e| CliError::Spec(format!("store: {e}")))
+}
+
 /// Builds an engine bound to `schema`/`domain` with the spec's defaults and
 /// (when declared) a uniform dictionary over the support space of
-/// `queries`.
+/// `queries`. With a `store`, compiled artifacts write through to it.
 fn build_engine(
     schema: Schema,
     domain: &Domain,
     defaults: &DefaultsSpec,
     dictionary: &Option<DictionarySpec>,
     queries: &[&ConjunctiveQuery],
+    store: Option<std::sync::Arc<dyn qvsec_store::StoreBackend>>,
 ) -> Result<AuditEngine, CliError> {
     let mut builder = AuditEngine::builder(schema, domain.clone());
+    if let Some(store) = store {
+        builder = builder.store(store);
+    }
     if let Some(depth) = &defaults.depth {
         builder = builder.default_depth(parse_depth(depth)?);
     }
@@ -259,7 +270,7 @@ pub fn prepare(spec: &AuditSpec) -> Result<PreparedAudit, CliError> {
         .iter()
         .flat_map(|(s, vs)| std::iter::once(s).chain(vs.iter()))
         .collect();
-    let engine = build_engine(schema, &domain, &defaults, &spec.dictionary, &queries)?;
+    let engine = build_engine(schema, &domain, &defaults, &spec.dictionary, &queries, None)?;
 
     let mut requests = Vec::new();
     for (case, (secret, views)) in spec.audits.iter().zip(parsed) {
@@ -351,6 +362,16 @@ pub fn parse_session_spec(text: &str) -> Result<SessionSpec, CliError> {
 /// serialized [`qvsec::SessionReport`] for `publish`/`candidate` steps,
 /// `{"snapshot": label}` / `{"restored": label}` markers otherwise.
 pub fn run_session_spec(text: &str) -> Result<serde_json::Value, CliError> {
+    run_session_spec_with_store(text, None)
+}
+
+/// [`run_session_spec`] with an optional durable store (the CLI's
+/// `--store <PATH>` flag): compiled artifacts rehydrate from it before the
+/// replay and write through to it, so a repeated run starts warm.
+pub fn run_session_spec_with_store(
+    text: &str,
+    store: Option<&qvsec_store::StoreConfig>,
+) -> Result<serde_json::Value, CliError> {
     let spec = parse_session_spec(text)?;
     let (schema, mut domain) = build_schema_domain(&spec.relations, &spec.constants)?;
     let defaults = spec.defaults.clone().unwrap_or_default();
@@ -385,13 +406,20 @@ pub fn run_session_spec(text: &str) -> Result<serde_json::Value, CliError> {
     let queries: Vec<&ConjunctiveQuery> = std::iter::once(&secret)
         .chain(step_views.iter().flatten())
         .collect();
+    let backend = store.map(open_spec_store).transpose()?;
     let engine = Arc::new(build_engine(
         schema,
         &domain,
         &defaults,
         &spec.dictionary,
         &queries,
+        backend,
     )?);
+    if store.is_some() {
+        engine
+            .rehydrate()
+            .map_err(|e| CliError::Audit(e.to_string()))?;
+    }
 
     let mut session = engine.open_session(secret);
     if let Some(name) = &spec.name {
@@ -459,8 +487,13 @@ pub struct ServeSpec {
     pub report_cap: Option<usize>,
     /// Registry shard count (default 16).
     pub shards: Option<usize>,
-    /// Sessions idle longer than this many seconds are expired.
+    /// Sessions idle longer than this many seconds are expired (demoted to
+    /// the store, when one is configured).
     pub idle_timeout_secs: Option<u64>,
+    /// Durable store behind the tenant journal and artifact caches, e.g.
+    /// `{"backend": "log", "path": "/var/lib/qvsec"}`. The CLI's
+    /// `--store <PATH>` flag overrides this with a log store at PATH.
+    pub store: Option<qvsec_store::StoreConfig>,
 }
 
 /// Detects the format (JSON / TOML subset) and parses a server spec.
@@ -473,11 +506,18 @@ pub fn parse_serve_spec(text: &str) -> Result<ServeSpec, CliError> {
     Ok(serde_json::from_value(&value)?)
 }
 
-/// Builds the engine and sharded registry a server spec declares.
+/// Builds the engine and sharded registry a server spec declares. With a
+/// `store` block the registry journals tenant lifecycle to it and
+/// rehydrates everything journaled before — tenants, artifacts, cache
+/// counters — so a restart is invisible to clients.
 pub fn build_registry(spec: &ServeSpec) -> Result<qvsec_serve::SessionRegistry, CliError> {
     let (schema, domain) = build_schema_domain(&spec.relations, &spec.constants)?;
     let defaults = spec.defaults.clone().unwrap_or_default();
+    let store = spec.store.as_ref().map(open_spec_store).transpose()?;
     let mut builder = AuditEngine::builder(schema.clone(), domain.clone());
+    if let Some(store) = &store {
+        builder = builder.store(Arc::clone(store));
+    }
     if let Some(depth) = &defaults.depth {
         builder = builder.default_depth(parse_depth(depth)?);
     }
@@ -520,10 +560,12 @@ pub fn build_registry(spec: &ServeSpec) -> Result<qvsec_serve::SessionRegistry, 
         shards: spec.shards.unwrap_or(16),
         idle_timeout: spec.idle_timeout_secs.map(std::time::Duration::from_secs),
     };
-    Ok(qvsec_serve::SessionRegistry::with_config(
-        Arc::new(builder.build()),
-        config,
-    ))
+    let engine = Arc::new(builder.build());
+    match store {
+        Some(store) => qvsec_serve::SessionRegistry::with_store(engine, config, store)
+            .map_err(|e| CliError::Audit(e.to_string())),
+        None => Ok(qvsec_serve::SessionRegistry::with_config(engine, config)),
+    }
 }
 
 #[cfg(test)]
@@ -730,6 +772,34 @@ views = ["V4(n) :- Employee(n, 'Mgmt', p)"]
         assert!(report.report.leakage.is_some(), "probabilistic depth ran");
         // Runtime constants outside the declared domain are rejected.
         assert!(registry.parse("W(x) :- R(x, 'z')").is_err());
+    }
+
+    #[test]
+    fn serve_specs_with_a_store_block_rehydrate_across_builds() {
+        let dir = std::env::temp_dir().join(format!("qvsec-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = format!(
+            r#"{{
+            "relations": [{{"name": "R", "attributes": ["x", "y"]}}],
+            "constants": ["a", "b"],
+            "store": {{"backend": "log", "path": {}}}
+        }}"#,
+            serde_json::to_string(&dir.display().to_string()).unwrap()
+        );
+        let spec = parse_serve_spec(&text).unwrap();
+        let registry = build_registry(&spec).unwrap();
+        let secret = registry.parse("S(x, y) :- R(x, y)").unwrap();
+        let view = registry.parse("V(x) :- R(x, y)").unwrap();
+        registry.publish("t", Some(&secret), None, view).unwrap();
+        let before = serde_json::to_string(&registry.stats()).unwrap();
+        drop(registry);
+
+        // A second build over the same spec replays the journal.
+        let reborn = build_registry(&spec).unwrap();
+        assert_eq!(reborn.tenant_count(), 1);
+        assert_eq!(serde_json::to_string(&reborn.stats()).unwrap(), before);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! qvsec-cli audit --spec specs/table1.json [--pretty] [--sequential]
 //! qvsec-cli audit --spec specs/table1.toml --out reports.json
 //! qvsec-cli session --spec specs/session_collusion.json [--pretty]
-//! qvsec-cli serve --spec specs/serve_employee.json --addr 127.0.0.1:7341 [--workers 4]
+//! qvsec-cli serve --spec specs/serve_employee.json --addr 127.0.0.1:7341 [--workers 4] [--store DIR]
 //! qvsec-cli request --addr 127.0.0.1:7341 --file specs/serve_requests.ndjson
 //! ```
 //!
@@ -22,8 +22,8 @@ qvsec-cli — query-view security audits (Miklau & Suciu, SIGMOD 2004)
 
 USAGE:
     qvsec-cli audit --spec <FILE> [OPTIONS]
-    qvsec-cli session --spec <FILE> [OPTIONS]
-    qvsec-cli serve --spec <FILE> --addr <HOST:PORT> [--workers <N>]
+    qvsec-cli session --spec <FILE> [--store <DIR>] [OPTIONS]
+    qvsec-cli serve --spec <FILE> --addr <HOST:PORT> [--workers <N>] [--store <DIR>]
     qvsec-cli request --addr <HOST:PORT> [--file <FILE>] [--out <FILE>]
 
 COMMANDS:
@@ -36,6 +36,9 @@ OPTIONS:
     --spec <FILE>    Spec, JSON or TOML (format auto-detected)
     --addr <ADDR>    Server address, e.g. 127.0.0.1:7341
     --workers <N>    (serve) connection worker threads (default 4)
+    --store <DIR>    (serve/session) durable log store at DIR: tenants and
+                     compiled artifacts persist and rehydrate on restart
+                     (overrides the spec's `store` block)
     --file <FILE>    (request) NDJSON request script (default: stdin)
     --out <FILE>     Write the output to FILE instead of stdout
     --pretty         Pretty-print the JSON output (audit/session)
@@ -57,6 +60,7 @@ struct Args {
     workers: usize,
     file: Option<String>,
     out: Option<String>,
+    store: Option<String>,
     pretty: bool,
     sequential: bool,
 }
@@ -77,6 +81,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         workers: 4,
         file: None,
         out: None,
+        store: None,
         pretty: false,
         sequential: false,
     };
@@ -92,11 +97,17 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--file" => args.file = Some(argv.next().ok_or("--file needs a file argument")?),
             "--out" => args.out = Some(argv.next().ok_or("--out needs a file argument")?),
+            "--store" => {
+                args.store = Some(argv.next().ok_or("--store needs a directory argument")?)
+            }
             "--pretty" => args.pretty = true,
             "--sequential" => args.sequential = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if args.store.is_some() && matches!(args.command, Command::Audit | Command::Request) {
+        return Err("--store only applies to `serve` and `session`".into());
     }
     match args.command {
         Command::Audit | Command::Session => {
@@ -157,13 +168,16 @@ fn run_serve(args: &Args) -> ExitCode {
         Ok(text) => text,
         Err(code) => return code,
     };
-    let spec = match qvsec_cli::parse_serve_spec(&text) {
+    let mut spec = match qvsec_cli::parse_serve_spec(&text) {
         Ok(spec) => spec,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.store {
+        spec.store = Some(qvsec_store::StoreConfig::log_at(path.clone()));
+    }
     let registry = match qvsec_cli::build_registry(&spec) {
         Ok(registry) => registry,
         Err(e) => {
@@ -255,7 +269,13 @@ fn main() -> ExitCode {
     };
     let run = match args.command {
         Command::Audit => qvsec_cli::run_spec(&text, args.sequential),
-        Command::Session => qvsec_cli::run_session_spec(&text),
+        Command::Session => {
+            let store = args
+                .store
+                .as_ref()
+                .map(|path| qvsec_store::StoreConfig::log_at(path.clone()));
+            qvsec_cli::run_session_spec_with_store(&text, store.as_ref())
+        }
         _ => unreachable!("serve/request handled above"),
     };
     let reports = match run {

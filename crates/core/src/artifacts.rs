@@ -34,10 +34,38 @@ use crate::critical::{self, ClassVerdictCache, CritStats};
 use crate::Result;
 use qvsec_cq::{CanonicalKey, ConjunctiveQuery};
 use qvsec_data::{Domain, LruCache, Tuple, TupleSpace};
+use qvsec_store::{StoreBackend, StoreOp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Store namespace of materialized `crit_D(Q)` sets.
+pub const NS_CRIT: &str = "artifacts/crit";
+/// Store namespace of interned candidate spaces.
+pub const NS_SPACE: &str = "artifacts/space";
+/// Store namespace of symmetry-class verdict caches.
+pub const NS_CLASS: &str = "artifacts/class";
+
+/// Store key of a (canonical form, active-domain size) artifact. The
+/// fixed-width size prefix keeps keys self-describing (forms may contain
+/// anything) and store scans grouped by domain size.
+fn domain_key(form: &str, domain_size: usize) -> String {
+    format!("{domain_size:08}:{form}")
+}
+
+/// Inverse of [`domain_key`]. The first `:` always terminates the
+/// fixed-width size prefix, so forms containing `:` parse correctly.
+fn parse_domain_key(key: &str) -> Option<(usize, &str)> {
+    let (size, form) = key.split_once(':')?;
+    Some((size.parse().ok()?, form))
+}
+
+/// Store failures during prewarm surface as engine errors (unlike the
+/// best-effort write-through path).
+fn store_err(e: qvsec_store::StoreError) -> crate::QvsError {
+    crate::QvsError::Invalid(format!("artifact store: {e}"))
+}
 
 /// A per-domain memo keyed by (canonical query form, active-domain size),
 /// bounded by a byte budget.
@@ -107,6 +135,11 @@ pub struct CompiledArtifacts {
     crit_misses: AtomicU64,
     space_hits: AtomicU64,
     space_misses: AtomicU64,
+    /// Optional write-through persistence. Every computed artifact is
+    /// mirrored into the store, so LRU eviction *demotes* (the entry
+    /// remains fetchable) instead of dropping; a resident miss falls back
+    /// to the store before recomputing.
+    store: Option<Arc<dyn StoreBackend>>,
 }
 
 impl Default for CompiledArtifacts {
@@ -123,6 +156,15 @@ impl CompiledArtifacts {
 
     /// An empty artifact store bounded by `budget`.
     pub fn with_budget(budget: ArtifactBudget) -> Self {
+        Self::with_budget_and_store(budget, None)
+    }
+
+    /// An empty artifact store bounded by `budget`, writing every computed
+    /// artifact through into `store` (when given).
+    pub fn with_budget_and_store(
+        budget: ArtifactBudget,
+        store: Option<Arc<dyn StoreBackend>>,
+    ) -> Self {
         CompiledArtifacts {
             crit_sets: Mutex::new(LruCache::new(budget.crit_bytes)),
             spaces: Mutex::new(LruCache::new(budget.space_bytes)),
@@ -132,6 +174,16 @@ impl CompiledArtifacts {
             crit_misses: AtomicU64::new(0),
             space_hits: AtomicU64::new(0),
             space_misses: AtomicU64::new(0),
+            store,
+        }
+    }
+
+    /// Best-effort write-through: artifact persistence must never fail an
+    /// audit (the store is a cache tier here — the durable journal of
+    /// tenant state lives in the serving layer and *does* surface errors).
+    fn persist(&self, ns: &str, key: String, value: Vec<u8>) {
+        if let Some(store) = &self.store {
+            let _ = store.append_batch(ns, vec![StoreOp::Put { key, value }]);
         }
     }
 
@@ -193,6 +245,16 @@ impl CompiledArtifacts {
             self.crit_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
+        // A demoted (evicted-but-persisted) artifact is promoted back and
+        // counted as a hit: no kernel work ran.
+        let store_key = domain_key(key.form(), active.len());
+        if let Some(set) = self.fetch::<Vec<Tuple>>(NS_CRIT, &store_key) {
+            self.crit_hits.fetch_add(1, Ordering::Relaxed);
+            let promoted = Arc::new(set.into_iter().collect::<BTreeSet<Tuple>>());
+            let bytes = crit_set_bytes(&promoted) + memo_key.0.len();
+            let mut memo = self.crit_sets.lock().expect("crit memo poisoned");
+            return Ok(Arc::clone(memo.insert(memo_key, promoted, bytes)));
+        }
         self.crit_misses.fetch_add(1, Ordering::Relaxed);
         // Compute outside the lock so concurrent audits of distinct queries
         // do not serialize; a racing duplicate insert is harmless.
@@ -205,16 +267,39 @@ impl CompiledArtifacts {
             classes.as_deref(),
         )?);
         // The kernel may have grown the shared class cache; re-weigh it so
-        // the class-layer budget sees the growth.
+        // the class-layer budget sees the growth, and mirror the grown
+        // verdict map into the store.
         if let Some(classes) = &classes {
             self.class_verdicts
                 .lock()
                 .expect("class memo poisoned")
                 .set_bytes(key.form(), classes.approx_bytes());
+            if self.store.is_some() {
+                if let Ok(encoded) = serde_json::to_string(&classes.export()) {
+                    self.persist(NS_CLASS, key.form().to_string(), encoded.into_bytes());
+                }
+            }
+        }
+        if self.store.is_some() {
+            let tuples: Vec<&Tuple> = computed.iter().collect();
+            if let Ok(encoded) = serde_json::to_string(&tuples) {
+                self.persist(NS_CRIT, store_key, encoded.into_bytes());
+            }
         }
         let bytes = crit_set_bytes(&computed) + memo_key.0.len();
         let mut memo = self.crit_sets.lock().expect("crit memo poisoned");
         Ok(Arc::clone(memo.insert(memo_key, computed, bytes)))
+    }
+
+    /// Reads and decodes one persisted artifact; `None` on any miss or
+    /// decode failure (the artifact is then recomputed).
+    fn fetch<T: serde::Deserialize>(&self, ns: &str, key: &str) -> Option<T> {
+        let store = self.store.as_ref()?;
+        let bytes = store.get(ns, key).ok()??;
+        let text = String::from_utf8(bytes).ok()?;
+        serde_json::parse(&text)
+            .and_then(|v| serde_json::from_value(&v))
+            .ok()
     }
 
     /// Computes (or fetches) the interned candidate space of `query` over
@@ -235,11 +320,91 @@ impl CompiledArtifacts {
             self.space_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
+        let store_key = domain_key(&memo_key.0, active.len());
+        if let Some(tuples) = self.fetch::<Vec<Tuple>>(NS_SPACE, &store_key) {
+            self.space_hits.fetch_add(1, Ordering::Relaxed);
+            let promoted = Arc::new(TupleSpace::from_tuples(tuples));
+            let bytes = space_bytes(&promoted) + memo_key.0.len();
+            let mut memo = self.spaces.lock().expect("space memo poisoned");
+            return Ok(Arc::clone(memo.insert(memo_key, promoted, bytes)));
+        }
         self.space_misses.fetch_add(1, Ordering::Relaxed);
         let computed = Arc::new(critical::candidate_space(query, active, cap)?);
+        if self.store.is_some() {
+            if let Ok(encoded) = serde_json::to_string(&computed.tuples()) {
+                self.persist(NS_SPACE, store_key, encoded.into_bytes());
+            }
+        }
         let bytes = space_bytes(&computed) + memo_key.0.len();
         let mut memo = self.spaces.lock().expect("space memo poisoned");
         Ok(Arc::clone(memo.insert(memo_key, computed, bytes)))
+    }
+
+    /// Repopulates the resident memo layers from the store, **without**
+    /// touching any hit/miss counter — a rehydrated engine's counters
+    /// continue from wherever the journal's baseline puts them, and the
+    /// prewarmed entries make the next requests hit exactly as they would
+    /// have in the uninterrupted process. Entries are inserted in store
+    /// scan (key) order with the same byte weights the compute path uses,
+    /// so the resident-bytes gauge is reproduced byte-for-byte.
+    pub fn prewarm_from_store(&self) -> Result<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let decode = |bytes: Vec<u8>| -> Option<serde_json::Value> {
+            serde_json::parse(&String::from_utf8(bytes).ok()?).ok()
+        };
+        let entries = store.scan(NS_CRIT).map_err(store_err)?;
+        for (key, bytes) in entries {
+            let Some((size, form)) = parse_domain_key(&key) else {
+                continue;
+            };
+            let Some(set) =
+                decode(bytes).and_then(|v| serde_json::from_value::<Vec<Tuple>>(&v).ok())
+            else {
+                continue;
+            };
+            let set = Arc::new(set.into_iter().collect::<BTreeSet<Tuple>>());
+            let weight = crit_set_bytes(&set) + form.len();
+            self.crit_sets.lock().expect("crit memo poisoned").insert(
+                (form.to_string(), size),
+                set,
+                weight,
+            );
+        }
+        let entries = store.scan(NS_SPACE).map_err(store_err)?;
+        for (key, bytes) in entries {
+            let Some((size, form)) = parse_domain_key(&key) else {
+                continue;
+            };
+            let Some(tuples) =
+                decode(bytes).and_then(|v| serde_json::from_value::<Vec<Tuple>>(&v).ok())
+            else {
+                continue;
+            };
+            let space = Arc::new(TupleSpace::from_tuples(tuples));
+            let weight = space_bytes(&space) + form.len();
+            self.spaces.lock().expect("space memo poisoned").insert(
+                (form.to_string(), size),
+                space,
+                weight,
+            );
+        }
+        let entries = store.scan(NS_CLASS).map_err(store_err)?;
+        for (form, bytes) in entries {
+            let Some(verdicts) = decode(bytes).and_then(|v| {
+                serde_json::from_value::<Vec<(critical::TuplePattern, bool)>>(&v).ok()
+            }) else {
+                continue;
+            };
+            let cache = Arc::new(ClassVerdictCache::import(verdicts));
+            let weight = cache.approx_bytes();
+            self.class_verdicts
+                .lock()
+                .expect("class memo poisoned")
+                .insert(form, cache, weight);
+        }
+        Ok(())
     }
 
     /// A snapshot of the artifact-layer hit/miss/eviction counters and

@@ -78,7 +78,11 @@ use crate::session::AuditSession;
 use crate::{QvsError, Result};
 use qvsec_cq::{ConjunctiveQuery, ViewSet};
 use qvsec_data::{Dictionary, Domain, Ratio, Schema, Tuple};
-use qvsec_prob::kernel::{EstimatorReport, KernelConfig, ProbKernel, ProbStatsSnapshot};
+use qvsec_prob::kernel::{
+    EstimatorReport, KernelConfig, ProbKernel, ProbStatsSnapshot, NS_KERNEL_COLUMNS,
+    NS_KERNEL_COMPILE,
+};
+use qvsec_store::StoreBackend;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -296,6 +300,7 @@ pub struct AuditEngineBuilder {
     default_depth: AuditDepth,
     prob_config: KernelConfig,
     artifact_budget: ArtifactBudget,
+    store: Option<Arc<dyn StoreBackend>>,
 }
 
 impl AuditEngineBuilder {
@@ -310,6 +315,7 @@ impl AuditEngineBuilder {
             default_depth: AuditDepth::default(),
             prob_config: KernelConfig::default(),
             artifact_budget: ArtifactBudget::unbounded(),
+            store: None,
         }
     }
 
@@ -395,6 +401,17 @@ impl AuditEngineBuilder {
         self
     }
 
+    /// Backs every artifact cache — crit sets, candidate spaces, class
+    /// verdicts, kernel compilations, pool columns — with a durable store:
+    /// artifacts are written through at compute time and revived on a
+    /// resident-cache miss, so LRU eviction demotes instead of discarding
+    /// and [`AuditEngine::rehydrate`] rebuilds a byte-identical warm engine
+    /// after a restart. The LRU byte budgets still bound resident memory.
+    pub fn store(mut self, store: Arc<dyn StoreBackend>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> AuditEngine {
         AuditEngine {
@@ -405,8 +422,13 @@ impl AuditEngineBuilder {
             candidate_cap: self.candidate_cap,
             default_depth: self.default_depth,
             prob_config: self.prob_config,
-            artifacts: CompiledArtifacts::with_budget(self.artifact_budget),
+            artifacts: CompiledArtifacts::with_budget_and_store(
+                self.artifact_budget,
+                self.store.clone(),
+            ),
             prob_kernel: OnceLock::new(),
+            store: self.store,
+            stats_baseline: OnceLock::new(),
         }
     }
 }
@@ -452,6 +474,15 @@ pub struct AuditEngine {
     /// `Probabilistic` audit and reused (pool included) for the engine's
     /// whole lifetime.
     prob_kernel: OnceLock<Arc<ProbKernel>>,
+    /// Optional durable backing shared by every cache layer (also handed
+    /// to the kernel when it is built).
+    store: Option<Arc<dyn StoreBackend>>,
+    /// Counter offset from a previous process's journaled snapshot, set by
+    /// [`AuditEngine::set_stats_baseline`] during rehydration and added to
+    /// the monotonic fields of [`AuditEngine::cache_stats`] — so a
+    /// restarted engine's cumulative statistics continue where the crashed
+    /// process stopped, and per-step deltas cancel the offset entirely.
+    stats_baseline: OnceLock<CacheStatsSnapshot>,
 }
 
 // The engine is shared across audit worker threads.
@@ -512,7 +543,7 @@ impl AuditEngine {
         let artifacts: ArtifactCounters = self.artifacts.counters();
         let crit = self.artifacts.crit_stats().snapshot();
         let prob = self.prob_stats();
-        CacheStatsSnapshot {
+        let mut snap = CacheStatsSnapshot {
             crit_cache_hits: artifacts.crit_cache_hits,
             crit_cache_misses: artifacts.crit_cache_misses,
             space_cache_hits: artifacts.space_cache_hits,
@@ -527,7 +558,15 @@ impl AuditEngine {
             evictions: artifacts.evictions + prob.evictions,
             evicted_bytes: artifacts.evicted_bytes + prob.evicted_bytes,
             resident_bytes: artifacts.resident_bytes + prob.resident_bytes,
+        };
+        if let Some(base) = self.stats_baseline.get() {
+            // The baseline shifts monotonic counters only: resident bytes
+            // are a gauge, reproduced directly by rehydration's prewarm.
+            let resident = snap.resident_bytes;
+            snap.accumulate(base);
+            snap.resident_bytes = resident;
         }
+        snap
     }
 
     /// Opens an [`AuditSession`] for `secret`: a long-lived handle that
@@ -560,8 +599,50 @@ impl AuditEngine {
     /// The probabilistic kernel, built against the engine's dictionary on
     /// first use.
     fn kernel(&self, dict: &Arc<Dictionary>) -> &Arc<ProbKernel> {
-        self.prob_kernel
-            .get_or_init(|| Arc::new(ProbKernel::new(Arc::clone(dict), self.prob_config)))
+        self.prob_kernel.get_or_init(|| {
+            Arc::new(ProbKernel::with_store(
+                Arc::clone(dict),
+                self.prob_config,
+                self.store.clone(),
+            ))
+        })
+    }
+
+    /// Installs the counter baseline a rehydrated engine continues from
+    /// (typically the last journaled [`CacheStatsSnapshot`] of the previous
+    /// process). First call wins; later calls are ignored.
+    pub fn set_stats_baseline(&self, baseline: CacheStatsSnapshot) {
+        let _ = self.stats_baseline.set(baseline);
+    }
+
+    /// Rehydrates the engine's caches from its durable store after a
+    /// restart: the artifact layers (crit sets, candidate spaces, class
+    /// verdicts) are prewarmed, and — when the store holds kernel
+    /// artifacts and a dictionary is configured — the probabilistic kernel
+    /// is built and prewarmed too, including a counter-free prebuild of
+    /// the shared sample pool when persisted columns prove the previous
+    /// process ran the Monte-Carlo path. A no-op without a store.
+    pub fn rehydrate(&self) -> Result<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        self.artifacts.prewarm_from_store()?;
+        if let Some(dict) = self.dictionary.clone() {
+            let has_kernel_artifacts = !store
+                .scan(NS_KERNEL_COMPILE)
+                .map_err(|e| QvsError::Invalid(format!("artifact store: {e}")))?
+                .is_empty()
+                || !store
+                    .scan(NS_KERNEL_COLUMNS)
+                    .map_err(|e| QvsError::Invalid(format!("artifact store: {e}")))?
+                    .is_empty();
+            if has_kernel_artifacts {
+                self.kernel(&dict)
+                    .prewarm_from_store()
+                    .map_err(|e| QvsError::Invalid(format!("artifact store: {e}")))?;
+            }
+        }
+        Ok(())
     }
 
     /// Computes (or fetches) `crit_D(Q)` over `active` through the

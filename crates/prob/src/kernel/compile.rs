@@ -78,7 +78,27 @@ impl CompiledQuery {
             answers.push(answer);
             witnesses.push(minimal(wits));
         }
-        let masks = (space.len() <= 64).then(|| {
+        CompiledQuery::from_parts(answers, witnesses, space.len())
+    }
+
+    /// The compilation's portable parts — the sorted answers and their
+    /// minimal witnesses. Everything else (`u64` masks, chunked bitsets,
+    /// signature width) is derived, so [`CompiledQuery::from_parts`]
+    /// rebuilds an identical compilation from these two lists plus the
+    /// space size.
+    pub fn export_parts(&self) -> (Vec<Answer>, Vec<Vec<Vec<usize>>>) {
+        (self.answers.clone(), self.witnesses.clone())
+    }
+
+    /// Rebuilds a compilation from its portable parts against a space of
+    /// `space_len` tuples, reconstructing the derived evaluation forms
+    /// exactly as [`CompiledQuery::compile`] would.
+    pub fn from_parts(
+        answers: Vec<Answer>,
+        witnesses: Vec<Vec<Vec<usize>>>,
+        space_len: usize,
+    ) -> CompiledQuery {
+        let masks = (space_len <= 64).then(|| {
             witnesses
                 .iter()
                 .map(|per_answer| {
@@ -95,7 +115,7 @@ impl CompiledQuery {
                 per_answer
                     .iter()
                     .map(|w| {
-                        let mut b = BitSet::new(space.len());
+                        let mut b = BitSet::new(space_len);
                         for &i in w {
                             b.insert(i);
                         }
@@ -267,6 +287,28 @@ mod tests {
         assert_eq!(wits.len(), 2);
         let sizes: Vec<usize> = wits.iter().map(|w| w.len()).collect();
         assert!(sizes.contains(&1) && sizes.contains(&2));
+    }
+
+    #[test]
+    fn from_parts_rebuilds_an_identical_compilation() {
+        let (schema, mut domain, space) = setup();
+        let q = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let compiled = CompiledQuery::compile(&q, &space);
+        let (answers, witnesses) = compiled.export_parts();
+        let revived = CompiledQuery::from_parts(answers, witnesses, space.len());
+        assert_eq!(revived.answers(), compiled.answers());
+        assert_eq!(revived.sig_words(), compiled.sig_words());
+        assert_eq!(revived.approx_bytes(), compiled.approx_bytes());
+        for (mask, _) in space.instances().unwrap() {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            compiled.push_answer_bits_mask(mask, &mut a);
+            revived.push_answer_bits_mask(mask, &mut b);
+            assert_eq!(a, b, "world {mask:b}");
+            let world = qvsec_data::bitset::BitSet::from_mask(space.len(), mask);
+            let mut c = Vec::new();
+            revived.push_answer_bits_world(&world, &mut c);
+            assert_eq!(a, c);
+        }
     }
 
     #[test]

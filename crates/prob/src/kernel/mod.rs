@@ -42,9 +42,25 @@ use qvsec_cq::eval::{Answer, AnswerSet};
 use qvsec_cq::{canonical_form, ConjunctiveQuery, ViewSet};
 use qvsec_data::bitset::MAX_ENUMERABLE;
 use qvsec_data::{Dictionary, LruCache, Ratio, Result, TupleSpace};
+use qvsec_store::{StoreBackend, StoreOp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Store namespace of persisted query compilations (answers + minimal
+/// witnesses; the evaluation forms are derived on revival).
+pub const NS_KERNEL_COMPILE: &str = "kernel/compile";
+/// Store namespace of persisted pooled answer-bit columns. Keys carry the
+/// pool identity (seed and sample count) ahead of the canonical form, so a
+/// reconfigured kernel never revives columns drawn over a different pool.
+pub const NS_KERNEL_COLUMNS: &str = "kernel/columns";
+
+/// Best-effort JSON decode of a persisted value; `None` on any mismatch.
+fn decode_json<T: serde::Deserialize>(bytes: &[u8]) -> Option<T> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let value = serde_json::parse(text).ok()?;
+    serde_json::from_value(&value).ok()
+}
 
 /// Kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -180,11 +196,25 @@ pub struct ProbKernel {
     /// a later session step, a republished view — skips the per-world
     /// witness tests entirely. Bounded by [`KernelConfig::column_budget`].
     pool_columns: Mutex<LruCache<String, Arc<Vec<u64>>>>,
+    /// Optional durable backing: compilations and pool columns are written
+    /// through at compute time and revived on a resident-cache miss, so
+    /// LRU eviction demotes instead of discarding.
+    store: Option<Arc<dyn StoreBackend>>,
 }
 
 impl ProbKernel {
     /// Builds a kernel over `dict` with the given configuration.
     pub fn new(dict: Arc<Dictionary>, config: KernelConfig) -> Self {
+        Self::with_store(dict, config, None)
+    }
+
+    /// Builds a kernel whose compile and column caches are backed by a
+    /// durable store (write-through on compute, revival on miss).
+    pub fn with_store(
+        dict: Arc<Dictionary>,
+        config: KernelConfig,
+        store: Option<Arc<dyn StoreBackend>>,
+    ) -> Self {
         let space = Arc::new(dict.space().clone());
         ProbKernel {
             dict,
@@ -194,7 +224,97 @@ impl ProbKernel {
             pool: OnceLock::new(),
             compiled: Mutex::new(LruCache::new(config.compile_budget)),
             pool_columns: Mutex::new(LruCache::new(config.column_budget)),
+            store,
         }
+    }
+
+    /// Key of a pool column in [`NS_KERNEL_COLUMNS`]: the pool identity
+    /// (seed, sample count) then the canonical form. The first two `:` end
+    /// fixed-width fields, so forms containing `:` parse unambiguously.
+    fn column_key(&self, form: &str) -> String {
+        format!(
+            "{:016x}:{:08}:{form}",
+            self.config.seed, self.config.samples
+        )
+    }
+
+    /// Best-effort write-through of one artifact. Persistence failures are
+    /// deliberately swallowed: the durable journal of tenant state lives in
+    /// the serving layer and *does* surface errors, whereas a kernel cache
+    /// entry that fails to persist merely recompiles after a restart.
+    fn persist(&self, ns: &str, key: &str, value: String) {
+        if let Some(store) = &self.store {
+            let _ = store.append_batch(ns, vec![StoreOp::put(key, value.into_bytes())]);
+        }
+    }
+
+    fn fetch<T: serde::Deserialize>(&self, ns: &str, key: &str) -> Option<T> {
+        let store = self.store.as_ref()?;
+        decode_json(&store.get(ns, key).ok()??)
+    }
+
+    /// Rehydrates the resident caches from the store: every persisted
+    /// compilation and matching pool column is decoded and inserted with
+    /// the same byte weights the compute path charges. Counter-neutral —
+    /// hits, misses and samples accrue only to live audits, so a restarted
+    /// process layered on a journaled counter baseline reports the same
+    /// per-step statistics a continuously-running process would. When any
+    /// column matches this kernel's pool identity the shared pool is
+    /// prebuilt (without counting a draw): the first Monte-Carlo audit
+    /// after a restart then reuses worlds exactly like a warm process.
+    pub fn prewarm_from_store(&self) -> qvsec_store::Result<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        for (key, value) in store.scan(NS_KERNEL_COMPILE)? {
+            let Some((answers, witnesses)) =
+                decode_json::<(Vec<Answer>, Vec<Vec<Vec<usize>>>)>(&value)
+            else {
+                continue;
+            };
+            let revived = Arc::new(CompiledQuery::from_parts(
+                answers,
+                witnesses,
+                self.space.len(),
+            ));
+            let bytes = revived.approx_bytes() + key.len();
+            self.compiled
+                .lock()
+                .expect("compile cache poisoned")
+                .insert(key, revived, bytes);
+        }
+        let prefix = self.column_key("");
+        let mut any_columns = false;
+        for (key, value) in store.scan(NS_KERNEL_COLUMNS)? {
+            if !key.starts_with(&prefix) {
+                continue;
+            }
+            let Some(column) = decode_json::<Vec<u64>>(&value) else {
+                continue;
+            };
+            any_columns = true;
+            // The resident cache keys by bare canonical form (the pool
+            // identity is implicit in the kernel); strip the store prefix
+            // so byte weights and lookups match the compute path.
+            let form = key[prefix.len()..].to_string();
+            let column = Arc::new(column);
+            let bytes = 8 * column.len() + form.len() + 24;
+            self.pool_columns
+                .lock()
+                .expect("column cache poisoned")
+                .insert(form, column, bytes);
+        }
+        if any_columns {
+            self.pool.get_or_init(|| {
+                Arc::new(SamplePool::generate(
+                    &self.dict,
+                    Arc::clone(&self.space),
+                    self.config.samples,
+                    self.config.seed,
+                ))
+            });
+        }
+        Ok(())
     }
 
     /// The dictionary the kernel evaluates against.
@@ -275,9 +395,30 @@ impl ProbKernel {
             self.stats.add_compile_hit();
             return Arc::clone(hit);
         }
+        // Store fallback: a compilation persisted by an earlier process (or
+        // demoted by LRU eviction) is decoded instead of recompiled — no
+        // homomorphism search runs, so it counts as a hit.
+        if let Some((answers, witnesses)) =
+            self.fetch::<(Vec<Answer>, Vec<Vec<Vec<usize>>>)>(NS_KERNEL_COMPILE, &key)
+        {
+            self.stats.add_compile_hit();
+            let revived = Arc::new(CompiledQuery::from_parts(
+                answers,
+                witnesses,
+                self.space.len(),
+            ));
+            let bytes = revived.approx_bytes() + key.len();
+            let mut cache = self.compiled.lock().expect("compile cache poisoned");
+            return Arc::clone(cache.insert(key, revived, bytes));
+        }
         // Compile outside the lock; a racing duplicate insert is harmless.
         let fresh = Arc::new(CompiledQuery::compile(query, &self.space));
         self.stats.add_query_compiled();
+        if self.store.is_some() {
+            if let Ok(text) = serde_json::to_string(&fresh.export_parts()) {
+                self.persist(NS_KERNEL_COMPILE, &key, text);
+            }
+        }
         let bytes = fresh.approx_bytes() + key.len();
         let mut cache = self.compiled.lock().expect("compile cache poisoned");
         Arc::clone(cache.insert(key, fresh, bytes))
@@ -296,8 +437,23 @@ impl ProbKernel {
             self.stats.add_pool_column_hit();
             return Arc::clone(hit);
         }
+        // Store fallback: a column drawn over the same pool identity in an
+        // earlier process (or demoted by eviction) is revived instead of
+        // re-tested per world, and counts as a hit.
+        if let Some(column) = self.fetch::<Vec<u64>>(NS_KERNEL_COLUMNS, &self.column_key(key)) {
+            self.stats.add_pool_column_hit();
+            let column = Arc::new(column);
+            let bytes = 8 * column.len() + key.len() + 24;
+            let mut cache = self.pool_columns.lock().expect("column cache poisoned");
+            return Arc::clone(cache.insert(key.to_string(), column, bytes));
+        }
         let fresh = Arc::new(montecarlo::world_column(pool, query));
         self.stats.add_pool_column_built();
+        if self.store.is_some() {
+            if let Ok(text) = serde_json::to_string(fresh.as_ref()) {
+                self.persist(NS_KERNEL_COLUMNS, &self.column_key(key), text);
+            }
+        }
         let bytes = 8 * fresh.len() + key.len() + 24;
         let mut cache = self.pool_columns.lock().expect("column cache poisoned");
         Arc::clone(cache.insert(key.to_string(), fresh, bytes))
@@ -797,6 +953,53 @@ mod tests {
             audit.independence.violations
         );
         assert!(audit.leakage.max_leak.is_zero());
+    }
+
+    #[test]
+    fn store_backed_kernel_rehydrates_compilations_columns_and_pool() {
+        let (schema, mut domain, dict) = setup();
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let views = ViewSet::single(v);
+        let config = KernelConfig {
+            exact_cutover: 0,
+            samples: 2000,
+            seed: 29,
+            ..KernelConfig::default()
+        };
+        let store: Arc<dyn qvsec_store::StoreBackend> = Arc::new(qvsec_store::MemStore::new());
+        let first = ProbKernel::with_store(Arc::clone(&dict), config, Some(Arc::clone(&store)));
+        let before = first.evaluate(&s, &views).unwrap();
+        assert_eq!(first.stats().queries_compiled, 2);
+        assert_eq!(first.stats().pool_columns_built, 2);
+
+        // "Restart": a fresh kernel over the same store revives everything.
+        let second = ProbKernel::with_store(dict, config, Some(store));
+        second.prewarm_from_store().unwrap();
+        assert_eq!(second.compiled_queries(), 2);
+        let after = second.evaluate(&s, &views).unwrap();
+        assert_eq!(
+            before.independence.violations,
+            after.independence.violations
+        );
+        assert_eq!(before.leakage, after.leakage);
+        let snap = second.stats();
+        assert_eq!(
+            snap.queries_compiled, 0,
+            "prewarm revives, never recompiles"
+        );
+        assert_eq!(snap.compile_cache_hits, 2);
+        assert_eq!(snap.pool_columns_built, 0);
+        assert_eq!(snap.pool_column_hits, 2);
+        assert_eq!(
+            snap.samples_drawn, 0,
+            "pool prebuilt without counting a draw"
+        );
+        assert_eq!(
+            snap.samples_reused,
+            3 * 2000,
+            "shared_pool reuse + pass reuse"
+        );
     }
 
     #[test]

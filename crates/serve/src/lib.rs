@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod journal;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
+pub use journal::{Journal, JournalEvent, TenantStoreUsage, NS_JOURNAL};
 pub use protocol::{handle_request, WireRequest};
 pub use registry::{RegistryConfig, RegistryStats, ServeError, SessionRegistry, TenantStats};
 pub use server::{request_lines, Server, ServerHandle};

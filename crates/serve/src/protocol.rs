@@ -11,8 +11,13 @@
 //! {"op": "restore",   "tenant": "alice", "label": "pre-carol"}
 //! {"op": "stats"}
 //! {"op": "ping"}
+//! {"op": "persist"}
 //! {"op": "shutdown"}
 //! ```
+//!
+//! `persist` flushes the durable store (when the server was started with
+//! one — see the CLI's `--store`) and reports the backend name; without a
+//! store it answers `{"ok": true, "persisted": false}`.
 //!
 //! `publish`/`candidate` on a tenant with no session require a `secret`
 //! field (which opens one); established tenants omit it. Responses are
@@ -34,7 +39,7 @@ use serde_json::Value;
 #[derive(Debug, Clone, Default, Deserialize)]
 pub struct WireRequest {
     /// The operation: `open` | `publish` | `candidate` | `snapshot` |
-    /// `restore` | `stats` | `ping` | `shutdown`.
+    /// `restore` | `stats` | `ping` | `persist` | `shutdown`.
     pub op: String,
     /// Tenant id (required for every per-tenant op).
     pub tenant: Option<String>,
@@ -125,12 +130,19 @@ fn dispatch(registry: &SessionRegistry, request: &WireRequest) -> crate::Result<
                 ("views_published".to_string(), Value::Int(views as i128)),
             ]))
         }
+        "persist" => match registry.flush_store()? {
+            Some(backend) => Ok(ok(vec![
+                ("persisted".to_string(), Value::Bool(true)),
+                ("backend".to_string(), Value::Str(backend.to_string())),
+            ])),
+            None => Ok(ok(vec![("persisted".to_string(), Value::Bool(false))])),
+        },
         "shutdown" => Ok(ok(vec![(
             "shutdown".to_string(),
             Value::Bool(true),
         )])),
         other => Err(ServeError::Parse(format!(
-            "unknown op `{other}` (expected open | publish | candidate | snapshot | restore | stats | ping | shutdown)"
+            "unknown op `{other}` (expected open | publish | candidate | snapshot | restore | stats | ping | persist | shutdown)"
         ))),
     }
 }
@@ -231,5 +243,28 @@ mod tests {
         let (response, shutdown) = handle_request(&reg, r#"{"op": "shutdown"}"#);
         assert!(shutdown);
         assert_eq!(response.field("ok"), &Value::Bool(true));
+    }
+
+    #[test]
+    fn persist_reports_the_store_backend_or_its_absence() {
+        let reg = registry();
+        let (response, _) = handle_request(&reg, r#"{"op": "persist"}"#);
+        assert_eq!(response.field("ok"), &Value::Bool(true));
+        assert_eq!(response.field("persisted"), &Value::Bool(false));
+
+        let store: Arc<dyn qvsec_store::StoreBackend> = Arc::new(qvsec_store::MemStore::new());
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        let engine = Arc::new(
+            AuditEngine::builder(schema, Domain::new())
+                .store(Arc::clone(&store))
+                .build(),
+        );
+        let durable =
+            SessionRegistry::with_store(engine, crate::registry::RegistryConfig::default(), store)
+                .unwrap();
+        let (response, _) = handle_request(&durable, r#"{"op": "persist"}"#);
+        assert_eq!(response.field("persisted"), &Value::Bool(true));
+        assert_eq!(response.field("backend"), &Value::Str("mem".to_string()));
     }
 }

@@ -18,10 +18,12 @@
 //! transparent: a restored session re-derives anything evicted (see
 //! `tests/eviction_equivalence.rs` in the workspace root).
 
+use crate::journal::{decode_event, Journal, JournalEvent, NS_JOURNAL};
 use qvsec::engine::{AuditEngine, AuditOptions};
 use qvsec::session::{AuditSession, SessionReport, SessionSnapshot};
 use qvsec::QvsError;
 use qvsec_cq::{canonical_form, ConjunctiveQuery};
+use qvsec_store::StoreBackend;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -45,6 +47,10 @@ pub enum ServeError {
     UnknownSnapshot(String),
     /// The underlying audit failed.
     Audit(QvsError),
+    /// The durable store failed (journal append/replay, demoted-tenant
+    /// revival). Cache-artifact persistence never raises this — losing an
+    /// artifact only costs a recomputation.
+    Store(String),
 }
 
 impl fmt::Display for ServeError {
@@ -66,6 +72,7 @@ impl fmt::Display for ServeError {
             ),
             ServeError::UnknownSnapshot(l) => write!(f, "no snapshot labelled `{l}`"),
             ServeError::Audit(e) => write!(f, "audit error: {e}"),
+            ServeError::Store(m) => write!(f, "store error: {m}"),
         }
     }
 }
@@ -149,6 +156,14 @@ pub struct SessionRegistry {
     idle_timeout: Option<Duration>,
     requests: AtomicU64,
     expired: AtomicU64,
+    /// The durable lifecycle journal ([`SessionRegistry::with_store`]);
+    /// `None` keeps today's purely in-memory behaviour.
+    journal: Option<Journal>,
+    /// Tenants demoted to the store by idle expiry: tenant id → sequence
+    /// number of the self-contained `expire` journal record. Only the
+    /// pointer stays resident; the state lives in the store until the
+    /// tenant's next request revives it.
+    demoted: Mutex<HashMap<String, u64>>,
 }
 
 // The registry is the shared state of the serving threads.
@@ -185,7 +200,121 @@ impl SessionRegistry {
             idle_timeout: config.idle_timeout,
             requests: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            journal: None,
+            demoted: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// A durable registry: rehydrates the engine's artifact caches and
+    /// every journaled tenant from `store`, then journals all further
+    /// lifecycle events to it.
+    ///
+    /// Replay restores, per tenant, the state after its last completed
+    /// request — session prefix, labelled snapshots, request count — plus
+    /// the registry-wide counters and the engine's cache-statistics
+    /// baseline, so a SIGKILLed process restarted over the same store
+    /// answers the remainder of a request script byte-identically to a
+    /// process that never died. The engine should have been built with the
+    /// same store (see `AuditEngineBuilder::store`) so cache artifacts
+    /// rehydrate alongside tenant state.
+    pub fn with_store(
+        engine: Arc<AuditEngine>,
+        config: RegistryConfig,
+        store: Arc<dyn StoreBackend>,
+    ) -> crate::Result<Self> {
+        engine.rehydrate().map_err(ServeError::Audit)?;
+        let replayed = Journal::replay(&store)?;
+
+        #[derive(Default)]
+        struct ReplayTenant {
+            secret: Option<ConjunctiveQuery>,
+            state: Option<SessionSnapshot>,
+            snapshots: HashMap<String, SessionSnapshot>,
+            requests: u64,
+        }
+        let mut live: HashMap<String, ReplayTenant> = HashMap::new();
+        let mut demoted: HashMap<String, u64> = HashMap::new();
+        // Snapshot maps of demoted tenants, for seeding a revival that
+        // happened later in the journal.
+        let mut expired_snapshots: HashMap<String, HashMap<String, SessionSnapshot>> =
+            HashMap::new();
+        for (seq, event) in &replayed.events {
+            if event.op == "expire" {
+                live.remove(&event.tenant);
+                demoted.insert(event.tenant.clone(), *seq);
+                expired_snapshots.insert(
+                    event.tenant.clone(),
+                    event.snapshots.clone().unwrap_or_default(),
+                );
+                continue;
+            }
+            demoted.remove(&event.tenant);
+            let entry = live
+                .entry(event.tenant.clone())
+                .or_insert_with(|| ReplayTenant {
+                    // A tenant reappearing after an `expire` event revived from
+                    // the demoted record; its labelled snapshots carry over.
+                    snapshots: expired_snapshots.remove(&event.tenant).unwrap_or_default(),
+                    ..ReplayTenant::default()
+                });
+            if event.op == "snapshot" {
+                if let Some(label) = &event.snapshot_label {
+                    entry.snapshots.insert(label.clone(), event.state.clone());
+                }
+            }
+            entry.secret = Some(event.secret.clone());
+            entry.state = Some(event.state.clone());
+            entry.requests = event.tenant_requests;
+        }
+
+        let mut registry = Self::with_config(engine, config);
+        for (id, rt) in live {
+            let (Some(secret), Some(state)) = (rt.secret, rt.state) else {
+                continue;
+            };
+            let tenant = registry.tenant_from_parts(&id, secret, &state, rt.snapshots, rt.requests);
+            registry
+                .shard_of(&id)
+                .lock()
+                .expect("shard poisoned")
+                .insert(id, Arc::new(Mutex::new(tenant)));
+        }
+        if let Some((_, last)) = replayed.events.last() {
+            registry
+                .requests
+                .store(last.registry_requests, Ordering::Relaxed);
+            registry
+                .expired
+                .store(last.registry_expired, Ordering::Relaxed);
+            registry.engine.set_stats_baseline(last.engine_cache);
+        }
+        registry.demoted = Mutex::new(demoted);
+        registry.journal = Some(Journal::new(store, &replayed));
+        Ok(registry)
+    }
+
+    /// Rebuilds one tenant from journaled (or demoted) parts: a fresh
+    /// session restored to the recorded state, byte accounting recounted.
+    fn tenant_from_parts(
+        &self,
+        tenant: &str,
+        secret: ConjunctiveQuery,
+        state: &SessionSnapshot,
+        snapshots: HashMap<String, SessionSnapshot>,
+        requests: u64,
+    ) -> Tenant {
+        let mut session = AuditSession::new(Arc::clone(&self.engine), secret, self.options.clone())
+            .named(format!("tenant:{tenant}"));
+        session.restore(state);
+        let mut t = Tenant {
+            session,
+            snapshots,
+            last_used: Instant::now(),
+            requests,
+            bytes: 0,
+        };
+        t.recount_bytes();
+        t
     }
 
     /// The shared engine every tenant audits against.
@@ -248,16 +377,7 @@ impl SessionRegistry {
         let shard = self.shard_of(tenant);
         let mut map = shard.lock().expect("shard poisoned");
         if let Some(max_idle) = self.idle_timeout {
-            let now = Instant::now();
-            let before = map.len();
-            map.retain(|_, entry| {
-                entry
-                    .try_lock()
-                    .map(|t| now.duration_since(t.last_used) <= max_idle)
-                    .unwrap_or(true)
-            });
-            self.expired
-                .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+            self.sweep_shard(&mut map, Instant::now(), max_idle);
         }
         if let Some(entry) = map.get(tenant) {
             if let Some(secret) = secret {
@@ -271,6 +391,29 @@ impl SessionRegistry {
                 return Ok(entry);
             }
             return Ok(Arc::clone(entry));
+        }
+        // A demoted tenant revives transparently from its `expire` record —
+        // no secret required, exactly like a live session.
+        let demoted_seq = self
+            .demoted
+            .lock()
+            .expect("demoted index poisoned")
+            .remove(tenant);
+        if let Some(seq) = demoted_seq {
+            match self.revive_demoted(tenant, seq, secret) {
+                Ok(t) => {
+                    let entry = Arc::new(Mutex::new(t));
+                    map.insert(tenant.to_string(), Arc::clone(&entry));
+                    return Ok(entry);
+                }
+                Err(e) => {
+                    self.demoted
+                        .lock()
+                        .expect("demoted index poisoned")
+                        .insert(tenant.to_string(), seq);
+                    return Err(e);
+                }
+            }
         }
         let Some(secret) = secret else {
             return Err(ServeError::UnknownTenant(tenant.to_string()));
@@ -292,24 +435,89 @@ impl SessionRegistry {
         Ok(entry)
     }
 
-    fn with_tenant<R>(
+    /// Fetches the demoted tenant's self-contained `expire` record and
+    /// rebuilds the live tenant from it.
+    fn revive_demoted(
         &self,
         tenant: &str,
+        seq: u64,
         secret: Option<&ConjunctiveQuery>,
-        f: impl FnOnce(&mut Tenant) -> crate::Result<R>,
+    ) -> crate::Result<Tenant> {
+        let journal = self
+            .journal
+            .as_ref()
+            .ok_or_else(|| ServeError::Store("demoted tenant without a journal".to_string()))?;
+        let key = format!("{seq:016x}");
+        let bytes = journal
+            .store()
+            .get(NS_JOURNAL, &key)
+            .map_err(|e| ServeError::Store(format!("journal get: {e}")))?
+            .ok_or_else(|| ServeError::Store(format!("missing journal record {key}")))?;
+        let event = decode_event(&key, &bytes)?;
+        if let Some(secret) = secret {
+            if canonical_form(&event.secret) != canonical_form(secret) {
+                return Err(ServeError::SecretMismatch(tenant.to_string()));
+            }
+        }
+        Ok(self.tenant_from_parts(
+            tenant,
+            event.secret,
+            &event.state,
+            event.snapshots.unwrap_or_default(),
+            event.tenant_requests,
+        ))
+    }
+
+    /// Appends one lifecycle event for a completed operation. A no-op
+    /// without a journal; with one, failures surface to the caller.
+    fn journal_op(
+        &self,
+        op: &'static str,
+        tenant: &str,
+        t: &Tenant,
+        snapshot_label: Option<String>,
+    ) -> crate::Result<()> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        journal
+            .append(&JournalEvent {
+                op: op.to_string(),
+                tenant: tenant.to_string(),
+                secret: t.session.secret().clone(),
+                state: t.session.snapshot(),
+                snapshot_label,
+                snapshots: None,
+                tenant_requests: t.requests,
+                registry_requests: self.requests.load(Ordering::Relaxed),
+                registry_expired: self.expired.load(Ordering::Relaxed),
+                engine_cache: self.engine.cache_stats(),
+            })
+            .map(|_| ())
+    }
+
+    fn with_tenant<R>(
+        &self,
+        op: &'static str,
+        tenant: &str,
+        secret: Option<&ConjunctiveQuery>,
+        f: impl FnOnce(&mut Tenant) -> crate::Result<(R, Option<String>)>,
     ) -> crate::Result<R> {
         let entry = self.tenant_entry(tenant, secret)?;
         let mut t = entry.lock().expect("tenant poisoned");
-        let out = f(&mut t)?;
+        let (out, snapshot_label) = f(&mut t)?;
         t.last_used = Instant::now();
         t.requests += 1;
+        self.journal_op(op, tenant, &t, snapshot_label)?;
         Ok(out)
     }
 
     /// Opens (or re-validates) `tenant`'s session for `secret` without
     /// auditing anything.
     pub fn open(&self, tenant: &str, secret: &ConjunctiveQuery) -> crate::Result<usize> {
-        self.with_tenant(tenant, Some(secret), |t| Ok(t.session.views_published()))
+        self.with_tenant("open", tenant, Some(secret), |t| {
+            Ok((t.session.views_published(), None))
+        })
     }
 
     /// Publishes `view` for `tenant`: audits the secret against everything
@@ -322,12 +530,12 @@ impl SessionRegistry {
         name: Option<String>,
         view: ConjunctiveQuery,
     ) -> crate::Result<SessionReport> {
-        self.with_tenant(tenant, secret, |t| {
+        self.with_tenant("publish", tenant, secret, |t| {
             let name = name.unwrap_or_else(|| view.name.clone());
             let report = t.session.publish_named(name, view)?;
             let committed = t.session.published().last().expect("just published");
             t.bytes += approx_bytes(committed);
-            Ok(report)
+            Ok((report, None))
         })
     }
 
@@ -338,20 +546,22 @@ impl SessionRegistry {
         secret: Option<&ConjunctiveQuery>,
         view: &ConjunctiveQuery,
     ) -> crate::Result<SessionReport> {
-        self.with_tenant(tenant, secret, |t| Ok(t.session.audit_candidate(view)?))
+        self.with_tenant("candidate", tenant, secret, |t| {
+            Ok((t.session.audit_candidate(view)?, None))
+        })
     }
 
     /// Saves `tenant`'s session state under `label`; returns the number of
     /// views in the captured state.
     pub fn snapshot(&self, tenant: &str, label: &str) -> crate::Result<usize> {
-        self.with_tenant(tenant, None, |t| {
+        self.with_tenant("snapshot", tenant, None, |t| {
             let snap = t.session.snapshot();
             let views = snap.views_published();
             t.bytes += approx_bytes(&snap);
             if let Some(replaced) = t.snapshots.insert(label.to_string(), snap) {
                 t.bytes = t.bytes.saturating_sub(approx_bytes(&replaced));
             }
-            Ok(views)
+            Ok((views, Some(label.to_string())))
         })
     }
 
@@ -359,7 +569,7 @@ impl SessionRegistry {
     /// restored view count. Engine artifacts evicted since the snapshot are
     /// re-derived transparently on the next audit.
     pub fn restore(&self, tenant: &str, label: &str) -> crate::Result<usize> {
-        self.with_tenant(tenant, None, |t| {
+        self.with_tenant("restore", tenant, None, |t| {
             let snap = t
                 .snapshots
                 .get(label)
@@ -367,38 +577,111 @@ impl SessionRegistry {
                 .clone();
             t.session.restore(&snap);
             t.recount_bytes();
-            Ok(t.session.views_published())
+            Ok((t.session.views_published(), None))
         })
+    }
+
+    /// Demotes one expiring tenant to the store: appends a self-contained
+    /// `expire` record and keeps only its sequence number resident. Append
+    /// failures are swallowed — the tenant then replays as live from its
+    /// last regular event, which is still correct, just not demoted.
+    fn demote_expired(&self, tenant: &str, t: &Tenant) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        let appended = journal.append(&JournalEvent {
+            op: "expire".to_string(),
+            tenant: tenant.to_string(),
+            secret: t.session.secret().clone(),
+            state: t.session.snapshot(),
+            snapshot_label: None,
+            snapshots: Some(t.snapshots.clone()),
+            tenant_requests: t.requests,
+            registry_requests: self.requests.load(Ordering::Relaxed),
+            registry_expired: self.expired.load(Ordering::Relaxed),
+            engine_cache: self.engine.cache_stats(),
+        });
+        if let Ok(seq) = appended {
+            self.demoted
+                .lock()
+                .expect("demoted index poisoned")
+                .insert(tenant.to_string(), seq);
+        }
+    }
+
+    /// Expires idle entries of one shard map (demoting them when a store
+    /// is configured). A tenant mid-request (its lock held) is spared.
+    fn sweep_shard(
+        &self,
+        map: &mut HashMap<String, Arc<Mutex<Tenant>>>,
+        now: Instant,
+        max_idle: Duration,
+    ) -> usize {
+        let mut expired_ids = Vec::new();
+        for (id, entry) in map.iter() {
+            if let Ok(t) = entry.try_lock() {
+                if now.duration_since(t.last_used) > max_idle {
+                    // Counted before journaling, so the expire event's
+                    // running total includes this very expiry.
+                    self.expired.fetch_add(1, Ordering::Relaxed);
+                    self.demote_expired(id, &t);
+                    expired_ids.push(id.clone());
+                }
+            }
+        }
+        for id in &expired_ids {
+            map.remove(id);
+        }
+        expired_ids.len()
     }
 
     /// Removes sessions idle longer than `max_idle`; returns how many were
     /// expired. A tenant mid-request (its lock held) is never expired.
+    /// With a store configured the expired tenants are demoted — their
+    /// state moves to the journal and their next request revives them —
+    /// instead of discarded.
     pub fn sweep_idle(&self, max_idle: Duration) -> usize {
         let now = Instant::now();
         let mut removed = 0;
         for shard in self.shards.iter() {
             let mut map = shard.lock().expect("shard poisoned");
-            let before = map.len();
-            map.retain(|_, entry| {
-                entry
-                    .try_lock()
-                    .map(|t| now.duration_since(t.last_used) <= max_idle)
-                    .unwrap_or(true)
-            });
-            removed += before - map.len();
+            removed += self.sweep_shard(&mut map, now, max_idle);
         }
-        self.expired.fetch_add(removed as u64, Ordering::Relaxed);
         removed
+    }
+
+    /// Flushes the durable store behind the journal (and, by construction,
+    /// the engine's artifact write-throughs) to disk. Returns the backend
+    /// name, or `None` when the registry has no store.
+    pub fn flush_store(&self) -> crate::Result<Option<&'static str>> {
+        let Some(journal) = &self.journal else {
+            return Ok(None);
+        };
+        journal
+            .store()
+            .flush()
+            .map_err(|e| ServeError::Store(format!("flush: {e}")))?;
+        Ok(Some(journal.store().backend_name()))
     }
 
     /// A deterministic snapshot of the registry: per-tenant accounting
     /// (sorted by tenant id) next to the engine's extended cache counters.
+    /// With a store configured, each tenant also reports its journal
+    /// footprint, and demoted tenants — state in the store, nothing
+    /// resident — appear alongside live ones with `demoted: true`.
     pub fn stats(&self) -> RegistryStats {
+        let usage = |id: &str| {
+            self.journal
+                .as_ref()
+                .map(|j| j.usage_of(id))
+                .unwrap_or_default()
+        };
         let mut tenants = Vec::new();
         for shard in self.shards.iter() {
             let map = shard.lock().expect("shard poisoned");
             for (id, entry) in map.iter() {
                 let t = entry.lock().expect("tenant poisoned");
+                let u = usage(id);
                 tenants.push(TenantStats {
                     tenant: id.clone(),
                     views_published: t.session.views_published(),
@@ -406,16 +689,61 @@ impl SessionRegistry {
                     requests: t.requests,
                     approx_bytes: t.bytes,
                     cache: *t.session.cumulative_cache(),
+                    store_records: u.records,
+                    store_bytes: u.bytes,
+                    demoted: false,
                 });
             }
         }
+        // Demoted tenants report from their self-contained expire record; a
+        // record that fails to fetch is skipped (it will fail the same way —
+        // loudly — when the tenant's next request tries to revive it).
+        let demoted: Vec<(String, u64)> = self
+            .demoted
+            .lock()
+            .expect("demoted index poisoned")
+            .iter()
+            .map(|(id, seq)| (id.clone(), *seq))
+            .collect();
+        for (id, seq) in demoted {
+            let Some(journal) = &self.journal else { break };
+            let Ok(Some(bytes)) = journal.store().get(NS_JOURNAL, &format!("{seq:016x}")) else {
+                continue;
+            };
+            let Ok(event) = decode_event(&format!("{seq:016x}"), &bytes) else {
+                continue;
+            };
+            let u = usage(&id);
+            tenants.push(TenantStats {
+                tenant: id,
+                views_published: event.state.views_published(),
+                snapshots_held: event.snapshots.as_ref().map(|s| s.len()).unwrap_or(0),
+                requests: event.tenant_requests,
+                approx_bytes: 0,
+                cache: *event.state.cumulative_cache(),
+                store_records: u.records,
+                store_bytes: u.bytes,
+                demoted: true,
+            });
+        }
         tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let journal_totals = self
+            .journal
+            .as_ref()
+            .map(|j| j.totals())
+            .unwrap_or_default();
         RegistryStats {
             tenants,
             shard_count: self.shards.len(),
             requests_served: self.requests.load(Ordering::Relaxed),
             sessions_expired: self.expired.load(Ordering::Relaxed),
             engine_cache: self.engine.cache_stats(),
+            store_backend: self
+                .journal
+                .as_ref()
+                .map(|j| j.store().backend_name().to_string()),
+            journal_records: journal_totals.records,
+            journal_bytes: journal_totals.bytes,
         }
     }
 }
@@ -432,10 +760,20 @@ pub struct TenantStats {
     /// Requests the tenant has issued (audits, snapshots, restores).
     pub requests: u64,
     /// Approximate bytes of published-view and snapshot state the tenant
-    /// pins in the registry.
+    /// pins in the registry (zero while demoted — nothing is resident).
     pub approx_bytes: u64,
     /// The tenant's session-cumulative cache-reuse counters.
     pub cache: qvsec::engine::CacheStatsSnapshot,
+    /// Journal records this tenant has accrued in the durable store.
+    #[serde(default)]
+    pub store_records: u64,
+    /// Serialized bytes of those journal records.
+    #[serde(default)]
+    pub store_bytes: u64,
+    /// `true` when the tenant's state lives only in the store (demoted by
+    /// idle expiry); its next request revives it transparently.
+    #[serde(default)]
+    pub demoted: bool,
 }
 
 /// A registry-wide accounting snapshot.
@@ -452,6 +790,15 @@ pub struct RegistryStats {
     /// The shared engine's extended cache counters (hits, misses,
     /// evictions, evicted and resident bytes).
     pub engine_cache: qvsec::engine::CacheStatsSnapshot,
+    /// The durable store's backend name, when one is configured.
+    #[serde(default)]
+    pub store_backend: Option<String>,
+    /// Lifecycle records journaled across all tenants.
+    #[serde(default)]
+    pub journal_records: u64,
+    /// Serialized bytes of the journaled records.
+    #[serde(default)]
+    pub journal_bytes: u64,
 }
 
 #[cfg(test)]
@@ -607,6 +954,121 @@ mod tests {
         let reopened = reg.publish("t", Some(&secret), None, v2).unwrap();
         assert_eq!(reopened.step, 1, "stale session must not survive");
         assert!(reg.stats().sessions_expired >= 1);
+    }
+
+    fn engine_with_store(store: &Arc<dyn StoreBackend>) -> Arc<AuditEngine> {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        let mut domain = Domain::new();
+        domain.add("Mgmt");
+        Arc::new(
+            AuditEngine::builder(schema, domain)
+                .store(Arc::clone(store))
+                .build(),
+        )
+    }
+
+    fn durable_registry(store: &Arc<dyn StoreBackend>) -> SessionRegistry {
+        SessionRegistry::with_store(
+            engine_with_store(store),
+            RegistryConfig::default(),
+            Arc::clone(store),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn a_registry_rehydrated_from_its_store_reports_identical_stats() {
+        let store: Arc<dyn StoreBackend> = Arc::new(qvsec_store::MemStore::new());
+        let reg = durable_registry(&store);
+        let secret = reg.parse("S(n, p) :- Employee(n, d, p)").unwrap();
+        let v1 = reg.parse("V1(n, d) :- Employee(n, d, p)").unwrap();
+        let v2 = reg.parse("V2(d, p) :- Employee(n, d, p)").unwrap();
+        reg.publish("alice", Some(&secret), None, v1.clone())
+            .unwrap();
+        reg.snapshot("alice", "base").unwrap();
+        reg.publish("alice", None, None, v2.clone()).unwrap();
+        reg.publish("zoe", Some(&secret), None, v1).unwrap();
+        let before = serde_json::to_string(&reg.stats()).unwrap();
+        drop(reg);
+
+        // A new process over the same store: replay, not re-audit.
+        let reg2 = durable_registry(&store);
+        assert_eq!(reg2.tenant_count(), 2);
+        let after = serde_json::to_string(&reg2.stats()).unwrap();
+        assert_eq!(after, before, "restart must be invisible in stats");
+        // The rewind path survives too: the labelled snapshot replayed.
+        assert_eq!(reg2.restore("alice", "base").unwrap(), 1);
+        let replay = reg2.publish("alice", None, None, v2).unwrap();
+        assert_eq!(replay.step, 2);
+    }
+
+    #[test]
+    fn a_restarted_registry_continues_a_script_like_an_uninterrupted_one() {
+        // Same script, two executions: one straight through, one SIGKILL-
+        // shaped (drop the registry mid-script, rehydrate from the store).
+        // The post-restart responses must serialize identically.
+        let script = |reg: &SessionRegistry| {
+            let secret = reg.parse("S(n, p) :- Employee(n, d, p)").unwrap();
+            let v1 = reg.parse("V1(n, d) :- Employee(n, d, p)").unwrap();
+            (secret, v1)
+        };
+        let continuous_store: Arc<dyn StoreBackend> = Arc::new(qvsec_store::MemStore::new());
+        let continuous = durable_registry(&continuous_store);
+        let (secret, v1) = script(&continuous);
+        let v2 = continuous.parse("V2(d, p) :- Employee(n, d, p)").unwrap();
+        continuous
+            .publish("t", Some(&secret), None, v1.clone())
+            .unwrap();
+        let want = continuous.publish("t", None, None, v2.clone()).unwrap();
+
+        let store: Arc<dyn StoreBackend> = Arc::new(qvsec_store::MemStore::new());
+        let reg = durable_registry(&store);
+        let (secret, v1) = script(&reg);
+        reg.publish("t", Some(&secret), None, v1).unwrap();
+        drop(reg); // the "kill" between requests
+        let reg2 = durable_registry(&store);
+        let got = reg2.publish("t", None, None, v2).unwrap();
+        assert_eq!(
+            serde_json::to_string(&got).unwrap(),
+            serde_json::to_string(&want).unwrap(),
+            "post-restart response must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn expired_tenants_demote_to_the_store_and_revive_transparently() {
+        let store: Arc<dyn StoreBackend> = Arc::new(qvsec_store::MemStore::new());
+        let reg = durable_registry(&store);
+        let secret = reg.parse("S(n, p) :- Employee(n, d, p)").unwrap();
+        let v1 = reg.parse("V1(n, d) :- Employee(n, d, p)").unwrap();
+        let v2 = reg.parse("V2(d, p) :- Employee(n, d, p)").unwrap();
+        reg.publish("alice", Some(&secret), None, v1).unwrap();
+        reg.snapshot("alice", "base").unwrap();
+        assert_eq!(reg.sweep_idle(Duration::ZERO), 1);
+        assert_eq!(reg.tenant_count(), 0, "nothing stays resident");
+
+        // Demoted tenants still appear in stats, served from the store.
+        let stats = reg.stats();
+        assert_eq!(stats.store_backend.as_deref(), Some("mem"));
+        let alice = &stats.tenants[0];
+        assert!(alice.demoted);
+        assert_eq!(alice.views_published, 1);
+        assert_eq!(alice.snapshots_held, 1);
+        assert_eq!(alice.approx_bytes, 0);
+        assert!(alice.store_records >= 3, "open+snapshot+expire journaled");
+
+        // Restart: the demoted index itself rehydrates ...
+        drop(reg);
+        let reg2 = durable_registry(&store);
+        assert_eq!(reg2.tenant_count(), 0);
+        assert!(reg2.stats().tenants[0].demoted);
+        // ... and the next request revives, no secret needed, snapshots
+        // intact.
+        let r = reg2.publish("alice", None, None, v2).unwrap();
+        assert_eq!(r.step, 2);
+        assert!(!reg2.stats().tenants[0].demoted);
+        assert_eq!(reg2.restore("alice", "base").unwrap(), 1);
     }
 
     #[test]

@@ -16,12 +16,19 @@
 
 use crate::protocol::handle_request;
 use crate::registry::SessionRegistry;
-use std::io::{self, BufRead, BufReader, Write};
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
+
+/// Hard cap on one request line, in bytes (the newline excluded). A longer
+/// line is answered with a structured `{"ok": false}` error and drained to
+/// its newline, so the connection — and the requests behind it — survive;
+/// without the cap a single unterminated line would buffer without bound.
+pub const MAX_REQUEST_LINE_BYTES: usize = 1 << 20;
 
 /// A bound (but not yet running) server.
 #[derive(Debug)]
@@ -148,6 +155,53 @@ impl Server {
     }
 }
 
+/// Discards input up to and including the next newline (or EOF), in
+/// buffer-sized steps so an arbitrarily long line costs constant memory.
+fn drain_to_newline(reader: &mut impl BufRead) -> io::Result<()> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let n = buf.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Reads one bounded request line. `Ok(Some(Err(message)))` is a line the
+/// server must answer with a structured error (too long, or not UTF-8);
+/// `Ok(None)` is end-of-stream.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+) -> io::Result<Option<Result<String, String>>> {
+    let mut buf = Vec::new();
+    // One byte past the cap distinguishes "exactly at the cap" from "over".
+    let mut limited = reader.by_ref().take((MAX_REQUEST_LINE_BYTES + 1) as u64);
+    if limited.read_until(b'\n', &mut buf)? == 0 {
+        return Ok(None);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    } else if buf.len() > MAX_REQUEST_LINE_BYTES {
+        drain_to_newline(reader)?;
+        return Ok(Some(Err(format!(
+            "request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"
+        ))));
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Some(Ok(line))),
+        Err(_) => Ok(Some(Err("request line is not UTF-8".to_string()))),
+    }
+}
+
 /// Serves one connection to completion: one JSON request per line, one JSON
 /// response per line, in order.
 fn serve_connection(
@@ -159,14 +213,25 @@ fn serve_connection(
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, stop) = handle_request(registry, &line);
+    loop {
+        let (response, stop) = match read_request_line(&mut reader) {
+            Ok(Some(Ok(line))) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_request(registry, &line)
+            }
+            Ok(Some(Err(message))) => (
+                Value::Object(vec![
+                    ("ok".to_string(), Value::Bool(false)),
+                    ("error".to_string(), Value::Str(message)),
+                ]),
+                false,
+            ),
+            Ok(None) | Err(_) => break,
+        };
         let mut text = serde_json::to_string(&response).expect("JSON rendering is infallible");
         text.push('\n');
         if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
@@ -288,6 +353,35 @@ mod tests {
             thread::sleep(std::time::Duration::from_millis(25));
         }
         assert_eq!(registry.tenant_count(), 0, "sweeper must clear all shards");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_lines_get_a_structured_error_and_the_connection_survives() {
+        let (handle, join) = spawn_server(1);
+        let addr = handle.addr().to_string();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // One line just over the cap (no valid JSON needed: the server must
+        // reject on size alone, before parsing), then a normal request.
+        let huge = vec![b'a'; MAX_REQUEST_LINE_BYTES + 16];
+        writer.write_all(&huge).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.write_all(b"{\"op\": \"ping\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        assert!(first.starts_with(r#"{"ok":false"#), "{first}");
+        assert!(first.contains("exceeds"), "{first}");
+        let mut second = String::new();
+        reader.read_line(&mut second).unwrap();
+        assert!(second.starts_with(r#"{"ok":true"#), "{second}");
+        // Close the connection before shutdown: the drain joins the workers,
+        // and a worker only releases a connection at its EOF.
+        drop(writer);
+        drop(reader);
         handle.shutdown();
         join.join().unwrap().unwrap();
     }

@@ -1,0 +1,250 @@
+//! The directory-of-files KV shim.
+//!
+//! One subdirectory per namespace, one file per key. File names are the
+//! 64-bit FNV-1a of the key (hex) with a collision-probing suffix; the file
+//! itself stores the key (length-prefixed) followed by the value, so scans
+//! recover exact keys without any reversible name encoding — long keys
+//! (canonical query forms easily exceed filesystem name limits) never
+//! appear in a path. Writes go through a temp file + rename, so a key file
+//! is atomically either its old or its new contents.
+//!
+//! This backend is deliberately the simplest thing that honors the
+//! [`StoreBackend`](crate::StoreBackend) contract against a real
+//! filesystem: it is the slot a future SQLite or Redis adapter plugs into
+//! without touching any caller.
+
+use crate::{encode_component, fnv1a_64, Result, StoreBackend, StoreError, StoreOp};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Directory-of-files KV store; layout and atomicity notes are in the
+/// module-level docs above.
+#[derive(Debug)]
+pub struct KvShimStore {
+    root: PathBuf,
+    /// Serializes writers (probing + rename must not race) and guards the
+    /// lazily-built per-namespace key index.
+    index: Mutex<BTreeMap<String, BTreeMap<String, PathBuf>>>,
+}
+
+fn encode_entry(key: &str, value: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(4 + key.len() + value.len());
+    bytes.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(key.as_bytes());
+    bytes.extend_from_slice(value);
+    bytes
+}
+
+fn decode_entry(bytes: &[u8], path: &Path) -> Result<(String, Vec<u8>)> {
+    let bad = || StoreError::Corrupt(format!("unreadable kv entry {}", path.display()));
+    let key_len = u32::from_le_bytes(bytes.get(0..4).ok_or_else(bad)?.try_into().unwrap()) as usize;
+    let key_bytes = bytes.get(4..4 + key_len).ok_or_else(bad)?;
+    let key = String::from_utf8(key_bytes.to_vec()).map_err(|_| bad())?;
+    Ok((key, bytes[4 + key_len..].to_vec()))
+}
+
+impl KvShimStore {
+    /// Opens (creating if needed) a KV store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<KvShimStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| StoreError::Io(format!("create {}: {e}", root.display())))?;
+        Ok(KvShimStore {
+            root,
+            index: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    fn ns_dir(&self, ns: &str) -> PathBuf {
+        self.root.join(encode_component(ns))
+    }
+
+    /// Builds (once) the key → file index of `ns` by reading every entry
+    /// file in its directory. The caller holds the index lock.
+    fn load<'a>(
+        &self,
+        index: &'a mut BTreeMap<String, BTreeMap<String, PathBuf>>,
+        ns: &str,
+    ) -> Result<&'a mut BTreeMap<String, PathBuf>> {
+        if !index.contains_key(ns) {
+            let mut keys = BTreeMap::new();
+            let dir = self.ns_dir(ns);
+            if dir.is_dir() {
+                let entries = std::fs::read_dir(&dir)
+                    .map_err(|e| StoreError::Io(format!("read {}: {e}", dir.display())))?;
+                for entry in entries {
+                    let path = entry
+                        .map_err(|e| StoreError::Io(format!("read {}: {e}", dir.display())))?
+                        .path();
+                    if path.extension().and_then(|e| e.to_str()) != Some("kv") {
+                        continue; // skip temp files left by a crash mid-write
+                    }
+                    let bytes = std::fs::read(&path)
+                        .map_err(|e| StoreError::Io(format!("read {}: {e}", path.display())))?;
+                    let (key, _) = decode_entry(&bytes, &path)?;
+                    keys.insert(key, path);
+                }
+            }
+            index.insert(ns.to_string(), keys);
+        }
+        Ok(index.get_mut(ns).expect("just inserted"))
+    }
+
+    /// A free (or same-key) file path for `key` in `ns`, probing past hash
+    /// collisions.
+    fn path_for(&self, ns: &str, key: &str, taken: &BTreeMap<String, PathBuf>) -> PathBuf {
+        let dir = self.ns_dir(ns);
+        let hash = fnv1a_64(key.as_bytes());
+        for probe in 0u32.. {
+            let candidate = dir.join(format!("{hash:016x}-{probe}.kv"));
+            let collision = taken
+                .iter()
+                .any(|(other, path)| other != key && *path == candidate);
+            if !collision {
+                return candidate;
+            }
+        }
+        unreachable!("probe space is unbounded")
+    }
+}
+
+impl StoreBackend for KvShimStore {
+    fn get(&self, ns: &str, key: &str) -> Result<Option<Vec<u8>>> {
+        let mut index = self.index.lock().expect("kv store poisoned");
+        let keys = self.load(&mut index, ns)?;
+        match keys.get(key) {
+            Some(path) => {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| StoreError::Io(format!("read {}: {e}", path.display())))?;
+                Ok(Some(decode_entry(&bytes, path)?.1))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn scan(&self, ns: &str) -> Result<Vec<(String, Vec<u8>)>> {
+        let mut index = self.index.lock().expect("kv store poisoned");
+        let keys = self.load(&mut index, ns)?;
+        let mut out = Vec::with_capacity(keys.len());
+        for (key, path) in keys.iter() {
+            let bytes = std::fs::read(path)
+                .map_err(|e| StoreError::Io(format!("read {}: {e}", path.display())))?;
+            out.push((key.clone(), decode_entry(&bytes, path)?.1));
+        }
+        Ok(out)
+    }
+
+    fn append_batch(&self, ns: &str, ops: Vec<StoreOp>) -> Result<()> {
+        let mut index = self.index.lock().expect("kv store poisoned");
+        let dir = self.ns_dir(ns);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::Io(format!("create {}: {e}", dir.display())))?;
+        let keys = self.load(&mut index, ns)?;
+        for (seq, op) in ops.into_iter().enumerate() {
+            match op {
+                StoreOp::Put { key, value } => {
+                    // Overwrites reuse the key's existing file; fresh keys
+                    // probe for a free hash slot.
+                    let path = match keys.get(&key) {
+                        Some(existing) => existing.clone(),
+                        None => self.path_for(ns, &key, keys),
+                    };
+                    let tmp = dir.join(format!("write-{seq}.tmp"));
+                    {
+                        let mut out = File::create(&tmp).map_err(|e| {
+                            StoreError::Io(format!("create {}: {e}", tmp.display()))
+                        })?;
+                        out.write_all(&encode_entry(&key, &value))
+                            .and_then(|_| out.sync_all())
+                            .map_err(|e| StoreError::Io(format!("write {}: {e}", tmp.display())))?;
+                    }
+                    std::fs::rename(&tmp, &path)
+                        .map_err(|e| StoreError::Io(format!("rename {}: {e}", path.display())))?;
+                    keys.insert(key, path);
+                }
+                StoreOp::Delete { key } => {
+                    if let Some(path) = keys.remove(&key) {
+                        std::fs::remove_file(&path).map_err(|e| {
+                            StoreError::Io(format!("remove {}: {e}", path.display()))
+                        })?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        // Entry files are synced before the rename in `append_batch`.
+        Ok(())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "kv"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch_dir;
+
+    #[test]
+    fn state_survives_reopen() {
+        let dir = scratch_dir("kv-reopen");
+        {
+            let store = KvShimStore::open(dir.clone()).unwrap();
+            store
+                .append_batch(
+                    "reg/journal",
+                    vec![
+                        StoreOp::put("0000000000000001", b"first".to_vec()),
+                        StoreOp::put("0000000000000000", b"zeroth".to_vec()),
+                    ],
+                )
+                .unwrap();
+        }
+        let store = KvShimStore::open(dir.clone()).unwrap();
+        let entries = store.scan("reg/journal").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "0000000000000000", "scan is key-ordered");
+        assert_eq!(
+            store.get("reg/journal", "0000000000000001").unwrap(),
+            Some(b"first".to_vec())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn long_keys_never_reach_the_filesystem_namespace() {
+        let dir = scratch_dir("kv-longkey");
+        let store = KvShimStore::open(dir.clone()).unwrap();
+        let key = "q".repeat(4096); // far past any filename limit
+        store
+            .append_batch("ns", vec![StoreOp::put(key.clone(), b"v".to_vec())])
+            .unwrap();
+        assert_eq!(store.get("ns", &key).unwrap(), Some(b"v".to_vec()));
+        drop(store);
+        let store = KvShimStore::open(dir.clone()).unwrap();
+        assert_eq!(store.scan("ns").unwrap()[0].0, key);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_temp_files_are_ignored_on_open() {
+        let dir = scratch_dir("kv-tmp");
+        let store = KvShimStore::open(dir.clone()).unwrap();
+        store
+            .append_batch("ns", vec![StoreOp::put("k", b"v".to_vec())])
+            .unwrap();
+        // Simulate a crash between temp-file write and rename.
+        std::fs::write(dir.join("ns").join("write-9.tmp"), b"garbage").unwrap();
+        drop(store);
+        let store = KvShimStore::open(dir.clone()).unwrap();
+        assert_eq!(store.scan("ns").unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,62 @@
+//! The in-process backend: plain maps behind one mutex.
+//!
+//! `MemStore` is the zero-config default — running over it is behaviour-
+//! identical to running without persistence at all (state dies with the
+//! process), which keeps every existing caller, test and benchmark
+//! unchanged unless a durable backend is explicitly configured.
+
+use crate::{Result, StoreBackend, StoreOp};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// Volatile store: namespace → ordered key map.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    spaces: Mutex<HashMap<String, BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl StoreBackend for MemStore {
+    fn get(&self, ns: &str, key: &str) -> Result<Option<Vec<u8>>> {
+        let spaces = self.spaces.lock().expect("mem store poisoned");
+        Ok(spaces.get(ns).and_then(|m| m.get(key)).cloned())
+    }
+
+    fn scan(&self, ns: &str) -> Result<Vec<(String, Vec<u8>)>> {
+        let spaces = self.spaces.lock().expect("mem store poisoned");
+        Ok(spaces
+            .get(ns)
+            .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            .unwrap_or_default())
+    }
+
+    fn append_batch(&self, ns: &str, ops: Vec<StoreOp>) -> Result<()> {
+        let mut spaces = self.spaces.lock().expect("mem store poisoned");
+        let map = spaces.entry(ns.to_string()).or_default();
+        for op in ops {
+            match op {
+                StoreOp::Put { key, value } => {
+                    map.insert(key, value);
+                }
+                StoreOp::Delete { key } => {
+                    map.remove(&key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "mem"
+    }
+}
