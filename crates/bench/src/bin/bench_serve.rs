@@ -1,7 +1,8 @@
 //! `bench_serve` — runs the serving-layer harness and writes
 //! `BENCH_serve.json` (warm multi-tenant registry throughput vs a fresh
-//! engine per request, plus the eviction-pressure sweep), so the serving
-//! performance trajectory is recorded alongside the code.
+//! engine per request, the eviction-pressure sweep, restart-rehydration,
+//! and the concurrent-client sweep over the NDJSON server), so the
+//! serving performance trajectory is recorded alongside the code.
 //!
 //! ```text
 //! cargo run --release -p qvsec-bench --bin bench_serve -- \
@@ -88,6 +89,10 @@ fn main() -> ExitCode {
     }
     if !report.eviction_verdicts_match {
         eprintln!("error: a budgeted drive diverged from the unbounded one — not writing");
+        return ExitCode::FAILURE;
+    }
+    if !report.concurrent.points.iter().all(|p| p.responses_match) {
+        eprintln!("error: a concurrent drive diverged from the single-client one — not writing");
         return ExitCode::FAILURE;
     }
     match serde_json::to_string_pretty(&report) {

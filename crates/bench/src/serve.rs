@@ -14,17 +14,25 @@
 //! unbounded run while the eviction counters climb — the bounded caches
 //! trade wall-clock for memory, never correctness.
 //!
+//! A third axis drives **concurrent clients**: N real client threads over
+//! the NDJSON TCP server, each serving a disjoint slice of the tenants.
+//! The sharded memo locks have to show up here as throughput — and the
+//! per-tenant response streams have to stay identical (modulo cache
+//! counters, the only fields that legitimately depend on interleaving) to
+//! the single-client drive at every thread count.
+//!
 //! The binary `bench_serve` runs this harness and writes
 //! `BENCH_serve.json`, mirroring the other committed bench artifacts.
 
 use crate::session::{depth_name, employee_collusion_workload, prob_collusion_workload, Workload};
 use qvsec::engine::{AuditOptions, AuditRequest};
 use qvsec_cq::ConjunctiveQuery;
-use qvsec_serve::{RegistryConfig, SessionRegistry};
+use qvsec_serve::{request_lines, RegistryConfig, Server, SessionRegistry};
 use qvsec_store::{MemStore, StoreBackend};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::sync::Arc;
+use std::thread;
 use std::time::Instant;
 
 /// Default number of tenants driven through the registry.
@@ -95,6 +103,39 @@ pub struct RestartReport {
     pub stats_match: bool,
 }
 
+/// One client-thread count of the concurrent-serving sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConcurrentPoint {
+    /// Real client threads driving the server (server workers match).
+    pub client_threads: usize,
+    /// Best-of-N wall clock of the full drive — server build, every
+    /// tenant's script, shutdown — nanoseconds.
+    pub nanos: u64,
+    /// Requests per second over one drive.
+    pub throughput_rps: f64,
+    /// Single-client wall clock over this point's (`nanos` ≥ 1).
+    pub speedup_vs_1: f64,
+    /// Whether every tenant's response stream was byte-identical to the
+    /// single-client drive after dropping the cache-counter objects.
+    pub responses_match: bool,
+}
+
+/// The concurrent-client measurement: N client threads over the NDJSON
+/// TCP server, tenants partitioned round-robin across clients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConcurrentReport {
+    /// Cores available on the recording machine
+    /// ([`std::thread::available_parallelism`]) — speedup floors only
+    /// bind when this is at least the client count.
+    pub cores: usize,
+    /// Tenants driven through the server.
+    pub tenants: usize,
+    /// Total request lines across all tenant scripts.
+    pub requests: usize,
+    /// One point per swept client-thread count.
+    pub points: Vec<ConcurrentPoint>,
+}
+
 /// The full harness report serialized into `BENCH_serve.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeBenchReport {
@@ -117,6 +158,9 @@ pub struct ServeBenchReport {
     /// The restart-rehydration measurement (run on the probabilistic
     /// workload, where re-auditing is what a store saves).
     pub restart: RestartReport,
+    /// The concurrent-client sweep over the NDJSON server (run on the
+    /// probabilistic workload, where each request carries real work).
+    pub concurrent: ConcurrentReport,
 }
 
 fn best_of<F: FnMut()>(iterations: usize, mut f: F) -> u64 {
@@ -263,6 +307,185 @@ fn run_restart(workload: &Workload, tenants: usize, iterations: usize) -> Restar
     }
 }
 
+/// One protocol request line with string fields, serialized through the
+/// JSON printer so query text is escaped like any client would send it.
+fn wire_line(fields: &[(&str, &str)]) -> String {
+    let entries = fields
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), Value::Str((*v).to_string())))
+        .collect();
+    serde_json::to_string(&Value::Object(entries)).expect("rendering is infallible")
+}
+
+/// One NDJSON script per tenant: open, the workload's publish steps, and a
+/// tenant-distinct chain view (length `1 + t % 4`) so concurrent clients
+/// carry fresh compile work into different memo shards instead of racing
+/// on pure cache hits.
+fn tenant_scripts(workload: &Workload, tenants: usize) -> Vec<Vec<String>> {
+    let secret = workload
+        .secret
+        .display(&workload.schema, &workload.domain)
+        .to_string();
+    let steps: Vec<(String, String)> = workload
+        .steps
+        .iter()
+        .map(|(who, view)| {
+            (
+                who.clone(),
+                view.display(&workload.schema, &workload.domain).to_string(),
+            )
+        })
+        .collect();
+    (0..tenants)
+        .map(|t| {
+            let tenant = format!("tenant-{t:03}");
+            let mut lines = vec![wire_line(&[
+                ("op", "open"),
+                ("tenant", &tenant),
+                ("secret", &secret),
+            ])];
+            for (who, view) in &steps {
+                lines.push(wire_line(&[
+                    ("op", "publish"),
+                    ("tenant", &tenant),
+                    ("view", view),
+                    ("name", who),
+                ]));
+            }
+            let n = 1 + t % 4;
+            let body: Vec<String> = (0..n).map(|i| format!("R(v{i}, v{})", i + 1)).collect();
+            let chain = format!("C{n}(v0) :- {}", body.join(", "));
+            lines.push(wire_line(&[
+                ("op", "publish"),
+                ("tenant", &tenant),
+                ("view", &chain),
+                ("name", "chain"),
+            ]));
+            lines
+        })
+        .collect()
+}
+
+/// Drives every tenant script through a fresh server with `clients` real
+/// client threads (client `c` serves tenants `c, c + clients, ...`) and
+/// `clients` server workers. Returns the raw response lines in tenant
+/// order, independent of which client carried them.
+fn drive_concurrent(
+    workload: &Workload,
+    scripts: &[Vec<String>],
+    clients: usize,
+) -> Vec<Vec<String>> {
+    let engine = Arc::new(workload.engine_with_budget(None));
+    let registry = Arc::new(SessionRegistry::new(engine));
+    let server = Server::bind(registry, "127.0.0.1:0", clients).expect("bind loopback");
+    let handle = server.handle().expect("server handle");
+    let addr = handle.addr().to_string();
+    let join = thread::spawn(move || server.run());
+    let collected: Vec<(usize, Vec<String>)> = thread::scope(|scope| {
+        let addr = addr.as_str();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for t in (c..scripts.len()).step_by(clients) {
+                        let lines = request_lines(addr, &scripts[t]).expect("client request");
+                        out.push((t, lines));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    handle.shutdown();
+    join.join().expect("server thread").expect("server run");
+    let mut responses = vec![Vec::new(); scripts.len()];
+    for (t, lines) in collected {
+        responses[t] = lines;
+    }
+    responses
+}
+
+/// Drops every `cache` member — engine-wide hit/miss/eviction counters,
+/// the only response fields that legitimately depend on how concurrent
+/// requests interleave — so the rest must be byte-identical.
+fn strip_cache_counters(value: Value) -> Value {
+    match value {
+        Value::Object(entries) => Value::Object(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "cache")
+                .map(|(k, v)| (k, strip_cache_counters(v)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.into_iter().map(strip_cache_counters).collect()),
+        other => other,
+    }
+}
+
+fn canonical_responses(per_tenant: &[Vec<String>]) -> Vec<Vec<String>> {
+    per_tenant
+        .iter()
+        .map(|lines| {
+            lines
+                .iter()
+                .map(|line| {
+                    let value = serde_json::parse(line).expect("responses are JSON");
+                    serde_json::to_string(&strip_cache_counters(value))
+                        .expect("rendering is infallible")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The concurrent-client sweep: 1, 2 and 4 client threads over the same
+/// tenant scripts, verified against the single-client drive.
+fn run_concurrent(workload: &Workload, tenants: usize, iterations: usize) -> ConcurrentReport {
+    let scripts = tenant_scripts(workload, tenants);
+    let requests: usize = scripts.iter().map(Vec::len).sum();
+    let baseline = canonical_responses(&drive_concurrent(workload, &scripts, 1));
+    let mut points = Vec::new();
+    let mut single_nanos = 0u64;
+    for clients in [1usize, 2, 4] {
+        let responses_match =
+            canonical_responses(&drive_concurrent(workload, &scripts, clients)) == baseline;
+        let nanos = best_of(iterations, || {
+            drive_concurrent(workload, &scripts, clients);
+        });
+        if clients == 1 {
+            single_nanos = nanos;
+        }
+        points.push(ConcurrentPoint {
+            client_threads: clients,
+            nanos,
+            throughput_rps: requests as f64 * 1e9 / nanos.max(1) as f64,
+            speedup_vs_1: single_nanos as f64 / nanos.max(1) as f64,
+            responses_match,
+        });
+    }
+    ConcurrentReport {
+        cores: thread::available_parallelism().map_or(1, |n| n.get()),
+        tenants,
+        requests,
+        points,
+    }
+}
+
+/// Runs the concurrent-client sweep standalone on the probabilistic
+/// collusion workload — the thread-invariance smoke tests call this
+/// directly so they need not pay for the full harness.
+pub fn run_concurrent_bench(
+    iterations: usize,
+    tenants: usize,
+    mc_samples: usize,
+) -> ConcurrentReport {
+    run_concurrent(&prob_collusion_workload(3, mc_samples), tenants, iterations)
+}
+
 /// Runs the harness: registry-vs-fresh-engines per workload, then the
 /// eviction-pressure sweep on the employee workload.
 pub fn run_serve_bench(iterations: usize, tenants: usize, mc_samples: usize) -> ServeBenchReport {
@@ -323,6 +546,11 @@ pub fn run_serve_bench(iterations: usize, tenants: usize, mc_samples: usize) -> 
     // workload, replaying the journal costs more than re-auditing).
     let restart = run_restart(&workloads[1], tenants, iterations);
 
+    // Concurrent clients are measured on the probabilistic workload too:
+    // its requests carry enough per-request work for parallel serving to
+    // matter, and the chain views exercise distinct memo shards.
+    let concurrent = run_concurrent(&workloads[1], tenants, iterations);
+
     ServeBenchReport {
         threads: rayon::current_num_threads(),
         iterations: iterations.max(1),
@@ -333,6 +561,7 @@ pub fn run_serve_bench(iterations: usize, tenants: usize, mc_samples: usize) -> 
         eviction_verdicts_match: eviction_sweep.iter().all(|p| p.verdicts_match),
         eviction_sweep,
         restart,
+        concurrent,
     }
 }
 
@@ -406,5 +635,27 @@ pub fn render_report(report: &ServeBenchReport) -> String {
         r.speedup,
         r.stats_match,
     );
+    let c = &report.concurrent;
+    let _ = writeln!(
+        out,
+        "concurrent clients over the NDJSON server ({} tenants, {} requests, {} cores):",
+        c.tenants, c.requests, c.cores
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>12} {:>6}",
+        "client threads", "drive µs", "req/s", "vs 1 client", "match"
+    );
+    for p in &c.points {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12.1} {:>12.0} {:>11.2}x {:>6}",
+            p.client_threads,
+            p.nanos as f64 / 1000.0,
+            p.throughput_rps,
+            p.speedup_vs_1,
+            p.responses_match,
+        );
+    }
     out
 }

@@ -30,14 +30,19 @@ fn harness_runs_warm_steps_hit_cache_and_match_the_stateless_baseline() {
             }
         }
     }
-    // The probabilistic workloads additionally reuse kernel compilations;
-    // the Monte-Carlo one reuses pooled columns.
+    // Warm probabilistic steps are served from the kernel's whole-audit
+    // memo: no compilation, no pooled column, no marginal walk — the
+    // verdict comes straight back.
     let prob = &report.workloads[1];
-    assert!(prob.steps[1].cache.compile_cache_hits > 0);
+    assert!(
+        prob.steps[1].cache.kernel_audit_hits > 0,
+        "warm probabilistic step must hit the audit memo: {:?}",
+        prob.steps[1].cache
+    );
     let mc = &report.workloads[2];
     assert!(
-        mc.steps[1].cache.pool_column_hits > 0,
-        "warm MC step must reuse pooled answer-bit columns: {:?}",
+        mc.steps[1].cache.kernel_audit_hits > 0,
+        "warm MC step must hit the audit memo: {:?}",
         mc.steps[1].cache
     );
     // The α-renamed republication is served entirely from the memo.
@@ -74,15 +79,15 @@ fn committed_bench_session_json_parses_and_holds_the_acceptance_criteria() {
         "committed warm steps must beat fresh-engine audits, got {:.2}x",
         report.geomean_warm_speedup
     );
-    // Per-workload floors after the report-cap / lazy-materialization work:
-    // the exact workload's warm steps are served almost entirely from memo
-    // (>= 4x), while the probabilistic workloads' remaining cost is the
-    // genuinely shared signature analysis — their ratio sits at ~1x, but
-    // the capped, lazily-materialized reporting cut that shared tail ~5x
-    // in absolute time (domain3 step 3: ~106 ms before, ~21 ms now), so a
-    // warm step must never fall meaningfully below the stateless baseline.
+    // Per-workload floors after the packed-signature marginal work: the
+    // exact workload's warm steps are served almost entirely from memo
+    // (>= 4x), and the probabilistic workloads — whose warm ratio sat at
+    // ~1x when every warm step re-ran the decoding analysis — now hold
+    // >= 2x comfortably (recorded: ~28x at domain3, ~235x on the
+    // Monte-Carlo workload) because the shared signature tail runs over
+    // packed accumulators and repeat audits hit the whole-audit memo.
     for w in &report.workloads {
-        let floor = if w.depth == "exact" { 4.0 } else { 0.9 };
+        let floor = if w.depth == "exact" { 4.0 } else { 2.0 };
         assert!(
             w.warm_geomean_speedup >= floor,
             "{}: committed warm geomean {:.2}x below the {:.1}x floor",

@@ -20,25 +20,30 @@
 //!
 //! ## Bounded caches
 //!
-//! Each layer is a byte-budgeted [`LruCache`]: with an [`ArtifactBudget`]
-//! configured (see `AuditEngineBuilder::cache_budget_bytes`), inserting past
-//! the budget evicts the least-recently-used entries, and a later request
-//! for an evicted artifact simply misses and recomputes — eviction is
-//! **transparent** to every verdict (property-tested in
-//! `tests/eviction_equivalence.rs`). With no budget the caches keep the
-//! historical append-only behaviour. Hit/miss/eviction counters and resident
-//! bytes feed the per-step cache metadata of
+//! Each layer is a byte-budgeted [`ShardedLruCache`] split into
+//! [`MEMO_SHARDS`] shards by a deterministic hash of the canonical form,
+//! so concurrent tenants looking up structurally different queries contend
+//! on different locks. With an [`ArtifactBudget`] configured (see
+//! `AuditEngineBuilder::cache_budget_bytes`), each shard owns a fixed
+//! slice of the layer's budget; inserting past it evicts that shard's
+//! least-recently-used entries, and a later request for an evicted
+//! artifact simply misses and recomputes — eviction is **transparent** to
+//! every verdict (property-tested in `tests/eviction_equivalence.rs`, and
+//! byte-identical under thread contention in
+//! `tests/sharded_memo_stress.rs`). With no budget the caches keep the
+//! historical append-only behaviour. Hit/miss/eviction counters and
+//! resident bytes feed the per-step cache metadata of
 //! [`crate::session::SessionReport`].
 
 use crate::critical::{self, ClassVerdictCache, CritStats};
 use crate::Result;
 use qvsec_cq::{CanonicalKey, ConjunctiveQuery};
-use qvsec_data::{Domain, LruCache, Tuple, TupleSpace};
+use qvsec_data::{Domain, ShardedLruCache, Tuple, TupleSpace};
 use qvsec_store::{StoreBackend, StoreOp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Store namespace of materialized `crit_D(Q)` sets.
 pub const NS_CRIT: &str = "artifacts/crit";
@@ -67,9 +72,15 @@ fn store_err(e: qvsec_store::StoreError) -> crate::QvsError {
     crate::QvsError::Invalid(format!("artifact store: {e}"))
 }
 
+/// Shards each memo layer is split into: enough that concurrent tenants
+/// touching distinct canonical forms rarely contend on one lock, few enough
+/// that per-shard byte budgets stay meaningful under small totals.
+pub const MEMO_SHARDS: usize = 8;
+
 /// A per-domain memo keyed by (canonical query form, active-domain size),
-/// bounded by a byte budget.
-type DomainMemo<T> = Mutex<LruCache<(String, usize), Arc<T>>>;
+/// split into canonical-form-hash shards, each bounded by its slice of the
+/// layer's byte budget.
+type DomainMemo<T> = ShardedLruCache<(String, usize), Arc<T>>;
 
 /// Approximate heap footprint of one tuple.
 fn tuple_bytes(t: &Tuple) -> usize {
@@ -128,7 +139,7 @@ pub struct CompiledArtifacts {
     spaces: DomainMemo<TupleSpace>,
     /// Domain-size-independent symmetry-class verdicts, per canonical form
     /// (order-free queries only).
-    class_verdicts: Mutex<LruCache<String, Arc<ClassVerdictCache>>>,
+    class_verdicts: ShardedLruCache<String, Arc<ClassVerdictCache>>,
     /// Engine-lifetime pruning counters of the `crit(Q)` kernel.
     crit_stats: CritStats,
     crit_hits: AtomicU64,
@@ -166,9 +177,9 @@ impl CompiledArtifacts {
         store: Option<Arc<dyn StoreBackend>>,
     ) -> Self {
         CompiledArtifacts {
-            crit_sets: Mutex::new(LruCache::new(budget.crit_bytes)),
-            spaces: Mutex::new(LruCache::new(budget.space_bytes)),
-            class_verdicts: Mutex::new(LruCache::new(budget.class_bytes)),
+            crit_sets: ShardedLruCache::new(MEMO_SHARDS, budget.crit_bytes),
+            spaces: ShardedLruCache::new(MEMO_SHARDS, budget.space_bytes),
+            class_verdicts: ShardedLruCache::new(MEMO_SHARDS, budget.class_bytes),
             crit_stats: CritStats::new(),
             crit_hits: AtomicU64::new(0),
             crit_misses: AtomicU64::new(0),
@@ -194,15 +205,35 @@ impl CompiledArtifacts {
 
     /// Number of distinct `crit(Q)` sets currently memoized.
     pub fn cached_crit_sets(&self) -> usize {
-        self.crit_sets.lock().expect("crit memo poisoned").len()
+        self.crit_sets.len()
     }
 
     /// Number of canonical forms with a shared class-verdict cache.
     pub fn cached_class_caches(&self) -> usize {
-        self.class_verdicts
-            .lock()
-            .expect("class memo poisoned")
-            .len()
+        self.class_verdicts.len()
+    }
+
+    /// Number of shards each memo layer is split into.
+    pub fn memo_shards(&self) -> usize {
+        self.crit_sets.num_shards()
+    }
+
+    /// Per-shard lifetime eviction counters, summed across the three
+    /// artifact layers (shards are index-aligned). The total equals the
+    /// aggregate `evictions` counter the engine always reported, so
+    /// sharding never hides an eviction.
+    pub fn per_shard_evictions(&self) -> Vec<u64> {
+        let mut out = self.crit_sets.per_shard_evictions();
+        for (slot, e) in out.iter_mut().zip(self.spaces.per_shard_evictions()) {
+            *slot += e;
+        }
+        for (slot, e) in out
+            .iter_mut()
+            .zip(self.class_verdicts.per_shard_evictions())
+        {
+            *slot += e;
+        }
+        out
     }
 
     /// The shared class-verdict cache of `key`'s canonical form, or `None`
@@ -212,7 +243,7 @@ impl CompiledArtifacts {
         if !key.order_free() {
             return None;
         }
-        let mut caches = self.class_verdicts.lock().expect("class memo poisoned");
+        let mut caches = self.class_verdicts.shard(key.form());
         if let Some(hit) = caches.get(key.form()) {
             return Some(Arc::clone(hit));
         }
@@ -236,12 +267,7 @@ impl CompiledArtifacts {
     ) -> Result<Arc<BTreeSet<Tuple>>> {
         let key = CanonicalKey::of(query);
         let memo_key = (key.form().to_string(), active.len());
-        if let Some(hit) = self
-            .crit_sets
-            .lock()
-            .expect("crit memo poisoned")
-            .get(&memo_key)
-        {
+        if let Some(hit) = self.crit_sets.shard(&memo_key).get(&memo_key) {
             self.crit_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
@@ -252,8 +278,8 @@ impl CompiledArtifacts {
             self.crit_hits.fetch_add(1, Ordering::Relaxed);
             let promoted = Arc::new(set.into_iter().collect::<BTreeSet<Tuple>>());
             let bytes = crit_set_bytes(&promoted) + memo_key.0.len();
-            let mut memo = self.crit_sets.lock().expect("crit memo poisoned");
-            return Ok(Arc::clone(memo.insert(memo_key, promoted, bytes)));
+            let mut memo = self.crit_sets.shard(&memo_key);
+            return Ok(Arc::clone(memo.insert(memo_key.clone(), promoted, bytes)));
         }
         self.crit_misses.fetch_add(1, Ordering::Relaxed);
         // Compute outside the lock so concurrent audits of distinct queries
@@ -271,8 +297,7 @@ impl CompiledArtifacts {
         // verdict map into the store.
         if let Some(classes) = &classes {
             self.class_verdicts
-                .lock()
-                .expect("class memo poisoned")
+                .shard(key.form())
                 .set_bytes(key.form(), classes.approx_bytes());
             if self.store.is_some() {
                 if let Ok(encoded) = serde_json::to_string(&classes.export()) {
@@ -287,8 +312,8 @@ impl CompiledArtifacts {
             }
         }
         let bytes = crit_set_bytes(&computed) + memo_key.0.len();
-        let mut memo = self.crit_sets.lock().expect("crit memo poisoned");
-        Ok(Arc::clone(memo.insert(memo_key, computed, bytes)))
+        let mut memo = self.crit_sets.shard(&memo_key);
+        Ok(Arc::clone(memo.insert(memo_key.clone(), computed, bytes)))
     }
 
     /// Reads and decodes one persisted artifact; `None` on any miss or
@@ -311,12 +336,7 @@ impl CompiledArtifacts {
         cap: usize,
     ) -> Result<Arc<TupleSpace>> {
         let memo_key = (qvsec_cq::canonical_form(query), active.len());
-        if let Some(hit) = self
-            .spaces
-            .lock()
-            .expect("space memo poisoned")
-            .get(&memo_key)
-        {
+        if let Some(hit) = self.spaces.shard(&memo_key).get(&memo_key) {
             self.space_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
@@ -325,8 +345,8 @@ impl CompiledArtifacts {
             self.space_hits.fetch_add(1, Ordering::Relaxed);
             let promoted = Arc::new(TupleSpace::from_tuples(tuples));
             let bytes = space_bytes(&promoted) + memo_key.0.len();
-            let mut memo = self.spaces.lock().expect("space memo poisoned");
-            return Ok(Arc::clone(memo.insert(memo_key, promoted, bytes)));
+            let mut memo = self.spaces.shard(&memo_key);
+            return Ok(Arc::clone(memo.insert(memo_key.clone(), promoted, bytes)));
         }
         self.space_misses.fetch_add(1, Ordering::Relaxed);
         let computed = Arc::new(critical::candidate_space(query, active, cap)?);
@@ -336,8 +356,8 @@ impl CompiledArtifacts {
             }
         }
         let bytes = space_bytes(&computed) + memo_key.0.len();
-        let mut memo = self.spaces.lock().expect("space memo poisoned");
-        Ok(Arc::clone(memo.insert(memo_key, computed, bytes)))
+        let mut memo = self.spaces.shard(&memo_key);
+        Ok(Arc::clone(memo.insert(memo_key.clone(), computed, bytes)))
     }
 
     /// Repopulates the resident memo layers from the store, **without**
@@ -366,11 +386,10 @@ impl CompiledArtifacts {
             };
             let set = Arc::new(set.into_iter().collect::<BTreeSet<Tuple>>());
             let weight = crit_set_bytes(&set) + form.len();
-            self.crit_sets.lock().expect("crit memo poisoned").insert(
-                (form.to_string(), size),
-                set,
-                weight,
-            );
+            let memo_key = (form.to_string(), size);
+            self.crit_sets
+                .shard(&memo_key)
+                .insert(memo_key.clone(), set, weight);
         }
         let entries = store.scan(NS_SPACE).map_err(store_err)?;
         for (key, bytes) in entries {
@@ -384,11 +403,10 @@ impl CompiledArtifacts {
             };
             let space = Arc::new(TupleSpace::from_tuples(tuples));
             let weight = space_bytes(&space) + form.len();
-            self.spaces.lock().expect("space memo poisoned").insert(
-                (form.to_string(), size),
-                space,
-                weight,
-            );
+            let memo_key = (form.to_string(), size);
+            self.spaces
+                .shard(&memo_key)
+                .insert(memo_key.clone(), space, weight);
         }
         let entries = store.scan(NS_CLASS).map_err(store_err)?;
         for (form, bytes) in entries {
@@ -400,9 +418,8 @@ impl CompiledArtifacts {
             let cache = Arc::new(ClassVerdictCache::import(verdicts));
             let weight = cache.approx_bytes();
             self.class_verdicts
-                .lock()
-                .expect("class memo poisoned")
-                .insert(form, cache, weight);
+                .shard(form.as_str())
+                .insert(form.clone(), cache, weight);
         }
         Ok(())
     }
@@ -410,30 +427,21 @@ impl CompiledArtifacts {
     /// A snapshot of the artifact-layer hit/miss/eviction counters and
     /// resident bytes.
     pub fn counters(&self) -> ArtifactCounters {
-        let (crit_evictions, crit_evicted, crit_resident) = {
-            let memo = self.crit_sets.lock().expect("crit memo poisoned");
-            (
-                memo.evictions(),
-                memo.evicted_bytes(),
-                memo.resident_bytes(),
-            )
-        };
-        let (space_evictions, space_evicted, space_resident) = {
-            let memo = self.spaces.lock().expect("space memo poisoned");
-            (
-                memo.evictions(),
-                memo.evicted_bytes(),
-                memo.resident_bytes(),
-            )
-        };
-        let (class_evictions, class_evicted, class_resident) = {
-            let memo = self.class_verdicts.lock().expect("class memo poisoned");
-            (
-                memo.evictions(),
-                memo.evicted_bytes(),
-                memo.resident_bytes(),
-            )
-        };
+        let (crit_evictions, crit_evicted, crit_resident) = (
+            self.crit_sets.evictions(),
+            self.crit_sets.evicted_bytes(),
+            self.crit_sets.resident_bytes(),
+        );
+        let (space_evictions, space_evicted, space_resident) = (
+            self.spaces.evictions(),
+            self.spaces.evicted_bytes(),
+            self.spaces.resident_bytes(),
+        );
+        let (class_evictions, class_evicted, class_resident) = (
+            self.class_verdicts.evictions(),
+            self.class_verdicts.evicted_bytes(),
+            self.class_verdicts.resident_bytes(),
+        );
         ArtifactCounters {
             crit_cache_hits: self.crit_hits.load(Ordering::Relaxed),
             crit_cache_misses: self.crit_misses.load(Ordering::Relaxed),
@@ -556,12 +564,29 @@ mod tests {
     #[test]
     fn tiny_budgets_evict_but_stay_transparent() {
         let (schema, mut domain) = setup();
-        // A 1-byte budget per layer: every insert evicts the previous entry.
+        // A 1-byte budget per layer, split across the memo shards: a shard
+        // holding more than one entry evicts on every insert (a lone entry
+        // stays resident — the LRU never evicts its last slot).
         let artifacts = CompiledArtifacts::with_budget(ArtifactBudget::split(3));
-        let queries = [
-            parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap(),
-            parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap(),
+        // More distinct canonical forms than shards, so by pigeonhole at
+        // least one shard receives two keys and must evict.
+        let texts = [
+            "V(x) :- R(x, y)",
+            "S(y) :- R(x, y)",
+            "V(x, y) :- R(x, y)",
+            "V() :- R(x, y)",
+            "V(x) :- R(x, 'a')",
+            "V(x) :- R(x, 'b')",
+            "V(x) :- R('a', x)",
+            "V(x) :- R('b', x)",
+            "V() :- R('a', 'b')",
+            "V() :- R('b', 'a')",
         ];
+        let queries: Vec<_> = texts
+            .iter()
+            .map(|t| parse_query(t, &schema, &mut domain).unwrap())
+            .collect();
+        assert!(queries.len() > artifacts.memo_shards());
         for round in 0..3 {
             for q in &queries {
                 let got = artifacts.crit(q, &domain, 10_000).unwrap();
@@ -578,11 +603,15 @@ mod tests {
             "tiny budget must evict: {counters:?}"
         );
         assert!(counters.evicted_bytes > 0);
-        assert_eq!(
-            counters.crit_cache_hits, 0,
-            "alternating queries under a one-entry budget never hit"
+        assert!(
+            artifacts.cached_crit_sets() <= artifacts.memo_shards(),
+            "each shard retains at most one entry under a tiny budget"
         );
-        assert!(artifacts.cached_crit_sets() <= 1);
+        assert_eq!(
+            artifacts.per_shard_evictions().iter().sum::<u64>(),
+            counters.evictions,
+            "per-shard eviction counters must sum to the aggregate"
+        );
     }
 
     #[test]

@@ -313,7 +313,15 @@ impl AuditEngineBuilder {
             minute_threshold: default_minute_threshold(),
             candidate_cap: crate::critical::DEFAULT_CANDIDATE_CAP,
             default_depth: AuditDepth::default(),
-            prob_config: KernelConfig::default(),
+            // The engine always memoizes whole kernel audits: session steps
+            // and multi-tenant serving repeat identical `(secret, views)`
+            // audits constantly, and the memo is what moves the warm/cold
+            // ratio of probabilistic steps off ≈1 (unbounded here; a byte
+            // budget arrives with `cache_budget_bytes`).
+            prob_config: KernelConfig {
+                audit_memo: true,
+                ..KernelConfig::default()
+            },
             artifact_budget: ArtifactBudget::unbounded(),
             store: None,
         }
@@ -368,17 +376,18 @@ impl AuditEngineBuilder {
 
     /// Bounds every engine cache by one total byte budget: 70% goes to the
     /// compiled-artifact store (crit sets, candidate spaces, class
-    /// verdicts), 15% each to the probabilistic kernel's compile and
-    /// answer-bit-column caches. Inserting past a layer's budget evicts its
-    /// least-recently-used entries; eviction is transparent — any evicted
-    /// artifact is recomputed on the next request, and every verdict is
-    /// byte-identical to an unbounded engine's (see
-    /// `tests/eviction_equivalence.rs`). Without this call the caches are
-    /// append-only for the engine's lifetime.
+    /// verdicts), 10% each to the probabilistic kernel's compile,
+    /// answer-bit-column and whole-audit-memo caches. Inserting past a
+    /// layer's budget evicts its least-recently-used entries; eviction is
+    /// transparent — any evicted artifact is recomputed on the next
+    /// request, and every verdict is byte-identical to an unbounded
+    /// engine's (see `tests/eviction_equivalence.rs`). Without this call
+    /// the caches are append-only for the engine's lifetime.
     pub fn cache_budget_bytes(mut self, total: usize) -> Self {
         self.artifact_budget = ArtifactBudget::split(total * 7 / 10);
-        self.prob_config.compile_budget = Some(total * 15 / 100);
-        self.prob_config.column_budget = Some(total * 15 / 100);
+        self.prob_config.compile_budget = Some(total / 10);
+        self.prob_config.column_budget = Some(total / 10);
+        self.prob_config.audit_budget = Some(total / 10);
         self
     }
 
@@ -555,6 +564,7 @@ impl AuditEngine {
             mc_samples_reused: prob.samples_reused,
             pool_columns_built: prob.pool_columns_built,
             pool_column_hits: prob.pool_column_hits,
+            kernel_audit_hits: prob.audit_memo_hits,
             evictions: artifacts.evictions + prob.evictions,
             evicted_bytes: artifacts.evicted_bytes + prob.evicted_bytes,
             resident_bytes: artifacts.resident_bytes + prob.resident_bytes,
@@ -830,6 +840,10 @@ pub struct CacheStatsSnapshot {
     pub pool_columns_built: u64,
     /// Pooled answer-bit columns served from the kernel memo.
     pub pool_column_hits: u64,
+    /// Whole probabilistic audits served from the kernel's verdict memo —
+    /// no world streamed, no sample touched, no marginal walked.
+    #[serde(default)]
+    pub kernel_audit_hits: u64,
     /// Entries evicted under the engine's cache byte budgets (artifact
     /// store + kernel caches); 0 forever on an unbounded engine.
     #[serde(default)]
@@ -881,6 +895,9 @@ impl CacheStatsSnapshot {
             pool_column_hits: self
                 .pool_column_hits
                 .saturating_sub(earlier.pool_column_hits),
+            kernel_audit_hits: self
+                .kernel_audit_hits
+                .saturating_sub(earlier.kernel_audit_hits),
             evictions: self.evictions.saturating_sub(earlier.evictions),
             evicted_bytes: self.evicted_bytes.saturating_sub(earlier.evicted_bytes),
             resident_bytes: self.resident_bytes.saturating_sub(earlier.resident_bytes),
@@ -900,6 +917,7 @@ impl CacheStatsSnapshot {
         self.mc_samples_reused += delta.mc_samples_reused;
         self.pool_columns_built += delta.pool_columns_built;
         self.pool_column_hits += delta.pool_column_hits;
+        self.kernel_audit_hits += delta.kernel_audit_hits;
         self.evictions += delta.evictions;
         self.evicted_bytes += delta.evicted_bytes;
         self.resident_bytes += delta.resident_bytes;
@@ -913,6 +931,7 @@ impl CacheStatsSnapshot {
             + self.compile_cache_hits
             + self.mc_samples_reused
             + self.pool_column_hits
+            + self.kernel_audit_hits
             > 0
     }
 }
@@ -1160,18 +1179,21 @@ mod tests {
         assert!(est.std_error > 0.0);
         let stats = engine.prob_stats();
         assert_eq!(stats.samples_drawn, 2000, "one pool serves the whole batch");
-        assert!(
-            stats.samples_reused >= 3 * 2000,
-            "passes + second audit reuse"
-        );
-        assert_eq!(stats.cutovers, 2);
+        assert!(stats.samples_reused >= 2 * 2000, "passes share the pool");
+        // The engine memoizes whole audits: the duplicate request is served
+        // from the verdict memo unless the parallel batch raced it past the
+        // memo check — either way every audit is a cutover or a memo hit.
+        assert_eq!(stats.cutovers + stats.audit_memo_hits, 2);
         // Shared pool + chunked seeding: both reports are identical.
         assert_eq!(
             serde_json::to_string(&batch[0]).unwrap(),
             serde_json::to_string(&batch[1]).unwrap()
         );
-        // And a fresh engine with the same seed reproduces them.
+        // A sequential re-audit on the warm engine hits the memo for sure,
+        // and reproduces the batch reports byte-for-byte.
+        let hits_before = engine.prob_stats().audit_memo_hits;
         let report = engine.audit(&request).unwrap();
+        assert_eq!(engine.prob_stats().audit_memo_hits, hits_before + 1);
         assert_eq!(
             serde_json::to_string(&batch[0]).unwrap(),
             serde_json::to_string(&report).unwrap()

@@ -474,10 +474,13 @@ mod tests {
         assert!(!what_if.committed);
         assert_eq!(what_if.step, 2, "the step it would be");
         assert_eq!(session.views_published(), 1, "nothing committed");
-        // Committing afterwards is served warm from the candidate's work.
+        // Committing afterwards is served warm from the candidate's work:
+        // the crit memo answers the criticality stage, and the kernel's
+        // audit memo returns the candidate's whole verdict without even
+        // touching the compile cache.
         let committed = session.publish(views[1].clone()).unwrap();
         assert!(committed.cache.crit_cache_hits > 0);
-        assert!(committed.cache.compile_cache_hits >= 3);
+        assert!(committed.cache.kernel_audit_hits > 0);
         assert_eq!(
             serde_json::to_string(&what_if.report).unwrap(),
             serde_json::to_string(&committed.report).unwrap(),

@@ -32,6 +32,7 @@ pub mod lru;
 pub mod ratio;
 pub mod sampler;
 pub mod schema;
+pub mod sharded;
 pub mod tuple;
 pub mod tuple_space;
 pub mod value;
@@ -45,6 +46,7 @@ pub use lru::LruCache;
 pub use ratio::Ratio;
 pub use sampler::InstanceSampler;
 pub use schema::{KeyConstraint, RelationId, RelationSchema, Schema};
+pub use sharded::ShardedLruCache;
 pub use tuple::Tuple;
 pub use tuple_space::TupleSpace;
 pub use value::{Domain, Value};

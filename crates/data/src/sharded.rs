@@ -1,0 +1,236 @@
+//! A sharded, byte-budgeted LRU cache.
+//!
+//! Every engine memo layer used to be one [`LruCache`] behind one `Mutex`,
+//! so concurrent tenants' cache lookups serialized even when they touched
+//! unrelated keys. A [`ShardedLruCache`] splits the key space into
+//! power-of-two shards selected by a **deterministic** FNV-1a hash of the
+//! key (no per-process hash seeds — the same request trace shards
+//! identically on every run, the `SessionRegistry` tenant-map pattern), and
+//! each shard is its own independently-locked [`LruCache`].
+//!
+//! The byte budget is split across shards up front — `budget / n` each,
+//! with the remainder spread one byte at a time over the first shards — so
+//! eviction decisions never depend on which other shards are busy: a
+//! shard's evictions are a function of the keys routed to it alone, which
+//! keeps single-threaded replays byte-identical to concurrent runs
+//! (property-tested in the core crate's sharded-memo stress test).
+//!
+//! Transparency is inherited from [`LruCache`]: eviction only discards
+//! derived state, so a later request misses and recomputes. Aggregate
+//! counters (`evictions`, `evicted_bytes`, `resident_bytes`, `len`) sum the
+//! per-shard counters; [`ShardedLruCache::per_shard_evictions`] exposes the
+//! per-shard split for tests asserting the sum matches the old globals.
+
+use crate::lru::LruCache;
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, MutexGuard};
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic [`Hasher`]: FNV-1a over the written bytes, no
+/// per-process seed. Shard selection must be reproducible across runs so
+/// eviction traces (and therefore warm/cold cache behaviour) replay
+/// byte-identically.
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// A sharded LRU map. See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardedLruCache<K, V> {
+    shards: Box<[Mutex<LruCache<K, V>>]>,
+    mask: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> ShardedLruCache<K, V> {
+    /// A cache split into `shards` shards (rounded up to a power of two,
+    /// minimum 1) sharing one total byte `budget` (`None` never evicts).
+    /// Each shard gets `budget / n` bytes, with the remainder spread one
+    /// byte at a time over the first shards, so the per-shard budgets
+    /// always sum exactly to the total.
+    pub fn new(shards: usize, budget: Option<usize>) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards = (0..n)
+            .map(|i| {
+                let per_shard = budget.map(|total| total / n + usize::from(i < total % n));
+                Mutex::new(LruCache::new(per_shard))
+            })
+            .collect();
+        ShardedLruCache {
+            shards,
+            mask: n as u64 - 1,
+        }
+    }
+
+    /// Number of shards the key space is split into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Index of the shard serving `key`.
+    pub fn shard_index<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Hash + ?Sized,
+    {
+        let mut hasher = Fnv1a(FNV_OFFSET);
+        key.hash(&mut hasher);
+        (hasher.finish() & self.mask) as usize
+    }
+
+    /// Locks and returns the shard serving `key`. All reads and writes for
+    /// the key go through this guard — `get` on a different shard can
+    /// proceed concurrently.
+    pub fn shard<Q>(&self, key: &Q) -> MutexGuard<'_, LruCache<K, V>>
+    where
+        K: Borrow<Q>,
+        Q: Hash + ?Sized,
+    {
+        self.shards[self.shard_index(key)]
+            .lock()
+            .expect("cache shard poisoned")
+    }
+
+    /// Total entries across every shard.
+    pub fn len(&self) -> usize {
+        self.fold(|c| c.len())
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries evicted across every shard over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.fold(|c| c.evictions())
+    }
+
+    /// Approximate bytes evicted across every shard.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.fold(|c| c.evicted_bytes())
+    }
+
+    /// Approximate bytes currently resident across every shard.
+    pub fn resident_bytes(&self) -> usize {
+        self.fold(|c| c.resident_bytes())
+    }
+
+    /// Per-shard lifetime eviction counters, in shard order. Sums to
+    /// [`ShardedLruCache::evictions`].
+    pub fn per_shard_evictions(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").evictions())
+            .collect()
+    }
+
+    fn fold<T: std::iter::Sum>(&self, f: impl Fn(&LruCache<K, V>) -> T) -> T {
+        self.shards
+            .iter()
+            .map(|s| f(&s.lock().expect("cache shard poisoned")))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        let cache: ShardedLruCache<String, u32> = ShardedLruCache::new(5, None);
+        assert_eq!(cache.num_shards(), 8);
+        let one: ShardedLruCache<String, u32> = ShardedLruCache::new(0, None);
+        assert_eq!(one.num_shards(), 1);
+    }
+
+    #[test]
+    fn per_shard_budgets_sum_exactly_to_the_total() {
+        // 103 bytes over 8 shards: 7 shards x 12 + 1 x 19... the remainder
+        // (103 % 8 = 7) goes one byte at a time to the first 7 shards.
+        let cache: ShardedLruCache<String, u32> = ShardedLruCache::new(8, Some(103));
+        let total: usize = (0..cache.num_shards())
+            .map(|i| {
+                cache.shards[i]
+                    .lock()
+                    .unwrap()
+                    .budget()
+                    .expect("budgeted shard")
+            })
+            .sum();
+        assert_eq!(total, 103);
+    }
+
+    #[test]
+    fn shard_selection_is_deterministic_and_key_local() {
+        let cache: ShardedLruCache<String, u32> = ShardedLruCache::new(8, None);
+        for key in ["a", "b", "some-long-canonical-form", ""] {
+            assert_eq!(cache.shard_index(key), cache.shard_index(key));
+        }
+        // &str and String hash identically, so lookups by borrowed form
+        // land on the shard the owned insert used.
+        let owned = String::from("V(x) :- R(x, y)");
+        assert_eq!(
+            cache.shard_index::<str>(&owned),
+            cache.shard_index::<str>("V(x) :- R(x, y)")
+        );
+    }
+
+    #[test]
+    fn inserts_route_to_shards_and_aggregate_counters_sum() {
+        let cache: ShardedLruCache<String, u32> = ShardedLruCache::new(4, Some(40));
+        // Enough keys that some shard holds several entries; per-shard
+        // budget is 10 bytes, each entry weighs 8.
+        for i in 0..32u32 {
+            let key = format!("key-{i}");
+            cache.shard(key.as_str()).insert(key.clone(), i, 8);
+        }
+        assert!(cache.evictions() > 0, "tight shard budgets must evict");
+        assert_eq!(
+            cache.per_shard_evictions().iter().sum::<u64>(),
+            cache.evictions(),
+            "per-shard counters sum to the aggregate"
+        );
+        assert!(
+            cache.resident_bytes() <= 40 + 4 * 8,
+            "within budget + one oversized entry per shard"
+        );
+        // Every key is either resident in its own shard or was evicted
+        // from it — never silently lost to a different shard.
+        let mut resident = 0;
+        for i in 0..32u32 {
+            let key = format!("key-{i}");
+            if cache.shard(key.as_str()).get(key.as_str()).is_some() {
+                resident += 1;
+            }
+        }
+        assert_eq!(resident, cache.len());
+    }
+
+    #[test]
+    fn unbounded_shards_never_evict() {
+        let cache: ShardedLruCache<String, u32> = ShardedLruCache::new(8, None);
+        for i in 0..100u32 {
+            let key = format!("key-{i}");
+            cache.shard(key.as_str()).insert(key.clone(), i, 1 << 20);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.evictions(), 0);
+    }
+}

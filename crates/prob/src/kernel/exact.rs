@@ -12,6 +12,7 @@
 //! `(answer, view-answer)` pair.
 
 use super::compile::CompiledQuery;
+use super::montecarlo::SignatureCounts;
 use super::stats::ProbStats;
 use qvsec_data::bitset::MAX_ENUMERABLE;
 use qvsec_data::{DataError, Dictionary, Ratio};
@@ -136,6 +137,61 @@ pub fn stream_exact(
     Ok(out)
 }
 
+/// Streams every world of a **uniform-mass** dictionary (all tuple
+/// probabilities `1/2`, so every mask carries `2^-n`) and counts the
+/// signature histogram — no `Ratio` arithmetic per world at all. The
+/// resulting [`SignatureCounts`] with `total = 2^n` carries exactly the
+/// information of [`stream_exact`]'s distribution (each mass is
+/// `count / 2^n`); the packed-marginal analysis defers that normalization
+/// to the reported entries. Chunking matches [`stream_exact`], so the
+/// counts are independent of the worker-thread count.
+pub fn stream_exact_counts(
+    dict: &Dictionary,
+    compiled: &[Arc<CompiledQuery>],
+    stats: &ProbStats,
+) -> Result<SignatureCounts, DataError> {
+    let n = dict.len();
+    if n > MAX_ENUMERABLE {
+        return Err(DataError::EnumerationTooLarge(n));
+    }
+    debug_assert!(
+        dict.probabilities().iter().all(|&p| p == Ratio::new(1, 2)),
+        "count streaming requires uniform 1/2 tuple probabilities"
+    );
+    let worlds: u64 = 1u64 << n;
+    let chunk_len: u64 = (worlds >> 6).clamp(1, 1 << 14);
+    let chunks: Vec<u64> = (0..worlds.div_ceil(chunk_len)).collect();
+    let partials: Vec<HashMap<Vec<u64>, u64>> = chunks
+        .par_iter()
+        .map(|&c| {
+            let lo = c * chunk_len;
+            let hi = (lo + chunk_len).min(worlds);
+            let mut local: HashMap<Vec<u64>, u64> = HashMap::new();
+            let mut sig = Vec::new();
+            for mask in lo..hi {
+                sig.clear();
+                for q in compiled {
+                    q.push_answer_bits_mask(mask, &mut sig);
+                }
+                *local.entry(sig.clone()).or_insert(0) += 1;
+            }
+            local
+        })
+        .collect();
+
+    let mut out = SignatureCounts {
+        counts: HashMap::new(),
+        total: worlds,
+    };
+    for partial in partials {
+        for (sig, c) in partial {
+            *out.counts.entry(sig).or_insert(0) += c;
+        }
+    }
+    stats.add_exact_worlds(worlds);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +249,33 @@ mod tests {
         assert!(dist.total_mass().is_one());
         assert_eq!(stats.snapshot().exact_worlds_streamed, 16);
         assert!(!dist.entries.is_empty());
+    }
+
+    #[test]
+    fn count_streaming_matches_the_mass_distribution() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["x", "y"]);
+        let mut domain = Domain::with_constants(["a", "b"]);
+        let space = TupleSpace::full(&schema, &domain).unwrap();
+        let dict = Dictionary::half(space.clone());
+        let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+        let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+        let compiled = vec![
+            Arc::new(CompiledQuery::compile(&s, &space)),
+            Arc::new(CompiledQuery::compile(&v, &space)),
+        ];
+        let stats = ProbStats::new();
+        let dist = stream_exact(&dict, &compiled, &stats).unwrap();
+        let counts = stream_exact_counts(&dict, &compiled, &stats).unwrap();
+        assert_eq!(counts.total, 16);
+        assert_eq!(counts.counts.len(), dist.entries.len());
+        for (sig, &c) in &counts.counts {
+            assert_eq!(
+                dist.entries[sig],
+                Ratio::new(c as i128, counts.total as i128),
+                "mass of {sig:?}"
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub struct ProbStats {
     compile_cache_hits: AtomicU64,
     pool_columns_built: AtomicU64,
     pool_column_hits: AtomicU64,
+    audit_memo_hits: AtomicU64,
 }
 
 impl ProbStats {
@@ -61,6 +62,10 @@ impl ProbStats {
         self.pool_column_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_audit_memo_hit(&self) {
+        self.audit_memo_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> ProbStatsSnapshot {
         ProbStatsSnapshot {
@@ -72,6 +77,7 @@ impl ProbStats {
             compile_cache_hits: self.compile_cache_hits.load(Ordering::Relaxed),
             pool_columns_built: self.pool_columns_built.load(Ordering::Relaxed),
             pool_column_hits: self.pool_column_hits.load(Ordering::Relaxed),
+            audit_memo_hits: self.audit_memo_hits.load(Ordering::Relaxed),
             // The kernel folds its cache layers' eviction counters and
             // resident bytes in on top of this snapshot.
             evictions: 0,
@@ -113,6 +119,13 @@ pub struct ProbStatsSnapshot {
     /// were reused without touching a single world.
     #[serde(default)]
     pub pool_column_hits: u64,
+    /// Whole audits served from the kernel's verdict memo: the exact
+    /// `(secret, views)` canonical forms were evaluated before, so no
+    /// world was streamed, sampled or re-analysed at all. Memoized audits
+    /// deliberately count **no** cutover, world or sample-reuse traffic —
+    /// the counters stay an honest record of computation performed.
+    #[serde(default)]
+    pub audit_memo_hits: u64,
     /// Compilations/columns evicted under the kernel's byte budgets.
     #[serde(default)]
     pub evictions: u64,

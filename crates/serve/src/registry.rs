@@ -116,6 +116,12 @@ struct Tenant {
     /// Approximate bytes of published-view and snapshot state this tenant
     /// pins (serialized size; recomputed after each mutating operation).
     bytes: u64,
+    /// Set (under the tenant lock) when idle expiry demotes this tenant:
+    /// its state has already moved to the journal and the entry left the
+    /// shard map, so any request that raced past the map lookup must
+    /// re-dispatch instead of mutating this zombie — a mutation here would
+    /// be silently lost at the next revival.
+    retired: bool,
 }
 
 impl Tenant {
@@ -312,6 +318,7 @@ impl SessionRegistry {
             last_used: Instant::now(),
             requests,
             bytes: 0,
+            retired: false,
         };
         t.recount_bytes();
         t
@@ -430,6 +437,7 @@ impl SessionRegistry {
             last_used: Instant::now(),
             requests: 0,
             bytes: 0,
+            retired: false,
         }));
         map.insert(tenant.to_string(), Arc::clone(&entry));
         Ok(entry)
@@ -503,13 +511,26 @@ impl SessionRegistry {
         secret: Option<&ConjunctiveQuery>,
         f: impl FnOnce(&mut Tenant) -> crate::Result<(R, Option<String>)>,
     ) -> crate::Result<R> {
-        let entry = self.tenant_entry(tenant, secret)?;
-        let mut t = entry.lock().expect("tenant poisoned");
-        let (out, snapshot_label) = f(&mut t)?;
-        t.last_used = Instant::now();
-        t.requests += 1;
-        self.journal_op(op, tenant, &t, snapshot_label)?;
-        Ok(out)
+        let mut f = Some(f);
+        loop {
+            let entry = self.tenant_entry(tenant, secret)?;
+            let mut t = entry.lock().expect("tenant poisoned");
+            if t.retired {
+                // An idle sweep demoted this tenant between the shard-map
+                // lookup and the tenant lock. Its state already lives in
+                // the journal and the entry left the map, so re-dispatch:
+                // the next lookup revives the demoted state (or reopens),
+                // and the operation lands on live state instead of being
+                // silently dropped at the next revival.
+                continue;
+            }
+            let (out, snapshot_label) =
+                (f.take().expect("operation retried after success"))(&mut t)?;
+            t.last_used = Instant::now();
+            t.requests += 1;
+            self.journal_op(op, tenant, &t, snapshot_label)?;
+            return Ok(out);
+        }
     }
 
     /// Opens (or re-validates) `tenant`'s session for `secret` without
@@ -619,12 +640,16 @@ impl SessionRegistry {
     ) -> usize {
         let mut expired_ids = Vec::new();
         for (id, entry) in map.iter() {
-            if let Ok(t) = entry.try_lock() {
+            if let Ok(mut t) = entry.try_lock() {
                 if now.duration_since(t.last_used) > max_idle {
                     // Counted before journaling, so the expire event's
                     // running total includes this very expiry.
                     self.expired.fetch_add(1, Ordering::Relaxed);
                     self.demote_expired(id, &t);
+                    // Marked under the tenant lock: a request that cloned
+                    // this entry out of the map before we removed it sees
+                    // the flag when it finally locks, and re-dispatches.
+                    t.retired = true;
                     expired_ids.push(id.clone());
                 }
             }
@@ -1078,5 +1103,85 @@ mod tests {
         let a = shard_hash("alice");
         assert_eq!(a, shard_hash("alice"), "hash is deterministic");
         assert_ne!(a, shard_hash("alicf"));
+    }
+
+    /// The sweep/dispatch race, replayed deterministically through the
+    /// private dispatch path: a request's shard-map lookup hands it the
+    /// tenant entry, an idle sweep demotes the tenant before the request
+    /// locks it, and the request must re-dispatch onto the revived state
+    /// instead of mutating the zombie (whose state already moved to the
+    /// journal — a mutation there would vanish at the next revival).
+    #[test]
+    fn a_sweep_racing_a_dispatched_request_retires_the_entry() {
+        let store: Arc<dyn StoreBackend> = Arc::new(qvsec_store::MemStore::new());
+        let reg = durable_registry(&store);
+        let secret = reg.parse("S(n, p) :- Employee(n, d, p)").unwrap();
+        let v1 = reg.parse("V1(n, d) :- Employee(n, d, p)").unwrap();
+        let v2 = reg.parse("V2(d, p) :- Employee(n, d, p)").unwrap();
+        reg.publish("t", Some(&secret), None, v1).unwrap();
+
+        // Interleaving step 1: the request's map lookup completes.
+        let stale = reg.tenant_entry("t", None).unwrap();
+        // Interleaving step 2: an idle sweep demotes the tenant.
+        assert_eq!(reg.sweep_idle(Duration::ZERO), 1);
+        assert_eq!(reg.tenant_count(), 0, "the entry left the shard map");
+        // Interleaving step 3: the request locks the entry it was handed —
+        // and finds it retired, the exact flag `with_tenant` re-dispatches
+        // on.
+        assert!(
+            stale.lock().unwrap().retired,
+            "the sweep must retire the demoted entry under its lock"
+        );
+        // The re-dispatched publish revives the demoted state and lands.
+        let r = reg.publish("t", None, None, v2).unwrap();
+        assert_eq!(r.step, 2, "the raced publish lands on the revived session");
+        assert_eq!(reg.stats().tenants[0].views_published, 2);
+    }
+
+    /// The same race under real threads: a sweeper demoting the tenant as
+    /// fast as it can while a client publishes view after view. Every
+    /// publish must land on live state — step numbers advance by exactly
+    /// one — no matter where the demotions interleave.
+    #[test]
+    fn concurrent_sweeps_never_lose_a_published_view() {
+        use std::sync::atomic::AtomicBool;
+
+        let store: Arc<dyn StoreBackend> = Arc::new(qvsec_store::MemStore::new());
+        let reg = durable_registry(&store);
+        let secret = reg.parse("S(n, p) :- Employee(n, d, p)").unwrap();
+        let heads = [
+            "V1(n, d)", "V2(d, p)", "V3(n)", "V4(p)", "V5(d)", "V6(n, p)",
+        ];
+        let views: Vec<ConjunctiveQuery> = heads
+            .iter()
+            .map(|h| reg.parse(&format!("{h} :- Employee(n, d, p)")).unwrap())
+            .collect();
+
+        let done = AtomicBool::new(false);
+        let steps = std::thread::scope(|scope| {
+            let reg = &reg;
+            let done = &done;
+            let sweeper = scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    reg.sweep_idle(Duration::ZERO);
+                    std::thread::yield_now();
+                }
+            });
+            let mut steps = Vec::new();
+            for (i, v) in views.iter().enumerate() {
+                let open_secret = (i == 0).then_some(&secret);
+                steps.push(reg.publish("t", open_secret, None, v.clone()).unwrap().step);
+            }
+            done.store(true, Ordering::Relaxed);
+            sweeper.join().unwrap();
+            steps
+        });
+        assert_eq!(
+            steps,
+            (1..=views.len()).collect::<Vec<_>>(),
+            "a published view was lost to a racing sweep"
+        );
+        let total: usize = reg.stats().tenants.iter().map(|t| t.views_published).sum();
+        assert_eq!(total, views.len());
     }
 }
