@@ -1,8 +1,9 @@
 //! `bench_serve` — runs the serving-layer harness and writes
 //! `BENCH_serve.json` (warm multi-tenant registry throughput vs a fresh
 //! engine per request, the eviction-pressure sweep, restart-rehydration,
-//! and the concurrent-client sweep over the NDJSON server), so the
-//! serving performance trajectory is recorded alongside the code.
+//! the concurrent-client sweep over the NDJSON server, and the saturation
+//! sweep of 32–128 pipelined keep-alive connections), so the serving
+//! performance trajectory is recorded alongside the code.
 //!
 //! ```text
 //! cargo run --release -p qvsec-bench --bin bench_serve -- \
@@ -93,6 +94,15 @@ fn main() -> ExitCode {
     }
     if !report.concurrent.points.iter().all(|p| p.responses_match) {
         eprintln!("error: a concurrent drive diverged from the single-client one — not writing");
+        return ExitCode::FAILURE;
+    }
+    if !report
+        .saturation
+        .points
+        .iter()
+        .all(|p| p.responses_match && p.dropped_responses == 0)
+    {
+        eprintln!("error: a saturation drive dropped or rewrote responses — not writing");
         return ExitCode::FAILURE;
     }
     match serde_json::to_string_pretty(&report) {

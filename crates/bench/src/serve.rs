@@ -27,7 +27,10 @@
 use crate::session::{depth_name, employee_collusion_workload, prob_collusion_workload, Workload};
 use qvsec::engine::{AuditOptions, AuditRequest};
 use qvsec_cq::ConjunctiveQuery;
-use qvsec_serve::{request_lines, RegistryConfig, Server, SessionRegistry};
+use qvsec_serve::{
+    drive_scripts, request_lines, RegistryConfig, Server, ServerConfig, ServerStats,
+    SessionRegistry,
+};
 use qvsec_store::{MemStore, StoreBackend};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -136,6 +139,51 @@ pub struct ConcurrentReport {
     pub points: Vec<ConcurrentPoint>,
 }
 
+/// One connection count of the saturation sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SaturationPoint {
+    /// Concurrent keep-alive connections held open for the whole drive.
+    pub connections: usize,
+    /// Total requests across every connection's script.
+    pub requests: usize,
+    /// Best-of-N wall clock of the drive (connections up to last response),
+    /// nanoseconds.
+    pub nanos: u64,
+    /// Requests per second over the best drive.
+    pub throughput_rps: f64,
+    /// Median per-request latency over the best drive, microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile per-request latency over the best drive,
+    /// microseconds.
+    pub p99_micros: u64,
+    /// This point's throughput over the single-connection point's (≥ 1 is
+    /// the saturation claim; floors only bind when cores allow).
+    pub speedup_vs_1: f64,
+    /// Requests that never got a response (must be 0: keep-alive
+    /// connections under the default lifecycle are never shed).
+    pub dropped_responses: usize,
+    /// Whether every connection's response stream was byte-identical to a
+    /// sequential one-connection-at-a-time drive of the same scripts
+    /// (cache counters stripped).
+    pub responses_match: bool,
+    /// The server's connection counters after the verification drive.
+    pub server: ServerStats,
+}
+
+/// The saturation measurement: 32–128 concurrent pipethrough keep-alive
+/// connections against one server, each replaying a tenant-disjoint
+/// script.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SaturationReport {
+    /// Cores available on the recording machine — throughput floors only
+    /// bind when this is at least 4.
+    pub cores: usize,
+    /// Requests each connection's script carries.
+    pub requests_per_connection: usize,
+    /// One point per swept connection count.
+    pub points: Vec<SaturationPoint>,
+}
+
 /// The full harness report serialized into `BENCH_serve.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeBenchReport {
@@ -161,6 +209,11 @@ pub struct ServeBenchReport {
     /// The concurrent-client sweep over the NDJSON server (run on the
     /// probabilistic workload, where each request carries real work).
     pub concurrent: ConcurrentReport,
+    /// The saturation sweep: 32–128 concurrent keep-alive connections over
+    /// the NDJSON server (run on the cheap exact workload, so the front
+    /// end — accept gate, reader threads, in-flight queues — is what gets
+    /// measured, not the audits).
+    pub saturation: SaturationReport,
 }
 
 fn best_of<F: FnMut()>(iterations: usize, mut f: F) -> u64 {
@@ -486,6 +539,174 @@ pub fn run_concurrent_bench(
     run_concurrent(&prob_collusion_workload(3, mc_samples), tenants, iterations)
 }
 
+/// One cheap keep-alive script per connection: open a connection-disjoint
+/// tenant, publish the workload's steps, then one candidate re-asking the
+/// first view. Every op is tenant-local, so a concurrent drive and a
+/// sequential one must answer identically (modulo cache counters).
+fn saturation_scripts(workload: &Workload, connections: usize) -> Vec<Vec<String>> {
+    let secret = workload
+        .secret
+        .display(&workload.schema, &workload.domain)
+        .to_string();
+    let steps: Vec<(String, String)> = workload
+        .steps
+        .iter()
+        .map(|(who, view)| {
+            (
+                who.clone(),
+                view.display(&workload.schema, &workload.domain).to_string(),
+            )
+        })
+        .collect();
+    (0..connections)
+        .map(|c| {
+            let tenant = format!("sat-{c:03}");
+            let mut lines = vec![wire_line(&[
+                ("op", "open"),
+                ("tenant", &tenant),
+                ("secret", &secret),
+            ])];
+            for (who, view) in &steps {
+                lines.push(wire_line(&[
+                    ("op", "publish"),
+                    ("tenant", &tenant),
+                    ("view", view),
+                    ("name", who),
+                ]));
+            }
+            lines.push(wire_line(&[
+                ("op", "candidate"),
+                ("tenant", &tenant),
+                ("view", &steps[0].1),
+            ]));
+            lines
+        })
+        .collect()
+}
+
+/// One saturation drive: a fresh server sized for the connection count,
+/// every script driven concurrently over its own keep-alive connection.
+/// Returns the drive outcome, the server's counters and the wall clock of
+/// the drive itself (server build and shutdown excluded).
+fn drive_saturation(
+    workload: &Workload,
+    scripts: &[Vec<String>],
+) -> (qvsec_serve::DriveOutcome, ServerStats, u64) {
+    let engine = Arc::new(workload.engine_with_budget(None));
+    let registry = Arc::new(SessionRegistry::new(engine));
+    let server = Server::bind_with(
+        registry,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: scripts.len().max(4),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let handle = server.handle().expect("server handle");
+    let addr = handle.addr().to_string();
+    let join = thread::spawn(move || server.run());
+    let start = Instant::now();
+    let outcome = drive_scripts(&addr, scripts);
+    let nanos = start.elapsed().as_nanos() as u64;
+    handle.shutdown();
+    join.join().expect("server thread").expect("server run");
+    // Counters are final only once every connection thread has exited —
+    // i.e. after the drain `run()` performs — so snapshot after the join.
+    let stats = handle.stats();
+    (outcome, stats, nanos)
+}
+
+/// A sequential ground-truth drive of the same scripts: one connection at
+/// a time against a fresh server, canonicalized for comparison.
+fn sequential_baseline(workload: &Workload, scripts: &[Vec<String>]) -> Vec<Vec<String>> {
+    let engine = Arc::new(workload.engine_with_budget(None));
+    let registry = Arc::new(SessionRegistry::new(engine));
+    let server = Server::bind(registry, "127.0.0.1:0", 4).expect("bind loopback");
+    let handle = server.handle().expect("server handle");
+    let addr = handle.addr().to_string();
+    let join = thread::spawn(move || server.run());
+    let responses: Vec<Vec<String>> = scripts
+        .iter()
+        .map(|script| request_lines(&addr, script).expect("sequential drive"))
+        .collect();
+    handle.shutdown();
+    join.join().expect("server thread").expect("server run");
+    canonical_responses(&responses)
+}
+
+fn percentile_micros(sorted_nanos: &[u64], p: f64) -> u64 {
+    if sorted_nanos.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    sorted_nanos[rank] / 1_000
+}
+
+/// The saturation sweep over `connection_counts` (the first count is the
+/// speedup baseline). Each point verifies against a sequential drive, then
+/// keeps the latency distribution and counters of the best-of-N timed
+/// drive.
+fn run_saturation(
+    workload: &Workload,
+    iterations: usize,
+    connection_counts: &[usize],
+) -> SaturationReport {
+    let mut points = Vec::new();
+    let mut single_rps = 0.0f64;
+    for &connections in connection_counts {
+        let scripts = saturation_scripts(workload, connections);
+        let requests: usize = scripts.iter().map(Vec::len).sum();
+        let baseline = sequential_baseline(workload, &scripts);
+        let (verify_outcome, verify_stats, mut best_nanos) = drive_saturation(workload, &scripts);
+        let responses_match = verify_outcome.dropped == 0
+            && canonical_responses(&verify_outcome.responses) == baseline;
+        let mut best_latencies = verify_outcome.latencies_nanos.clone();
+        let mut dropped = verify_outcome.dropped;
+        for _ in 1..iterations.max(1) {
+            let (outcome, _, nanos) = drive_saturation(workload, &scripts);
+            if nanos < best_nanos {
+                best_nanos = nanos;
+                best_latencies = outcome.latencies_nanos.clone();
+                dropped = outcome.dropped;
+            }
+        }
+        best_latencies.sort_unstable();
+        let throughput_rps = requests as f64 * 1e9 / best_nanos.max(1) as f64;
+        if points.is_empty() {
+            single_rps = throughput_rps;
+        }
+        points.push(SaturationPoint {
+            connections,
+            requests,
+            nanos: best_nanos,
+            throughput_rps,
+            p50_micros: percentile_micros(&best_latencies, 0.50),
+            p99_micros: percentile_micros(&best_latencies, 0.99),
+            speedup_vs_1: throughput_rps / single_rps.max(1e-9),
+            dropped_responses: dropped,
+            responses_match,
+            server: verify_stats,
+        });
+    }
+    SaturationReport {
+        cores: thread::available_parallelism().map_or(1, |n| n.get()),
+        requests_per_connection: workload.steps.len() + 2,
+        points,
+    }
+}
+
+/// Runs the saturation sweep standalone on the cheap exact workload — the
+/// smoke tests call this directly with a reduced connection list so they
+/// need not pay for the full harness.
+pub fn run_saturation_bench(iterations: usize, connection_counts: &[usize]) -> SaturationReport {
+    run_saturation(
+        &employee_collusion_workload(64),
+        iterations,
+        connection_counts,
+    )
+}
+
 /// Runs the harness: registry-vs-fresh-engines per workload, then the
 /// eviction-pressure sweep on the employee workload.
 pub fn run_serve_bench(iterations: usize, tenants: usize, mc_samples: usize) -> ServeBenchReport {
@@ -551,6 +772,10 @@ pub fn run_serve_bench(iterations: usize, tenants: usize, mc_samples: usize) -> 
     // matter, and the chain views exercise distinct memo shards.
     let concurrent = run_concurrent(&workloads[1], tenants, iterations);
 
+    // Saturation runs on the cheap exact workload: with near-free audits,
+    // req/s and tail latency measure the front end itself.
+    let saturation = run_saturation(&workloads[0], iterations, &[1, 32, 64, 128]);
+
     ServeBenchReport {
         threads: rayon::current_num_threads(),
         iterations: iterations.max(1),
@@ -562,6 +787,7 @@ pub fn run_serve_bench(iterations: usize, tenants: usize, mc_samples: usize) -> 
         eviction_sweep,
         restart,
         concurrent,
+        saturation,
     }
 }
 
@@ -654,6 +880,31 @@ pub fn render_report(report: &ServeBenchReport) -> String {
             p.nanos as f64 / 1000.0,
             p.throughput_rps,
             p.speedup_vs_1,
+            p.responses_match,
+        );
+    }
+    let s = &report.saturation;
+    let _ = writeln!(
+        out,
+        "saturation: pipelined keep-alive connections ({} requests/conn, {} cores):",
+        s.requests_per_connection, s.cores
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>9} {:>12} {:>10} {:>10} {:>11} {:>8} {:>6}",
+        "connections", "requests", "req/s", "p50 µs", "p99 µs", "vs 1 conn", "dropped", "match"
+    );
+    for p in &s.points {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9} {:>12.0} {:>10} {:>10} {:>10.2}x {:>8} {:>6}",
+            p.connections,
+            p.requests,
+            p.throughput_rps,
+            p.p50_micros,
+            p.p99_micros,
+            p.speedup_vs_1,
+            p.dropped_responses,
             p.responses_match,
         );
     }

@@ -494,6 +494,53 @@ pub struct ServeSpec {
     /// `{"backend": "log", "path": "/var/lib/qvsec"}`. The CLI's
     /// `--store <PATH>` flag overrides this with a log store at PATH.
     pub store: Option<qvsec_store::StoreConfig>,
+    /// Connection-lifecycle knobs for the TCP front end; every field is
+    /// optional and falls back to the server's defaults.
+    pub server: Option<ServerSpec>,
+}
+
+/// The `server` block of a [`ServeSpec`]: connection-lifecycle knobs for
+/// the NDJSON TCP front end, mirroring [`qvsec_serve::ServerConfig`].
+#[derive(Debug, Clone, Default, Deserialize)]
+pub struct ServerSpec {
+    /// Accept gate: concurrent connections beyond this are turned away
+    /// with a `server_at_capacity` notice (default 1024). The CLI's
+    /// `--max-connections <N>` flag overrides this.
+    pub max_connections: Option<usize>,
+    /// Per-connection pipelining depth: how many parsed-but-unanswered
+    /// requests the reader may run ahead of the processor (default 64).
+    pub max_inflight: Option<usize>,
+    /// Keep-alive limit: close (with a `request_limit` notice) after this
+    /// many requests on one connection.
+    pub max_requests_per_conn: Option<u64>,
+    /// Keep-alive limit: close (with a `byte_limit` notice) after this
+    /// many request bytes on one connection.
+    pub max_bytes_per_conn: Option<u64>,
+    /// Drop connections idle longer than this many milliseconds with an
+    /// `idle_timeout` notice. Distinct from the registry-level
+    /// `idle_timeout_secs`, which expires tenant *sessions*, not sockets.
+    pub conn_idle_timeout_millis: Option<u64>,
+}
+
+/// Resolves a spec's `server` block (and the CLI `--max-connections`
+/// override, when given) onto a full [`qvsec_serve::ServerConfig`].
+pub fn server_config(
+    spec: &ServeSpec,
+    max_connections_override: Option<usize>,
+) -> qvsec_serve::ServerConfig {
+    let block = spec.server.clone().unwrap_or_default();
+    let defaults = qvsec_serve::ServerConfig::default();
+    qvsec_serve::ServerConfig {
+        max_connections: max_connections_override
+            .or(block.max_connections)
+            .unwrap_or(defaults.max_connections),
+        max_inflight: block.max_inflight.unwrap_or(defaults.max_inflight),
+        max_requests_per_conn: block.max_requests_per_conn,
+        max_bytes_per_conn: block.max_bytes_per_conn,
+        idle_timeout: block
+            .conn_idle_timeout_millis
+            .map(std::time::Duration::from_millis),
+    }
 }
 
 /// Detects the format (JSON / TOML subset) and parses a server spec.

@@ -23,8 +23,9 @@ qvsec-cli — query-view security audits (Miklau & Suciu, SIGMOD 2004)
 USAGE:
     qvsec-cli audit --spec <FILE> [OPTIONS]
     qvsec-cli session --spec <FILE> [--store <DIR>] [OPTIONS]
-    qvsec-cli serve --spec <FILE> --addr <HOST:PORT> [--workers <N>] [--store <DIR>]
+    qvsec-cli serve --spec <FILE> --addr <HOST:PORT> [--max-connections <N>] [--store <DIR>]
     qvsec-cli request --addr <HOST:PORT> [--file <FILE>] [--out <FILE>]
+                      [--pipeline | --connections <N>]
 
 COMMANDS:
     audit            Run the spec's stateless audits (parallel by default)
@@ -35,15 +36,29 @@ COMMANDS:
 OPTIONS:
     --spec <FILE>    Spec, JSON or TOML (format auto-detected)
     --addr <ADDR>    Server address, e.g. 127.0.0.1:7341
-    --workers <N>    (serve) connection worker threads (default 4)
+    --max-connections <N>
+                     (serve) accept-gate cap on concurrent connections
+                     (overrides the spec's `server.max_connections`;
+                     `--workers` is a deprecated alias)
     --store <DIR>    (serve/session) durable log store at DIR: tenants and
                      compiled artifacts persist and rehydrate on restart
                      (overrides the spec's `store` block)
     --file <FILE>    (request) NDJSON request script (default: stdin)
+    --pipeline       (request) write every request before reading any
+                     response (responses still arrive in request order)
+    --connections <N>
+                     (request) open N concurrent keep-alive connections,
+                     each replaying the script with `{conn}` replaced by
+                     its connection index; print a latency/throughput
+                     summary instead of the responses
     --out <FILE>     Write the output to FILE instead of stdout
     --pretty         Pretty-print the JSON output (audit/session)
     --sequential     (audit) one request at a time instead of in parallel
     -h, --help       Show this help
+
+On Unix, `serve` drains gracefully on SIGTERM/SIGINT: accepting stops,
+in-flight requests still get their responses, the store journal is
+flushed, and the process exits 0.
 ";
 
 enum Command {
@@ -57,7 +72,9 @@ struct Args {
     command: Command,
     spec: Option<String>,
     addr: Option<String>,
-    workers: usize,
+    max_connections: Option<usize>,
+    connections: Option<usize>,
+    pipeline: bool,
     file: Option<String>,
     out: Option<String>,
     store: Option<String>,
@@ -78,7 +95,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         command,
         spec: None,
         addr: None,
-        workers: 4,
+        max_connections: None,
+        connections: None,
+        pipeline: false,
         file: None,
         out: None,
         store: None,
@@ -89,12 +108,24 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         match arg.as_str() {
             "--spec" => args.spec = Some(argv.next().ok_or("--spec needs a file argument")?),
             "--addr" => args.addr = Some(argv.next().ok_or("--addr needs an address argument")?),
-            "--workers" => {
-                args.workers = argv
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--workers needs a positive integer")?
+            // `--workers` predates the pipelined server (one thread per
+            // connection now; no fixed pool) and stays as an alias.
+            "--max-connections" | "--workers" => {
+                args.max_connections = Some(
+                    argv.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--max-connections needs a positive integer")?,
+                )
             }
+            "--connections" => {
+                args.connections = Some(
+                    argv.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n| *n > 0)
+                        .ok_or("--connections needs a positive integer")?,
+                )
+            }
+            "--pipeline" => args.pipeline = true,
             "--file" => args.file = Some(argv.next().ok_or("--file needs a file argument")?),
             "--out" => args.out = Some(argv.next().ok_or("--out needs a file argument")?),
             "--store" => {
@@ -108,6 +139,17 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if args.store.is_some() && matches!(args.command, Command::Audit | Command::Request) {
         return Err("--store only applies to `serve` and `session`".into());
+    }
+    if (args.connections.is_some() || args.pipeline) && !matches!(args.command, Command::Request) {
+        return Err("--connections and --pipeline only apply to `request`".into());
+    }
+    if args.connections.is_some() && args.pipeline {
+        return Err(
+            "--connections drives whole connections; it cannot combine with --pipeline".into(),
+        );
+    }
+    if args.max_connections.is_some() && !matches!(args.command, Command::Serve) {
+        return Err("--max-connections only applies to `serve`".into());
     }
     match args.command {
         Command::Audit | Command::Session => {
@@ -163,6 +205,44 @@ fn emit(out: &Option<String>, text: String) -> ExitCode {
     }
 }
 
+/// SIGTERM/SIGINT → graceful drain, without a signal-handling dependency.
+/// The raw handler only flips an atomic (the async-signal-safe subset); a
+/// watcher thread polls the flag and calls `ServerHandle::shutdown`, which
+/// stops the accept loop, drains in-flight requests and flushes the store
+/// journal before `serve` exits 0.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    extern "C" fn note_termination(_signum: i32) {
+        TERMINATION_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn drain_on_termination(handle: qvsec_serve::ServerHandle) {
+        unsafe {
+            signal(SIGTERM, note_termination);
+            signal(SIGINT, note_termination);
+        }
+        std::thread::spawn(move || loop {
+            if TERMINATION_REQUESTED.load(Ordering::SeqCst) {
+                eprintln!("qvsec-serve draining (termination signal)");
+                handle.shutdown();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+}
+
 fn run_serve(args: &Args) -> ExitCode {
     let text = match read_spec(args.spec.as_deref().expect("validated")) {
         Ok(text) => text,
@@ -186,8 +266,8 @@ fn run_serve(args: &Args) -> ExitCode {
         }
     };
     let addr = args.addr.as_deref().expect("validated");
-    let server = match qvsec_serve::Server::bind(std::sync::Arc::new(registry), addr, args.workers)
-    {
+    let config = qvsec_cli::server_config(&spec, args.max_connections);
+    let server = match qvsec_serve::Server::bind_with(std::sync::Arc::new(registry), addr, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("error: cannot bind `{addr}`: {e}");
@@ -198,6 +278,14 @@ fn run_serve(args: &Args) -> ExitCode {
         // Announced on stderr so request scripts piping stdout stay clean;
         // flushed line-wise, so `wait-for-line` style supervision works.
         Ok(bound) => eprintln!("qvsec-serve listening on {bound}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    #[cfg(unix)]
+    match server.handle() {
+        Ok(handle) => signals::drain_on_termination(handle),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -236,13 +324,67 @@ fn run_request(args: &Args) -> ExitCode {
     };
     let lines: Vec<String> = input.lines().map(String::from).collect();
     let addr = args.addr.as_deref().expect("validated");
-    match qvsec_serve::request_lines(addr, &lines) {
+    if let Some(connections) = args.connections {
+        return run_saturation(args, addr, &lines, connections);
+    }
+    let sent = if args.pipeline {
+        qvsec_serve::request_lines_pipelined(addr, &lines)
+    } else {
+        qvsec_serve::request_lines(addr, &lines)
+    };
+    match sent {
         Ok(responses) => emit(&args.out, responses.join("\n")),
         Err(e) => {
             eprintln!("error: request to `{addr}` failed: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// `request --connections N`: N concurrent keep-alive connections each
+/// replay the script (with `{conn}` replaced by the connection index, so
+/// tenants can be kept disjoint), and a one-line JSON summary with
+/// throughput and latency percentiles replaces the raw responses.
+fn run_saturation(args: &Args, addr: &str, template: &[String], connections: usize) -> ExitCode {
+    let scripts: Vec<Vec<String>> = (0..connections)
+        .map(|conn| {
+            template
+                .iter()
+                .map(|line| line.replace("{conn}", &conn.to_string()))
+                .collect()
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let outcome = qvsec_serve::drive_scripts(addr, &scripts);
+    let elapsed = started.elapsed();
+    let responses: usize = outcome.responses.iter().map(Vec::len).sum();
+    let requests = template.len() * connections;
+    let rps = responses as f64 / elapsed.as_secs_f64().max(1e-9);
+    let mut sorted = outcome.latencies_nanos.clone();
+    sorted.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[rank] / 1_000
+    };
+    let summary = format!(
+        concat!(
+            "{{\"connections\": {}, \"requests\": {}, \"responses\": {}, ",
+            "\"dropped\": {}, \"elapsed_millis\": {}, \"rps\": {:.1}, ",
+            "\"p50_micros\": {}, \"p99_micros\": {}}}"
+        ),
+        connections,
+        requests,
+        responses,
+        outcome.dropped,
+        elapsed.as_millis(),
+        rps,
+        percentile(0.50),
+        percentile(0.99),
+    );
+    emit(&args.out, summary)
 }
 
 fn main() -> ExitCode {

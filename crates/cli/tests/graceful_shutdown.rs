@@ -1,0 +1,181 @@
+//! Graceful-drain end-to-end test: SIGTERM mid-script must deliver every
+//! in-flight response, flush the store journal, and exit 0 — and a
+//! restart over the same store must answer the rest of the script
+//! byte-identically to a server that was never interrupted.
+//!
+//! Unix-only: the drain path under test is the CLI's signal handler.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+fn repo_root() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root exists")
+        .to_path_buf()
+}
+
+/// A scratch store directory, distinct per test process and label.
+fn scratch_store(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qvsec-graceful-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns `qvsec-cli serve` over the persistence spec with `store`
+/// overriding the spec's store path; returns the child, its bound address
+/// and the live stderr reader (dropping it would close the pipe under the
+/// server's own announcements).
+fn spawn_server(store: &Path) -> (Child, String, BufReader<std::process::ChildStderr>) {
+    let mut server = Command::new(env!("CARGO_BIN_EXE_qvsec-cli"))
+        .args([
+            "serve",
+            "--spec",
+            "specs/serve_persist.json",
+            "--addr",
+            "127.0.0.1:0",
+            "--store",
+            store.to_str().expect("UTF-8 temp path"),
+        ])
+        .current_dir(repo_root())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let stderr = server.stderr.take().expect("stderr piped");
+    let mut announcements = BufReader::new(stderr);
+    let mut first = String::new();
+    announcements
+        .read_line(&mut first)
+        .expect("server announces");
+    let addr = first
+        .strip_prefix("qvsec-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {first}"))
+        .trim()
+        .to_string();
+    (server, addr, announcements)
+}
+
+/// The committed request script minus the trailing `stats` line (server
+/// counters are process-local, so a restarted server's stats legitimately
+/// differ).
+fn script() -> Vec<String> {
+    let text = std::fs::read_to_string(repo_root().join("specs/serve_requests.ndjson"))
+        .expect("committed script");
+    let lines: Vec<String> = text.lines().map(String::from).collect();
+    assert!(lines.last().expect("non-empty").contains("stats"));
+    lines[..lines.len() - 1].to_vec()
+}
+
+/// Sends `lines` one at a time over an open connection, returning one
+/// response per line.
+fn drive(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    lines: &[String],
+) -> Vec<String> {
+    let mut responses = Vec::with_capacity(lines.len());
+    for line in lines {
+        writer.write_all(line.as_bytes()).expect("request written");
+        writer.write_all(b"\n").expect("request written");
+        let mut response = String::new();
+        assert!(
+            reader.read_line(&mut response).expect("response read") > 0,
+            "server closed before answering: {line}"
+        );
+        responses.push(response.trim_end().to_string());
+    }
+    responses
+}
+
+/// Requests shutdown and reads the acknowledgement before closing — an
+/// unread close can reset the connection out from under the server.
+fn shutdown(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>) {
+    writer
+        .write_all(b"{\"op\": \"shutdown\"}\n")
+        .expect("shutdown written");
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("shutdown acknowledged");
+    assert!(ack.contains("\"shutdown\":true"), "unexpected ack: {ack}");
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+#[test]
+fn sigterm_mid_script_drains_flushes_and_restart_resumes_byte_identically() {
+    let lines = script();
+    assert_eq!(lines.len(), 8);
+
+    // Reference: one uninterrupted server answers the whole script.
+    let ref_store = scratch_store("reference");
+    let (mut ref_server, ref_addr, _ref_stderr) = spawn_server(&ref_store);
+    let (mut w, mut r) = connect(&ref_addr);
+    let reference = drive(&mut w, &mut r, &lines);
+    shutdown(&mut w, &mut r);
+    assert!(ref_server.wait().expect("reference exits").success());
+
+    // Interrupted: answer the first four requests, then SIGTERM while the
+    // fifth is in flight.
+    let cut_store = scratch_store("interrupted");
+    let (mut cut_server, cut_addr, _cut_stderr) = spawn_server(&cut_store);
+    let (mut w, mut r) = connect(&cut_addr);
+    let mut before = drive(&mut w, &mut r, &lines[..4]);
+    w.write_all(lines[4].as_bytes()).expect("request written");
+    w.write_all(b"\n").expect("request written");
+    let pid = cut_server.id().to_string();
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs")
+        .success());
+    // The in-flight request still gets its response, post-signal.
+    let mut fifth = String::new();
+    assert!(
+        r.read_line(&mut fifth).expect("drained response") > 0,
+        "SIGTERM dropped the in-flight response"
+    );
+    before.push(fifth.trim_end().to_string());
+    // Then the server winds the connection down: a structured
+    // `connection_closing` notice (or a plain close, if the drain window
+    // raced our read) and EOF.
+    let mut tail = String::new();
+    while r.read_line(&mut tail).expect("connection drains") > 0 {
+        assert!(
+            qvsec_serve::is_notice(tail.trim_end()),
+            "unexpected post-drain line: {tail}"
+        );
+        assert!(tail.contains("shutting_down"), "wrong notice: {tail}");
+        tail.clear();
+    }
+    drop((w, r));
+    // Graceful exit: status 0, not a signal death.
+    assert!(
+        cut_server.wait().expect("interrupted exits").success(),
+        "SIGTERM must drain and exit 0"
+    );
+    assert_eq!(before, reference[..5], "pre-signal responses diverged");
+
+    // Restart over the flushed store: the journal must rehydrate enough
+    // state to answer the remainder byte-identically.
+    let (mut resumed_server, resumed_addr, _resumed_stderr) = spawn_server(&cut_store);
+    let (mut w, mut r) = connect(&resumed_addr);
+    let after = drive(&mut w, &mut r, &lines[5..]);
+    shutdown(&mut w, &mut r);
+    assert!(resumed_server.wait().expect("resumed exits").success());
+    assert_eq!(
+        after,
+        reference[5..],
+        "post-restart responses diverged from the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&ref_store);
+    let _ = std::fs::remove_dir_all(&cut_store);
+}

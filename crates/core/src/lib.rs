@@ -31,7 +31,6 @@
 //! | [`security`] | Thm 4.5, Thm 4.8, Prop. 4.9 | the dictionary-independent security criterion `crit(S) ∩ crit(V̄) = ∅` |
 //! | [`mod@fast_check`] | §4.2 | the "practical algorithm": pairwise subgoal unification |
 //! | [`report`] | §1.1, Table 1 | Total/Partial/Minute/None classification |
-//! | [`analysis`] | — | deprecated borrowed-lifetime facade kept for compatibility |
 //! | [`prior`] | §5.1–5.3 | security under prior knowledge: Theorem 5.2, keys (Cor. 5.3), cardinality, protective disclosure (Cor. 5.4), prior views (Cor. 5.5) |
 //! | [`encrypted`] | §5.4 | attribute-wise encrypted views |
 //! | [`leakage`] | §6.1 | the `leak(S, V̄)` measure and the Theorem 6.1 bound |
@@ -70,7 +69,6 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod analysis;
 pub mod answerability;
 pub mod artifacts;
 pub mod cnf;
@@ -88,8 +86,6 @@ pub mod report;
 pub mod security;
 pub mod session;
 
-#[allow(deprecated)]
-pub use analysis::{DisclosureAnalysis, SecurityAnalyzer};
 pub use answerability::{answerable_as_projection, answerable_from_views, determined_by};
 pub use artifacts::{ArtifactBudget, ArtifactCounters, CompiledArtifacts};
 pub use critical::{critical_tuples, is_critical, CritStats, CritStatsSnapshot};

@@ -1,0 +1,135 @@
+//! Table 1 classification behavior through the public [`qvsec::AuditEngine`]
+//! API — migrated from the retired `SecurityAnalyzer` facade's test suite so
+//! the coverage (secure/insecure split, total disclosure, the minute-vs-
+//! partial threshold, fast-depth limits) survives the shim's removal.
+
+use qvsec::engine::{AuditDepth, AuditEngine, AuditRequest};
+use qvsec::report::DisclosureClass;
+use qvsec_cq::{parse_query, ViewSet};
+use qvsec_data::{Dictionary, Domain, Ratio, Schema};
+
+fn employee_schema() -> Schema {
+    let mut schema = Schema::new();
+    schema.add_relation("Employee", &["name", "department", "phone"]);
+    schema.add_relation("R", &["x", "y"]);
+    schema
+}
+
+#[test]
+fn exact_depth_classifies_secure_and_insecure() {
+    let schema = employee_schema();
+    let mut domain = Domain::new();
+    let v4 = parse_query("V4(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap();
+    let s4 = parse_query("S4(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+    let engine = AuditEngine::builder(schema.clone(), domain).build();
+    let report = engine
+        .audit(&AuditRequest::new(s4, ViewSet::single(v4)).with_depth(AuditDepth::Exact))
+        .unwrap();
+    assert_eq!(report.class, DisclosureClass::NoDisclosure);
+    assert!(report.fast.is_certainly_secure());
+    assert!(report.security.as_ref().unwrap().secure);
+    assert!(
+        report.independence.is_none(),
+        "no dictionary, no Def 4.1 run"
+    );
+
+    let mut domain = Domain::new();
+    let v1 = parse_query("V1(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+    let s1 = parse_query("S1(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+    let engine = AuditEngine::builder(schema, domain).build();
+    let report = engine
+        .audit(&AuditRequest::new(s1, ViewSet::single(v1)).with_depth(AuditDepth::Exact))
+        .unwrap();
+    assert_eq!(
+        report.class,
+        DisclosureClass::Partial,
+        "without a dictionary, insecure defaults to partial"
+    );
+}
+
+#[test]
+fn probabilistic_depth_produces_the_full_report() {
+    let schema = employee_schema();
+    let mut domain = Domain::with_constants(["a", "b"]);
+    let s = parse_query("S(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+    let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+    let space = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 100).unwrap();
+    let dict = Dictionary::half(space);
+    let engine = AuditEngine::builder(schema, domain)
+        .dictionary(dict)
+        .build();
+    let report = engine
+        .audit(&AuditRequest::new(s, ViewSet::single(v)).with_depth(AuditDepth::Probabilistic))
+        .unwrap();
+    assert!(!report.security.as_ref().unwrap().secure);
+    assert!(!report.independence.as_ref().unwrap().independent);
+    assert!(report.leakage.as_ref().unwrap().max_leak > Ratio::ZERO);
+    assert_eq!(report.totally_disclosed, Some(false));
+    assert_ne!(report.class, DisclosureClass::NoDisclosure);
+    let rendered = report.render();
+    assert!(rendered.contains("leakage"));
+}
+
+#[test]
+fn identity_view_is_classified_total() {
+    let schema = employee_schema();
+    let mut domain = Domain::with_constants(["a", "b"]);
+    let s = parse_query("S(x) :- R(x, y)", &schema, &mut domain).unwrap();
+    let v = parse_query("V(x, y) :- R(x, y)", &schema, &mut domain).unwrap();
+    let space = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 100).unwrap();
+    let dict = Dictionary::half(space);
+    let engine = AuditEngine::builder(schema, domain)
+        .dictionary(dict)
+        .build();
+    let report = engine
+        .audit(&AuditRequest::new(s, ViewSet::single(v)).with_depth(AuditDepth::Probabilistic))
+        .unwrap();
+    assert_eq!(report.class, DisclosureClass::Total);
+}
+
+#[test]
+fn threshold_controls_minute_vs_partial() {
+    let schema = employee_schema();
+    let mut domain = Domain::with_constants(["a", "b"]);
+    let s = parse_query("S(y) :- R(x, y)", &schema, &mut domain).unwrap();
+    let v = parse_query("V(x) :- R(x, y)", &schema, &mut domain).unwrap();
+    let space = qvsec_prob::lineage::support_space(&[&s, &v], &domain, 100).unwrap();
+    let dict = Dictionary::half(space);
+
+    // A huge engine-level threshold classifies everything non-total as
+    // minute; the per-request override can still tighten it back to zero.
+    let engine = AuditEngine::builder(schema, domain)
+        .dictionary(dict)
+        .minute_threshold(Ratio::from_integer(1000))
+        .build();
+    let generous = engine
+        .audit(
+            &AuditRequest::new(s.clone(), ViewSet::single(v.clone()))
+                .with_depth(AuditDepth::Probabilistic),
+        )
+        .unwrap();
+    assert_eq!(generous.class, DisclosureClass::Minute);
+
+    let strict = engine
+        .audit(
+            &AuditRequest::new(s, ViewSet::single(v))
+                .with_depth(AuditDepth::Probabilistic)
+                .with_minute_threshold(Ratio::ZERO),
+        )
+        .unwrap();
+    assert_eq!(strict.class, DisclosureClass::Partial);
+}
+
+#[test]
+fn fast_depth_reports_carry_no_exact_verdict() {
+    let schema = employee_schema();
+    let mut domain = Domain::new();
+    let v = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+    let s = parse_query("S(d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+    let engine = AuditEngine::builder(schema, domain).build();
+    let report = engine
+        .audit(&AuditRequest::new(s, ViewSet::single(v)).with_depth(AuditDepth::Fast))
+        .unwrap();
+    assert!(report.security.is_none());
+    assert!(!report.conclusive, "fast depth alone cannot conclude");
+}

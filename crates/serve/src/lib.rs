@@ -37,9 +37,15 @@ pub mod registry;
 pub mod server;
 
 pub use journal::{Journal, JournalEvent, TenantStoreUsage, NS_JOURNAL};
-pub use protocol::{handle_request, WireRequest};
+pub use protocol::{
+    closing_notice, error_response, handle_request, handle_request_with, ErrorKind, WireRequest,
+    PROTOCOL_VERSION,
+};
 pub use registry::{RegistryConfig, RegistryStats, ServeError, SessionRegistry, TenantStats};
-pub use server::{request_lines, Server, ServerHandle};
+pub use server::{
+    drive_scripts, is_notice, request_lines, request_lines_pipelined, DriveOutcome, Server,
+    ServerConfig, ServerCounters, ServerHandle, ServerStats,
+};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

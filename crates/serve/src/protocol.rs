@@ -1,4 +1,4 @@
-//! The newline-delimited JSON wire protocol.
+//! The newline-delimited JSON wire protocol, v1.
 //!
 //! One request per line, one response per line, in order. Requests mirror
 //! the CLI session-script steps, plus registry-level operations:
@@ -15,23 +15,106 @@
 //! {"op": "shutdown"}
 //! ```
 //!
+//! ## The envelope
+//!
+//! Requests may carry a `"v"` field naming the protocol version they were
+//! written against; a version this server does not speak is rejected with a
+//! stated reason (a missing `"v"` means "current"). Every response opens
+//! with the same two fields — `"ok"` and `"v"` — so clients can dispatch on
+//! a fixed prefix:
+//!
+//! ```json
+//! {"ok": true,  "v": 1, ...}
+//! {"ok": false, "v": 1, "error": {"kind": "bad_request", "reason": "..."}}
+//! ```
+//!
+//! Failures carry a structured error: a machine-readable [`ErrorKind`]
+//! plus a human-readable reason. The server may also emit a line that is
+//! *not* a response to any request — a connection-lifecycle notice,
+//! distinguished by its leading `"notice"` field:
+//!
+//! ```json
+//! {"notice": "connection_closing", "v": 1, "reason": "idle_timeout"}
+//! ```
+//!
 //! `persist` flushes the durable store (when the server was started with
 //! one — see the CLI's `--store`) and reports the backend name; without a
-//! store it answers `{"ok": true, "persisted": false}`.
+//! store it answers `{"ok": true, "v": 1, "persisted": false}`.
 //!
 //! `publish`/`candidate` on a tenant with no session require a `secret`
-//! field (which opens one); established tenants omit it. Responses are
-//! `{"ok": true, ...}` objects — `report` carries the full serialized
-//! [`qvsec::SessionReport`] for audits, `stats` carries a
-//! [`crate::registry::RegistryStats`] — or `{"ok": false, "error": "..."}`.
+//! field (which opens one); established tenants omit it. `report` carries
+//! the full serialized [`qvsec::SessionReport`] for audits; `stats` carries
+//! a [`crate::registry::RegistryStats`] plus — when served over TCP — the
+//! [`crate::server::ServerStats`] connection counters under `"server"`.
 //! Responses carry no timestamps, so replaying a request script is
 //! byte-deterministic (the CI smoke job replays the committed two-tenant
-//! script twice and diffs).
+//! script twice and diffs; the process-local `"server"` counters are the
+//! one documented exception and are stripped before byte comparisons).
 
 use crate::registry::SessionRegistry;
+use crate::server::ServerCounters;
 use crate::ServeError;
 use serde::Deserialize;
 use serde_json::Value;
+
+/// The protocol version this server speaks. Responses echo it; requests
+/// naming any other version are rejected with [`ErrorKind::BadRequest`].
+pub const PROTOCOL_VERSION: i128 = 1;
+
+/// Machine-readable error classes for the `error.kind` field of a failure
+/// response. One closed enum replaces the ad-hoc error strings of protocol
+/// v0 — clients branch on the kind and show the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The line was not valid JSON, named an unknown op or protocol
+    /// version, omitted a required field, or was otherwise malformed.
+    BadRequest,
+    /// The request line exceeded [`crate::server::MAX_REQUEST_LINE_BYTES`].
+    LineTooLong,
+    /// A query mentioned constants outside the server's declared domain.
+    UndeclaredConstant,
+    /// The tenant has no live session (never opened, or idle-retired);
+    /// re-open it by re-sending the `secret`.
+    TenantRetired,
+    /// The server is draining after a `shutdown` request; this request was
+    /// not processed.
+    ShuttingDown,
+    /// The audit engine or durable store failed; not the client's fault.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire spelling (`snake_case`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::LineTooLong => "line_too_long",
+            ErrorKind::UndeclaredConstant => "undeclared_constant",
+            ErrorKind::TenantRetired => "tenant_retired",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling back into the enum (for clients).
+    pub fn from_wire(text: &str) -> Option<ErrorKind> {
+        Some(match text {
+            "bad_request" => ErrorKind::BadRequest,
+            "line_too_long" => ErrorKind::LineTooLong,
+            "undeclared_constant" => ErrorKind::UndeclaredConstant,
+            "tenant_retired" => ErrorKind::TenantRetired,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// One parsed request line. Unknown *ops* produce an error response;
 /// unknown (e.g. typo'd) *fields* are ignored by deserialization, like
@@ -41,6 +124,9 @@ pub struct WireRequest {
     /// The operation: `open` | `publish` | `candidate` | `snapshot` |
     /// `restore` | `stats` | `ping` | `persist` | `shutdown`.
     pub op: String,
+    /// Protocol version the request was written against (optional; absent
+    /// means [`PROTOCOL_VERSION`]).
+    pub v: Option<i128>,
     /// Tenant id (required for every per-tenant op).
     pub tenant: Option<String>,
     /// Secret query, datalog syntax (opens a session on first contact).
@@ -54,16 +140,46 @@ pub struct WireRequest {
 }
 
 fn ok(fields: Vec<(String, Value)>) -> Value {
-    let mut entries = vec![("ok".to_string(), Value::Bool(true))];
+    let mut entries = vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("v".to_string(), Value::Int(PROTOCOL_VERSION)),
+    ];
     entries.extend(fields);
     Value::Object(entries)
 }
 
-fn err(message: String) -> Value {
+/// Builds a structured failure response:
+/// `{"ok": false, "v": 1, "error": {"kind": ..., "reason": ...}}`.
+pub fn error_response(kind: ErrorKind, reason: String) -> Value {
     Value::Object(vec![
         ("ok".to_string(), Value::Bool(false)),
-        ("error".to_string(), Value::Str(message)),
+        ("v".to_string(), Value::Int(PROTOCOL_VERSION)),
+        (
+            "error".to_string(),
+            Value::Object(vec![
+                ("kind".to_string(), Value::Str(kind.as_str().to_string())),
+                ("reason".to_string(), Value::Str(reason)),
+            ]),
+        ),
     ])
+}
+
+/// Builds a connection-lifecycle notice — a line that answers no request:
+/// `{"notice": "connection_closing", "v": 1, "reason": ...}`. Clients
+/// recognise notices by the leading `"notice"` field.
+pub fn closing_notice(reason: &str) -> Value {
+    Value::Object(vec![
+        (
+            "notice".to_string(),
+            Value::Str("connection_closing".to_string()),
+        ),
+        ("v".to_string(), Value::Int(PROTOCOL_VERSION)),
+        ("reason".to_string(), Value::Str(reason.to_string())),
+    ])
+}
+
+fn err(e: &ServeError) -> Value {
+    error_response(e.kind(), e.to_string())
 }
 
 fn require<'a>(field: &'a Option<String>, what: &str) -> crate::Result<&'a str> {
@@ -72,7 +188,11 @@ fn require<'a>(field: &'a Option<String>, what: &str) -> crate::Result<&'a str> 
         .ok_or_else(|| ServeError::Parse(format!("missing required field `{what}`")))
 }
 
-fn dispatch(registry: &SessionRegistry, request: &WireRequest) -> crate::Result<Value> {
+fn dispatch(
+    registry: &SessionRegistry,
+    counters: Option<&ServerCounters>,
+    request: &WireRequest,
+) -> crate::Result<Value> {
     let parsed_secret = match &request.secret {
         Some(text) => Some(registry.parse(text)?),
         None => None,
@@ -84,10 +204,21 @@ fn dispatch(registry: &SessionRegistry, request: &WireRequest) -> crate::Result<
         )])),
         "stats" => {
             let stats = registry.stats();
-            Ok(ok(vec![(
+            let mut fields = vec![(
                 "stats".to_string(),
                 serde_json::to_value(&stats).map_err(|e| ServeError::Parse(e.to_string()))?,
-            )]))
+            )];
+            // Connection counters only exist when serving over TCP; they
+            // are process-local (never journaled), so byte-comparing smoke
+            // scripts strip this member.
+            if let Some(counters) = counters {
+                fields.push((
+                    "server".to_string(),
+                    serde_json::to_value(&counters.snapshot())
+                        .map_err(|e| ServeError::Parse(e.to_string()))?,
+                ));
+            }
+            Ok(ok(fields))
         }
         "open" => {
             let tenant = require(&request.tenant, "tenant")?;
@@ -137,31 +268,55 @@ fn dispatch(registry: &SessionRegistry, request: &WireRequest) -> crate::Result<
             ])),
             None => Ok(ok(vec![("persisted".to_string(), Value::Bool(false))])),
         },
-        "shutdown" => Ok(ok(vec![(
-            "shutdown".to_string(),
-            Value::Bool(true),
-        )])),
+        "shutdown" => Ok(ok(vec![("shutdown".to_string(), Value::Bool(true))])),
         other => Err(ServeError::Parse(format!(
             "unknown op `{other}` (expected open | publish | candidate | snapshot | restore | stats | ping | persist | shutdown)"
         ))),
     }
 }
 
-/// Parses one request line and dispatches it, mapping every failure onto an
-/// `{"ok": false}` response (a malformed line never tears down the
-/// connection). Returns the response plus whether the request asked the
-/// server to shut down.
-pub fn handle_request(registry: &SessionRegistry, line: &str) -> (Value, bool) {
+/// Parses one request line and dispatches it, mapping every failure onto a
+/// structured `{"ok": false}` response (a malformed line never tears down
+/// the connection). `counters`, when given, surfaces the TCP front end's
+/// connection counters through the `stats` op. Returns the response plus
+/// whether the request asked the server to shut down.
+pub fn handle_request_with(
+    registry: &SessionRegistry,
+    counters: Option<&ServerCounters>,
+    line: &str,
+) -> (Value, bool) {
     let request: WireRequest =
         match serde_json::parse(line).and_then(|v| serde_json::from_value(&v)) {
             Ok(request) => request,
-            Err(e) => return (err(format!("bad request: {e}")), false),
+            Err(e) => {
+                return (
+                    error_response(ErrorKind::BadRequest, format!("bad request: {e}")),
+                    false,
+                )
+            }
         };
-    let shutdown = request.op == "shutdown";
-    match dispatch(registry, &request) {
-        Ok(response) => (response, shutdown),
-        Err(e) => (err(e.to_string()), false),
+    if let Some(v) = request.v {
+        if v != PROTOCOL_VERSION {
+            return (
+                error_response(
+                    ErrorKind::BadRequest,
+                    format!("unsupported protocol version {v} (this server speaks v={PROTOCOL_VERSION})"),
+                ),
+                false,
+            );
+        }
     }
+    let shutdown = request.op == "shutdown";
+    match dispatch(registry, counters, &request) {
+        Ok(response) => (response, shutdown),
+        Err(e) => (err(&e), false),
+    }
+}
+
+/// [`handle_request_with`] without connection counters — the embedded
+/// (in-process) entry point used by tests and the bench harness.
+pub fn handle_request(registry: &SessionRegistry, line: &str) -> (Value, bool) {
+    handle_request_with(registry, None, line)
 }
 
 #[cfg(test)]
@@ -176,6 +331,14 @@ mod tests {
         schema.add_relation("Employee", &["name", "department", "phone"]);
         let engine = Arc::new(AuditEngine::builder(schema, Domain::new()).build());
         SessionRegistry::new(engine)
+    }
+
+    fn error_kind(response: &Value) -> &str {
+        response
+            .field("error")
+            .field("kind")
+            .as_str()
+            .expect("structured error carries a kind")
     }
 
     #[test]
@@ -199,6 +362,11 @@ mod tests {
                 &Value::Bool(true),
                 "{line} -> {response:?}"
             );
+            assert_eq!(
+                response.field("v"),
+                &Value::Int(PROTOCOL_VERSION),
+                "every response carries the envelope version"
+            );
             responses.push(response);
         }
         assert_eq!(
@@ -218,17 +386,46 @@ mod tests {
         let stats = responses[6].field("stats");
         assert_eq!(stats.field("tenants").as_array().unwrap().len(), 2);
         assert_eq!(stats.field("requests_served").as_int(), Some(5));
+        // Embedded dispatch has no TCP front end, so no server counters.
+        assert!(responses[6].field("server").is_null());
     }
 
     #[test]
-    fn failures_map_onto_error_responses() {
+    fn failures_map_onto_structured_error_kinds() {
         let reg = registry();
-        for line in [
-            "not json",
-            r#"{"op": "warp"}"#,
-            r#"{"op": "publish", "tenant": "a", "view": "V(n) :- Employee(n, d, p)"}"#,
-            r#"{"op": "publish", "tenant": "a", "secret": "S(n) :- Employee(n, d, p)"}"#,
-            r#"{"op": "restore", "tenant": "a", "label": "x"}"#,
+        // An established tenant, so unknown-snapshot is reachable below.
+        let (opened, _) = handle_request(
+            &reg,
+            r#"{"op": "open", "tenant": "z", "secret": "S(n, p) :- Employee(n, d, p)"}"#,
+        );
+        assert_eq!(opened.field("ok"), &Value::Bool(true));
+        for (line, kind) in [
+            ("not json", "bad_request"),
+            (r#"{"op": "warp"}"#, "bad_request"),
+            (
+                r#"{"op": "publish", "tenant": "a", "view": "V(n) :- Employee(n, d, p)"}"#,
+                "tenant_retired",
+            ),
+            (
+                r#"{"op": "publish", "tenant": "a", "secret": "S(n) :- Employee(n, d, p)"}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"op": "restore", "tenant": "a", "label": "x"}"#,
+                "tenant_retired",
+            ),
+            (
+                r#"{"op": "restore", "tenant": "z", "label": "x"}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"op": "candidate", "tenant": "ghost", "view": "V(n) :- Employee(n, d, p)"}"#,
+                "tenant_retired",
+            ),
+            (
+                r#"{"op": "open", "tenant": "a", "secret": "S(n) :- Employee(n, 'Skunkworks', p)"}"#,
+                "undeclared_constant",
+            ),
         ] {
             let (response, shutdown) = handle_request(&reg, line);
             assert!(!shutdown);
@@ -237,12 +434,39 @@ mod tests {
                 &Value::Bool(false),
                 "{line} should fail: {response:?}"
             );
-            assert!(!response.field("error").is_null());
+            assert_eq!(error_kind(&response), kind, "{line} -> {response:?}");
+            assert!(
+                !response.field("error").field("reason").is_null(),
+                "every error states a reason: {response:?}"
+            );
+            assert!(
+                ErrorKind::from_wire(error_kind(&response)).is_some(),
+                "kinds round-trip through the enum"
+            );
         }
         // The shutdown marker round-trips.
         let (response, shutdown) = handle_request(&reg, r#"{"op": "shutdown"}"#);
         assert!(shutdown);
         assert_eq!(response.field("ok"), &Value::Bool(true));
+    }
+
+    #[test]
+    fn unknown_protocol_versions_are_rejected_with_a_stated_reason() {
+        let reg = registry();
+        // The current version is accepted, spelled explicitly or omitted.
+        let (response, _) = handle_request(&reg, r#"{"op": "ping", "v": 1}"#);
+        assert_eq!(response.field("ok"), &Value::Bool(true));
+        // Any other version is a bad request naming both versions.
+        let (response, shutdown) = handle_request(&reg, r#"{"op": "ping", "v": 2}"#);
+        assert!(!shutdown);
+        assert_eq!(response.field("ok"), &Value::Bool(false));
+        assert_eq!(error_kind(&response), "bad_request");
+        let reason = response.field("error").field("reason").as_str().unwrap();
+        assert!(reason.contains("version 2"), "{reason}");
+        assert!(reason.contains("v=1"), "{reason}");
+        // Even a shutdown op under a wrong version does not shut down.
+        let (_, shutdown) = handle_request(&reg, r#"{"op": "shutdown", "v": 99}"#);
+        assert!(!shutdown);
     }
 
     #[test]

@@ -34,9 +34,13 @@ use std::time::{Duration, Instant};
 /// Errors surfaced to serving clients.
 #[derive(Debug)]
 pub enum ServeError {
-    /// A query failed to parse, or used constants the server's domain does
-    /// not declare.
+    /// A query failed to parse, a required field was missing, or the
+    /// request line was not a request at all.
     Parse(String),
+    /// A query mentioned constants the server's build-time domain never
+    /// declared (kept distinct from [`ServeError::Parse`] so clients can
+    /// tell a typo from a policy rejection).
+    UndeclaredConstant(String),
     /// An operation needed an existing session but the tenant has none.
     UnknownTenant(String),
     /// `publish`/`candidate` on a new tenant without a `secret`.
@@ -57,6 +61,10 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Parse(m) => write!(f, "parse error: {m}"),
+            ServeError::UndeclaredConstant(q) => write!(
+                f,
+                "query `{q}` uses constants outside the server's declared domain"
+            ),
             ServeError::UnknownTenant(t) => {
                 write!(
                     f,
@@ -73,6 +81,26 @@ impl fmt::Display for ServeError {
             ServeError::UnknownSnapshot(l) => write!(f, "no snapshot labelled `{l}`"),
             ServeError::Audit(e) => write!(f, "audit error: {e}"),
             ServeError::Store(m) => write!(f, "store error: {m}"),
+        }
+    }
+}
+
+impl ServeError {
+    /// The wire-protocol error kind this error maps onto (the `kind` field
+    /// of a structured error response — see [`crate::protocol::ErrorKind`]).
+    pub fn kind(&self) -> crate::protocol::ErrorKind {
+        use crate::protocol::ErrorKind;
+        match self {
+            ServeError::Parse(_) => ErrorKind::BadRequest,
+            ServeError::UndeclaredConstant(_) => ErrorKind::UndeclaredConstant,
+            // A missing session means the tenant was never opened *or* was
+            // retired (idle-swept without a store); either way the client's
+            // remedy is the same — re-open with the secret.
+            ServeError::UnknownTenant(_) => ErrorKind::TenantRetired,
+            ServeError::SecretRequired(_)
+            | ServeError::SecretMismatch(_)
+            | ServeError::UnknownSnapshot(_) => ErrorKind::BadRequest,
+            ServeError::Audit(_) | ServeError::Store(_) => ErrorKind::Internal,
         }
     }
 }
@@ -359,9 +387,7 @@ impl SessionRegistry {
         let query = qvsec_cq::parse_query(text, self.engine.schema(), &mut domain)
             .map_err(|e| ServeError::Parse(format!("bad query `{text}`: {e}")))?;
         if domain.len() != before {
-            return Err(ServeError::Parse(format!(
-                "query `{text}` uses constants outside the server's declared domain"
-            )));
+            return Err(ServeError::UndeclaredConstant(text.to_string()));
         }
         Ok(query)
     }
@@ -905,7 +931,8 @@ mod tests {
         let err = reg
             .parse("V(n) :- Employee(n, 'Skunkworks', p)")
             .unwrap_err();
-        assert!(matches!(err, ServeError::Parse(_)));
+        assert!(matches!(err, ServeError::UndeclaredConstant(_)));
+        assert_eq!(err.kind(), crate::protocol::ErrorKind::UndeclaredConstant);
         assert!(err.to_string().contains("declared domain"));
     }
 

@@ -1,51 +1,186 @@
-//! The concurrent TCP front end: blocking sockets, a fixed worker pool,
+//! The concurrent TCP front end: blocking sockets, pipelined connections,
 //! newline-delimited JSON.
 //!
-//! Connections are accepted on one listener thread and handed to a fixed
-//! pool of worker threads over a channel (the `std::thread` idiom the
-//! workspace already uses — no async runtime, no extra dependencies). Each
-//! worker owns a connection for its whole lifetime and serves its requests
-//! strictly in order, so a client's request script sees deterministic
-//! responses; different connections run on different workers and share
-//! nothing but the [`SessionRegistry`] (whose shard/tenant locking keeps
-//! concurrent tenants from contending).
+//! Each accepted connection gets two threads (the `std::thread` idiom the
+//! workspace already uses — no async runtime, no extra dependencies):
 //!
-//! A `{"op": "shutdown"}` request answers, flips the shutdown flag and
-//! wakes the accept loop with a loop-back connection; the server then stops
-//! accepting, drains its workers and returns.
+//! * a **reader** that keeps consuming request lines while earlier requests
+//!   compute, feeding a bounded in-flight queue (a `sync_channel`, so a
+//!   client that pipelines faster than the engine computes is backpressured
+//!   at [`ServerConfig::max_inflight`] requests, never buffered without
+//!   bound), and
+//! * a **processor** that dequeues requests strictly in order, computes,
+//!   and writes responses back in request order.
+//!
+//! The reader also owns the connection lifecycle: keep-alive request/byte
+//! limits, idle drops, and shutdown draining all end with a structured
+//! `connection_closing` notice (see [`crate::protocol::closing_notice`])
+//! delivered *after* every queued response — the notice rides the same
+//! in-order queue as the responses. An accept gate caps concurrent
+//! connections at [`ServerConfig::max_connections`].
+//!
+//! A `{"op": "shutdown"}` request (or [`ServerHandle::shutdown`], which the
+//! CLI wires to SIGTERM) answers, flips the shutdown flag and wakes the
+//! accept loop with a loop-back connection; the server then stops
+//! accepting, drains every connection's in-flight queue (responses are
+//! still delivered), flushes the store journal, and returns. Requests a
+//! client pipelines *behind its own* `shutdown` op are answered with a
+//! structured `shutting_down` error rather than silence.
 
-use crate::protocol::handle_request;
+use crate::protocol::{closing_notice, error_response, handle_request_with, ErrorKind};
 use crate::registry::SessionRegistry;
+use serde::{Deserialize, Serialize};
 use serde_json::Value;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Hard cap on one request line, in bytes (the newline excluded). A longer
-/// line is answered with a structured `{"ok": false}` error and drained to
-/// its newline, so the connection — and the requests behind it — survive;
-/// without the cap a single unterminated line would buffer without bound.
+/// line is answered with a structured `line_too_long` error and discarded
+/// up to its newline, so the connection — and the requests behind it —
+/// survive; without the cap a single unterminated line would buffer without
+/// bound.
 pub const MAX_REQUEST_LINE_BYTES: usize = 1 << 20;
+
+/// The reader's wake-up tick: how often a blocked read re-checks the
+/// shutdown flag and advances the idle clock.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// How long a draining connection keeps answering lines that are still
+/// arriving before it closes anyway (bounds graceful shutdown against a
+/// client that never pauses).
+const DRAIN_WINDOW: Duration = Duration::from_secs(1);
+
+/// How long the accept gate waits for a slot before rejecting a connection
+/// (absorbs the close/accept race of back-to-back clients).
+const ACCEPT_GATE_GRACE: Duration = Duration::from_millis(250);
+
+/// Connection-lifecycle configuration for the TCP front end.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Accept gate: connections beyond this many concurrent ones are turned
+    /// away with a `connection_closing` notice (after a short grace wait
+    /// for a slot).
+    pub max_connections: usize,
+    /// Bound on one connection's in-flight queue: how many parsed-but-
+    /// unanswered requests the reader may run ahead of the processor.
+    pub max_inflight: usize,
+    /// Keep-alive limit: close (with a notice) after this many requests.
+    pub max_requests_per_conn: Option<u64>,
+    /// Keep-alive limit: close (with a notice) after this many request
+    /// bytes (newlines included).
+    pub max_bytes_per_conn: Option<u64>,
+    /// Drop connections idle (no bytes received) this long, with a notice.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 1024,
+            max_inflight: 64,
+            max_requests_per_conn: None,
+            max_bytes_per_conn: None,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Live connection counters, shared by the accept loop and every
+/// connection thread. Surfaced through the `stats` op (as a
+/// [`ServerStats`] snapshot under `"server"`); process-local by design —
+/// never journaled, so a restart zeroes them.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    active_connections: AtomicU64,
+    dropped_idle: AtomicU64,
+    closed_request_limit: AtomicU64,
+    closed_byte_limit: AtomicU64,
+    requests_pipelined: AtomicU64,
+    responses_written: AtomicU64,
+    queue_depth: AtomicU64,
+    inflight_peak: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`ServerCounters`] (the `"server"` member of
+/// a `stats` response).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Connections admitted past the accept gate.
+    pub accepted: u64,
+    /// Connections turned away by the accept gate.
+    pub rejected_busy: u64,
+    /// Connections currently being served.
+    pub active_connections: u64,
+    /// Connections dropped by the idle timeout.
+    pub dropped_idle: u64,
+    /// Connections closed by the keep-alive request limit.
+    pub closed_request_limit: u64,
+    /// Connections closed by the keep-alive byte limit.
+    pub closed_byte_limit: u64,
+    /// Requests enqueued onto in-flight queues (includes oversize and
+    /// non-UTF-8 lines, which are answered with structured errors).
+    pub requests_pipelined: u64,
+    /// Responses written back (notices excluded).
+    pub responses_written: u64,
+    /// Requests currently parsed but unanswered, across all connections.
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth` over the server's lifetime.
+    pub inflight_peak: u64,
+}
+
+impl ServerCounters {
+    /// Snapshots every counter (relaxed loads; the snapshot is advisory).
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            dropped_idle: self.dropped_idle.load(Ordering::Relaxed),
+            closed_request_limit: self.closed_request_limit.load(Ordering::Relaxed),
+            closed_byte_limit: self.closed_byte_limit.load(Ordering::Relaxed),
+            requests_pipelined: self.requests_pipelined.load(Ordering::Relaxed),
+            responses_written: self.responses_written.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_enqueued(&self) {
+        self.requests_pipelined.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.inflight_peak.fetch_max(depth, Ordering::SeqCst);
+    }
+
+    fn note_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A bound (but not yet running) server.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     registry: Arc<SessionRegistry>,
-    workers: usize,
+    config: ServerConfig,
     shutdown: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
 }
 
-/// A cloneable handle onto a running (or about-to-run) server: its address
-/// and shutdown flag. Used by tests and embedders that run the server on a
-/// background thread.
+/// A cloneable handle onto a running (or about-to-run) server: its address,
+/// shutdown flag and counters. Used by tests, the bench harness and
+/// embedders that run the server on a background thread.
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
 }
 
 impl ServerHandle {
@@ -54,23 +189,57 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests shutdown and wakes the accept loop. Idempotent.
+    /// Requests a graceful shutdown and wakes the accept loop: in-flight
+    /// requests still get their responses, then the store journal is
+    /// flushed. Idempotent.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // A loop-back connection unblocks the (blocking) accept call.
         let _ = TcpStream::connect(self.addr);
     }
+
+    /// A snapshot of the server's connection counters.
+    pub fn stats(&self) -> ServerStats {
+        self.counters.snapshot()
+    }
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7070`, or port 0 for an ephemeral
-    /// port) over `registry` with `workers` connection-serving threads.
-    pub fn bind(registry: Arc<SessionRegistry>, addr: &str, workers: usize) -> io::Result<Server> {
+    /// port) over `registry`, admitting at most `max_connections`
+    /// concurrent connections; the rest of the lifecycle keeps
+    /// [`ServerConfig`] defaults (see [`Server::bind_with`]).
+    pub fn bind(
+        registry: Arc<SessionRegistry>,
+        addr: &str,
+        max_connections: usize,
+    ) -> io::Result<Server> {
+        Server::bind_with(
+            registry,
+            addr,
+            ServerConfig {
+                max_connections,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// [`Server::bind`] with the full connection-lifecycle configuration.
+    pub fn bind_with(
+        registry: Arc<SessionRegistry>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             registry,
-            workers: workers.max(1),
+            config: ServerConfig {
+                max_connections: config.max_connections.max(1),
+                max_inflight: config.max_inflight.max(1),
+                ..config
+            },
             shutdown: Arc::new(AtomicBool::new(false)),
+            counters: Arc::new(ServerCounters::default()),
         })
     }
 
@@ -79,27 +248,35 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// A handle for shutting the server down from another thread.
+    /// A handle for shutting the server down (and reading its counters)
+    /// from another thread.
     pub fn handle(&self) -> io::Result<ServerHandle> {
         Ok(ServerHandle {
             addr: self.local_addr()?,
             shutdown: Arc::clone(&self.shutdown),
+            counters: Arc::clone(&self.counters),
         })
     }
 
-    /// Runs the accept loop until shutdown, dispatching connections to the
-    /// worker pool. Blocks the calling thread. With an idle timeout
-    /// configured on the registry, a background sweeper expires idle
-    /// tenants in **every** shard — the in-dispatch sweeps only cover the
-    /// shard a request happens to hash to, so without this a low-traffic
-    /// shard would retain its sessions forever.
+    /// Runs the accept loop until shutdown, spawning a pipelined
+    /// reader/processor pair per connection. Blocks the calling thread.
+    ///
+    /// With an idle timeout configured on the registry, a background
+    /// sweeper expires idle tenants in **every** shard — the in-dispatch
+    /// sweeps only cover the shard a request happens to hash to, so without
+    /// this a low-traffic shard would retain its sessions forever.
+    ///
+    /// On shutdown the accept loop stops, every connection drains its
+    /// in-flight queue (responses are still delivered, each connection
+    /// ending with a `connection_closing` notice), and the registry's
+    /// durable store — when there is one — is flushed before returning, so
+    /// a SIGTERM'd server can be restarted over its own journal.
     pub fn run(self) -> io::Result<()> {
         let addr = self.local_addr()?;
         let sweeper = self.registry.idle_timeout().map(|max_idle| {
             let registry = Arc::clone(&self.registry);
             let shutdown = Arc::clone(&self.shutdown);
             thread::spawn(move || {
-                use std::time::Duration;
                 // Sweep a few times per timeout period; sleep in short
                 // slices so shutdown is observed promptly.
                 let tick = (max_idle / 4).clamp(Duration::from_millis(50), Duration::from_secs(10));
@@ -115,142 +292,347 @@ impl Server {
                 }
             })
         });
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
-        let rx = Arc::new(Mutex::new(rx));
-        let mut pool = Vec::with_capacity(self.workers);
-        for _ in 0..self.workers {
-            let rx = Arc::clone(&rx);
-            let registry = Arc::clone(&self.registry);
-            let shutdown = Arc::clone(&self.shutdown);
-            pool.push(thread::spawn(move || loop {
-                let conn = rx.lock().expect("worker queue poisoned").recv();
-                match conn {
-                    Ok(stream) => serve_connection(&registry, stream, &shutdown, addr),
-                    Err(_) => break, // sender dropped: server is draining
-                }
-            }));
-        }
+        let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             match stream {
                 Ok(stream) => {
-                    // A send only fails after drain started; drop the
-                    // connection in that case.
-                    let _ = tx.send(stream);
+                    // Small newline-framed writes both ways: without
+                    // TCP_NODELAY, Nagle + delayed ACKs put a ~40ms floor
+                    // under every synchronous request.
+                    let _ = stream.set_nodelay(true);
+                    if !reserve_slot(&gate, self.config.max_connections) {
+                        self.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        reject_busy(stream);
+                        continue;
+                    }
+                    self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .active_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let registry = Arc::clone(&self.registry);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    let counters = Arc::clone(&self.counters);
+                    let gate = Arc::clone(&gate);
+                    let config = self.config;
+                    thread::spawn(move || {
+                        serve_connection(&registry, stream, &shutdown, addr, &config, &counters);
+                        counters.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        let (slots, freed) = &*gate;
+                        *slots.lock().expect("accept gate poisoned") -= 1;
+                        freed.notify_all();
+                    });
                 }
                 Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
                 Err(e) => return Err(e),
             }
         }
-        drop(tx);
-        for worker in pool {
-            let _ = worker.join();
+        // Drain: every connection observes the shutdown flag within a read
+        // tick, delivers its queued responses, notices, and exits.
+        {
+            let (slots, freed) = &*gate;
+            let mut live = slots.lock().expect("accept gate poisoned");
+            while *live > 0 {
+                let (guard, _) = freed
+                    .wait_timeout(live, Duration::from_millis(200))
+                    .expect("accept gate poisoned");
+                live = guard;
+            }
         }
         if let Some(sweeper) = sweeper {
             let _ = sweeper.join();
         }
+        // Flush the journal so a restart over the same store resumes
+        // exactly where this process stopped.
+        self.registry
+            .flush_store()
+            .map_err(|e| io::Error::other(e.to_string()))?;
         Ok(())
     }
 }
 
-/// Discards input up to and including the next newline (or EOF), in
-/// buffer-sized steps so an arbitrarily long line costs constant memory.
-fn drain_to_newline(reader: &mut impl BufRead) -> io::Result<()> {
+/// Claims an accept-gate slot, waiting briefly for one to free up.
+fn reserve_slot(gate: &Arc<(Mutex<usize>, Condvar)>, max_connections: usize) -> bool {
+    let (slots, freed) = &**gate;
+    let deadline = Instant::now() + ACCEPT_GATE_GRACE;
+    let mut live = slots.lock().expect("accept gate poisoned");
     loop {
-        let buf = reader.fill_buf()?;
-        if buf.is_empty() {
-            return Ok(());
+        if *live < max_connections {
+            *live += 1;
+            return true;
         }
-        match buf.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                reader.consume(pos + 1);
-                return Ok(());
-            }
-            None => {
-                let n = buf.len();
-                reader.consume(n);
-            }
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
         }
+        let (guard, _) = freed
+            .wait_timeout(live, deadline - now)
+            .expect("accept gate poisoned");
+        live = guard;
     }
 }
 
-/// Reads one bounded request line. `Ok(Some(Err(message)))` is a line the
-/// server must answer with a structured error (too long, or not UTF-8);
-/// `Ok(None)` is end-of-stream.
-fn read_request_line(
-    reader: &mut BufReader<TcpStream>,
-) -> io::Result<Option<Result<String, String>>> {
-    let mut buf = Vec::new();
-    // One byte past the cap distinguishes "exactly at the cap" from "over".
-    let mut limited = reader.by_ref().take((MAX_REQUEST_LINE_BYTES + 1) as u64);
-    if limited.read_until(b'\n', &mut buf)? == 0 {
-        return Ok(None);
-    }
-    if buf.last() == Some(&b'\n') {
-        buf.pop();
-    } else if buf.len() > MAX_REQUEST_LINE_BYTES {
-        drain_to_newline(reader)?;
-        return Ok(Some(Err(format!(
-            "request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"
-        ))));
-    }
-    match String::from_utf8(buf) {
-        Ok(line) => Ok(Some(Ok(line))),
-        Err(_) => Ok(Some(Err("request line is not UTF-8".to_string()))),
-    }
+/// Turns a connection away at the accept gate with a structured notice.
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut text =
+        serde_json::to_string(&closing_notice("server_at_capacity")).expect("JSON renders");
+    text.push('\n');
+    let _ = stream.write_all(text.as_bytes());
 }
 
-/// Serves one connection to completion: one JSON request per line, one JSON
-/// response per line, in order.
+/// One message from a connection's reader to its processor. The channel is
+/// the in-flight queue: FIFO, bounded, and the only path to the writer, so
+/// responses and the final notice come out in request order.
+enum ReaderMsg {
+    /// A request line to answer (`Err` is a line the reader already
+    /// rejected: too long, or not UTF-8).
+    Request(Result<String, (ErrorKind, String)>),
+    /// Close the connection after everything queued ahead has been
+    /// answered, writing a `connection_closing` notice with this reason.
+    Close(&'static str),
+}
+
+/// Serves one connection: spawns the reader, then processes its queue in
+/// order until close, EOF, or a write failure.
 fn serve_connection(
     registry: &SessionRegistry,
     stream: TcpStream,
     shutdown: &AtomicBool,
     addr: SocketAddr,
+    config: &ServerConfig,
+    counters: &ServerCounters,
 ) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    let (tx, rx): (SyncSender<ReaderMsg>, Receiver<ReaderMsg>) = sync_channel(config.max_inflight);
+    thread::scope(|scope| {
+        scope.spawn(move || read_loop(read_half, tx, shutdown, config, counters));
+        let mut saw_shutdown_op = false;
+        let mut writer_dead = false;
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ReaderMsg::Request(item) => {
+                    counters.note_dequeued();
+                    if writer_dead {
+                        // The client is gone; keep draining the queue so the
+                        // reader is never wedged on a full channel, but skip
+                        // the (possibly expensive) dispatch.
+                        continue;
+                    }
+                    let (response, stop) = match item {
+                        Ok(line) => {
+                            if saw_shutdown_op {
+                                (
+                                    error_response(
+                                        ErrorKind::ShuttingDown,
+                                        "the server is draining after this connection's \
+                                         `shutdown` request; pipeline no requests behind it"
+                                            .to_string(),
+                                    ),
+                                    false,
+                                )
+                            } else {
+                                handle_request_with(registry, Some(counters), &line)
+                            }
+                        }
+                        Err((kind, reason)) => (error_response(kind, reason), false),
+                    };
+                    if write_line(&mut writer, &response).is_err() {
+                        writer_dead = true;
+                        // Hanging up both halves turns the reader's next
+                        // read into EOF, which unwinds the pair promptly.
+                        let _ = writer.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    }
+                    counters.responses_written.fetch_add(1, Ordering::Relaxed);
+                    if stop {
+                        saw_shutdown_op = true;
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Wake the accept loop so it observes the flag.
+                        let _ = TcpStream::connect(addr);
+                    }
+                }
+                ReaderMsg::Close(reason) => {
+                    if !writer_dead {
+                        let _ = write_line(&mut writer, &closing_notice(reason));
+                    }
+                    break; // the reader already returned after sending Close
+                }
+            }
+        }
+        let _ = writer.shutdown(std::net::Shutdown::Both);
+    });
+}
+
+/// One step of the incremental, timeout-tolerant line reader.
+enum ReadStep {
+    /// Consumed `usize` bytes; `bool` says a newline completed the line.
+    Data(usize, bool),
+    /// The read timed out with no data (one [`READ_TICK`] elapsed).
+    Quiet,
+    /// End of stream (client closed, or a hard read error).
+    Eof,
+}
+
+/// The per-connection reader: consumes request lines as fast as the client
+/// sends them, enqueues them (blocking on the bounded channel for
+/// backpressure), and enforces the connection lifecycle.
+fn read_loop(
+    stream: TcpStream,
+    tx: SyncSender<ReaderMsg>,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+    counters: &ServerCounters,
+) {
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversize = false;
+    let mut idle = Duration::ZERO;
+    let mut requests: u64 = 0;
+    let mut bytes: u64 = 0;
+    let mut drain_deadline: Option<Instant> = None;
     loop {
-        let (response, stop) = match read_request_line(&mut reader) {
-            Ok(Some(Ok(line))) => {
-                if line.trim().is_empty() {
+        if drain_deadline.is_none() && shutdown.load(Ordering::SeqCst) {
+            // Graceful drain: keep answering lines already in flight, but
+            // close at the first quiet tick (or the window's end).
+            drain_deadline = Some(Instant::now() + DRAIN_WINDOW);
+        }
+        if let Some(deadline) = drain_deadline {
+            if Instant::now() >= deadline {
+                let _ = tx.send(ReaderMsg::Close("shutting_down"));
+                return;
+            }
+        }
+        let step = match reader.fill_buf() {
+            Ok([]) => ReadStep::Eof,
+            Ok(chunk) => match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !oversize {
+                        line.extend_from_slice(&chunk[..pos]);
+                    }
+                    ReadStep::Data(pos + 1, true)
+                }
+                None => {
+                    if !oversize {
+                        line.extend_from_slice(chunk);
+                    }
+                    ReadStep::Data(chunk.len(), false)
+                }
+            },
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                ReadStep::Quiet
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => ReadStep::Eof,
+        };
+        match step {
+            // EOF without a half-read line is the client's orderly close;
+            // the processor finishes the queue when the channel hangs up.
+            ReadStep::Eof => return,
+            ReadStep::Quiet => {
+                if drain_deadline.is_some() {
+                    let _ = tx.send(ReaderMsg::Close("shutting_down"));
+                    return;
+                }
+                idle += READ_TICK;
+                if let Some(max) = config.idle_timeout {
+                    if idle >= max {
+                        counters.dropped_idle.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(ReaderMsg::Close("idle_timeout"));
+                        return;
+                    }
+                }
+            }
+            ReadStep::Data(consumed, complete) => {
+                reader.consume(consumed);
+                bytes = bytes.saturating_add(consumed as u64);
+                idle = Duration::ZERO;
+                if !oversize && line.len() > MAX_REQUEST_LINE_BYTES {
+                    // Stop buffering: an unbounded line costs constant
+                    // memory; the error goes out when its newline arrives.
+                    oversize = true;
+                    line = Vec::new();
+                }
+                if !complete {
                     continue;
                 }
-                handle_request(registry, &line)
+                let item = if oversize {
+                    Err((
+                        ErrorKind::LineTooLong,
+                        format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+                    ))
+                } else {
+                    match String::from_utf8(std::mem::take(&mut line)) {
+                        Ok(text) => {
+                            if text.trim().is_empty() {
+                                continue; // blank lines are keep-alive noise
+                            }
+                            Ok(text)
+                        }
+                        Err(_) => Err((
+                            ErrorKind::BadRequest,
+                            "request line is not UTF-8".to_string(),
+                        )),
+                    }
+                };
+                oversize = false;
+                line.clear();
+                counters.note_enqueued();
+                if tx.send(ReaderMsg::Request(item)).is_err() {
+                    counters.note_dequeued();
+                    return; // processor is gone
+                }
+                requests += 1;
+                if let Some(max) = config.max_requests_per_conn {
+                    if requests >= max {
+                        counters
+                            .closed_request_limit
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(ReaderMsg::Close("request_limit"));
+                        return;
+                    }
+                }
+                if let Some(max) = config.max_bytes_per_conn {
+                    if bytes >= max {
+                        counters.closed_byte_limit.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(ReaderMsg::Close("byte_limit"));
+                        return;
+                    }
+                }
             }
-            Ok(Some(Err(message))) => (
-                Value::Object(vec![
-                    ("ok".to_string(), Value::Bool(false)),
-                    ("error".to_string(), Value::Str(message)),
-                ]),
-                false,
-            ),
-            Ok(None) | Err(_) => break,
-        };
-        let mut text = serde_json::to_string(&response).expect("JSON rendering is infallible");
-        text.push('\n');
-        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
-        }
-        if stop {
-            shutdown.store(true, Ordering::SeqCst);
-            // Wake the accept loop so it observes the flag.
-            let _ = TcpStream::connect(addr);
-            break;
         }
     }
 }
 
+/// Serializes `value` and writes it as one response line.
+fn write_line(writer: &mut TcpStream, value: &Value) -> io::Result<()> {
+    let mut text = serde_json::to_string(value).expect("JSON rendering is infallible");
+    text.push('\n');
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
+}
+
+/// True for server lines that answer no request (connection notices).
+pub fn is_notice(line: &str) -> bool {
+    line.starts_with(r#"{"notice""#)
+}
+
 /// Client helper: sends each request line over one connection and returns
-/// the response lines, in order. Used by `qvsec-cli request` and the smoke
-/// tests.
+/// the response lines, in order — strictly synchronous, one request in
+/// flight. Used by `qvsec-cli request` and the smoke tests.
 pub fn request_lines(addr: &str, lines: &[String]) -> io::Result<Vec<String>> {
     let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut responses = Vec::with_capacity(lines.len());
@@ -268,9 +650,148 @@ pub fn request_lines(addr: &str, lines: &[String]) -> io::Result<Vec<String>> {
                 "server closed the connection mid-script",
             ));
         }
-        responses.push(response.trim_end().to_string());
+        let response = response.trim_end();
+        if is_notice(response) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                format!("connection closed by the server: {response}"),
+            ));
+        }
+        responses.push(response.to_string());
     }
     Ok(responses)
+}
+
+/// Client helper: writes the whole script up front (pipelining through the
+/// server's bounded in-flight queue), then reads one response per request,
+/// in order. The response stream is byte-identical to [`request_lines`]
+/// over the same script — pipelining changes scheduling, never answers.
+pub fn request_lines_pipelined(addr: &str, lines: &[String]) -> io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut expected = 0usize;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        expected += 1;
+    }
+    writer.flush()?;
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+    let mut responses = Vec::with_capacity(expected);
+    let mut response = String::new();
+    while responses.len() < expected {
+        response.clear();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "server closed after {} of {expected} responses",
+                    responses.len()
+                ),
+            ));
+        }
+        let trimmed = response.trim_end();
+        if is_notice(trimmed) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                format!("connection closed by the server: {trimmed}"),
+            ));
+        }
+        responses.push(trimmed.to_string());
+    }
+    Ok(responses)
+}
+
+/// What [`drive_scripts`] measured: per-connection response streams,
+/// pooled per-request latencies, and how many requests never got answered.
+#[derive(Debug, Default)]
+pub struct DriveOutcome {
+    /// Response lines per script, in request order.
+    pub responses: Vec<Vec<String>>,
+    /// One request→response round-trip time per answered request, pooled
+    /// across connections (unordered).
+    pub latencies_nanos: Vec<u64>,
+    /// Requests that got no response (connection refused, closed early, or
+    /// a `connection_closing` notice arrived instead).
+    pub dropped: usize,
+}
+
+/// Drives `scripts` concurrently — one keep-alive connection per script,
+/// each synchronous per request so a latency sample is one clean
+/// request→response round trip. The saturation workhorse shared by
+/// `qvsec-cli request --connections` and the bench harness.
+pub fn drive_scripts(addr: &str, scripts: &[Vec<String>]) -> DriveOutcome {
+    let mut outcome = DriveOutcome::default();
+    let results: Vec<(Vec<String>, Vec<u64>, usize)> = thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| scope.spawn(move || drive_one(addr, script)))
+            .collect();
+        handles
+            .into_iter()
+            .zip(scripts)
+            .map(|(handle, script)| {
+                handle
+                    .join()
+                    .unwrap_or_else(|_| (Vec::new(), Vec::new(), live_lines(script)))
+            })
+            .collect()
+    });
+    for (responses, latencies, dropped) in results {
+        outcome.responses.push(responses);
+        outcome.latencies_nanos.extend(latencies);
+        outcome.dropped += dropped;
+    }
+    outcome
+}
+
+fn live_lines(script: &[String]) -> usize {
+    script.iter().filter(|l| !l.trim().is_empty()).count()
+}
+
+fn drive_one(addr: &str, script: &[String]) -> (Vec<String>, Vec<u64>, usize) {
+    let expected = live_lines(script);
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return (Vec::new(), Vec::new(), expected);
+    };
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return (Vec::new(), Vec::new(), expected);
+    };
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(expected);
+    let mut latencies = Vec::with_capacity(expected);
+    'script: for request in script {
+        if request.trim().is_empty() {
+            continue;
+        }
+        let start = Instant::now();
+        if writer.write_all(request.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                let trimmed = response.trim_end();
+                if is_notice(trimmed) {
+                    break 'script; // this request (and the rest) is dropped
+                }
+                latencies.push(start.elapsed().as_nanos() as u64);
+                responses.push(trimmed.to_string());
+            }
+        }
+    }
+    let dropped = expected - responses.len();
+    (responses, latencies, dropped)
 }
 
 #[cfg(test)]
@@ -286,11 +807,36 @@ mod tests {
         Arc::new(SessionRegistry::new(engine))
     }
 
-    fn spawn_server(workers: usize) -> (ServerHandle, thread::JoinHandle<io::Result<()>>) {
-        let server = Server::bind(registry(), "127.0.0.1:0", workers).unwrap();
+    fn spawn_server(max_connections: usize) -> (ServerHandle, thread::JoinHandle<io::Result<()>>) {
+        spawn_server_with(ServerConfig {
+            max_connections,
+            ..ServerConfig::default()
+        })
+    }
+
+    fn spawn_server_with(
+        config: ServerConfig,
+    ) -> (ServerHandle, thread::JoinHandle<io::Result<()>>) {
+        let server = Server::bind_with(registry(), "127.0.0.1:0", config).unwrap();
         let handle = server.handle().unwrap();
         let join = thread::spawn(move || server.run());
         (handle, join)
+    }
+
+    /// Drops every `cache` member: interleaving-dependent counters are the
+    /// one documented nondeterminism between warm and cold drives.
+    fn strip_cache(value: &Value) -> Value {
+        match value {
+            Value::Object(fields) => Value::Object(
+                fields
+                    .iter()
+                    .filter(|(key, _)| key != "cache")
+                    .map(|(key, inner)| (key.clone(), strip_cache(inner)))
+                    .collect(),
+            ),
+            Value::Array(items) => Value::Array(items.iter().map(strip_cache).collect()),
+            other => other.clone(),
+        }
     }
 
     #[test]
@@ -308,8 +854,14 @@ mod tests {
         let first = request_lines(&addr, &script).unwrap();
         assert_eq!(first.len(), 3);
         for response in &first {
-            assert!(response.starts_with(r#"{"ok":true"#), "{response}");
+            assert!(response.starts_with(r#"{"ok":true,"v":1"#), "{response}");
         }
+        // Over TCP, `stats` surfaces the connection counters.
+        assert!(
+            first[2].contains(r#""server":{"accepted":"#),
+            "{}",
+            first[2]
+        );
         // A second connection sees the same tenant state.
         let ping = request_lines(&addr, &[r#"{"op": "ping"}"#.to_string()]).unwrap();
         assert!(ping[0].contains(r#""tenants":1"#), "{}", ping[0]);
@@ -317,6 +869,11 @@ mod tests {
         let bye = request_lines(&addr, &[r#"{"op": "shutdown"}"#.to_string()]).unwrap();
         assert!(bye[0].contains(r#""shutdown":true"#));
         join.join().unwrap().unwrap();
+        let stats = handle.stats();
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.responses_written, 5);
+        assert_eq!(stats.queue_depth, 0, "the gauge must balance");
+        assert!(stats.inflight_peak >= 1);
     }
 
     #[test]
@@ -334,7 +891,7 @@ mod tests {
                 idle_timeout: Some(std::time::Duration::from_millis(50)),
             },
         ));
-        let server = Server::bind(Arc::clone(&registry), "127.0.0.1:0", 1).unwrap();
+        let server = Server::bind(Arc::clone(&registry), "127.0.0.1:0", 4).unwrap();
         let handle = server.handle().unwrap();
         let addr = handle.addr().to_string();
         let join = thread::spawn(move || server.run());
@@ -374,12 +931,11 @@ mod tests {
         let mut first = String::new();
         reader.read_line(&mut first).unwrap();
         assert!(first.starts_with(r#"{"ok":false"#), "{first}");
+        assert!(first.contains(r#""kind":"line_too_long""#), "{first}");
         assert!(first.contains("exceeds"), "{first}");
         let mut second = String::new();
         reader.read_line(&mut second).unwrap();
         assert!(second.starts_with(r#"{"ok":true"#), "{second}");
-        // Close the connection before shutdown: the drain joins the workers,
-        // and a worker only releases a connection at its EOF.
         drop(writer);
         drop(reader);
         handle.shutdown();
@@ -396,7 +952,195 @@ mod tests {
             .collect();
         let responses = request_lines(&addr, &script).unwrap();
         assert!(responses[0].starts_with(r#"{"ok":false"#));
+        assert!(responses[0].contains(r#""kind":"bad_request""#));
         assert!(responses[1].starts_with(r#"{"ok":true"#));
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn pipelined_scripts_get_the_same_responses_in_order() {
+        let (handle, join) = spawn_server(2);
+        let addr = handle.addr().to_string();
+        let script: Vec<String> = [
+            r#"{"op": "publish", "tenant": "p", "secret": "S(n, p) :- Employee(n, d, p)", "view": "V(n, d) :- Employee(n, d, p)"}"#,
+            r#"{"op": "candidate", "tenant": "p", "view": "W(d, p) :- Employee(n, d, p)"}"#,
+            r#"{"op": "snapshot", "tenant": "p", "label": "s1"}"#,
+            r#"{"op": "candidate", "tenant": "p", "view": "X(n) :- Employee(n, d, p)"}"#,
+            r#"{"op": "restore", "tenant": "p", "label": "s1"}"#,
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        let pipelined = request_lines_pipelined(&addr, &script).unwrap();
+        assert_eq!(pipelined.len(), 5);
+        // Ordering is observable through op-specific fields.
+        assert!(
+            pipelined[2].contains(r#""snapshot":"s1""#),
+            "{}",
+            pipelined[2]
+        );
+        assert!(pipelined[3].contains(r#""report""#), "{}", pipelined[3]);
+        assert!(
+            pipelined[4].contains(r#""restore":"s1""#),
+            "{}",
+            pipelined[4]
+        );
+        // And the stream matches a synchronous drive of the same script on
+        // a fresh tenant (tenant-renamed so state does not overlap; cache
+        // counters stripped — the second drive runs warm by design).
+        let renamed: Vec<String> = script
+            .iter()
+            .map(|l| l.replace(r#""p""#, r#""q""#))
+            .collect();
+        let sync = request_lines(&addr, &renamed).unwrap();
+        for (a, b) in pipelined.iter().zip(&sync) {
+            let a = a
+                .replace(r#""tenant":"p""#, r#""tenant":"q""#)
+                .replace("tenant:p", "tenant:q");
+            assert_eq!(
+                strip_cache(&serde_json::parse(&a).unwrap()),
+                strip_cache(&serde_json::parse(b).unwrap()),
+                "pipelining changed a response"
+            );
+        }
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        assert!(
+            handle.stats().inflight_peak >= 2,
+            "the reader never ran ahead"
+        );
+    }
+
+    #[test]
+    fn requests_pipelined_behind_shutdown_get_a_shutting_down_error() {
+        let (handle, join) = spawn_server(1);
+        let addr = handle.addr().to_string();
+        let script: Vec<String> = [
+            r#"{"op": "ping"}"#,
+            r#"{"op": "shutdown"}"#,
+            r#"{"op": "ping"}"#,
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        let responses = request_lines_pipelined(&addr, &script).unwrap();
+        assert!(responses[0].starts_with(r#"{"ok":true"#));
+        assert!(responses[1].contains(r#""shutdown":true"#));
+        assert!(
+            responses[2].contains(r#""kind":"shutting_down""#),
+            "{}",
+            responses[2]
+        );
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_limits_close_with_a_structured_notice() {
+        let (handle, join) = spawn_server_with(ServerConfig {
+            max_connections: 2,
+            max_requests_per_conn: Some(2),
+            ..ServerConfig::default()
+        });
+        let addr = handle.addr().to_string();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for _ in 0..4 {
+            writer.write_all(b"{\"op\": \"ping\"}\n").unwrap();
+        }
+        writer.flush().unwrap();
+        let mut lines = Vec::new();
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            lines.push(line.trim_end().to_string());
+            line.clear();
+        }
+        // Two responses, then the closing notice, then EOF: the 3rd and
+        // 4th requests were never read.
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].starts_with(r#"{"ok":true"#));
+        assert!(lines[1].starts_with(r#"{"ok":true"#));
+        assert!(is_notice(&lines[2]), "{}", lines[2]);
+        assert!(
+            lines[2].contains(r#""reason":"request_limit""#),
+            "{}",
+            lines[2]
+        );
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        assert_eq!(handle.stats().closed_request_limit, 1);
+    }
+
+    #[test]
+    fn idle_connections_are_dropped_with_a_notice() {
+        let (handle, join) = spawn_server_with(ServerConfig {
+            max_connections: 2,
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        });
+        let addr = handle.addr().to_string();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        // Send nothing: the first line the server ever sends is the notice.
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(is_notice(line.trim_end()), "{line}");
+        assert!(line.contains(r#""reason":"idle_timeout""#), "{line}");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        assert_eq!(handle.stats().dropped_idle, 1);
+    }
+
+    #[test]
+    fn the_accept_gate_turns_away_excess_connections() {
+        let (handle, join) = spawn_server(1);
+        let addr = handle.addr().to_string();
+        // Hold the only slot open with a live, half-driven connection.
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{\"op\": \"ping\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        assert!(first.starts_with(r#"{"ok":true"#), "{first}");
+        // The second connection is turned away (after the gate's grace).
+        let extra = TcpStream::connect(&addr).unwrap();
+        let mut extra_reader = BufReader::new(extra);
+        let mut notice = String::new();
+        extra_reader.read_line(&mut notice).unwrap();
+        assert!(is_notice(notice.trim_end()), "{notice}");
+        assert!(notice.contains("server_at_capacity"), "{notice}");
+        drop(writer);
+        drop(reader);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        let stats = handle.stats();
+        assert_eq!(stats.rejected_busy, 1);
+        assert_eq!(stats.accepted, 1);
+    }
+
+    #[test]
+    fn drive_scripts_reports_latencies_and_drops() {
+        let (handle, join) = spawn_server(8);
+        let addr = handle.addr().to_string();
+        let scripts: Vec<Vec<String>> = (0..4)
+            .map(|i| {
+                vec![
+                    format!(
+                        r#"{{"op": "open", "tenant": "d{i}", "secret": "S(n, p) :- Employee(n, d, p)"}}"#
+                    ),
+                    r#"{"op": "ping"}"#.to_string(),
+                ]
+            })
+            .collect();
+        let outcome = drive_scripts(&addr, &scripts);
+        assert_eq!(outcome.dropped, 0);
+        assert_eq!(outcome.responses.len(), 4);
+        assert_eq!(outcome.latencies_nanos.len(), 8);
+        assert!(outcome.responses.iter().all(|r| r.len() == 2));
+        assert!(outcome.latencies_nanos.iter().all(|&n| n > 0));
         handle.shutdown();
         join.join().unwrap().unwrap();
     }
