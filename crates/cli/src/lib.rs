@@ -21,8 +21,13 @@
 //! ```
 //!
 //! Queries are written in the workspace's datalog syntax and parsed with
-//! [`qvsec_cq::parse_query`]. The equivalent TOML form uses `[[relations]]`
-//! and `[[audits]]` array-of-table sections.
+//! [`qvsec_cq::parse_query`] — or, anywhere a query string is accepted, in
+//! the safe-SQL subset of `qvsec-sql` via the object form
+//! `{"sql": "SELECT name FROM Employee WHERE department = 'HR'", "name": "S4"}`
+//! (`name` is optional; see [`QuerySpec`]). Both spellings compile to the
+//! same canonical conjunctive queries, so reports are byte-identical
+//! across them. The equivalent TOML form uses `[[relations]]` and
+//! `[[audits]]` array-of-table sections.
 
 pub mod toml_subset;
 
@@ -109,15 +114,122 @@ pub struct DictionarySpec {
     pub report_cap: Option<usize>,
 }
 
+/// A query inside a spec, in either front-end syntax. Deserializes from a
+/// plain JSON string (datalog, the historical form) or from an object
+/// `{"sql": "SELECT ...", "name": "Q"}` (safe SQL; `name` labels the
+/// compiled query and is optional). Both compile to the same canonical
+/// conjunctive queries, so swapping one spelling for the other leaves
+/// every report byte-identical.
+#[derive(Debug, Clone)]
+pub enum QuerySpec {
+    /// Datalog syntax, e.g. `"V(n, d) :- Employee(n, d, p)"`.
+    Datalog(String),
+    /// Safe-SQL syntax, compiled through `qvsec-sql`.
+    Sql {
+        /// The SQL text.
+        sql: String,
+        /// Name for the compiled query; defaults per context (`S` for
+        /// secrets, `V` for views).
+        name: Option<String>,
+    },
+}
+
+impl serde::Deserialize for QuerySpec {
+    fn deserialize(value: &serde::json::Json) -> Result<Self, serde::Error> {
+        use serde::json::Json;
+        match value {
+            Json::Str(text) => Ok(QuerySpec::Datalog(text.clone())),
+            Json::Object(_) => {
+                let sql = value
+                    .field("sql")
+                    .as_str()
+                    .ok_or_else(|| {
+                        serde::Error::custom("query object form needs a string `sql` field")
+                    })?
+                    .to_string();
+                let name = match value.field("name") {
+                    Json::Null => None,
+                    other => Some(
+                        other
+                            .as_str()
+                            .ok_or_else(|| serde::Error::custom("query `name` must be a string"))?
+                            .to_string(),
+                    ),
+                };
+                Ok(QuerySpec::Sql { sql, name })
+            }
+            _ => Err(serde::Error::custom(
+                "expected a datalog string or a {\"sql\": ...} object",
+            )),
+        }
+    }
+}
+
+impl QuerySpec {
+    /// The raw query text, for error messages.
+    pub fn text(&self) -> &str {
+        match self {
+            QuerySpec::Datalog(text) => text,
+            QuerySpec::Sql { sql, .. } => sql,
+        }
+    }
+
+    /// Compiles to exactly one conjunctive query (SQL `IN` lists that
+    /// expand to a union are rejected here).
+    pub fn compile_single(
+        &self,
+        schema: &Schema,
+        domain: &mut Domain,
+        default_name: &str,
+    ) -> Result<ConjunctiveQuery, String> {
+        match self {
+            QuerySpec::Datalog(text) => {
+                parse_query(text, schema, domain).map_err(|e| format!("{e}"))
+            }
+            QuerySpec::Sql { sql, name } => qvsec_sql::compile_query_single(
+                sql,
+                schema,
+                domain,
+                name.as_deref().unwrap_or(default_name),
+            )
+            .map_err(|e| format!("sql rejected: {e}")),
+        }
+    }
+
+    /// Compiles to one or more conjunctive queries: a SQL `IN` list
+    /// expands to one query per (consistent) combination, suffixed
+    /// `_1`, `_2`, ...; datalog always yields exactly one.
+    pub fn compile_multi(
+        &self,
+        schema: &Schema,
+        domain: &mut Domain,
+        default_name: &str,
+    ) -> Result<Vec<ConjunctiveQuery>, String> {
+        match self {
+            QuerySpec::Datalog(text) => parse_query(text, schema, domain)
+                .map(|q| vec![q])
+                .map_err(|e| format!("{e}")),
+            QuerySpec::Sql { sql, name } => qvsec_sql::compile_query(
+                sql,
+                schema,
+                domain,
+                name.as_deref().unwrap_or(default_name),
+            )
+            .map_err(|e| format!("sql rejected: {e}")),
+        }
+    }
+}
+
 /// One audit case.
 #[derive(Debug, Clone, Deserialize)]
 pub struct AuditCaseSpec {
     /// Label for the report (defaults to the secret query's name).
     pub name: Option<String>,
-    /// The secret query, datalog syntax.
-    pub secret: String,
-    /// The views about to be published, datalog syntax.
-    pub views: Vec<String>,
+    /// The secret query, datalog or safe-SQL syntax.
+    pub secret: QuerySpec,
+    /// The views about to be published, datalog or safe-SQL syntax (a SQL
+    /// view with an `IN` list contributes every expanded disjunct).
+    pub views: Vec<QuerySpec>,
     /// Per-audit depth override.
     pub depth: Option<String>,
     /// Per-audit minute threshold override.
@@ -250,15 +362,23 @@ pub fn prepare(spec: &AuditSpec) -> Result<PreparedAudit, CliError> {
     let defaults = spec.defaults.clone().unwrap_or_default();
     let mut parsed = Vec::new();
     for (i, case) in spec.audits.iter().enumerate() {
-        let secret = parse_query(&case.secret, &schema, &mut domain).map_err(|e| {
-            CliError::Spec(format!("audit #{i}: bad secret `{}`: {e}", case.secret))
-        })?;
+        let secret = case
+            .secret
+            .compile_single(&schema, &mut domain, "S")
+            .map_err(|e| {
+                CliError::Spec(format!(
+                    "audit #{i}: bad secret `{}`: {e}",
+                    case.secret.text()
+                ))
+            })?;
         let mut views = ViewSet::new();
         for v in &case.views {
-            views.push(
-                parse_query(v, &schema, &mut domain)
-                    .map_err(|e| CliError::Spec(format!("audit #{i}: bad view `{v}`: {e}")))?,
-            );
+            let compiled = v
+                .compile_multi(&schema, &mut domain, "V")
+                .map_err(|e| CliError::Spec(format!("audit #{i}: bad view `{}`: {e}", v.text())))?;
+            for q in compiled {
+                views.push(q);
+            }
         }
         if views.is_empty() {
             return Err(CliError::Spec(format!("audit #{i}: no views given")));
@@ -316,10 +436,10 @@ pub fn run_spec(text: &str, sequential: bool) -> Result<serde_json::Value, CliEr
 /// * `restore` — rewind to the labelled snapshot.
 #[derive(Debug, Clone, Default, Deserialize)]
 pub struct SessionStepSpec {
-    /// View to publish, datalog syntax.
-    pub publish: Option<String>,
-    /// View to what-if audit, datalog syntax.
-    pub candidate: Option<String>,
+    /// View to publish, datalog or safe-SQL syntax.
+    pub publish: Option<QuerySpec>,
+    /// View to what-if audit, datalog or safe-SQL syntax.
+    pub candidate: Option<QuerySpec>,
     /// Label to snapshot the session under.
     pub snapshot: Option<String>,
     /// Label of the snapshot to rewind to.
@@ -342,8 +462,8 @@ pub struct SessionSpec {
     pub defaults: Option<DefaultsSpec>,
     /// Session label echoed into every step report.
     pub name: Option<String>,
-    /// The secret query, datalog syntax.
-    pub secret: String,
+    /// The secret query, datalog or safe-SQL syntax.
+    pub secret: QuerySpec,
     /// The publication steps, replayed in order.
     pub steps: Vec<SessionStepSpec>,
 }
@@ -376,18 +496,20 @@ pub fn run_session_spec_with_store(
     let (schema, mut domain) = build_schema_domain(&spec.relations, &spec.constants)?;
     let defaults = spec.defaults.clone().unwrap_or_default();
 
-    let secret = parse_query(&spec.secret, &schema, &mut domain)
-        .map_err(|e| CliError::Spec(format!("bad secret `{}`: {e}", spec.secret)))?;
+    let secret = spec
+        .secret
+        .compile_single(&schema, &mut domain, "S")
+        .map_err(|e| CliError::Spec(format!("bad secret `{}`: {e}", spec.secret.text())))?;
     let mut step_views: Vec<Option<ConjunctiveQuery>> = Vec::with_capacity(spec.steps.len());
     for (i, step) in spec.steps.iter().enumerate() {
         let actions = [
-            &step.publish,
-            &step.candidate,
-            &step.snapshot,
-            &step.restore,
+            step.publish.is_some(),
+            step.candidate.is_some(),
+            step.snapshot.is_some(),
+            step.restore.is_some(),
         ]
         .iter()
-        .filter(|a| a.is_some())
+        .filter(|a| **a)
         .count();
         if actions != 1 {
             return Err(CliError::Spec(format!(
@@ -395,9 +517,11 @@ pub fn run_session_spec_with_store(
             )));
         }
         step_views.push(match step.publish.as_ref().or(step.candidate.as_ref()) {
-            Some(text) => Some(
-                parse_query(text, &schema, &mut domain)
-                    .map_err(|e| CliError::Spec(format!("step #{i}: bad view `{text}`: {e}")))?,
+            Some(view) => Some(
+                view.compile_single(&schema, &mut domain, "V")
+                    .map_err(|e| {
+                        CliError::Spec(format!("step #{i}: bad view `{}`: {e}", view.text()))
+                    })?,
             ),
             None => None,
         });
@@ -461,6 +585,161 @@ pub fn run_session_spec_with_store(
         out.push(serde_json::to_value(&report)?);
     }
     Ok(serde_json::Value::Array(out))
+}
+
+/// The schema/constants prelude shared by every spec format — all
+/// `analyze_sql` needs, whatever else the spec declares.
+#[derive(Debug, Clone, Deserialize)]
+struct SchemaOnlySpec {
+    relations: Vec<RelationSpec>,
+    constants: Option<Vec<String>>,
+}
+
+/// Renders a SQL rejection as the wire protocol's `error` object, with the
+/// structured `detail` (closed-enum reason code + byte span).
+fn sql_error_value(e: &qvsec_sql::SqlError) -> serde_json::Value {
+    use serde_json::Value;
+    Value::Object(vec![(
+        "error".to_string(),
+        Value::Object(vec![
+            (
+                "kind".to_string(),
+                Value::Str(qvsec_serve::ErrorKind::BadRequest.as_str().to_string()),
+            ),
+            (
+                "reason".to_string(),
+                Value::Str(format!("sql rejected: {e}")),
+            ),
+            (
+                "detail".to_string(),
+                Value::Object(vec![
+                    (
+                        "reason".to_string(),
+                        Value::Str(e.reason.code().to_string()),
+                    ),
+                    (
+                        "span".to_string(),
+                        Value::Object(vec![
+                            ("start".to_string(), Value::Int(e.span.start as i128)),
+                            ("end".to_string(), Value::Int(e.span.end as i128)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ]),
+    )])
+}
+
+/// Compiles a safe-SQL statement against the schema any spec file declares
+/// (audit, session, or server spec — only `relations` and `constants` are
+/// read) and returns `(body, ok)`. On success the body mirrors the server
+/// `sql` op: `{"queries": [{"name", "datalog", "canonical"}]}` for SELECT
+/// statements, the `show_tables`/`show_columns` shapes for SHOW
+/// statements. On rejection the body is the wire `error` object with its
+/// structured `detail`, and `ok` is false. Unlike the server, constants in
+/// the statement need not be pre-declared: the local domain grows on
+/// demand, matching how audit specs parse their own queries.
+pub fn analyze_sql(
+    spec_text: &str,
+    sql: &str,
+    name: &str,
+) -> Result<(serde_json::Value, bool), CliError> {
+    use serde_json::Value;
+    let value = if spec_text.trim_start().starts_with('{') {
+        serde_json::parse(spec_text)?
+    } else {
+        toml_subset::parse(spec_text).map_err(CliError::Spec)?
+    };
+    let schema_spec: SchemaOnlySpec = serde_json::from_value(&value)?;
+    let (schema, mut domain) = build_schema_domain(&schema_spec.relations, &schema_spec.constants)?;
+    let columns_value = |rel: &Schema, id: qvsec_data::RelationId| -> Value {
+        Value::Array(
+            rel.relation(id)
+                .attributes
+                .iter()
+                .map(|a| Value::Str(a.clone()))
+                .collect(),
+        )
+    };
+    match qvsec_sql::parse_statement(sql) {
+        Err(e) => Ok((sql_error_value(&e), false)),
+        Ok(qvsec_sql::Statement::ShowTables) => {
+            let tables = schema
+                .relation_ids()
+                .map(|id| {
+                    Value::Object(vec![
+                        (
+                            "name".to_string(),
+                            Value::Str(schema.relation(id).name.clone()),
+                        ),
+                        ("columns".to_string(), columns_value(&schema, id)),
+                    ])
+                })
+                .collect();
+            Ok((
+                Value::Object(vec![("tables".to_string(), Value::Array(tables))]),
+                true,
+            ))
+        }
+        Ok(qvsec_sql::Statement::ShowColumns { table, table_span }) => {
+            let resolved = schema.relation_by_name(&table).or_else(|| {
+                let mut hits = schema
+                    .relation_ids()
+                    .filter(|id| schema.relation(*id).name.eq_ignore_ascii_case(&table));
+                match (hits.next(), hits.next()) {
+                    (Some(id), None) => Some(id),
+                    _ => None,
+                }
+            });
+            match resolved {
+                Some(id) => Ok((
+                    Value::Object(vec![
+                        (
+                            "table".to_string(),
+                            Value::Str(schema.relation(id).name.clone()),
+                        ),
+                        ("columns".to_string(), columns_value(&schema, id)),
+                    ]),
+                    true,
+                )),
+                None => {
+                    let e = qvsec_sql::SqlError::new(
+                        qvsec_sql::RejectReason::UnknownTable,
+                        table_span,
+                        format!("unknown table `{table}`"),
+                    );
+                    Ok((sql_error_value(&e), false))
+                }
+            }
+        }
+        Ok(qvsec_sql::Statement::Select(_)) => {
+            match qvsec_sql::compile_query(sql, &schema, &mut domain, name) {
+                Err(e) => Ok((sql_error_value(&e), false)),
+                Ok(queries) => {
+                    let rendered = queries
+                        .iter()
+                        .map(|q| {
+                            Value::Object(vec![
+                                ("name".to_string(), Value::Str(q.name.clone())),
+                                (
+                                    "datalog".to_string(),
+                                    Value::Str(q.display(&schema, &domain).to_string()),
+                                ),
+                                (
+                                    "canonical".to_string(),
+                                    Value::Str(qvsec_cq::canonical_form(q)),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    Ok((
+                        Value::Object(vec![("queries".to_string(), Value::Array(rendered))]),
+                        true,
+                    ))
+                }
+            }
+        }
+    }
 }
 
 /// A server specification: the schema/domain/dictionary context every

@@ -6,13 +6,18 @@
 //! qvsec-cli session --spec specs/session_collusion.json [--pretty]
 //! qvsec-cli serve --spec specs/serve_employee.json --addr 127.0.0.1:7341 [--workers 4] [--store DIR]
 //! qvsec-cli request --addr 127.0.0.1:7341 --file specs/serve_requests.ndjson
+//! qvsec-cli sql --spec specs/table1.json --query "SELECT name FROM Employee WHERE department = 'HR'"
+//! qvsec-cli sql --addr 127.0.0.1:7341 --query "SHOW TABLES"
 //! ```
 //!
 //! `audit` runs stateless audits; `session` replays a script of incremental
 //! publish steps through an `AuditSession` (§6 collusion flow). `serve`
 //! runs the multi-tenant NDJSON TCP server over a server spec, and
 //! `request` drives a running server with one request per input line,
-//! printing one response per line. Spec formats and the wire schema are
+//! printing one response per line. `sql` analyzes one safe-SQL statement —
+//! against a spec's schema locally, or over the wire via the server's
+//! `sql` op — printing the compiled queries (datalog + canonical form) or
+//! the structured rejection. Spec formats and the wire schema are
 //! documented in the `qvsec_cli` library docs and `crates/cli/README.md`.
 
 use std::process::ExitCode;
@@ -26,15 +31,22 @@ USAGE:
     qvsec-cli serve --spec <FILE> --addr <HOST:PORT> [--max-connections <N>] [--store <DIR>]
     qvsec-cli request --addr <HOST:PORT> [--file <FILE>] [--out <FILE>]
                       [--pipeline | --connections <N>]
+    qvsec-cli sql (--spec <FILE> | --addr <HOST:PORT>) --query <SQL>
+                  [--name <NAME>] [OPTIONS]
 
 COMMANDS:
     audit            Run the spec's stateless audits (parallel by default)
     session          Replay a session script of incremental publish steps
     serve            Run the multi-tenant NDJSON session server
     request          Send NDJSON requests (from --file or stdin) to a server
+    sql              Compile one safe-SQL statement (SELECT or SHOW) to
+                     canonical conjunctive queries — against a spec's
+                     schema locally, or a running server's via its `sql` op
 
 OPTIONS:
     --spec <FILE>    Spec, JSON or TOML (format auto-detected)
+    --query <SQL>    (sql) the statement to analyze
+    --name <NAME>    (sql) name for the compiled query (default Q)
     --addr <ADDR>    Server address, e.g. 127.0.0.1:7341
     --max-connections <N>
                      (serve) accept-gate cap on concurrent connections
@@ -66,6 +78,7 @@ enum Command {
     Session,
     Serve,
     Request,
+    Sql,
 }
 
 struct Args {
@@ -78,6 +91,8 @@ struct Args {
     file: Option<String>,
     out: Option<String>,
     store: Option<String>,
+    query: Option<String>,
+    name: Option<String>,
     pretty: bool,
     sequential: bool,
 }
@@ -88,6 +103,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         Some("session") => Command::Session,
         Some("serve") => Command::Serve,
         Some("request") => Command::Request,
+        Some("sql") => Command::Sql,
         Some("-h") | Some("--help") | None => return Err(String::new()),
         Some(other) => return Err(format!("unknown command `{other}`")),
     };
@@ -101,6 +117,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         file: None,
         out: None,
         store: None,
+        query: None,
+        name: None,
         pretty: false,
         sequential: false,
     };
@@ -131,14 +149,29 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--store" => {
                 args.store = Some(argv.next().ok_or("--store needs a directory argument")?)
             }
+            "--query" => {
+                args.query = Some(
+                    argv.next()
+                        .ok_or("--query needs a SQL statement argument")?,
+                )
+            }
+            "--name" => args.name = Some(argv.next().ok_or("--name needs a name argument")?),
             "--pretty" => args.pretty = true,
             "--sequential" => args.sequential = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    if args.store.is_some() && matches!(args.command, Command::Audit | Command::Request) {
+    if args.store.is_some()
+        && matches!(
+            args.command,
+            Command::Audit | Command::Request | Command::Sql
+        )
+    {
         return Err("--store only applies to `serve` and `session`".into());
+    }
+    if (args.query.is_some() || args.name.is_some()) && !matches!(args.command, Command::Sql) {
+        return Err("--query and --name only apply to `sql`".into());
     }
     if (args.connections.is_some() || args.pipeline) && !matches!(args.command, Command::Request) {
         return Err("--connections and --pipeline only apply to `request`".into());
@@ -170,6 +203,17 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         Command::Request => {
             if args.addr.is_none() {
                 return Err("`request` needs --addr <HOST:PORT>".into());
+            }
+        }
+        Command::Sql => {
+            if args.query.is_none() {
+                return Err("`sql` needs --query <SQL>".into());
+            }
+            if args.spec.is_some() == args.addr.is_some() {
+                return Err(
+                    "`sql` needs exactly one of --spec <FILE> (local schema) or --addr <HOST:PORT> (ask a server)"
+                        .into(),
+                );
             }
         }
     }
@@ -387,6 +431,66 @@ fn run_saturation(args: &Args, addr: &str, template: &[String], connections: usi
     emit(&args.out, summary)
 }
 
+/// `sql`: analyze one statement. With `--spec`, compile locally against the
+/// spec's schema; with `--addr`, send the server a `{"op": "sql"}` request
+/// and print its response. Either way the exit code reflects whether the
+/// statement was accepted, and rejections are structured JSON on stdout.
+fn run_sql(args: &Args) -> ExitCode {
+    let query = args.query.as_deref().expect("validated");
+    let name = args.name.as_deref().unwrap_or("Q");
+    if let Some(addr) = args.addr.as_deref() {
+        let request = serde_json::to_string(&serde_json::Value::Object(vec![
+            ("op".to_string(), serde_json::Value::Str("sql".to_string())),
+            ("sql".to_string(), serde_json::Value::Str(query.to_string())),
+            ("name".to_string(), serde_json::Value::Str(name.to_string())),
+        ]))
+        .expect("JSON rendering is infallible");
+        return match qvsec_serve::request_lines(addr, &[request]) {
+            Ok(responses) => {
+                let ok = responses
+                    .first()
+                    .and_then(|line| serde_json::parse(line).ok())
+                    .map(|v| v.field("ok") == &serde_json::Value::Bool(true))
+                    .unwrap_or(false);
+                let code = emit(&args.out, responses.join("\n"));
+                if ok {
+                    code
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: request to `{addr}` failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let text = match read_spec(args.spec.as_deref().expect("validated")) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    match qvsec_cli::analyze_sql(&text, query, name) {
+        Ok((body, accepted)) => {
+            let rendered = if args.pretty {
+                serde_json::to_string_pretty(&body)
+            } else {
+                serde_json::to_string(&body)
+            }
+            .expect("JSON rendering is infallible");
+            let code = emit(&args.out, rendered);
+            if accepted {
+                code
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(args) => args,
@@ -403,6 +507,7 @@ fn main() -> ExitCode {
     match args.command {
         Command::Serve => return run_serve(&args),
         Command::Request => return run_request(&args),
+        Command::Sql => return run_sql(&args),
         Command::Audit | Command::Session => {}
     }
     let text = match read_spec(args.spec.as_deref().expect("validated")) {

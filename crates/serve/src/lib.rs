@@ -16,8 +16,10 @@
 //!   `std::net::TcpListener` with a fixed worker-thread pool, speaking the
 //!   request/response schema of [`protocol`] (`publish` / `candidate` /
 //!   `snapshot` / `restore` / `stats`, mirroring the CLI session-script
-//!   steps). No async runtime: plain blocking sockets and threads, like the
-//!   rest of the workspace.
+//!   steps, plus the `qvsec-sql` front end: queries and secrets in safe-SQL
+//!   form, a `sql` analysis op, and `show_tables` / `show_columns` schema
+//!   introspection). No async runtime: plain blocking sockets and threads,
+//!   like the rest of the workspace.
 //!
 //! Because every tenant shares the engine's compiled artifacts — crit sets,
 //! candidate spaces, class verdicts, witness-mask compilations, the Monte-
@@ -38,8 +40,8 @@ pub mod server;
 
 pub use journal::{Journal, JournalEvent, TenantStoreUsage, NS_JOURNAL};
 pub use protocol::{
-    closing_notice, error_response, handle_request, handle_request_with, ErrorKind, WireRequest,
-    PROTOCOL_VERSION,
+    closing_notice, error_response, error_response_with_detail, handle_request,
+    handle_request_with, ErrorKind, WireRequest, PROTOCOL_VERSION,
 };
 pub use registry::{RegistryConfig, RegistryStats, ServeError, SessionRegistry, TenantStats};
 pub use server::{

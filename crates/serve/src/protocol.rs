@@ -15,6 +15,28 @@
 //! {"op": "shutdown"}
 //! ```
 //!
+//! ## The safe-SQL front end
+//!
+//! Wherever an op takes a datalog query, it alternatively takes a safe-SQL
+//! statement (see `qvsec-sql`): `"sql"` replaces `"view"` on
+//! `publish`/`candidate` (the compiled view is named by `"name"`, default
+//! `V`), and `"secret_sql"` replaces `"secret"` (named by `"secret_name"`,
+//! default `S`). Three ops serve the front end directly:
+//!
+//! ```json
+//! {"op": "sql", "sql": "SELECT name FROM Employee WHERE department = 'HR'"}
+//! {"op": "show_tables"}
+//! {"op": "show_columns", "table": "Employee"}
+//! ```
+//!
+//! `sql` is pure analysis — it compiles the statement (or answers a
+//! `SHOW ...` statement passed as SQL text) and returns each resulting
+//! conjunctive query's name, datalog rendering and canonical form, without
+//! touching any session. A statement outside the subset fails as
+//! `bad_request` whose `error.detail` carries the structured rejection
+//! (see below). `show_tables`/`show_columns` answer from the engine's
+//! schema.
+//!
 //! ## The envelope
 //!
 //! Requests may carry a `"v"` field naming the protocol version they were
@@ -29,7 +51,18 @@
 //! ```
 //!
 //! Failures carry a structured error: a machine-readable [`ErrorKind`]
-//! plus a human-readable reason. The server may also emit a line that is
+//! plus a human-readable reason, and — when the failure has machine-usable
+//! structure, such as a SQL rejection — an *optional* `detail` object.
+//! `detail` is additive: v1 clients that only read `kind`/`reason` keep
+//! working unchanged. For SQL rejections it carries the closed-enum reason
+//! code and the byte span of the offending construct:
+//!
+//! ```json
+//! {"ok": false, "v": 1, "error": {"kind": "bad_request", "reason": "...",
+//!   "detail": {"reason": "unsupported_or", "span": {"start": 38, "end": 40}}}}
+//! ```
+//!
+//! The server may also emit a line that is
 //! *not* a response to any request — a connection-lifecycle notice,
 //! distinguished by its leading `"notice"` field:
 //!
@@ -54,6 +87,7 @@
 use crate::registry::SessionRegistry;
 use crate::server::ServerCounters;
 use crate::ServeError;
+use qvsec_cq::ConjunctiveQuery;
 use serde::Deserialize;
 use serde_json::Value;
 
@@ -122,7 +156,8 @@ impl std::fmt::Display for ErrorKind {
 #[derive(Debug, Clone, Default, Deserialize)]
 pub struct WireRequest {
     /// The operation: `open` | `publish` | `candidate` | `snapshot` |
-    /// `restore` | `stats` | `ping` | `persist` | `shutdown`.
+    /// `restore` | `sql` | `show_tables` | `show_columns` | `stats` |
+    /// `ping` | `persist` | `shutdown`.
     pub op: String,
     /// Protocol version the request was written against (optional; absent
     /// means [`PROTOCOL_VERSION`]).
@@ -131,12 +166,25 @@ pub struct WireRequest {
     pub tenant: Option<String>,
     /// Secret query, datalog syntax (opens a session on first contact).
     pub secret: Option<String>,
+    /// Secret query, safe-SQL syntax — the front-end alternative to
+    /// `secret`; exactly one of the two may be present.
+    pub secret_sql: Option<String>,
+    /// Query name for a `secret_sql` secret (defaults to `S`, matching the
+    /// conventional datalog spelling `S(...) :- ...`).
+    pub secret_name: Option<String>,
     /// View query, datalog syntax (`publish` / `candidate`).
     pub view: Option<String>,
-    /// Recipient label for `publish` (defaults to the view's query name).
+    /// View query, safe-SQL syntax — the front-end alternative to `view`
+    /// on `publish`/`candidate`, and the statement analysed by the `sql`
+    /// op. Exactly one of `view`/`sql` may be present per request.
+    pub sql: Option<String>,
+    /// Recipient label for `publish` (defaults to the view's query name);
+    /// also names the query a `sql` view compiles to (default `V`).
     pub name: Option<String>,
     /// Snapshot label (`snapshot` / `restore`).
     pub label: Option<String>,
+    /// Relation name for `show_columns`.
+    pub table: Option<String>,
 }
 
 fn ok(fields: Vec<(String, Value)>) -> Value {
@@ -151,16 +199,25 @@ fn ok(fields: Vec<(String, Value)>) -> Value {
 /// Builds a structured failure response:
 /// `{"ok": false, "v": 1, "error": {"kind": ..., "reason": ...}}`.
 pub fn error_response(kind: ErrorKind, reason: String) -> Value {
+    error_response_with_detail(kind, reason, None)
+}
+
+/// [`error_response`] with an optional machine-usable `detail` member
+/// inside `error` — e.g. the reason code and byte span of a SQL rejection.
+/// `detail` is additive to the v1 envelope: clients that only read
+/// `kind`/`reason` are unaffected when it appears.
+pub fn error_response_with_detail(kind: ErrorKind, reason: String, detail: Option<Value>) -> Value {
+    let mut error = vec![
+        ("kind".to_string(), Value::Str(kind.as_str().to_string())),
+        ("reason".to_string(), Value::Str(reason)),
+    ];
+    if let Some(detail) = detail {
+        error.push(("detail".to_string(), detail));
+    }
     Value::Object(vec![
         ("ok".to_string(), Value::Bool(false)),
         ("v".to_string(), Value::Int(PROTOCOL_VERSION)),
-        (
-            "error".to_string(),
-            Value::Object(vec![
-                ("kind".to_string(), Value::Str(kind.as_str().to_string())),
-                ("reason".to_string(), Value::Str(reason)),
-            ]),
-        ),
+        ("error".to_string(), Value::Object(error)),
     ])
 }
 
@@ -179,7 +236,23 @@ pub fn closing_notice(reason: &str) -> Value {
 }
 
 fn err(e: &ServeError) -> Value {
-    error_response(e.kind(), e.to_string())
+    let detail = match e {
+        ServeError::Sql(sql) => Some(Value::Object(vec![
+            (
+                "reason".to_string(),
+                Value::Str(sql.reason.code().to_string()),
+            ),
+            (
+                "span".to_string(),
+                Value::Object(vec![
+                    ("start".to_string(), Value::Int(sql.span.start as i128)),
+                    ("end".to_string(), Value::Int(sql.span.end as i128)),
+                ]),
+            ),
+        ])),
+        _ => None,
+    };
+    error_response_with_detail(e.kind(), e.to_string(), detail)
 }
 
 fn require<'a>(field: &'a Option<String>, what: &str) -> crate::Result<&'a str> {
@@ -188,14 +261,123 @@ fn require<'a>(field: &'a Option<String>, what: &str) -> crate::Result<&'a str> 
         .ok_or_else(|| ServeError::Parse(format!("missing required field `{what}`")))
 }
 
+/// `{"name": ..., "columns": [...]}` for one relation of the schema.
+fn relation_value(relation: &qvsec_data::RelationSchema) -> Value {
+    Value::Object(vec![
+        ("name".to_string(), Value::Str(relation.name.clone())),
+        (
+            "columns".to_string(),
+            Value::Array(
+                relation
+                    .attributes
+                    .iter()
+                    .map(|a| Value::Str(a.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Response fields for `show_tables`: every relation with its columns, in
+/// schema declaration order.
+fn show_tables_fields(registry: &SessionRegistry) -> Vec<(String, Value)> {
+    let schema = registry.engine().schema();
+    let tables = schema
+        .relation_ids()
+        .map(|id| relation_value(schema.relation(id)))
+        .collect();
+    vec![("tables".to_string(), Value::Array(tables))]
+}
+
+/// Response fields for `show_columns`, resolving `table` the same way the
+/// SQL compiler resolves relation names: exact match first, then a unique
+/// case-insensitive match. `span` (present when the request arrived as a
+/// `SHOW COLUMNS` statement) locates the table name in the SQL source so
+/// an unknown table fails with the standard structured rejection.
+fn show_columns_fields(
+    registry: &SessionRegistry,
+    table: &str,
+    span: Option<qvsec_sql::Span>,
+) -> crate::Result<Vec<(String, Value)>> {
+    let schema = registry.engine().schema();
+    let resolved = schema.relation_by_name(table).or_else(|| {
+        let mut hits = schema
+            .relation_ids()
+            .filter(|id| schema.relation(*id).name.eq_ignore_ascii_case(table));
+        match (hits.next(), hits.next()) {
+            (Some(id), None) => Some(id),
+            _ => None,
+        }
+    });
+    match resolved {
+        Some(id) => {
+            let relation = schema.relation(id);
+            Ok(vec![
+                ("table".to_string(), Value::Str(relation.name.clone())),
+                (
+                    "columns".to_string(),
+                    Value::Array(
+                        relation
+                            .attributes
+                            .iter()
+                            .map(|a| Value::Str(a.clone()))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+        None => {
+            let known: Vec<&str> = schema
+                .relation_ids()
+                .map(|id| schema.relation(id).name.as_str())
+                .collect();
+            let message = format!("unknown table `{table}` (schema has: {})", known.join(", "));
+            Err(ServeError::Sql(qvsec_sql::SqlError::new(
+                qvsec_sql::RejectReason::UnknownTable,
+                span.unwrap_or_else(|| qvsec_sql::Span::point(0)),
+                message,
+            )))
+        }
+    }
+}
+
+/// Resolves the one view a `publish`/`candidate` request names, from
+/// either its datalog (`view`) or safe-SQL (`sql`) spelling.
+fn parse_view(
+    registry: &SessionRegistry,
+    request: &WireRequest,
+) -> crate::Result<ConjunctiveQuery> {
+    match (&request.view, &request.sql) {
+        (Some(_), Some(_)) => Err(ServeError::Parse(
+            "fields `view` and `sql` are mutually exclusive; send exactly one".to_string(),
+        )),
+        (Some(text), None) => registry.parse(text),
+        (None, Some(text)) => {
+            registry.parse_sql_single(text, request.name.as_deref().unwrap_or("V"))
+        }
+        (None, None) => Err(ServeError::Parse(
+            "missing required field `view` (or its SQL form, `sql`)".to_string(),
+        )),
+    }
+}
+
 fn dispatch(
     registry: &SessionRegistry,
     counters: Option<&ServerCounters>,
     request: &WireRequest,
 ) -> crate::Result<Value> {
-    let parsed_secret = match &request.secret {
-        Some(text) => Some(registry.parse(text)?),
-        None => None,
+    let parsed_secret = match (&request.secret, &request.secret_sql) {
+        (Some(_), Some(_)) => {
+            return Err(ServeError::Parse(
+                "fields `secret` and `secret_sql` are mutually exclusive; send exactly one"
+                    .to_string(),
+            ))
+        }
+        (Some(text), None) => Some(registry.parse(text)?),
+        (None, Some(text)) => {
+            Some(registry.parse_sql_single(text, request.secret_name.as_deref().unwrap_or("S"))?)
+        }
+        (None, None) => None,
     };
     match request.op.as_str() {
         "ping" => Ok(ok(vec![(
@@ -233,7 +415,7 @@ fn dispatch(
         }
         "publish" | "candidate" => {
             let tenant = require(&request.tenant, "tenant")?;
-            let view = registry.parse(require(&request.view, "view")?)?;
+            let view = parse_view(registry, request)?;
             let report = if request.op == "publish" {
                 registry.publish(tenant, parsed_secret.as_ref(), request.name.clone(), view)?
             } else {
@@ -269,8 +451,48 @@ fn dispatch(
             None => Ok(ok(vec![("persisted".to_string(), Value::Bool(false))])),
         },
         "shutdown" => Ok(ok(vec![("shutdown".to_string(), Value::Bool(true))])),
+        "sql" => {
+            let text = require(&request.sql, "sql")?;
+            match qvsec_sql::parse_statement(text).map_err(ServeError::Sql)? {
+                // SHOW statements sent as SQL text answer exactly like the
+                // dedicated introspection ops.
+                qvsec_sql::Statement::ShowTables => Ok(ok(show_tables_fields(registry))),
+                qvsec_sql::Statement::ShowColumns { table, table_span } => Ok(ok(
+                    show_columns_fields(registry, &table, Some(table_span))?,
+                )),
+                qvsec_sql::Statement::Select(_) => {
+                    let name = request.name.as_deref().unwrap_or("Q");
+                    let queries = registry.parse_sql(text, name)?;
+                    let engine = registry.engine();
+                    let rendered = queries
+                        .iter()
+                        .map(|q| {
+                            Value::Object(vec![
+                                ("name".to_string(), Value::Str(q.name.clone())),
+                                (
+                                    "datalog".to_string(),
+                                    Value::Str(
+                                        q.display(engine.schema(), engine.domain()).to_string(),
+                                    ),
+                                ),
+                                (
+                                    "canonical".to_string(),
+                                    Value::Str(qvsec_cq::canonical_form(q)),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    Ok(ok(vec![("queries".to_string(), Value::Array(rendered))]))
+                }
+            }
+        }
+        "show_tables" => Ok(ok(show_tables_fields(registry))),
+        "show_columns" => {
+            let table = require(&request.table, "table")?;
+            Ok(ok(show_columns_fields(registry, table, None)?))
+        }
         other => Err(ServeError::Parse(format!(
-            "unknown op `{other}` (expected open | publish | candidate | snapshot | restore | stats | ping | persist | shutdown)"
+            "unknown op `{other}` (expected open | publish | candidate | snapshot | restore | sql | show_tables | show_columns | stats | ping | persist | shutdown)"
         ))),
     }
 }
@@ -467,6 +689,144 @@ mod tests {
         // Even a shutdown op under a wrong version does not shut down.
         let (_, shutdown) = handle_request(&reg, r#"{"op": "shutdown", "v": 99}"#);
         assert!(!shutdown);
+    }
+
+    fn registry_with_domain() -> SessionRegistry {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        schema.add_relation("Dept", &["id", "floor"]);
+        let engine =
+            Arc::new(AuditEngine::builder(schema, Domain::with_constants(["HR", "Mgmt"])).build());
+        SessionRegistry::new(engine)
+    }
+
+    #[test]
+    fn sql_op_compiles_and_reports_canonical_forms() {
+        let reg = registry_with_domain();
+        let (response, _) = handle_request(
+            &reg,
+            r#"{"op": "sql", "sql": "SELECT name, phone FROM Employee WHERE department = 'HR'"}"#,
+        );
+        assert_eq!(response.field("ok"), &Value::Bool(true), "{response:?}");
+        let queries = response.field("queries").as_array().unwrap();
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].field("name").as_str(), Some("Q"));
+        assert_eq!(
+            queries[0].field("datalog").as_str(),
+            Some("Q(name, phone) :- Employee(name, 'HR', phone)")
+        );
+        // The canonical form is exactly what the equivalent hand-written
+        // datalog query canonicalises to — the cache-identity contract.
+        let hand = reg.parse("Q(n, p) :- Employee(n, 'HR', p)").unwrap();
+        assert_eq!(
+            queries[0].field("canonical").as_str(),
+            Some(qvsec_cq::canonical_form(&hand).as_str())
+        );
+        // An IN list expands to one query per member, names suffixed.
+        let (response, _) = handle_request(
+            &reg,
+            r#"{"op": "sql", "sql": "SELECT name FROM Employee WHERE department IN ('HR', 'Mgmt')", "name": "W"}"#,
+        );
+        let queries = response.field("queries").as_array().unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].field("name").as_str(), Some("W_1"));
+        assert_eq!(queries[1].field("name").as_str(), Some("W_2"));
+    }
+
+    #[test]
+    fn sql_rejections_carry_detail_with_reason_and_span() {
+        let reg = registry_with_domain();
+        let sql_text = "SELECT name FROM Employee WHERE department = 'HR' OR phone = '5'";
+        let line = format!(r#"{{"op": "sql", "sql": "{sql_text}"}}"#);
+        let (response, _) = handle_request(&reg, &line);
+        assert_eq!(response.field("ok"), &Value::Bool(false));
+        assert_eq!(error_kind(&response), "bad_request");
+        let detail = response.field("error").field("detail");
+        assert_eq!(detail.field("reason").as_str(), Some("unsupported_or"));
+        let start = detail.field("span").field("start").as_int().unwrap() as usize;
+        let end = detail.field("span").field("end").as_int().unwrap() as usize;
+        assert_eq!(&sql_text[start..end], "OR", "span locates the construct");
+        // Constants outside the closed domain keep their dedicated kind.
+        let (response, _) = handle_request(
+            &reg,
+            r#"{"op": "sql", "sql": "SELECT name FROM Employee WHERE department = 'Skunkworks'"}"#,
+        );
+        assert_eq!(error_kind(&response), "undeclared_constant");
+        // Plain bad requests (no SQL structure) carry no detail member.
+        let (response, _) = handle_request(&reg, r#"{"op": "warp"}"#);
+        assert!(response.field("error").field("detail").is_null());
+    }
+
+    #[test]
+    fn show_tables_and_show_columns_answer_from_the_schema() {
+        let reg = registry_with_domain();
+        let (response, _) = handle_request(&reg, r#"{"op": "show_tables"}"#);
+        let tables = response.field("tables").as_array().unwrap();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].field("name").as_str(), Some("Employee"));
+        assert_eq!(
+            tables[0].field("columns").as_array().unwrap().len(),
+            3,
+            "columns ride along in declaration order"
+        );
+        // Resolution is exact-first, then unique case-insensitive — the
+        // same policy the SQL compiler applies to FROM clauses.
+        let (response, _) = handle_request(&reg, r#"{"op": "show_columns", "table": "employee"}"#);
+        assert_eq!(response.field("table").as_str(), Some("Employee"));
+        let columns = response.field("columns").as_array().unwrap();
+        assert_eq!(columns[1].as_str(), Some("department"));
+        let (response, _) = handle_request(&reg, r#"{"op": "show_columns", "table": "Payroll"}"#);
+        assert_eq!(error_kind(&response), "bad_request");
+        assert_eq!(
+            response
+                .field("error")
+                .field("detail")
+                .field("reason")
+                .as_str(),
+            Some("unknown_table")
+        );
+        // SHOW statements through the `sql` op answer identically.
+        let (via_sql, _) = handle_request(&reg, r#"{"op": "sql", "sql": "SHOW TABLES"}"#);
+        assert_eq!(
+            serde_json::to_string(&via_sql).unwrap(),
+            serde_json::to_string(&handle_request(&reg, r#"{"op": "show_tables"}"#).0).unwrap()
+        );
+        let (via_sql, _) =
+            handle_request(&reg, r#"{"op": "sql", "sql": "SHOW COLUMNS FROM Dept"}"#);
+        assert_eq!(via_sql.field("table").as_str(), Some("Dept"));
+    }
+
+    #[test]
+    fn sql_and_datalog_publishes_produce_identical_reports() {
+        let datalog_reg = registry_with_domain();
+        let sql_reg = registry_with_domain();
+        let (datalog, _) = handle_request(
+            &datalog_reg,
+            r#"{"op": "publish", "tenant": "a", "secret": "S(n, p) :- Employee(n, d, p)", "view": "V(n, p) :- Employee(n, 'HR', p)", "name": "bob"}"#,
+        );
+        let (sql, _) = handle_request(
+            &sql_reg,
+            r#"{"op": "publish", "tenant": "a", "secret_sql": "SELECT name, phone FROM Employee", "sql": "SELECT name, phone FROM Employee WHERE department = 'HR'", "name": "bob"}"#,
+        );
+        assert_eq!(datalog.field("ok"), &Value::Bool(true), "{datalog:?}");
+        assert_eq!(sql.field("ok"), &Value::Bool(true), "{sql:?}");
+        assert_eq!(
+            serde_json::to_string(&datalog.field("report")).unwrap(),
+            serde_json::to_string(&sql.field("report")).unwrap(),
+            "the front end compiles to the same audit, byte for byte"
+        );
+        // A SQL candidate against the SQL-opened session audits cleanly.
+        let (candidate, _) = handle_request(
+            &sql_reg,
+            r#"{"op": "candidate", "tenant": "a", "sql": "SELECT department FROM Employee"}"#,
+        );
+        assert_eq!(candidate.field("ok"), &Value::Bool(true), "{candidate:?}");
+        // view and sql at once is malformed, not silently resolved.
+        let (both, _) = handle_request(
+            &sql_reg,
+            r#"{"op": "candidate", "tenant": "a", "view": "W(d) :- Employee(n, d, p)", "sql": "SELECT department FROM Employee"}"#,
+        );
+        assert_eq!(error_kind(&both), "bad_request");
     }
 
     #[test]

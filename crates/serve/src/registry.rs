@@ -37,6 +37,10 @@ pub enum ServeError {
     /// A query failed to parse, a required field was missing, or the
     /// request line was not a request at all.
     Parse(String),
+    /// A SQL statement fell outside the safe subset or failed to compile;
+    /// carries the structured reason and source span so the wire layer can
+    /// attach a machine-readable `detail` object.
+    Sql(qvsec_sql::SqlError),
     /// A query mentioned constants the server's build-time domain never
     /// declared (kept distinct from [`ServeError::Parse`] so clients can
     /// tell a typo from a policy rejection).
@@ -61,6 +65,7 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Parse(m) => write!(f, "parse error: {m}"),
+            ServeError::Sql(e) => write!(f, "sql rejected: {e}"),
             ServeError::UndeclaredConstant(q) => write!(
                 f,
                 "query `{q}` uses constants outside the server's declared domain"
@@ -91,7 +96,7 @@ impl ServeError {
     pub fn kind(&self) -> crate::protocol::ErrorKind {
         use crate::protocol::ErrorKind;
         match self {
-            ServeError::Parse(_) => ErrorKind::BadRequest,
+            ServeError::Parse(_) | ServeError::Sql(_) => ErrorKind::BadRequest,
             ServeError::UndeclaredConstant(_) => ErrorKind::UndeclaredConstant,
             // A missing session means the tenant was never opened *or* was
             // retired (idle-swept without a store); either way the client's
@@ -386,6 +391,37 @@ impl SessionRegistry {
         let before = domain.len();
         let query = qvsec_cq::parse_query(text, self.engine.schema(), &mut domain)
             .map_err(|e| ServeError::Parse(format!("bad query `{text}`: {e}")))?;
+        if domain.len() != before {
+            return Err(ServeError::UndeclaredConstant(text.to_string()));
+        }
+        Ok(query)
+    }
+
+    /// Compiles a safe-SQL statement against the engine's schema, applying
+    /// the same closed-domain policy as [`SessionRegistry::parse`]: a
+    /// statement whose constants were never declared is rejected rather
+    /// than silently growing a private domain copy. `IN`-lists expand to
+    /// one query per choice.
+    pub fn parse_sql(&self, text: &str, name: &str) -> crate::Result<Vec<ConjunctiveQuery>> {
+        let mut domain = self.engine.domain().clone();
+        let before = domain.len();
+        let queries = qvsec_sql::compile_query(text, self.engine.schema(), &mut domain, name)
+            .map_err(ServeError::Sql)?;
+        if domain.len() != before {
+            return Err(ServeError::UndeclaredConstant(text.to_string()));
+        }
+        Ok(queries)
+    }
+
+    /// Like [`SessionRegistry::parse_sql`] but for contexts needing exactly
+    /// one conjunctive query (secrets, `publish`, `candidate`): a statement
+    /// that expands through `IN`-lists is rejected with a structured
+    /// `multiple_queries` reason.
+    pub fn parse_sql_single(&self, text: &str, name: &str) -> crate::Result<ConjunctiveQuery> {
+        let mut domain = self.engine.domain().clone();
+        let before = domain.len();
+        let query = qvsec_sql::compile_query_single(text, self.engine.schema(), &mut domain, name)
+            .map_err(ServeError::Sql)?;
         if domain.len() != before {
             return Err(ServeError::UndeclaredConstant(text.to_string()));
         }

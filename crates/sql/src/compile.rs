@@ -1,0 +1,716 @@
+//! Compilation of parsed `SELECT` statements to conjunctive queries.
+//!
+//! The translation is *unification-based* so that a SQL query and its
+//! hand-written datalog equivalent produce literally the same AST shape
+//! (and therefore the same [`qvsec_cq::canonical_form`], memo keys and
+//! cache entries):
+//!
+//! * every (FROM-entry, attribute) position is a *slot*;
+//! * `a.x = b.y` merges the two slots' classes (union-find);
+//! * `a.x = 'lit'` binds the class to a constant, which is substituted
+//!   **inline** into the atom — exactly where a hand-written
+//!   `Employee(n, 'HR', p)` puts it. Compiled queries never carry
+//!   comparison predicates;
+//! * `a.x IN ('p', 'q')` expands to a union of conjunctive queries, one
+//!   per choice (the cartesian product over all IN-lists, capped at
+//!   [`MAX_IN_EXPANSION`]). Combinations contradicting an equality are
+//!   dropped — that is exact SQL semantics, not narrowing — and if *every*
+//!   combination is contradictory the statement is rejected.
+
+use crate::error::{RejectReason, Span, SqlError};
+use crate::parser::{ColumnRef, Literal, Operand, Predicate, SelectStmt, Statement};
+use qvsec_cq::{Atom, ConjunctiveQuery, Term};
+use qvsec_data::{Domain, RelationId, Schema, Value};
+
+/// Cap on the number of conjunctive queries an `IN`-list expansion may
+/// produce (the cartesian product over all IN-lists in one statement).
+pub const MAX_IN_EXPANSION: usize = 64;
+
+/// Compiles a statement that must be a `SELECT`, returning the union of
+/// conjunctive queries it denotes (singleton unless `IN`-lists expand).
+///
+/// Constants are interned into `domain` by name; callers enforcing a closed
+/// constant vocabulary should check the domain did not grow.
+pub fn compile_query(
+    source: &str,
+    schema: &Schema,
+    domain: &mut Domain,
+    name: &str,
+) -> Result<Vec<ConjunctiveQuery>, SqlError> {
+    match crate::parser::parse_statement(source)? {
+        Statement::Select(stmt) => compile_select(&stmt, schema, domain, name, source),
+        Statement::ShowTables | Statement::ShowColumns { .. } => Err(SqlError::new(
+            RejectReason::Syntax,
+            Span::new(0, source.len()),
+            "expected a SELECT statement, found an introspection command",
+        )),
+    }
+}
+
+/// Like [`compile_query`] but requires the statement to denote exactly one
+/// conjunctive query (no multi-element `IN`-list expansion).
+pub fn compile_query_single(
+    source: &str,
+    schema: &Schema,
+    domain: &mut Domain,
+    name: &str,
+) -> Result<ConjunctiveQuery, SqlError> {
+    let mut queries = compile_query(source, schema, domain, name)?;
+    if queries.len() != 1 {
+        return Err(SqlError::new(
+            RejectReason::MultipleQueries,
+            Span::new(0, source.len()),
+            format!(
+                "statement expands to {} conjunctive queries (via IN-lists) \
+                 but this context requires exactly one",
+                queries.len()
+            ),
+        ));
+    }
+    Ok(queries.pop().expect("checked length"))
+}
+
+/// A resolved slot: `(FROM-entry index, attribute position)` flattened.
+type Slot = usize;
+
+struct Resolver<'a> {
+    schema: &'a Schema,
+    /// Per FROM entry: relation, alias (lower-cased), first slot offset.
+    tables: Vec<(RelationId, String, usize)>,
+    total_slots: usize,
+}
+
+impl<'a> Resolver<'a> {
+    fn build(stmt: &SelectStmt, schema: &'a Schema) -> Result<Self, SqlError> {
+        let mut tables = Vec::new();
+        let mut total = 0usize;
+        for t in &stmt.tables {
+            let rel = lookup_relation(schema, &t.table, t.span)?;
+            let alias = t
+                .alias
+                .clone()
+                .unwrap_or_else(|| t.table.clone())
+                .to_ascii_lowercase();
+            if tables.iter().any(|(_, a, _)| *a == alias) {
+                return Err(SqlError::new(
+                    RejectReason::DuplicateAlias,
+                    t.span,
+                    format!(
+                        "alias `{}` is already bound to an earlier FROM entry; \
+                         give each occurrence a distinct alias (`{} AS e2`)",
+                        alias, t.table
+                    ),
+                ));
+            }
+            tables.push((rel, alias, total));
+            total += schema.arity(rel);
+        }
+        Ok(Resolver {
+            schema,
+            tables,
+            total_slots: total,
+        })
+    }
+
+    /// Resolves a column reference to its slot.
+    fn resolve(&self, col: &ColumnRef) -> Result<Slot, SqlError> {
+        match &col.table {
+            Some(qual) => {
+                let lower = qual.to_ascii_lowercase();
+                let Some((rel, _, base)) = self.tables.iter().find(|(_, a, _)| *a == lower) else {
+                    return Err(SqlError::new(
+                        RejectReason::UnknownTable,
+                        col.span,
+                        format!(
+                            "`{}` does not name a FROM entry; in scope: {}",
+                            qual,
+                            self.alias_list()
+                        ),
+                    ));
+                };
+                let pos = attribute_position(self.schema, *rel, &col.column).ok_or_else(|| {
+                    SqlError::new(
+                        RejectReason::UnknownColumn,
+                        col.span,
+                        format!(
+                            "`{}` has no column `{}`; columns: {}",
+                            self.schema.relation(*rel).name,
+                            col.column,
+                            self.schema.relation(*rel).attributes.join(", ")
+                        ),
+                    )
+                })?;
+                Ok(base + pos)
+            }
+            None => {
+                let mut hits = Vec::new();
+                for (rel, alias, base) in &self.tables {
+                    if let Some(pos) = attribute_position(self.schema, *rel, &col.column) {
+                        hits.push((alias.clone(), base + pos));
+                    }
+                }
+                match hits.len() {
+                    0 => Err(SqlError::new(
+                        RejectReason::UnknownColumn,
+                        col.span,
+                        format!(
+                            "no FROM entry has a column `{}` (tables in scope: {})",
+                            col.column,
+                            self.alias_list()
+                        ),
+                    )),
+                    1 => Ok(hits[0].1),
+                    _ => Err(SqlError::new(
+                        RejectReason::AmbiguousColumn,
+                        col.span,
+                        format!(
+                            "column `{}` matches several FROM entries ({}); qualify it",
+                            col.column,
+                            hits.iter()
+                                .map(|(a, _)| a.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn alias_list(&self) -> String {
+        self.tables
+            .iter()
+            .map(|(_, a, _)| a.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Case-sensitive lookup with a case-insensitive fallback (accepted only
+/// when unambiguous), so analysts can type `employee` for `Employee`.
+fn lookup_relation(schema: &Schema, name: &str, span: Span) -> Result<RelationId, SqlError> {
+    if let Some(id) = schema.relation_by_name(name) {
+        return Ok(id);
+    }
+    let ci: Vec<RelationId> = schema
+        .relation_ids()
+        .filter(|&id| schema.relation(id).name.eq_ignore_ascii_case(name))
+        .collect();
+    if ci.len() == 1 {
+        return Ok(ci[0]);
+    }
+    let known: Vec<&str> = schema
+        .relation_ids()
+        .map(|id| schema.relation(id).name.as_str())
+        .collect::<Vec<_>>();
+    Err(SqlError::new(
+        RejectReason::UnknownTable,
+        span,
+        format!(
+            "unknown table `{}`; known tables: {}",
+            name,
+            known.join(", ")
+        ),
+    ))
+}
+
+/// Exact attribute match first, then a unique case-insensitive match.
+fn attribute_position(schema: &Schema, rel: RelationId, column: &str) -> Option<usize> {
+    let attrs = &schema.relation(rel).attributes;
+    if let Some(p) = attrs.iter().position(|a| a == column) {
+        return Some(p);
+    }
+    let ci: Vec<usize> = attrs
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.eq_ignore_ascii_case(column))
+        .map(|(i, _)| i)
+        .collect();
+    if ci.len() == 1 {
+        Some(ci[0])
+    } else {
+        None
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        // the smaller root wins, keeping class representatives stable in
+        // slot order (first occurrence)
+        let (lo, hi) = if ra <= rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+    }
+}
+
+/// Compiles a parsed `SELECT` to its union of conjunctive queries.
+///
+/// `name` becomes the (cosmetic) query name; when `IN`-lists expand to
+/// several disjuncts they are named `name_1`, `name_2`, ....
+pub fn compile_select(
+    stmt: &SelectStmt,
+    schema: &Schema,
+    domain: &mut Domain,
+    name: &str,
+    source: &str,
+) -> Result<Vec<ConjunctiveQuery>, SqlError> {
+    let resolver = Resolver::build(stmt, schema)?;
+    let mut uf = UnionFind::new(resolver.total_slots);
+
+    // Pass A: merge classes for every column = column equality.
+    for pred in &stmt.predicates {
+        if let Predicate::Eq {
+            lhs: Operand::Column(l),
+            rhs: Operand::Column(r),
+            ..
+        } = pred
+        {
+            let (a, b) = (resolver.resolve(l)?, resolver.resolve(r)?);
+            uf.union(a, b);
+        }
+    }
+
+    // Pass B: bind constants per class (column = literal, literal = literal,
+    // single-element IN) and collect multi-element IN choices.
+    let mut bound: Vec<Option<Value>> = vec![None; resolver.total_slots];
+    let bind = |uf: &mut UnionFind,
+                bound: &mut Vec<Option<Value>>,
+                domain: &mut Domain,
+                slot: Slot,
+                lit: &Literal,
+                span: Span|
+     -> Result<(), SqlError> {
+        let value = domain.add(&lit.text);
+        let root = uf.find(slot);
+        match bound[root] {
+            None => {
+                bound[root] = Some(value);
+                Ok(())
+            }
+            Some(prev) if prev == value => Ok(()),
+            Some(prev) => Err(SqlError::new(
+                RejectReason::ContradictoryConstants,
+                span,
+                format!(
+                    "this column is already constrained to '{}' elsewhere in \
+                     the statement; '{}' can never match",
+                    domain.name(prev),
+                    lit.text
+                ),
+            )),
+        }
+    };
+    // (class root, ordered choices, span of the IN predicate)
+    let mut choices: Vec<(Slot, Vec<Value>, Span)> = Vec::new();
+    for pred in &stmt.predicates {
+        match pred {
+            Predicate::Eq {
+                lhs: Operand::Column(_),
+                rhs: Operand::Column(_),
+                ..
+            } => {}
+            Predicate::Eq {
+                lhs: Operand::Column(c),
+                rhs: Operand::Literal(l),
+                span,
+            }
+            | Predicate::Eq {
+                lhs: Operand::Literal(l),
+                rhs: Operand::Column(c),
+                span,
+            } => {
+                let slot = resolver.resolve(c)?;
+                bind(&mut uf, &mut bound, domain, slot, l, *span)?;
+            }
+            Predicate::Eq {
+                lhs: Operand::Literal(a),
+                rhs: Operand::Literal(b),
+                span,
+            } => {
+                // constant-folding a tautology is fine; a contradiction is
+                // surfaced, never silently produced as the empty query
+                if domain.add(&a.text) != domain.add(&b.text) {
+                    return Err(SqlError::new(
+                        RejectReason::ContradictoryConstants,
+                        *span,
+                        format!("'{}' = '{}' can never hold", a.text, b.text),
+                    ));
+                }
+            }
+            Predicate::In { column, list, span } => {
+                let slot = resolver.resolve(column)?;
+                if list.len() == 1 {
+                    bind(&mut uf, &mut bound, domain, slot, &list[0], *span)?;
+                } else {
+                    let mut vals: Vec<Value> = Vec::new();
+                    for lit in list {
+                        let v = domain.add(&lit.text);
+                        // duplicate disjuncts would silently change the
+                        // expansion count; dedup keeps SQL set semantics
+                        if !vals.contains(&v) {
+                            vals.push(v);
+                        }
+                    }
+                    choices.push((uf.find(slot), vals, *span));
+                }
+            }
+        }
+    }
+
+    // Expansion size check before materializing anything.
+    let mut expansion = 1usize;
+    for (_, vals, span) in &choices {
+        expansion = match expansion.checked_mul(vals.len()) {
+            Some(n) if n <= MAX_IN_EXPANSION => n,
+            _ => {
+                return Err(SqlError::new(
+                    RejectReason::InListTooLarge,
+                    *span,
+                    format!(
+                        "IN-lists multiply out to more than {MAX_IN_EXPANSION} \
+                         conjunctive queries"
+                    ),
+                ))
+            }
+        };
+    }
+
+    // Materialize each combination (odometer order: later IN-lists vary
+    // fastest, matching nested-loop reading order).
+    let mut queries = Vec::new();
+    let mut combo = vec![0usize; choices.len()];
+    loop {
+        let mut assignment = bound.clone();
+        let mut contradictory = false;
+        for (i, (root, vals, _)) in choices.iter().enumerate() {
+            let v = vals[combo[i]];
+            match assignment[*root] {
+                None => assignment[*root] = Some(v),
+                Some(prev) if prev == v => {}
+                Some(_) => {
+                    contradictory = true;
+                    break;
+                }
+            }
+        }
+        if !contradictory {
+            queries.push(assignment);
+        }
+        // advance the odometer
+        let mut i = choices.len();
+        loop {
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+            combo[i] += 1;
+            if combo[i] < choices[i].1.len() {
+                break;
+            }
+            combo[i] = 0;
+            if i == 0 {
+                i = usize::MAX;
+                break;
+            }
+        }
+        if choices.is_empty() || i == usize::MAX {
+            break;
+        }
+    }
+
+    if queries.is_empty() {
+        let span = choices
+            .first()
+            .map(|(_, _, s)| *s)
+            .unwrap_or_else(|| Span::new(0, source.len()));
+        return Err(SqlError::new(
+            RejectReason::ContradictoryConstants,
+            span,
+            "every IN combination contradicts an equality constraint; \
+             the statement can never match",
+        ));
+    }
+
+    let multi = queries.len() > 1;
+    let built: Result<Vec<ConjunctiveQuery>, SqlError> = queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, assignment)| {
+            let qname = if multi {
+                format!("{}_{}", name, i + 1)
+            } else {
+                name.to_string()
+            };
+            build_query(&qname, stmt, schema, &resolver, &mut uf, &assignment)
+        })
+        .collect();
+    built
+}
+
+/// Builds one conjunctive query from a complete class→constant assignment.
+fn build_query(
+    name: &str,
+    stmt: &SelectStmt,
+    schema: &Schema,
+    resolver: &Resolver<'_>,
+    uf: &mut UnionFind,
+    assignment: &[Option<Value>],
+) -> Result<ConjunctiveQuery, SqlError> {
+    let mut q = ConjunctiveQuery::new(name);
+
+    // Assign variables to constant-free classes, in slot order, named after
+    // the first column of the class (uniquified — `add_var` interns by name,
+    // so collisions would incorrectly merge classes).
+    let mut class_term: Vec<Option<Term>> = vec![None; resolver.total_slots];
+    let mut used_names: Vec<String> = Vec::new();
+    for (rel, _, base) in &resolver.tables {
+        for pos in 0..schema.arity(*rel) {
+            let slot = base + pos;
+            let root = uf.find(slot);
+            if class_term[root].is_some() {
+                continue;
+            }
+            let term = match assignment[root] {
+                Some(value) => Term::Const(value),
+                None => {
+                    let attr = &schema.relation(*rel).attributes[pos];
+                    let mut candidate = attr.clone();
+                    let mut k = 1usize;
+                    while used_names.iter().any(|n| n == &candidate) {
+                        k += 1;
+                        candidate = format!("{attr}_{k}");
+                    }
+                    used_names.push(candidate.clone());
+                    Term::Var(q.add_var(&candidate))
+                }
+            };
+            class_term[root] = Some(term);
+        }
+    }
+
+    // Atoms in FROM order, constants substituted inline.
+    for (rel, _, base) in &resolver.tables {
+        let terms: Vec<Term> = (0..schema.arity(*rel))
+            .map(|pos| class_term[uf.find(base + pos)].expect("every class is materialized"))
+            .collect();
+        q.atoms.push(Atom::new(*rel, terms));
+    }
+
+    // Head in projection order.
+    for item in &stmt.items {
+        let slot = resolver.resolve(item)?;
+        q.head
+            .push(class_term[uf.find(slot)].expect("every class is materialized"));
+    }
+
+    debug_assert!(q.validate().is_ok(), "compiled queries are always safe");
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvsec_cq::{canonical_form, parse_query};
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        schema.add_relation("R", &["x", "y"]);
+        (schema, Domain::new())
+    }
+
+    #[test]
+    fn simple_projection_matches_hand_written_datalog() {
+        let (schema, mut domain) = setup();
+        let hand = parse_query("V(n, d) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let sql = compile_query_single(
+            "SELECT name, department FROM Employee",
+            &schema,
+            &mut domain,
+            "V",
+        )
+        .unwrap();
+        assert_eq!(canonical_form(&hand), canonical_form(&sql));
+    }
+
+    #[test]
+    fn constants_are_substituted_inline_not_as_comparisons() {
+        let (schema, mut domain) = setup();
+        let hand = parse_query("V(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        let sql = compile_query_single(
+            "SELECT name FROM Employee WHERE department = 'HR'",
+            &schema,
+            &mut domain,
+            "V",
+        )
+        .unwrap();
+        assert!(sql.comparisons.is_empty());
+        assert_eq!(canonical_form(&hand), canonical_form(&sql));
+    }
+
+    #[test]
+    fn joins_unify_across_atoms() {
+        let (schema, mut domain) = setup();
+        let hand = parse_query("V(a) :- R(a, b), R(b, c)", &schema, &mut domain).unwrap();
+        let sql = compile_query_single(
+            "SELECT s.x FROM R s JOIN R t ON s.y = t.x",
+            &schema,
+            &mut domain,
+            "V",
+        )
+        .unwrap();
+        assert_eq!(canonical_form(&hand), canonical_form(&sql));
+
+        let comma = compile_query_single(
+            "SELECT s.x FROM R s, R t WHERE s.y = t.x",
+            &schema,
+            &mut domain,
+            "V",
+        )
+        .unwrap();
+        assert_eq!(canonical_form(&hand), canonical_form(&comma));
+    }
+
+    #[test]
+    fn head_can_be_a_bound_constant() {
+        let (schema, mut domain) = setup();
+        let hand = parse_query("V(n, 'HR') :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        let sql = compile_query_single(
+            "SELECT name, department FROM Employee WHERE department = 'HR'",
+            &schema,
+            &mut domain,
+            "V",
+        )
+        .unwrap();
+        assert_eq!(canonical_form(&hand), canonical_form(&sql));
+    }
+
+    #[test]
+    fn in_lists_expand_to_a_union() {
+        let (schema, mut domain) = setup();
+        let qs = compile_query(
+            "SELECT name FROM Employee WHERE department IN ('HR', 'Mgmt')",
+            &schema,
+            &mut domain,
+            "V",
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].name, "V_1");
+        let hr = parse_query("A(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        let mgmt = parse_query("B(n) :- Employee(n, 'Mgmt', p)", &schema, &mut domain).unwrap();
+        assert_eq!(canonical_form(&qs[0]), canonical_form(&hr));
+        assert_eq!(canonical_form(&qs[1]), canonical_form(&mgmt));
+    }
+
+    #[test]
+    fn contradictory_in_combinations_are_dropped_exactly() {
+        let (schema, mut domain) = setup();
+        let qs = compile_query(
+            "SELECT name FROM Employee WHERE department = 'HR' \
+             AND department IN ('HR', 'Mgmt')",
+            &schema,
+            &mut domain,
+            "V",
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 1, "only the consistent combination survives");
+        let hand = parse_query("V(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+        assert_eq!(canonical_form(&qs[0]), canonical_form(&hand));
+    }
+
+    #[test]
+    fn fully_contradictory_statements_are_rejected() {
+        let (schema, mut domain) = setup();
+        let e = compile_query(
+            "SELECT name FROM Employee WHERE department = 'HR' AND department = 'Mgmt'",
+            &schema,
+            &mut domain,
+            "V",
+        )
+        .unwrap_err();
+        assert_eq!(e.reason, RejectReason::ContradictoryConstants);
+    }
+
+    #[test]
+    fn resolution_errors() {
+        let (schema, mut domain) = setup();
+        let cases = [
+            ("SELECT name FROM Nope", RejectReason::UnknownTable),
+            ("SELECT salary FROM Employee", RejectReason::UnknownColumn),
+            ("SELECT z.name FROM Employee", RejectReason::UnknownTable),
+            ("SELECT zz FROM Employee, R", RejectReason::UnknownColumn),
+            (
+                "SELECT name FROM Employee, Employee",
+                RejectReason::DuplicateAlias,
+            ),
+            (
+                "SELECT name FROM Employee a, Employee b WHERE name = 'x'",
+                RejectReason::AmbiguousColumn,
+            ),
+        ];
+        for (src, reason) in cases {
+            let e = compile_query(src, &schema, &mut domain, "V").unwrap_err();
+            assert_eq!(e.reason, reason, "for {src}: {e}");
+        }
+    }
+
+    #[test]
+    fn case_insensitive_table_and_column_fallback() {
+        let (schema, mut domain) = setup();
+        let hand = parse_query("V(n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let sql =
+            compile_query_single("select NAME from employee", &schema, &mut domain, "V").unwrap();
+        assert_eq!(canonical_form(&hand), canonical_form(&sql));
+    }
+
+    #[test]
+    fn expansion_cap_is_enforced() {
+        let (schema, mut domain) = setup();
+        let lits: Vec<String> = (0..9).map(|i| format!("'c{i}'")).collect();
+        let list = lits.join(", ");
+        let src = format!("SELECT x FROM R WHERE x IN ({list}) AND y IN ({list})");
+        let e = compile_query(&src, &schema, &mut domain, "V").unwrap_err();
+        assert_eq!(e.reason, RejectReason::InListTooLarge);
+    }
+
+    #[test]
+    fn single_query_contexts_reject_expansion() {
+        let (schema, mut domain) = setup();
+        let e = compile_query_single(
+            "SELECT x FROM R WHERE y IN ('a', 'b')",
+            &schema,
+            &mut domain,
+            "S",
+        )
+        .unwrap_err();
+        assert_eq!(e.reason, RejectReason::MultipleQueries);
+    }
+
+    #[test]
+    fn repeated_head_columns_and_self_equality() {
+        let (schema, mut domain) = setup();
+        let hand = parse_query("V(x, x) :- R(x, x)", &schema, &mut domain).unwrap();
+        let sql = compile_query_single("SELECT x, y FROM R WHERE x = y", &schema, &mut domain, "V")
+            .unwrap();
+        assert_eq!(canonical_form(&hand), canonical_form(&sql));
+    }
+}

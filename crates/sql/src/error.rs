@@ -1,0 +1,216 @@
+//! Structured rejection diagnostics.
+//!
+//! Every way a statement can fall outside the safe subset has a closed
+//! [`RejectReason`] and a byte [`Span`] into the original SQL text. Nothing
+//! is ever silently narrowed: either the statement compiles exactly, or the
+//! caller gets a machine-readable reason plus the offending source range.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the SQL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Span {
+    /// Byte offset of the first offending byte.
+    pub start: usize,
+    /// Byte offset one past the last offending byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at`.
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The source fragment this span covers (empty for point spans or spans
+    /// out of range).
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// The closed set of reasons a statement is rejected. Wire code in
+/// parentheses (see [`RejectReason::code`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RejectReason {
+    /// Malformed input: lexing or grammar error (`syntax`).
+    Syntax,
+    /// `SELECT *` — projections must name their columns (`select_star`).
+    SelectStar,
+    /// `DISTINCT`, `GROUP BY`, `ORDER BY`, `HAVING`, `LIMIT`, `OFFSET` or
+    /// `UNION` (`unsupported_clause`).
+    UnsupportedClause,
+    /// Outer / cross join forms; only inner `JOIN ... ON` and comma joins
+    /// are in the subset (`unsupported_join`).
+    UnsupportedJoin,
+    /// `OR` — only conjunctions are auditable (`unsupported_or`).
+    UnsupportedOr,
+    /// `NOT` in any position (`unsupported_not`).
+    UnsupportedNot,
+    /// A comparison operator outside `=` / `IN`: `<`, `<=`, `>`, `>=`,
+    /// `!=`, `<>`, `LIKE`, `ILIKE`, `IS [NOT] NULL`
+    /// (`unsupported_comparison`).
+    UnsupportedComparison,
+    /// `BETWEEN` ranges (`unsupported_range`).
+    UnsupportedRange,
+    /// Aggregate functions — `COUNT`, `SUM`, `AVG`, ... (`unsupported_aggregate`).
+    UnsupportedAggregate,
+    /// A nested `SELECT` anywhere (`unsupported_subquery`).
+    UnsupportedSubquery,
+    /// Table (or alias) not present in the schema (`unknown_table`).
+    UnknownTable,
+    /// Column not present in the referenced table(s) (`unknown_column`).
+    UnknownColumn,
+    /// Unqualified column resolvable against more than one FROM entry
+    /// (`ambiguous_column`).
+    AmbiguousColumn,
+    /// Two FROM entries sharing one alias (`duplicate_alias`).
+    DuplicateAlias,
+    /// `IN ()` with no elements (`empty_in_list`).
+    EmptyInList,
+    /// The cartesian product of `IN`-list disjuncts exceeds the expansion
+    /// cap (`in_list_too_large`).
+    InListTooLarge,
+    /// Equality constraints force one column to two different constants
+    /// (`contradictory_constants`).
+    ContradictoryConstants,
+    /// The statement expands to several conjunctive queries but the call
+    /// site requires exactly one (`multiple_queries`).
+    MultipleQueries,
+}
+
+impl RejectReason {
+    /// The stable snake_case wire code for this reason.
+    pub fn code(self) -> &'static str {
+        match self {
+            RejectReason::Syntax => "syntax",
+            RejectReason::SelectStar => "select_star",
+            RejectReason::UnsupportedClause => "unsupported_clause",
+            RejectReason::UnsupportedJoin => "unsupported_join",
+            RejectReason::UnsupportedOr => "unsupported_or",
+            RejectReason::UnsupportedNot => "unsupported_not",
+            RejectReason::UnsupportedComparison => "unsupported_comparison",
+            RejectReason::UnsupportedRange => "unsupported_range",
+            RejectReason::UnsupportedAggregate => "unsupported_aggregate",
+            RejectReason::UnsupportedSubquery => "unsupported_subquery",
+            RejectReason::UnknownTable => "unknown_table",
+            RejectReason::UnknownColumn => "unknown_column",
+            RejectReason::AmbiguousColumn => "ambiguous_column",
+            RejectReason::DuplicateAlias => "duplicate_alias",
+            RejectReason::EmptyInList => "empty_in_list",
+            RejectReason::InListTooLarge => "in_list_too_large",
+            RejectReason::ContradictoryConstants => "contradictory_constants",
+            RejectReason::MultipleQueries => "multiple_queries",
+        }
+    }
+
+    /// Every reason, in documentation order.
+    pub fn all() -> &'static [RejectReason] {
+        &[
+            RejectReason::Syntax,
+            RejectReason::SelectStar,
+            RejectReason::UnsupportedClause,
+            RejectReason::UnsupportedJoin,
+            RejectReason::UnsupportedOr,
+            RejectReason::UnsupportedNot,
+            RejectReason::UnsupportedComparison,
+            RejectReason::UnsupportedRange,
+            RejectReason::UnsupportedAggregate,
+            RejectReason::UnsupportedSubquery,
+            RejectReason::UnknownTable,
+            RejectReason::UnknownColumn,
+            RejectReason::AmbiguousColumn,
+            RejectReason::DuplicateAlias,
+            RejectReason::EmptyInList,
+            RejectReason::InListTooLarge,
+            RejectReason::ContradictoryConstants,
+            RejectReason::MultipleQueries,
+        ]
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A rejection: why, where, and a human-readable account.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SqlError {
+    /// The structured reason code.
+    pub reason: RejectReason,
+    /// Byte range of the offending construct in the source text.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SqlError {
+    /// Creates an error.
+    pub fn new(reason: RejectReason, span: Span, message: impl Into<String>) -> Self {
+        SqlError {
+            reason,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at bytes {}: {}",
+            self.reason.code(),
+            self.span,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_snake_case() {
+        let all = RejectReason::all();
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.code().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            for b in &all[i + 1..] {
+                assert_ne!(a.code(), b.code());
+            }
+        }
+    }
+
+    #[test]
+    fn span_slices_source() {
+        let s = Span::new(7, 11);
+        assert_eq!(s.slice("SELECT name FROM t"), "name");
+        assert_eq!(Span::point(3).slice("abcdef"), "");
+        assert_eq!(Span::new(90, 95).slice("short"), "");
+    }
+
+    #[test]
+    fn error_display_mentions_code_and_span() {
+        let e = SqlError::new(RejectReason::UnsupportedOr, Span::new(2, 4), "OR is out");
+        let s = e.to_string();
+        assert!(s.contains("unsupported_or"));
+        assert!(s.contains("2..4"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Hand-rolled lexer for the safe SQL subset.
+//!
+//! Produces a flat token stream with byte spans. Keywords are *not*
+//! distinguished here — identifiers keep their source spelling and the
+//! parser matches them case-insensitively, so `select`, `SELECT` and
+//! `Select` are all accepted while schema identifiers stay case-preserving.
+
+use crate::error::{RejectReason, Span, SqlError};
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Bare identifier (possibly a keyword — the parser decides).
+    Ident(String),
+    /// Single-quoted string literal, quotes stripped, `''` unescaped.
+    Str(String),
+    /// Unsigned integer literal (digits, kept as text).
+    Number(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `*`
+    Star,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!=` or `<>`
+    Ne,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable rendering for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Str(s) => format!("string literal '{s}'"),
+            TokenKind::Number(s) => format!("number `{s}`"),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus its source byte range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub kind: TokenKind,
+    /// Its byte range in the source.
+    pub span: Span,
+}
+
+/// Whether `s` is a lexically valid bare identifier.
+pub fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Tokenizes `source`, returning the stream terminated by an
+/// [`TokenKind::Eof`] token.
+pub fn lex(source: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b',' => {
+                tokens.push(tok(TokenKind::Comma, i, i + 1));
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(tok(TokenKind::Dot, i, i + 1));
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(tok(TokenKind::LParen, i, i + 1));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(tok(TokenKind::RParen, i, i + 1));
+                i += 1;
+            }
+            b';' => {
+                tokens.push(tok(TokenKind::Semi, i, i + 1));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(tok(TokenKind::Eq, i, i + 1));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(tok(TokenKind::Star, i, i + 1));
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(TokenKind::Le, i, i + 2));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(tok(TokenKind::Ne, i, i + 2));
+                    i += 2;
+                } else {
+                    tokens.push(tok(TokenKind::Lt, i, i + 1));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(TokenKind::Ge, i, i + 2));
+                    i += 2;
+                } else {
+                    tokens.push(tok(TokenKind::Gt, i, i + 1));
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(TokenKind::Ne, i, i + 2));
+                    i += 2;
+                } else {
+                    return Err(SqlError::new(
+                        RejectReason::Syntax,
+                        Span::new(i, i + 1),
+                        "stray `!` (did you mean `!=`?)",
+                    ));
+                }
+            }
+            b'\'' => {
+                let (lit, end) = lex_string(source, i)?;
+                tokens.push(tok(TokenKind::Str(lit), i, end));
+                i = end;
+            }
+            b'"' => {
+                return Err(SqlError::new(
+                    RejectReason::Syntax,
+                    Span::new(i, i + 1),
+                    "double-quoted identifiers are not supported; use bare \
+                     identifiers and single-quoted string literals",
+                ));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && (bytes[i] == b'.' || bytes[i].is_ascii_alphabetic()) {
+                    return Err(SqlError::new(
+                        RejectReason::Syntax,
+                        Span::new(start, i + 1),
+                        "only unsigned integer literals are supported",
+                    ));
+                }
+                tokens.push(tok(
+                    TokenKind::Number(source[start..i].to_string()),
+                    start,
+                    i,
+                ));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(tok(
+                    TokenKind::Ident(source[start..i].to_string()),
+                    start,
+                    i,
+                ));
+            }
+            _ => {
+                // step over a full UTF-8 scalar so the span stays on a char
+                // boundary
+                let ch_len = source[i..].chars().next().map_or(1, |c| c.len_utf8());
+                return Err(SqlError::new(
+                    RejectReason::Syntax,
+                    Span::new(i, i + ch_len),
+                    format!("unexpected character {:?}", &source[i..i + ch_len]),
+                ));
+            }
+        }
+    }
+    tokens.push(tok(TokenKind::Eof, source.len(), source.len()));
+    Ok(tokens)
+}
+
+fn tok(kind: TokenKind, start: usize, end: usize) -> Token {
+    Token {
+        kind,
+        span: Span::new(start, end),
+    }
+}
+
+/// Lexes a single-quoted literal starting at `start` (which must point at
+/// the opening quote). `''` escapes a quote. Returns the unescaped content
+/// and the byte offset just past the closing quote.
+fn lex_string(source: &str, start: usize) -> Result<(String, usize), SqlError> {
+    let bytes = source.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            let ch = source[i..].chars().next().expect("in-bounds char");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(SqlError::new(
+        RejectReason::Syntax,
+        Span::new(start, source.len()),
+        "unterminated string literal",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_simple_select() {
+        let ks = kinds("SELECT name FROM Employee WHERE dept = 'HR'");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("name".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("Employee".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("dept".into()),
+                TokenKind::Eq,
+                TokenKind::Str("HR".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = lex("a = 'xy'").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+        assert_eq!(toks[2].span, Span::new(4, 8));
+    }
+
+    #[test]
+    fn doubled_quote_escapes() {
+        let ks = kinds("'it''s'");
+        assert_eq!(ks[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_a_syntax_error() {
+        let e = lex("SELECT 'oops").unwrap_err();
+        assert_eq!(e.reason, RejectReason::Syntax);
+        assert_eq!(e.span, Span::new(7, 12));
+    }
+
+    #[test]
+    fn comments_and_operators() {
+        let ks = kinds("x <= y -- trailing\n<> != < > ;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Le,
+                TokenKind::Ident("y".into()),
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_floats_and_double_quotes_and_stray_bytes() {
+        assert_eq!(lex("1.5").unwrap_err().reason, RejectReason::Syntax);
+        assert_eq!(lex("\"id\"").unwrap_err().reason, RejectReason::Syntax);
+        assert_eq!(lex("a ? b").unwrap_err().reason, RejectReason::Syntax);
+        // multi-byte characters produce char-aligned spans, not panics
+        let e = lex("é").unwrap_err();
+        assert_eq!(e.reason, RejectReason::Syntax);
+        assert_eq!(e.span, Span::new(0, 2));
+    }
+
+    #[test]
+    fn identifier_charset() {
+        assert!(is_identifier("Employee"));
+        assert!(is_identifier("_t0"));
+        assert!(!is_identifier("0abc"));
+        assert!(!is_identifier(""));
+        assert!(!is_identifier("a-b"));
+    }
+}

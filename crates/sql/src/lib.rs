@@ -1,0 +1,69 @@
+//! # qvsec-sql — safe-SQL front end
+//!
+//! A hand-rolled lexer + recursive-descent parser for a small, fully
+//! auditable SQL subset, compiled down to the workspace's conjunctive
+//! query AST ([`qvsec_cq::ConjunctiveQuery`]):
+//!
+//! ```text
+//! SELECT col, ...
+//! FROM table [AS alias] [, table ...] [JOIN table ON col = col [AND ...]]
+//! [WHERE col = col | col = 'lit' | col IN ('a', 'b') [AND ...]]
+//! ```
+//!
+//! plus the introspection commands `SHOW TABLES` and
+//! `SHOW COLUMNS FROM table`.
+//!
+//! ## Design contract
+//!
+//! * **Canonical identity.** Compilation is unification-based: equalities
+//!   merge column classes and constants are substituted inline into atom
+//!   positions, so a SQL query and its hand-written datalog equivalent
+//!   yield the same [`qvsec_cq::canonical_form`] — they share memo, cache
+//!   and artifact entries byte-identically. Verified by a property test
+//!   that prints random supported CQs to SQL ([`sql_display`]) and
+//!   compiles them back.
+//! * **Reject, never narrow.** Every construct outside the subset (OR,
+//!   NOT, subqueries, aggregates, range comparisons, outer joins, ...)
+//!   fails with a closed-enum [`RejectReason`] and a byte [`Span`] into
+//!   the source — the statement is never silently approximated.
+//! * **IN-lists are unions.** `dept IN ('HR', 'Mgmt')` expands to one
+//!   conjunctive query per choice (capped at
+//!   [`compile::MAX_IN_EXPANSION`]); contexts requiring a single query
+//!   reject the expansion explicitly.
+//!
+//! ```
+//! use qvsec_data::{Domain, Schema};
+//! use qvsec_cq::{canonical_form, parse_query};
+//! use qvsec_sql::compile_query_single;
+//!
+//! let mut schema = Schema::new();
+//! schema.add_relation("Employee", &["name", "department", "phone"]);
+//! let mut domain = Domain::new();
+//!
+//! let hand = parse_query("V(n) :- Employee(n, 'HR', p)", &schema, &mut domain).unwrap();
+//! let sql = compile_query_single(
+//!     "SELECT name FROM Employee WHERE department = 'HR'",
+//!     &schema,
+//!     &mut domain,
+//!     "V",
+//! )
+//! .unwrap();
+//! assert_eq!(canonical_form(&hand), canonical_form(&sql));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compile;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod print;
+
+pub use compile::{compile_query, compile_query_single, compile_select, MAX_IN_EXPANSION};
+pub use error::{RejectReason, Span, SqlError};
+pub use parser::{parse_statement, SelectStmt, Statement};
+pub use print::{sql_display, sql_text, NotSqlExpressible, SqlDisplay};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,923 @@
+//! Recursive-descent parser for the safe SQL subset.
+//!
+//! Accepted grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement   := select | show
+//! show        := SHOW TABLES | SHOW COLUMNS FROM ident
+//! select      := SELECT column (',' column)*
+//!                FROM table_ref (',' table_ref | join)*
+//!                [WHERE conj] [';']
+//! join        := [INNER] JOIN table_ref ON conj
+//! table_ref   := ident [[AS] ident]
+//! conj        := pred (AND pred)*
+//! pred        := '(' conj ')' | operand '=' operand
+//!              | column IN '(' literal (',' literal)* ')'
+//! operand     := column | literal
+//! column      := ident ['.' ident]
+//! literal     := string | number
+//! ```
+//!
+//! Everything else in SQL is *deliberately* outside the subset and is
+//! rejected with a dedicated [`RejectReason`] and the offending span —
+//! never silently dropped or narrowed.
+
+use crate::error::{RejectReason, Span, SqlError};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A `SELECT` in the subset.
+    Select(SelectStmt),
+    /// `SHOW TABLES`.
+    ShowTables,
+    /// `SHOW COLUMNS FROM <table>`.
+    ShowColumns {
+        /// Table name as written.
+        table: String,
+        /// Span of the table name.
+        table_span: Span,
+    },
+}
+
+/// A `SELECT` statement restricted to the subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectStmt {
+    /// Projection list, in order.
+    pub items: Vec<ColumnRef>,
+    /// `FROM` entries (comma joins and `JOIN`s alike), in order.
+    pub tables: Vec<TableRef>,
+    /// All predicates: `ON` conditions first (in join order), then the
+    /// `WHERE` conjunction.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A column reference, optionally qualified by a table name or alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Qualifier (table name or alias) if written.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+    /// Span of the whole reference.
+    pub span: Span,
+}
+
+/// A `FROM` entry: a table with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name as written.
+    pub table: String,
+    /// Alias if written (`Employee e` or `Employee AS e`).
+    pub alias: Option<String>,
+    /// Span of the table name.
+    pub span: Span,
+}
+
+/// A string or integer literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    /// Literal content (quotes stripped for strings; digit text for
+    /// numbers — both intern into the domain by name).
+    pub text: String,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One operand of an equality predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A literal constant.
+    Literal(Literal),
+}
+
+/// A predicate in the subset: equality or an `IN`-list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `lhs = rhs`.
+    Eq {
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Span of the whole predicate.
+        span: Span,
+    },
+    /// `column IN (lit, ...)`.
+    In {
+        /// The constrained column.
+        column: ColumnRef,
+        /// The literal disjuncts.
+        list: Vec<Literal>,
+        /// Span of the whole predicate.
+        span: Span,
+    },
+}
+
+impl Predicate {
+    /// The source span of the predicate.
+    pub fn span(&self) -> Span {
+        match self {
+            Predicate::Eq { span, .. } | Predicate::In { span, .. } => *span,
+        }
+    }
+}
+
+const AGGREGATES: &[&str] = &[
+    "count", "sum", "avg", "min", "max", "median", "stddev", "variance", "total",
+];
+
+const CLAUSE_KEYWORDS: &[&str] = &[
+    "distinct",
+    "group",
+    "order",
+    "having",
+    "limit",
+    "offset",
+    "union",
+    "intersect",
+    "except",
+    "top",
+];
+
+fn is_kw(token: &Token, kw: &str) -> bool {
+    matches!(&token.kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+fn kw_of(token: &Token) -> Option<String> {
+    match &token.kind {
+        TokenKind::Ident(s) => Some(s.to_ascii_lowercase()),
+        _ => None,
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    source: &'a str,
+}
+
+/// Parses one statement of the subset.
+pub fn parse_statement(source: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(source)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        source,
+    };
+    let stmt = p.statement()?;
+    p.finish()?;
+    Ok(stmt)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if is_kw(self.peek(), kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Token, SqlError> {
+        if is_kw(self.peek(), kw) {
+            Ok(self.bump())
+        } else {
+            let t = self.peek();
+            Err(SqlError::new(
+                RejectReason::Syntax,
+                t.span,
+                format!(
+                    "expected `{}`, found {}",
+                    kw.to_uppercase(),
+                    t.kind.describe()
+                ),
+            ))
+        }
+    }
+
+    fn syntax(&self, span: Span, message: impl Into<String>) -> SqlError {
+        SqlError::new(RejectReason::Syntax, span, message)
+    }
+
+    /// Rejects well-known out-of-subset keywords at the current position,
+    /// with the reason that names them. Returns `Ok(())` when the current
+    /// token is not one of them.
+    fn reject_unsupported_keyword(&self) -> Result<(), SqlError> {
+        let t = self.peek();
+        let Some(kw) = kw_of(t) else { return Ok(()) };
+        let (reason, what) = match kw.as_str() {
+            "or" => (RejectReason::UnsupportedOr, "disjunction (OR)"),
+            "not" => (RejectReason::UnsupportedNot, "negation (NOT)"),
+            "between" => (RejectReason::UnsupportedRange, "BETWEEN range"),
+            "like" | "ilike" => (RejectReason::UnsupportedComparison, "pattern matching"),
+            "is" | "null" => (RejectReason::UnsupportedComparison, "NULL tests"),
+            "exists" => (RejectReason::UnsupportedSubquery, "EXISTS subquery"),
+            "case" => (RejectReason::UnsupportedClause, "CASE expression"),
+            _ => {
+                if CLAUSE_KEYWORDS.contains(&kw.as_str()) {
+                    (RejectReason::UnsupportedClause, "this clause")
+                } else {
+                    return Ok(());
+                }
+            }
+        };
+        Err(SqlError::new(
+            reason,
+            t.span,
+            format!(
+                "{} is outside the safe subset (got `{}`)",
+                what,
+                t.span.slice(self.source)
+            ),
+        ))
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.eat_kw("show") {
+            return self.show_statement();
+        }
+        if is_kw(self.peek(), "select") {
+            self.bump();
+            return Ok(Statement::Select(self.select_statement()?));
+        }
+        let t = self.peek();
+        Err(self.syntax(
+            t.span,
+            format!(
+                "expected SELECT, SHOW TABLES or SHOW COLUMNS, found {}",
+                t.kind.describe()
+            ),
+        ))
+    }
+
+    fn show_statement(&mut self) -> Result<Statement, SqlError> {
+        if self.eat_kw("tables") {
+            return Ok(Statement::ShowTables);
+        }
+        if self.eat_kw("columns") {
+            self.expect_kw("from")?;
+            let t = self.bump();
+            let TokenKind::Ident(name) = t.kind else {
+                return Err(self.syntax(
+                    t.span,
+                    format!("expected a table name, found {}", t.kind.describe()),
+                ));
+            };
+            return Ok(Statement::ShowColumns {
+                table: name,
+                table_span: t.span,
+            });
+        }
+        let t = self.peek();
+        Err(self.syntax(
+            t.span,
+            format!(
+                "expected TABLES or COLUMNS after SHOW, found {}",
+                t.kind.describe()
+            ),
+        ))
+    }
+
+    fn select_statement(&mut self) -> Result<SelectStmt, SqlError> {
+        if let Some(kw) = kw_of(self.peek()) {
+            if kw == "distinct" {
+                let t = self.peek();
+                return Err(SqlError::new(
+                    RejectReason::UnsupportedClause,
+                    t.span,
+                    "SELECT DISTINCT is outside the safe subset \
+                     (projections are set-semantics already)",
+                ));
+            }
+        }
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !matches!(self.peek().kind, TokenKind::Comma) {
+                break;
+            }
+            self.bump();
+        }
+        self.expect_kw("from")?;
+        let mut tables = vec![self.table_ref()?];
+        let mut predicates = Vec::new();
+        loop {
+            match &self.peek().kind {
+                TokenKind::Comma => {
+                    self.bump();
+                    tables.push(self.table_ref()?);
+                }
+                TokenKind::Ident(_) => {
+                    let kw = kw_of(self.peek()).unwrap_or_default();
+                    match kw.as_str() {
+                        "inner" | "join" => {
+                            if kw == "inner" {
+                                self.bump();
+                            }
+                            self.expect_kw("join")?;
+                            tables.push(self.table_ref()?);
+                            self.expect_kw("on")?;
+                            self.conjunction(&mut predicates)?;
+                        }
+                        "left" | "right" | "full" | "outer" | "cross" | "natural" => {
+                            let t = self.bump();
+                            return Err(SqlError::new(
+                                RejectReason::UnsupportedJoin,
+                                t.span,
+                                format!(
+                                    "`{}` joins are outside the safe subset; \
+                                     use inner JOIN ... ON or comma joins",
+                                    kw.to_uppercase()
+                                ),
+                            ));
+                        }
+                        _ => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        if self.eat_kw("where") {
+            self.conjunction(&mut predicates)?;
+        }
+        Ok(SelectStmt {
+            items,
+            tables,
+            predicates,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<ColumnRef, SqlError> {
+        let t = self.peek().clone();
+        match &t.kind {
+            TokenKind::Star => Err(SqlError::new(
+                RejectReason::SelectStar,
+                t.span,
+                "SELECT * is outside the safe subset; name the projected columns",
+            )),
+            TokenKind::Str(_) | TokenKind::Number(_) => Err(self.syntax(
+                t.span,
+                "literals are not allowed in the SELECT list; project columns only",
+            )),
+            TokenKind::LParen => {
+                self.bump();
+                if is_kw(self.peek(), "select") {
+                    Err(SqlError::new(
+                        RejectReason::UnsupportedSubquery,
+                        t.span,
+                        "subqueries are outside the safe subset",
+                    ))
+                } else {
+                    Err(self.syntax(t.span, "parenthesized SELECT items are not supported"))
+                }
+            }
+            TokenKind::Ident(_) => {
+                self.reject_unsupported_keyword()?;
+                self.reject_aggregate_call()?;
+                self.column_ref()
+            }
+            _ => Err(self.syntax(
+                t.span,
+                format!("expected a column name, found {}", t.kind.describe()),
+            )),
+        }
+    }
+
+    /// Errors if the current position is `aggregate_fn (`.
+    fn reject_aggregate_call(&self) -> Result<(), SqlError> {
+        let t = self.peek();
+        if let Some(kw) = kw_of(t) {
+            if AGGREGATES.contains(&kw.as_str()) && matches!(self.peek2().kind, TokenKind::LParen) {
+                return Err(SqlError::new(
+                    RejectReason::UnsupportedAggregate,
+                    t.span,
+                    format!(
+                        "aggregate `{}` is outside the safe subset",
+                        kw.to_uppercase()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::LParen => {
+                if is_kw(self.peek(), "select") {
+                    Err(SqlError::new(
+                        RejectReason::UnsupportedSubquery,
+                        t.span,
+                        "derived tables (FROM (SELECT ...)) are outside the safe subset",
+                    ))
+                } else {
+                    Err(self.syntax(t.span, "expected a table name"))
+                }
+            }
+            TokenKind::Ident(name) => {
+                let span = t.span;
+                let mut alias = None;
+                if self.eat_kw("as") {
+                    let a = self.bump();
+                    let TokenKind::Ident(an) = a.kind else {
+                        return Err(self.syntax(
+                            a.span,
+                            format!("expected an alias after AS, found {}", a.kind.describe()),
+                        ));
+                    };
+                    alias = Some(an);
+                } else if let TokenKind::Ident(an) = &self.peek().kind {
+                    // a bare identifier that is not a structural keyword is
+                    // an alias (`FROM Employee e`)
+                    let lower = an.to_ascii_lowercase();
+                    const STRUCTURAL: &[&str] = &[
+                        "where",
+                        "join",
+                        "inner",
+                        "on",
+                        "left",
+                        "right",
+                        "full",
+                        "outer",
+                        "cross",
+                        "natural",
+                        "group",
+                        "order",
+                        "having",
+                        "limit",
+                        "offset",
+                        "union",
+                        "intersect",
+                        "except",
+                    ];
+                    if !STRUCTURAL.contains(&lower.as_str()) {
+                        alias = Some(an.clone());
+                        self.bump();
+                    }
+                }
+                Ok(TableRef {
+                    table: name,
+                    alias,
+                    span,
+                })
+            }
+            other => Err(self.syntax(
+                t.span,
+                format!("expected a table name, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn conjunction(&mut self, out: &mut Vec<Predicate>) -> Result<(), SqlError> {
+        loop {
+            self.predicate(out)?;
+            if is_kw(self.peek(), "and") {
+                self.bump();
+                continue;
+            }
+            if is_kw(self.peek(), "or") {
+                let t = self.peek();
+                return Err(SqlError::new(
+                    RejectReason::UnsupportedOr,
+                    t.span,
+                    "disjunction (OR) is outside the safe subset; \
+                     use IN-lists for enumerated alternatives",
+                ));
+            }
+            return Ok(());
+        }
+    }
+
+    fn predicate(&mut self, out: &mut Vec<Predicate>) -> Result<(), SqlError> {
+        if matches!(self.peek().kind, TokenKind::LParen) {
+            let open = self.bump();
+            if is_kw(self.peek(), "select") {
+                return Err(SqlError::new(
+                    RejectReason::UnsupportedSubquery,
+                    open.span,
+                    "subqueries are outside the safe subset",
+                ));
+            }
+            self.conjunction(out)?;
+            let t = self.bump();
+            if !matches!(t.kind, TokenKind::RParen) {
+                return Err(
+                    self.syntax(t.span, format!("expected `)`, found {}", t.kind.describe()))
+                );
+            }
+            return Ok(());
+        }
+        self.reject_unsupported_keyword()?;
+        let lhs = self.operand()?;
+        // the operator decides the predicate form
+        let op = self.peek().clone();
+        match &op.kind {
+            TokenKind::Eq => {
+                self.bump();
+                if matches!(self.peek().kind, TokenKind::LParen) && is_kw(self.peek2(), "select") {
+                    return Err(SqlError::new(
+                        RejectReason::UnsupportedSubquery,
+                        self.peek().span,
+                        "subqueries are outside the safe subset",
+                    ));
+                }
+                self.reject_unsupported_keyword()?;
+                let rhs = self.operand()?;
+                let span = Span::new(operand_span(&lhs).start, operand_span(&rhs).end);
+                out.push(Predicate::Eq { lhs, rhs, span });
+                Ok(())
+            }
+            TokenKind::Lt | TokenKind::Le | TokenKind::Gt | TokenKind::Ge | TokenKind::Ne => {
+                Err(SqlError::new(
+                    RejectReason::UnsupportedComparison,
+                    op.span,
+                    format!(
+                        "comparison {} is outside the safe subset; only `=` and \
+                         IN-lists are auditable",
+                        op.kind.describe()
+                    ),
+                ))
+            }
+            TokenKind::Ident(_) => {
+                let kw = kw_of(&op).unwrap_or_default();
+                match kw.as_str() {
+                    "in" => {
+                        self.bump();
+                        let column = match lhs {
+                            Operand::Column(c) => c,
+                            Operand::Literal(l) => {
+                                return Err(
+                                    self.syntax(l.span, "the left side of IN must be a column")
+                                )
+                            }
+                        };
+                        let list = self.in_list()?;
+                        let end = self.tokens[self.pos - 1].span.end;
+                        out.push(Predicate::In {
+                            span: Span::new(column.span.start, end),
+                            column,
+                            list,
+                        });
+                        Ok(())
+                    }
+                    "not" => Err(SqlError::new(
+                        RejectReason::UnsupportedNot,
+                        op.span,
+                        "negation (NOT) is outside the safe subset",
+                    )),
+                    "between" => Err(SqlError::new(
+                        RejectReason::UnsupportedRange,
+                        op.span,
+                        "BETWEEN ranges are outside the safe subset",
+                    )),
+                    "like" | "ilike" => Err(SqlError::new(
+                        RejectReason::UnsupportedComparison,
+                        op.span,
+                        "pattern matching (LIKE) is outside the safe subset",
+                    )),
+                    "is" => Err(SqlError::new(
+                        RejectReason::UnsupportedComparison,
+                        op.span,
+                        "NULL tests (IS [NOT] NULL) are outside the safe subset",
+                    )),
+                    _ => Err(self.syntax(
+                        op.span,
+                        format!("expected `=`, `IN` or `AND`, found {}", op.kind.describe()),
+                    )),
+                }
+            }
+            _ => Err(self.syntax(
+                op.span,
+                format!("expected `=` or `IN`, found {}", op.kind.describe()),
+            )),
+        }
+    }
+
+    fn in_list(&mut self) -> Result<Vec<Literal>, SqlError> {
+        let open = self.bump();
+        if !matches!(open.kind, TokenKind::LParen) {
+            return Err(self.syntax(
+                open.span,
+                format!("expected `(` after IN, found {}", open.kind.describe()),
+            ));
+        }
+        if matches!(self.peek().kind, TokenKind::RParen) {
+            let close = self.bump();
+            return Err(SqlError::new(
+                RejectReason::EmptyInList,
+                Span::new(open.span.start, close.span.end),
+                "IN () has no elements",
+            ));
+        }
+        if is_kw(self.peek(), "select") {
+            return Err(SqlError::new(
+                RejectReason::UnsupportedSubquery,
+                self.peek().span,
+                "IN (SELECT ...) subqueries are outside the safe subset",
+            ));
+        }
+        let mut list = Vec::new();
+        loop {
+            let t = self.bump();
+            match t.kind {
+                TokenKind::Str(s) => list.push(Literal {
+                    text: s,
+                    span: t.span,
+                }),
+                TokenKind::Number(n) => list.push(Literal {
+                    text: n,
+                    span: t.span,
+                }),
+                other => {
+                    return Err(self.syntax(
+                        t.span,
+                        format!(
+                            "IN-lists may only contain literals, found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+            let sep = self.bump();
+            match sep.kind {
+                TokenKind::Comma => continue,
+                TokenKind::RParen => return Ok(list),
+                other => {
+                    return Err(self.syntax(
+                        sep.span,
+                        format!("expected `,` or `)`, found {}", other.describe()),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, SqlError> {
+        let t = self.peek().clone();
+        match &t.kind {
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Operand::Literal(Literal {
+                    text: s.clone(),
+                    span: t.span,
+                }))
+            }
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Operand::Literal(Literal {
+                    text: n.clone(),
+                    span: t.span,
+                }))
+            }
+            TokenKind::Ident(_) => {
+                self.reject_aggregate_call()?;
+                Ok(Operand::Column(self.column_ref()?))
+            }
+            other => Err(self.syntax(
+                t.span,
+                format!("expected a column or literal, found {}", other.describe()),
+            )),
+        }
+    }
+
+    /// Parses `ident` or `ident.ident`. After the dot any identifier is
+    /// accepted (even keyword spellings), so printed columns like
+    /// `t0.order` survive the round trip.
+    fn column_ref(&mut self) -> Result<ColumnRef, SqlError> {
+        let t = self.bump();
+        let TokenKind::Ident(first) = t.kind else {
+            return Err(self.syntax(
+                t.span,
+                format!("expected a column name, found {}", t.kind.describe()),
+            ));
+        };
+        if matches!(self.peek().kind, TokenKind::Dot) {
+            self.bump();
+            let c = self.bump();
+            let TokenKind::Ident(col) = c.kind else {
+                return Err(self.syntax(
+                    c.span,
+                    format!("expected a column after `.`, found {}", c.kind.describe()),
+                ));
+            };
+            return Ok(ColumnRef {
+                table: Some(first),
+                column: col,
+                span: Span::new(t.span.start, c.span.end),
+            });
+        }
+        Ok(ColumnRef {
+            table: None,
+            column: first,
+            span: t.span,
+        })
+    }
+
+    fn finish(&mut self) -> Result<(), SqlError> {
+        if matches!(self.peek().kind, TokenKind::Semi) {
+            self.bump();
+        }
+        let t = self.peek();
+        if matches!(t.kind, TokenKind::Eof) {
+            return Ok(());
+        }
+        self.reject_unsupported_keyword()?;
+        Err(self.syntax(
+            t.span,
+            format!("expected end of statement, found {}", t.kind.describe()),
+        ))
+    }
+}
+
+fn operand_span(o: &Operand) -> Span {
+    match o {
+        Operand::Column(c) => c.span,
+        Operand::Literal(l) => l.span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(src: &str) -> SelectStmt {
+        match parse_statement(src).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    fn reject(src: &str) -> SqlError {
+        parse_statement(src).unwrap_err()
+    }
+
+    #[test]
+    fn parses_projection_joins_and_where() {
+        let s = select(
+            "SELECT e.name, d FROM Employee AS e JOIN Dept ON e.dept = Dept.id \
+             WHERE e.name = 'ann' AND d IN ('x', 'y');",
+        );
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.items[0].table.as_deref(), Some("e"));
+        assert_eq!(s.tables.len(), 2);
+        assert_eq!(s.tables[0].alias.as_deref(), Some("e"));
+        assert_eq!(s.predicates.len(), 3);
+        assert!(matches!(&s.predicates[2], Predicate::In { list, .. } if list.len() == 2));
+    }
+
+    #[test]
+    fn comma_joins_and_bare_aliases() {
+        let s = select("select x from R a, R b where a.x = b.y");
+        assert_eq!(s.tables.len(), 2);
+        assert_eq!(s.tables[1].alias.as_deref(), Some("b"));
+        assert_eq!(s.predicates.len(), 1);
+    }
+
+    #[test]
+    fn show_statements() {
+        assert_eq!(
+            parse_statement("SHOW TABLES").unwrap(),
+            Statement::ShowTables
+        );
+        match parse_statement("show columns from Employee;").unwrap() {
+            Statement::ShowColumns { table, table_span } => {
+                assert_eq!(table, "Employee");
+                assert_eq!(table_span.slice("show columns from Employee;"), "Employee");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_conjunctions_flatten() {
+        let s = select("SELECT x FROM R WHERE (x = 'a' AND (y = 'b'))");
+        assert_eq!(s.predicates.len(), 2);
+    }
+
+    #[test]
+    fn rejections_carry_reason_and_span() {
+        let cases: &[(&str, RejectReason, &str)] = &[
+            ("SELECT * FROM R", RejectReason::SelectStar, "*"),
+            (
+                "SELECT x FROM R WHERE x = 'a' OR x = 'b'",
+                RejectReason::UnsupportedOr,
+                "OR",
+            ),
+            (
+                "SELECT x FROM R WHERE NOT x = 'a'",
+                RejectReason::UnsupportedNot,
+                "NOT",
+            ),
+            (
+                "SELECT x FROM R WHERE x < 'a'",
+                RejectReason::UnsupportedComparison,
+                "<",
+            ),
+            (
+                "SELECT x FROM R WHERE x BETWEEN 1 AND 2",
+                RejectReason::UnsupportedRange,
+                "BETWEEN",
+            ),
+            (
+                "SELECT COUNT(x) FROM R",
+                RejectReason::UnsupportedAggregate,
+                "COUNT",
+            ),
+            (
+                "SELECT x FROM (SELECT y FROM R)",
+                RejectReason::UnsupportedSubquery,
+                "(",
+            ),
+            (
+                "SELECT x FROM R WHERE x IN (SELECT y FROM R)",
+                RejectReason::UnsupportedSubquery,
+                "SELECT y FROM R)".split_whitespace().next().unwrap(),
+            ),
+            (
+                "SELECT x FROM R GROUP BY x",
+                RejectReason::UnsupportedClause,
+                "GROUP",
+            ),
+            (
+                "SELECT DISTINCT x FROM R",
+                RejectReason::UnsupportedClause,
+                "DISTINCT",
+            ),
+            (
+                "SELECT x FROM R LEFT JOIN S ON R.x = S.y",
+                RejectReason::UnsupportedJoin,
+                "LEFT",
+            ),
+            (
+                "SELECT x FROM R WHERE x IN ()",
+                RejectReason::EmptyInList,
+                "()",
+            ),
+        ];
+        for (src, reason, frag) in cases {
+            let e = reject(src);
+            assert_eq!(e.reason, *reason, "for {src}: {e}");
+            assert!(
+                e.span.slice(src).starts_with(frag) || e.span.slice(src).contains(frag),
+                "span {} of {src} is `{}`, expected it to cover `{frag}`",
+                e.span,
+                e.span.slice(src)
+            );
+        }
+    }
+
+    #[test]
+    fn eq_span_covers_both_operands() {
+        let src = "SELECT x FROM R WHERE a.x = 'p'";
+        let s = select(src);
+        assert_eq!(s.predicates[0].span().slice(src), "a.x = 'p'");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert_eq!(
+            reject("SELECT x FROM R; extra").reason,
+            RejectReason::Syntax
+        );
+        assert_eq!(
+            reject("SELECT x FROM R UNION SELECT y FROM R").reason,
+            RejectReason::UnsupportedClause
+        );
+        assert_eq!(
+            reject("SELECT x FROM R ORDER BY x").reason,
+            RejectReason::UnsupportedClause
+        );
+        assert_eq!(
+            reject("SELECT x FROM R LIMIT 5").reason,
+            RejectReason::UnsupportedClause
+        );
+    }
+
+    #[test]
+    fn keyword_after_dot_is_a_column() {
+        let s = select("SELECT t0.order FROM R t0");
+        assert_eq!(s.items[0].column, "order");
+    }
+}

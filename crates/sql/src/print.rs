@@ -1,0 +1,295 @@
+//! Pretty-printing conjunctive queries back into the safe SQL subset.
+//!
+//! Only part of the CQ language is SQL-expressible here: queries with a
+//! non-empty head, at least one atom and no comparison predicates. For
+//! those, `parse(print(q))` compiles to a query with the same
+//! [`qvsec_cq::canonical_form`] — the round-trip property the proptest
+//! suite pins.
+
+use crate::lexer::is_identifier;
+use qvsec_cq::{ConjunctiveQuery, Term};
+use qvsec_data::{Domain, Schema, Value};
+use std::fmt;
+
+/// Why a conjunctive query cannot be rendered in the SQL subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotSqlExpressible {
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl NotSqlExpressible {
+    fn new(message: impl Into<String>) -> Self {
+        NotSqlExpressible {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NotSqlExpressible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not expressible in the SQL subset: {}", self.message)
+    }
+}
+
+impl std::error::Error for NotSqlExpressible {}
+
+/// A conjunctive query pre-rendered as subset SQL; implements
+/// [`fmt::Display`].
+#[derive(Debug, Clone)]
+pub struct SqlDisplay {
+    text: String,
+}
+
+impl SqlDisplay {
+    /// The rendered SQL text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for SqlDisplay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Renders `query` as subset SQL, or explains why it cannot be.
+pub fn sql_display(
+    query: &ConjunctiveQuery,
+    schema: &Schema,
+    domain: &Domain,
+) -> Result<SqlDisplay, NotSqlExpressible> {
+    sql_text(query, schema, domain).map(|text| SqlDisplay { text })
+}
+
+/// Renders `query` as subset SQL text.
+///
+/// The rendering aliases the i-th atom as `t{i}`, fully qualifies every
+/// column, re-expresses shared variables as equality predicates against
+/// their first occurrence, and turns constant positions into
+/// `t{i}.col = 'value'` predicates.
+pub fn sql_text(
+    query: &ConjunctiveQuery,
+    schema: &Schema,
+    domain: &Domain,
+) -> Result<String, NotSqlExpressible> {
+    if query.head.is_empty() {
+        return Err(NotSqlExpressible::new(
+            "boolean queries have no SELECT list",
+        ));
+    }
+    if query.atoms.is_empty() {
+        return Err(NotSqlExpressible::new("queries without atoms have no FROM"));
+    }
+    if !query.comparisons.is_empty() {
+        return Err(NotSqlExpressible::new(
+            "comparison predicates (<, <=, !=) are outside the SQL subset",
+        ));
+    }
+
+    // column text of slot (atom i, position j)
+    let col = |i: usize, j: usize| -> Result<String, NotSqlExpressible> {
+        let rel = schema.relation(query.atoms[i].relation);
+        let attr = &rel.attributes[j];
+        if !is_identifier(attr) {
+            return Err(NotSqlExpressible::new(format!(
+                "attribute `{attr}` is not a bare SQL identifier"
+            )));
+        }
+        Ok(format!("t{i}.{attr}"))
+    };
+
+    let quote = |v: Value| -> String { format!("'{}'", domain.name(v).replace('\'', "''")) };
+
+    // first occurrence of each variable / of each constant value
+    let mut var_first: Vec<Option<(usize, usize)>> = vec![None; query.num_vars()];
+    let mut predicates: Vec<String> = Vec::new();
+    let mut const_first: Vec<(Value, (usize, usize))> = Vec::new();
+    for (i, atom) in query.atoms.iter().enumerate() {
+        for (j, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Var(v) => match var_first[v.index()] {
+                    None => var_first[v.index()] = Some((i, j)),
+                    Some((fi, fj)) => {
+                        predicates.push(format!("{} = {}", col(fi, fj)?, col(i, j)?));
+                    }
+                },
+                Term::Const(c) => {
+                    predicates.push(format!("{} = {}", col(i, j)?, quote(*c)));
+                    if !const_first.iter().any(|(v, _)| v == c) {
+                        const_first.push((*c, (i, j)));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut select_items = Vec::new();
+    for term in &query.head {
+        match term {
+            Term::Var(v) => {
+                let (i, j) = var_first[v.index()].ok_or_else(|| {
+                    NotSqlExpressible::new(format!(
+                        "head variable `{}` does not occur in the body",
+                        query.var_name(*v)
+                    ))
+                })?;
+                select_items.push(col(i, j)?);
+            }
+            Term::Const(c) => {
+                // a head constant is printable only by projecting a body
+                // position pinned to that same constant
+                let (i, j) = const_first
+                    .iter()
+                    .find(|(v, _)| v == c)
+                    .map(|(_, slot)| *slot)
+                    .ok_or_else(|| {
+                        NotSqlExpressible::new(format!(
+                            "head constant '{}' does not appear in the body",
+                            domain.name(*c)
+                        ))
+                    })?;
+                select_items.push(col(i, j)?);
+            }
+        }
+    }
+
+    let mut from_items = Vec::new();
+    for (i, atom) in query.atoms.iter().enumerate() {
+        let rel = &schema.relation(atom.relation).name;
+        if !is_identifier(rel) || is_reserved(rel) {
+            return Err(NotSqlExpressible::new(format!(
+                "relation `{rel}` is not a bare SQL identifier"
+            )));
+        }
+        from_items.push(format!("{rel} t{i}"));
+    }
+
+    let mut out = format!(
+        "SELECT {} FROM {}",
+        select_items.join(", "),
+        from_items.join(", ")
+    );
+    if !predicates.is_empty() {
+        out.push_str(" WHERE ");
+        out.push_str(&predicates.join(" AND "));
+    }
+    Ok(out)
+}
+
+/// Structural keywords that cannot appear as bare table names.
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "select",
+        "from",
+        "where",
+        "join",
+        "inner",
+        "on",
+        "and",
+        "or",
+        "not",
+        "in",
+        "as",
+        "show",
+        "tables",
+        "columns",
+        "left",
+        "right",
+        "full",
+        "outer",
+        "cross",
+        "natural",
+        "group",
+        "order",
+        "by",
+        "having",
+        "limit",
+        "offset",
+        "union",
+        "intersect",
+        "except",
+        "distinct",
+        "between",
+        "like",
+        "ilike",
+        "is",
+        "null",
+        "exists",
+        "case",
+    ];
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_query_single;
+    use qvsec_cq::{canonical_form, parse_query};
+
+    fn setup() -> (Schema, Domain) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", &["name", "department", "phone"]);
+        schema.add_relation("R", &["x", "y"]);
+        (schema, Domain::new())
+    }
+
+    fn roundtrip(datalog: &str) {
+        let (schema, mut domain) = setup();
+        let q = parse_query(datalog, &schema, &mut domain).unwrap();
+        let sql = sql_text(&q, &schema, &domain).unwrap();
+        let back = compile_query_single(&sql, &schema, &mut domain, "RT")
+            .unwrap_or_else(|e| panic!("printed SQL `{sql}` failed to compile: {e}"));
+        assert_eq!(
+            canonical_form(&q),
+            canonical_form(&back),
+            "round trip diverged for {datalog} via `{sql}`"
+        );
+    }
+
+    #[test]
+    fn projections_joins_constants_round_trip() {
+        roundtrip("V(n, d) :- Employee(n, d, p)");
+        roundtrip("V(n) :- Employee(n, 'HR', p)");
+        roundtrip("V(a) :- R(a, b), R(b, c)");
+        roundtrip("V(x, x) :- R(x, x)");
+        roundtrip("V(n, d) :- Employee(n, d, p), Employee(n, d, q)");
+        roundtrip("V(n, 'HR') :- Employee(n, 'HR', p)");
+    }
+
+    #[test]
+    fn quotes_in_constants_are_escaped() {
+        let (schema, mut domain) = setup();
+        let mut q = parse_query("V(n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let tricky = domain.add("it's");
+        q.atoms[0].terms[1] = qvsec_cq::Term::Const(tricky);
+        let sql = sql_text(&q, &schema, &domain).unwrap();
+        assert!(sql.contains("'it''s'"));
+        let back = compile_query_single(&sql, &schema, &mut domain, "RT").unwrap();
+        assert_eq!(canonical_form(&q), canonical_form(&back));
+    }
+
+    #[test]
+    fn out_of_subset_queries_are_refused() {
+        let (schema, mut domain) = setup();
+        let boolean = parse_query("B() :- R(x, y)", &schema, &mut domain).unwrap();
+        assert!(sql_text(&boolean, &schema, &domain).is_err());
+        let ordered = parse_query("O(x) :- R(x, y), x < y", &schema, &mut domain).unwrap();
+        assert!(sql_text(&ordered, &schema, &domain).is_err());
+        let mut headless_const =
+            parse_query("H(n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let stray = domain.add("stray");
+        headless_const.head.push(qvsec_cq::Term::Const(stray));
+        assert!(sql_text(&headless_const, &schema, &domain).is_err());
+    }
+
+    #[test]
+    fn display_wrapper_renders() {
+        let (schema, mut domain) = setup();
+        let q = parse_query("V(n) :- Employee(n, d, p)", &schema, &mut domain).unwrap();
+        let d = sql_display(&q, &schema, &domain).unwrap();
+        assert_eq!(d.to_string(), "SELECT t0.name FROM Employee t0");
+        assert_eq!(d.as_str(), "SELECT t0.name FROM Employee t0");
+    }
+}

@@ -1,0 +1,184 @@
+//! Satellite: parser fuzz smoke.
+//!
+//! Seeded random byte soup and token soup are pushed through the lexer,
+//! parser and compiler for a wall-clock budget
+//! (`QVSEC_SQL_FUZZ_MS`, default 300 ms locally; CI sets a longer budget).
+//! The only acceptable outcomes are a compiled query or a structured
+//! [`qvsec_sql::SqlError`] — any panic fails the test. Seeds are logged so
+//! a crashing input is reproducible.
+
+use qvsec_data::{Domain, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("Employee", &["name", "department", "phone"]);
+    s.add_relation("Dept", &["id", "floor"]);
+    s
+}
+
+fn budget_ms() -> u64 {
+    std::env::var("QVSEC_SQL_FUZZ_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+/// Raw byte soup over a SQL-flavoured alphabet (plus genuinely arbitrary
+/// bytes, including multi-byte UTF-8, so span arithmetic is exercised off
+/// the ASCII happy path).
+fn random_bytes(rng: &mut StdRng) -> String {
+    const ALPHABET: &[&str] = &[
+        "S",
+        "E",
+        "L",
+        "C",
+        "T",
+        "a",
+        "z",
+        "_",
+        "0",
+        "9",
+        " ",
+        "\n",
+        "\t",
+        "'",
+        "\"",
+        "(",
+        ")",
+        ",",
+        ".",
+        ";",
+        "=",
+        "<",
+        ">",
+        "!",
+        "*",
+        "-",
+        "é",
+        "λ",
+        "\u{1F600}",
+        "\0",
+    ];
+    let len = rng.gen_range(0usize..120);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0usize..ALPHABET.len())])
+        .collect()
+}
+
+/// Token soup: syntactically plausible fragments shuffled together, which
+/// reaches much deeper into the parser and compiler than raw bytes.
+fn random_tokens(rng: &mut StdRng) -> String {
+    const VOCAB: &[&str] = &[
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "JOIN",
+        "INNER",
+        "ON",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "AS",
+        "SHOW",
+        "TABLES",
+        "COLUMNS",
+        "DISTINCT",
+        "GROUP",
+        "BY",
+        "ORDER",
+        "LIMIT",
+        "UNION",
+        "BETWEEN",
+        "LIKE",
+        "IS",
+        "NULL",
+        "EXISTS",
+        "COUNT",
+        "LEFT",
+        "Employee",
+        "Dept",
+        "name",
+        "department",
+        "phone",
+        "id",
+        "floor",
+        "e",
+        "t0",
+        "salary",
+        "Payroll",
+        "'HR'",
+        "'Mgmt'",
+        "''",
+        "'it''s'",
+        "42",
+        "0",
+        ",",
+        ".",
+        "(",
+        ")",
+        ";",
+        "=",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "!=",
+        "<>",
+        "*",
+    ];
+    let len = rng.gen_range(1usize..24);
+    let mut out = String::new();
+    for i in 0..len {
+        if i > 0 && rng.gen_range(0u32..8) != 0 {
+            out.push(' ');
+        }
+        out.push_str(VOCAB[rng.gen_range(0usize..VOCAB.len())]);
+    }
+    out
+}
+
+#[test]
+fn random_soup_never_panics_and_only_fails_structurally() {
+    let schema = schema();
+    let seed: u64 = std::env::var("QVSEC_SQL_FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x51ee7);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(budget_ms());
+    let mut iterations = 0u64;
+    let mut compiled = 0u64;
+    while std::time::Instant::now() < deadline {
+        for _ in 0..256 {
+            iterations += 1;
+            let input = if iterations.is_multiple_of(2) {
+                random_bytes(&mut rng)
+            } else {
+                random_tokens(&mut rng)
+            };
+            let mut domain = Domain::with_constants(["HR", "Mgmt"]);
+            match qvsec_sql::compile_query(&input, &schema, &mut domain, "F") {
+                Ok(queries) => {
+                    compiled += 1;
+                    assert!(!queries.is_empty(), "Ok must carry queries for {input:?}");
+                }
+                Err(e) => {
+                    // the span must stay inside the input and on char
+                    // boundaries — slice() would panic otherwise
+                    assert!(e.span.start <= e.span.end, "bad span for {input:?}");
+                    assert!(e.span.end <= input.len() || e.span.slice(&input).is_empty());
+                    let _ = e.span.slice(&input);
+                    assert!(!e.reason.code().is_empty());
+                }
+            }
+            let _ = qvsec_sql::parse_statement(&input);
+        }
+    }
+    assert!(iterations > 0);
+    // Not a correctness requirement, but if the token soup never compiles
+    // anything the vocabulary has rotted and the fuzz lost its depth.
+    eprintln!("fuzz smoke: {iterations} inputs, {compiled} compiled, seed {seed}");
+}

@@ -1,0 +1,300 @@
+//! Satellite: the negative corpus.
+//!
+//! A table of out-of-subset SQL strings, each asserting the exact
+//! structured [`RejectReason`] and the source fragment its span covers.
+//! A final completeness check proves the corpus exercises every reason in
+//! the closed enum, so a new rejection path cannot ship untested.
+
+use qvsec_data::{Domain, Schema};
+use qvsec_sql::{compile_query, compile_query_single, RejectReason};
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("Employee", &["name", "department", "phone"]);
+    s.add_relation("Dept", &["id", "floor"]);
+    s
+}
+
+struct Case {
+    sql: &'static str,
+    reason: RejectReason,
+    /// The exact source fragment the error span must cover.
+    span_text: &'static str,
+}
+
+const fn case(sql: &'static str, reason: RejectReason, span_text: &'static str) -> Case {
+    Case {
+        sql,
+        reason,
+        span_text,
+    }
+}
+
+fn corpus() -> Vec<Case> {
+    use RejectReason::*;
+    vec![
+        // ---- grammar / lexical ----
+        case("SELEC name FROM Employee", Syntax, "SELEC"),
+        case("SELECT name FROM Employee WHERE", Syntax, ""),
+        case("SELECT 'lit' FROM Employee", Syntax, "'lit'"),
+        case(
+            "SELECT name FROM Employee WHERE name = 'x' ; trailing",
+            Syntax,
+            "trailing",
+        ),
+        // ---- star / clause forms ----
+        case("SELECT * FROM Employee", SelectStar, "*"),
+        case(
+            "SELECT DISTINCT name FROM Employee",
+            UnsupportedClause,
+            "DISTINCT",
+        ),
+        case(
+            "SELECT name FROM Employee GROUP BY name",
+            UnsupportedClause,
+            "GROUP",
+        ),
+        case(
+            "SELECT name FROM Employee ORDER BY name",
+            UnsupportedClause,
+            "ORDER",
+        ),
+        case(
+            "SELECT name FROM Employee LIMIT 3",
+            UnsupportedClause,
+            "LIMIT",
+        ),
+        case(
+            "SELECT name FROM Employee UNION SELECT id FROM Dept",
+            UnsupportedClause,
+            "UNION",
+        ),
+        // ---- joins ----
+        case(
+            "SELECT name FROM Employee LEFT JOIN Dept ON department = id",
+            UnsupportedJoin,
+            "LEFT",
+        ),
+        case(
+            "SELECT name FROM Employee CROSS JOIN Dept",
+            UnsupportedJoin,
+            "CROSS",
+        ),
+        // ---- boolean structure ----
+        case(
+            "SELECT name FROM Employee WHERE name = 'a' OR name = 'b'",
+            UnsupportedOr,
+            "OR",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE NOT name = 'a'",
+            UnsupportedNot,
+            "NOT",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE name NOT IN ('a')",
+            UnsupportedNot,
+            "NOT",
+        ),
+        // ---- comparisons outside = / IN ----
+        case(
+            "SELECT name FROM Employee WHERE phone < '5'",
+            UnsupportedComparison,
+            "<",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE phone >= '5'",
+            UnsupportedComparison,
+            ">=",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE phone != '5'",
+            UnsupportedComparison,
+            "!=",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE phone <> '5'",
+            UnsupportedComparison,
+            "<>",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE name LIKE 'a%'",
+            UnsupportedComparison,
+            "LIKE",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE phone IS NULL",
+            UnsupportedComparison,
+            "IS",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE phone BETWEEN '1' AND '9'",
+            UnsupportedRange,
+            "BETWEEN",
+        ),
+        // ---- aggregates ----
+        case(
+            "SELECT COUNT(name) FROM Employee",
+            UnsupportedAggregate,
+            "COUNT",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE SUM(phone) = '5'",
+            UnsupportedAggregate,
+            "SUM",
+        ),
+        // ---- subqueries ----
+        case(
+            "SELECT name FROM (SELECT name FROM Employee)",
+            UnsupportedSubquery,
+            "(",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE department IN (SELECT id FROM Dept)",
+            UnsupportedSubquery,
+            "SELECT",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE EXISTS (SELECT id FROM Dept)",
+            UnsupportedSubquery,
+            "EXISTS",
+        ),
+        // ---- schema resolution ----
+        case(
+            "SELECT name FROM Payroll",
+            RejectReason::UnknownTable,
+            "Payroll",
+        ),
+        case(
+            "SELECT e.name FROM Employee",
+            RejectReason::UnknownTable,
+            "e.name",
+        ),
+        case(
+            "SELECT salary FROM Employee",
+            RejectReason::UnknownColumn,
+            "salary",
+        ),
+        case(
+            "SELECT Employee.salary FROM Employee",
+            RejectReason::UnknownColumn,
+            "Employee.salary",
+        ),
+        case(
+            "SELECT name FROM Employee a, Employee b",
+            RejectReason::AmbiguousColumn,
+            "name",
+        ),
+        case(
+            "SELECT name FROM Employee, Employee",
+            RejectReason::DuplicateAlias,
+            "Employee",
+        ),
+        // ---- IN lists ----
+        case(
+            "SELECT name FROM Employee WHERE name IN ()",
+            EmptyInList,
+            "()",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE name IN \
+             ('a','b','c','d','e','f','g','h','i') AND department IN \
+             ('a','b','c','d','e','f','g','h','i')",
+            InListTooLarge,
+            "department IN",
+        ),
+        // ---- contradictions ----
+        case(
+            "SELECT name FROM Employee WHERE department = 'HR' AND department = 'Mgmt'",
+            ContradictoryConstants,
+            "department = 'Mgmt'",
+        ),
+        case(
+            "SELECT name FROM Employee WHERE department = 'HR' \
+             AND department IN ('Mgmt', 'Ops')",
+            ContradictoryConstants,
+            "department IN ('Mgmt', 'Ops')",
+        ),
+    ]
+}
+
+#[test]
+fn every_corpus_entry_is_rejected_with_reason_and_span() {
+    let schema = schema();
+    for c in corpus() {
+        let mut domain = Domain::new();
+        let err = compile_query(c.sql, &schema, &mut domain, "Q")
+            .expect_err(&format!("`{}` must be rejected", c.sql));
+        assert_eq!(
+            err.reason, c.reason,
+            "`{}` rejected for the wrong reason: {err}",
+            c.sql
+        );
+        let covered = err.span.slice(c.sql);
+        assert!(
+            covered.starts_with(c.span_text),
+            "`{}`: span {} covers `{covered}`, expected it to start with `{}` ({err})",
+            c.sql,
+            err.span,
+            c.span_text
+        );
+        assert!(
+            err.span.end <= c.sql.len() && err.span.start <= err.span.end,
+            "`{}`: span {} out of bounds",
+            c.sql,
+            err.span
+        );
+        assert!(!err.message.is_empty(), "`{}` has an empty message", c.sql);
+    }
+}
+
+#[test]
+fn multiple_queries_is_reported_by_single_query_contexts() {
+    let schema = schema();
+    let mut domain = Domain::new();
+    let sql = "SELECT name FROM Employee WHERE department IN ('HR', 'Mgmt')";
+    let err = compile_query_single(sql, &schema, &mut domain, "S").unwrap_err();
+    assert_eq!(err.reason, RejectReason::MultipleQueries);
+    assert_eq!(err.span.slice(sql), sql, "span covers the whole statement");
+}
+
+#[test]
+fn corpus_covers_every_reject_reason() {
+    let mut seen: Vec<RejectReason> = corpus().iter().map(|c| c.reason).collect();
+    seen.push(RejectReason::MultipleQueries);
+    for reason in RejectReason::all() {
+        assert!(
+            seen.contains(reason),
+            "no negative-corpus case exercises {}",
+            reason.code()
+        );
+    }
+}
+
+#[test]
+fn wire_codes_are_stable() {
+    // These strings are part of the NDJSON protocol (`error.detail.reason`);
+    // renaming one is a wire-compatibility break.
+    let expected = [
+        "syntax",
+        "select_star",
+        "unsupported_clause",
+        "unsupported_join",
+        "unsupported_or",
+        "unsupported_not",
+        "unsupported_comparison",
+        "unsupported_range",
+        "unsupported_aggregate",
+        "unsupported_subquery",
+        "unknown_table",
+        "unknown_column",
+        "ambiguous_column",
+        "duplicate_alias",
+        "empty_in_list",
+        "in_list_too_large",
+        "contradictory_constants",
+        "multiple_queries",
+    ];
+    let all: Vec<&str> = RejectReason::all().iter().map(|r| r.code()).collect();
+    assert_eq!(all, expected);
+}

@@ -1,0 +1,119 @@
+//! Satellite: CQ → SQL → CQ round-trip property.
+//!
+//! Random conjunctive queries in the SQL-expressible subset (non-empty
+//! head, ≥1 atom, no comparisons, head constants drawn from the body) are
+//! pretty-printed to subset SQL and compiled back; the canonical form —
+//! the engine's memo/cache key — must not move. This is the property that
+//! guarantees a SQL workload and its hand-written datalog twin share
+//! crit-set, artifact and report cache entries byte-identically.
+
+use proptest::prelude::*;
+use qvsec_cq::{canonical_form, parse_query};
+use qvsec_data::{Domain, Schema};
+use qvsec_sql::{compile_query_single, sql_text};
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("Employee", &["name", "department", "phone"]);
+    s.add_relation("R", &["x", "y"]);
+    s
+}
+
+fn domain() -> Domain {
+    Domain::with_constants(["a", "b", "HR", "Mgmt"])
+}
+
+/// Generates datalog text for a random SQL-expressible query: the head
+/// projects terms of the first atom, so head variables are safe and head
+/// constants appear in the body.
+fn query_text() -> impl Strategy<Value = String> {
+    let term = prop_oneof![
+        Just("x0".to_string()),
+        Just("x1".to_string()),
+        Just("x2".to_string()),
+        Just("x3".to_string()),
+        Just("'a'".to_string()),
+        Just("'HR'".to_string()),
+        Just("'Mgmt'".to_string()),
+    ];
+    let atom = prop_oneof![
+        (term.clone(), term.clone()).prop_map(|(a, b)| format!("R({a}, {b})")),
+        (term.clone(), term.clone(), term.clone())
+            .prop_map(|(a, b, c)| format!("Employee({a}, {b}, {c})")),
+    ];
+    (proptest::collection::vec(atom, 1..4), 1usize..4).prop_map(|(atoms, head_n)| {
+        let first: Vec<String> = atoms[0]
+            .split_once('(')
+            .expect("atom text")
+            .1
+            .trim_end_matches(')')
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect();
+        let head: Vec<String> = (0..head_n)
+            .map(|i| first[i % first.len()].clone())
+            .collect();
+        format!("Q({}) :- {}", head.join(", "), atoms.join(", "))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn printed_sql_compiles_back_to_the_same_canonical_form(text in query_text()) {
+        let schema = schema();
+        let mut domain = domain();
+        let q = parse_query(&text, &schema, &mut domain)
+            .expect("generated datalog parses");
+        let sql = sql_text(&q, &schema, &domain)
+            .unwrap_or_else(|e| panic!("{text} should be SQL-expressible: {e}"));
+        let interned = domain.len();
+        let back = compile_query_single(&sql, &schema, &mut domain, "RT")
+            .unwrap_or_else(|e| panic!("printed SQL `{sql}` rejected: {e}"));
+        prop_assert_eq!(
+            canonical_form(&q),
+            canonical_form(&back),
+            "round trip moved the cache key for {} via `{}`",
+            text,
+            sql
+        );
+        prop_assert_eq!(
+            domain.len(),
+            interned,
+            "re-compiling `{}` interned new constants",
+            sql
+        );
+        prop_assert!(back.comparisons.is_empty(), "SQL compilation never emits comparisons");
+    }
+}
+
+/// The same property through the `IN`-list expansion: the union members
+/// must each match their hand-written disjunct.
+#[test]
+fn in_list_union_members_match_hand_written_disjuncts() {
+    let schema = schema();
+    let mut domain = domain();
+    let qs = qvsec_sql::compile_query(
+        "SELECT name FROM Employee WHERE department IN ('HR', 'Mgmt') AND phone = '12'",
+        &schema,
+        &mut domain,
+        "V",
+    )
+    .unwrap();
+    assert_eq!(qs.len(), 2);
+    let hand: Vec<_> = ["'HR'", "'Mgmt'"]
+        .iter()
+        .map(|d| {
+            parse_query(
+                &format!("V(n) :- Employee(n, {d}, '12')"),
+                &schema,
+                &mut domain,
+            )
+            .unwrap()
+        })
+        .collect();
+    for (got, want) in qs.iter().zip(&hand) {
+        assert_eq!(canonical_form(got), canonical_form(want));
+    }
+}
