@@ -184,6 +184,32 @@ pub struct SaturationReport {
     pub points: Vec<SaturationPoint>,
 }
 
+/// The instrumentation-overhead measurement: the same embedded
+/// multi-tenant drive with the telemetry plane fully enabled — span
+/// tracing on, every span feeding the latency histograms — against the
+/// default path with tracing off. The responses must be byte-identical
+/// either way, and the enabled drive must retain at least 95% of the
+/// disabled drive's throughput.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstrumentationReport {
+    /// Requests per drive (tenants × script length).
+    pub requests: usize,
+    /// Best-of-N wall clock with tracing off, nanoseconds.
+    pub off_nanos: u64,
+    /// Best-of-N wall clock with tracing on, nanoseconds.
+    pub on_nanos: u64,
+    /// Requests per second with tracing off.
+    pub off_rps: f64,
+    /// Requests per second with tracing on.
+    pub on_rps: f64,
+    /// `on_rps / off_rps` — the throughput retained with the telemetry
+    /// plane fully enabled (1.0 = free; the gate holds this at ≥ 0.95).
+    pub retained_throughput: f64,
+    /// Whether the traced drive's responses were byte-identical to the
+    /// untraced drive's.
+    pub responses_match: bool,
+}
+
 /// The full harness report serialized into `BENCH_serve.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeBenchReport {
@@ -214,6 +240,10 @@ pub struct ServeBenchReport {
     /// end — accept gate, reader threads, in-flight queues — is what gets
     /// measured, not the audits).
     pub saturation: SaturationReport,
+    /// The instrumentation-overhead measurement (run on the cheap exact
+    /// workload — the worst case for relative overhead, since every span
+    /// wraps near-free work).
+    pub instrumentation: InstrumentationReport,
 }
 
 fn best_of<F: FnMut()>(iterations: usize, mut f: F) -> u64 {
@@ -707,6 +737,82 @@ pub fn run_saturation_bench(iterations: usize, connection_counts: &[usize]) -> S
     )
 }
 
+/// Drives every tenant script through the embedded dispatcher over a
+/// fresh registry — the full instrumented request path (span enters,
+/// counters, histograms) without TCP scheduling noise. With `collect`
+/// the exact response bytes come back in stream order.
+fn drive_embedded(workload: &Workload, scripts: &[Vec<String>], collect: bool) -> Vec<String> {
+    let engine = Arc::new(workload.engine_with_budget(None));
+    let registry = SessionRegistry::new(engine);
+    let mut responses = Vec::new();
+    for script in scripts {
+        for line in script {
+            let (value, _) = qvsec_serve::handle_request(&registry, line);
+            if collect {
+                responses.push(serde_json::to_string(&value).expect("rendering is infallible"));
+            }
+        }
+    }
+    responses
+}
+
+/// Measures the cost of the telemetry plane: the same embedded drive with
+/// span tracing off and fully on. Verifies byte-identity first (the
+/// observability-transparency claim), then times both shapes. Leaves the
+/// process-global tracing flag off.
+fn run_instrumentation(
+    workload: &Workload,
+    tenants: usize,
+    iterations: usize,
+) -> InstrumentationReport {
+    let scripts = tenant_scripts(workload, tenants);
+    let requests: usize = scripts.iter().map(Vec::len).sum();
+    qvsec_obs::set_tracing(false);
+    let off_responses = drive_embedded(workload, &scripts, true);
+    qvsec_obs::set_tracing(true);
+    let on_responses = drive_embedded(workload, &scripts, true);
+    let responses_match = off_responses == on_responses;
+    // Each timed pass repeats the drive to amortize clock granularity, and
+    // the off/on passes interleave so frequency drift and cache warmth hit
+    // both shapes equally — a 1% real effect must not drown in 10% noise.
+    const REPEATS: usize = 4;
+    let mut off_nanos = u64::MAX;
+    let mut on_nanos = u64::MAX;
+    for _ in 0..iterations.max(1) {
+        qvsec_obs::set_tracing(false);
+        let start = Instant::now();
+        for _ in 0..REPEATS {
+            drive_embedded(workload, &scripts, false);
+        }
+        off_nanos = off_nanos.min(start.elapsed().as_nanos() as u64 / REPEATS as u64);
+        qvsec_obs::set_tracing(true);
+        let start = Instant::now();
+        for _ in 0..REPEATS {
+            drive_embedded(workload, &scripts, false);
+        }
+        on_nanos = on_nanos.min(start.elapsed().as_nanos() as u64 / REPEATS as u64);
+    }
+    qvsec_obs::set_tracing(false);
+    let off_rps = requests as f64 * 1e9 / off_nanos.max(1) as f64;
+    let on_rps = requests as f64 * 1e9 / on_nanos.max(1) as f64;
+    InstrumentationReport {
+        requests,
+        off_nanos,
+        on_nanos,
+        off_rps,
+        on_rps,
+        retained_throughput: on_rps / off_rps.max(1e-9),
+        responses_match,
+    }
+}
+
+/// Runs the instrumentation-overhead measurement standalone on the cheap
+/// exact workload — the transparency smoke tests call this directly so
+/// they need not pay for the full harness.
+pub fn run_instrumentation_bench(iterations: usize, tenants: usize) -> InstrumentationReport {
+    run_instrumentation(&employee_collusion_workload(64), tenants, iterations)
+}
+
 /// Runs the harness: registry-vs-fresh-engines per workload, then the
 /// eviction-pressure sweep on the employee workload.
 pub fn run_serve_bench(iterations: usize, tenants: usize, mc_samples: usize) -> ServeBenchReport {
@@ -776,6 +882,10 @@ pub fn run_serve_bench(iterations: usize, tenants: usize, mc_samples: usize) -> 
     // req/s and tail latency measure the front end itself.
     let saturation = run_saturation(&workloads[0], iterations, &[1, 32, 64, 128]);
 
+    // Instrumentation overhead runs on the same cheap workload — every
+    // span wraps near-free work, so the relative cost is at its worst.
+    let instrumentation = run_instrumentation(&workloads[0], tenants, iterations.max(5));
+
     ServeBenchReport {
         threads: rayon::current_num_threads(),
         iterations: iterations.max(1),
@@ -788,6 +898,7 @@ pub fn run_serve_bench(iterations: usize, tenants: usize, mc_samples: usize) -> 
         restart,
         concurrent,
         saturation,
+        instrumentation,
     }
 }
 
@@ -908,5 +1019,16 @@ pub fn render_report(report: &ServeBenchReport) -> String {
             p.responses_match,
         );
     }
+    let i = &report.instrumentation;
+    let _ = writeln!(
+        out,
+        "instrumentation overhead ({} requests, embedded drive): off {:.0} req/s, \
+         tracing+metrics on {:.0} req/s, {:.1}% retained, responses match: {}",
+        i.requests,
+        i.off_rps,
+        i.on_rps,
+        i.retained_throughput * 100.0,
+        i.responses_match,
+    );
     out
 }

@@ -2,7 +2,8 @@
 //! `BENCH_serve.json` artifact.
 
 use qvsec_bench::serve::{
-    render_report, run_concurrent_bench, run_saturation_bench, run_serve_bench, ServeBenchReport,
+    render_report, run_concurrent_bench, run_instrumentation_bench, run_saturation_bench,
+    run_serve_bench, ServeBenchReport,
 };
 
 #[test]
@@ -100,11 +101,23 @@ fn harness_matches_the_stateless_baseline_and_survives_eviction_pressure() {
         assert_eq!(p.server.responses_written as usize, p.requests);
     }
 
+    // The instrumentation sweep rode along: fully-enabled telemetry must
+    // not change a response byte.
+    let instrumentation = &report.instrumentation;
+    assert!(
+        instrumentation.responses_match,
+        "enabling tracing changed a response byte"
+    );
+    // open + 3 collusion publishes + 1 chain view per tenant.
+    assert_eq!(instrumentation.requests, 3 * 5);
+    assert!(instrumentation.off_nanos > 0 && instrumentation.on_nanos > 0);
+
     let rendered = render_report(&report);
     assert!(rendered.contains("eviction-pressure sweep"));
     assert!(rendered.contains("restart-rehydration"));
     assert!(rendered.contains("concurrent clients"));
     assert!(rendered.contains("saturation"));
+    assert!(rendered.contains("instrumentation overhead"));
     let json = serde_json::to_string(&report).unwrap();
     let back: ServeBenchReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.workloads.len(), report.workloads.len());
@@ -143,6 +156,17 @@ fn concurrent_clients_are_thread_invariant() {
             p.client_threads
         );
     }
+}
+
+#[test]
+fn telemetry_plane_is_byte_transparent_under_the_bench_drive() {
+    // Standalone overhead measurement at smoke scale: whatever the clock
+    // says, the responses must be byte-identical with tracing on.
+    let report = run_instrumentation_bench(1, 3);
+    assert!(report.responses_match, "tracing changed a response byte");
+    assert_eq!(report.requests, 3 * 5);
+    assert!(report.off_rps > 0.0 && report.on_rps > 0.0);
+    assert!(report.retained_throughput > 0.0);
 }
 
 #[test]
@@ -240,6 +264,18 @@ fn committed_bench_serve_json_holds_the_acceptance_criteria() {
             p.connections
         );
     }
+    // The instrumentation gate: byte-identity is unconditional, and the
+    // committed recording must show the telemetry plane costing at most
+    // 5% of req/s on the cheap workload (its relative worst case).
+    assert!(
+        report.instrumentation.responses_match,
+        "committed run had a traced/untraced response divergence"
+    );
+    assert!(
+        report.instrumentation.retained_throughput >= 0.95,
+        "committed telemetry overhead exceeds the 5% gate: {:.1}% retained",
+        report.instrumentation.retained_throughput * 100.0
+    );
     if saturation.cores >= 4 {
         let thirty_two = saturation
             .points

@@ -715,31 +715,46 @@ pub fn analyze_sql(
         Ok(qvsec_sql::Statement::Select(_)) => {
             match qvsec_sql::compile_query(sql, &schema, &mut domain, name) {
                 Err(e) => Ok((sql_error_value(&e), false)),
-                Ok(queries) => {
-                    let rendered = queries
-                        .iter()
-                        .map(|q| {
-                            Value::Object(vec![
-                                ("name".to_string(), Value::Str(q.name.clone())),
-                                (
-                                    "datalog".to_string(),
-                                    Value::Str(q.display(&schema, &domain).to_string()),
-                                ),
-                                (
-                                    "canonical".to_string(),
-                                    Value::Str(qvsec_cq::canonical_form(q)),
-                                ),
-                            ])
-                        })
-                        .collect();
-                    Ok((
-                        Value::Object(vec![("queries".to_string(), Value::Array(rendered))]),
-                        true,
-                    ))
-                }
+                Ok(queries) => Ok((render_compiled_queries(&queries, &schema, &domain), true)),
+            }
+        }
+        // Locally there is no engine and no cache to probe, so
+        // `SHOW CANONICAL` reduces to the canonical-form rendering; the
+        // tier-annotated variant lives behind the server's `explain` op.
+        Ok(qvsec_sql::Statement::ShowCanonical(stmt)) => {
+            match qvsec_sql::compile_select(&stmt, &schema, &mut domain, name, sql) {
+                Err(e) => Ok((sql_error_value(&e), false)),
+                Ok(queries) => Ok((render_compiled_queries(&queries, &schema, &domain), true)),
             }
         }
     }
+}
+
+/// The `{"queries": [{"name", "datalog", "canonical"}]}` body shared by
+/// `SELECT` analysis and local `SHOW CANONICAL`.
+fn render_compiled_queries(
+    queries: &[qvsec_cq::ConjunctiveQuery],
+    schema: &Schema,
+    domain: &qvsec_data::Domain,
+) -> serde_json::Value {
+    use serde_json::Value;
+    let rendered = queries
+        .iter()
+        .map(|q| {
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(q.name.clone())),
+                (
+                    "datalog".to_string(),
+                    Value::Str(q.display(schema, domain).to_string()),
+                ),
+                (
+                    "canonical".to_string(),
+                    Value::Str(qvsec_cq::canonical_form(q)),
+                ),
+            ])
+        })
+        .collect();
+    Value::Object(vec![("queries".to_string(), Value::Array(rendered))])
 }
 
 /// A server specification: the schema/domain/dictionary context every
@@ -799,6 +814,11 @@ pub struct ServerSpec {
     /// `idle_timeout` notice. Distinct from the registry-level
     /// `idle_timeout_secs`, which expires tenant *sessions*, not sockets.
     pub conn_idle_timeout_millis: Option<u64>,
+    /// Slow-query threshold in milliseconds: requests handled slower than
+    /// this are logged as NDJSON lines on stderr with their span stage
+    /// breakdown. The CLI's `--slow-ms <N>` flag overrides this; either
+    /// spelling also turns span tracing on.
+    pub slow_ms: Option<u64>,
 }
 
 /// Resolves a spec's `server` block (and the CLI `--max-connections`
@@ -819,6 +839,7 @@ pub fn server_config(
         idle_timeout: block
             .conn_idle_timeout_millis
             .map(std::time::Duration::from_millis),
+        slow_ms: block.slow_ms,
     }
 }
 

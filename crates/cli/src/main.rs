@@ -29,10 +29,12 @@ USAGE:
     qvsec-cli audit --spec <FILE> [OPTIONS]
     qvsec-cli session --spec <FILE> [--store <DIR>] [OPTIONS]
     qvsec-cli serve --spec <FILE> --addr <HOST:PORT> [--max-connections <N>] [--store <DIR>]
+                    [--metrics-addr <HOST:PORT>] [--slow-ms <N>]
     qvsec-cli request --addr <HOST:PORT> [--file <FILE>] [--out <FILE>]
                       [--pipeline | --connections <N>]
     qvsec-cli sql (--spec <FILE> | --addr <HOST:PORT>) --query <SQL>
                   [--name <NAME>] [OPTIONS]
+    qvsec-cli top --addr <HOST:PORT> [--out <FILE>]
 
 COMMANDS:
     audit            Run the spec's stateless audits (parallel by default)
@@ -42,6 +44,8 @@ COMMANDS:
     sql              Compile one safe-SQL statement (SELECT or SHOW) to
                      canonical conjunctive queries — against a spec's
                      schema locally, or a running server's via its `sql` op
+    top              Fetch a running server's unified metrics snapshot (the
+                     `metrics` op) and print a ranked, human-readable view
 
 OPTIONS:
     --spec <FILE>    Spec, JSON or TOML (format auto-detected)
@@ -55,6 +59,12 @@ OPTIONS:
     --store <DIR>    (serve/session) durable log store at DIR: tenants and
                      compiled artifacts persist and rehydrate on restart
                      (overrides the spec's `store` block)
+    --metrics-addr <ADDR>
+                     (serve) also serve Prometheus text metrics over HTTP
+                     at ADDR (GET, any path)
+    --slow-ms <N>    (serve) log requests slower than N ms as NDJSON lines
+                     on stderr, with their span stage breakdown; implies
+                     span tracing (overrides the spec's `server.slow_ms`)
     --file <FILE>    (request) NDJSON request script (default: stdin)
     --pipeline       (request) write every request before reading any
                      response (responses still arrive in request order)
@@ -79,6 +89,7 @@ enum Command {
     Serve,
     Request,
     Sql,
+    Top,
 }
 
 struct Args {
@@ -93,6 +104,8 @@ struct Args {
     store: Option<String>,
     query: Option<String>,
     name: Option<String>,
+    metrics_addr: Option<String>,
+    slow_ms: Option<u64>,
     pretty: bool,
     sequential: bool,
 }
@@ -104,6 +117,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         Some("serve") => Command::Serve,
         Some("request") => Command::Request,
         Some("sql") => Command::Sql,
+        Some("top") => Command::Top,
         Some("-h") | Some("--help") | None => return Err(String::new()),
         Some(other) => return Err(format!("unknown command `{other}`")),
     };
@@ -119,6 +133,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         store: None,
         query: None,
         name: None,
+        metrics_addr: None,
+        slow_ms: None,
         pretty: false,
         sequential: false,
     };
@@ -156,6 +172,19 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 )
             }
             "--name" => args.name = Some(argv.next().ok_or("--name needs a name argument")?),
+            "--metrics-addr" => {
+                args.metrics_addr = Some(
+                    argv.next()
+                        .ok_or("--metrics-addr needs an address argument")?,
+                )
+            }
+            "--slow-ms" => {
+                args.slow_ms = Some(
+                    argv.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--slow-ms needs a non-negative integer")?,
+                )
+            }
             "--pretty" => args.pretty = true,
             "--sequential" => args.sequential = true,
             "-h" | "--help" => return Err(String::new()),
@@ -184,6 +213,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     if args.max_connections.is_some() && !matches!(args.command, Command::Serve) {
         return Err("--max-connections only applies to `serve`".into());
     }
+    if (args.metrics_addr.is_some() || args.slow_ms.is_some())
+        && !matches!(args.command, Command::Serve)
+    {
+        return Err("--metrics-addr and --slow-ms only apply to `serve`".into());
+    }
     match args.command {
         Command::Audit | Command::Session => {
             if args.spec.is_none() {
@@ -203,6 +237,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         Command::Request => {
             if args.addr.is_none() {
                 return Err("`request` needs --addr <HOST:PORT>".into());
+            }
+        }
+        Command::Top => {
+            if args.addr.is_none() {
+                return Err("`top` needs --addr <HOST:PORT>".into());
             }
         }
         Command::Sql => {
@@ -310,14 +349,27 @@ fn run_serve(args: &Args) -> ExitCode {
         }
     };
     let addr = args.addr.as_deref().expect("validated");
-    let config = qvsec_cli::server_config(&spec, args.max_connections);
-    let server = match qvsec_serve::Server::bind_with(std::sync::Arc::new(registry), addr, config) {
-        Ok(server) => server,
-        Err(e) => {
-            eprintln!("error: cannot bind `{addr}`: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let mut config = qvsec_cli::server_config(&spec, args.max_connections);
+    if args.slow_ms.is_some() {
+        config.slow_ms = args.slow_ms;
+    }
+    if config.slow_ms.is_some() {
+        // The slow-query log needs the per-request stage breakdown, which
+        // only exists with span tracing on, plus the op/tenant/canonical
+        // notes, which wait for note capture. Neither changes response
+        // bytes — they only start timing/context capture.
+        qvsec_obs::set_tracing(true);
+        qvsec_obs::set_note_capture(true);
+    }
+    let registry = std::sync::Arc::new(registry);
+    let server =
+        match qvsec_serve::Server::bind_with(std::sync::Arc::clone(&registry), addr, config) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("error: cannot bind `{addr}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     match server.local_addr() {
         // Announced on stderr so request scripts piping stdout stay clean;
         // flushed line-wise, so `wait-for-line` style supervision works.
@@ -325,6 +377,15 @@ fn run_serve(args: &Args) -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(metrics_addr) = &args.metrics_addr {
+        match qvsec_serve::serve_metrics_http(metrics_addr.as_str(), registry, server.counters()) {
+            Ok(bound) => eprintln!("qvsec-serve metrics on http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("error: cannot bind metrics address `{metrics_addr}`: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     #[cfg(unix)]
@@ -431,10 +492,48 @@ fn run_saturation(args: &Args, addr: &str, template: &[String], connections: usi
     emit(&args.out, summary)
 }
 
+/// Renders a rejected statement's byte span as a caret underline on
+/// stderr, rustc-style — the structured JSON on stdout stays byte-for-byte
+/// what it always was; this is purely additive human context:
+///
+/// ```text
+/// error: sql rejected: OR is outside the safe subset
+///     SELECT name FROM Employee WHERE department = 'HR' OR phone = '5'
+///                                                       ^^
+/// ```
+fn print_rejection_caret(sql: &str, body: &serde_json::Value) {
+    let error = body.field("error");
+    let span = error.field("detail").field("span");
+    let (Some(start), Some(end)) = (span.field("start").as_int(), span.field("end").as_int())
+    else {
+        return;
+    };
+    let (start, end) = (start.max(0) as usize, end.max(0) as usize);
+    let start = start.min(sql.len());
+    let end = end.clamp(start, sql.len());
+    if !sql.is_char_boundary(start) || !sql.is_char_boundary(end) {
+        return;
+    }
+    if let Some(reason) = error.field("reason").as_str() {
+        eprintln!("error: {reason}");
+    }
+    // Underline within the line holding the span's start.
+    let line_start = sql[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = sql[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(sql.len());
+    let pad = sql[line_start..start].chars().count();
+    let width = sql[start..end.min(line_end)].chars().count().max(1);
+    eprintln!("    {}", &sql[line_start..line_end]);
+    eprintln!("    {}{}", " ".repeat(pad), "^".repeat(width));
+}
+
 /// `sql`: analyze one statement. With `--spec`, compile locally against the
 /// spec's schema; with `--addr`, send the server a `{"op": "sql"}` request
 /// and print its response. Either way the exit code reflects whether the
-/// statement was accepted, and rejections are structured JSON on stdout.
+/// statement was accepted, and rejections are structured JSON on stdout —
+/// plus a caret-underlined rendering of the offending span on stderr.
 fn run_sql(args: &Args) -> ExitCode {
     let query = args.query.as_deref().expect("validated");
     let name = args.name.as_deref().unwrap_or("Q");
@@ -447,11 +546,18 @@ fn run_sql(args: &Args) -> ExitCode {
         .expect("JSON rendering is infallible");
         return match qvsec_serve::request_lines(addr, &[request]) {
             Ok(responses) => {
-                let ok = responses
+                let parsed = responses
                     .first()
-                    .and_then(|line| serde_json::parse(line).ok())
+                    .and_then(|line| serde_json::parse(line).ok());
+                let ok = parsed
+                    .as_ref()
                     .map(|v| v.field("ok") == &serde_json::Value::Bool(true))
                     .unwrap_or(false);
+                if !ok {
+                    if let Some(body) = &parsed {
+                        print_rejection_caret(query, body);
+                    }
+                }
                 let code = emit(&args.out, responses.join("\n"));
                 if ok {
                     code
@@ -471,6 +577,9 @@ fn run_sql(args: &Args) -> ExitCode {
     };
     match qvsec_cli::analyze_sql(&text, query, name) {
         Ok((body, accepted)) => {
+            if !accepted {
+                print_rejection_caret(query, &body);
+            }
             let rendered = if args.pretty {
                 serde_json::to_string_pretty(&body)
             } else {
@@ -491,6 +600,95 @@ fn run_sql(args: &Args) -> ExitCode {
     }
 }
 
+/// Formats a nanosecond figure for the `top` view.
+fn fmt_nanos(nanos: i128) -> String {
+    match nanos {
+        n if n < 1_000 => format!("{n}ns"),
+        n if n < 1_000_000 => format!("{}µs", n / 1_000),
+        n if n < 1_000_000_000 => format!("{}ms", n / 1_000_000),
+        n => format!("{:.1}s", n as f64 / 1e9),
+    }
+}
+
+/// `top`: one `{"op": "metrics"}` round trip, rendered as ranked sections
+/// (counters and gauges by value, span histograms by observation count).
+/// Zero-valued entries are elided — `top` answers "what is this server
+/// actually doing", not "what could it count".
+fn run_top(args: &Args) -> ExitCode {
+    let addr = args.addr.as_deref().expect("validated");
+    let response = match qvsec_serve::request_lines(addr, &[r#"{"op": "metrics"}"#.to_string()]) {
+        Ok(responses) => match responses.first().and_then(|l| serde_json::parse(l).ok()) {
+            Some(v) => v,
+            None => {
+                eprintln!("error: server at `{addr}` sent no parsable response");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: request to `{addr}` failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = response.field("metrics");
+    if metrics.is_null() {
+        eprintln!("error: unexpected response: {response:?}");
+        return ExitCode::FAILURE;
+    }
+    let numbers = |section: &str| -> Vec<(String, i128)> {
+        let mut entries = Vec::new();
+        if let serde_json::Value::Object(pairs) = metrics.field(section) {
+            for (name, value) in pairs {
+                if let Some(n) = value.as_int() {
+                    if n != 0 {
+                        entries.push((name.clone(), n));
+                    }
+                }
+            }
+        }
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries
+    };
+    let mut out = format!("qvsec metrics @ {addr}\n");
+    for section in ["counters", "gauges"] {
+        let entries = numbers(section);
+        if entries.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("\n{section}\n"));
+        for (name, value) in entries {
+            out.push_str(&format!("  {name:<42} {value}\n"));
+        }
+    }
+    if let serde_json::Value::Object(pairs) = metrics.field("histograms") {
+        let mut rows: Vec<(String, i128, i128, i128)> = pairs
+            .iter()
+            .filter_map(|(name, h)| {
+                let count = h.field("count").as_int()?;
+                (count > 0).then(|| {
+                    (
+                        name.clone(),
+                        count,
+                        h.field("p50_nanos").as_int().unwrap_or(0),
+                        h.field("p99_nanos").as_int().unwrap_or(0),
+                    )
+                })
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        if !rows.is_empty() {
+            out.push_str("\nspans (count / p50 / p99)\n");
+            for (name, count, p50, p99) in rows {
+                out.push_str(&format!(
+                    "  {name:<42} {count:>8}  {:>8}  {:>8}\n",
+                    fmt_nanos(p50),
+                    fmt_nanos(p99)
+                ));
+            }
+        }
+    }
+    emit(&args.out, out.trim_end().to_string())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(args) => args,
@@ -508,6 +706,7 @@ fn main() -> ExitCode {
         Command::Serve => return run_serve(&args),
         Command::Request => return run_request(&args),
         Command::Sql => return run_sql(&args),
+        Command::Top => return run_top(&args),
         Command::Audit | Command::Session => {}
     }
     let text = match read_spec(args.spec.as_deref().expect("validated")) {

@@ -284,6 +284,7 @@ impl CompiledArtifacts {
         self.crit_misses.fetch_add(1, Ordering::Relaxed);
         // Compute outside the lock so concurrent audits of distinct queries
         // do not serialize; a racing duplicate insert is harmless.
+        let kernel_span = qvsec_obs::Span::enter("crit.kernel");
         let classes = self.class_cache_for(&key);
         let computed = Arc::new(critical::critical_tuples_shared(
             query,
@@ -292,6 +293,7 @@ impl CompiledArtifacts {
             &self.crit_stats,
             classes.as_deref(),
         )?);
+        drop(kernel_span);
         // The kernel may have grown the shared class cache; re-weigh it so
         // the class-layer budget sees the growth, and mirror the grown
         // verdict map into the store.
@@ -349,7 +351,9 @@ impl CompiledArtifacts {
             return Ok(Arc::clone(memo.insert(memo_key.clone(), promoted, bytes)));
         }
         self.space_misses.fetch_add(1, Ordering::Relaxed);
+        let space_span = qvsec_obs::Span::enter("crit.space");
         let computed = Arc::new(critical::candidate_space(query, active, cap)?);
+        drop(space_span);
         if self.store.is_some() {
             if let Ok(encoded) = serde_json::to_string(&computed.tuples()) {
                 self.persist(NS_SPACE, store_key, encoded.into_bytes());
@@ -450,6 +454,113 @@ impl CompiledArtifacts {
             evictions: crit_evictions + space_evictions + class_evictions,
             evicted_bytes: crit_evicted + space_evicted + class_evicted,
             resident_bytes: (crit_resident + space_resident + class_resident) as u64,
+        }
+    }
+}
+
+/// Which cache tier answered a non-promoting `explain` probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ArtifactTier {
+    /// Not cached anywhere; the next request recomputes.
+    Uncached,
+    /// Only in the durable store (evicted-but-persisted; the next request
+    /// promotes it back without recomputing).
+    Store,
+    /// Resident in the in-memory memo.
+    Memory,
+}
+
+impl ArtifactTier {
+    /// The wire spelling (`memory` | `store` | `uncached`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArtifactTier::Memory => "memory",
+            ArtifactTier::Store => "store",
+            ArtifactTier::Uncached => "uncached",
+        }
+    }
+}
+
+/// The result of probing every artifact layer for one canonical form —
+/// the payload of the `explain` wire op and `SHOW CANONICAL`. Probes are
+/// strictly read-only: they never promote a store entry, refresh LRU
+/// recency, or bump a hit/miss counter, so issuing `explain` cannot change
+/// any later verdict or eviction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArtifactProbe {
+    /// The probed canonical form.
+    pub form: String,
+    /// Best tier holding a materialized `crit_D(Q)` set for the form (at
+    /// any active-domain size).
+    pub crit: ArtifactTier,
+    /// Active-domain sizes with a cached `crit_D(Q)` set, ascending.
+    pub crit_domain_sizes: Vec<usize>,
+    /// Best tier holding an interned candidate space for the form.
+    pub space: ArtifactTier,
+    /// Tier holding the form's shared symmetry-class verdict cache (the
+    /// memoized per-class criticality *decisions*, reused across domain
+    /// sizes). Always `Uncached` for order-constrained queries.
+    pub class_verdicts: ArtifactTier,
+}
+
+impl CompiledArtifacts {
+    /// Probes every layer for `query`'s canonical form without promoting,
+    /// recomputing or counting anything. See [`ArtifactProbe`].
+    pub fn probe(&self, query: &ConjunctiveQuery) -> ArtifactProbe {
+        let form = qvsec_cq::canonical_form(query);
+        let mut crit_sizes: BTreeSet<usize> = BTreeSet::new();
+        let mut crit = ArtifactTier::Uncached;
+        let mut space = ArtifactTier::Uncached;
+        self.crit_sets.for_each_key(|(f, size)| {
+            if *f == form {
+                crit_sizes.insert(*size);
+                crit = ArtifactTier::Memory;
+            }
+        });
+        self.spaces.for_each_key(|(f, _)| {
+            if *f == form {
+                space = ArtifactTier::Memory;
+            }
+        });
+        let mut class_verdicts = if self
+            .class_verdicts
+            .shard(form.as_str())
+            .peek(&form)
+            .is_some()
+        {
+            ArtifactTier::Memory
+        } else {
+            ArtifactTier::Uncached
+        };
+        if let Some(store) = &self.store {
+            let scan_sizes = |ns: &str, tier: &mut ArtifactTier| {
+                let mut sizes = BTreeSet::new();
+                if let Ok(entries) = store.scan(ns) {
+                    for (key, _) in entries {
+                        if let Some((size, f)) = parse_domain_key(&key) {
+                            if f == form {
+                                sizes.insert(size);
+                                *tier = (*tier).max(ArtifactTier::Store);
+                            }
+                        }
+                    }
+                }
+                sizes
+            };
+            crit_sizes.extend(scan_sizes(NS_CRIT, &mut crit));
+            scan_sizes(NS_SPACE, &mut space);
+            if class_verdicts == ArtifactTier::Uncached
+                && matches!(store.get(NS_CLASS, &form), Ok(Some(_)))
+            {
+                class_verdicts = ArtifactTier::Store;
+            }
+        }
+        ArtifactProbe {
+            form,
+            crit,
+            crit_domain_sizes: crit_sizes.into_iter().collect(),
+            space,
+            class_verdicts,
         }
     }
 }

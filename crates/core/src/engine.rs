@@ -706,8 +706,16 @@ impl AuditEngine {
         })
     }
 
+    /// Probes every artifact-cache layer for `query`'s canonical form —
+    /// the engine half of the `explain` wire op. Strictly read-only: no
+    /// promotion, no recomputation, no counter movement.
+    pub fn explain(&self, query: &ConjunctiveQuery) -> crate::artifacts::ArtifactProbe {
+        self.artifacts.probe(query)
+    }
+
     /// Runs one audit to the requested (or default) depth.
     pub fn audit(&self, request: &AuditRequest) -> Result<AuditReport> {
+        qvsec_obs::counter("audit.requests").inc();
         let depth = request.options.depth.unwrap_or(self.default_depth);
         let threshold = request
             .options
@@ -718,8 +726,10 @@ impl AuditEngine {
         let views = &request.views;
 
         // Stage 1 — always: the Section 4.2 fast check.
+        let fast_span = qvsec_obs::Span::enter("audit.fast");
         let fast = fast_check(secret, views);
         let fast_secure = fast.is_certainly_secure();
+        drop(fast_span);
 
         // Stage 2 — the exact criterion, unless the fast check already
         // certified security (soundness: no unifiable pair ⇒ no common
@@ -735,6 +745,7 @@ impl AuditEngine {
                     active_domain_size: active.len(),
                 })
             } else {
+                let _span = qvsec_obs::Span::enter("audit.exact");
                 Some(self.exact_security(secret, views, &active, cap)?)
             }
         } else {
@@ -753,6 +764,7 @@ impl AuditEngine {
         // disclosure together.
         let (independence, leakage, totally_disclosed, estimator) =
             if depth >= AuditDepth::Probabilistic {
+                let _span = qvsec_obs::Span::enter("audit.prob");
                 let dict = self
                     .dictionary
                     .as_ref()

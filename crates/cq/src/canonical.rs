@@ -121,6 +121,9 @@ pub fn canonical_form(query: &ConjunctiveQuery) -> String {
     use crate::ast::Atom;
     use std::fmt::Write;
 
+    let _span = qvsec_obs::Span::enter("cq.canonicalize");
+    qvsec_obs::counter("cq.canonicalizations").inc();
+
     // A per-atom pattern independent of global variable identity: constants
     // by interned index, variables by position of first occurrence *within
     // this atom* (so `R(x, x)` and `R(y, y)` sort identically).

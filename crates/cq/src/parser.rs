@@ -24,6 +24,8 @@ use qvsec_data::{Domain, Schema};
 /// Parses a single conjunctive query. Constants mentioned in the query are
 /// interned into `domain`.
 pub fn parse_query(input: &str, schema: &Schema, domain: &mut Domain) -> Result<ConjunctiveQuery> {
+    let _span = qvsec_obs::Span::enter("cq.parse");
+    qvsec_obs::counter("cq.parses").inc();
     Parser::new(input, schema, domain).parse_rule()
 }
 

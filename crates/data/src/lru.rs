@@ -95,12 +95,34 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         K: Borrow<Q>,
         Q: Eq + Hash + ?Sized,
     {
+        qvsec_obs::counter("cache.lru.lookups").inc();
         self.tick += 1;
         let tick = self.tick;
-        self.slots.get_mut(key).map(|slot| {
+        let hit = self.slots.get_mut(key).map(|slot| {
             slot.last_used = tick;
             &slot.value
-        })
+        });
+        if hit.is_some() {
+            qvsec_obs::counter("cache.lru.hits").inc();
+        }
+        hit
+    }
+
+    /// Fetches `key` **without** refreshing its recency or counting a
+    /// lookup — a read-only probe for introspection surfaces (`explain`)
+    /// that must not perturb eviction order.
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.slots.get(key).map(|slot| &slot.value)
+    }
+
+    /// Iterates the resident keys in unspecified order, without touching
+    /// recency or any counter (introspection only).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.slots.keys()
     }
 
     /// Inserts `value` under `key` with an approximate byte weight, then
@@ -109,6 +131,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// are harmless, mirroring the old `entry().or_insert()` memos) and the
     /// resident value is returned.
     pub fn insert(&mut self, key: K, value: V, bytes: usize) -> &V {
+        qvsec_obs::counter("cache.lru.inserts").inc();
         self.tick += 1;
         let tick = self.tick;
         let slot = self.slots.entry(key.clone()).or_insert_with(|| {
@@ -157,6 +180,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 self.resident_bytes -= slot.bytes;
                 self.evictions += 1;
                 self.evicted_bytes += slot.bytes as u64;
+                qvsec_obs::counter("cache.lru.evictions").inc();
             }
         }
     }
@@ -203,6 +227,19 @@ mod tests {
         assert_eq!(cache.len(), 1, "only the oversized entry survives");
         assert_eq!(cache.get("huge"), Some(&2));
         assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn peek_reads_without_refreshing_recency() {
+        let mut cache: LruCache<&str, u32> = LruCache::new(Some(30));
+        cache.insert("a", 1, 10);
+        cache.insert("b", 2, 10);
+        cache.insert("c", 3, 10);
+        // Peeking "a" must NOT save it from eviction (get would).
+        assert_eq!(cache.peek("a"), Some(&1));
+        cache.insert("d", 4, 10);
+        assert_eq!(cache.peek("a"), None, "peek left `a` the LRU victim");
+        assert_eq!(cache.peek("missing"), None);
     }
 
     #[test]

@@ -131,6 +131,17 @@ impl<K: Eq + Hash + Clone, V> ShardedLruCache<K, V> {
         self.fold(|c| c.resident_bytes())
     }
 
+    /// Calls `f` with every resident key, shard by shard (each shard's lock
+    /// is held only for its own walk). Order is unspecified; recency and
+    /// counters are untouched — an introspection walk for `explain` probes.
+    pub fn for_each_key(&self, mut f: impl FnMut(&K)) {
+        for shard in self.shards.iter() {
+            for key in shard.lock().expect("cache shard poisoned").keys() {
+                f(key);
+            }
+        }
+    }
+
     /// Per-shard lifetime eviction counters, in shard order. Sums to
     /// [`ShardedLruCache::evictions`].
     pub fn per_shard_evictions(&self) -> Vec<u64> {

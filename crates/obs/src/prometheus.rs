@@ -1,0 +1,79 @@
+//! Prometheus text exposition (version 0.0.4) for a [`MetricsSnapshot`].
+//!
+//! Dotted metric names are mangled to the exposition charset
+//! (`serve.requests` → `qvsec_serve_requests`); histograms expose the
+//! conventional `_bucket{le=...}` / `_sum` / `_count` triple with bucket
+//! bounds in nanoseconds (the unit is part of the metric name).
+
+use crate::metrics::{MetricsSnapshot, BUCKET_BOUNDS_NANOS};
+use std::fmt::Write;
+
+/// `serve.requests` → `qvsec_serve_requests`.
+fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("qvsec_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the full exposition document.
+pub(crate) fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let m = format!("{}_nanos", mangle(name));
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in BUCKET_BOUNDS_NANOS.iter().enumerate() {
+            cumulative += h.buckets.get(i).copied().unwrap_or(0);
+            let _ = writeln!(out, "{m}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{m}_sum {}", h.sum_nanos);
+        let _ = writeln!(out, "{m}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::{Histogram, MetricsRegistry};
+
+    #[test]
+    fn exposition_is_well_formed() {
+        let r = MetricsRegistry::default();
+        r.counter("serve.requests").add(5);
+        let mut snap = r.snapshot();
+        snap.set_gauge("cache.crit.hits", 2);
+        let h = Histogram::default();
+        h.observe(2_000);
+        snap.histograms
+            .insert("serve.request".to_string(), h.snapshot());
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE qvsec_serve_requests counter\nqvsec_serve_requests 5\n"));
+        assert!(text.contains("# TYPE qvsec_cache_crit_hits gauge\nqvsec_cache_crit_hits 2\n"));
+        assert!(text.contains("# TYPE qvsec_serve_request_nanos histogram"));
+        assert!(text.contains("qvsec_serve_request_nanos_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("qvsec_serve_request_nanos_sum 2000\n"));
+        assert!(text.contains("qvsec_serve_request_nanos_count 1\n"));
+        // Buckets are cumulative: the 2000 ns observation is in every
+        // bucket from le=2048 up.
+        assert!(text.contains("qvsec_serve_request_nanos_bucket{le=\"1024\"} 0\n"));
+        assert!(text.contains("qvsec_serve_request_nanos_bucket{le=\"2048\"} 1\n"));
+    }
+}

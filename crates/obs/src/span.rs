@@ -1,0 +1,247 @@
+//! RAII stage spans and the per-request trace.
+//!
+//! Tracing is gated by one process-global flag: when it is off,
+//! [`Span::enter`] returns an inert guard without reading the clock, so
+//! instrumentation points cost a single relaxed atomic load. When it is
+//! on, each span records its elapsed monotonic time into the global
+//! histogram named after its stage, and — if the current thread has a
+//! [`TraceGuard`] installed — into the request's stage breakdown.
+
+use crate::metrics::{registry, Histogram};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static NOTE_CAPTURE: AtomicBool = AtomicBool::new(false);
+
+/// Turns span tracing on or off process-wide. Off by default; flipping it
+/// never changes any response byte — it only starts/stops timing capture.
+pub fn set_tracing(enabled: bool) {
+    TRACING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether span tracing is currently enabled.
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Turns note capture on or off process-wide. Notes (request op, tenant,
+/// canonical forms) only feed the slow-query log, and rendering them costs
+/// real time per request — so instrumentation points that build note
+/// values should check [`note_capture_enabled`] first. Off by default;
+/// only meaningful while tracing is also on.
+pub fn set_note_capture(enabled: bool) {
+    NOTE_CAPTURE.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether instrumentation points should build and attach note values.
+pub fn note_capture_enabled() -> bool {
+    NOTE_CAPTURE.load(Ordering::Relaxed)
+}
+
+#[derive(Debug, Default)]
+struct TraceData {
+    stages: Vec<(&'static str, u64)>,
+    notes: Vec<(&'static str, String)>,
+}
+
+thread_local! {
+    static TRACE: RefCell<Option<TraceData>> = const { RefCell::new(None) };
+    /// Stage-name-pointer → histogram, resolved once per thread. Span
+    /// drops are on the hot path of every traced request; this skips the
+    /// registry's lock and name lookup after the first span per stage.
+    static STAGE_HISTOGRAMS: RefCell<Vec<(usize, &'static Histogram)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// The histogram for `stage`, via the per-thread pointer-keyed cache.
+/// Stage names are `&'static str` literals, so the pointer identifies the
+/// callsite; two literals with equal text still resolve to one histogram
+/// because the registry interns by name.
+fn stage_histogram(stage: &'static str) -> &'static Histogram {
+    STAGE_HISTOGRAMS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let key = stage.as_ptr() as usize;
+        match cache.iter().find(|(k, _)| *k == key) {
+            Some((_, histogram)) => histogram,
+            None => {
+                let histogram = registry().histogram(stage);
+                cache.push((key, histogram));
+                histogram
+            }
+        }
+    })
+}
+
+/// An RAII stage timer. The stage name doubles as the histogram name
+/// (e.g. `Span::enter("cq.parse")` feeds the `cq.parse` histogram).
+#[derive(Debug)]
+pub struct Span {
+    live: Option<(&'static str, Instant)>,
+}
+
+impl Span {
+    /// Starts timing `stage` if tracing is enabled; otherwise returns an
+    /// inert guard without touching the clock.
+    #[inline]
+    pub fn enter(stage: &'static str) -> Span {
+        if !tracing_enabled() {
+            return Span { live: None };
+        }
+        Span {
+            live: Some((stage, Instant::now())),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((stage, start)) = self.live.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            stage_histogram(stage).observe(nanos);
+            TRACE.with(|t| {
+                if let Some(data) = t.borrow_mut().as_mut() {
+                    data.stages.push((stage, nanos));
+                }
+            });
+        }
+    }
+}
+
+/// Attaches a string annotation (e.g. a request's canonical form) to the
+/// current thread's request trace, if one is active. No-op otherwise.
+pub fn annotate(key: &'static str, value: impl Into<String>) {
+    TRACE.with(|t| {
+        if let Some(data) = t.borrow_mut().as_mut() {
+            data.notes.push((key, value.into()));
+        }
+    });
+}
+
+/// The per-request stage breakdown a [`TraceGuard`] collected.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// `(stage, total nanos)` aggregated per stage, ordered by first
+    /// completion of each stage on the request thread.
+    pub stages: Vec<(String, u64)>,
+    /// `(key, value)` annotations in the order they were attached.
+    pub notes: Vec<(String, String)>,
+}
+
+impl TraceSummary {
+    /// The total nanos recorded for `stage`, if any span closed under it.
+    pub fn stage_nanos(&self, stage: &str) -> Option<u64> {
+        self.stages
+            .iter()
+            .find(|(s, _)| s == stage)
+            .map(|(_, n)| *n)
+    }
+}
+
+/// Installs a per-request trace on the current thread. Spans closed while
+/// the guard is live are collected; [`TraceGuard::finish`] returns the
+/// summary. Dropping the guard without finishing discards the trace.
+#[must_use = "finish() returns the collected trace"]
+#[derive(Debug)]
+pub struct TraceGuard {
+    active: bool,
+}
+
+/// Starts a per-request trace if tracing is enabled (inert otherwise, so
+/// the disabled path allocates nothing).
+pub fn begin_request_trace() -> TraceGuard {
+    if !tracing_enabled() {
+        return TraceGuard { active: false };
+    }
+    TRACE.with(|t| *t.borrow_mut() = Some(TraceData::default()));
+    TraceGuard { active: true }
+}
+
+impl TraceGuard {
+    /// Ends the trace and returns its summary (`None` when tracing was
+    /// disabled at [`begin_request_trace`] time). Repeated stages are
+    /// aggregated by summing their nanos.
+    pub fn finish(mut self) -> Option<TraceSummary> {
+        if !self.active {
+            return None;
+        }
+        self.active = false;
+        let data = TRACE.with(|t| t.borrow_mut().take())?;
+        let mut summary = TraceSummary::default();
+        for (stage, nanos) in data.stages {
+            match summary.stages.iter_mut().find(|(s, _)| s == stage) {
+                Some((_, total)) => *total += nanos,
+                None => summary.stages.push((stage.to_string(), nanos)),
+            }
+        }
+        summary.notes = data
+            .notes
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        Some(summary)
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if self.active {
+            TRACE.with(|t| *t.borrow_mut() = None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tracing is process-global, so tests that flip it serialize.
+    static FLAG: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _flag = FLAG.lock().unwrap();
+        set_tracing(false);
+        let before = registry().histogram("test.inert").count();
+        drop(Span::enter("test.inert"));
+        assert_eq!(registry().histogram("test.inert").count(), before);
+        assert!(begin_request_trace().finish().is_none());
+    }
+
+    #[test]
+    fn enabled_spans_feed_histograms_and_the_request_trace() {
+        let _flag = FLAG.lock().unwrap();
+        set_tracing(true);
+        let guard = begin_request_trace();
+        drop(Span::enter("test.stage_a"));
+        drop(Span::enter("test.stage_a"));
+        drop(Span::enter("test.stage_b"));
+        annotate("canonical", "form-bytes");
+        let summary = guard.finish().expect("tracing is on");
+        set_tracing(false);
+        assert_eq!(summary.stages.len(), 2, "repeated stages aggregate");
+        assert!(summary.stage_nanos("test.stage_a").is_some());
+        assert_eq!(
+            summary.notes,
+            vec![("canonical".to_string(), "form-bytes".to_string())]
+        );
+        assert!(registry().histogram("test.stage_a").count() >= 2);
+    }
+
+    #[test]
+    fn dropped_guards_clear_the_thread_state() {
+        let _flag = FLAG.lock().unwrap();
+        set_tracing(true);
+        drop(begin_request_trace());
+        drop(Span::enter("test.orphan"));
+        let guard = begin_request_trace();
+        let summary = guard.finish().expect("tracing is on");
+        set_tracing(false);
+        assert!(
+            summary.stage_nanos("test.orphan").is_none(),
+            "spans outside a guard never leak into the next request"
+        );
+    }
+}

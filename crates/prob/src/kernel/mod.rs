@@ -484,7 +484,9 @@ impl ProbKernel {
             return Arc::clone(cache.insert(key.clone(), revived, bytes));
         }
         // Compile outside the lock; a racing duplicate insert is harmless.
+        let compile_span = qvsec_obs::Span::enter("kernel.compile");
         let fresh = Arc::new(CompiledQuery::compile(query, &self.space));
+        drop(compile_span);
         self.stats.add_query_compiled();
         if self.store.is_some() {
             if let Ok(text) = serde_json::to_string(&fresh.export_parts()) {
@@ -586,6 +588,7 @@ impl ProbKernel {
             .collect();
         let offsets = sig_offsets(&compiled);
         if self.is_exact() {
+            let _span = qvsec_obs::Span::enter("kernel.exact");
             // Uniform-`1/2` dictionaries (the paper's models) give every
             // world the same mass, so the signature distribution is a plain
             // count histogram and the whole analysis runs on integers.
@@ -597,6 +600,7 @@ impl ProbKernel {
                 Ok(self.analyse_exact(&compiled, &offsets, dist))
             }
         } else {
+            let _span = qvsec_obs::Span::enter("kernel.mc");
             self.stats.add_cutover();
             let pool = self.shared_pool();
             // Per-query world columns are memoized alongside the

@@ -126,6 +126,8 @@ impl Journal {
     /// Appends one event durably, returning its sequence number; sequence
     /// numbers are allocated atomically so concurrent tenants never collide.
     pub fn append(&self, event: &JournalEvent) -> crate::Result<u64> {
+        let _span = qvsec_obs::Span::enter("store.journal.append");
+        qvsec_obs::counter("store.journal.appends").inc();
         let text = serde_json::to_string(event)
             .map_err(|e| ServeError::Store(format!("journal encode: {e}")))?;
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);

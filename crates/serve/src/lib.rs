@@ -34,14 +34,16 @@
 #![forbid(unsafe_code)]
 
 pub mod journal;
+pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
 pub use journal::{Journal, JournalEvent, TenantStoreUsage, NS_JOURNAL};
+pub use metrics::{collect_metrics, serve_metrics_http};
 pub use protocol::{
     closing_notice, error_response, error_response_with_detail, handle_request,
-    handle_request_with, ErrorKind, WireRequest, PROTOCOL_VERSION,
+    handle_request_traced, handle_request_with, ErrorKind, WireRequest, PROTOCOL_VERSION,
 };
 pub use registry::{RegistryConfig, RegistryStats, ServeError, SessionRegistry, TenantStats};
 pub use server::{

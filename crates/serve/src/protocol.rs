@@ -37,6 +37,34 @@
 //! (see below). `show_tables`/`show_columns` answer from the engine's
 //! schema.
 //!
+//! ## The telemetry plane
+//!
+//! Two read-only ops surface the observability plane (`qvsec-obs`):
+//!
+//! ```json
+//! {"op": "metrics"}
+//! {"op": "explain", "view": "V(n) :- Employee(n, d, p)"}
+//! ```
+//!
+//! `metrics` returns the unified snapshot — process-global counters, span
+//! histograms, and every legacy counter bag folded in as gauges (see
+//! [`crate::metrics::collect_metrics`]). `explain` takes a query in either
+//! spelling (`view` or `sql`, like `publish`) and reports, per resulting
+//! conjunctive query, its canonical form and which cache tier
+//! (`memory` | `store` | `uncached`) holds each compiled artifact — the
+//! crit sets (with the cached active-domain sizes), the candidate space,
+//! and the memoized symmetry-class verdicts. The probe is strictly
+//! read-only: it promotes nothing, refreshes no LRU recency and bumps no
+//! counter, so `explain` can never change a later verdict or an eviction.
+//! `SHOW CANONICAL SELECT ...` through the `sql` op answers with the same
+//! shape.
+//!
+//! Any request may additionally carry `"timing": true` to receive a
+//! `"timing"` member on its response — total handling nanos plus, when
+//! span tracing is enabled, the per-stage breakdown. Timing is off by
+//! default and its values are nondeterministic, so byte-comparing scripts
+//! strip the member (mirroring the `"server"` stats exception).
+//!
 //! ## The envelope
 //!
 //! Requests may carry a `"v"` field naming the protocol version they were
@@ -156,8 +184,8 @@ impl std::fmt::Display for ErrorKind {
 #[derive(Debug, Clone, Default, Deserialize)]
 pub struct WireRequest {
     /// The operation: `open` | `publish` | `candidate` | `snapshot` |
-    /// `restore` | `sql` | `show_tables` | `show_columns` | `stats` |
-    /// `ping` | `persist` | `shutdown`.
+    /// `restore` | `sql` | `show_tables` | `show_columns` | `explain` |
+    /// `metrics` | `stats` | `ping` | `persist` | `shutdown`.
     pub op: String,
     /// Protocol version the request was written against (optional; absent
     /// means [`PROTOCOL_VERSION`]).
@@ -185,6 +213,12 @@ pub struct WireRequest {
     pub label: Option<String>,
     /// Relation name for `show_columns`.
     pub table: Option<String>,
+    /// Opt-in per-response timing: when `true`, the response gains a
+    /// `"timing"` member carrying the total handling nanos and — when span
+    /// tracing is on — the per-stage breakdown. Off by default; timing
+    /// values are nondeterministic, so byte-comparing scripts strip the
+    /// member.
+    pub timing: Option<bool>,
 }
 
 fn ok(fields: Vec<(String, Value)>) -> Value {
@@ -361,6 +395,80 @@ fn parse_view(
     }
 }
 
+/// Renders one query's explain entry: name, datalog, canonical form and
+/// the read-only artifact probe (`explain` op and `SHOW CANONICAL` share
+/// this, so both surfaces answer identically).
+fn explain_value(registry: &SessionRegistry, query: &ConjunctiveQuery) -> Value {
+    let engine = registry.engine();
+    let probe = engine.explain(query);
+    Value::Object(vec![
+        ("name".to_string(), Value::Str(query.name.clone())),
+        (
+            "datalog".to_string(),
+            Value::Str(query.display(engine.schema(), engine.domain()).to_string()),
+        ),
+        ("canonical".to_string(), Value::Str(probe.form.clone())),
+        (
+            "artifacts".to_string(),
+            Value::Object(vec![
+                (
+                    "crit".to_string(),
+                    Value::Str(probe.crit.as_str().to_string()),
+                ),
+                (
+                    "crit_domain_sizes".to_string(),
+                    Value::Array(
+                        probe
+                            .crit_domain_sizes
+                            .iter()
+                            .map(|s| Value::Int(*s as i128))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "space".to_string(),
+                    Value::Str(probe.space.as_str().to_string()),
+                ),
+                (
+                    "class_verdicts".to_string(),
+                    Value::Str(probe.class_verdicts.as_str().to_string()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// `{"queries": [...]}` of explain entries.
+fn explain_fields(
+    registry: &SessionRegistry,
+    queries: &[ConjunctiveQuery],
+) -> Vec<(String, Value)> {
+    vec![(
+        "queries".to_string(),
+        Value::Array(queries.iter().map(|q| explain_value(registry, q)).collect()),
+    )]
+}
+
+/// Compiles the SELECT inside a `SHOW CANONICAL`, applying the registry's
+/// closed-domain policy (spans in rejections reference the full statement
+/// source, so carets land on the original text).
+fn compile_show_canonical(
+    registry: &SessionRegistry,
+    stmt: &qvsec_sql::SelectStmt,
+    source: &str,
+    name: &str,
+) -> crate::Result<Vec<ConjunctiveQuery>> {
+    let engine = registry.engine();
+    let mut domain = engine.domain().clone();
+    let before = domain.len();
+    let queries = qvsec_sql::compile_select(stmt, engine.schema(), &mut domain, name, source)
+        .map_err(ServeError::Sql)?;
+    if domain.len() != before {
+        return Err(ServeError::UndeclaredConstant(source.to_string()));
+    }
+    Ok(queries)
+}
+
 fn dispatch(
     registry: &SessionRegistry,
     counters: Option<&ServerCounters>,
@@ -416,6 +524,12 @@ fn dispatch(
         "publish" | "candidate" => {
             let tenant = require(&request.tenant, "tenant")?;
             let view = parse_view(registry, request)?;
+            // Slow-query log context; rendering the canonical form costs
+            // real time per request, so it waits for note capture (the
+            // slow log's own switch), not just tracing.
+            if qvsec_obs::note_capture_enabled() {
+                qvsec_obs::annotate("canonical", qvsec_cq::canonical_form(&view));
+            }
             let report = if request.op == "publish" {
                 registry.publish(tenant, parsed_secret.as_ref(), request.name.clone(), view)?
             } else {
@@ -451,6 +565,30 @@ fn dispatch(
             None => Ok(ok(vec![("persisted".to_string(), Value::Bool(false))])),
         },
         "shutdown" => Ok(ok(vec![("shutdown".to_string(), Value::Bool(true))])),
+        "metrics" => Ok(ok(vec![(
+            "metrics".to_string(),
+            crate::metrics::collect_metrics(registry, counters).to_json(),
+        )])),
+        "explain" => {
+            let queries = match (&request.view, &request.sql) {
+                (Some(_), Some(_)) => {
+                    return Err(ServeError::Parse(
+                        "fields `view` and `sql` are mutually exclusive; send exactly one"
+                            .to_string(),
+                    ))
+                }
+                (Some(text), None) => vec![registry.parse(text)?],
+                (None, Some(text)) => {
+                    registry.parse_sql(text, request.name.as_deref().unwrap_or("Q"))?
+                }
+                (None, None) => {
+                    return Err(ServeError::Parse(
+                        "missing required field `view` (or its SQL form, `sql`)".to_string(),
+                    ))
+                }
+            };
+            Ok(ok(explain_fields(registry, &queries)))
+        }
         "sql" => {
             let text = require(&request.sql, "sql")?;
             match qvsec_sql::parse_statement(text).map_err(ServeError::Sql)? {
@@ -460,6 +598,11 @@ fn dispatch(
                 qvsec_sql::Statement::ShowColumns { table, table_span } => Ok(ok(
                     show_columns_fields(registry, &table, Some(table_span))?,
                 )),
+                qvsec_sql::Statement::ShowCanonical(stmt) => {
+                    let name = request.name.as_deref().unwrap_or("Q");
+                    let queries = compile_show_canonical(registry, &stmt, text, name)?;
+                    Ok(ok(explain_fields(registry, &queries)))
+                }
                 qvsec_sql::Statement::Select(_) => {
                     let name = request.name.as_deref().unwrap_or("Q");
                     let queries = registry.parse_sql(text, name)?;
@@ -492,47 +635,122 @@ fn dispatch(
             Ok(ok(show_columns_fields(registry, table, None)?))
         }
         other => Err(ServeError::Parse(format!(
-            "unknown op `{other}` (expected open | publish | candidate | snapshot | restore | sql | show_tables | show_columns | stats | ping | persist | shutdown)"
+            "unknown op `{other}` (expected open | publish | candidate | snapshot | restore | sql | show_tables | show_columns | explain | metrics | stats | ping | persist | shutdown)"
         ))),
+    }
+}
+
+/// Appends the opt-in `"timing"` member to a response object.
+fn append_timing(
+    response: &mut Value,
+    total_nanos: u64,
+    summary: Option<&qvsec_obs::TraceSummary>,
+) {
+    let stages = summary
+        .map(|s| {
+            s.stages
+                .iter()
+                .map(|(stage, nanos)| {
+                    Value::Object(vec![
+                        ("stage".to_string(), Value::Str(stage.clone())),
+                        ("nanos".to_string(), Value::Int(*nanos as i128)),
+                    ])
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let timing = Value::Object(vec![
+        ("total_nanos".to_string(), Value::Int(total_nanos as i128)),
+        ("stages".to_string(), Value::Array(stages)),
+    ]);
+    if let Value::Object(entries) = response {
+        entries.push(("timing".to_string(), timing));
     }
 }
 
 /// Parses one request line and dispatches it, mapping every failure onto a
 /// structured `{"ok": false}` response (a malformed line never tears down
 /// the connection). `counters`, when given, surfaces the TCP front end's
-/// connection counters through the `stats` op. Returns the response plus
-/// whether the request asked the server to shut down.
-pub fn handle_request_with(
+/// connection counters through the `stats`/`metrics` ops. Returns the
+/// response, whether the request asked the server to shut down, and — when
+/// span tracing is enabled — the request's stage breakdown (the server's
+/// slow-query log feeds off it).
+///
+/// Instrumentation here is side-channel only: the `serve.requests` /
+/// `serve.errors` counters and the `serve.request` span never change a
+/// response byte. The one response-visible addition is the `"timing"`
+/// member, and only when the request carried `"timing": true`.
+pub fn handle_request_traced(
     registry: &SessionRegistry,
     counters: Option<&ServerCounters>,
     line: &str,
-) -> (Value, bool) {
+) -> (Value, bool, Option<qvsec_obs::TraceSummary>) {
+    qvsec_obs::counter("serve.requests").inc();
     let request: WireRequest =
         match serde_json::parse(line).and_then(|v| serde_json::from_value(&v)) {
             Ok(request) => request,
             Err(e) => {
+                qvsec_obs::counter("serve.errors").inc();
                 return (
                     error_response(ErrorKind::BadRequest, format!("bad request: {e}")),
                     false,
-                )
+                    None,
+                );
             }
         };
     if let Some(v) = request.v {
         if v != PROTOCOL_VERSION {
+            qvsec_obs::counter("serve.errors").inc();
             return (
                 error_response(
                     ErrorKind::BadRequest,
                     format!("unsupported protocol version {v} (this server speaks v={PROTOCOL_VERSION})"),
                 ),
                 false,
+                None,
             );
         }
     }
-    let shutdown = request.op == "shutdown";
-    match dispatch(registry, counters, &request) {
-        Ok(response) => (response, shutdown),
-        Err(e) => (err(&e), false),
+    let timing_requested = request.timing.unwrap_or(false);
+    let guard = qvsec_obs::begin_request_trace();
+    // The clock is read here only when the caller opted into timing — the
+    // merely-traced path gets its total from the serve.request span.
+    let start = timing_requested.then(std::time::Instant::now);
+    let span = qvsec_obs::Span::enter("serve.request");
+    if qvsec_obs::note_capture_enabled() {
+        qvsec_obs::annotate("op", request.op.clone());
+        if let Some(tenant) = &request.tenant {
+            qvsec_obs::annotate("tenant", tenant.clone());
+        }
     }
+    let shutdown = request.op == "shutdown";
+    let (mut response, shutdown) = match dispatch(registry, counters, &request) {
+        Ok(response) => (response, shutdown),
+        Err(e) => {
+            qvsec_obs::counter("serve.errors").inc();
+            (err(&e), false)
+        }
+    };
+    drop(span);
+    let summary = guard.finish();
+    if timing_requested {
+        let total_nanos = start
+            .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        append_timing(&mut response, total_nanos, summary.as_ref());
+    }
+    (response, shutdown, summary)
+}
+
+/// [`handle_request_traced`] without the trace summary — the plain
+/// dispatch entry point.
+pub fn handle_request_with(
+    registry: &SessionRegistry,
+    counters: Option<&ServerCounters>,
+    line: &str,
+) -> (Value, bool) {
+    let (response, shutdown, _) = handle_request_traced(registry, counters, line);
+    (response, shutdown)
 }
 
 /// [`handle_request_with`] without connection counters — the embedded
@@ -827,6 +1045,149 @@ mod tests {
             r#"{"op": "candidate", "tenant": "a", "view": "W(d) :- Employee(n, d, p)", "sql": "SELECT department FROM Employee"}"#,
         );
         assert_eq!(error_kind(&both), "bad_request");
+    }
+
+    #[test]
+    fn explain_reports_canonical_forms_and_cache_tiers_without_perturbing() {
+        let reg = registry_with_domain();
+        let explain_line = r#"{"op": "explain", "view": "V(n, p) :- Employee(n, 'HR', p)"}"#;
+        // Cold start: every artifact layer reports uncached.
+        let (response, _) = handle_request(&reg, explain_line);
+        assert_eq!(response.field("ok"), &Value::Bool(true), "{response:?}");
+        let queries = response.field("queries").as_array().unwrap();
+        assert_eq!(queries.len(), 1);
+        let hand = reg.parse("V(n, p) :- Employee(n, 'HR', p)").unwrap();
+        assert_eq!(
+            queries[0].field("canonical").as_str(),
+            Some(qvsec_cq::canonical_form(&hand).as_str())
+        );
+        let artifacts = queries[0].field("artifacts");
+        assert_eq!(artifacts.field("crit").as_str(), Some("uncached"));
+        assert_eq!(
+            artifacts
+                .field("crit_domain_sizes")
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
+        // Auditing the view warms its crit set; explain now sees it.
+        let (published, _) = handle_request(
+            &reg,
+            r#"{"op": "publish", "tenant": "a", "secret": "S(n, p) :- Employee(n, d, p)", "view": "V(n, p) :- Employee(n, 'HR', p)"}"#,
+        );
+        assert_eq!(published.field("ok"), &Value::Bool(true), "{published:?}");
+        let (response, _) = handle_request(&reg, explain_line);
+        let queries = response.field("queries").as_array().unwrap();
+        let artifacts = queries[0].field("artifacts");
+        assert_eq!(artifacts.field("crit").as_str(), Some("memory"));
+        assert!(!artifacts
+            .field("crit_domain_sizes")
+            .as_array()
+            .unwrap()
+            .is_empty());
+        // The probe is strictly read-only: repeating it moves no counter.
+        let before = reg.stats().engine_cache;
+        for _ in 0..3 {
+            handle_request(&reg, explain_line);
+        }
+        assert_eq!(
+            reg.stats().engine_cache,
+            before,
+            "explain probes count nothing"
+        );
+    }
+
+    #[test]
+    fn show_canonical_matches_the_explain_op() {
+        let reg = registry_with_domain();
+        let (via_sql, _) = handle_request(
+            &reg,
+            r#"{"op": "sql", "sql": "SHOW CANONICAL SELECT name FROM Employee WHERE department = 'HR'"}"#,
+        );
+        assert_eq!(via_sql.field("ok"), &Value::Bool(true), "{via_sql:?}");
+        let (via_explain, _) = handle_request(
+            &reg,
+            r#"{"op": "explain", "sql": "SELECT name FROM Employee WHERE department = 'HR'"}"#,
+        );
+        assert_eq!(
+            serde_json::to_string(&via_sql).unwrap(),
+            serde_json::to_string(&via_explain).unwrap(),
+            "both surfaces share one rendering"
+        );
+        let queries = via_sql.field("queries").as_array().unwrap();
+        assert!(queries[0].field("canonical").as_str().is_some());
+        assert!(queries[0]
+            .field("artifacts")
+            .field("class_verdicts")
+            .as_str()
+            .is_some());
+        // Rejections keep the structured SQL detail.
+        let (rejected, _) = handle_request(
+            &reg,
+            r#"{"op": "sql", "sql": "SHOW CANONICAL SELECT name FROM Employee WHERE department = 'Skunkworks'"}"#,
+        );
+        assert_eq!(error_kind(&rejected), "undeclared_constant");
+    }
+
+    #[test]
+    fn metrics_op_returns_the_unified_snapshot() {
+        let reg = registry_with_domain();
+        handle_request(&reg, r#"{"op": "ping"}"#);
+        let (response, _) = handle_request(&reg, r#"{"op": "metrics"}"#);
+        assert_eq!(response.field("ok"), &Value::Bool(true), "{response:?}");
+        let metrics = response.field("metrics");
+        assert!(!metrics.field("counters").is_null());
+        assert!(!metrics.field("histograms").is_null());
+        // Legacy bags are folded in as gauges, consistent with `stats`.
+        let gauges = metrics.field("gauges");
+        assert_eq!(
+            gauges.field("registry.requests_served").as_int(),
+            Some(reg.stats().requests_served as i128)
+        );
+        assert_eq!(
+            gauges.field("cache.crit.hits").as_int(),
+            Some(reg.stats().engine_cache.crit_cache_hits as i128)
+        );
+        // The process-global request counter has seen this test's traffic.
+        assert!(
+            metrics
+                .field("counters")
+                .field("serve.requests")
+                .as_int()
+                .unwrap()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn timing_member_appears_only_on_request() {
+        let reg = registry_with_domain();
+        let (untimed, _) = handle_request(&reg, r#"{"op": "ping"}"#);
+        assert!(untimed.field("timing").is_null());
+        let (timed, _) = handle_request(&reg, r#"{"op": "ping", "timing": true}"#);
+        let timing = timed.field("timing");
+        assert!(timing.field("total_nanos").as_int().is_some());
+        assert!(!timing.field("stages").is_null());
+        // Stripping the member recovers the untimed response, byte for
+        // byte — the contract the CI diff relies on.
+        let stripped = match &timed {
+            Value::Object(entries) => Value::Object(
+                entries
+                    .iter()
+                    .filter(|(name, _)| name != "timing")
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        };
+        assert_eq!(
+            serde_json::to_string(&stripped).unwrap(),
+            serde_json::to_string(&untimed).unwrap()
+        );
+        // `"timing": false` is the same as omitting it.
+        let (off, _) = handle_request(&reg, r#"{"op": "ping", "timing": false}"#);
+        assert!(off.field("timing").is_null());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! client pipelines *behind its own* `shutdown` op are answered with a
 //! structured `shutting_down` error rather than silence.
 
-use crate::protocol::{closing_notice, error_response, handle_request_with, ErrorKind};
+use crate::protocol::{closing_notice, error_response, handle_request_traced, ErrorKind};
 use crate::registry::SessionRegistry;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -76,6 +76,14 @@ pub struct ServerConfig {
     pub max_bytes_per_conn: Option<u64>,
     /// Drop connections idle (no bytes received) this long, with a notice.
     pub idle_timeout: Option<Duration>,
+    /// Slow-query threshold: requests whose total handling time crosses
+    /// this many milliseconds are logged as one NDJSON line on stderr,
+    /// with the span stage breakdown and the view's canonical form.
+    /// Requires span tracing ([`qvsec_obs::set_tracing`]) to be on, and
+    /// the op/tenant/canonical context additionally needs note capture
+    /// ([`qvsec_obs::set_note_capture`]) — the CLI's `--slow-ms` flag
+    /// enables all of it together.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +94,7 @@ impl Default for ServerConfig {
             max_requests_per_conn: None,
             max_bytes_per_conn: None,
             idle_timeout: None,
+            slow_ms: None,
         }
     }
 }
@@ -246,6 +255,12 @@ impl Server {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The server's shared connection counters — the metrics HTTP endpoint
+    /// ([`crate::metrics::serve_metrics_http`]) folds them into scrapes.
+    pub fn counters(&self) -> Arc<ServerCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// A handle for shutting the server down (and reading its counters)
@@ -437,7 +452,14 @@ fn serve_connection(
                                     false,
                                 )
                             } else {
-                                handle_request_with(registry, Some(counters), &line)
+                                let (response, stop, trace) =
+                                    handle_request_traced(registry, Some(counters), &line);
+                                if let (Some(slow_ms), Some(trace)) =
+                                    (config.slow_ms, trace.as_ref())
+                                {
+                                    maybe_log_slow(slow_ms, trace);
+                                }
+                                (response, stop)
                             }
                         }
                         Err((kind, reason)) => (error_response(kind, reason), false),
@@ -467,6 +489,56 @@ fn serve_connection(
         }
         let _ = writer.shutdown(std::net::Shutdown::Both);
     });
+}
+
+/// Emits one NDJSON slow-query line on stderr when the traced request's
+/// total handling time (`serve.request` span) crossed `slow_ms`. The line
+/// carries the op, the tenant, the total nanos, the per-stage breakdown,
+/// and — for `publish`/`candidate` — the view's canonical form, so a slow
+/// audit can be correlated with its cache identity without re-running it.
+fn maybe_log_slow(slow_ms: u64, trace: &qvsec_obs::TraceSummary) {
+    let total_nanos = trace.stage_nanos("serve.request").unwrap_or(0);
+    if total_nanos < slow_ms.saturating_mul(1_000_000) {
+        return;
+    }
+    qvsec_obs::counter("serve.slow_queries").inc();
+    let note = |key: &str| {
+        trace
+            .notes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let mut entries = vec![
+        ("slow_query".to_string(), Value::Bool(true)),
+        (
+            "total_nanos".to_string(),
+            Value::Int(i128::from(total_nanos)),
+        ),
+    ];
+    for key in ["op", "tenant", "canonical"] {
+        if let Some(value) = note(key) {
+            entries.push((key.to_string(), Value::Str(value)));
+        }
+    }
+    entries.push((
+        "stages".to_string(),
+        Value::Array(
+            trace
+                .stages
+                .iter()
+                .map(|(stage, nanos)| {
+                    Value::Object(vec![
+                        ("stage".to_string(), Value::Str(stage.clone())),
+                        ("nanos".to_string(), Value::Int(i128::from(*nanos))),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    if let Ok(text) = serde_json::to_string(&Value::Object(entries)) {
+        eprintln!("{text}");
+    }
 }
 
 /// One step of the incremental, timeout-tolerant line reader.

@@ -39,11 +39,13 @@ pub fn compile_query(
 ) -> Result<Vec<ConjunctiveQuery>, SqlError> {
     match crate::parser::parse_statement(source)? {
         Statement::Select(stmt) => compile_select(&stmt, schema, domain, name, source),
-        Statement::ShowTables | Statement::ShowColumns { .. } => Err(SqlError::new(
-            RejectReason::Syntax,
-            Span::new(0, source.len()),
-            "expected a SELECT statement, found an introspection command",
-        )),
+        Statement::ShowTables | Statement::ShowColumns { .. } | Statement::ShowCanonical(_) => {
+            Err(SqlError::new(
+                RejectReason::Syntax,
+                Span::new(0, source.len()),
+                "expected a SELECT statement, found an introspection command",
+            ))
+        }
     }
 }
 

@@ -39,6 +39,9 @@ pub enum Statement {
         /// Span of the table name.
         table_span: Span,
     },
+    /// `SHOW CANONICAL SELECT ...` — explain the canonical form (and, over
+    /// the wire, the memoized artifact tiers) of a subset SELECT.
+    ShowCanonical(SelectStmt),
 }
 
 /// A `SELECT` statement restricted to the subset.
@@ -162,6 +165,8 @@ struct Parser<'a> {
 
 /// Parses one statement of the subset.
 pub fn parse_statement(source: &str) -> Result<Statement, SqlError> {
+    let _span = qvsec_obs::Span::enter("sql.parse");
+    qvsec_obs::counter("sql.statements").inc();
     let tokens = lex(source)?;
     let mut p = Parser {
         tokens,
@@ -289,11 +294,15 @@ impl<'a> Parser<'a> {
                 table_span: t.span,
             });
         }
+        if self.eat_kw("canonical") {
+            self.expect_kw("select")?;
+            return Ok(Statement::ShowCanonical(self.select_statement()?));
+        }
         let t = self.peek();
         Err(self.syntax(
             t.span,
             format!(
-                "expected TABLES or COLUMNS after SHOW, found {}",
+                "expected TABLES, COLUMNS or CANONICAL after SHOW, found {}",
                 t.kind.describe()
             ),
         ))

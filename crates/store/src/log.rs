@@ -270,9 +270,12 @@ impl StoreBackend for LogStore {
         if ops.is_empty() {
             return Ok(());
         }
+        let _span = qvsec_obs::Span::enter("store.append");
+        qvsec_obs::counter("store.appends").inc();
         let mut spaces = self.spaces.lock().expect("log store poisoned");
         let threshold = self.compact_threshold;
         let frame = frame_record(&ops);
+        qvsec_obs::counter("store.appended_bytes").add(frame.len() as u64);
         let state = self.load(&mut spaces, ns)?;
         state
             .file
@@ -296,6 +299,8 @@ impl StoreBackend for LogStore {
     }
 
     fn flush(&self) -> Result<()> {
+        let _span = qvsec_obs::Span::enter("store.flush");
+        qvsec_obs::counter("store.flushes").inc();
         let spaces = self.spaces.lock().expect("log store poisoned");
         for (ns, state) in spaces.iter() {
             state
